@@ -1,0 +1,121 @@
+// Ablations for the design choices DESIGN.md §5 calls out:
+//  * alpha (Def. 10 mix) — how the ranking shifts between keyword-driven
+//    and distance-driven;
+//  * N (Def. 6 normalizer) — keyword-vs-distance comparability;
+//  * thread depth cap d (Alg. 1) — popularity fidelity vs I/O cost;
+//  * buffer pool size — thread construction is the I/O bottleneck;
+//  * Def. 11's formula vs the exact offline bound — tightness.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/kendall.h"
+#include "core/scoring.h"
+#include "social/thread_builder.h"
+
+int main() {
+  using namespace tklus;
+  bench::Banner("Ablations — alpha, N, thread depth, buffer pool, bounds",
+                "design-choice sensitivity (not a paper figure)");
+  const auto scale = bench::ScaleFromEnv();
+  const auto corpus = bench::MakeCorpus(scale);
+  const auto workload = datagen::FilterByKeywordCount(
+      MakeQueryWorkload(corpus, datagen::WorkloadOptions{}), 1);
+  const auto queries =
+      bench::With(workload, 15.0, 10, Semantics::kOr, Ranking::kSum);
+
+  // ---- alpha sweep: compare each ranking against alpha = 0.5.
+  std::printf("alpha sweep (tau vs alpha=0.5 ranking, radius 15 km):\n");
+  std::printf("%-8s %-12s\n", "alpha", "mean tau");
+  {
+    auto reference = bench::MakeEngine(corpus.dataset);
+    std::vector<std::vector<UserId>> ref_results;
+    for (const TkLusQuery& q : queries) {
+      auto r = reference->Query(q);
+      if (!r.ok()) return 1;
+      ref_results.push_back(r->UserIds());
+    }
+    for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      TkLusEngine::Options opts;
+      opts.scoring.alpha = alpha;
+      auto engine = bench::MakeEngine(corpus.dataset, opts);
+      double tau = 0;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        auto r = engine->Query(queries[i]);
+        if (!r.ok()) return 1;
+        tau += KendallTauVariant(r->UserIds(), ref_results[i]);
+      }
+      std::printf("%-8.2f %-12.3f\n", alpha, tau / queries.size());
+    }
+  }
+
+  // ---- thread depth cap d: popularity fidelity and I/O.
+  std::printf("\nthread depth cap d (Alg. 1) — fidelity vs full depth 10:\n");
+  std::printf("%-6s %-16s %-16s\n", "d", "mean |phi-phi10|", "query ms");
+  {
+    const SocialGraph graph = SocialGraph::Build(corpus.dataset);
+    // Reference popularity at depth 10 over a sample of roots.
+    std::vector<TweetId> roots;
+    for (size_t i = 0; i < corpus.dataset.size(); i += 101) {
+      roots.push_back(corpus.dataset.posts()[i].sid);
+    }
+    std::vector<double> ref;
+    ref.reserve(roots.size());
+    for (const TweetId sid : roots) {
+      ref.push_back(
+          ThreadPopularity(BuildShapeInMemory(graph.children(), sid, 10),
+                           0.1));
+    }
+    for (const int d : {2, 3, 4, 6, 8}) {
+      double err = 0;
+      for (size_t i = 0; i < roots.size(); ++i) {
+        const double phi = ThreadPopularity(
+            BuildShapeInMemory(graph.children(), roots[i], d), 0.1);
+        err += std::abs(phi - ref[i]);
+      }
+      TkLusEngine::Options opts;
+      opts.thread_depth = d;
+      auto engine = bench::MakeEngine(corpus.dataset, opts);
+      const auto stats = bench::RunQueries(*engine, queries);
+      std::printf("%-6d %-16.4f %-16.2f\n", d, err / roots.size(),
+                  stats.mean_ms);
+    }
+  }
+
+  // ---- buffer pool size: thread construction I/O.
+  std::printf("\nbuffer pool size vs metadata-DB physical reads "
+              "(radius 15 km):\n");
+  std::printf("%-12s %-16s %-12s\n", "pool pages", "mean page reads",
+              "query ms");
+  for (const size_t pages : {64, 256, 1024, 8192}) {
+    TkLusEngine::Options opts;
+    opts.buffer_pool_pages = pages;
+    auto engine = bench::MakeEngine(corpus.dataset, opts);
+    // Warm-up pass, then measure steady-state.
+    (void)bench::RunQueries(*engine, queries);
+    const auto stats = bench::RunQueries(*engine, queries);
+    std::printf("%-12zu %-16.1f %-12.2f\n", pages, stats.mean_db_reads,
+                stats.mean_ms);
+  }
+
+  // ---- Def. 11 formula vs exact offline bound.
+  std::printf("\nupper-bound tightness (global):\n");
+  {
+    auto engine = bench::MakeEngine(corpus.dataset);
+    auto fanout = engine->metadata_db().MaxReplyFanout();
+    if (!fanout.ok()) return 1;
+    const double paper_bound = PaperGlobalBoundPopularity(*fanout, 6);
+    std::printf("  exact max thread popularity: %.3f\n",
+                engine->bounds().global_bound());
+    std::printf("  Def. 11 formula (t_m=%lld, d=6): %.3f  (%.1fx looser%s)\n",
+                static_cast<long long>(*fanout), paper_bound,
+                paper_bound / engine->bounds().global_bound(),
+                paper_bound < engine->bounds().global_bound()
+                    ? ", UNSOUND for this corpus"
+                    : "");
+    std::printf("  hot-keyword bounds:\n");
+    for (const auto& [term, bound] : engine->bounds().hot_bounds()) {
+      std::printf("    %-12s %.3f\n", term.c_str(), bound);
+    }
+  }
+  return 0;
+}

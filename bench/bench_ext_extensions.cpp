@@ -1,0 +1,110 @@
+// Extensions bench (§VIII future-work features, not a paper figure):
+//  * temporal windows — the period filter applies to postings before any
+//    metadata I/O, so narrow windows cut candidate work proportionally;
+//  * recency-weighted ranking — how far the ranking drifts from the
+//    timeless one as the half-life shrinks;
+//  * implicit-location inference — how much coverage gazetteer inference
+//    recovers on a corpus where a third of the posts lack geo-tags.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/kendall.h"
+#include "datagen/cities.h"
+#include "model/gazetteer.h"
+
+int main() {
+  using namespace tklus;
+  bench::Banner("Extensions — temporal TkLUS and implicit locations",
+                "paper §VIII future work, implemented and measured");
+  const auto scale = bench::ScaleFromEnv();
+  auto corpus = bench::MakeCorpus(scale);
+  const int64_t first_sid = corpus.dataset.posts().front().sid;
+  const int64_t last_sid = corpus.dataset.posts().back().sid;
+  auto engine = bench::MakeEngine(corpus.dataset);
+  const auto workload = datagen::FilterByKeywordCount(
+      MakeQueryWorkload(corpus, datagen::WorkloadOptions{}), 1);
+  const auto queries =
+      bench::With(workload, 15.0, 10, Semantics::kOr, Ranking::kSum);
+
+  // ---- temporal windows.
+  std::printf("temporal window sweep (radius 15 km):\n");
+  std::printf("%-14s %-14s %-10s\n", "window", "candidates", "ms");
+  for (const double frac : {1.0, 0.5, 0.25, 0.1}) {
+    auto windowed = queries;
+    for (TkLusQuery& q : windowed) {
+      q.temporal.begin =
+          last_sid - static_cast<int64_t>((last_sid - first_sid) * frac);
+      q.temporal.end = last_sid;
+    }
+    double candidates = 0, ms = 0, within = 0;
+    for (const TkLusQuery& q : windowed) {
+      auto r = engine->Query(q);
+      if (!r.ok()) return 1;
+      candidates += static_cast<double>(r->stats.candidates);
+      within += static_cast<double>(r->stats.within_radius);
+      ms += r->stats.elapsed_ms;
+    }
+    std::printf("last %-3.0f%%      %-14.1f %-10.2f\n", frac * 100,
+                candidates / windowed.size(), ms / windowed.size());
+  }
+
+  // ---- recency weighting.
+  std::printf("\nrecency ranking drift (tau vs timeless ranking):\n");
+  std::printf("%-18s %-10s\n", "half-life", "mean tau");
+  std::vector<std::vector<UserId>> timeless;
+  for (const TkLusQuery& q : queries) {
+    auto r = engine->Query(q);
+    if (!r.ok()) return 1;
+    timeless.push_back(r->UserIds());
+  }
+  const double span = static_cast<double>(last_sid - first_sid);
+  for (const double frac : {1.0, 0.25, 0.05}) {
+    double tau = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      TkLusQuery q = queries[i];
+      q.temporal.half_life = span * frac;
+      q.temporal.reference = last_sid;
+      auto r = engine->Query(q);
+      if (!r.ok()) return 1;
+      tau += KendallTauVariant(r->UserIds(), timeless[i]);
+    }
+    std::printf("%5.0f%% of corpus  %-10.3f\n", frac * 100,
+                tau / queries.size());
+  }
+
+  // ---- implicit locations.
+  std::printf("\nimplicit-location inference (30%% of posts untagged):\n");
+  auto gen = bench::CorpusOptions(scale);
+  gen.untagged_frac = 0.3;
+  auto sparse = datagen::TweetGenerator::Generate(gen);
+  size_t untagged = 0;
+  for (const Post& p : sparse.dataset.posts()) {
+    if (!p.HasLocation()) ++untagged;
+  }
+  auto blind = bench::MakeEngine(sparse.dataset);
+  const LocationInferenceStats inference =
+      InferLocations(&sparse.dataset, datagen::MakeCityGazetteer());
+  auto informed = bench::MakeEngine(sparse.dataset);
+  std::printf("  untagged posts: %zu of %zu; inferred: %zu (%.0f%%)\n",
+              untagged, sparse.dataset.size(), inference.inferred,
+              100.0 * inference.inferred / inference.untagged);
+  double blind_candidates = 0, informed_candidates = 0;
+  const auto sparse_queries = bench::With(
+      datagen::FilterByKeywordCount(
+          MakeQueryWorkload(sparse, datagen::WorkloadOptions{}), 1),
+      15.0, 10, Semantics::kOr, Ranking::kSum);
+  for (const TkLusQuery& q : sparse_queries) {
+    auto b = blind->Query(q);
+    auto i = informed->Query(q);
+    if (!b.ok() || !i.ok()) return 1;
+    blind_candidates += static_cast<double>(b->stats.candidates);
+    informed_candidates += static_cast<double>(i->stats.candidates);
+  }
+  std::printf("  mean candidates per query: %.1f without inference, %.1f "
+              "with (+%.0f%%)\n",
+              blind_candidates / sparse_queries.size(),
+              informed_candidates / sparse_queries.size(),
+              100.0 * (informed_candidates - blind_candidates) /
+                  blind_candidates);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 6: hybrid index size versus geohash encoding length (1..4). The
+// paper reports a near-constant size (~3.5 GB for 514M tweets); here the
+// inverted-index bytes in the simulated DFS and the in-memory forward
+// index footprint (paper: <12 MB at length 4) are both reported.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "dfs/dfs.h"
+#include "index/hybrid_index.h"
+
+int main() {
+  using namespace tklus;
+  bench::Banner("Figure 6 — index size vs geohash length",
+                "index size is nearly constant across geohash lengths; the "
+                "forward index stays small enough for main memory");
+  const auto corpus = bench::MakeCorpus(bench::ScaleFromEnv());
+  std::printf("corpus: %zu tweets\n\n", corpus.dataset.size());
+  std::printf("%-8s %-16s %-16s %-12s %-14s\n", "length", "inverted bytes",
+              "forward bytes", "lists", "postings");
+  for (int length = 1; length <= 4; ++length) {
+    SimulatedDfs dfs;
+    HybridIndex::Options opts;
+    opts.geohash_length = length;
+    auto index = HybridIndex::Build(corpus.dataset, &dfs, opts);
+    if (!index.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    const IndexBuildStats& stats = (*index)->build_stats();
+    std::printf("%-8d %-16s %-16s %-12llu %-14llu\n", length,
+                HumanBytes(stats.inverted_bytes).c_str(),
+                HumanBytes(stats.forward_bytes).c_str(),
+                static_cast<unsigned long long>(stats.postings_lists),
+                static_cast<unsigned long long>(stats.postings_entries));
+  }
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: geohash encoding, circle cover, Porter stemming,
+// tokenization, postings codec and set operations, B+-tree lookups, and
+// tweet-thread construction.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "geo/circle_cover.h"
+#include "geo/geohash.h"
+#include "index/posting.h"
+#include "index/postings_ops.h"
+#include "social/thread_builder.h"
+#include "storage/metadata_db.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+namespace {
+
+void BM_GeohashEncode(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const GeoPoint p{rng.Uniform(-80, 80), rng.Uniform(-170, 170)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geohash::Encode(p, length));
+  }
+}
+BENCHMARK(BM_GeohashEncode)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GeohashDecode(benchmark::State& state) {
+  const std::string hash = geohash::Encode(GeoPoint{43.68, -79.37},
+                                           static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geohash::DecodeBox(hash));
+  }
+}
+BENCHMARK(BM_GeohashDecode)->Arg(4)->Arg(8);
+
+void BM_CircleCover(benchmark::State& state) {
+  const double radius = static_cast<double>(state.range(0));
+  const GeoPoint q{43.68, -79.37};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeohashCircleCover(q, radius, 4));
+  }
+}
+BENCHMARK(BM_CircleCover)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_PorterStem(benchmark::State& state) {
+  const PorterStemmer stemmer;
+  const char* words[] = {"restaurants", "relational", "hopefulness",
+                         "babysitters", "configuration", "troubles"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stemmer.Stem(words[i++ % 6]));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_Tokenize(benchmark::State& state) {
+  const Tokenizer tokenizer;
+  const std::string tweet =
+      "Saturday night #fashion #style @friend at the amazing rooftop "
+      "restaurant downtown http://t.co/abc123 highly recommended!";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(tweet));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+std::vector<Posting> MakePostings(size_t n, uint64_t seed, int stride) {
+  Rng rng(seed);
+  std::vector<Posting> out;
+  out.reserve(n);
+  TweetId tid = 1000000;
+  for (size_t i = 0; i < n; ++i) {
+    tid += 1 + static_cast<TweetId>(
+        rng.UniformInt(static_cast<uint64_t>(stride)));
+    out.push_back({tid, 1 + static_cast<uint32_t>(rng.UniformInt(uint64_t{3}))});
+  }
+  return out;
+}
+
+void BM_PostingsEncode(benchmark::State& state) {
+  const auto postings = MakePostings(state.range(0), 2, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodePostings(postings));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PostingsEncode)->Arg(100)->Arg(10000);
+
+void BM_PostingsDecode(benchmark::State& state) {
+  const std::string encoded = EncodePostings(MakePostings(state.range(0), 2, 50));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodePostings(encoded));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PostingsDecode)->Arg(100)->Arg(10000);
+
+void BM_PostingsIntersect(benchmark::State& state) {
+  const std::vector<std::vector<Posting>> lists = {
+      MakePostings(state.range(0), 3, 10),
+      MakePostings(state.range(0), 4, 10),
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectPostings(lists));
+  }
+}
+BENCHMARK(BM_PostingsIntersect)->Arg(1000)->Arg(50000);
+
+void BM_PostingsUnion(benchmark::State& state) {
+  const std::vector<std::vector<Posting>> lists = {
+      MakePostings(state.range(0), 3, 10),
+      MakePostings(state.range(0), 4, 10),
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UnionPostings(lists));
+  }
+}
+BENCHMARK(BM_PostingsUnion)->Arg(1000)->Arg(50000);
+
+// Fixture-style benchmark: metadata DB point lookups and thread builds.
+class MetadataDbBench {
+ public:
+  static MetadataDbBench& Instance() {
+    static MetadataDbBench* bench = new MetadataDbBench();
+    return *bench;
+  }
+
+  MetadataDb& db() { return *db_; }
+
+ private:
+  MetadataDbBench() {
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("tklus_bench_meta_" + std::to_string(::getpid()) + ".db"))
+            .string();
+    auto db = MetadataDb::Create(path);
+    db_ = std::move(*db);
+    Rng rng(7);
+    for (int64_t sid = 1; sid <= 100000; ++sid) {
+      const bool reply = sid > 100 && rng.Bernoulli(0.35);
+      const int64_t rsid =
+          reply ? rng.UniformInt(int64_t{1}, sid - 1) : TweetMeta::kNone;
+      (void)db_->Insert(TweetMeta{sid, rng.UniformInt(int64_t{1}, int64_t{2000}),
+                                  rng.Uniform(-80, 80), rng.Uniform(-170, 170),
+                                  reply ? int64_t{1} : TweetMeta::kNone,
+                                  rsid});
+    }
+  }
+
+  std::unique_ptr<MetadataDb> db_;
+};
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  auto& db = MetadataDbBench::Instance().db();
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.SelectBySid(rng.UniformInt(int64_t{1}, int64_t{100000})));
+  }
+}
+BENCHMARK(BM_BPlusTreeLookup);
+
+void BM_SelectByRsid(benchmark::State& state) {
+  auto& db = MetadataDbBench::Instance().db();
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.SelectByRsid(rng.UniformInt(int64_t{1}, int64_t{1000})));
+  }
+}
+BENCHMARK(BM_SelectByRsid);
+
+void BM_ThreadConstruction(benchmark::State& state) {
+  auto& db = MetadataDbBench::Instance().db();
+  ThreadBuilder builder(&db,
+                        ThreadBuilder::Options{static_cast<int>(state.range(0)),
+                                               0.1});
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        builder.Popularity(rng.UniformInt(int64_t{1}, int64_t{1000})));
+  }
+}
+BENCHMARK(BM_ThreadConstruction)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+}  // namespace tklus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+// Table II: top-10 frequent keywords of the corpus. The paper's Table II
+// lists restaurant, game, cafe, shop, hotel, club, coffee, film, pizza,
+// mall; the generator plants the same head (stemmed forms are printed).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+int main() {
+  using namespace tklus;
+  bench::Banner("Table II — top-10 frequent keywords",
+                "head of the term distribution: restaurant, game, cafe, "
+                "shop, hotel, club, coffee, film, pizza, mall");
+  const auto corpus = bench::MakeCorpus(bench::ScaleFromEnv());
+  const Vocabulary vocab = corpus.dataset.BuildVocabulary(Tokenizer());
+  std::printf("%-5s %-16s %s\n", "rank", "keyword(stem)", "frequency");
+  int rank = 1;
+  for (const auto& [term, freq] : vocab.TopTerms(10)) {
+    std::printf("%-5d %-16s %llu\n", rank++, term.c_str(),
+                static_cast<unsigned long long>(freq));
+  }
+  std::printf("\nvocabulary: %zu distinct terms, %llu occurrences\n",
+              vocab.size(),
+              static_cast<unsigned long long>(vocab.total_occurrences()));
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Table IV: geohash encoding length example for the coordinate
+// (-23.994140625, -46.23046875) — the paper's own worked example, which
+// must produce "6", "6g", "6gx", "6gxp" at lengths 1..4.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "geo/geohash.h"
+
+int main() {
+  using namespace tklus;
+  bench::Banner("Table IV — geohash encoding length example",
+                "(-23.994140625, -46.23046875) encodes to 6 / 6g / 6gx / "
+                "6gxp at lengths 1-4");
+  const GeoPoint p{-23.994140625, -46.23046875};
+  std::printf("%-8s %-10s %-14s %s\n", "length", "geohash", "cell diag km",
+              "cell box");
+  for (int length = 1; length <= 6; ++length) {
+    const std::string hash = geohash::Encode(p, length);
+    auto box = geohash::DecodeBox(hash);
+    std::printf("%-8d %-10s %-14.2f [%.4f,%.4f]x[%.4f,%.4f]\n", length,
+                hash.c_str(), geohash::CellDiagonalKm(length, p.lat),
+                box->min_lat, box->max_lat, box->min_lon, box->max_lon);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Friend recommendation (§I lists it as a TkLUS application): for a user
+// who just moved to a new neighbourhood, recommend nearby users who are
+// active and influential about the newcomer's interests, then show the
+// social-network evidence (reply/forward edges, Def. 2) behind each
+// recommendation.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "datagen/tweet_generator.h"
+#include "social/social_graph.h"
+
+using tklus::GeoPoint;
+using tklus::SocialGraph;
+using tklus::TkLusEngine;
+using tklus::TkLusQuery;
+using tklus::UserId;
+using tklus::datagen::TweetGenerator;
+
+int main() {
+  TweetGenerator::Options gen;
+  gen.num_tweets = 30000;
+  gen.num_users = 1000;
+  gen.num_cities = 6;
+  std::printf("generating %zu tweets...\n", gen.num_tweets);
+  const auto corpus = TweetGenerator::Generate(gen);
+
+  auto engine = TkLusEngine::Build(corpus.dataset);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  const SocialGraph graph = SocialGraph::Build(corpus.dataset);
+
+  // The newcomer moved near Paris's centre and is into film and concerts.
+  const GeoPoint home{48.8566, 2.3522};
+  TkLusQuery query;
+  query.location = home;
+  query.radius_km = 12.0;
+  query.keywords = {"film", "concert"};
+  query.semantics = tklus::Semantics::kOr;
+  query.ranking = tklus::Ranking::kMax;  // favour locally influential users
+  query.k = 5;
+
+  auto result = (*engine)->Query(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nfriend recommendations near Paris for {film, concert}:\n");
+  for (const auto& user : result->users) {
+    // Social evidence: how many distinct users engaged with them.
+    size_t repliers = 0, forwards = 0;
+    for (const UserId other : graph.users()) {
+      if (graph.HasReplyEdge(other, user.uid)) ++repliers;
+      if (graph.HasForwardEdge(other, user.uid)) ++forwards;
+    }
+    std::printf(
+        "  user %-6lld score %.4f — replied to by %zu users, forwarded by "
+        "%zu\n",
+        static_cast<long long>(user.uid), user.score, repliers, forwards);
+  }
+  std::printf("\n%zu candidate tweets considered, %zu thread constructions "
+              "pruned by the Alg. 5 bound\n",
+              result->stats.candidates, result->stats.threads_pruned);
+  return 0;
+}

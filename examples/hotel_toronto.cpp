@@ -1,0 +1,104 @@
+// The paper's running example (Fig. 1 / Table I): seven "hotel" tweets
+// around Toronto, queried at (43.6839128037, -79.37356590) with r = 10 km.
+// Shows how the two ranking functions disagree: Sum favours u1 (two
+// relevant tweets close to the query), Max favours u5 (one tweet with a
+// far more popular thread).
+#include <cstdio>
+
+#include "core/engine.h"
+#include "model/dataset.h"
+
+using tklus::Dataset;
+using tklus::GeoPoint;
+using tklus::Post;
+using tklus::Ranking;
+using tklus::TkLusEngine;
+using tklus::TkLusQuery;
+
+namespace {
+
+Dataset PaperExampleDataset() {
+  Dataset ds;
+  const auto add = [&ds](int64_t sid, int64_t uid, double lat, double lon,
+                         const char* text, int64_t rsid = tklus::kNoId,
+                         int64_t ruid = tklus::kNoId) {
+    Post p;
+    p.sid = sid;
+    p.uid = uid;
+    p.location = GeoPoint{lat, lon};
+    p.text = text;
+    p.rsid = rsid;
+    p.ruid = ruid;
+    ds.Add(std::move(p));
+  };
+  // Table I tweets A..G (locations consistent with Fig. 1).
+  add(101, 1, 43.69290, -79.37357,
+      "I'm at Toronto Marriott Bloor Yorkville Hotel");                // A
+  add(102, 2, 43.662, -79.380, "Finally Toronto (at Clarion Hotel)."); // B
+  add(103, 3, 43.672, -79.389, "I'm at Four Seasons Hotel Toronto.");  // C
+  add(104, 4, 43.672, -79.390,
+      "Veal, lemon ricotta gnocchi @ Four Seasons Hotel Toronto.");    // D
+  add(105, 5, 43.70189, -79.37357,
+      "And that was the best massage I've ever had. (@ The Spa at Four "
+      "Seasons Hotel Toronto)");                                       // E
+  add(106, 6, 43.672, -79.388,
+      "Saturday night steez #fashion #style #ootd #toronto #saturday "
+      "#party #outfit @ Four Seasons Hotel Toronto.");                 // F
+  add(107, 1, 43.69290, -79.37357,
+      "Marriott Bloor Yorkville Hotel is a perfect place to stay.");   // G
+  // Reply threads: A gets 5 replies, G gets 12, E gets 23 ("u5's tweet E
+  // has considerably more replies and forwards than other tweets").
+  int64_t sid = 200;
+  int64_t replier = 50;
+  for (int i = 0; i < 5; ++i) {
+    add(sid++, replier++, 43.684, -79.374, "looks great", 101, 1);
+  }
+  for (int i = 0; i < 12; ++i) {
+    add(sid++, replier++, 43.684, -79.374, "so true", 107, 1);
+  }
+  for (int i = 0; i < 23; ++i) {
+    add(sid++, replier++, 43.684, -79.374, "wonderful place", 105, 5);
+  }
+  return ds;
+}
+
+void RunAndPrint(TkLusEngine& engine, Ranking ranking, const char* label) {
+  TkLusQuery query;
+  query.location = GeoPoint{43.6839128037, -79.37356590};
+  query.radius_km = 10.0;
+  query.keywords = {"hotel"};
+  query.k = 3;
+  query.ranking = ranking;
+  auto result = engine.Query(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s ranking:\n", label);
+  int rank = 1;
+  for (const auto& user : result->users) {
+    std::printf("  #%d  user u%lld  score %.4f\n", rank++,
+                static_cast<long long>(user.uid), user.score);
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto engine = TkLusEngine::Build(PaperExampleDataset());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "TkLUS query: keyword \"hotel\", r = 10 km, at (43.6839, -79.3736)\n\n");
+  RunAndPrint(**engine, Ranking::kSum, "Sum Score (Def. 7)");
+  std::printf("\n");
+  RunAndPrint(**engine, Ranking::kMax, "Maximum Score (Def. 8)");
+  std::printf(
+      "\nAs in the paper: Sum ranks u1 first (two relevant tweets near the\n"
+      "query), Max ranks u5 first (tweet E leads the most popular thread).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The introduction's motivating scenario: "Are there any good babysitters
+// in Seoul?" — a location-dependent social search answered by finding
+// local users rather than raw tweets. Runs against a synthetic corpus with
+// planted local experts and checks the returned users against the
+// generator's ground truth.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "datagen/relevance_oracle.h"
+#include "datagen/tweet_generator.h"
+
+using tklus::GeoPoint;
+using tklus::TkLusEngine;
+using tklus::TkLusQuery;
+using tklus::datagen::RelevanceOracle;
+using tklus::datagen::TweetGenerator;
+
+int main() {
+  // A mid-size synthetic corpus; city 5 in the built-in table is Seoul.
+  TweetGenerator::Options gen;
+  gen.num_tweets = 40000;
+  gen.num_users = 1200;
+  gen.num_cities = 8;
+  gen.experts_per_city = 10;
+  std::printf("generating %zu tweets across %d cities...\n", gen.num_tweets,
+              gen.num_cities);
+  auto corpus = TweetGenerator::Generate(gen);
+
+  std::printf("building engine (metadata DB + hybrid index)...\n");
+  auto engine = TkLusEngine::Build(corpus.dataset);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Ask for local "cafe" experts in Seoul (the generator's topic list is
+  // POI-flavoured; "babysitter" stands in for any expertise keyword).
+  const GeoPoint seoul{37.5665, 126.9780};
+  TkLusQuery query;
+  query.location = seoul;
+  query.radius_km = 15.0;
+  query.keywords = {"cafe"};
+  query.k = 10;
+  query.ranking = tklus::Ranking::kSum;
+
+  auto result = (*engine)->Query(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  RelevanceOracle oracle(&corpus);
+  std::printf("\ntop-%d local users for \"%s\" within %.0f km of Seoul:\n",
+              query.k, query.keywords[0].c_str(), query.radius_km);
+  int rank = 1;
+  for (const auto& user : result->users) {
+    std::printf("  #%-2d user %-6lld score %.4f  %s\n", rank++,
+                static_cast<long long>(user.uid), user.score,
+                oracle.TrulyRelevant(user.uid, query)
+                    ? "<- planted local expert"
+                    : "");
+  }
+  std::printf("\nprecision vs planted ground truth: %.2f\n",
+              oracle.TruePrecision(result->UserIds(), query));
+  std::printf("query took %.2f ms over %zu candidate tweets\n",
+              result->stats.elapsed_ms, result->stats.candidates);
+  return 0;
+}

@@ -1,0 +1,31 @@
+#ifndef TKLUS_BASELINE_CENTRALIZED_BUILDER_H_
+#define TKLUS_BASELINE_CENTRALIZED_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "model/dataset.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+
+// A single-threaded, single-machine spatial-keyword inverted index
+// builder: the same <geohash, term> -> postings output as the hybrid
+// index, constructed without MapReduce. It stands in for the centralized
+// comparators of Figure 5 (I-cubed [25] and the IR-tree family), whose
+// published construction times the paper contrasts with its distributed
+// builder; see DESIGN.md §2 for the substitution rationale.
+struct CentralizedBuildResult {
+  double seconds = 0;
+  uint64_t postings_lists = 0;
+  uint64_t postings_entries = 0;
+  uint64_t encoded_bytes = 0;
+};
+
+CentralizedBuildResult BuildCentralizedIndex(const Dataset& dataset,
+                                             int geohash_length,
+                                             const TokenizerOptions& options);
+
+}  // namespace tklus
+
+#endif  // TKLUS_BASELINE_CENTRALIZED_BUILDER_H_

@@ -1,0 +1,130 @@
+#include "baseline/irtree.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "baseline/rtree_node.h"
+#include "geo/distance.h"
+
+namespace tklus {
+
+IRTree::IRTree(const Dataset* dataset, Options options)
+    : dataset_(dataset),
+      options_(options),
+      tokenizer_(options.tokenizer),
+      rtree_(options.max_entries) {
+  post_terms_.reserve(dataset_->size());
+  for (size_t i = 0; i < dataset_->size(); ++i) {
+    const Post& p = dataset_->posts()[i];
+    const auto freqs = tokenizer_.TermFrequencies(p.text);
+    post_terms_.emplace_back(freqs.begin(), freqs.end());
+    if (p.HasLocation()) {
+      rtree_.Insert(p.location, i);
+    }
+  }
+  AnnotateSubtree(rtree_.root_.get());
+}
+
+void IRTree::AnnotateSubtree(void* node_ptr) {
+  auto* node = static_cast<RTree::Node*>(node_ptr);
+  node->inverted_file.clear();
+  if (node->is_leaf) {
+    for (size_t e = 0; e < node->entries.size(); ++e) {
+      const size_t post_idx = node->entries[e].id;
+      for (const auto& [term, tf] : post_terms_[post_idx]) {
+        node->inverted_file[term].emplace_back(static_cast<int>(e), tf);
+      }
+    }
+  } else {
+    for (size_t c = 0; c < node->children.size(); ++c) {
+      AnnotateSubtree(node->children[c].get());
+      for (const auto& [term, postings] :
+           node->children[c]->inverted_file) {
+        auto& list = node->inverted_file[term];
+        if (list.empty() || list.back().first != static_cast<int>(c)) {
+          // tf at internal level: total occurrences in the subtree.
+          int total = 0;
+          for (const auto& [idx, tf] : postings) total += tf;
+          list.emplace_back(static_cast<int>(c), total);
+        }
+      }
+    }
+  }
+  inverted_entries_ += node->inverted_file.size();
+}
+
+std::vector<size_t> IRTree::RangeKeywordQuery(
+    const GeoPoint& center, double radius_km,
+    const std::vector<std::string>& raw_terms, Semantics semantics) const {
+  std::vector<size_t> out;
+  last_nodes_visited_ = 0;
+  // Normalize the query keywords into the indexed term space (lowercase,
+  // stemmed, stop words dropped), deduplicated.
+  std::vector<std::string> terms;
+  for (const std::string& keyword : raw_terms) {
+    for (std::string& term : tokenizer_.Tokenize(keyword)) {
+      if (std::find(terms.begin(), terms.end(), term) == terms.end()) {
+        terms.push_back(std::move(term));
+      }
+    }
+  }
+  if (terms.empty()) return out;
+  std::vector<const RTree::Node*> stack{rtree_.root_.get()};
+  while (!stack.empty()) {
+    const RTree::Node* node = stack.back();
+    stack.pop_back();
+    ++last_nodes_visited_;
+    if (node->mbr.min_lat > node->mbr.max_lat) continue;  // empty
+    if (MinDistanceKm(node->mbr, center) > radius_km) continue;
+
+    if (node->is_leaf) {
+      for (size_t e = 0; e < node->entries.size(); ++e) {
+        const RTree::Entry& entry = node->entries[e];
+        if (EuclideanKm(entry.point, center) > radius_km) continue;
+        size_t matched = 0;
+        for (const std::string& term : terms) {
+          const auto it = node->inverted_file.find(term);
+          if (it == node->inverted_file.end()) continue;
+          for (const auto& [idx, tf] : it->second) {
+            if (idx == static_cast<int>(e)) {
+              ++matched;
+              break;
+            }
+          }
+        }
+        const bool match = semantics == Semantics::kAnd
+                               ? matched == terms.size()
+                               : matched > 0;
+        if (match) out.push_back(entry.id);
+      }
+    } else {
+      // Children admissible under the keyword predicate: AND requires the
+      // child subtree to contain every term, OR any term.
+      std::vector<bool> admissible(node->children.size(),
+                                   semantics == Semantics::kAnd);
+      for (const std::string& term : terms) {
+        const auto it = node->inverted_file.find(term);
+        std::vector<bool> has(node->children.size(), false);
+        if (it != node->inverted_file.end()) {
+          for (const auto& [child_idx, tf] : it->second) {
+            has[child_idx] = true;
+          }
+        }
+        for (size_t c = 0; c < node->children.size(); ++c) {
+          if (semantics == Semantics::kAnd) {
+            admissible[c] = admissible[c] && has[c];
+          } else {
+            admissible[c] = admissible[c] || has[c];
+          }
+        }
+      }
+      for (size_t c = 0; c < node->children.size(); ++c) {
+        if (admissible[c]) stack.push_back(node->children[c].get());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tklus

@@ -1,0 +1,64 @@
+#ifndef TKLUS_BASELINE_IRTREE_H_
+#define TKLUS_BASELINE_IRTREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/rtree.h"
+#include "core/query.h"
+#include "model/dataset.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+
+// A centralized IR-tree baseline (Cong et al. [5], Li et al. [14]): an
+// R-tree whose every node carries an inverted file. Internal-node inverted
+// files map a term to the children whose subtrees contain it, so search
+// descends only into subtrees that can satisfy the keyword predicate and
+// whose MBR intersects the query circle. This is the classical
+// spatial-keyword comparator class the paper positions the hybrid index
+// against (§VII-A).
+class IRTree {
+ public:
+  struct Options {
+    int max_entries = 32;
+    TokenizerOptions tokenizer;
+  };
+
+  // Builds the tree over every post in `dataset` (ids = post indices).
+  IRTree(const Dataset* dataset, Options options);
+  explicit IRTree(const Dataset* dataset) : IRTree(dataset, Options{}) {}
+
+  // Post indices within `radius_km` of `center` matching `terms`
+  // (normalized) under the given semantics. The traversal prunes subtrees
+  // lacking a required term.
+  std::vector<size_t> RangeKeywordQuery(const GeoPoint& center,
+                                        double radius_km,
+                                        const std::vector<std::string>& terms,
+                                        Semantics semantics) const;
+
+  // Total (term -> entry) pairs across all node inverted files — the
+  // storage-overhead figure of the IR-tree family.
+  size_t inverted_entry_count() const { return inverted_entries_; }
+  const RTree& rtree() const { return rtree_; }
+
+  // Nodes whose inverted file was consulted in the last query (traversal
+  // cost metric; not thread-safe, like the rest of this baseline).
+  size_t last_nodes_visited() const { return last_nodes_visited_; }
+
+ private:
+  void AnnotateSubtree(void* node);
+
+  const Dataset* dataset_;
+  Options options_;
+  Tokenizer tokenizer_;
+  RTree rtree_;
+  std::vector<std::vector<std::pair<std::string, int>>> post_terms_;
+  size_t inverted_entries_ = 0;
+  mutable size_t last_nodes_visited_ = 0;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_BASELINE_IRTREE_H_

@@ -1,0 +1,147 @@
+#include "baseline/naive_scan.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "geo/distance.h"
+#include "social/thread_builder.h"
+
+namespace tklus {
+
+NaiveScanner::NaiveScanner(const Dataset* dataset, Options options)
+    : dataset_(dataset),
+      options_(options),
+      tokenizer_(options.tokenizer),
+      graph_(SocialGraph::Build(*dataset)) {
+  post_terms_.reserve(dataset_->size());
+  for (const Post& p : dataset_->posts()) {
+    post_terms_.push_back(tokenizer_.TermFrequencies(p.text));
+    if (p.HasLocation()) {
+      user_locations_[p.uid].push_back(p.location);
+    }
+  }
+}
+
+QueryResult NaiveScanner::Process(const TkLusQuery& query) const {
+  // Keyword-match pass over every post (condition 1 of the problem
+  // definition: p.W ∩ q.W != ∅ / all keywords for AND).
+  std::vector<std::string> terms;
+  for (const std::string& keyword : query.keywords) {
+    for (std::string& term : tokenizer_.Tokenize(keyword)) {
+      if (std::find(terms.begin(), terms.end(), term) == terms.end()) {
+        terms.push_back(std::move(term));
+      }
+    }
+  }
+  std::vector<size_t> candidates;
+  if (!terms.empty()) {
+    for (size_t i = 0; i < dataset_->size(); ++i) {
+      const auto& bag = post_terms_[i];
+      size_t matched_terms = 0;
+      for (const std::string& term : terms) {
+        if (bag.count(term)) ++matched_terms;
+      }
+      const bool match = query.semantics == Semantics::kAnd
+                             ? matched_terms == terms.size()
+                             : matched_terms > 0;
+      if (match) candidates.push_back(i);
+    }
+  }
+  return RankCandidates(query, candidates);
+}
+
+QueryResult NaiveScanner::RankCandidates(
+    const TkLusQuery& query, const std::vector<size_t>& post_indices) const {
+  Stopwatch timer;
+  QueryResult result;
+  result.stats.candidates = post_indices.size();
+
+  std::vector<std::string> terms;
+  for (const std::string& keyword : query.keywords) {
+    for (std::string& term : tokenizer_.Tokenize(keyword)) {
+      if (std::find(terms.begin(), terms.end(), term) == terms.end()) {
+        terms.push_back(std::move(term));
+      }
+    }
+  }
+
+  struct UserState {
+    double rho_sum = 0.0;
+    double rho_max = 0.0;
+    size_t matched = 0;
+    TweetId best_tweet = 0;
+  };
+  std::unordered_map<UserId, UserState> users;
+  const auto& children = graph_.children();
+
+  for (const size_t i : post_indices) {
+    const Post& post = dataset_->posts()[i];
+    if (!post.HasLocation()) continue;
+    if (!query.temporal.InWindow(post.sid)) continue;
+    const double dist = EuclideanKm(post.location, query.location);
+    if (dist > query.radius_km) continue;
+    ++result.stats.within_radius;
+    UserState& state = users[post.uid];
+    ++state.matched;
+
+    uint32_t matched = 0;
+    const auto& bag = post_terms_[i];
+    for (const std::string& term : terms) {
+      const auto it = bag.find(term);
+      if (it != bag.end()) matched += static_cast<uint32_t>(it->second);
+    }
+    if (matched == 0) continue;
+    const ThreadShape shape =
+        BuildShapeInMemory(children, post.sid, options_.thread_depth);
+    ++result.stats.threads_built;
+    const double popularity =
+        ThreadPopularity(shape, options_.scoring.epsilon);
+    double rho = KeywordRelevance(matched, popularity, options_.scoring);
+    if (query.temporal.half_life.has_value() &&
+        query.temporal.reference.has_value()) {
+      rho *= RecencyWeight(post.sid, *query.temporal.reference,
+                           *query.temporal.half_life);
+    }
+    state.rho_sum += rho;
+    if (rho > state.rho_max) {
+      state.rho_max = rho;
+      state.best_tweet = post.sid;
+    }
+  }
+
+  std::vector<RankedUser> ranked;
+  ranked.reserve(users.size());
+  for (const auto& [uid, state] : users) {
+    // Def. 9: average distance score over every post of the user.
+    double delta_user = 0.0;
+    const auto it = user_locations_.find(uid);
+    if (it != user_locations_.end() && !it->second.empty()) {
+      for (const GeoPoint& location : it->second) {
+        delta_user +=
+            DistanceScore(location, query.location, query.radius_km);
+      }
+      delta_user /= static_cast<double>(it->second.size());
+    }
+    const double rho =
+        query.ranking == Ranking::kSum ? state.rho_sum : state.rho_max;
+    RankedUser user;
+    user.uid = uid;
+    user.score = UserScore(rho, delta_user, options_.scoring);
+    if (query.explain) {
+      user.why = UserScoreBreakdown{rho, delta_user, state.matched,
+                                    state.best_tweet, state.rho_max};
+    }
+    ranked.push_back(std::move(user));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedUser& a, const RankedUser& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.uid < b.uid;
+            });
+  if (static_cast<int>(ranked.size()) > query.k) ranked.resize(query.k);
+  result.users = std::move(ranked);
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace tklus

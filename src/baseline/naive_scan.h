@@ -1,0 +1,57 @@
+#ifndef TKLUS_BASELINE_NAIVE_SCAN_H_
+#define TKLUS_BASELINE_NAIVE_SCAN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+#include "core/scoring.h"
+#include "model/dataset.h"
+#include "social/social_graph.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+
+// Brute-force in-memory TkLUS evaluation: scans every post, applies the
+// same Definitions 4-10 as the indexed pipeline, never prunes. It is the
+// correctness oracle the index-based QueryProcessor is tested against, and
+// the "no index" baseline in benchmarks.
+class NaiveScanner {
+ public:
+  struct Options {
+    ScoringParams scoring;
+    int thread_depth = 6;
+    TokenizerOptions tokenizer;
+  };
+
+  NaiveScanner(const Dataset* dataset, Options options);
+  explicit NaiveScanner(const Dataset* dataset)
+      : NaiveScanner(dataset, Options{}) {}
+
+  QueryResult Process(const TkLusQuery& query) const;
+
+  // Exposed for sharing with the IR-tree baseline: score the given
+  // candidate post indices (already keyword-matched) for a query.
+  QueryResult RankCandidates(const TkLusQuery& query,
+                             const std::vector<size_t>& post_indices) const;
+
+  // Term-frequency bag of post i (tokenized once at construction).
+  const std::unordered_map<std::string, int>& PostTerms(size_t i) const {
+    return post_terms_[i];
+  }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+
+ private:
+  const Dataset* dataset_;
+  Options options_;
+  Tokenizer tokenizer_;
+  SocialGraph graph_;
+  std::vector<std::unordered_map<std::string, int>> post_terms_;
+  std::unordered_map<UserId, std::vector<GeoPoint>> user_locations_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_BASELINE_NAIVE_SCAN_H_

@@ -1,0 +1,298 @@
+#include "baseline/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baseline/rtree_node.h"
+#include "geo/distance.h"
+
+namespace tklus {
+
+namespace {
+
+double Area(const BoundingBox& box) {
+  const double lat_span = std::max(0.0, box.max_lat - box.min_lat);
+  const double lon_span = std::max(0.0, box.max_lon - box.min_lon);
+  return lat_span * lon_span;
+}
+
+BoundingBox Extend(const BoundingBox& box, const GeoPoint& p) {
+  BoundingBox out = box;
+  out.min_lat = std::min(out.min_lat, p.lat);
+  out.max_lat = std::max(out.max_lat, p.lat);
+  out.min_lon = std::min(out.min_lon, p.lon);
+  out.max_lon = std::max(out.max_lon, p.lon);
+  return out;
+}
+
+bool EmptyBox(const BoundingBox& box) {
+  return box.min_lat > box.max_lat || box.min_lon > box.max_lon;
+}
+
+double Enlargement(const BoundingBox& box, const GeoPoint& p) {
+  if (EmptyBox(box)) return 0.0;
+  return Area(Extend(box, p)) - Area(box);
+}
+
+}  // namespace
+
+RTree::RTree(int max_entries)
+    : root_(std::make_unique<Node>()), max_entries_(std::max(4, max_entries)) {}
+
+RTree::~RTree() = default;
+
+RTree::Node* RTree::ChooseLeaf(Node* node, const GeoPoint& point) const {
+  while (!node->is_leaf) {
+    Node* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (const auto& child : node->children) {
+      const double enlargement = Enlargement(child->mbr, point);
+      const double area = Area(child->mbr);
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = child.get();
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    node = best;
+  }
+  return node;
+}
+
+void RTree::Insert(const GeoPoint& point, uint64_t id) {
+  Node* leaf = ChooseLeaf(root_.get(), point);
+  leaf->entries.push_back(Entry{point, id});
+  leaf->GrowMbr(point);
+  ++size_;
+  if (static_cast<int>(leaf->entries.size()) > max_entries_) {
+    SplitNode(leaf);
+  } else {
+    AdjustUpward(leaf->parent);
+  }
+}
+
+void RTree::AdjustUpward(Node* node) {
+  while (node != nullptr) {
+    BoundingBox box{90.0, -90.0, 180.0, -180.0};
+    Node wrapper;
+    wrapper.mbr = box;
+    for (const auto& child : node->children) {
+      wrapper.GrowMbr(child->mbr);
+    }
+    node->mbr = wrapper.mbr;
+    node = node->parent;
+  }
+}
+
+void RTree::SplitNode(Node* node) {
+  while (true) {
+    // Collect the items to redistribute.
+    const bool leaf = node->is_leaf;
+    auto new_node = std::make_unique<Node>();
+    new_node->is_leaf = leaf;
+
+    if (leaf) {
+      // Quadratic split on point entries: pick the two seeds wasting the
+      // most area, then assign by least enlargement.
+      auto& items = node->entries;
+      size_t seed_a = 0, seed_b = 1;
+      double worst = -1.0;
+      for (size_t i = 0; i < items.size(); ++i) {
+        for (size_t j = i + 1; j < items.size(); ++j) {
+          BoundingBox pair_box{90.0, -90.0, 180.0, -180.0};
+          pair_box = Extend(pair_box, items[i].point);
+          pair_box = Extend(pair_box, items[j].point);
+          const double waste = Area(pair_box);
+          if (waste > worst) {
+            worst = waste;
+            seed_a = i;
+            seed_b = j;
+          }
+        }
+      }
+      std::vector<Entry> all = std::move(items);
+      items.clear();
+      node->mbr = BoundingBox{90.0, -90.0, 180.0, -180.0};
+      new_node->mbr = BoundingBox{90.0, -90.0, 180.0, -180.0};
+      node->entries.push_back(all[seed_a]);
+      node->GrowMbr(all[seed_a].point);
+      new_node->entries.push_back(all[seed_b]);
+      new_node->GrowMbr(all[seed_b].point);
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (i == seed_a || i == seed_b) continue;
+        const double grow_old = Enlargement(node->mbr, all[i].point);
+        const double grow_new = Enlargement(new_node->mbr, all[i].point);
+        Node* target =
+            grow_old <= grow_new ? node : new_node.get();
+        // Keep sizes balanced enough to respect min fill.
+        if (node->entries.size() > all.size() - max_entries_ / 2) {
+          target = new_node.get();
+        } else if (new_node->entries.size() > all.size() - max_entries_ / 2) {
+          target = node;
+        }
+        target->entries.push_back(all[i]);
+        target->GrowMbr(all[i].point);
+      }
+    } else {
+      // Internal split: same quadratic strategy over child MBR centers.
+      auto all = std::move(node->children);
+      node->children.clear();
+      size_t seed_a = 0, seed_b = 1;
+      double worst = -1.0;
+      for (size_t i = 0; i < all.size(); ++i) {
+        for (size_t j = i + 1; j < all.size(); ++j) {
+          const BoundingBox combined = all[i]->mbr.Union(all[j]->mbr);
+          const double waste = Area(combined);
+          if (waste > worst) {
+            worst = waste;
+            seed_a = i;
+            seed_b = j;
+          }
+        }
+      }
+      node->mbr = BoundingBox{90.0, -90.0, 180.0, -180.0};
+      new_node->mbr = BoundingBox{90.0, -90.0, 180.0, -180.0};
+      // Move seeds first (order matters: move higher index first).
+      std::vector<std::unique_ptr<Node>> rest;
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (i == seed_a) {
+          all[i]->parent = node;
+          node->GrowMbr(all[i]->mbr);
+          node->children.push_back(std::move(all[i]));
+        } else if (i == seed_b) {
+          all[i]->parent = new_node.get();
+          new_node->GrowMbr(all[i]->mbr);
+          new_node->children.push_back(std::move(all[i]));
+        } else {
+          rest.push_back(std::move(all[i]));
+        }
+      }
+      for (auto& child : rest) {
+        const double area_old = Area(node->mbr.Union(child->mbr)) -
+                                Area(node->mbr);
+        const double area_new = Area(new_node->mbr.Union(child->mbr)) -
+                                Area(new_node->mbr);
+        Node* target = area_old <= area_new ? node : new_node.get();
+        if (node->children.size() >
+            rest.size() + 2 - static_cast<size_t>(max_entries_ / 2)) {
+          target = new_node.get();
+        } else if (new_node->children.size() >
+                   rest.size() + 2 - static_cast<size_t>(max_entries_ / 2)) {
+          target = node;
+        }
+        child->parent = target;
+        target->GrowMbr(child->mbr);
+        target->children.push_back(std::move(child));
+      }
+    }
+
+    Node* parent = node->parent;
+    if (parent == nullptr) {
+      // Grow a new root.
+      auto new_root = std::make_unique<Node>();
+      new_root->is_leaf = false;
+      auto old_root = std::move(root_);
+      old_root->parent = new_root.get();
+      new_node->parent = new_root.get();
+      new_root->GrowMbr(old_root->mbr);
+      new_root->GrowMbr(new_node->mbr);
+      new_root->children.push_back(std::move(old_root));
+      new_root->children.push_back(std::move(new_node));
+      root_ = std::move(new_root);
+      return;
+    }
+    new_node->parent = parent;
+    parent->GrowMbr(new_node->mbr);
+    parent->children.push_back(std::move(new_node));
+    AdjustUpward(parent);
+    if (static_cast<int>(parent->children.size()) <= max_entries_) {
+      return;
+    }
+    node = parent;  // propagate the split upward
+  }
+}
+
+std::vector<RTree::Entry> RTree::RangeQuery(const GeoPoint& center,
+                                            double radius_km) const {
+  std::vector<Entry> out;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (EmptyBox(node->mbr) ||
+        MinDistanceKm(node->mbr, center) > radius_km) {
+      continue;
+    }
+    if (node->is_leaf) {
+      for (const Entry& e : node->entries) {
+        if (EuclideanKm(e.point, center) <= radius_km) out.push_back(e);
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+int RTree::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+size_t RTree::node_count() const {
+  size_t count = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
+  return count;
+}
+
+bool RTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  bool ok = true;
+  struct Frame {
+    const Node* node;
+    int depth;
+  };
+  std::vector<Frame> stack{{root_.get(), 0}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (node->is_leaf) {
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (depth != leaf_depth) ok = false;
+      for (const Entry& e : node->entries) {
+        if (!node->mbr.Contains(e.point)) ok = false;
+      }
+    } else {
+      if (node->children.empty()) ok = false;
+      for (const auto& child : node->children) {
+        if (child->parent != node) ok = false;
+        if (!EmptyBox(child->mbr)) {
+          if (child->mbr.min_lat < node->mbr.min_lat - 1e-12 ||
+              child->mbr.max_lat > node->mbr.max_lat + 1e-12 ||
+              child->mbr.min_lon < node->mbr.min_lon - 1e-12 ||
+              child->mbr.max_lon > node->mbr.max_lon + 1e-12) {
+            ok = false;
+          }
+        }
+        stack.push_back({child.get(), depth + 1});
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace tklus

@@ -1,0 +1,64 @@
+#ifndef TKLUS_BASELINE_RTREE_H_
+#define TKLUS_BASELINE_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace tklus {
+
+// A classic R-tree over points (Guttman, quadratic split), the spatial
+// backbone of the IR-tree family the paper compares against (§VII-A).
+class RTree {
+ public:
+  struct Entry {
+    GeoPoint point;
+    uint64_t id = 0;
+  };
+
+  struct NodeView {
+    BoundingBox mbr;
+    bool is_leaf = false;
+    int level = 0;
+  };
+
+  explicit RTree(int max_entries = 32);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+
+  void Insert(const GeoPoint& point, uint64_t id);
+
+  // All entries within `radius_km` of `center` (equirectangular metric).
+  std::vector<Entry> RangeQuery(const GeoPoint& center,
+                                double radius_km) const;
+
+  size_t size() const { return size_; }
+  int height() const;
+  size_t node_count() const;
+
+  // Invariant check for tests: every child MBR is contained in its parent
+  // MBR and every leaf is at the same depth.
+  bool CheckInvariants() const;
+
+ private:
+  friend class IRTree;
+  struct Node;
+
+  Node* ChooseLeaf(Node* node, const GeoPoint& point) const;
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+
+  std::unique_ptr<Node> root_;
+  int max_entries_;
+  size_t size_ = 0;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_BASELINE_RTREE_H_

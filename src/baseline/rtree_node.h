@@ -1,0 +1,44 @@
+#ifndef TKLUS_BASELINE_RTREE_NODE_H_
+#define TKLUS_BASELINE_RTREE_NODE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/rtree.h"
+
+namespace tklus {
+
+// Internal node structure shared between RTree and IRTree (which attaches
+// inverted files to nodes). Not part of the public API.
+struct RTree::Node {
+  BoundingBox mbr{90.0, -90.0, 180.0, -180.0};  // empty (inverted) box
+  Node* parent = nullptr;
+  std::vector<std::unique_ptr<Node>> children;  // internal
+  std::vector<Entry> entries;                   // leaf
+  bool is_leaf = true;
+
+  // IR-tree annotation: terms present in this subtree. For leaves, term ->
+  // per-entry term frequency aligned with `entries` index; for internal
+  // nodes, term -> child indices containing the term.
+  std::unordered_map<std::string, std::vector<std::pair<int, int>>>
+      inverted_file;
+
+  void GrowMbr(const GeoPoint& p) {
+    if (p.lat < mbr.min_lat) mbr.min_lat = p.lat;
+    if (p.lat > mbr.max_lat) mbr.max_lat = p.lat;
+    if (p.lon < mbr.min_lon) mbr.min_lon = p.lon;
+    if (p.lon > mbr.max_lon) mbr.max_lon = p.lon;
+  }
+  void GrowMbr(const BoundingBox& box) {
+    if (box.min_lat < mbr.min_lat) mbr.min_lat = box.min_lat;
+    if (box.max_lat > mbr.max_lat) mbr.max_lat = box.max_lat;
+    if (box.min_lon < mbr.min_lon) mbr.min_lon = box.min_lon;
+    if (box.max_lon > mbr.max_lon) mbr.max_lon = box.max_lon;
+  }
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_BASELINE_RTREE_NODE_H_

@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace tklus {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), file_(file), line_(line), fatal_(fatal) {}
+
+LogMessage::~LogMessage() {
+  if (fatal_ || level_ >= g_level.load()) {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    // Strip directories from __FILE__ for readability.
+    const char* base = file_;
+    for (const char* p = file_; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), base, line_,
+                 stream_.str().c_str());
+  }
+  if (fatal_) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace tklus

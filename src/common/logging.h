@@ -1,0 +1,55 @@
+#ifndef TKLUS_COMMON_LOGGING_H_
+#define TKLUS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tklus {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Stream-style log sink; emits on destruction. If `fatal`, aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace tklus
+
+#define TKLUS_LOG(level)                                                     \
+  ::tklus::internal_logging::LogMessage(::tklus::LogLevel::k##level,         \
+                                        __FILE__, __LINE__)
+
+// Invariant check that stays on in release builds.
+#define TKLUS_CHECK(cond)                                                    \
+  if (!(cond))                                                               \
+  ::tklus::internal_logging::LogMessage(::tklus::LogLevel::kError, __FILE__, \
+                                        __LINE__, /*fatal=*/true)            \
+      << "Check failed: " #cond " "
+
+#endif  // TKLUS_COMMON_LOGGING_H_

@@ -1,0 +1,101 @@
+#ifndef TKLUS_COMMON_RNG_H_
+#define TKLUS_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace tklus {
+
+// Deterministic xoshiro256** PRNG. Used everywhere instead of std::mt19937
+// so data generation is reproducible across standard libraries; all
+// experiments take explicit seeds.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding, per Blackman & Vigna's reference implementation.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = -n % n;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Standard normal via Box-Muller (single draw; the pair's second value is
+  // discarded for simplicity — generation speed is not a bottleneck here).
+  double Normal(double mean, double stddev);
+
+  // Geometric number of trials until first success, >= 1.
+  int Geometric(double p);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+// Implementation details only below here.
+
+inline double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; guard against log(0).
+  double u1 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(6.28318530717958647692 * u2);
+}
+
+inline int Rng::Geometric(double p) {
+  if (p >= 1.0) return 1;
+  if (p <= 0.0) return 1 << 20;  // effectively unbounded; callers cap depth
+  int n = 1;
+  while (!Bernoulli(p)) ++n;
+  return n;
+}
+
+}  // namespace tklus
+
+#endif  // TKLUS_COMMON_RNG_H_

@@ -1,0 +1,90 @@
+#ifndef TKLUS_COMMON_SERDE_H_
+#define TKLUS_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+
+namespace tklus {
+namespace serde {
+
+// Little-endian fixed-width binary primitives for the persistence formats
+// (DFS images, forward index, engine artifacts). Writers never fail on
+// their own (stream state is checked by the caller at the end); readers
+// return false on truncation.
+
+inline void WriteU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.write(buf, 8);
+}
+
+inline void WriteI64(std::ostream& out, int64_t v) {
+  WriteU64(out, static_cast<uint64_t>(v));
+}
+
+inline void WriteU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.write(buf, 4);
+}
+
+inline void WriteDouble(std::ostream& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.write(buf, 8);
+}
+
+inline void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline bool ReadU64(std::istream& in, uint64_t* v) {
+  char buf[8];
+  in.read(buf, 8);
+  if (in.gcount() != 8) return false;
+  std::memcpy(v, buf, 8);
+  return true;
+}
+
+inline bool ReadI64(std::istream& in, int64_t* v) {
+  uint64_t u;
+  if (!ReadU64(in, &u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+inline bool ReadU32(std::istream& in, uint32_t* v) {
+  char buf[4];
+  in.read(buf, 4);
+  if (in.gcount() != 4) return false;
+  std::memcpy(v, buf, 4);
+  return true;
+}
+
+inline bool ReadDouble(std::istream& in, double* v) {
+  char buf[8];
+  in.read(buf, 8);
+  if (in.gcount() != 8) return false;
+  std::memcpy(v, buf, 8);
+  return true;
+}
+
+inline bool ReadString(std::istream& in, std::string* s) {
+  uint64_t size;
+  if (!ReadU64(in, &size)) return false;
+  if (size > (1ULL << 32)) return false;  // corrupt length guard
+  s->resize(size);
+  in.read(s->data(), static_cast<std::streamsize>(size));
+  return static_cast<uint64_t>(in.gcount()) == size;
+}
+
+}  // namespace serde
+}  // namespace tklus
+
+#endif  // TKLUS_COMMON_SERDE_H_

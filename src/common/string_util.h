@@ -1,0 +1,28 @@
+#ifndef TKLUS_COMMON_STRING_UTIL_H_
+#define TKLUS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tklus {
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+// ASCII lowercase copy.
+std::string AsciiToLower(std::string_view s);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Human-readable byte count, e.g. "3.5 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace tklus
+
+#endif  // TKLUS_COMMON_STRING_UTIL_H_

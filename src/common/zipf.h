@@ -1,0 +1,55 @@
+#ifndef TKLUS_COMMON_ZIPF_H_
+#define TKLUS_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tklus {
+
+// Zipf-distributed sampler over ranks 0..n-1 with exponent s:
+// P(rank = i) ∝ 1 / (i + 1)^s. Uses an inverse-CDF table (O(log n) per
+// sample), which is exact and fast enough for corpus generation.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  size_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    // Binary search for the first cdf >= u.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+  // Probability mass of a rank (for tests).
+  double Pmf(size_t rank) const {
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_COMMON_ZIPF_H_

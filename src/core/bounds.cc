@@ -1,0 +1,64 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+
+#include "social/thread_builder.h"
+
+namespace tklus {
+
+UpperBoundRegistry UpperBoundRegistry::Build(const Dataset& dataset,
+                                             const SocialGraph& graph,
+                                             const Tokenizer& tokenizer,
+                                             Options options) {
+  UpperBoundRegistry registry;
+
+  // Hot keywords: the most frequent terms in the corpus (Table II).
+  const Vocabulary vocab = dataset.BuildVocabulary(tokenizer);
+  const auto top = vocab.TopTerms(options.num_hot_keywords);
+  for (const auto& [term, freq] : top) {
+    registry.hot_bounds_.emplace(term, 0.0);
+  }
+
+  // One offline pass: thread score per tweet; fold into global and
+  // per-term maxima.
+  const auto& children = graph.children();
+  for (const Post& post : dataset.posts()) {
+    const ThreadShape shape =
+        BuildShapeInMemory(children, post.sid, options.max_depth);
+    const double popularity = ThreadPopularity(shape, options.epsilon);
+    registry.global_bound_ = std::max(registry.global_bound_, popularity);
+    if (registry.hot_bounds_.empty()) continue;
+    for (const std::string& term : tokenizer.Tokenize(post.text)) {
+      const auto it = registry.hot_bounds_.find(term);
+      if (it != registry.hot_bounds_.end()) {
+        it->second = std::max(it->second, popularity);
+      }
+    }
+  }
+  return registry;
+}
+
+double UpperBoundRegistry::TermBound(const std::string& term) const {
+  const auto it = hot_bounds_.find(term);
+  return it == hot_bounds_.end() ? global_bound_ : it->second;
+}
+
+double UpperBoundRegistry::QueryBound(const std::vector<std::string>& terms,
+                                      bool conjunctive,
+                                      bool use_hot_bounds) const {
+  if (!use_hot_bounds || terms.empty()) return global_bound_;
+  double bound = conjunctive ? global_bound_ : 0.0;
+  bool any_hot = false;
+  for (const std::string& term : terms) {
+    const double term_bound = TermBound(term);
+    any_hot = any_hot || IsHotKeyword(term);
+    bound = conjunctive ? std::min(bound, term_bound)
+                        : std::max(bound, term_bound);
+  }
+  // "For queries without any hot keyword, global upper bound popularity is
+  // still used."
+  if (!any_hot) return global_bound_;
+  return bound;
+}
+
+}  // namespace tklus

@@ -1,0 +1,71 @@
+#ifndef TKLUS_CORE_BOUNDS_H_
+#define TKLUS_CORE_BOUNDS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/dataset.h"
+#include "social/social_graph.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+
+// Pre-computed upper bounds on thread popularity (§V-B): the exact global
+// maximum thread score, plus per-keyword ("hot keyword") maxima for the
+// most frequent terms — "for each top frequent keyword, a specific upper
+// bound popularity is pre-computed by offline constructing tweet threads
+// and selecting the largest thread score".
+class UpperBoundRegistry {
+ public:
+  struct Options {
+    size_t num_hot_keywords = 10;  // Table II size
+    int max_depth = 6;             // thread depth cap d
+    double epsilon = 0.1;
+  };
+
+  // Offline pass: constructs every tweet's thread in memory, records the
+  // global max popularity and per-hot-term maxima.
+  static UpperBoundRegistry Build(const Dataset& dataset,
+                                  const SocialGraph& graph,
+                                  const Tokenizer& tokenizer,
+                                  Options options);
+
+  // Rebuilds a registry from persisted values (engine Open path).
+  static UpperBoundRegistry FromParts(
+      double global_bound, std::unordered_map<std::string, double> hot) {
+    UpperBoundRegistry registry;
+    registry.global_bound_ = global_bound;
+    registry.hot_bounds_ = std::move(hot);
+    return registry;
+  }
+
+  // Exact global maximum thread popularity over the corpus.
+  double global_bound() const { return global_bound_; }
+
+  // Bound for one (normalized) term: its hot-keyword bound if maintained,
+  // else the global bound.
+  double TermBound(const std::string& term) const;
+  bool IsHotKeyword(const std::string& term) const {
+    return hot_bounds_.count(term) > 0;
+  }
+
+  // Query-level popularity bound (§VI-B5): AND takes the smallest term
+  // bound ("the upper bound popularity of 'Mexican'"), OR the largest.
+  // `use_hot_bounds` false reproduces the global-bound-only baseline of
+  // Fig. 12.
+  double QueryBound(const std::vector<std::string>& terms, bool conjunctive,
+                    bool use_hot_bounds) const;
+
+  const std::unordered_map<std::string, double>& hot_bounds() const {
+    return hot_bounds_;
+  }
+
+ private:
+  double global_bound_ = 0.0;
+  std::unordered_map<std::string, double> hot_bounds_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_CORE_BOUNDS_H_

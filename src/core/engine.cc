@@ -1,0 +1,324 @@
+#include "core/engine.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include "common/serde.h"
+
+#include "common/logging.h"
+
+namespace tklus {
+
+namespace {
+
+std::string MakeTempWorkingDir() {
+  static std::atomic<uint64_t> counter{0};
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("tklus_engine_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(counter.fetch_add(1)));
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
+    const Dataset& dataset, Options options) {
+  auto engine = std::unique_ptr<TkLusEngine>(new TkLusEngine());
+  if (options.working_dir.empty()) {
+    options.working_dir = MakeTempWorkingDir();
+    engine->owns_working_dir_ = true;
+  } else {
+    std::filesystem::create_directories(options.working_dir);
+  }
+  engine->options_ = options;
+
+  // Centralized metadata DB (Figure 3): one row per tweet, B+-trees on sid
+  // and rsid.
+  MetadataDb::Options db_options;
+  db_options.buffer_pool_pages = options.buffer_pool_pages;
+  auto db = MetadataDb::Create(options.working_dir + "/meta.db", db_options);
+  if (!db.ok()) return db.status();
+  engine->db_ = std::move(*db);
+  for (const Post& p : dataset.posts()) {
+    TKLUS_RETURN_IF_ERROR(engine->db_->Insert(TweetMeta{
+        p.sid, p.uid, p.location.lat, p.location.lon, p.ruid, p.rsid}));
+  }
+
+  // Hybrid index built with MapReduce into the simulated DFS.
+  engine->dfs_ = std::make_unique<SimulatedDfs>(options.dfs);
+  HybridIndex::Options index_options;
+  index_options.geohash_length = options.geohash_length;
+  index_options.mapreduce_workers = options.mapreduce_workers;
+  index_options.reduce_tasks = options.reduce_tasks;
+  index_options.tokenizer = options.tokenizer;
+  auto index = HybridIndex::Build(dataset, engine->dfs_.get(), index_options);
+  if (!index.ok()) return index.status();
+  engine->index_ = std::move(*index);
+
+  // Offline artifacts: social graph, corpus vocabulary, exact upper
+  // bounds (maintained incrementally by the thread tracker so later
+  // AppendBatch calls stay O(1) per post), per-user location profiles
+  // (Def. 9).
+  const Tokenizer tokenizer(options.tokenizer);
+  engine->graph_ = SocialGraph::Build(dataset);
+  engine->vocabulary_ = dataset.BuildVocabulary(tokenizer);
+  engine->tracker_ = ThreadTracker(ThreadTracker::Options{
+      options.thread_depth, options.scoring.epsilon});
+  std::vector<std::string> hot_stems;
+  for (const auto& [term, freq] :
+       engine->vocabulary_.TopTerms(options.num_hot_keywords)) {
+    hot_stems.push_back(term);
+  }
+  engine->tracker_.SetHotTerms(hot_stems);
+  // Track posts in timestamp order (parents precede replies).
+  std::vector<const Post*> ordered;
+  ordered.reserve(dataset.size());
+  for (const Post& p : dataset.posts()) ordered.push_back(&p);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Post* a, const Post* b) { return a->sid < b->sid; });
+  for (const Post* p : ordered) {
+    engine->tracker_.AddPost(*p, tokenizer.Tokenize(p->text));
+    engine->max_sid_ = std::max(engine->max_sid_, p->sid);
+    // Untagged posts carry no usable location; they still count for the
+    // social graph and thread popularity, but not for Def. 9.
+    if (p->HasLocation()) {
+      engine->user_locations_[p->uid].push_back(p->location);
+    }
+  }
+  engine->bounds_ = UpperBoundRegistry::FromParts(
+      engine->tracker_.global_bound(), engine->tracker_.HotBounds());
+
+  QueryProcessor::Options proc_options;
+  proc_options.scoring = options.scoring;
+  proc_options.thread_depth = options.thread_depth;
+  engine->processor_ = std::make_unique<QueryProcessor>(
+      engine->index_.get(), engine->db_.get(), &engine->bounds_,
+      &engine->user_locations_, tokenizer, proc_options);
+  return engine;
+}
+
+TkLusEngine::~TkLusEngine() {
+  // Release the DB file handle before removing the directory.
+  db_.reset();
+  if (owns_working_dir_) {
+    std::error_code ec;
+    std::filesystem::remove_all(options_.working_dir, ec);
+    if (ec) {
+      TKLUS_LOG(Warning) << "failed to remove working dir "
+                         << options_.working_dir << ": " << ec.message();
+    }
+  }
+}
+
+namespace {
+constexpr uint64_t kEngineMagic = 0x32656e69676e6554ULL;  // format v2
+}  // namespace
+
+Status TkLusEngine::AppendBatch(const Dataset& batch) {
+  const Tokenizer tokenizer(options_.tokenizer);
+  int64_t previous = max_sid_;
+  for (const Post& p : batch.posts()) {
+    if (p.sid <= previous) {
+      return Status::InvalidArgument(
+          "batch posts must be sorted with sids greater than all indexed "
+          "posts (sid " + std::to_string(p.sid) + " after " +
+          std::to_string(previous) + ")");
+    }
+    previous = p.sid;
+  }
+  for (const Post& p : batch.posts()) {
+    TKLUS_RETURN_IF_ERROR(db_->Insert(TweetMeta{
+        p.sid, p.uid, p.location.lat, p.location.lon, p.ruid, p.rsid}));
+    graph_.AddPost(p);
+    const std::vector<std::string> terms = tokenizer.Tokenize(p.text);
+    tracker_.AddPost(p, terms);
+    for (const std::string& term : terms) {
+      vocabulary_.Add(term);
+    }
+    if (p.HasLocation()) {
+      user_locations_[p.uid].push_back(p.location);
+    }
+    max_sid_ = std::max(max_sid_, p.sid);
+  }
+  TKLUS_RETURN_IF_ERROR(index_->AppendBatch(batch));
+  bounds_ = UpperBoundRegistry::FromParts(tracker_.global_bound(),
+                                          tracker_.HotBounds());
+  return Status::Ok();
+}
+
+Status TkLusEngine::Save(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  // Metadata DB: header + dirty pages to its own file. When saving into a
+  // different directory, copy the database file.
+  TKLUS_RETURN_IF_ERROR(db_->FlushAll());
+  const std::string db_src = options_.working_dir + "/meta.db";
+  const std::string db_dst = dir + "/meta.db";
+  if (std::filesystem::absolute(db_src) != std::filesystem::absolute(db_dst)) {
+    std::error_code ec;
+    std::filesystem::copy_file(db_src, db_dst,
+                               std::filesystem::copy_options::overwrite_existing,
+                               ec);
+    if (ec) return Status::IoError("copying metadata DB: " + ec.message());
+  }
+  {
+    std::ofstream out(dir + "/dfs.bin", std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot write dfs.bin");
+    TKLUS_RETURN_IF_ERROR(dfs_->Save(out));
+  }
+  {
+    std::ofstream out(dir + "/index.bin", std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot write index.bin");
+    TKLUS_RETURN_IF_ERROR(index_->Save(out));
+  }
+  std::ofstream out(dir + "/engine.bin", std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot write engine.bin");
+  serde::WriteU64(out, kEngineMagic);
+  serde::WriteDouble(out, options_.scoring.alpha);
+  serde::WriteDouble(out, options_.scoring.n_norm);
+  serde::WriteDouble(out, options_.scoring.epsilon);
+  serde::WriteU64(out, static_cast<uint64_t>(options_.thread_depth));
+  // Bounds.
+  serde::WriteDouble(out, bounds_.global_bound());
+  serde::WriteU64(out, bounds_.hot_bounds().size());
+  for (const auto& [term, bound] : bounds_.hot_bounds()) {
+    serde::WriteString(out, term);
+    serde::WriteDouble(out, bound);
+  }
+  // User location profiles.
+  serde::WriteU64(out, user_locations_.size());
+  for (const auto& [uid, locations] : user_locations_) {
+    serde::WriteI64(out, uid);
+    serde::WriteU64(out, locations.size());
+    for (const GeoPoint& p : locations) {
+      serde::WriteDouble(out, p.lat);
+      serde::WriteDouble(out, p.lon);
+    }
+  }
+  // Vocabulary (term + frequency, in id order).
+  serde::WriteU64(out, vocabulary_.size());
+  for (Vocabulary::TermId id = 0; id < vocabulary_.size(); ++id) {
+    serde::WriteString(out, vocabulary_.term(id));
+    serde::WriteU64(out, vocabulary_.frequency(id));
+  }
+  // Thread tracker + append ordering watermark.
+  serde::WriteI64(out, max_sid_);
+  tracker_.Save(out);
+  if (!out) return Status::IoError("short write saving engine.bin");
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
+                                                       Options options) {
+  auto engine = std::unique_ptr<TkLusEngine>(new TkLusEngine());
+  options.working_dir = dir;
+  engine->options_ = options;
+  engine->owns_working_dir_ = false;
+
+  MetadataDb::Options db_options;
+  db_options.buffer_pool_pages = options.buffer_pool_pages;
+  auto db = MetadataDb::Open(dir + "/meta.db", db_options);
+  if (!db.ok()) return db.status();
+  engine->db_ = std::move(*db);
+
+  engine->dfs_ = std::make_unique<SimulatedDfs>(options.dfs);
+  {
+    std::ifstream in(dir + "/dfs.bin", std::ios::binary);
+    if (!in.is_open()) return Status::IoError("cannot read dfs.bin");
+    TKLUS_RETURN_IF_ERROR(engine->dfs_->Load(in));
+  }
+  {
+    std::ifstream in(dir + "/index.bin", std::ios::binary);
+    if (!in.is_open()) return Status::IoError("cannot read index.bin");
+    auto index = HybridIndex::Open(engine->dfs_.get(), in);
+    if (!index.ok()) return index.status();
+    engine->index_ = std::move(*index);
+    engine->options_.geohash_length = engine->index_->geohash_length();
+  }
+  std::ifstream in(dir + "/engine.bin", std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot read engine.bin");
+  uint64_t magic = 0;
+  if (!serde::ReadU64(in, &magic) || magic != kEngineMagic) {
+    return Status::Corruption("not an engine image");
+  }
+  uint64_t depth = 0;
+  if (!serde::ReadDouble(in, &engine->options_.scoring.alpha) ||
+      !serde::ReadDouble(in, &engine->options_.scoring.n_norm) ||
+      !serde::ReadDouble(in, &engine->options_.scoring.epsilon) ||
+      !serde::ReadU64(in, &depth)) {
+    return Status::Corruption("truncated engine image header");
+  }
+  engine->options_.thread_depth = static_cast<int>(depth);
+  double global_bound = 0;
+  uint64_t hot_count = 0;
+  if (!serde::ReadDouble(in, &global_bound) ||
+      !serde::ReadU64(in, &hot_count)) {
+    return Status::Corruption("truncated engine image bounds");
+  }
+  std::unordered_map<std::string, double> hot_bounds;
+  for (uint64_t i = 0; i < hot_count; ++i) {
+    std::string term;
+    double bound = 0;
+    if (!serde::ReadString(in, &term) || !serde::ReadDouble(in, &bound)) {
+      return Status::Corruption("truncated engine image hot bound");
+    }
+    hot_bounds.emplace(std::move(term), bound);
+  }
+  engine->bounds_ =
+      UpperBoundRegistry::FromParts(global_bound, std::move(hot_bounds));
+  uint64_t user_count = 0;
+  if (!serde::ReadU64(in, &user_count)) {
+    return Status::Corruption("truncated engine image profiles");
+  }
+  for (uint64_t u = 0; u < user_count; ++u) {
+    int64_t uid = 0;
+    uint64_t n = 0;
+    if (!serde::ReadI64(in, &uid) || !serde::ReadU64(in, &n)) {
+      return Status::Corruption("truncated engine image profile");
+    }
+    auto& locations = engine->user_locations_[uid];
+    locations.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!serde::ReadDouble(in, &locations[i].lat) ||
+          !serde::ReadDouble(in, &locations[i].lon)) {
+        return Status::Corruption("truncated engine image location");
+      }
+    }
+  }
+  uint64_t vocab_count = 0;
+  if (!serde::ReadU64(in, &vocab_count)) {
+    return Status::Corruption("truncated engine image vocabulary");
+  }
+  for (uint64_t i = 0; i < vocab_count; ++i) {
+    std::string term;
+    uint64_t freq = 0;
+    if (!serde::ReadString(in, &term) || !serde::ReadU64(in, &freq)) {
+      return Status::Corruption("truncated engine image vocabulary entry");
+    }
+    engine->vocabulary_.Add(term, freq);
+  }
+  if (!serde::ReadI64(in, &engine->max_sid_)) {
+    return Status::Corruption("truncated engine image watermark");
+  }
+  TKLUS_RETURN_IF_ERROR(engine->tracker_.Load(in));
+
+  QueryProcessor::Options proc_options;
+  proc_options.scoring = engine->options_.scoring;
+  proc_options.thread_depth = engine->options_.thread_depth;
+  engine->processor_ = std::make_unique<QueryProcessor>(
+      engine->index_.get(), engine->db_.get(), &engine->bounds_,
+      &engine->user_locations_, Tokenizer(engine->options_.tokenizer),
+      proc_options);
+  return engine;
+}
+
+Result<QueryResult> TkLusEngine::Query(const TkLusQuery& query) {
+  return processor_->Process(query);
+}
+
+Result<TweetQueryResult> TkLusEngine::QueryTweets(const TkLusQuery& query) {
+  return processor_->ProcessTweets(query);
+}
+
+}  // namespace tklus

@@ -1,0 +1,124 @@
+#ifndef TKLUS_CORE_ENGINE_H_
+#define TKLUS_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "core/bounds.h"
+#include "core/query.h"
+#include "core/query_processor.h"
+#include "core/thread_tracker.h"
+#include "dfs/dfs.h"
+#include "index/hybrid_index.h"
+#include "model/dataset.h"
+#include "social/social_graph.h"
+#include "storage/metadata_db.h"
+#include "text/vocabulary.h"
+
+namespace tklus {
+
+// The public entry point of the library: builds the whole Figure-3 stack
+// from a dataset (metadata DB with B+-trees, MapReduce-constructed hybrid
+// index in the simulated DFS, social graph, upper-bound registry) and
+// answers TkLUS queries.
+//
+//   Dataset tweets = ...;
+//   auto engine = TkLusEngine::Build(tweets, TkLusEngine::Options{});
+//   TkLusQuery q{.location = {43.68, -79.37}, .radius_km = 10,
+//                .keywords = {"hotel"}, .k = 5};
+//   auto result = (*engine)->Query(q);
+class TkLusEngine {
+ public:
+  struct Options {
+    // Directory for the metadata DB file. Empty -> unique temp directory
+    // (removed when the engine is destroyed).
+    std::string working_dir;
+    int geohash_length = 4;       // §VI-B2's choice
+    int mapreduce_workers = 3;    // Table III cluster
+    int reduce_tasks = 8;
+    size_t buffer_pool_pages = 1024;
+    int thread_depth = 6;         // d in Alg. 1
+    size_t num_hot_keywords = 10; // Table II
+    ScoringParams scoring;
+    SimulatedDfs::Options dfs;
+    TokenizerOptions tokenizer;
+  };
+
+  // Builds every subsystem from `dataset`. The dataset is not retained.
+  static Result<std::unique_ptr<TkLusEngine>> Build(const Dataset& dataset,
+                                                    Options options);
+  static Result<std::unique_ptr<TkLusEngine>> Build(const Dataset& dataset) {
+    return Build(dataset, Options{});
+  }
+
+  // Appends a new batch of posts — the paper's periodic-batch setting
+  // (§IV-A): metadata rows, a new index generation, the social graph,
+  // user profiles, vocabulary and the exact score bounds are all updated
+  // incrementally. Batch sids must be sorted and strictly greater than
+  // everything already indexed (sids are timestamps).
+  Status AppendBatch(const Dataset& batch);
+
+  // Persists every artifact (metadata DB, DFS image with the inverted
+  // index, forward index, score bounds, user location profiles,
+  // vocabulary) into `dir`, from which Open can restore the engine without
+  // the original dataset.
+  Status Save(const std::string& dir);
+
+  // Restores an engine saved with Save. The social graph is not persisted
+  // (queries never consult it — bounds are persisted separately);
+  // social_graph() returns an empty graph on an opened engine.
+  static Result<std::unique_ptr<TkLusEngine>> Open(const std::string& dir,
+                                                   Options options);
+  static Result<std::unique_ptr<TkLusEngine>> Open(const std::string& dir) {
+    return Open(dir, Options{});
+  }
+
+  ~TkLusEngine();
+  TkLusEngine(const TkLusEngine&) = delete;
+  TkLusEngine& operator=(const TkLusEngine&) = delete;
+
+  // Answers one TkLUS query with its selected semantics/ranking.
+  Result<QueryResult> Query(const TkLusQuery& query);
+
+  // Tweet-level top-k spatial-keyword search (the intro's "directly
+  // retrieve tweets" alternative): ranks tweets, not users.
+  Result<TweetQueryResult> QueryTweets(const TkLusQuery& query);
+
+  // Component access for benchmarks, ablations and tests.
+  const HybridIndex& index() const { return *index_; }
+  MetadataDb& metadata_db() { return *db_; }
+  const SocialGraph& social_graph() const { return graph_; }
+  const UpperBoundRegistry& bounds() const { return bounds_; }
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+  SimulatedDfs& dfs() { return *dfs_; }
+  QueryProcessor& processor() { return *processor_; }
+  // Offline per-user location profile (all post locations per user),
+  // backing the Def. 9 user distance score.
+  const std::unordered_map<UserId, std::vector<GeoPoint>>& user_locations()
+      const {
+    return user_locations_;
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  TkLusEngine() = default;
+
+  Options options_;
+  bool owns_working_dir_ = false;
+  std::unique_ptr<SimulatedDfs> dfs_;
+  std::unique_ptr<MetadataDb> db_;
+  std::unique_ptr<HybridIndex> index_;
+  SocialGraph graph_;
+  UpperBoundRegistry bounds_;
+  Vocabulary vocabulary_;
+  ThreadTracker tracker_;
+  int64_t max_sid_ = INT64_MIN;
+  std::unordered_map<UserId, std::vector<GeoPoint>> user_locations_;
+  std::unique_ptr<QueryProcessor> processor_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_CORE_ENGINE_H_

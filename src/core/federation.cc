@@ -1,0 +1,34 @@
+#include "core/federation.h"
+
+#include <algorithm>
+
+namespace tklus {
+
+Result<FederatedResult> FederatedEngine::Query(
+    const TkLusQuery& query) const {
+  if (platforms_.empty()) {
+    return Status::InvalidArgument("no platforms registered");
+  }
+  FederatedResult result;
+  for (const Platform& platform : platforms_) {
+    Result<QueryResult> partial = platform.engine->Query(query);
+    if (!partial.ok()) return partial.status();
+    result.platform_stats.push_back(partial->stats);
+    for (const RankedUser& user : partial->users) {
+      result.users.push_back(
+          FederatedUser{platform.name, user.uid, user.score});
+    }
+  }
+  std::sort(result.users.begin(), result.users.end(),
+            [](const FederatedUser& a, const FederatedUser& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.platform != b.platform) return a.platform < b.platform;
+              return a.uid < b.uid;
+            });
+  if (static_cast<int>(result.users.size()) > query.k) {
+    result.users.resize(query.k);
+  }
+  return result;
+}
+
+}  // namespace tklus

@@ -1,0 +1,62 @@
+#ifndef TKLUS_CORE_FEDERATION_H_
+#define TKLUS_CORE_FEDERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/query.h"
+
+namespace tklus {
+
+// Cross-platform TkLUS (§VIII future work: "make the search for local
+// users across the platform boundary, such that more informative query
+// results can be obtained by involving different social networks").
+// Each platform runs its own TkLusEngine over its own corpus; a federated
+// query fans out to every platform and merges the per-platform top-k lists
+// into one ranking. User ids are platform-scoped, so results carry the
+// platform name.
+//
+// Score comparability: each engine scores with its own ScoringParams; use
+// the same alpha/N/epsilon across platforms (or accept that the merged
+// order reflects per-platform calibration, as a real cross-network search
+// would).
+struct FederatedUser {
+  std::string platform;
+  UserId uid = 0;
+  double score = 0.0;
+};
+
+struct FederatedResult {
+  std::vector<FederatedUser> users;  // descending score, at most k
+  // Per-platform query stats, index-aligned with the platform list.
+  std::vector<QueryStats> platform_stats;
+};
+
+class FederatedEngine {
+ public:
+  FederatedEngine() = default;
+
+  // Registers a platform. The engine must outlive the federation.
+  void AddPlatform(std::string name, TkLusEngine* engine) {
+    platforms_.push_back(Platform{std::move(name), engine});
+  }
+
+  size_t platform_count() const { return platforms_.size(); }
+
+  // Fans the query out to every platform (each asked for its own top-k)
+  // and merges by score.
+  Result<FederatedResult> Query(const TkLusQuery& query) const;
+
+ private:
+  struct Platform {
+    std::string name;
+    TkLusEngine* engine;
+  };
+  std::vector<Platform> platforms_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_CORE_FEDERATION_H_

@@ -1,0 +1,56 @@
+#include "core/kendall.h"
+
+#include <unordered_map>
+
+namespace tklus {
+
+double KendallTauVariant(const std::vector<UserId>& ranking_a,
+                         const std::vector<UserId>& ranking_b) {
+  // Ranks in each list; users absent from a list all get rank = list size
+  // (the "same ordering value" tie of the paper's example).
+  std::unordered_map<UserId, int> rank_a, rank_b;
+  for (size_t i = 0; i < ranking_a.size(); ++i) {
+    rank_a.emplace(ranking_a[i], static_cast<int>(i));
+  }
+  for (size_t i = 0; i < ranking_b.size(); ++i) {
+    rank_b.emplace(ranking_b[i], static_cast<int>(i));
+  }
+  std::vector<UserId> universe;
+  universe.reserve(rank_a.size() + rank_b.size());
+  for (const UserId u : ranking_a) universe.push_back(u);
+  for (const UserId u : ranking_b) {
+    if (!rank_a.count(u)) universe.push_back(u);
+  }
+  const int tie_a = static_cast<int>(ranking_a.size());
+  const int tie_b = static_cast<int>(ranking_b.size());
+  const auto rank_in = [](const std::unordered_map<UserId, int>& ranks,
+                          UserId u, int tie_rank) {
+    const auto it = ranks.find(u);
+    return it == ranks.end() ? tie_rank : it->second;
+  };
+
+  const size_t m = universe.size();
+  if (m < 2) return 1.0;
+  int64_t concordant = 0, discordant = 0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      const int da = rank_in(rank_a, universe[i], tie_a) -
+                     rank_in(rank_a, universe[j], tie_a);
+      const int db = rank_in(rank_b, universe[i], tie_b) -
+                     rank_in(rank_b, universe[j], tie_b);
+      const int sa = (da > 0) - (da < 0);
+      const int sb = (db > 0) - (db < 0);
+      if (sa * sb > 0 || (sa == 0 && sb == 0)) {
+        ++concordant;
+      } else if (sa * sb < 0) {
+        ++discordant;
+      }
+      // One tied, one ordered: neither concordant nor discordant.
+    }
+  }
+  const double pairs = 0.5 * static_cast<double>(m) *
+                       static_cast<double>(m - 1);
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+}  // namespace tklus

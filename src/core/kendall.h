@@ -1,0 +1,24 @@
+#ifndef TKLUS_CORE_KENDALL_H_
+#define TKLUS_CORE_KENDALL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/post.h"
+
+namespace tklus {
+
+// The paper's variant Kendall tau rank-correlation coefficient for two
+// top-k result lists that need not contain the same users (§VI-B3): each
+// ranking is extended with the other's missing users, all of which share
+// the next rank (ties), and tau = (cp - dp) / numPairs over the extended
+// universe. A pair is concordant when both rankings order it the same way
+// (or both tie it), discordant when they order it oppositely; pairs tied
+// in exactly one ranking count toward neither. Returns 1.0 for two empty
+// rankings.
+double KendallTauVariant(const std::vector<UserId>& ranking_a,
+                         const std::vector<UserId>& ranking_b);
+
+}  // namespace tklus
+
+#endif  // TKLUS_CORE_KENDALL_H_

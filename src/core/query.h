@@ -1,0 +1,122 @@
+#ifndef TKLUS_CORE_QUERY_H_
+#define TKLUS_CORE_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "model/post.h"
+
+namespace tklus {
+
+// Multi-keyword matching semantics (§V-A): AND requires all keywords in a
+// candidate tweet, OR any of them.
+enum class Semantics { kAnd, kOr };
+
+// User ranking method: Sum Score (Def. 7, Alg. 4) or Maximum Score
+// (Def. 8, Alg. 5 with upper-bound pruning).
+enum class Ranking { kSum, kMax };
+
+// Temporal extension of TkLUS (§VIII future work): "we can define a query
+// for a particular period of time and only search the tweets that are
+// posted in that period. Also, we can ... give priority to more recent
+// tweets (and their users) in ranking." Tweet ids are timestamps (§IV-A),
+// so the window filters directly on posting-list entries.
+struct TemporalOptions {
+  // Closed interval on tweet timestamps; unset bounds are open.
+  std::optional<int64_t> begin;
+  std::optional<int64_t> end;
+  // Recency weighting: each tweet's keyword relevance is multiplied by
+  // 0.5^((reference - sid) / half_life). Requires `reference` when set.
+  std::optional<double> half_life;
+  std::optional<int64_t> reference;
+
+  bool Active() const {
+    return begin.has_value() || end.has_value() || half_life.has_value();
+  }
+  bool InWindow(int64_t sid) const {
+    if (begin && sid < *begin) return false;
+    if (end && sid > *end) return false;
+    return true;
+  }
+};
+
+// A top-k local user search q(l, r, W) (§II-B).
+struct TkLusQuery {
+  GeoPoint location;
+  double radius_km = 10.0;
+  std::vector<std::string> keywords;  // raw; normalized by the processor
+  int k = 10;
+  Semantics semantics = Semantics::kOr;
+  Ranking ranking = Ranking::kSum;
+  TemporalOptions temporal;
+  // Attach a UserScoreBreakdown to every returned user.
+  bool explain = false;
+};
+
+// Per-user score evidence, filled when TkLusQuery::explain is set: how
+// the Def. 10 mix decomposes and which tweet carried the user.
+struct UserScoreBreakdown {
+  double rho = 0.0;             // keyword part (rho_s or rho_m)
+  double delta = 0.0;           // Def. 9 user distance score
+  size_t matched_tweets = 0;    // candidate tweets within the radius
+  TweetId best_tweet = 0;       // tweet with the highest rho(p, q)
+  double best_tweet_rho = 0.0;
+};
+
+struct RankedUser {
+  UserId uid = 0;
+  double score = 0.0;
+  std::optional<UserScoreBreakdown> why;  // set when query.explain
+
+  friend bool operator==(const RankedUser& a, const RankedUser& b) {
+    return a.uid == b.uid && a.score == b.score;
+  }
+};
+
+// Per-query execution statistics, the quantities behind Figures 7-12.
+struct QueryStats {
+  size_t cover_cells = 0;
+  size_t postings_lists_fetched = 0;
+  size_t candidates = 0;        // postings after AND/OR combination
+  size_t within_radius = 0;
+  size_t threads_built = 0;
+  size_t threads_pruned = 0;    // Alg. 5 line 19 skips
+  uint64_t db_page_reads = 0;   // metadata DB physical reads
+  uint64_t dfs_block_reads = 0; // postings fetch reads
+  double elapsed_ms = 0.0;
+};
+
+struct QueryResult {
+  std::vector<RankedUser> users;  // descending score, at most k
+  QueryStats stats;
+
+  std::vector<UserId> UserIds() const {
+    std::vector<UserId> ids;
+    ids.reserve(users.size());
+    for (const RankedUser& u : users) ids.push_back(u.uid);
+    return ids;
+  }
+};
+
+// Tweet-level spatial-keyword search: the "straightforward approach" the
+// paper's introduction contrasts TkLUS against ("directly retrieve tweets
+// based on query keywords ... can return too many original tweets").
+// Tweets are ranked by alpha * rho(p,q) + (1-alpha) * delta(p,q).
+struct RankedTweet {
+  TweetId sid = 0;
+  UserId uid = 0;
+  double score = 0.0;
+  double distance_km = 0.0;
+};
+
+struct TweetQueryResult {
+  std::vector<RankedTweet> tweets;  // descending score, at most k
+  QueryStats stats;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_CORE_QUERY_H_

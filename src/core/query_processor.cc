@@ -1,0 +1,329 @@
+#include "core/query_processor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/stopwatch.h"
+#include "geo/circle_cover.h"
+#include "geo/distance.h"
+#include "index/postings_ops.h"
+
+namespace tklus {
+
+namespace {
+
+// Running top-k score threshold: the paper's topKUser priority queue
+// (Alg. 5 line 3). Scores only grow during a scan (every contribution is
+// non-negative), so the peek value is monotone and pruning stays valid.
+class TopKTracker {
+ public:
+  explicit TopKTracker(int k) : k_(k) {}
+
+  // Updates user's current score (must be >= its previous score).
+  void Update(UserId uid, double score) {
+    const auto it = current_.find(uid);
+    if (it != current_.end()) {
+      scores_.erase(scores_.find(it->second));
+      it->second = score;
+    } else {
+      current_.emplace(uid, score);
+    }
+    scores_.insert(score);
+  }
+
+  bool Full() const { return static_cast<int>(current_.size()) >= k_; }
+
+  // k-th largest current score — topKUser.peek().
+  double Peek() const {
+    auto it = scores_.rbegin();
+    std::advance(it, k_ - 1);
+    return *it;
+  }
+
+ private:
+  int k_;
+  std::unordered_map<UserId, double> current_;
+  std::multiset<double> scores_;
+};
+
+uint64_t DfsBlockReads(const SimulatedDfs* dfs) {
+  uint64_t reads = 0;
+  for (const auto& node : dfs->node_stats()) reads += node.block_reads;
+  return reads;
+}
+
+}  // namespace
+
+std::vector<std::string> QueryProcessor::NormalizeKeywords(
+    const std::vector<std::string>& keywords) const {
+  std::vector<std::string> terms;
+  for (const std::string& keyword : keywords) {
+    for (std::string& term : tokenizer_.Tokenize(keyword)) {
+      if (std::find(terms.begin(), terms.end(), term) == terms.end()) {
+        terms.push_back(std::move(term));
+      }
+    }
+  }
+  return terms;
+}
+
+double QueryProcessor::UserDistanceScore(UserId uid,
+                                         const TkLusQuery& query) const {
+  const auto it = user_locations_->find(uid);
+  if (it == user_locations_->end() || it->second.empty()) return 0.0;
+  double sum = 0.0;
+  for (const GeoPoint& location : it->second) {
+    sum += DistanceScore(location, query.location, query.radius_km);
+  }
+  return sum / static_cast<double>(it->second.size());
+}
+
+double QueryProcessor::FinalScore(const UserState& state,
+                                  Ranking ranking) const {
+  const double rho =
+      ranking == Ranking::kSum ? state.rho_sum : state.rho_max;
+  return UserScore(rho, state.delta_user, options_.scoring);
+}
+
+Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
+  if (query.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (query.radius_km <= 0) {
+    return Status::InvalidArgument("radius must be positive");
+  }
+  if (query.temporal.half_life.has_value()) {
+    if (!query.temporal.reference.has_value()) {
+      return Status::InvalidArgument(
+          "temporal.half_life requires temporal.reference");
+    }
+    if (*query.temporal.half_life <= 0) {
+      return Status::InvalidArgument("temporal.half_life must be positive");
+    }
+  }
+  Stopwatch timer;
+  QueryResult result;
+  QueryStats& stats = result.stats;
+  const uint64_t db_reads_before = db_->disk().stats().page_reads;
+  const uint64_t dfs_reads_before = DfsBlockReads(index_->dfs());
+
+  // Line 1: the geohash cells covering the query circle.
+  const std::vector<std::string> cells = GeohashCircleCover(
+      query.location, query.radius_km, index_->geohash_length());
+  stats.cover_cells = cells.size();
+
+  const std::vector<std::string> terms = NormalizeKeywords(query.keywords);
+  if (terms.empty()) {
+    stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+
+  // Lines 4-7: fetch postings lists per (cell, term).
+  std::vector<std::vector<Posting>> term_lists;
+  term_lists.reserve(terms.size());
+  for (const std::string& term : terms) {
+    for (const std::string& cell : cells) {
+      if (index_->forward_index().Lookup(cell, term) != nullptr) {
+        ++stats.postings_lists_fetched;
+      }
+    }
+    Result<std::vector<Posting>> list = index_->FetchTermPostings(cells, term);
+    if (!list.ok()) return list.status();
+    term_lists.push_back(std::move(*list));
+  }
+
+  // Lines 9-14: AND intersects, OR unions.
+  std::vector<Posting> candidates = query.semantics == Semantics::kAnd
+                                        ? IntersectPostings(term_lists)
+                                        : UnionPostings(term_lists);
+  stats.candidates = candidates.size();
+  term_lists.clear();
+
+  // Temporal window (§VIII extension): tweet ids are timestamps, so the
+  // period filter applies directly to the combined postings, before any
+  // metadata I/O is spent.
+  if (query.temporal.begin || query.temporal.end) {
+    std::erase_if(candidates, [&query](const Posting& p) {
+      return !query.temporal.InWindow(p.tid);
+    });
+  }
+
+  ThreadBuilder thread_builder(
+      db_, ThreadBuilder::Options{options_.thread_depth,
+                                  options_.scoring.epsilon});
+  const bool pruned_mode =
+      query.ranking == Ranking::kMax && options_.enable_pruning;
+  const double bound_popularity = bounds_->QueryBound(
+      terms, query.semantics == Semantics::kAnd, options_.use_hot_bounds);
+
+  std::unordered_map<UserId, UserState> users;
+  TopKTracker tracker(query.k);
+
+  for (const Posting& posting : candidates) {
+    // Line 20 (Alg. 4) / line 22 (Alg. 5): resolve the tweet's user and
+    // location through the metadata DB.
+    Result<std::optional<TweetMeta>> meta = db_->SelectBySid(posting.tid);
+    if (!meta.ok()) return meta.status();
+    if (!meta->has_value()) {
+      return Status::Corruption("indexed tweet missing from metadata DB: " +
+                                std::to_string(posting.tid));
+    }
+    const TweetMeta& row = meta->value();
+    // Lines 16-17: distance filter (cells overhang the circle).
+    const double dist = EuclideanKm(GeoPoint{row.lat, row.lon},
+                                    query.location);
+    if (dist > query.radius_km) continue;
+    ++stats.within_radius;
+
+    const auto [user_it, inserted] = users.try_emplace(row.uid);
+    UserState& state = user_it->second;
+    if (inserted) {
+      // Def. 9 is fixed per (user, query); computed once from the offline
+      // user location profile on first encounter.
+      state.delta_user = UserDistanceScore(row.uid, query);
+    }
+    ++state.matched;
+
+    // Alg. 5 lines 18-19: skip thread construction when even an optimal
+    // thread could not lift this tweet past the current k-th user.
+    bool prune = false;
+    if (pruned_mode && tracker.Full()) {
+      const double upper = TweetUpperBoundScore(posting.tf, bound_popularity,
+                                                options_.scoring);
+      prune = upper < tracker.Peek();
+    }
+    if (prune) {
+      ++stats.threads_pruned;
+    } else {
+      Result<double> popularity = thread_builder.Popularity(posting.tid);
+      if (!popularity.ok()) return popularity.status();
+      ++stats.threads_built;
+      double rho = KeywordRelevance(posting.tf, *popularity, options_.scoring);
+      if (query.temporal.half_life.has_value()) {
+        // Recency decay <= 1, so the Alg. 5 bound stays admissible.
+        rho *= RecencyWeight(posting.tid, *query.temporal.reference,
+                             *query.temporal.half_life);
+      }
+      state.rho_sum += rho;
+      if (rho > state.rho_max) {
+        state.rho_max = rho;
+        state.best_tweet = posting.tid;
+      }
+    }
+    if (pruned_mode) {
+      tracker.Update(row.uid, FinalScore(state, query.ranking));
+    }
+  }
+
+  // Lines 25-29: final user scores, sort, top k.
+  std::vector<RankedUser> ranked;
+  ranked.reserve(users.size());
+  for (const auto& [uid, state] : users) {
+    RankedUser user;
+    user.uid = uid;
+    user.score = FinalScore(state, query.ranking);
+    if (query.explain) {
+      user.why = UserScoreBreakdown{
+          query.ranking == Ranking::kSum ? state.rho_sum : state.rho_max,
+          state.delta_user, state.matched, state.best_tweet,
+          state.rho_max};
+    }
+    ranked.push_back(std::move(user));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedUser& a, const RankedUser& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.uid < b.uid;
+            });
+  if (static_cast<int>(ranked.size()) > query.k) {
+    ranked.resize(query.k);
+  }
+  result.users = std::move(ranked);
+  stats.db_page_reads = db_->disk().stats().page_reads - db_reads_before;
+  stats.dfs_block_reads = DfsBlockReads(index_->dfs()) - dfs_reads_before;
+  stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+Result<TweetQueryResult> QueryProcessor::ProcessTweets(
+    const TkLusQuery& query) {
+  if (query.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (query.radius_km <= 0) {
+    return Status::InvalidArgument("radius must be positive");
+  }
+  if (query.temporal.half_life.has_value() &&
+      !query.temporal.reference.has_value()) {
+    return Status::InvalidArgument(
+        "temporal.half_life requires temporal.reference");
+  }
+  Stopwatch timer;
+  TweetQueryResult result;
+  QueryStats& stats = result.stats;
+
+  const std::vector<std::string> cells = GeohashCircleCover(
+      query.location, query.radius_km, index_->geohash_length());
+  stats.cover_cells = cells.size();
+  const std::vector<std::string> terms = NormalizeKeywords(query.keywords);
+  if (terms.empty()) {
+    stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  std::vector<std::vector<Posting>> term_lists;
+  term_lists.reserve(terms.size());
+  for (const std::string& term : terms) {
+    Result<std::vector<Posting>> list = index_->FetchTermPostings(cells, term);
+    if (!list.ok()) return list.status();
+    term_lists.push_back(std::move(*list));
+  }
+  std::vector<Posting> candidates = query.semantics == Semantics::kAnd
+                                        ? IntersectPostings(term_lists)
+                                        : UnionPostings(term_lists);
+  stats.candidates = candidates.size();
+  if (query.temporal.begin || query.temporal.end) {
+    std::erase_if(candidates, [&query](const Posting& p) {
+      return !query.temporal.InWindow(p.tid);
+    });
+  }
+
+  ThreadBuilder thread_builder(
+      db_, ThreadBuilder::Options{options_.thread_depth,
+                                  options_.scoring.epsilon});
+  for (const Posting& posting : candidates) {
+    Result<std::optional<TweetMeta>> meta = db_->SelectBySid(posting.tid);
+    if (!meta.ok()) return meta.status();
+    if (!meta->has_value()) {
+      return Status::Corruption("indexed tweet missing from metadata DB: " +
+                                std::to_string(posting.tid));
+    }
+    const TweetMeta& row = meta->value();
+    const double dist =
+        EuclideanKm(GeoPoint{row.lat, row.lon}, query.location);
+    if (dist > query.radius_km) continue;
+    ++stats.within_radius;
+    Result<double> popularity = thread_builder.Popularity(posting.tid);
+    if (!popularity.ok()) return popularity.status();
+    ++stats.threads_built;
+    double rho = KeywordRelevance(posting.tf, *popularity, options_.scoring);
+    if (query.temporal.half_life.has_value()) {
+      rho *= RecencyWeight(posting.tid, *query.temporal.reference,
+                           *query.temporal.half_life);
+    }
+    const double score = UserScore(
+        rho, DistanceScore(dist, query.radius_km), options_.scoring);
+    result.tweets.push_back(RankedTweet{posting.tid, row.uid, score, dist});
+  }
+  std::sort(result.tweets.begin(), result.tweets.end(),
+            [](const RankedTweet& a, const RankedTweet& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.sid < b.sid;
+            });
+  if (static_cast<int>(result.tweets.size()) > query.k) {
+    result.tweets.resize(query.k);
+  }
+  stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace tklus

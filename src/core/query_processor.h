@@ -1,0 +1,89 @@
+#ifndef TKLUS_CORE_QUERY_PROCESSOR_H_
+#define TKLUS_CORE_QUERY_PROCESSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/bounds.h"
+#include "core/query.h"
+#include "core/scoring.h"
+#include "geo/point.h"
+#include "index/hybrid_index.h"
+#include "social/thread_builder.h"
+#include "storage/metadata_db.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+
+// Executes TkLUS queries against the hybrid index + metadata database:
+// Algorithm 4 (sum-score ranking) and Algorithm 5 (max-score ranking with
+// upper-bound pruning and optional hot-keyword bounds).
+class QueryProcessor {
+ public:
+  struct Options {
+    ScoringParams scoring;
+    int thread_depth = 6;          // d of Alg. 1
+    bool enable_pruning = true;    // Alg. 5 lines 18-19 (kMax only)
+    bool use_hot_bounds = true;    // §VI-B5 specific bounds
+  };
+
+  // All pointers must outlive the processor. `user_locations` is the
+  // offline per-user location profile backing the Def. 9 user distance
+  // score (the average of delta(p, q) over *all* of u's posts).
+  QueryProcessor(const HybridIndex* index, MetadataDb* db,
+                 const UpperBoundRegistry* bounds,
+                 const std::unordered_map<UserId, std::vector<GeoPoint>>*
+                     user_locations,
+                 Tokenizer tokenizer, Options options)
+      : index_(index),
+        db_(db),
+        bounds_(bounds),
+        user_locations_(user_locations),
+        tokenizer_(std::move(tokenizer)),
+        options_(options) {}
+
+  // Runs the query with the ranking method it selects.
+  Result<QueryResult> Process(const TkLusQuery& query);
+
+  // Tweet-level top-k spatial-keyword search over the same index: ranks
+  // individual tweets by alpha * rho(p,q) + (1-alpha) * delta(p,q). The
+  // `ranking` field of the query is ignored (there is no user
+  // aggregation); semantics and temporal options apply.
+  Result<TweetQueryResult> ProcessTweets(const TkLusQuery& query);
+
+  // Normalizes raw query keywords the same way indexed text is processed
+  // (lowercase, stem, drop stop words); deduplicates.
+  std::vector<std::string> NormalizeKeywords(
+      const std::vector<std::string>& keywords) const;
+
+  const Options& options() const { return options_; }
+  Options& mutable_options() { return options_; }
+
+ private:
+  struct UserState {
+    double delta_user = 0.0;  // Def. 9 user distance score (query-fixed)
+    double rho_sum = 0.0;     // Def. 7 accumulator
+    double rho_max = 0.0;     // Def. 8 accumulator
+    size_t matched = 0;       // candidates within radius
+    TweetId best_tweet = 0;   // argmax rho(p, q)
+  };
+
+  // Def. 9: average distance score of all the user's posts.
+  double UserDistanceScore(UserId uid, const TkLusQuery& query) const;
+  double FinalScore(const UserState& state, Ranking ranking) const;
+
+  const HybridIndex* index_;
+  MetadataDb* db_;
+  const UpperBoundRegistry* bounds_;
+  const std::unordered_map<UserId, std::vector<GeoPoint>>* user_locations_;
+  Tokenizer tokenizer_;
+  Options options_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_CORE_QUERY_PROCESSOR_H_

@@ -1,0 +1,89 @@
+#ifndef TKLUS_CORE_SCORING_H_
+#define TKLUS_CORE_SCORING_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "geo/distance.h"
+#include "geo/point.h"
+
+namespace tklus {
+
+// Parameters of §III / §VI-B1. Defaults are the paper's experimental
+// settings: alpha = 0.5, N ~ 40, epsilon = 0.1.
+struct ScoringParams {
+  double alpha = 0.5;      // Def. 10 keyword-vs-distance mix
+  double n_norm = 40.0;    // Def. 6 normalizer N
+  double epsilon = 0.1;    // Def. 4 singleton-thread smoothing
+};
+
+// Distance score of a tweet (Definition 5): (r - d)/r inside the radius,
+// 0 outside; range [0, 1].
+inline double DistanceScore(double distance_km, double radius_km) {
+  if (radius_km <= 0.0) return 0.0;
+  if (distance_km > radius_km) return 0.0;
+  return (radius_km - distance_km) / radius_km;
+}
+
+inline double DistanceScore(const GeoPoint& tweet, const GeoPoint& query,
+                            double radius_km) {
+  return DistanceScore(EuclideanKm(tweet, query), radius_km);
+}
+
+// Keyword relevance of a tweet (Definition 6): (|q.W ∩ p.W| / N) * phi(p),
+// with bag-model occurrence counting (matched_occurrences is the summed
+// term frequency of the query keywords in the tweet).
+inline double KeywordRelevance(uint32_t matched_occurrences,
+                               double popularity, const ScoringParams& params) {
+  return (static_cast<double>(matched_occurrences) / params.n_norm) *
+         popularity;
+}
+
+// User score (Definition 10): alpha * rho(u,q) + (1 - alpha) * delta(u,q),
+// where rho is the Sum (Def. 7) or Max (Def. 8) keyword score and delta is
+// the user distance score (Def. 9).
+inline double UserScore(double keyword_score, double user_distance_score,
+                        const ScoringParams& params) {
+  return params.alpha * keyword_score +
+         (1.0 - params.alpha) * user_distance_score;
+}
+
+// The paper's global upper-bound popularity (Definition 11):
+// sum_{i=2..n} t_m / i, where t_m is the database's maximum reply fan-out
+// and n the thread depth cap. NOTE: as written this is not a sound bound
+// for threads whose deeper levels fan out multiplicatively (level i can
+// hold up to t_m^{i-1} tweets); the engine therefore defaults to the exact
+// offline maximum thread score and exposes this formula for the Def. 11
+// ablation. See DESIGN.md §5.
+inline double PaperGlobalBoundPopularity(int64_t t_m, int max_depth) {
+  double bound = 0.0;
+  for (int i = 2; i <= max_depth; ++i) {
+    bound += static_cast<double>(t_m) / i;
+  }
+  return bound;
+}
+
+// Recency weight of the §VIII temporal extension: halves every
+// `half_life` timestamp units before `reference`; tweets from the future
+// of `reference` are clamped to weight 1.
+inline double RecencyWeight(int64_t sid, int64_t reference,
+                            double half_life) {
+  if (sid >= reference) return 1.0;
+  const double age = static_cast<double>(reference - sid);
+  return std::exp2(-age / half_life);
+}
+
+// Optimistic score of a single tweet (Alg. 5 line 18): its best possible
+// keyword relevance combined with the maximum distance score of 1.
+inline double TweetUpperBoundScore(uint32_t matched_occurrences,
+                                   double bound_popularity,
+                                   const ScoringParams& params) {
+  return params.alpha *
+             KeywordRelevance(matched_occurrences, bound_popularity, params) +
+         (1.0 - params.alpha) * 1.0;
+}
+
+}  // namespace tklus
+
+#endif  // TKLUS_CORE_SCORING_H_

@@ -1,0 +1,141 @@
+#include "core/thread_tracker.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+
+namespace tklus {
+
+void ThreadTracker::SetHotTerms(const std::vector<std::string>& stems) {
+  hot_terms_.clear();
+  hot_index_.clear();
+  for (const std::string& stem : stems) {
+    if (hot_index_.count(stem) || hot_terms_.size() >= 16) continue;
+    hot_index_.emplace(stem, static_cast<int>(hot_terms_.size()));
+    hot_terms_.push_back(stem);
+  }
+  hot_bounds_.assign(hot_terms_.size(), 0.0);
+}
+
+void ThreadTracker::AddPost(const Post& post,
+                            const std::vector<std::string>& terms) {
+  Entry entry;
+  for (const std::string& term : terms) {
+    const auto it = hot_index_.find(term);
+    if (it != hot_index_.end()) {
+      entry.hot_mask |= static_cast<uint16_t>(1u << it->second);
+    }
+  }
+  if (post.IsReplyOrForward() && entries_.count(post.rsid)) {
+    entry.parent = post.rsid;
+  }
+  const auto [self_it, inserted] = entries_.emplace(post.sid, entry);
+  if (!inserted) return;  // duplicate sid: ignore
+  BumpBounds(self_it->second);  // singleton epsilon may set initial bounds
+
+  // The new post sits at level d+1 of the subtree of its ancestor at hop
+  // distance d; it contributes 1/(d+1) while d+1 <= max_depth.
+  TweetId ancestor = entry.parent;
+  for (int dist = 1; ancestor != kNoId && dist + 1 <= options_.max_depth;
+       ++dist) {
+    const auto it = entries_.find(ancestor);
+    if (it == entries_.end()) break;
+    it->second.reply_score += 1.0 / (dist + 1);
+    ++it->second.replies;
+    BumpBounds(it->second);
+    ancestor = it->second.parent;
+  }
+}
+
+double ThreadTracker::Popularity(TweetId sid) const {
+  const auto it = entries_.find(sid);
+  if (it == entries_.end() || it->second.replies == 0) {
+    return options_.epsilon;
+  }
+  return it->second.reply_score;
+}
+
+void ThreadTracker::BumpBounds(const Entry& entry) {
+  const double popularity =
+      entry.replies == 0 ? options_.epsilon : entry.reply_score;
+  global_bound_ = std::max(global_bound_, popularity);
+  if (entry.hot_mask == 0) return;
+  for (size_t bit = 0; bit < hot_terms_.size(); ++bit) {
+    if (entry.hot_mask & (1u << bit)) {
+      hot_bounds_[bit] = std::max(hot_bounds_[bit], popularity);
+    }
+  }
+}
+
+std::unordered_map<std::string, double> ThreadTracker::HotBounds() const {
+  std::unordered_map<std::string, double> out;
+  for (size_t bit = 0; bit < hot_terms_.size(); ++bit) {
+    out.emplace(hot_terms_[bit], hot_bounds_[bit]);
+  }
+  return out;
+}
+
+void ThreadTracker::Save(std::ostream& out) const {
+  serde::WriteU64(out, static_cast<uint64_t>(options_.max_depth));
+  serde::WriteDouble(out, options_.epsilon);
+  serde::WriteDouble(out, global_bound_);
+  serde::WriteU64(out, hot_terms_.size());
+  for (size_t i = 0; i < hot_terms_.size(); ++i) {
+    serde::WriteString(out, hot_terms_[i]);
+    serde::WriteDouble(out, hot_bounds_[i]);
+  }
+  serde::WriteU64(out, entries_.size());
+  for (const auto& [sid, entry] : entries_) {
+    serde::WriteI64(out, sid);
+    serde::WriteI64(out, entry.parent);
+    serde::WriteU32(out, entry.hot_mask);
+    serde::WriteU32(out, entry.replies);
+    serde::WriteDouble(out, entry.reply_score);
+  }
+}
+
+Status ThreadTracker::Load(std::istream& in) {
+  uint64_t depth = 0, hot_count = 0, entry_count = 0;
+  if (!serde::ReadU64(in, &depth) ||
+      !serde::ReadDouble(in, &options_.epsilon) ||
+      !serde::ReadDouble(in, &global_bound_) ||
+      !serde::ReadU64(in, &hot_count)) {
+    return Status::Corruption("truncated thread tracker header");
+  }
+  options_.max_depth = static_cast<int>(depth);
+  hot_terms_.clear();
+  hot_index_.clear();
+  hot_bounds_.clear();
+  for (uint64_t i = 0; i < hot_count; ++i) {
+    std::string stem;
+    double bound = 0;
+    if (!serde::ReadString(in, &stem) || !serde::ReadDouble(in, &bound)) {
+      return Status::Corruption("truncated thread tracker hot term");
+    }
+    hot_index_.emplace(stem, static_cast<int>(hot_terms_.size()));
+    hot_terms_.push_back(std::move(stem));
+    hot_bounds_.push_back(bound);
+  }
+  if (!serde::ReadU64(in, &entry_count)) {
+    return Status::Corruption("truncated thread tracker entries");
+  }
+  entries_.clear();
+  entries_.reserve(entry_count);
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    int64_t sid = 0;
+    Entry entry;
+    int64_t parent = 0;
+    uint32_t mask = 0;
+    if (!serde::ReadI64(in, &sid) || !serde::ReadI64(in, &parent) ||
+        !serde::ReadU32(in, &mask) || !serde::ReadU32(in, &entry.replies) ||
+        !serde::ReadDouble(in, &entry.reply_score)) {
+      return Status::Corruption("truncated thread tracker entry");
+    }
+    entry.parent = parent;
+    entry.hot_mask = static_cast<uint16_t>(mask);
+    entries_.emplace(sid, entry);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tklus

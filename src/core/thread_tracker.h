@@ -1,0 +1,81 @@
+#ifndef TKLUS_CORE_THREAD_TRACKER_H_
+#define TKLUS_CORE_THREAD_TRACKER_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "model/post.h"
+
+namespace tklus {
+
+// Incrementally maintains the Def. 4 thread popularity of *every* post
+// (any keyword-matching tweet — root or reply — can become a query
+// candidate whose thread Alg. 1 constructs) and the §V-B upper bounds
+// (exact global + per-hot-keyword maxima) as posts arrive in timestamp
+// order. A new reply contributes 1/(d+1) to the subtree score of each
+// ancestor at hop distance d < max_depth, so appending a post costs
+// O(max_depth) — replacing the offline full-corpus pass when a new batch
+// arrives (the paper's periodic batch setting).
+//
+// Invariants: parents must be tracked before their replies (guaranteed by
+// sid = timestamp ordering), and the hot-keyword set is fixed once (the
+// paper likewise precomputes its Table-II hot keywords offline).
+class ThreadTracker {
+ public:
+  struct Options {
+    int max_depth = 6;     // Alg. 1 depth cap d
+    double epsilon = 0.1;  // Def. 4 singleton smoothing
+  };
+
+  explicit ThreadTracker(Options options) : options_(options) {}
+  ThreadTracker() : ThreadTracker(Options{}) {}
+
+  // Fixes the hot-keyword set (normalized stems, at most 16). Call before
+  // AddPost.
+  void SetHotTerms(const std::vector<std::string>& stems);
+
+  // Tracks one post. `terms` are its normalized index terms. Replies whose
+  // parent was never tracked are treated as thread roots of their own.
+  void AddPost(const Post& post, const std::vector<std::string>& terms);
+
+  // Current Def. 4 popularity of the thread rooted at `sid` (epsilon if it
+  // has no replies or is unknown).
+  double Popularity(TweetId sid) const;
+
+  // Exact maxima (the UpperBoundRegistry inputs).
+  double global_bound() const { return global_bound_; }
+  std::unordered_map<std::string, double> HotBounds() const;
+
+  size_t tracked_posts() const { return entries_.size(); }
+  const Options& options() const { return options_; }
+
+  // Persistence (engine Save/Open path).
+  void Save(std::ostream& out) const;
+  Status Load(std::istream& in);
+
+ private:
+  struct Entry {
+    TweetId parent = kNoId;
+    uint16_t hot_mask = 0;
+    uint32_t replies = 0;      // contributing replies in this subtree
+    double reply_score = 0.0;  // sum of 1/level over them (Def. 4)
+  };
+
+  void BumpBounds(const Entry& entry);
+
+  Options options_;
+  std::vector<std::string> hot_terms_;              // bit index -> stem
+  std::unordered_map<std::string, int> hot_index_;  // stem -> bit index
+  std::unordered_map<TweetId, Entry> entries_;
+  std::vector<double> hot_bounds_;  // aligned with hot_terms_
+  double global_bound_ = 0.0;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_CORE_THREAD_TRACKER_H_

@@ -1,0 +1,41 @@
+#include "datagen/cities.h"
+
+namespace tklus {
+namespace datagen {
+
+const std::vector<City>& WorldCities() {
+  static const std::vector<City>* kCities = new std::vector<City>{
+      {"toronto", {43.6839, -79.3736}, 10.0},  // the paper's Fig. 1 city
+      {"newyork", {40.7128, -74.0060}, 9.0},
+      {"losangeles", {34.0522, -118.2437}, 8.0},
+      {"london", {51.5074, -0.1278}, 7.5},
+      {"paris", {48.8566, 2.3522}, 7.0},
+      {"seoul", {37.5665, 126.9780}, 6.5},  // the intro's babysitter city
+      {"tokyo", {35.6762, 139.6503}, 6.0},
+      {"sanfrancisco", {37.7749, -122.4194}, 5.5},
+      {"chicago", {41.8781, -87.6298}, 5.0},
+      {"houston", {29.7604, -95.3698}, 4.5},  // AOL example query city
+      {"berlin", {52.5200, 13.4050}, 4.0},
+      {"madrid", {40.4168, -3.7038}, 3.5},
+      {"rome", {41.9028, 12.4964}, 3.0},
+      {"sydney", {-33.8688, 151.2093}, 2.8},
+      {"singapore", {1.3521, 103.8198}, 2.6},
+      {"saopaulo", {-23.5505, -46.6333}, 2.4},  // near the Table IV coordinate
+      {"mexicocity", {19.4326, -99.1332}, 2.2},
+      {"amsterdam", {52.3676, 4.9041}, 2.0},
+      {"copenhagen", {55.6761, 12.5683}, 1.8},  // the authors' neighbourhood
+      {"istanbul", {41.0082, 28.9784}, 1.6},
+  };
+  return *kCities;
+}
+
+Gazetteer MakeCityGazetteer() {
+  Gazetteer gazetteer;
+  for (const City& city : WorldCities()) {
+    gazetteer.Add(city.name, city.center);
+  }
+  return gazetteer;
+}
+
+}  // namespace datagen
+}  // namespace tklus

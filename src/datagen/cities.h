@@ -1,0 +1,31 @@
+#ifndef TKLUS_DATAGEN_CITIES_H_
+#define TKLUS_DATAGEN_CITIES_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "model/gazetteer.h"
+
+namespace tklus {
+namespace datagen {
+
+// A world city the spatial mixture model clusters tweets around.
+struct City {
+  std::string name;   // lowercase single token, usable as a tweet word
+  GeoPoint center;
+  double weight;      // relative share of the population
+};
+
+// Built-in city table (20 cities). Weights follow a rough power law so the
+// synthetic corpus has the heavy spatial skew of real geo-tagged tweets.
+const std::vector<City>& WorldCities();
+
+// A gazetteer over the built-in city table, for the implicit-location
+// extension (model/gazetteer.h).
+Gazetteer MakeCityGazetteer();
+
+}  // namespace datagen
+}  // namespace tklus
+
+#endif  // TKLUS_DATAGEN_CITIES_H_

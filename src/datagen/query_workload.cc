@@ -1,0 +1,69 @@
+#include "datagen/query_workload.h"
+
+#include "common/rng.h"
+#include "datagen/text_model.h"
+
+namespace tklus {
+namespace datagen {
+
+std::vector<TkLusQuery> MakeQueryWorkload(const GeneratedCorpus& corpus,
+                                          const WorkloadOptions& options) {
+  Rng rng(options.seed);
+  std::vector<TkLusQuery> workload;
+  workload.reserve(3 * options.queries_per_group);
+  const auto& topics = TopicWords();
+  const auto& posts = corpus.dataset.posts();
+
+  const auto sample_location = [&]() -> GeoPoint {
+    if (posts.empty()) return GeoPoint{0, 0};
+    return posts[rng.UniformInt(posts.size())].location;
+  };
+  const auto base_query = [&]() {
+    TkLusQuery q;
+    q.location = sample_location();
+    q.radius_km = options.radius_km;
+    q.k = options.k;
+    q.semantics = options.semantics;
+    q.ranking = options.ranking;
+    return q;
+  };
+  // Hot topics are the Table-II head of the topic list.
+  const size_t num_hot = std::min<size_t>(10, topics.size());
+
+  for (int i = 0; i < options.queries_per_group; ++i) {
+    TkLusQuery q = base_query();
+    q.keywords = {topics[rng.UniformInt(topics.size())]};
+    workload.push_back(std::move(q));
+  }
+  for (int i = 0; i < options.queries_per_group; ++i) {
+    TkLusQuery q = base_query();
+    const std::string& topic = topics[rng.UniformInt(num_hot)];
+    const auto modifiers = ModifiersForTopic(topic);
+    q.keywords = {topic, modifiers[rng.UniformInt(modifiers.size())]};
+    workload.push_back(std::move(q));
+  }
+  for (int i = 0; i < options.queries_per_group; ++i) {
+    TkLusQuery q = base_query();
+    const std::string& topic = topics[rng.UniformInt(num_hot)];
+    const auto modifiers = ModifiersForTopic(topic);
+    const std::string& city =
+        corpus.city_names.empty()
+            ? std::string("toronto")
+            : corpus.city_names[rng.UniformInt(corpus.city_names.size())];
+    q.keywords = {modifiers[rng.UniformInt(modifiers.size())], topic, city};
+    workload.push_back(std::move(q));
+  }
+  return workload;
+}
+
+std::vector<TkLusQuery> FilterByKeywordCount(
+    const std::vector<TkLusQuery>& workload, size_t num_keywords) {
+  std::vector<TkLusQuery> out;
+  for (const TkLusQuery& q : workload) {
+    if (q.keywords.size() == num_keywords) out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace tklus

@@ -1,0 +1,40 @@
+#ifndef TKLUS_DATAGEN_QUERY_WORKLOAD_H_
+#define TKLUS_DATAGEN_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "datagen/tweet_generator.h"
+
+namespace tklus {
+namespace datagen {
+
+// Builds the §VI-B1 90-query workload: `queries_per_group` queries with
+// one keyword (drawn from the 30 meaningful keywords), with two keywords
+// (AOL-style "topic + modifier" phrases anchored on Table-II hot terms,
+// e.g. "restaurant seafood"), and with three keywords (modifier + topic +
+// city, e.g. "mexican restaurant houston"). Each query's location is
+// sampled from the corpus's own spatial distribution ("randomly associated
+// with a location that is sampled according to the spatial distribution in
+// our data set").
+struct WorkloadOptions {
+  uint64_t seed = 7;
+  int queries_per_group = 30;
+  double radius_km = 10.0;
+  int k = 10;
+  Semantics semantics = Semantics::kOr;
+  Ranking ranking = Ranking::kSum;
+};
+
+std::vector<TkLusQuery> MakeQueryWorkload(const GeneratedCorpus& corpus,
+                                          const WorkloadOptions& options);
+
+// The subset with exactly `num_keywords` keywords (1, 2 or 3).
+std::vector<TkLusQuery> FilterByKeywordCount(
+    const std::vector<TkLusQuery>& workload, size_t num_keywords);
+
+}  // namespace datagen
+}  // namespace tklus
+
+#endif  // TKLUS_DATAGEN_QUERY_WORKLOAD_H_

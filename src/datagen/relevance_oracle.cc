@@ -1,0 +1,88 @@
+#include "datagen/relevance_oracle.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "datagen/text_model.h"
+#include "geo/distance.h"
+
+namespace tklus {
+namespace datagen {
+
+RelevanceOracle::RelevanceOracle(const GeneratedCorpus* corpus,
+                                 TokenizerOptions tokenizer, Options options)
+    : corpus_(corpus),
+      tokenizer_(tokenizer),
+      options_(options),
+      rng_(options.seed) {
+  // Stemmed topic vocabulary.
+  std::unordered_set<std::string> topic_stems;
+  for (const std::string& topic : TopicWords()) {
+    for (const std::string& stem : tokenizer_.Tokenize(topic)) {
+      topic_stems.insert(stem);
+    }
+  }
+  for (const Post& post : corpus_->dataset.posts()) {
+    for (const std::string& term : tokenizer_.Tokenize(post.text)) {
+      if (topic_stems.count(term)) {
+        topic_posts_[post.uid].emplace_back(term, post.location);
+      }
+    }
+  }
+}
+
+bool RelevanceOracle::TrulyRelevant(UserId uid,
+                                    const TkLusQuery& query) const {
+  const auto it = topic_posts_.find(uid);
+  if (it == topic_posts_.end()) return false;
+  std::vector<std::string> terms;
+  for (const std::string& keyword : query.keywords) {
+    for (std::string& term : tokenizer_.Tokenize(keyword)) {
+      terms.push_back(std::move(term));
+    }
+  }
+  for (const std::string& term : terms) {
+    int nearby = 0;
+    for (const auto& [stem, location] : it->second) {
+      if (stem != term) continue;
+      if (EuclideanKm(location, query.location) <= options_.locality_km) {
+        if (++nearby >= options_.min_on_topic_posts) return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool RelevanceOracle::JudgedRelevant(UserId uid, const TkLusQuery& query) {
+  const bool truth = TrulyRelevant(uid, query);
+  int votes = 0;
+  for (int j = 0; j < options_.judges_per_line; ++j) {
+    const bool agrees = rng_.Bernoulli(options_.judge_accuracy);
+    const bool vote = agrees ? truth : !truth;
+    if (vote) ++votes;
+  }
+  return votes >= options_.votes_required;
+}
+
+double RelevanceOracle::Precision(const std::vector<UserId>& users,
+                                  const TkLusQuery& query) {
+  if (users.empty()) return 0.0;
+  int relevant = 0;
+  for (const UserId uid : users) {
+    if (JudgedRelevant(uid, query)) ++relevant;
+  }
+  return static_cast<double>(relevant) / users.size();
+}
+
+double RelevanceOracle::TruePrecision(const std::vector<UserId>& users,
+                                      const TkLusQuery& query) const {
+  if (users.empty()) return 0.0;
+  int relevant = 0;
+  for (const UserId uid : users) {
+    if (TrulyRelevant(uid, query)) ++relevant;
+  }
+  return static_cast<double>(relevant) / users.size();
+}
+
+}  // namespace datagen
+}  // namespace tklus

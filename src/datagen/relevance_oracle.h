@@ -1,0 +1,76 @@
+#ifndef TKLUS_DATAGEN_RELEVANCE_ORACLE_H_
+#define TKLUS_DATAGEN_RELEVANCE_ORACLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/query.h"
+#include "datagen/tweet_generator.h"
+#include "geo/point.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+namespace datagen {
+
+// Simulates the §VI-B6 user study. The paper's six judges rated each
+// returned (userId, tweet content) line for relevance to the query; their
+// precision is high at small radii and decays as the radius grows,
+// "justifying the distance score". We model the judges' notion of a
+// *relevant local user* as: the user has at least `min_on_topic_posts`
+// posts mentioning a query keyword within `locality_km` of the query
+// location — i.e. demonstrated repeated, nearby engagement with the topic
+// (a planted expert always qualifies; a drive-by single mention does not).
+// Judged relevance follows the paper's protocol: `judges_per_line`
+// independent judges each agree with ground truth with probability
+// `judge_accuracy`, and a user counts as relevant with >=
+// `votes_required` positive votes ("considered relevant twice or even
+// more").
+class RelevanceOracle {
+ public:
+  struct Options {
+    uint64_t seed = 11;
+    double judge_accuracy = 0.85;
+    int judges_per_line = 4;
+    int votes_required = 2;
+    // What the judges consider "local": on-topic posts within this
+    // distance of the query location.
+    double locality_km = 12.0;
+    int min_on_topic_posts = 2;
+  };
+
+  RelevanceOracle(const GeneratedCorpus* corpus, TokenizerOptions tokenizer,
+                  Options options);
+  explicit RelevanceOracle(const GeneratedCorpus* corpus)
+      : RelevanceOracle(corpus, TokenizerOptions{}, Options{}) {}
+
+  // Ground truth (no judge noise).
+  bool TrulyRelevant(UserId uid, const TkLusQuery& query) const;
+
+  // One judged line (stochastic; deterministic given construction seed and
+  // call sequence).
+  bool JudgedRelevant(UserId uid, const TkLusQuery& query);
+
+  // Fraction of `users` judged relevant for `query` — the Fig. 13 metric.
+  double Precision(const std::vector<UserId>& users, const TkLusQuery& query);
+
+  // Noise-free precision, for tests.
+  double TruePrecision(const std::vector<UserId>& users,
+                       const TkLusQuery& query) const;
+
+ private:
+  const GeneratedCorpus* corpus_;
+  Tokenizer tokenizer_;
+  Options options_;
+  Rng rng_;
+  // uid -> (topic stem, post location) for every topic mention, built once
+  // from the corpus text.
+  std::unordered_map<UserId, std::vector<std::pair<std::string, GeoPoint>>>
+      topic_posts_;
+};
+
+}  // namespace datagen
+}  // namespace tklus
+
+#endif  // TKLUS_DATAGEN_RELEVANCE_ORACLE_H_

@@ -1,0 +1,94 @@
+#include "datagen/text_model.h"
+
+namespace tklus {
+namespace datagen {
+
+const std::vector<std::string>& TopicWords() {
+  static const std::vector<std::string>* kTopics = new std::vector<std::string>{
+      // Table II, rank order 1..10.
+      "restaurant", "game", "cafe", "shop", "hotel",
+      "club", "coffee", "film", "pizza", "mall",
+      // 20 further meaningful keywords (§VI-B1 selects 30 in total).
+      "museum", "park", "beach", "concert", "festival",
+      "gym", "sushi", "burger", "bakery", "theater",
+      "library", "market", "spa", "salon", "brunch",
+      "cocktail", "gallery", "stadium", "bar", "zoo",
+  };
+  return *kTopics;
+}
+
+const std::vector<std::string>& ModifierWords() {
+  static const std::vector<std::string>* kModifiers =
+      new std::vector<std::string>{
+          "seafood", "mexican",  "italian", "chinese", "thai",
+          "french",  "indian",   "vegan",   "korean",  "japanese",
+          "jazz",    "indie",    "rock",    "horror",  "comedy",
+          "luxury",  "budget",   "boutique", "rooftop", "vintage",
+          "craft",   "organic",  "artisan", "gourmet", "spicy",
+      };
+  return *kModifiers;
+}
+
+const std::vector<std::string>& FillerWords() {
+  static const std::vector<std::string>* kFillers =
+      new std::vector<std::string>{
+          "amazing",   "great",     "best",      "awesome",   "delicious",
+          "fantastic", "lovely",    "nice",      "perfect",   "terrible",
+          "crowded",   "cozy",      "cheap",     "fancy",     "famous",
+          "favorite",  "local",     "night",     "weekend",   "dinner",
+          "lunch",     "breakfast", "friends",   "family",    "birthday",
+          "visit",     "trip",      "city",      "downtown",  "place",
+          "love",      "enjoy",     "recommend", "tonight",   "morning",
+          "evening",   "happy",     "music",     "food",      "drink",
+          "view",      "service",   "staff",     "chill",     "vibes",
+          "queue",     "line",      "ticket",    "deal",      "price",
+          "open",      "closed",    "fresh",     "sweet",     "crispy",
+          "tasty",     "huge",      "tiny",      "busy",      "quiet",
+          "sunny",     "rainy",     "cold",      "warm",      "beautiful",
+          "ugly",      "clean",     "dirty",     "friendly",  "rude",
+          "fast",      "slow",      "classic",   "modern",    "historic",
+          "touristy",  "hidden",    "gem",       "spot",      "corner",
+          "street",    "avenue",    "square",    "district",  "neighborhood",
+          "patio",     "terrace",   "garden",    "rooftops",  "basement",
+          "live",      "show",      "event",     "party",     "crowd",
+          "date",      "anniversary", "holiday", "vacation",  "staycation",
+          "walk",      "run",       "bike",      "drive",     "driveway",
+          "metro",     "bus",       "train",     "station",   "airport",
+          "checkin",   "checkout",  "booking",   "reservation", "table",
+          "menu",      "chef",      "waiter",    "barista",   "bartender",
+          "espresso",  "latte",     "mocha",     "croissant", "bagel",
+          "noodles",   "dumplings", "tacos",     "pasta",     "salad",
+          "dessert",   "cake",      "icecream",  "smoothie",  "juice",
+          "beer",      "wine",      "whiskey",   "soda",      "water",
+          "photo",     "selfie",    "camera",    "video",     "story",
+          "review",    "rating",    "stars",     "tips",      "guide",
+      };
+  return *kFillers;
+}
+
+std::vector<std::string> ModifiersForTopic(std::string_view topic) {
+  // Food topics take cuisine modifiers; entertainment topics take genres;
+  // everything else takes style modifiers.
+  static const std::vector<std::string> kCuisine = {
+      "seafood", "mexican", "italian", "chinese", "thai",
+      "french",  "indian",  "vegan",   "korean",  "japanese",
+      "spicy",   "gourmet", "organic", "artisan"};
+  static const std::vector<std::string> kGenre = {
+      "jazz", "indie", "rock", "horror", "comedy"};
+  static const std::vector<std::string> kStyle = {
+      "luxury", "budget", "boutique", "rooftop", "vintage", "craft"};
+  if (topic == "restaurant" || topic == "cafe" || topic == "pizza" ||
+      topic == "sushi" || topic == "burger" || topic == "bakery" ||
+      topic == "brunch" || topic == "coffee" || topic == "market") {
+    return kCuisine;
+  }
+  if (topic == "film" || topic == "concert" || topic == "club" ||
+      topic == "festival" || topic == "theater" || topic == "bar" ||
+      topic == "cocktail" || topic == "game") {
+    return kGenre;
+  }
+  return kStyle;
+}
+
+}  // namespace datagen
+}  // namespace tklus

@@ -1,0 +1,33 @@
+#ifndef TKLUS_DATAGEN_TEXT_MODEL_H_
+#define TKLUS_DATAGEN_TEXT_MODEL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tklus {
+namespace datagen {
+
+// The 30 "meaningful keywords" of §VI-B1. The first ten are exactly the
+// paper's Table II hot keywords, in the paper's frequency-rank order; the
+// generator draws topics Zipf-distributed over this list so the corpus
+// reproduces that ranking.
+const std::vector<std::string>& TopicWords();
+
+// Modifier words that co-occur with topics (cuisines, genres, styles) —
+// the second keyword of AOL-style phrases like "restaurant seafood".
+const std::vector<std::string>& ModifierWords();
+
+// Generic filler vocabulary (content words that survive stop-word
+// removal but carry no query meaning).
+const std::vector<std::string>& FillerWords();
+
+// Modifiers that plausibly attach to a topic (e.g. cuisine words for
+// "restaurant", genres for "film"). Used by both the tweet composer and
+// the multi-keyword query workload so AND queries are satisfiable.
+std::vector<std::string> ModifiersForTopic(std::string_view topic);
+
+}  // namespace datagen
+}  // namespace tklus
+
+#endif  // TKLUS_DATAGEN_TEXT_MODEL_H_

@@ -1,0 +1,311 @@
+#include "datagen/tweet_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "datagen/cities.h"
+#include "datagen/text_model.h"
+#include "geo/distance.h"
+
+namespace tklus {
+namespace datagen {
+
+namespace {
+
+// A point jittered around `center` with the given standard deviation in
+// kilometres (isotropic in the local frame).
+GeoPoint Jitter(Rng& rng, const GeoPoint& center, double sigma_km) {
+  const double dlat = rng.Normal(0.0, sigma_km / kKmPerDegreeLat);
+  const double coslat =
+      std::max(0.2, std::cos(center.lat * kDegToRad));
+  const double dlon = rng.Normal(0.0, sigma_km / (kKmPerDegreeLat * coslat));
+  return GeoPoint{std::clamp(center.lat + dlat, -89.9, 89.9),
+                  std::clamp(center.lon + dlon, -179.9, 179.9)};
+}
+
+struct UserProfile {
+  int city = 0;
+  GeoPoint home;
+  bool is_expert = false;
+  int expert_topic = -1;   // index into TopicWords()
+  double activity = 1.0;
+};
+
+}  // namespace
+
+GeneratedCorpus TweetGenerator::Generate(const Options& options) {
+  Rng rng(options.seed);
+  GeneratedCorpus corpus;
+
+  const auto& all_cities = WorldCities();
+  const int num_cities =
+      std::clamp<int>(options.num_cities, 1,
+                      static_cast<int>(all_cities.size()));
+  double city_weight_sum = 0;
+  for (int c = 0; c < num_cities; ++c) {
+    corpus.city_centers.push_back(all_cities[c].center);
+    corpus.city_names.push_back(all_cities[c].name);
+    city_weight_sum += all_cities[c].weight;
+  }
+  const auto sample_city = [&]() {
+    double u = rng.NextDouble() * city_weight_sum;
+    for (int c = 0; c < num_cities; ++c) {
+      u -= all_cities[c].weight;
+      if (u <= 0) return c;
+    }
+    return num_cities - 1;
+  };
+
+  const auto& topics = TopicWords();
+  const ZipfSampler topic_zipf(topics.size(), options.topic_zipf_s);
+  const auto& fillers = FillerWords();
+
+  // ---- Users. The first experts_per_city * experts_per_topic *
+  // num_cities users are planted experts: experts_per_topic users cover
+  // each of the first experts_per_city topics in every city, so each hot
+  // keyword has several comparably-influential locals per city (the
+  // regime the paper's pruning results imply).
+  const size_t per_topic = std::max<size_t>(1, options.experts_per_topic);
+  const size_t experts_per_city_total =
+      options.experts_per_city * per_topic;
+  const size_t num_experts =
+      std::min(options.num_users,
+               experts_per_city_total * static_cast<size_t>(num_cities));
+  std::vector<UserProfile> users(options.num_users);
+  for (size_t u = 0; u < options.num_users; ++u) {
+    UserProfile& profile = users[u];
+    if (u < num_experts) {
+      profile.is_expert = true;
+      profile.city = static_cast<int>(u / experts_per_city_total);
+      profile.expert_topic =
+          static_cast<int>((u % experts_per_city_total) / per_topic);
+      // Experts live *across* the city, not at its centre: a larger query
+      // radius therefore reaches additional, more distant experts — the
+      // effect behind Fig. 13's precision decay and Fig. 12's growing
+      // pruning gains.
+      profile.home = Jitter(rng, corpus.city_centers[profile.city],
+                            options.home_sigma_km);
+      corpus.experts.push_back(ExpertProfile{
+          static_cast<UserId>(u + 1), topics[profile.expert_topic],
+          profile.home, 12.0});
+    } else {
+      profile.city = sample_city();
+      profile.home = Jitter(rng, corpus.city_centers[profile.city],
+                            options.home_sigma_km);
+    }
+  }
+  // Zipf activity over a random permutation of users; experts tripled so
+  // they have enough on-topic volume to be discoverable.
+  {
+    std::vector<size_t> ranks(options.num_users);
+    for (size_t u = 0; u < options.num_users; ++u) ranks[u] = u;
+    // Fisher-Yates with our deterministic RNG.
+    for (size_t u = options.num_users - 1; u > 0; --u) {
+      std::swap(ranks[u], ranks[rng.UniformInt(uint64_t{u + 1})]);
+    }
+    const size_t top_decile = std::max<size_t>(1, options.num_users / 10);
+    for (size_t u = 0; u < options.num_users; ++u) {
+      size_t rank = ranks[u];
+      // Experts are by construction active accounts: their activity rank
+      // is folded into the top decile so every planted expert posts
+      // enough on-topic roots to own popular threads.
+      if (users[u].is_expert) rank %= top_decile;
+      users[u].activity =
+          1.0 / std::pow(static_cast<double>(rank + 1),
+                         options.activity_zipf_s);
+      if (users[u].is_expert) users[u].activity *= 2.0;
+    }
+  }
+  std::vector<double> activity_cdf(options.num_users);
+  double activity_sum = 0;
+  for (size_t u = 0; u < options.num_users; ++u) {
+    activity_sum += users[u].activity;
+    activity_cdf[u] = activity_sum;
+  }
+  const auto sample_user = [&]() -> size_t {
+    const double target = rng.NextDouble() * activity_sum;
+    return static_cast<size_t>(
+        std::lower_bound(activity_cdf.begin(), activity_cdf.end(), target) -
+        activity_cdf.begin());
+  };
+
+  // ---- Tweets. Preferential-attachment pool: a tweet index enters the
+  // pool when posted (expert roots several times) and again each time it
+  // gains a child, yielding heavy-tailed cascades.
+  struct TweetInfo {
+    size_t user = 0;
+    int topic = -1;    // index into topics, -1 none
+    int depth = 0;     // 0 = root
+    size_t root = 0;   // index of the thread root
+    int thread_size = 0;  // maintained on the root entry only
+  };
+  std::vector<TweetInfo> info;
+  info.reserve(options.num_tweets);
+  std::vector<size_t> pool;
+  pool.reserve(options.num_tweets * 2);
+  constexpr size_t kRecencyWindow = 20000;
+
+  // Hot topics carry larger threads (the paper's Table-II keywords are hot
+  // precisely because they generate conversation); the cap shrinks with
+  // topic rank, which also makes the per-keyword upper bounds of §V-B
+  // genuinely different from the global bound.
+  const auto thread_cap = [&options](int topic) {
+    if (topic < 0) return std::max(2, options.max_children_boost / 2);
+    if (topic < 10) {
+      return static_cast<int>(options.max_children_boost *
+                              (2.2 - 0.12 * topic));
+    }
+    return std::max(3, static_cast<int>(options.max_children_boost * 0.8));
+  };
+
+  std::string text;
+  for (size_t i = 0; i < options.num_tweets; ++i) {
+    const int64_t sid = options.start_sid + static_cast<int64_t>(i);
+    Post post;
+    post.sid = sid;
+    TweetInfo tweet;
+
+    // Choose reply vs root.
+    ssize_t parent = -1;
+    if (!pool.empty() && rng.Bernoulli(options.reply_prob)) {
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        const size_t lo = pool.size() > kRecencyWindow
+                              ? pool.size() - kRecencyWindow
+                              : 0;
+        const size_t pick =
+            lo + rng.UniformInt(uint64_t{pool.size() - lo});
+        size_t cand = pool[pick];
+        // Most engagement lands on the thread root itself (as on real
+        // microblog platforms); the rest deepens the cascade.
+        if (rng.Bernoulli(0.7)) cand = info[cand].root;
+        // Saturated threads accept no further replies: the cap bounds
+        // every thread, so per-keyword popularity has a dense, flat head.
+        const TweetInfo& root_info = info[info[cand].root];
+        if (root_info.thread_size >= thread_cap(root_info.topic)) {
+          continue;
+        }
+        if (info[cand].depth + 1 < options.max_thread_chain) {
+          parent = static_cast<ssize_t>(cand);
+          break;
+        }
+      }
+    }
+
+    text.clear();
+    const auto add_word = [&](const std::string& w) {
+      if (!text.empty()) text += ' ';
+      text += w;
+    };
+
+    if (parent >= 0) {
+      // Reply or forward to `parent`.
+      const TweetInfo& parent_info = info[parent];
+      const size_t u = sample_user();
+      tweet.user = u;
+      tweet.depth = parent_info.depth + 1;
+      post.uid = static_cast<UserId>(u + 1);
+      post.ruid = static_cast<UserId>(parent_info.user + 1);
+      post.rsid = options.start_sid + static_cast<int64_t>(parent);
+      post.is_forward = rng.Bernoulli(options.forward_frac);
+      post.location = Jitter(rng, users[u].home, options.tweet_sigma_km);
+      // Replies echo the parent's topic half the time.
+      if (parent_info.topic >= 0 && rng.Bernoulli(0.5)) {
+        tweet.topic = parent_info.topic;
+        add_word(fillers[rng.UniformInt(fillers.size())]);
+        add_word(topics[tweet.topic]);
+      } else {
+        add_word(fillers[rng.UniformInt(fillers.size())]);
+      }
+      add_word(fillers[rng.UniformInt(fillers.size())]);
+      tweet.root = parent_info.root;
+      // Rich get richer, but capped: once a thread reaches
+      // max_children_boost tweets it stops attracting extra attachment
+      // weight, which yields a dense head of comparably-popular threads
+      // per topic instead of a single runaway cascade.
+      ++info[tweet.root].thread_size;
+      pool.push_back(static_cast<size_t>(parent));
+      pool.push_back(i);
+    } else {
+      // Root tweet.
+      const size_t u = sample_user();
+      tweet.user = u;
+      tweet.depth = 0;
+      tweet.root = i;
+      post.uid = static_cast<UserId>(u + 1);
+      const UserProfile& profile = users[u];
+
+      int topic;
+      GeoPoint around = profile.home;
+      if (profile.is_expert && rng.Bernoulli(0.8)) {
+        topic = profile.expert_topic;
+        around = Jitter(rng, profile.home, 1.5);
+      } else {
+        topic = static_cast<int>(topic_zipf.Sample(rng));
+        if (rng.Bernoulli(options.travel_prob)) {
+          around = Jitter(rng, corpus.city_centers[sample_city()], 2.0);
+        }
+      }
+      tweet.topic = topic;
+      post.location = Jitter(rng, around, options.tweet_sigma_km);
+
+      // Compose: filler [modifier] topic filler* [topic again] [cityname].
+      add_word(fillers[rng.UniformInt(fillers.size())]);
+      if (rng.Bernoulli(0.35)) {
+        const auto modifiers = ModifiersForTopic(topics[topic]);
+        add_word(modifiers[rng.UniformInt(modifiers.size())]);
+      }
+      add_word(topics[topic]);
+      const int extra = static_cast<int>(rng.UniformInt(uint64_t{3}));
+      for (int w = 0; w < extra; ++w) {
+        add_word(fillers[rng.UniformInt(fillers.size())]);
+      }
+      // A fraction of expert on-topic roots are "viral seeds" (heavy
+      // attachment weight below). Viral posts name their topic repeatedly
+      // (text + hashtags), so thread-leading tweets carry tf 3-4 while
+      // ordinary mentions carry tf 1-2 — the term-frequency spread that
+      // makes the Alg. 5 per-tweet bound selective.
+      const bool viral = profile.is_expert &&
+                         topic == profile.expert_topic &&
+                         rng.Bernoulli(options.viral_seed_prob);
+      if (viral) {
+        add_word(topics[topic]);
+        add_word(topics[topic]);  // tf = 3
+        if (rng.Bernoulli(0.5)) add_word(topics[topic]);  // tf = 4
+      } else if (rng.Bernoulli(options.topic_repeat_prob)) {
+        add_word(topics[topic]);  // bag-model tf = 2
+        if (rng.Bernoulli(0.3)) add_word(topics[topic]);  // tf = 3
+      }
+      if (rng.Bernoulli(0.08)) {
+        add_word(corpus.city_names[profile.city]);
+      }
+      // Viral seeds carry a large attachment weight. Sizing: with reply
+      // volume R and thread cap C, about R/C threads can saturate; the
+      // seed rate keeps the number of seeds near that capacity so experts
+      // own several saturated (comparably popular) threads each.
+      const int copies =
+          viral ? static_cast<int>(options.expert_root_boost) : 2;
+      for (int c = 0; c < copies; ++c) pool.push_back(i);
+    }
+
+    // Optionally strip the geo-tag; most such posts still name their city
+    // so the gazetteer extension can recover the location.
+    if (options.untagged_frac > 0 && rng.Bernoulli(options.untagged_frac)) {
+      post.geo_source = GeoSource::kNone;
+      if (rng.Bernoulli(0.8)) {
+        add_word(corpus.city_names[users[tweet.user].city]);
+      }
+    }
+
+    post.text = text;
+    corpus.post_topics.push_back(tweet.topic >= 0 ? topics[tweet.topic]
+                                                  : std::string());
+    corpus.dataset.Add(std::move(post));
+    info.push_back(tweet);
+  }
+  return corpus;
+}
+
+}  // namespace datagen
+}  // namespace tklus

@@ -1,0 +1,79 @@
+#ifndef TKLUS_DATAGEN_TWEET_GENERATOR_H_
+#define TKLUS_DATAGEN_TWEET_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "model/dataset.h"
+
+namespace tklus {
+namespace datagen {
+
+// A planted "local expert": a user who tweets heavily about one topic
+// around one city. Experts are the ground truth of the user-study
+// simulation (Fig. 13): a returned user is truly relevant to a query iff
+// an expert's topic matches a query keyword and the query circle reaches
+// their region.
+struct ExpertProfile {
+  UserId uid = 0;
+  std::string topic;       // raw topic word (pre-stemming)
+  GeoPoint center;         // city centre of their expertise
+  double radius_km = 12.0;
+};
+
+struct GeneratedCorpus {
+  Dataset dataset;
+  std::vector<ExpertProfile> experts;
+  std::vector<GeoPoint> city_centers;       // the cities actually used
+  std::vector<std::string> city_names;
+  // Topic word of each post (index-aligned with dataset), "" if none.
+  std::vector<std::string> post_topics;
+};
+
+// Synthetic geo-tagged tweet corpus generator. Distributional targets,
+// each standing in for a property of the paper's 514M-tweet crawl:
+//  * spatial: mixture of city clusters (power-law city weights, Gaussian
+//    spread) — drives geohash-cell skew;
+//  * text: Zipf topics over the 30 §VI-B1 keywords (top-10 = Table II),
+//    modifier co-occurrence so multi-keyword AND queries are satisfiable;
+//  * social: preferential-attachment reply/forward cascades — heavy-tailed
+//    tweet threads for Def. 4 popularity;
+//  * users: Zipf activity; planted per-city topic experts.
+class TweetGenerator {
+ public:
+  struct Options {
+    uint64_t seed = 42;
+    size_t num_users = 2000;
+    size_t num_tweets = 100000;
+    int num_cities = 10;
+    size_t experts_per_city = 10;   // topics covered per city (Table II)
+    size_t experts_per_topic = 6;   // planted experts per (city, topic)
+    double viral_seed_prob = 0.2;   // P(expert on-topic root is a seed)
+    double topic_zipf_s = 0.8;
+    double activity_zipf_s = 1.0;
+    double reply_prob = 0.50;       // P(new tweet is reply/forward)
+    double forward_frac = 0.3;      // of those, fraction that forward
+    double expert_root_boost = 80.0;  // attachment weight of viral seeds
+    int max_children_boost = 12;    // base thread-size cap; hot topics
+                                    // scale it up (see ThreadCap in .cc)
+    double topic_repeat_prob = 0.45;  // P(topic word appears twice, tf=2)
+    int max_thread_chain = 10;      // depth cap on generated chains
+    double home_sigma_km = 6.0;
+    double tweet_sigma_km = 2.5;
+    double travel_prob = 0.05;
+    // Fraction of posts that carry no geo-tag (GeoSource::kNone); 80% of
+    // them mention their city by name, so gazetteer inference (§VIII
+    // extension) can recover a coarse location.
+    double untagged_frac = 0.0;
+    int64_t start_sid = 1000000;
+  };
+
+  static GeneratedCorpus Generate(const Options& options);
+};
+
+}  // namespace datagen
+}  // namespace tklus
+
+#endif  // TKLUS_DATAGEN_TWEET_GENERATOR_H_

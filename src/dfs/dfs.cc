@@ -1,0 +1,220 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/serde.h"
+
+namespace tklus {
+
+SimulatedDfs::SimulatedDfs(Options options) : options_(options) {
+  if (options_.num_data_nodes < 1) options_.num_data_nodes = 1;
+  if (options_.block_size == 0) options_.block_size = 64 * 1024;
+  nodes_.resize(options_.num_data_nodes);
+  last_block_read_.assign(options_.num_data_nodes, -2);
+}
+
+Status SimulatedDfs::Append(const std::string& path, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  File& file = files_[path];
+  size_t consumed = 0;
+  while (consumed < data.size()) {
+    if (file.blocks.empty() ||
+        file.blocks.back().data.size() >= options_.block_size) {
+      Block block;
+      block.node = next_node_;
+      next_node_ = (next_node_ + 1) % options_.num_data_nodes;
+      ++nodes_[block.node].blocks_stored;
+      file.blocks.push_back(std::move(block));
+    }
+    Block& tail = file.blocks.back();
+    const size_t room = options_.block_size - tail.data.size();
+    const size_t take = std::min(room, data.size() - consumed);
+    tail.data.append(data.substr(consumed, take));
+    nodes_[tail.node].bytes_stored += take;
+    consumed += take;
+    file.size += take;
+  }
+  return Status::Ok();
+}
+
+Status SimulatedDfs::ReadAt(const std::string& path, uint64_t offset,
+                            uint64_t length, std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  const File& file = it->second;
+  if (offset + length > file.size) {
+    return Status::OutOfRange("read past EOF of " + path);
+  }
+  if (read_faults_ > 0) {
+    --read_faults_;
+    return Status::IoError("injected fault: data node unavailable for " +
+                           path);
+  }
+  out->clear();
+  out->reserve(length);
+  uint64_t block_idx = offset / options_.block_size;
+  uint64_t in_block = offset % options_.block_size;
+  uint64_t remaining = length;
+  while (remaining > 0) {
+    const Block& block = file.blocks[block_idx];
+    NodeStats& node = nodes_[block.node];
+    ++node.block_reads;
+    // A read is a seek unless it continues right after the previous block
+    // read on the same node.
+    if (last_block_read_[block.node] + 1 !=
+        static_cast<int64_t>(block_idx)) {
+      ++node.seeks;
+    }
+    last_block_read_[block.node] = static_cast<int64_t>(block_idx);
+    const uint64_t take =
+        std::min<uint64_t>(remaining, block.data.size() - in_block);
+    out->append(block.data, in_block, take);
+    remaining -= take;
+    in_block = 0;
+    ++block_idx;
+  }
+  return Status::Ok();
+}
+
+Result<std::string> SimulatedDfs::ReadAll(const std::string& path) {
+  uint64_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = files_.find(path);
+    if (it == files_.end()) {
+      return Status::NotFound("no such file: " + path);
+    }
+    size = it->second.size;
+  }
+  std::string out;
+  TKLUS_RETURN_IF_ERROR(ReadAt(path, 0, size, &out));
+  return out;
+}
+
+bool SimulatedDfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status SimulatedDfs::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  for (const Block& block : it->second.blocks) {
+    nodes_[block.node].bytes_stored -= block.data.size();
+    --nodes_[block.node].blocks_stored;
+  }
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Result<uint64_t> SimulatedDfs::FileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return it->second.size;
+}
+
+std::vector<std::string> SimulatedDfs::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+namespace {
+constexpr uint64_t kDfsMagic = 0x73666474736b6c54ULL;  // "Tklstfds"
+}  // namespace
+
+Status SimulatedDfs::Save(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  serde::WriteU64(out, kDfsMagic);
+  serde::WriteU64(out, options_.block_size);
+  serde::WriteU64(out, static_cast<uint64_t>(options_.num_data_nodes));
+  serde::WriteU64(out, files_.size());
+  for (const auto& [path, file] : files_) {
+    serde::WriteString(out, path);
+    serde::WriteU64(out, file.size);
+    for (const Block& block : file.blocks) {
+      out.write(block.data.data(),
+                static_cast<std::streamsize>(block.data.size()));
+    }
+  }
+  if (!out) return Status::IoError("short write saving DFS image");
+  return Status::Ok();
+}
+
+Status SimulatedDfs::Load(std::istream& in) {
+  uint64_t magic = 0, block_size = 0, num_nodes = 0, file_count = 0;
+  if (!serde::ReadU64(in, &magic) || magic != kDfsMagic) {
+    return Status::Corruption("not a DFS image");
+  }
+  if (!serde::ReadU64(in, &block_size) || !serde::ReadU64(in, &num_nodes) ||
+      !serde::ReadU64(in, &file_count)) {
+    return Status::Corruption("truncated DFS image header");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.block_size = block_size;
+    options_.num_data_nodes = static_cast<int>(num_nodes);
+    files_.clear();
+    nodes_.assign(options_.num_data_nodes, NodeStats{});
+    last_block_read_.assign(options_.num_data_nodes, -2);
+    next_node_ = 0;
+  }
+  std::string content;
+  for (uint64_t f = 0; f < file_count; ++f) {
+    std::string path;
+    uint64_t size = 0;
+    if (!serde::ReadString(in, &path) || !serde::ReadU64(in, &size)) {
+      return Status::Corruption("truncated DFS image file entry");
+    }
+    content.resize(size);
+    in.read(content.data(), static_cast<std::streamsize>(size));
+    if (static_cast<uint64_t>(in.gcount()) != size) {
+      return Status::Corruption("truncated DFS image content");
+    }
+    TKLUS_RETURN_IF_ERROR(Append(path, content));
+  }
+  return Status::Ok();
+}
+
+uint64_t SimulatedDfs::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const NodeStats& node : nodes_) total += node.bytes_stored;
+  return total;
+}
+
+size_t SimulatedDfs::file_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.size();
+}
+
+void SimulatedDfs::InjectReadFaults(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_faults_ = count;
+}
+
+void SimulatedDfs::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (NodeStats& node : nodes_) {
+    node.block_reads = 0;
+    node.seeks = 0;
+  }
+  last_block_read_.assign(options_.num_data_nodes, -2);
+}
+
+}  // namespace tklus

@@ -1,0 +1,99 @@
+#ifndef TKLUS_DFS_DFS_H_
+#define TKLUS_DFS_DFS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tklus {
+
+// A simulated HDFS (Figure 3): files are split into fixed-size blocks that
+// are placed round-robin on named data nodes. The simulation keeps block
+// bytes in memory but faithfully models the quantities the paper measures —
+// total stored bytes ("index size in HDFS", Fig. 6), per-node placement,
+// and the sequential-vs-random read pattern of postings fetches ("random
+// access to inverted index in HDFS is disk-based", §VI-B1).
+class SimulatedDfs {
+ public:
+  struct Options {
+    size_t block_size = 64 * 1024;
+    int num_data_nodes = 3;  // Table III: one master + two slaves
+  };
+
+  struct NodeStats {
+    uint64_t blocks_stored = 0;
+    uint64_t bytes_stored = 0;
+    uint64_t block_reads = 0;
+    uint64_t seeks = 0;  // non-sequential block accesses
+  };
+
+  explicit SimulatedDfs(Options options);
+  SimulatedDfs() : SimulatedDfs(Options{}) {}
+
+  SimulatedDfs(const SimulatedDfs&) = delete;
+  SimulatedDfs& operator=(const SimulatedDfs&) = delete;
+
+  // Appends `data` to `path`, creating the file if needed.
+  Status Append(const std::string& path, std::string_view data);
+
+  // Reads `length` bytes at `offset` into `out`. Fails past EOF.
+  Status ReadAt(const std::string& path, uint64_t offset, uint64_t length,
+                std::string* out);
+
+  // Whole-file read.
+  Result<std::string> ReadAll(const std::string& path);
+
+  bool Exists(const std::string& path) const;
+  Status Delete(const std::string& path);
+  Result<uint64_t> FileSize(const std::string& path) const;
+
+  // Paths with the given prefix, sorted (the namespace is a sorted map,
+  // like an HDFS directory listing).
+  std::vector<std::string> List(const std::string& prefix = "") const;
+
+  // Serializes the whole namespace + contents (options, files, data) so
+  // an index built once can be reopened later. Load replaces this DFS's
+  // state; block placement is re-derived deterministically.
+  Status Save(std::ostream& out) const;
+  Status Load(std::istream& in);
+
+  uint64_t total_bytes() const;
+  size_t file_count() const;
+  const std::vector<NodeStats>& node_stats() const { return nodes_; }
+  void ResetStats();
+
+  // Failure injection for tests and fault-tolerance drills: the next
+  // `count` ReadAt/ReadAll calls fail with kIoError ("data node down"),
+  // then reads recover.
+  void InjectReadFaults(int count);
+  const Options& options() const { return options_; }
+
+ private:
+  struct Block {
+    int node = 0;
+    std::string data;
+  };
+  struct File {
+    std::vector<Block> blocks;
+    uint64_t size = 0;
+  };
+
+  Options options_;
+  std::map<std::string, File> files_;
+  std::vector<NodeStats> nodes_;
+  int next_node_ = 0;
+  int read_faults_ = 0;
+  // Last block index read per (node) — for seek accounting.
+  mutable std::vector<int64_t> last_block_read_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_DFS_DFS_H_

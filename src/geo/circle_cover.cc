@@ -1,0 +1,58 @@
+#include "geo/circle_cover.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+#include "geo/distance.h"
+#include "geo/geohash.h"
+
+namespace tklus {
+
+std::vector<std::string> GeohashCircleCover(const GeoPoint& center,
+                                            double radius_km, int length) {
+  std::vector<std::string> out;
+  if (radius_km < 0 || length < 1 || length > geohash::kMaxLength) return out;
+
+  const std::string seed = geohash::Encode(center, length);
+  std::unordered_set<std::string> visited{seed};
+  std::deque<std::string> frontier{seed};
+  out.push_back(seed);
+
+  while (!frontier.empty()) {
+    const std::string cell = frontier.front();
+    frontier.pop_front();
+    for (std::string& nb : geohash::Neighbors(cell)) {
+      if (visited.count(nb)) continue;
+      visited.insert(nb);
+      Result<BoundingBox> box = geohash::DecodeBox(nb);
+      if (!box.ok()) continue;
+      if (MinDistanceKm(*box, center) <= radius_km) {
+        out.push_back(nb);
+        frontier.push_back(std::move(nb));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double CoverAreaRatio(const std::vector<std::string>& cells,
+                      const GeoPoint& center, double radius_km) {
+  if (radius_km <= 0) return 0.0;
+  double cell_area = 0.0;
+  for (const std::string& cell : cells) {
+    Result<BoundingBox> box = geohash::DecodeBox(cell);
+    if (!box.ok()) continue;
+    const double mid_lat = (box->min_lat + box->max_lat) / 2;
+    const double dy = box->LatSpan() * kKmPerDegreeLat;
+    const double dx =
+        box->LonSpan() * kKmPerDegreeLat * std::cos(mid_lat * kDegToRad);
+    cell_area += dx * dy;
+  }
+  const double circle_area = M_PI * radius_km * radius_km;
+  return cell_area / circle_area;
+}
+
+}  // namespace tklus

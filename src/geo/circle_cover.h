@@ -1,0 +1,28 @@
+#ifndef TKLUS_GEO_CIRCLE_COVER_H_
+#define TKLUS_GEO_CIRCLE_COVER_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace tklus {
+
+// GeoHashCircleQuery (Alg. 4/5, line 1): the set of geohash cells of a
+// fixed character `length` that completely covers the disk of radius
+// `radius_km` around `center`. Implemented as a breadth-first flood fill
+// from the centre cell over 8-neighbours, keeping every cell whose
+// bounding box comes within `radius_km` of the centre. The result is
+// sorted (Z-order == lexicographic for equal-length geohashes), matching
+// the paper's observation that covered cells form contiguous key ranges.
+std::vector<std::string> GeohashCircleCover(const GeoPoint& center,
+                                            double radius_km, int length);
+
+// Cover quality diagnostics: total covered cell area divided by the circle
+// area (>= 1; closer to 1 is tighter). Used in tests and ablations.
+double CoverAreaRatio(const std::vector<std::string>& cells,
+                      const GeoPoint& center, double radius_km);
+
+}  // namespace tklus
+
+#endif  // TKLUS_GEO_CIRCLE_COVER_H_

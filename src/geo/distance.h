@@ -1,0 +1,46 @@
+#ifndef TKLUS_GEO_DISTANCE_H_
+#define TKLUS_GEO_DISTANCE_H_
+
+#include <cmath>
+
+#include "geo/point.h"
+
+namespace tklus {
+
+inline constexpr double kEarthRadiusKm = 6371.0088;
+inline constexpr double kDegToRad = 0.017453292519943295;
+// Kilometres per degree of latitude (and of longitude at the equator).
+inline constexpr double kKmPerDegreeLat = 111.19492664455873;
+
+// Equirectangular ("local Euclidean") distance in km. This is the
+// Euclidean metric of the paper (Def. footnote 4) applied in a frame
+// projected at the midpoint latitude; exact enough for city-scale radii.
+inline double EuclideanKm(const GeoPoint& a, const GeoPoint& b) {
+  const double mid_lat = (a.lat + b.lat) * 0.5 * kDegToRad;
+  const double dx = (b.lon - a.lon) * std::cos(mid_lat);
+  const double dy = (b.lat - a.lat);
+  return std::sqrt(dx * dx + dy * dy) * kKmPerDegreeLat;
+}
+
+// Great-circle distance in km (haversine). Provided for validation; the
+// query pipeline uses EuclideanKm per the paper.
+inline double HaversineKm(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dlat / 2);
+  const double s2 = std::sin(dlon / 2);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+// Minimum distance (km) from `p` to the box: distance to the clamped point.
+inline double MinDistanceKm(const BoundingBox& box, const GeoPoint& p) {
+  if (box.Contains(p)) return 0.0;
+  return EuclideanKm(box.Clamp(p), p);
+}
+
+}  // namespace tklus
+
+#endif  // TKLUS_GEO_DISTANCE_H_

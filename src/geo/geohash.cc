@@ -1,0 +1,188 @@
+#include "geo/geohash.h"
+
+#include <cmath>
+
+#include "geo/distance.h"
+
+namespace tklus {
+namespace geohash {
+namespace {
+
+constexpr char kBase32[] = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+// -1 for invalid characters.
+int CharIndex(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  switch (c) {
+    case 'b': return 10; case 'c': return 11; case 'd': return 12;
+    case 'e': return 13; case 'f': return 14; case 'g': return 15;
+    case 'h': return 16; case 'j': return 17; case 'k': return 18;
+    case 'm': return 19; case 'n': return 20; case 'p': return 21;
+    case 'q': return 22; case 'r': return 23; case 's': return 24;
+    case 't': return 25; case 'u': return 26; case 'v': return 27;
+    case 'w': return 28; case 'x': return 29; case 'y': return 30;
+    case 'z': return 31;
+    default: return -1;
+  }
+}
+
+}  // namespace
+
+std::string Encode(const GeoPoint& p, int length) {
+  std::string out;
+  out.reserve(length);
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  bool even = true;  // even bit positions refine longitude
+  int bit = 0;
+  int current = 0;
+  while (static_cast<int>(out.size()) < length) {
+    if (even) {
+      const double mid = (lon_lo + lon_hi) / 2;
+      if (p.lon >= mid) {
+        current = (current << 1) | 1;
+        lon_lo = mid;
+      } else {
+        current <<= 1;
+        lon_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2;
+      if (p.lat >= mid) {
+        current = (current << 1) | 1;
+        lat_lo = mid;
+      } else {
+        current <<= 1;
+        lat_hi = mid;
+      }
+    }
+    even = !even;
+    if (++bit == 5) {
+      out.push_back(kBase32[current]);
+      bit = 0;
+      current = 0;
+    }
+  }
+  return out;
+}
+
+uint64_t EncodeBits(const GeoPoint& p, int bits) {
+  uint64_t out = 0;
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  bool even = true;
+  for (int i = 0; i < bits; ++i) {
+    if (even) {
+      const double mid = (lon_lo + lon_hi) / 2;
+      if (p.lon >= mid) {
+        out = (out << 1) | 1;
+        lon_lo = mid;
+      } else {
+        out <<= 1;
+        lon_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2;
+      if (p.lat >= mid) {
+        out = (out << 1) | 1;
+        lat_lo = mid;
+      } else {
+        out <<= 1;
+        lat_hi = mid;
+      }
+    }
+    even = !even;
+  }
+  return out;
+}
+
+Result<BoundingBox> DecodeBox(const std::string& hash) {
+  if (hash.empty()) {
+    return Status::InvalidArgument("empty geohash");
+  }
+  BoundingBox box;
+  bool even = true;
+  for (char c : hash) {
+    const int idx = CharIndex(c);
+    if (idx < 0) {
+      return Status::InvalidArgument(std::string("invalid geohash char: ") +
+                                     c);
+    }
+    for (int b = 4; b >= 0; --b) {
+      const int bit = (idx >> b) & 1;
+      if (even) {
+        const double mid = (box.min_lon + box.max_lon) / 2;
+        if (bit) {
+          box.min_lon = mid;
+        } else {
+          box.max_lon = mid;
+        }
+      } else {
+        const double mid = (box.min_lat + box.max_lat) / 2;
+        if (bit) {
+          box.min_lat = mid;
+        } else {
+          box.max_lat = mid;
+        }
+      }
+      even = !even;
+    }
+  }
+  return box;
+}
+
+Result<GeoPoint> Decode(const std::string& hash) {
+  Result<BoundingBox> box = DecodeBox(hash);
+  if (!box.ok()) return box.status();
+  return box->Center();
+}
+
+void CellSpanDegrees(int length, double* lat_span, double* lon_span) {
+  const int bits = length * 5;
+  const int lon_bits = (bits + 1) / 2;  // longitude refined first
+  const int lat_bits = bits / 2;
+  *lon_span = 360.0 / static_cast<double>(1ULL << lon_bits);
+  *lat_span = 180.0 / static_cast<double>(1ULL << lat_bits);
+}
+
+double CellDiagonalKm(int length, double at_lat) {
+  double lat_span, lon_span;
+  CellSpanDegrees(length, &lat_span, &lon_span);
+  const double dy = lat_span * kKmPerDegreeLat;
+  const double dx =
+      lon_span * kKmPerDegreeLat * std::cos(at_lat * kDegToRad);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::vector<std::string> Neighbors(const std::string& hash) {
+  std::vector<std::string> out;
+  Result<BoundingBox> box = DecodeBox(hash);
+  if (!box.ok()) return out;
+  const GeoPoint c = box->Center();
+  const double dlat = box->LatSpan();
+  const double dlon = box->LonSpan();
+  const int length = static_cast<int>(hash.size());
+  for (int di = -1; di <= 1; ++di) {
+    for (int dj = -1; dj <= 1; ++dj) {
+      if (di == 0 && dj == 0) continue;
+      double lat = c.lat + di * dlat;
+      double lon = c.lon + dj * dlon;
+      if (lat > 90.0 || lat < -90.0) continue;  // off the pole
+      if (lon >= 180.0) lon -= 360.0;
+      if (lon < -180.0) lon += 360.0;
+      out.push_back(Encode(GeoPoint{lat, lon}, length));
+    }
+  }
+  return out;
+}
+
+bool IsValid(const std::string& hash) {
+  if (hash.empty()) return false;
+  for (char c : hash) {
+    if (CharIndex(c) < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace geohash
+}  // namespace tklus

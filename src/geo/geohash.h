@@ -1,0 +1,54 @@
+#ifndef TKLUS_GEO_GEOHASH_H_
+#define TKLUS_GEO_GEOHASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+
+namespace tklus {
+
+// Geohash encoding (§IV-B of the paper). A geohash is the quadtree-derived
+// bit interleaving of longitude and latitude halvings (longitude bit first),
+// re-encoded 5 bits per character in the Base32 alphabet
+// "0123456789bcdefghjkmnpqrstuvwxyz" (digits plus a-z without a, i, l, o).
+// The paper's Table IV example (-23.994140625, -46.23046875) encodes to
+// "6gxp" at length 4, which this implementation reproduces.
+namespace geohash {
+
+inline constexpr int kMaxLength = 12;
+
+// Encodes `p` into a geohash of `length` characters (1..kMaxLength).
+std::string Encode(const GeoPoint& p, int length);
+
+// Raw interleaved bits (lon bit first), most significant bit first,
+// `bits` in 1..60.
+uint64_t EncodeBits(const GeoPoint& p, int bits);
+
+// Bounding box of the cell named by `hash`. Error on empty/invalid input.
+Result<BoundingBox> DecodeBox(const std::string& hash);
+
+// Center of the cell.
+Result<GeoPoint> Decode(const std::string& hash);
+
+// The 8 neighbouring cells (N, NE, E, SE, S, SW, W, NW) at the same
+// length. Cells falling off the poles are omitted; longitude wraps.
+std::vector<std::string> Neighbors(const std::string& hash);
+
+// Cell extent in degrees for a given geohash length.
+// Even bit counts split lon one more time than lat and vice versa.
+void CellSpanDegrees(int length, double* lat_span, double* lon_span);
+
+// Approximate cell diagonal in km at a given latitude (used to pick cover
+// granularity and in tests).
+double CellDiagonalKm(int length, double at_lat);
+
+// True if `hash` uses only valid Base32 characters.
+bool IsValid(const std::string& hash);
+
+}  // namespace geohash
+}  // namespace tklus
+
+#endif  // TKLUS_GEO_GEOHASH_H_

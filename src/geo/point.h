@@ -1,0 +1,60 @@
+#ifndef TKLUS_GEO_POINT_H_
+#define TKLUS_GEO_POINT_H_
+
+#include <algorithm>
+
+namespace tklus {
+
+// A WGS84 coordinate. Latitude in [-90, 90], longitude in [-180, 180].
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  friend bool operator==(const GeoPoint& a, const GeoPoint& b) {
+    return a.lat == b.lat && a.lon == b.lon;
+  }
+};
+
+// Axis-aligned lat/lon rectangle (closed on min edges, open-ish semantics
+// do not matter for covering/pruning uses).
+struct BoundingBox {
+  double min_lat = -90.0;
+  double max_lat = 90.0;
+  double min_lon = -180.0;
+  double max_lon = 180.0;
+
+  bool Contains(const GeoPoint& p) const {
+    return p.lat >= min_lat && p.lat <= max_lat && p.lon >= min_lon &&
+           p.lon <= max_lon;
+  }
+
+  bool Intersects(const BoundingBox& o) const {
+    return min_lat <= o.max_lat && o.min_lat <= max_lat &&
+           min_lon <= o.max_lon && o.min_lon <= max_lon;
+  }
+
+  GeoPoint Center() const {
+    return GeoPoint{(min_lat + max_lat) / 2.0, (min_lon + max_lon) / 2.0};
+  }
+
+  // Closest point of the box to `p` (clamping).
+  GeoPoint Clamp(const GeoPoint& p) const {
+    return GeoPoint{std::max(min_lat, std::min(max_lat, p.lat)),
+                    std::max(min_lon, std::min(max_lon, p.lon))};
+  }
+
+  // Smallest box containing both.
+  BoundingBox Union(const BoundingBox& o) const {
+    return BoundingBox{std::min(min_lat, o.min_lat),
+                       std::max(max_lat, o.max_lat),
+                       std::min(min_lon, o.min_lon),
+                       std::max(max_lon, o.max_lon)};
+  }
+
+  double LatSpan() const { return max_lat - min_lat; }
+  double LonSpan() const { return max_lon - min_lon; }
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_GEO_POINT_H_

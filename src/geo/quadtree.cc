@@ -1,0 +1,158 @@
+#include "geo/quadtree.h"
+
+#include <algorithm>
+
+#include "geo/distance.h"
+
+namespace tklus {
+
+struct Quadtree::Node {
+  BoundingBox box;
+  int depth = 0;
+  std::vector<Entry> entries;                    // leaf payload
+  std::unique_ptr<Node> children[4];             // null for leaves
+  bool is_leaf() const { return children[0] == nullptr; }
+};
+
+Quadtree::Quadtree(BoundingBox bounds, int capacity, int max_depth)
+    : root_(std::make_unique<Node>()),
+      bounds_(bounds),
+      capacity_(std::max(1, capacity)),
+      max_depth_(std::max(1, max_depth)) {
+  root_->box = bounds_;
+}
+
+Quadtree::~Quadtree() = default;
+
+namespace {
+
+// Quadrant index for a point in `box`: bit 1 = east half, bit 0 = south
+// half. (The paper's 2-bit codes are an equivalent labelling.)
+int QuadrantOf(const BoundingBox& box, const GeoPoint& p) {
+  const GeoPoint c = box.Center();
+  const int east = p.lon >= c.lon ? 1 : 0;
+  const int south = p.lat < c.lat ? 1 : 0;
+  return (east << 1) | south;
+}
+
+BoundingBox QuadrantBox(const BoundingBox& box, int quadrant) {
+  const GeoPoint c = box.Center();
+  BoundingBox q = box;
+  if (quadrant & 2) {
+    q.min_lon = c.lon;
+  } else {
+    q.max_lon = c.lon;
+  }
+  if (quadrant & 1) {
+    q.max_lat = c.lat;
+  } else {
+    q.min_lat = c.lat;
+  }
+  return q;
+}
+
+}  // namespace
+
+void Quadtree::Insert(const GeoPoint& p, uint64_t id) {
+  const GeoPoint clamped = bounds_.Clamp(p);
+  Node* node = root_.get();
+  while (!node->is_leaf()) {
+    node = node->children[QuadrantOf(node->box, clamped)].get();
+  }
+  node->entries.push_back(Entry{clamped, id});
+  ++size_;
+
+  // Split if over capacity and depth allows.
+  while (node->is_leaf() &&
+         static_cast<int>(node->entries.size()) > capacity_ &&
+         node->depth < max_depth_) {
+    for (int q = 0; q < 4; ++q) {
+      node->children[q] = std::make_unique<Node>();
+      node->children[q]->box = QuadrantBox(node->box, q);
+      node->children[q]->depth = node->depth + 1;
+    }
+    for (const Entry& e : node->entries) {
+      node->children[QuadrantOf(node->box, e.point)]->entries.push_back(e);
+    }
+    node->entries.clear();
+    node->entries.shrink_to_fit();
+    // If every point landed in one child, that child may itself need a
+    // split; descend and repeat.
+    Node* overfull = nullptr;
+    for (int q = 0; q < 4; ++q) {
+      if (static_cast<int>(node->children[q]->entries.size()) > capacity_) {
+        overfull = node->children[q].get();
+        break;
+      }
+    }
+    if (overfull == nullptr) break;
+    node = overfull;
+  }
+}
+
+std::vector<Quadtree::Entry> Quadtree::RangeQuery(const GeoPoint& center,
+                                                  double radius_km) const {
+  std::vector<Entry> out;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (MinDistanceKm(node->box, center) > radius_km) continue;
+    if (node->is_leaf()) {
+      for (const Entry& e : node->entries) {
+        if (EuclideanKm(e.point, center) <= radius_km) out.push_back(e);
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+std::vector<Quadtree::Entry> Quadtree::BoxQuery(const BoundingBox& box) const {
+  std::vector<Entry> out;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->box.Intersects(box)) continue;
+    if (node->is_leaf()) {
+      for (const Entry& e : node->entries) {
+        if (box.Contains(e.point)) out.push_back(e);
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+int Quadtree::depth() const {
+  int max_depth = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, node->depth);
+    if (!node->is_leaf()) {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return max_depth;
+}
+
+size_t Quadtree::node_count() const {
+  size_t count = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++count;
+    if (!node->is_leaf()) {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return count;
+}
+
+}  // namespace tklus

@@ -1,0 +1,61 @@
+#ifndef TKLUS_GEO_QUADTREE_H_
+#define TKLUS_GEO_QUADTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace tklus {
+
+// A point-region quadtree (Finkel & Bentley [9]) — the structure the
+// paper's geohash encoding is derived from (§IV-B.1). Each internal node
+// splits its bounding square along both axes; each split quadrant carries
+// the 2-bit code the paper describes (00 upper-left, 10 upper-right,
+// 11 bottom-right, 01 bottom-left). Used as an in-memory spatial index
+// for validation and for the naive baselines.
+class Quadtree {
+ public:
+  struct Entry {
+    GeoPoint point;
+    uint64_t id = 0;
+  };
+
+  // `capacity`: max entries per leaf before a split; `max_depth` caps
+  // subdivision (points in an overfull max-depth leaf stay together).
+  explicit Quadtree(BoundingBox bounds = BoundingBox{},
+                    int capacity = 32, int max_depth = 20);
+  ~Quadtree();
+
+  Quadtree(const Quadtree&) = delete;
+  Quadtree& operator=(const Quadtree&) = delete;
+  Quadtree(Quadtree&&) = default;
+  Quadtree& operator=(Quadtree&&) = default;
+
+  // Inserts a point. Points outside the root bounds are clamped into it.
+  void Insert(const GeoPoint& p, uint64_t id);
+
+  // All entries within `radius_km` (equirectangular metric) of `center`.
+  std::vector<Entry> RangeQuery(const GeoPoint& center,
+                                double radius_km) const;
+
+  // All entries inside `box`.
+  std::vector<Entry> BoxQuery(const BoundingBox& box) const;
+
+  size_t size() const { return size_; }
+  int depth() const;
+  size_t node_count() const;
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  BoundingBox bounds_;
+  int capacity_;
+  int max_depth_;
+  size_t size_ = 0;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_GEO_QUADTREE_H_

@@ -1,0 +1,49 @@
+#ifndef TKLUS_GEO_ZORDER_H_
+#define TKLUS_GEO_ZORDER_H_
+
+#include <cstdint>
+
+namespace tklus {
+namespace zorder {
+
+// Z-order (Morton) curve utilities (§IV-B cites [22]). The geohash bit
+// string *is* a Z-order key over (lon, lat) halvings, so these helpers are
+// shared by the cover construction and by tests that check contiguity of
+// cells under the curve.
+
+// Spreads the low 32 bits of `x` so bit i lands at position 2*i.
+inline uint64_t SpreadBits(uint32_t x) {
+  uint64_t v = x;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+// Inverse of SpreadBits: collects every other bit starting at bit 0.
+inline uint32_t CollectBits(uint64_t v) {
+  v &= 0x5555555555555555ULL;
+  v = (v | (v >> 1)) & 0x3333333333333333ULL;
+  v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v | (v >> 4)) & 0x00FF00FF00FF00FFULL;
+  v = (v | (v >> 8)) & 0x0000FFFF0000FFFFULL;
+  v = (v | (v >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<uint32_t>(v);
+}
+
+// Interleaves x (even positions, bit 0 of x at bit 0) and y (odd positions).
+inline uint64_t Interleave(uint32_t x, uint32_t y) {
+  return SpreadBits(x) | (SpreadBits(y) << 1);
+}
+
+inline void Deinterleave(uint64_t z, uint32_t* x, uint32_t* y) {
+  *x = CollectBits(z);
+  *y = CollectBits(z >> 1);
+}
+
+}  // namespace zorder
+}  // namespace tklus
+
+#endif  // TKLUS_GEO_ZORDER_H_

@@ -1,0 +1,124 @@
+#ifndef TKLUS_INDEX_FORWARD_INDEX_H_
+#define TKLUS_INDEX_FORWARD_INDEX_H_
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace tklus {
+
+// Where one postings list lives inside the DFS-resident inverted index.
+struct PostingsLocation {
+  std::string file;      // DFS part file, e.g. "index/part-00003"
+  uint64_t offset = 0;   // byte offset of the encoded list
+  uint64_t length = 0;   // encoded byte length
+  uint32_t doc_count = 0;
+};
+
+// The in-memory forward index of Figure 4: <geohash, keyword> -> postings
+// position in HDFS. "The forward index ... is kept in the main memory"
+// (§IV-B.1); the paper reports it under 12 MB for 4-length geohashes.
+// A key maps to one location per *batch generation*: the paper's
+// architecture indexes geo-tagged tweets periodically (e.g. daily), so a
+// pair accumulates one postings list per batch, in batch (= time) order.
+class ForwardIndex {
+ public:
+  using Key = std::pair<std::string, std::string>;  // (geohash, term)
+
+  void Add(std::string geohash, std::string term, PostingsLocation loc) {
+    entries_[Key{std::move(geohash), std::move(term)}].push_back(
+        std::move(loc));
+  }
+
+  // nullptr when the pair is absent (cell has no tweet with that term);
+  // otherwise the locations of every generation's postings list.
+  const std::vector<PostingsLocation>* Lookup(
+      const std::string& geohash, const std::string& term) const {
+    const auto it = entries_.find(Key{geohash, term});
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  // Approximate resident bytes (key strings + locations), the quantity the
+  // paper bounds by 12 MB.
+  uint64_t ApproxBytes() const {
+    uint64_t bytes = 0;
+    for (const auto& [key, locations] : entries_) {
+      bytes += key.first.size() + key.second.size() + 32;
+      for (const PostingsLocation& loc : locations) {
+        bytes += loc.file.size() + sizeof(PostingsLocation);
+      }
+    }
+    return bytes;
+  }
+
+  const std::map<Key, std::vector<PostingsLocation>>& entries() const {
+    return entries_;
+  }
+
+  // Persistence: the forward index is tiny (paper: <12 MB), so a plain
+  // binary dump suffices.
+  void Save(std::ostream& out) const;
+  Status Load(std::istream& in);
+
+ private:
+  // Ordered map: entries sorted by (geohash, term), mirroring the sorted
+  // composite key order MapReduce produces.
+  std::map<Key, std::vector<PostingsLocation>> entries_;
+};
+
+// Implementation details only below here.
+
+inline void ForwardIndex::Save(std::ostream& out) const {
+  serde::WriteU64(out, entries_.size());
+  for (const auto& [key, locations] : entries_) {
+    serde::WriteString(out, key.first);
+    serde::WriteString(out, key.second);
+    serde::WriteU64(out, locations.size());
+    for (const PostingsLocation& loc : locations) {
+      serde::WriteString(out, loc.file);
+      serde::WriteU64(out, loc.offset);
+      serde::WriteU64(out, loc.length);
+      serde::WriteU32(out, loc.doc_count);
+    }
+  }
+}
+
+inline Status ForwardIndex::Load(std::istream& in) {
+  uint64_t count = 0;
+  if (!serde::ReadU64(in, &count)) {
+    return Status::Corruption("truncated forward index");
+  }
+  entries_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string geohash, term;
+    uint64_t generations = 0;
+    if (!serde::ReadString(in, &geohash) || !serde::ReadString(in, &term) ||
+        !serde::ReadU64(in, &generations)) {
+      return Status::Corruption("truncated forward index entry");
+    }
+    auto& locations = entries_[Key{std::move(geohash), std::move(term)}];
+    locations.resize(generations);
+    for (PostingsLocation& loc : locations) {
+      if (!serde::ReadString(in, &loc.file) ||
+          !serde::ReadU64(in, &loc.offset) ||
+          !serde::ReadU64(in, &loc.length) ||
+          !serde::ReadU32(in, &loc.doc_count)) {
+        return Status::Corruption("truncated forward index location");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tklus
+
+#endif  // TKLUS_INDEX_FORWARD_INDEX_H_

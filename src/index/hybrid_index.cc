@@ -1,0 +1,210 @@
+#include "index/hybrid_index.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "common/stopwatch.h"
+#include "geo/geohash.h"
+#include "index/postings_ops.h"
+#include "mapreduce/job.h"
+
+namespace tklus {
+
+namespace {
+
+using IndexKey = std::pair<std::string, std::string>;  // (geohash, term)
+
+// Partition by geohash only: "data indexed by geohash will have all points
+// for a given rectangular area in one computer" (§IV-B.1), so every term
+// of one cell lands in one reduce partition / part file.
+int GeohashPartitioner(const IndexKey& key, int num_partitions) {
+  return static_cast<int>(std::hash<std::string>{}(key.first) %
+                          static_cast<size_t>(num_partitions));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HybridIndex>> HybridIndex::Build(
+    const Dataset& dataset, SimulatedDfs* dfs, Options options) {
+  if (options.geohash_length < 1 ||
+      options.geohash_length > geohash::kMaxLength) {
+    return Status::InvalidArgument("geohash length out of range");
+  }
+  auto index =
+      std::unique_ptr<HybridIndex>(new HybridIndex(dfs, options));
+  TKLUS_RETURN_IF_ERROR(index->IndexBatch(dataset));
+  return index;
+}
+
+Status HybridIndex::AppendBatch(const Dataset& batch) {
+  return IndexBatch(batch);
+}
+
+Status HybridIndex::IndexBatch(const Dataset& dataset) {
+  const Options& options = options_;
+  HybridIndex* index = this;
+  const Tokenizer tokenizer(options.tokenizer);
+  const int length = options.geohash_length;
+
+  // ---- Algorithm 2: map. Tokenize + stem, count term frequencies, and
+  // emit ((geohash, term), (timestamp, tf)).
+  using Job = MapReduceJob<const Post*, IndexKey, Posting, IndexKey,
+                           std::string>;
+  Job::MapFn map_fn = [&tokenizer, length](const Post* const& post,
+                                           const Job::Emit& emit) {
+    if (!post->HasLocation()) return;  // invisible to the spatial index
+    const auto term_freqs = tokenizer.TermFrequencies(post->text);
+    if (term_freqs.empty()) return;
+    const std::string cell = geohash::Encode(post->location, length);
+    for (const auto& [term, tf] : term_freqs) {
+      emit(IndexKey{cell, term},
+           Posting{post->sid, static_cast<uint32_t>(tf)});
+    }
+  };
+
+  // ---- Algorithm 3: reduce. Append postings, sort by timestamp, emit the
+  // encoded list.
+  Job::ReduceFn reduce_fn = [](const IndexKey& key,
+                               std::vector<Posting>& postings,
+                               const Job::OutEmit& emit) {
+    std::sort(postings.begin(), postings.end(),
+              [](const Posting& a, const Posting& b) { return a.tid < b.tid; });
+    emit(key, EncodePostings(postings));
+  };
+
+  Job::Options job_options;
+  job_options.num_workers = options.mapreduce_workers;
+  job_options.num_reduce_tasks = options.reduce_tasks;
+  Job job(std::move(map_fn), std::move(reduce_fn), job_options);
+  job.set_partitioner(GeohashPartitioner);
+
+  std::vector<const Post*> inputs;
+  inputs.reserve(dataset.size());
+  for (const Post& p : dataset.posts()) inputs.push_back(&p);
+
+  auto partitions = job.Run(inputs);
+  if (!partitions.ok()) return partitions.status();
+
+  index->stats_.map_seconds += job.stats().map_seconds;
+  index->stats_.shuffle_seconds += job.stats().shuffle_seconds;
+  index->stats_.reduce_seconds += job.stats().reduce_seconds;
+
+  // ---- Write each partition as one DFS part file in sorted key order and
+  // record every list's position in the forward index (the "posting
+  // forward index" second MapReduce job of §IV-B.2, folded into the write
+  // pass since our DFS exposes offsets directly).
+  Stopwatch write_timer;
+  char name[48];
+  const uint32_t generation = index->generation_++;
+  for (size_t p = 0; p < partitions->size(); ++p) {
+    std::snprintf(name, sizeof(name), "gen-%04u/part-%05zu", generation, p);
+    const std::string file = options.dfs_prefix + name;
+    uint64_t offset = 0;
+    for (auto& [key, encoded] : (*partitions)[p]) {
+      TKLUS_RETURN_IF_ERROR(dfs_->Append(file, encoded));
+      // Decode-free doc count: first varint of the encoding.
+      uint64_t doc_count = 0;
+      size_t pos = 0;
+      if (!GetVarint64(encoded, &pos, &doc_count)) {
+        return Status::Internal("unreadable encoded postings");
+      }
+      index->forward_.Add(
+          key.first, key.second,
+          PostingsLocation{file, offset, encoded.size(),
+                           static_cast<uint32_t>(doc_count)});
+      offset += encoded.size();
+      index->stats_.postings_entries += doc_count;
+      index->stats_.inverted_bytes += encoded.size();
+      ++index->stats_.postings_lists;
+    }
+  }
+  index->stats_.write_seconds += write_timer.ElapsedSeconds();
+  index->stats_.forward_bytes = index->forward_.ApproxBytes();
+  return Status::Ok();
+}
+
+namespace {
+constexpr uint64_t kIndexMagic = 0x78646979685354ULL;
+}  // namespace
+
+Status HybridIndex::Save(std::ostream& out) const {
+  serde::WriteU64(out, kIndexMagic);
+  serde::WriteU64(out, static_cast<uint64_t>(options_.geohash_length));
+  serde::WriteU64(out, generation_);
+  serde::WriteString(out, options_.dfs_prefix);
+  serde::WriteU64(out, stats_.postings_lists);
+  serde::WriteU64(out, stats_.postings_entries);
+  serde::WriteU64(out, stats_.inverted_bytes);
+  serde::WriteU64(out, stats_.forward_bytes);
+  forward_.Save(out);
+  if (!out) return Status::IoError("short write saving index");
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<HybridIndex>> HybridIndex::Open(SimulatedDfs* dfs,
+                                                       std::istream& in) {
+  uint64_t magic = 0, length = 0;
+  if (!serde::ReadU64(in, &magic) || magic != kIndexMagic) {
+    return Status::Corruption("not a hybrid index image");
+  }
+  Options options;
+  std::string prefix;
+  uint64_t generation = 0;
+  if (!serde::ReadU64(in, &length) || !serde::ReadU64(in, &generation) ||
+      !serde::ReadString(in, &prefix)) {
+    return Status::Corruption("truncated hybrid index header");
+  }
+  options.geohash_length = static_cast<int>(length);
+  options.dfs_prefix = std::move(prefix);
+  auto index = std::unique_ptr<HybridIndex>(
+      new HybridIndex(dfs, std::move(options)));
+  index->generation_ = static_cast<uint32_t>(generation);
+  if (!serde::ReadU64(in, &index->stats_.postings_lists) ||
+      !serde::ReadU64(in, &index->stats_.postings_entries) ||
+      !serde::ReadU64(in, &index->stats_.inverted_bytes) ||
+      !serde::ReadU64(in, &index->stats_.forward_bytes)) {
+    return Status::Corruption("truncated hybrid index stats");
+  }
+  TKLUS_RETURN_IF_ERROR(index->forward_.Load(in));
+  return index;
+}
+
+Result<std::vector<Posting>> HybridIndex::FetchPostings(
+    const std::string& geohash, const std::string& term) const {
+  const std::vector<PostingsLocation>* locations =
+      forward_.Lookup(geohash, term);
+  if (locations == nullptr) return std::vector<Posting>{};
+  std::vector<Posting> merged;
+  std::string encoded;
+  for (const PostingsLocation& loc : *locations) {
+    TKLUS_RETURN_IF_ERROR(
+        dfs_->ReadAt(loc.file, loc.offset, loc.length, &encoded));
+    Result<std::vector<Posting>> postings = DecodePostings(encoded);
+    if (!postings.ok()) return postings.status();
+    if (merged.empty()) {
+      merged = std::move(*postings);
+    } else if (merged.back().tid < postings->front().tid) {
+      // Time-ordered batches: plain concatenation.
+      merged.insert(merged.end(), postings->begin(), postings->end());
+    } else {
+      merged = MergeDisjoint(merged, *postings);
+    }
+  }
+  return merged;
+}
+
+Result<std::vector<Posting>> HybridIndex::FetchTermPostings(
+    const std::vector<std::string>& cover_cells,
+    const std::string& term) const {
+  std::vector<Posting> merged;
+  for (const std::string& cell : cover_cells) {
+    Result<std::vector<Posting>> postings = FetchPostings(cell, term);
+    if (!postings.ok()) return postings.status();
+    if (postings->empty()) continue;
+    merged = merged.empty() ? std::move(*postings)
+                            : MergeDisjoint(merged, *postings);
+  }
+  return merged;
+}
+
+}  // namespace tklus

@@ -1,0 +1,111 @@
+#ifndef TKLUS_INDEX_HYBRID_INDEX_H_
+#define TKLUS_INDEX_HYBRID_INDEX_H_
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dfs/dfs.h"
+#include "geo/point.h"
+#include "index/forward_index.h"
+#include "index/posting.h"
+#include "model/dataset.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+
+// Build-time statistics for Figures 5 and 6.
+struct IndexBuildStats {
+  double map_seconds = 0;
+  double shuffle_seconds = 0;
+  double reduce_seconds = 0;
+  double write_seconds = 0;
+  uint64_t postings_lists = 0;
+  uint64_t postings_entries = 0;
+  uint64_t inverted_bytes = 0;   // bytes stored in the DFS
+  uint64_t forward_bytes = 0;    // in-memory forward index footprint
+  double TotalSeconds() const {
+    return map_seconds + shuffle_seconds + reduce_seconds + write_seconds;
+  }
+};
+
+// The hybrid spatial-keyword index of §IV-B: an inverted index keyed by
+// <geohash, term> whose postings lists live in the (simulated) DFS, plus
+// an in-memory forward index locating each list. Query processing fetches
+// postings per (cell, term) pair with random DFS reads.
+class HybridIndex {
+ public:
+  struct Options {
+    int geohash_length = 4;          // §VI-B2 settles on 4
+    int mapreduce_workers = 3;       // Table III cluster size
+    int reduce_tasks = 8;
+    std::string dfs_prefix = "index/";
+    TokenizerOptions tokenizer;
+  };
+
+  // Builds the index from `dataset` into `dfs` with a MapReduce job
+  // (Algorithms 2 and 3). `dfs` must outlive the returned index.
+  static Result<std::unique_ptr<HybridIndex>> Build(const Dataset& dataset,
+                                                    SimulatedDfs* dfs,
+                                                    Options options);
+  static Result<std::unique_ptr<HybridIndex>> Build(const Dataset& dataset,
+                                                    SimulatedDfs* dfs) {
+    return Build(dataset, dfs, Options{});
+  }
+
+  // Indexes a further batch of posts into new DFS part files (a new
+  // "generation"), extending the forward index in place — the paper's
+  // periodic batch architecture ("we can periodically (e.g., one day)
+  // collect the spatial tweets and then build the index", §IV-A). Batches
+  // should be time-ordered (later batches carry larger sids); fetches
+  // merge across generations either way.
+  Status AppendBatch(const Dataset& batch);
+
+  // Persists the forward index + configuration (the inverted index lives
+  // in the DFS, persisted separately via SimulatedDfs::Save).
+  Status Save(std::ostream& out) const;
+
+  // Re-attaches to an index whose postings are already in `dfs`.
+  static Result<std::unique_ptr<HybridIndex>> Open(SimulatedDfs* dfs,
+                                                   std::istream& in);
+
+  // Postings for one (geohash cell, term) pair; empty when absent. Terms
+  // must already be normalized (lowercased + stemmed), as query keywords
+  // are preprocessed by the engine.
+  Result<std::vector<Posting>> FetchPostings(const std::string& geohash,
+                                             const std::string& term) const;
+
+  // All postings for `term` across the cover cells, merged sorted by tid
+  // (cells are disjoint). The lines 4-7 loop of Alg. 4/5.
+  Result<std::vector<Posting>> FetchTermPostings(
+      const std::vector<std::string>& cover_cells,
+      const std::string& term) const;
+
+  const ForwardIndex& forward_index() const { return forward_; }
+  const SimulatedDfs* dfs() const { return dfs_; }
+  const IndexBuildStats& build_stats() const { return stats_; }
+  int geohash_length() const { return options_.geohash_length; }
+  const Options& options() const { return options_; }
+
+ private:
+  HybridIndex(SimulatedDfs* dfs, Options options)
+      : dfs_(dfs), options_(std::move(options)) {}
+
+  // Runs Alg. 2/3 over `posts` and writes one set of part files under
+  // generation `generation_`.
+  Status IndexBatch(const Dataset& batch);
+
+  SimulatedDfs* dfs_;
+  Options options_;
+  ForwardIndex forward_;
+  IndexBuildStats stats_;
+  uint32_t generation_ = 0;  // next batch number
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_INDEX_HYBRID_INDEX_H_

@@ -1,0 +1,64 @@
+#include "index/posting.h"
+
+namespace tklus {
+
+void PutVarint64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint64(std::string_view data, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift <= 63) {
+    const uint8_t byte = static_cast<uint8_t>(data[*pos]);
+    ++*pos;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+std::string EncodePostings(const std::vector<Posting>& postings) {
+  std::string out;
+  PutVarint64(&out, postings.size());
+  int64_t prev_tid = 0;
+  for (const Posting& p : postings) {
+    PutVarint64(&out, static_cast<uint64_t>(p.tid - prev_tid));
+    PutVarint64(&out, p.tf);
+    prev_tid = p.tid;
+  }
+  return out;
+}
+
+Result<std::vector<Posting>> DecodePostings(std::string_view data) {
+  size_t pos = 0;
+  uint64_t count = 0;
+  if (!GetVarint64(data, &pos, &count)) {
+    return Status::Corruption("postings header truncated");
+  }
+  std::vector<Posting> out;
+  out.reserve(count);
+  int64_t prev_tid = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0, tf = 0;
+    if (!GetVarint64(data, &pos, &delta) || !GetVarint64(data, &pos, &tf)) {
+      return Status::Corruption("postings entry truncated");
+    }
+    prev_tid += static_cast<int64_t>(delta);
+    out.push_back(Posting{prev_tid, static_cast<uint32_t>(tf)});
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("trailing bytes after postings");
+  }
+  return out;
+}
+
+}  // namespace tklus

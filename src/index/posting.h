@@ -1,0 +1,41 @@
+#ifndef TKLUS_INDEX_POSTING_H_
+#define TKLUS_INDEX_POSTING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "model/post.h"
+
+namespace tklus {
+
+// One postings entry <TID, TF> (§IV-B.1): the tweet id (timestamp) and the
+// term frequency of the keyword in that tweet.
+struct Posting {
+  TweetId tid = 0;
+  uint32_t tf = 0;
+
+  friend bool operator==(const Posting& a, const Posting& b) {
+    return a.tid == b.tid && a.tf == b.tf;
+  }
+};
+
+// Binary codec for a postings list sorted by ascending tid:
+// varint(count), then per posting varint(tid delta) varint(tf). Delta
+// coding exploits the timestamp ordering the reducer guarantees (Alg. 3
+// sorts postings by timestamp before emitting).
+std::string EncodePostings(const std::vector<Posting>& postings);
+
+// Inverse of EncodePostings. Fails on truncated or trailing bytes.
+Result<std::vector<Posting>> DecodePostings(std::string_view data);
+
+// Varint primitives (LEB128, unsigned), exposed for tests and reuse.
+void PutVarint64(std::string* out, uint64_t value);
+// Advances *pos; false on truncation.
+bool GetVarint64(std::string_view data, size_t* pos, uint64_t* value);
+
+}  // namespace tklus
+
+#endif  // TKLUS_INDEX_POSTING_H_

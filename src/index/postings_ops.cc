@@ -1,0 +1,76 @@
+#include "index/postings_ops.h"
+
+#include <algorithm>
+
+namespace tklus {
+
+std::vector<Posting> IntersectPostings(
+    const std::vector<std::vector<Posting>>& lists) {
+  if (lists.empty()) return {};
+  if (lists.size() == 1) return lists[0];
+  // Galloping-free k-way: iterate the shortest list, probe the others.
+  size_t shortest = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[shortest].size()) shortest = i;
+  }
+  std::vector<Posting> out;
+  std::vector<size_t> cursors(lists.size(), 0);
+  for (const Posting& candidate : lists[shortest]) {
+    uint32_t tf_sum = candidate.tf;
+    bool in_all = true;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (i == shortest) continue;
+      const std::vector<Posting>& list = lists[i];
+      size_t& cur = cursors[i];
+      while (cur < list.size() && list[cur].tid < candidate.tid) ++cur;
+      if (cur >= list.size() || list[cur].tid != candidate.tid) {
+        in_all = false;
+        break;
+      }
+      tf_sum += list[cur].tf;
+    }
+    if (in_all) out.push_back(Posting{candidate.tid, tf_sum});
+  }
+  return out;
+}
+
+std::vector<Posting> UnionPostings(
+    const std::vector<std::vector<Posting>>& lists) {
+  std::vector<Posting> out;
+  std::vector<size_t> cursors(lists.size(), 0);
+  while (true) {
+    // Find the smallest current tid across lists.
+    TweetId min_tid = 0;
+    bool any = false;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (cursors[i] >= lists[i].size()) continue;
+      const TweetId tid = lists[i][cursors[i]].tid;
+      if (!any || tid < min_tid) {
+        min_tid = tid;
+        any = true;
+      }
+    }
+    if (!any) break;
+    uint32_t tf_sum = 0;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (cursors[i] < lists[i].size() &&
+          lists[i][cursors[i]].tid == min_tid) {
+        tf_sum += lists[i][cursors[i]].tf;
+        ++cursors[i];
+      }
+    }
+    out.push_back(Posting{min_tid, tf_sum});
+  }
+  return out;
+}
+
+std::vector<Posting> MergeDisjoint(const std::vector<Posting>& a,
+                                   const std::vector<Posting>& b) {
+  std::vector<Posting> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out),
+             [](const Posting& x, const Posting& y) { return x.tid < y.tid; });
+  return out;
+}
+
+}  // namespace tklus

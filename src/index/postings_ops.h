@@ -1,0 +1,30 @@
+#ifndef TKLUS_INDEX_POSTINGS_OPS_H_
+#define TKLUS_INDEX_POSTINGS_OPS_H_
+
+#include <vector>
+
+#include "index/posting.h"
+
+namespace tklus {
+
+// Multi-keyword semantics over per-term candidate lists (Alg. 4/5 lines
+// 9–14). Inputs are sorted by tid with unique tids; outputs likewise. The
+// combined tf is the total occurrence count of query keywords in the tweet
+// — the bag-model numerator |q.W ∩ p.W| of Definition 6.
+
+// Tweets present in *every* list ("AND semantic"); tf = sum of tfs.
+std::vector<Posting> IntersectPostings(
+    const std::vector<std::vector<Posting>>& lists);
+
+// Tweets present in *any* list ("OR semantic"); tf = sum of tfs present.
+std::vector<Posting> UnionPostings(
+    const std::vector<std::vector<Posting>>& lists);
+
+// Merges two lists with the same term (e.g. one per geohash cell): tids
+// are disjoint across cells, so this is a plain sorted merge.
+std::vector<Posting> MergeDisjoint(const std::vector<Posting>& a,
+                                   const std::vector<Posting>& b);
+
+}  // namespace tklus
+
+#endif  // TKLUS_INDEX_POSTINGS_OPS_H_

@@ -1,0 +1,42 @@
+#ifndef TKLUS_MAPREDUCE_COUNTERS_H_
+#define TKLUS_MAPREDUCE_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace tklus {
+
+// Thread-safe named counters, in the style of Hadoop job counters.
+class Counters {
+ public:
+  void Increment(const std::string& name, uint64_t by = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_[name] += by;
+  }
+
+  uint64_t Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = counts_.find(name);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::map<std::string, uint64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counts_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_MAPREDUCE_COUNTERS_H_

@@ -1,0 +1,272 @@
+#ifndef TKLUS_MAPREDUCE_JOB_H_
+#define TKLUS_MAPREDUCE_JOB_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "mapreduce/counters.h"
+
+namespace tklus {
+
+// An in-process multi-threaded MapReduce framework modelling the Hadoop
+// pipeline the paper builds its index with (§IV-B.2): input splits ->
+// parallel map -> (optional per-worker combine) -> partition -> sort-by-key
+// shuffle -> parallel reduce. Worker threads play the role of cluster
+// nodes; Options::num_workers = 3 reproduces the Table III cluster.
+//
+// K must be hashable via the Partitioner (default std::hash) and totally
+// ordered via operator< (the shuffle sorts each partition by key — the
+// property the paper relies on for contiguous geohash-prefix placement).
+template <typename Input, typename K, typename V, typename OutK = K,
+          typename OutV = V>
+class MapReduceJob {
+ public:
+  using Emit = std::function<void(K, V)>;
+  using OutEmit = std::function<void(OutK, OutV)>;
+  // Map(input, emit): Alg. 2's map function.
+  using MapFn = std::function<void(const Input&, const Emit&)>;
+  // Reduce(key, values, emit): Alg. 3's reduce function. `values` is
+  // mutable so reducers can sort/steal from it.
+  using ReduceFn =
+      std::function<void(const K&, std::vector<V>&, const OutEmit&)>;
+  // Optional combiner with reducer signature but emitting (K, V).
+  using CombineFn = std::function<void(const K&, std::vector<V>&, const Emit&)>;
+  // partition(key, num_partitions) -> [0, num_partitions).
+  using Partitioner = std::function<int(const K&, int)>;
+
+  struct Options {
+    int num_workers = 3;
+    int num_reduce_tasks = 8;
+    // Inputs per map task (split granularity).
+    size_t split_size = 4096;
+  };
+
+  struct Stats {
+    double map_seconds = 0;
+    double shuffle_seconds = 0;
+    double reduce_seconds = 0;
+    uint64_t map_input_records = 0;
+    uint64_t map_output_records = 0;
+    uint64_t combine_output_records = 0;
+    uint64_t reduce_groups = 0;
+    uint64_t output_records = 0;
+    double TotalSeconds() const {
+      return map_seconds + shuffle_seconds + reduce_seconds;
+    }
+  };
+
+  MapReduceJob(MapFn map_fn, ReduceFn reduce_fn, Options options = Options{})
+      : map_fn_(std::move(map_fn)),
+        reduce_fn_(std::move(reduce_fn)),
+        options_(options) {
+    if (options_.num_workers < 1) options_.num_workers = 1;
+    if (options_.num_reduce_tasks < 1) options_.num_reduce_tasks = 1;
+    if (options_.split_size == 0) options_.split_size = 1;
+    // Keys without a std::hash specialization (e.g. composite pairs) must
+    // provide a partitioner via set_partitioner before Run.
+    if constexpr (requires(const K& k) { std::hash<K>{}(k); }) {
+      partitioner_ = [](const K& key, int n) {
+        return static_cast<int>(std::hash<K>{}(key) %
+                                static_cast<size_t>(n));
+      };
+    }
+  }
+
+  void set_combiner(CombineFn combiner) { combiner_ = std::move(combiner); }
+  void set_partitioner(Partitioner partitioner) {
+    partitioner_ = std::move(partitioner);
+  }
+
+  // Runs the job. Returns one output vector per reduce partition, each
+  // sorted by key (stable within equal keys in emit order).
+  Result<std::vector<std::vector<std::pair<OutK, OutV>>>> Run(
+      const std::vector<Input>& inputs) {
+    if (!partitioner_) {
+      return Status::InvalidArgument(
+          "key type has no std::hash; call set_partitioner first");
+    }
+    const int R = options_.num_reduce_tasks;
+    const int W = options_.num_workers;
+    stats_ = Stats{};
+    Stopwatch phase;
+
+    // ---- Map phase: workers pull splits, emit into per-worker partitions.
+    std::vector<std::vector<std::vector<std::pair<K, V>>>> worker_parts(
+        W, std::vector<std::vector<std::pair<K, V>>>(R));
+    const size_t num_splits =
+        (inputs.size() + options_.split_size - 1) / options_.split_size;
+    std::atomic<size_t> next_split{0};
+    std::atomic<uint64_t> map_in{0}, map_out{0};
+    {
+      std::vector<std::thread> workers;
+      workers.reserve(W);
+      for (int w = 0; w < W; ++w) {
+        workers.emplace_back([&, w] {
+          auto& parts = worker_parts[w];
+          const Emit emit = [&](K key, V value) {
+            const int p = partitioner_(key, R);
+            parts[p].emplace_back(std::move(key), std::move(value));
+            map_out.fetch_add(1, std::memory_order_relaxed);
+          };
+          while (true) {
+            const size_t split = next_split.fetch_add(1);
+            if (split >= num_splits) break;
+            const size_t begin = split * options_.split_size;
+            const size_t end =
+                std::min(inputs.size(), begin + options_.split_size);
+            for (size_t i = begin; i < end; ++i) {
+              map_fn_(inputs[i], emit);
+              map_in.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          if (combiner_) {
+            RunCombiner(&parts);
+          }
+        });
+      }
+      for (std::thread& t : workers) t.join();
+    }
+    stats_.map_input_records = map_in.load();
+    stats_.map_output_records = map_out.load();
+    stats_.map_seconds = phase.ElapsedSeconds();
+
+    // ---- Shuffle: merge worker outputs per partition and sort by key.
+    phase.Restart();
+    std::vector<std::vector<std::pair<K, V>>> partitions(R);
+    {
+      std::atomic<int> next_part{0};
+      std::vector<std::thread> workers;
+      workers.reserve(W);
+      for (int w = 0; w < W; ++w) {
+        workers.emplace_back([&] {
+          while (true) {
+            const int p = next_part.fetch_add(1);
+            if (p >= R) break;
+            size_t total = 0;
+            for (int src = 0; src < W; ++src) {
+              total += worker_parts[src][p].size();
+            }
+            auto& part = partitions[p];
+            part.reserve(total);
+            for (int src = 0; src < W; ++src) {
+              auto& chunk = worker_parts[src][p];
+              std::move(chunk.begin(), chunk.end(), std::back_inserter(part));
+              chunk.clear();
+              chunk.shrink_to_fit();
+            }
+            std::stable_sort(part.begin(), part.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first < b.first;
+                             });
+          }
+        });
+      }
+      for (std::thread& t : workers) t.join();
+    }
+    stats_.shuffle_seconds = phase.ElapsedSeconds();
+
+    // ---- Reduce phase: group consecutive equal keys, reduce each group.
+    phase.Restart();
+    std::vector<std::vector<std::pair<OutK, OutV>>> outputs(R);
+    {
+      std::atomic<int> next_part{0};
+      std::atomic<uint64_t> groups{0}, out_records{0};
+      std::vector<std::thread> workers;
+      workers.reserve(W);
+      for (int w = 0; w < W; ++w) {
+        workers.emplace_back([&] {
+          while (true) {
+            const int p = next_part.fetch_add(1);
+            if (p >= R) break;
+            auto& part = partitions[p];
+            auto& out = outputs[p];
+            const OutEmit emit = [&](OutK key, OutV value) {
+              out.emplace_back(std::move(key), std::move(value));
+              out_records.fetch_add(1, std::memory_order_relaxed);
+            };
+            size_t i = 0;
+            std::vector<V> values;
+            while (i < part.size()) {
+              size_t j = i + 1;
+              while (j < part.size() && !(part[i].first < part[j].first)) {
+                ++j;
+              }
+              values.clear();
+              values.reserve(j - i);
+              for (size_t v = i; v < j; ++v) {
+                values.push_back(std::move(part[v].second));
+              }
+              reduce_fn_(part[i].first, values, emit);
+              groups.fetch_add(1, std::memory_order_relaxed);
+              i = j;
+            }
+            part.clear();
+            part.shrink_to_fit();
+          }
+        });
+      }
+      for (std::thread& t : workers) t.join();
+      stats_.reduce_groups = groups.load();
+      stats_.output_records = out_records.load();
+    }
+    stats_.reduce_seconds = phase.ElapsedSeconds();
+    return outputs;
+  }
+
+  const Stats& stats() const { return stats_; }
+  Counters& counters() { return counters_; }
+  const Options& options() const { return options_; }
+
+ private:
+  // Sort each partition buffer and collapse equal keys through the
+  // combiner (per worker, mirroring Hadoop's per-map-task combine).
+  void RunCombiner(std::vector<std::vector<std::pair<K, V>>>* parts) {
+    uint64_t combined = 0;
+    for (auto& part : *parts) {
+      std::stable_sort(
+          part.begin(), part.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::vector<std::pair<K, V>> out;
+      const Emit emit = [&](K key, V value) {
+        out.emplace_back(std::move(key), std::move(value));
+        ++combined;
+      };
+      size_t i = 0;
+      std::vector<V> values;
+      while (i < part.size()) {
+        size_t j = i + 1;
+        while (j < part.size() && !(part[i].first < part[j].first)) ++j;
+        values.clear();
+        for (size_t v = i; v < j; ++v) {
+          values.push_back(std::move(part[v].second));
+        }
+        combiner_(part[i].first, values, emit);
+        i = j;
+      }
+      part = std::move(out);
+    }
+    stats_combine_mu_.lock();
+    stats_.combine_output_records += combined;
+    stats_combine_mu_.unlock();
+  }
+
+  MapFn map_fn_;
+  ReduceFn reduce_fn_;
+  CombineFn combiner_;
+  Partitioner partitioner_;
+  Options options_;
+  Stats stats_;
+  std::mutex stats_combine_mu_;
+  Counters counters_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_MAPREDUCE_JOB_H_

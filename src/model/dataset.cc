@@ -1,0 +1,109 @@
+#include "model/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace tklus {
+
+void Dataset::Add(Post post) { posts_.push_back(std::move(post)); }
+
+void Dataset::SortBySid() {
+  std::sort(posts_.begin(), posts_.end(),
+            [](const Post& a, const Post& b) { return a.sid < b.sid; });
+}
+
+size_t Dataset::CountUsers() const {
+  std::unordered_set<UserId> users;
+  for (const Post& p : posts_) users.insert(p.uid);
+  return users.size();
+}
+
+std::unordered_map<UserId, std::vector<size_t>> Dataset::PostsByUser() const {
+  std::unordered_map<UserId, std::vector<size_t>> by_user;
+  for (size_t i = 0; i < posts_.size(); ++i) {
+    by_user[posts_[i].uid].push_back(i);
+  }
+  return by_user;
+}
+
+Vocabulary Dataset::BuildVocabulary(const Tokenizer& tokenizer) const {
+  Vocabulary vocab;
+  for (const Post& p : posts_) {
+    for (const std::string& term : tokenizer.Tokenize(p.text)) {
+      vocab.Add(term);
+    }
+  }
+  return vocab;
+}
+
+Status Dataset::SaveTsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot write dataset: " + path);
+  }
+  char buf[144];
+  for (const Post& p : posts_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%lld\t%lld\t%.8f\t%.8f\t%lld\t%lld\t%d\t%d\t",
+                  static_cast<long long>(p.sid),
+                  static_cast<long long>(p.uid), p.location.lat,
+                  p.location.lon, static_cast<long long>(p.ruid),
+                  static_cast<long long>(p.rsid), p.is_forward ? 1 : 0,
+                  static_cast<int>(p.geo_source));
+    out << buf << p.text << '\n';
+  }
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Result<Dataset> Dataset::LoadTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot read dataset: " + path);
+  }
+  Dataset ds;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = StrSplit(line, '\t');
+    if (fields.size() < 9) {
+      return Status::Corruption("bad dataset line " + std::to_string(lineno));
+    }
+    Post p;
+    try {
+      p.sid = std::stoll(fields[0]);
+      p.uid = std::stoll(fields[1]);
+      p.location.lat = std::stod(fields[2]);
+      p.location.lon = std::stod(fields[3]);
+      p.ruid = std::stoll(fields[4]);
+      p.rsid = std::stoll(fields[5]);
+      p.is_forward = fields[6] == "1";
+      const int source = std::stoi(fields[7]);
+      if (source < 0 || source > 2) {
+        return Status::Corruption("bad geo source at line " +
+                                  std::to_string(lineno));
+      }
+      p.geo_source = static_cast<GeoSource>(source);
+    } catch (const std::exception&) {
+      return Status::Corruption("bad dataset field at line " +
+                                std::to_string(lineno));
+    }
+    // Text may itself be empty; re-join in case it legitimately contained
+    // no tab (fields[8..]).
+    p.text = fields[8];
+    for (size_t i = 9; i < fields.size(); ++i) {
+      p.text += ' ';
+      p.text += fields[i];
+    }
+    ds.Add(std::move(p));
+  }
+  return ds;
+}
+
+}  // namespace tklus

@@ -1,0 +1,53 @@
+#ifndef TKLUS_MODEL_DATASET_H_
+#define TKLUS_MODEL_DATASET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "model/post.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace tklus {
+
+// The geo-tagged social media data D = (P, U, G) of §II-A, in its raw
+// form: the post set P with user ids. (The social network G is derived by
+// SocialGraph; the on-disk relation by MetadataDb.)
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // Appends a post. Posts may arrive unsorted; call SortBySid() before
+  // handing the dataset to index builders.
+  void Add(Post post);
+
+  void SortBySid();
+
+  const std::vector<Post>& posts() const { return posts_; }
+  std::vector<Post>& mutable_posts() { return posts_; }
+  size_t size() const { return posts_.size(); }
+
+  // Distinct user count (computed on demand).
+  size_t CountUsers() const;
+
+  // Post indices per user, building the P_u map of §II-A.
+  std::unordered_map<UserId, std::vector<size_t>> PostsByUser() const;
+
+  // Term statistics over all posts (drives Table II).
+  Vocabulary BuildVocabulary(const Tokenizer& tokenizer) const;
+
+  // TSV persistence: sid \t uid \t lat \t lon \t ruid \t rsid \t fwd \t text.
+  // Text must not contain tabs or newlines (the tokenizer never needs them
+  // and the generator never emits them).
+  Status SaveTsv(const std::string& path) const;
+  static Result<Dataset> LoadTsv(const std::string& path);
+
+ private:
+  std::vector<Post> posts_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_MODEL_DATASET_H_

@@ -1,0 +1,36 @@
+#include "model/gazetteer.h"
+
+namespace tklus {
+
+void Gazetteer::Add(std::string_view name, const GeoPoint& location) {
+  const auto terms = tokenizer_.Tokenize(name);
+  if (terms.empty()) return;
+  places_[terms.front()] = location;
+}
+
+std::optional<GeoPoint> Gazetteer::Lookup(std::string_view term) const {
+  const auto it = places_.find(std::string(term));
+  if (it == places_.end()) return std::nullopt;
+  return it->second;
+}
+
+LocationInferenceStats InferLocations(Dataset* dataset,
+                                      const Gazetteer& gazetteer) {
+  LocationInferenceStats stats;
+  for (Post& post : dataset->mutable_posts()) {
+    if (post.geo_source != GeoSource::kNone) continue;
+    ++stats.untagged;
+    for (const std::string& term : gazetteer.tokenizer().Tokenize(post.text)) {
+      const std::optional<GeoPoint> place = gazetteer.Lookup(term);
+      if (place.has_value()) {
+        post.location = *place;
+        post.geo_source = GeoSource::kInferred;
+        ++stats.inferred;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace tklus

@@ -1,0 +1,57 @@
+#ifndef TKLUS_MODEL_GAZETTEER_H_
+#define TKLUS_MODEL_GAZETTEER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "geo/point.h"
+#include "model/dataset.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+
+// Place-name -> location dictionary for the §VIII implicit-location
+// extension: "There are also tweets that lack longitude/latitude in the
+// metadata but mention place name(s) in the short content. It is worth
+// studying how to exploit the implicit spatial information in such
+// tweets." Names are normalized with the same tokenizer the index uses,
+// so a lookup of a tokenized tweet term hits the right entry (e.g.
+// "Paris" and the indexed stem "pari" resolve identically).
+class Gazetteer {
+ public:
+  explicit Gazetteer(TokenizerOptions tokenizer = TokenizerOptions{})
+      : tokenizer_(tokenizer) {}
+
+  // Registers a place. Multi-token names are keyed by their first
+  // normalized token ("new york" -> "york" would be wrong, so prefer
+  // single-token names like "newyork").
+  void Add(std::string_view name, const GeoPoint& location);
+
+  // Location of a *normalized* term, if it names a place.
+  std::optional<GeoPoint> Lookup(std::string_view term) const;
+
+  size_t size() const { return places_.size(); }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+
+ private:
+  Tokenizer tokenizer_;
+  std::unordered_map<std::string, GeoPoint> places_;
+};
+
+struct LocationInferenceStats {
+  size_t untagged = 0;   // posts with GeoSource::kNone before the pass
+  size_t inferred = 0;   // posts assigned an inferred location
+};
+
+// Scans `dataset` for posts without a geo-tag and assigns the location of
+// the first gazetteer place mentioned in their text, marking them
+// GeoSource::kInferred. Posts mentioning no known place stay kNone (and
+// remain invisible to the spatial index).
+LocationInferenceStats InferLocations(Dataset* dataset,
+                                      const Gazetteer& gazetteer);
+
+}  // namespace tklus
+
+#endif  // TKLUS_MODEL_GAZETTEER_H_

@@ -1,0 +1,44 @@
+#ifndef TKLUS_MODEL_POST_H_
+#define TKLUS_MODEL_POST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace tklus {
+
+using TweetId = int64_t;
+using UserId = int64_t;
+inline constexpr int64_t kNoId = -1;
+
+// Provenance of a post's location field (§II-A notes the location "may be
+// unavailable"; §VIII proposes exploiting place names in the text).
+enum class GeoSource {
+  kTagged = 0,    // device GPS geo-tag (the paper's main setting)
+  kInferred = 1,  // filled in by gazetteer-based inference
+  kNone = 2,      // no location; invisible to the spatial index
+};
+
+// A social media post (Definition 1): p = (uid, t, l, W). The tweet id
+// `sid` doubles as the timestamp t ("sid ... is essentially the tweet
+// timestamp", §IV-A), so sids are unique and time-ordered. `rsid`/`ruid`
+// link a reply or forward to its parent tweet/user (kNoId for originals).
+struct Post {
+  TweetId sid = 0;
+  UserId uid = 0;
+  GeoPoint location;  // meaningless when geo_source == kNone
+  std::string text;
+  UserId ruid = kNoId;
+  TweetId rsid = kNoId;
+  bool is_forward = false;  // meaningful only when rsid != kNoId
+  GeoSource geo_source = GeoSource::kTagged;
+
+  bool IsReplyOrForward() const { return rsid != kNoId; }
+  bool HasLocation() const { return geo_source != GeoSource::kNone; }
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_MODEL_POST_H_

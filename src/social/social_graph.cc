@@ -1,0 +1,69 @@
+#include "social/social_graph.h"
+
+#include <algorithm>
+
+namespace tklus {
+
+namespace {
+const std::vector<TweetId> kEmpty;
+}  // namespace
+
+SocialGraph SocialGraph::Build(const Dataset& dataset) {
+  SocialGraph g;
+  for (const Post& p : dataset.posts()) {
+    g.AddPost(p);
+  }
+  return g;
+}
+
+void SocialGraph::AddPost(const Post& post) {
+  users_.insert(post.uid);
+  if (!post.IsReplyOrForward()) return;
+  const EdgeKey key{post.uid, post.ruid};
+  if (post.is_forward) {
+    forward_edges_[key].push_back(post.sid);
+  } else {
+    reply_edges_[key].push_back(post.sid);
+  }
+  // Children stay sorted: posts arrive in ascending sid order within and
+  // across batches, so append preserves order; an out-of-order insert
+  // (test corpora) falls back to a sorted insertion.
+  auto& kids = children_[post.rsid];
+  if (kids.empty() || kids.back() < post.sid) {
+    kids.push_back(post.sid);
+  } else {
+    kids.insert(std::upper_bound(kids.begin(), kids.end(), post.sid),
+                post.sid);
+  }
+}
+
+const std::vector<TweetId>& SocialGraph::ReplyPosts(UserId from,
+                                                    UserId to) const {
+  const auto it = reply_edges_.find(EdgeKey{from, to});
+  return it == reply_edges_.end() ? kEmpty : it->second;
+}
+
+const std::vector<TweetId>& SocialGraph::ForwardPosts(UserId from,
+                                                      UserId to) const {
+  const auto it = forward_edges_.find(EdgeKey{from, to});
+  return it == forward_edges_.end() ? kEmpty : it->second;
+}
+
+bool SocialGraph::HasReplyEdge(UserId from, UserId to) const {
+  return reply_edges_.count(EdgeKey{from, to}) > 0;
+}
+
+bool SocialGraph::HasForwardEdge(UserId from, UserId to) const {
+  return forward_edges_.count(EdgeKey{from, to}) > 0;
+}
+
+std::vector<UserId> SocialGraph::ReplyNeighbors(UserId from) const {
+  std::vector<UserId> out;
+  for (const auto& [edge, posts] : reply_edges_) {
+    if (edge.from == from) out.push_back(edge.to);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tklus

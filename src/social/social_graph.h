@@ -1,0 +1,74 @@
+#ifndef TKLUS_SOCIAL_SOCIAL_GRAPH_H_
+#define TKLUS_SOCIAL_SOCIAL_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "model/dataset.h"
+#include "model/post.h"
+
+namespace tklus {
+
+// The social network G = (U, E_reply, l_reply, E_forward, l_forward) of
+// Definition 2, derived from the post set: an edge <u1, u2> exists in
+// E_reply when u1 replied to u2 in at least one post, and l_reply(u1, u2)
+// returns those posts; likewise for forwards.
+class SocialGraph {
+ public:
+  struct EdgeKey {
+    UserId from;
+    UserId to;
+    friend bool operator==(const EdgeKey& a, const EdgeKey& b) {
+      return a.from == b.from && a.to == b.to;
+    }
+  };
+  struct EdgeKeyHash {
+    size_t operator()(const EdgeKey& e) const {
+      return std::hash<int64_t>{}(e.from) * 1000003u ^
+             std::hash<int64_t>{}(e.to);
+    }
+  };
+
+  // Builds the graph from a dataset (posts carry ruid and is_forward).
+  static SocialGraph Build(const Dataset& dataset);
+
+  // Incrementally adds one post (engine batch appends).
+  void AddPost(const Post& post);
+
+  // Posts (sids) in which `from` replied to `to` — l_reply(u1, u2).
+  const std::vector<TweetId>& ReplyPosts(UserId from, UserId to) const;
+  // Posts (sids) of `to` forwarded by `from` — l_forward(u1, u2).
+  const std::vector<TweetId>& ForwardPosts(UserId from, UserId to) const;
+
+  bool HasReplyEdge(UserId from, UserId to) const;
+  bool HasForwardEdge(UserId from, UserId to) const;
+
+  size_t user_count() const { return users_.size(); }
+  size_t reply_edge_count() const { return reply_edges_.size(); }
+  size_t forward_edge_count() const { return forward_edges_.size(); }
+
+  const std::unordered_set<UserId>& users() const { return users_; }
+
+  // Users u2 that `from` replied to (out-neighbours in E_reply).
+  std::vector<UserId> ReplyNeighbors(UserId from) const;
+
+  // Children map: parent tweet sid -> direct reply/forward tweet sids, in
+  // sid order. This is the in-memory counterpart of the rsid index, used
+  // by exact offline bound computation and as a test oracle for Alg. 1.
+  const std::unordered_map<TweetId, std::vector<TweetId>>& children() const {
+    return children_;
+  }
+
+ private:
+  std::unordered_set<UserId> users_;
+  std::unordered_map<EdgeKey, std::vector<TweetId>, EdgeKeyHash> reply_edges_;
+  std::unordered_map<EdgeKey, std::vector<TweetId>, EdgeKeyHash>
+      forward_edges_;
+  std::unordered_map<TweetId, std::vector<TweetId>> children_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_SOCIAL_SOCIAL_GRAPH_H_

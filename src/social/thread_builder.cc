@@ -1,0 +1,61 @@
+#include "social/thread_builder.h"
+
+namespace tklus {
+
+double ThreadPopularity(const ThreadShape& shape, double epsilon) {
+  if (shape.height() <= 1) return epsilon;
+  double popularity = 0.0;
+  for (int i = 2; i <= shape.height(); ++i) {
+    popularity += static_cast<double>(shape.level_sizes[i - 1]) / i;
+  }
+  return popularity;
+}
+
+Result<ThreadShape> ThreadBuilder::BuildShape(TweetId root_sid) {
+  ThreadShape shape;
+  shape.level_sizes.push_back(1);
+  std::vector<TweetId> frontier{root_sid};
+  for (int depth = 1; depth < options_.max_depth; ++depth) {
+    std::vector<TweetId> next;
+    for (const TweetId sid : frontier) {
+      // Alg. 1 line 7: "select all where rsid equals to Id" — the I/O step.
+      Result<std::vector<TweetMeta>> replies = db_->SelectByRsid(sid);
+      if (!replies.ok()) return replies.status();
+      for (const TweetMeta& reply : *replies) {
+        next.push_back(reply.sid);
+      }
+    }
+    if (next.empty()) break;
+    shape.level_sizes.push_back(next.size());
+    frontier = std::move(next);
+  }
+  return shape;
+}
+
+Result<double> ThreadBuilder::Popularity(TweetId root_sid) {
+  Result<ThreadShape> shape = BuildShape(root_sid);
+  if (!shape.ok()) return shape.status();
+  return ThreadPopularity(*shape, options_.epsilon);
+}
+
+ThreadShape BuildShapeInMemory(
+    const std::unordered_map<TweetId, std::vector<TweetId>>& children,
+    TweetId root_sid, int max_depth) {
+  ThreadShape shape;
+  shape.level_sizes.push_back(1);
+  std::vector<TweetId> frontier{root_sid};
+  for (int depth = 1; depth < max_depth; ++depth) {
+    std::vector<TweetId> next;
+    for (const TweetId sid : frontier) {
+      const auto it = children.find(sid);
+      if (it == children.end()) continue;
+      next.insert(next.end(), it->second.begin(), it->second.end());
+    }
+    if (next.empty()) break;
+    shape.level_sizes.push_back(next.size());
+    frontier = std::move(next);
+  }
+  return shape;
+}
+
+}  // namespace tklus

@@ -1,0 +1,400 @@
+#include "storage/bplus_tree.h"
+
+#include "common/logging.h"
+
+namespace tklus {
+namespace {
+
+constexpr uint16_t kInternal = 1;
+constexpr uint16_t kLeaf = 2;
+
+constexpr size_t kTypeOff = 0;
+constexpr size_t kCountOff = 2;
+constexpr size_t kNextOff = 8;
+constexpr size_t kPayloadOff = 16;
+
+constexpr size_t kLeafEntrySize = 16;   // i64 key + u64 value
+constexpr size_t kInternalPairSize = 16;  // i64 key + i64 child
+
+constexpr int kLeafMaxKeys =
+    static_cast<int>((kPageSize - kPayloadOff) / kLeafEntrySize);  // 255
+constexpr int kInternalMaxKeys = static_cast<int>(
+    (kPageSize - kPayloadOff - 8) / kInternalPairSize);  // 254
+
+uint16_t PageType(const Page* p) { return p->ReadAt<uint16_t>(kTypeOff); }
+int KeyCount(const Page* p) { return p->ReadAt<uint16_t>(kCountOff); }
+void SetKeyCount(Page* p, int n) {
+  p->WriteAt<uint16_t>(kCountOff, static_cast<uint16_t>(n));
+}
+PageId NextLeaf(const Page* p) { return p->ReadAt<int64_t>(kNextOff); }
+void SetNextLeaf(Page* p, PageId id) { p->WriteAt<int64_t>(kNextOff, id); }
+
+// Leaf entry accessors.
+int64_t LeafKey(const Page* p, int i) {
+  return p->ReadAt<int64_t>(kPayloadOff + i * kLeafEntrySize);
+}
+uint64_t LeafValue(const Page* p, int i) {
+  return p->ReadAt<uint64_t>(kPayloadOff + i * kLeafEntrySize + 8);
+}
+void SetLeafEntry(Page* p, int i, int64_t key, uint64_t value) {
+  p->WriteAt<int64_t>(kPayloadOff + i * kLeafEntrySize, key);
+  p->WriteAt<uint64_t>(kPayloadOff + i * kLeafEntrySize + 8, value);
+}
+
+// Internal node accessors: child(i) for i in [0, count], key(i) for
+// i in [0, count).
+PageId Child(const Page* p, int i) {
+  if (i == 0) return p->ReadAt<int64_t>(kPayloadOff);
+  return p->ReadAt<int64_t>(kPayloadOff + 8 + (i - 1) * kInternalPairSize +
+                            8);
+}
+int64_t InternalKey(const Page* p, int i) {
+  return p->ReadAt<int64_t>(kPayloadOff + 8 + i * kInternalPairSize);
+}
+void SetChild(Page* p, int i, PageId id) {
+  if (i == 0) {
+    p->WriteAt<int64_t>(kPayloadOff, id);
+  } else {
+    p->WriteAt<int64_t>(kPayloadOff + 8 + (i - 1) * kInternalPairSize + 8,
+                        id);
+  }
+}
+void SetInternalKey(Page* p, int i, int64_t key) {
+  p->WriteAt<int64_t>(kPayloadOff + 8 + i * kInternalPairSize, key);
+}
+
+// First index with LeafKey >= key.
+int LeafLowerBound(const Page* p, int64_t key) {
+  int lo = 0, hi = KeyCount(p);
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (LeafKey(p, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// First index with LeafKey > key.
+int LeafUpperBound(const Page* p, int64_t key) {
+  int lo = 0, hi = KeyCount(p);
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (LeafKey(p, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child index for read descent: first i with key <= InternalKey(i), else
+// count. Lands at-or-before the first occurrence of `key`.
+int ChildIndexForRead(const Page* p, int64_t key) {
+  const int n = KeyCount(p);
+  int lo = 0, hi = n;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (InternalKey(p, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child index for insert descent: first i with key < InternalKey(i), so
+// duplicates append to the right.
+int ChildIndexForInsert(const Page* p, int64_t key) {
+  const int n = KeyCount(p);
+  int lo = 0, hi = n;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (InternalKey(p, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
+  Result<Page*> page = pool->NewPage();
+  if (!page.ok()) return page.status();
+  Page* root = *page;
+  root->WriteAt<uint16_t>(kTypeOff, kLeaf);
+  SetKeyCount(root, 0);
+  SetNextLeaf(root, kInvalidPageId);
+  const PageId root_id = root->page_id();
+  TKLUS_RETURN_IF_ERROR(pool->UnpinPage(root_id, /*dirty=*/true));
+  return BPlusTree(pool, root_id);
+}
+
+BPlusTree BPlusTree::Open(BufferPool* pool, PageId root) {
+  return BPlusTree(pool, root);
+}
+
+Result<PageId> BPlusTree::FindLeaf(int64_t key) {
+  PageId page_id = root_;
+  while (true) {
+    Result<Page*> page = pool_->FetchPage(page_id);
+    if (!page.ok()) return page.status();
+    Page* p = *page;
+    if (PageType(p) == kLeaf) {
+      TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+      return page_id;
+    }
+    const PageId next = Child(p, ChildIndexForRead(p, key));
+    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+    page_id = next;
+  }
+}
+
+Status BPlusTree::InsertInto(PageId page_id, int64_t key, uint64_t value,
+                             std::optional<SplitResult>* split) {
+  split->reset();
+  Result<Page*> page = pool_->FetchPage(page_id);
+  if (!page.ok()) return page.status();
+  Page* p = *page;
+  PageGuard guard(pool_, p, /*dirty=*/false);
+
+  if (PageType(p) == kLeaf) {
+    const int n = KeyCount(p);
+    const int pos = LeafUpperBound(p, key);
+    // Shift right and insert.
+    for (int i = n; i > pos; --i) {
+      SetLeafEntry(p, i, LeafKey(p, i - 1), LeafValue(p, i - 1));
+    }
+    SetLeafEntry(p, pos, key, value);
+    SetKeyCount(p, n + 1);
+    guard.MarkDirty();
+
+    if (n + 1 > kLeafMaxKeys - 1) {
+      // Split: right half moves to a new leaf.
+      Result<Page*> right_res = pool_->NewPage();
+      if (!right_res.ok()) return right_res.status();
+      Page* right = *right_res;
+      PageGuard right_guard(pool_, right, /*dirty=*/true);
+      right->WriteAt<uint16_t>(kTypeOff, kLeaf);
+      const int total = KeyCount(p);
+      const int keep = total / 2;
+      SetKeyCount(right, total - keep);
+      for (int i = keep; i < total; ++i) {
+        SetLeafEntry(right, i - keep, LeafKey(p, i), LeafValue(p, i));
+      }
+      SetKeyCount(p, keep);
+      SetNextLeaf(right, NextLeaf(p));
+      SetNextLeaf(p, right->page_id());
+      *split = SplitResult{LeafKey(right, 0), right->page_id()};
+    }
+    return Status::Ok();
+  }
+
+  // Internal node: descend.
+  const int child_idx = ChildIndexForInsert(p, key);
+  std::optional<SplitResult> child_split;
+  TKLUS_RETURN_IF_ERROR(
+      InsertInto(Child(p, child_idx), key, value, &child_split));
+  if (!child_split.has_value()) return Status::Ok();
+
+  // Insert separator + right child at child_idx.
+  const int n = KeyCount(p);
+  for (int i = n; i > child_idx; --i) {
+    SetInternalKey(p, i, InternalKey(p, i - 1));
+    SetChild(p, i + 1, Child(p, i));
+  }
+  SetInternalKey(p, child_idx, child_split->separator);
+  SetChild(p, child_idx + 1, child_split->right);
+  SetKeyCount(p, n + 1);
+  guard.MarkDirty();
+
+  if (n + 1 > kInternalMaxKeys - 1) {
+    // Split internal node: middle key moves up.
+    Result<Page*> right_res = pool_->NewPage();
+    if (!right_res.ok()) return right_res.status();
+    Page* right = *right_res;
+    PageGuard right_guard(pool_, right, /*dirty=*/true);
+    right->WriteAt<uint16_t>(kTypeOff, kInternal);
+    const int total = KeyCount(p);
+    const int mid = total / 2;  // key at mid moves up
+    const int right_keys = total - mid - 1;
+    SetKeyCount(right, right_keys);
+    SetChild(right, 0, Child(p, mid + 1));
+    for (int i = 0; i < right_keys; ++i) {
+      SetInternalKey(right, i, InternalKey(p, mid + 1 + i));
+      SetChild(right, i + 1, Child(p, mid + 2 + i));
+    }
+    const int64_t up_key = InternalKey(p, mid);
+    SetKeyCount(p, mid);
+    *split = SplitResult{up_key, right->page_id()};
+  }
+  return Status::Ok();
+}
+
+Status BPlusTree::Insert(int64_t key, uint64_t value) {
+  std::optional<SplitResult> split;
+  TKLUS_RETURN_IF_ERROR(InsertInto(root_, key, value, &split));
+  if (!split.has_value()) return Status::Ok();
+
+  // Grow a new root.
+  Result<Page*> new_root_res = pool_->NewPage();
+  if (!new_root_res.ok()) return new_root_res.status();
+  Page* new_root = *new_root_res;
+  new_root->WriteAt<uint16_t>(kTypeOff, kInternal);
+  SetKeyCount(new_root, 1);
+  SetChild(new_root, 0, root_);
+  SetInternalKey(new_root, 0, split->separator);
+  SetChild(new_root, 1, split->right);
+  root_ = new_root->page_id();
+  return pool_->UnpinPage(root_, /*dirty=*/true);
+}
+
+Result<std::optional<uint64_t>> BPlusTree::Get(int64_t key) {
+  Result<std::vector<uint64_t>> all = GetAll(key);
+  if (!all.ok()) return all.status();
+  if (all->empty()) return std::optional<uint64_t>{};
+  return std::optional<uint64_t>{all->front()};
+}
+
+Result<std::vector<uint64_t>> BPlusTree::GetAll(int64_t key) {
+  std::vector<uint64_t> out;
+  Result<PageId> leaf_id = FindLeaf(key);
+  if (!leaf_id.ok()) return leaf_id.status();
+  PageId page_id = *leaf_id;
+  while (page_id != kInvalidPageId) {
+    Result<Page*> page = pool_->FetchPage(page_id);
+    if (!page.ok()) return page.status();
+    Page* p = *page;
+    const int n = KeyCount(p);
+    int i = LeafLowerBound(p, key);
+    bool past_key = false;
+    for (; i < n; ++i) {
+      const int64_t k = LeafKey(p, i);
+      if (k > key) {
+        past_key = true;
+        break;
+      }
+      out.push_back(LeafValue(p, i));
+    }
+    const PageId next = NextLeaf(p);
+    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+    if (past_key) break;
+    page_id = next;
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<int64_t, uint64_t>>> BPlusTree::Range(
+    int64_t lo, int64_t hi) {
+  std::vector<std::pair<int64_t, uint64_t>> out;
+  if (lo > hi) return out;
+  Result<PageId> leaf_id = FindLeaf(lo);
+  if (!leaf_id.ok()) return leaf_id.status();
+  PageId page_id = *leaf_id;
+  while (page_id != kInvalidPageId) {
+    Result<Page*> page = pool_->FetchPage(page_id);
+    if (!page.ok()) return page.status();
+    Page* p = *page;
+    const int n = KeyCount(p);
+    bool done = false;
+    for (int i = LeafLowerBound(p, lo); i < n; ++i) {
+      const int64_t k = LeafKey(p, i);
+      if (k > hi) {
+        done = true;
+        break;
+      }
+      out.emplace_back(k, LeafValue(p, i));
+    }
+    const PageId next = NextLeaf(p);
+    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+    if (done) break;
+    page_id = next;
+  }
+  return out;
+}
+
+Result<bool> BPlusTree::Remove(int64_t key, uint64_t value) {
+  Result<PageId> leaf_id = FindLeaf(key);
+  if (!leaf_id.ok()) return leaf_id.status();
+  PageId page_id = *leaf_id;
+  while (page_id != kInvalidPageId) {
+    Result<Page*> page = pool_->FetchPage(page_id);
+    if (!page.ok()) return page.status();
+    Page* p = *page;
+    const int n = KeyCount(p);
+    bool past_key = false;
+    for (int i = LeafLowerBound(p, key); i < n; ++i) {
+      const int64_t k = LeafKey(p, i);
+      if (k > key) {
+        past_key = true;
+        break;
+      }
+      if (LeafValue(p, i) == value) {
+        for (int j = i; j + 1 < n; ++j) {
+          SetLeafEntry(p, j, LeafKey(p, j + 1), LeafValue(p, j + 1));
+        }
+        SetKeyCount(p, n - 1);
+        TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, /*dirty=*/true));
+        return true;
+      }
+    }
+    const PageId next = NextLeaf(p);
+    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+    if (past_key) break;
+    page_id = next;
+  }
+  return false;
+}
+
+Result<int> BPlusTree::Height() {
+  int height = 1;
+  PageId page_id = root_;
+  while (true) {
+    Result<Page*> page = pool_->FetchPage(page_id);
+    if (!page.ok()) return page.status();
+    Page* p = *page;
+    const bool leaf = PageType(p) == kLeaf;
+    const PageId child = leaf ? kInvalidPageId : Child(p, 0);
+    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+    if (leaf) return height;
+    ++height;
+    page_id = child;
+  }
+}
+
+Result<uint64_t> BPlusTree::CountEntries() {
+  // Walk to the leftmost leaf, then the chain.
+  PageId page_id = root_;
+  while (true) {
+    Result<Page*> page = pool_->FetchPage(page_id);
+    if (!page.ok()) return page.status();
+    Page* p = *page;
+    if (PageType(p) == kLeaf) {
+      TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+      break;
+    }
+    const PageId child = Child(p, 0);
+    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+    page_id = child;
+  }
+  uint64_t count = 0;
+  while (page_id != kInvalidPageId) {
+    Result<Page*> page = pool_->FetchPage(page_id);
+    if (!page.ok()) return page.status();
+    Page* p = *page;
+    count += static_cast<uint64_t>(KeyCount(p));
+    const PageId next = NextLeaf(p);
+    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+    page_id = next;
+  }
+  return count;
+}
+
+}  // namespace tklus

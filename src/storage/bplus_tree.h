@@ -1,0 +1,75 @@
+#ifndef TKLUS_STORAGE_BPLUS_TREE_H_
+#define TKLUS_STORAGE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace tklus {
+
+// A disk-format B+-tree over int64 keys and uint64 values, stored in
+// BufferPool pages. Duplicate keys are supported (required by the `rsid`
+// index of the tweet metadata relation, where many tweets reply to the
+// same parent). Leaves form a forward-linked chain so duplicate scans and
+// range scans cross leaf boundaries.
+//
+// Page layouts (little-endian, within one 4 KiB page):
+//   header: u16 page_type (1 internal, 2 leaf), u16 key_count,
+//           i64 next (leaf sibling; unused in internal nodes)
+//   leaf payload:     key_count x { i64 key, u64 value }
+//   internal payload: i64 child0, then key_count x { i64 key, i64 child }
+class BPlusTree {
+ public:
+  // Builds an empty tree (root = single empty leaf).
+  static Result<BPlusTree> Create(BufferPool* pool);
+
+  // Re-attaches to an existing tree rooted at `root`.
+  static BPlusTree Open(BufferPool* pool, PageId root);
+
+  // Inserts (duplicates allowed; equal keys keep insertion order).
+  Status Insert(int64_t key, uint64_t value);
+
+  // First value with exactly `key`, or nullopt.
+  Result<std::optional<uint64_t>> Get(int64_t key);
+
+  // All values with exactly `key`, in insertion order.
+  Result<std::vector<uint64_t>> GetAll(int64_t key);
+
+  // All (key, value) with lo <= key <= hi, ascending by key.
+  Result<std::vector<std::pair<int64_t, uint64_t>>> Range(int64_t lo,
+                                                          int64_t hi);
+
+  // Removes at most one entry matching (key, value). Lazy: leaves may
+  // underflow; no rebalancing (the TkLUS workload is append-only, deletion
+  // exists for completeness and is exercised by tests).
+  Result<bool> Remove(int64_t key, uint64_t value);
+
+  PageId root() const { return root_; }
+  Result<int> Height();
+  Result<uint64_t> CountEntries();
+
+ private:
+  BPlusTree(BufferPool* pool, PageId root) : pool_(pool), root_(root) {}
+
+  struct SplitResult {
+    int64_t separator;
+    PageId right;
+  };
+
+  // Descends for reads: the leftmost leaf that may contain `key`.
+  Result<PageId> FindLeaf(int64_t key);
+  // Recursive insert; sets `split` if the child page split.
+  Status InsertInto(PageId page_id, int64_t key, uint64_t value,
+                    std::optional<SplitResult>* split);
+
+  BufferPool* pool_;
+  PageId root_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_STORAGE_BPLUS_TREE_H_

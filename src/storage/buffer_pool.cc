@@ -1,0 +1,123 @@
+#include "storage/buffer_pool.h"
+
+namespace tklus {
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
+  frames_.reserve(pool_size);
+  free_frames_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_frames_.push_back(pool_size - 1 - i);  // pop from back -> frame 0 first
+  }
+}
+
+void BufferPool::Touch(size_t frame) {
+  auto it = lru_pos_.find(frame);
+  if (it != lru_pos_.end()) {
+    lru_.erase(it->second);
+  }
+  lru_.push_back(frame);
+  lru_pos_[frame] = std::prev(lru_.end());
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    const size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  // Evict the least recently used unpinned frame.
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    const size_t frame = *it;
+    Page* page = frames_[frame].get();
+    if (page->pin_count_ > 0) continue;
+    if (page->dirty_) {
+      TKLUS_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
+    }
+    page_table_.erase(page->page_id_);
+    lru_.erase(it);
+    lru_pos_.erase(frame);
+    page->Reset();
+    ++stats_.evictions;
+    return frame;
+  }
+  return Status::ResourceExhausted("all buffer pool frames are pinned");
+}
+
+Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  const auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Page* page = frames_[it->second].get();
+    ++page->pin_count_;
+    Touch(it->second);
+    return page;
+  }
+  ++stats_.misses;
+  Result<size_t> frame = GetVictimFrame();
+  if (!frame.ok()) return frame.status();
+  Page* page = frames_[*frame].get();
+  TKLUS_RETURN_IF_ERROR(disk_->ReadPage(page_id, page->data_));
+  page->page_id_ = page_id;
+  page->pin_count_ = 1;
+  page->dirty_ = false;
+  page_table_[page_id] = *frame;
+  Touch(*frame);
+  return page;
+}
+
+Result<Page*> BufferPool::NewPage() {
+  Result<size_t> frame = GetVictimFrame();
+  if (!frame.ok()) return frame.status();
+  const PageId page_id = disk_->AllocatePage();
+  Page* page = frames_[*frame].get();
+  page->page_id_ = page_id;
+  page->pin_count_ = 1;
+  page->dirty_ = true;  // must reach disk even if never written again
+  page_table_[page_id] = *frame;
+  Touch(*frame);
+  return page;
+}
+
+Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  const auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("unpin of unmapped page " +
+                            std::to_string(page_id));
+  }
+  Page* page = frames_[it->second].get();
+  if (page->pin_count_ <= 0) {
+    return Status::Internal("unpin of unpinned page " +
+                            std::to_string(page_id));
+  }
+  --page->pin_count_;
+  if (dirty) page->dirty_ = true;
+  return Status::Ok();
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  const auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("flush of unmapped page " +
+                            std::to_string(page_id));
+  }
+  Page* page = frames_[it->second].get();
+  if (page->dirty_) {
+    TKLUS_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
+    page->dirty_ = false;
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::FlushAll() {
+  for (const auto& [page_id, frame] : page_table_) {
+    Page* page = frames_[frame].get();
+    if (page->dirty_) {
+      TKLUS_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
+      page->dirty_ = false;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tklus

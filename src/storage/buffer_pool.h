@@ -1,0 +1,109 @@
+#ifndef TKLUS_STORAGE_BUFFER_POOL_H_
+#define TKLUS_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace tklus {
+
+// A fixed-capacity LRU buffer pool over a DiskManager. Pages are pinned
+// while in use; unpinned pages are eviction candidates in LRU order.
+// Single-threaded by design (the query processors are single-threaded; the
+// MapReduce side uses its own files, not this pool).
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  BufferPool(DiskManager* disk, size_t pool_size);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins and returns the page, reading it from disk on a miss. Returns an
+  // error if every frame is pinned.
+  Result<Page*> FetchPage(PageId page_id);
+
+  // Allocates a new page on disk and pins an empty frame for it.
+  Result<Page*> NewPage();
+
+  // Unpins; `dirty` marks the frame for write-back on eviction/flush.
+  Status UnpinPage(PageId page_id, bool dirty);
+
+  Status FlushPage(PageId page_id);
+  Status FlushAll();
+
+  size_t pool_size() const { return frames_.size(); }
+  // Frames currently pinned — must return to 0 between operations; a
+  // non-zero steady-state value is a pin leak.
+  size_t PinnedCount() const {
+    size_t pinned = 0;
+    for (const auto& frame : frames_) {
+      if (frame->pin_count() > 0) ++pinned;
+    }
+    return pinned;
+  }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+  DiskManager* disk() { return disk_; }
+
+ private:
+  // Returns a free frame, evicting the LRU unpinned page if needed.
+  Result<size_t> GetVictimFrame();
+  void Touch(size_t frame);
+
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, size_t> page_table_;   // page id -> frame
+  std::list<size_t> lru_;                           // front = least recent
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<size_t> free_frames_;
+  Stats stats_;
+};
+
+// RAII pin guard: unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard(BufferPool* pool, Page* page, bool dirty = false)
+      : pool_(pool), page_(page), dirty_(dirty) {}
+  ~PageGuard() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      pool_->UnpinPage(page_->page_id(), dirty_);
+    }
+  }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept
+      : pool_(o.pool_), page_(o.page_), dirty_(o.dirty_) {
+    o.pool_ = nullptr;
+    o.page_ = nullptr;
+  }
+
+  Page* get() { return page_; }
+  Page* operator->() { return page_; }
+  void MarkDirty() { dirty_ = true; }
+
+ private:
+  BufferPool* pool_;
+  Page* page_;
+  bool dirty_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,69 @@
+#include "storage/disk_manager.h"
+
+#include <filesystem>
+
+namespace tklus {
+
+Result<DiskManager> DiskManager::Open(const std::string& path,
+                                      bool truncate) {
+  DiskManager dm;
+  dm.path_ = path;
+  std::ios_base::openmode mode =
+      std::ios::in | std::ios::out | std::ios::binary;
+  if (truncate) {
+    mode |= std::ios::trunc;
+  } else if (!std::filesystem::exists(path)) {
+    // Opening an existing database must not create one as a side effect.
+    return Status::NotFound("no such database file: " + path);
+  }
+  dm.file_.open(path, mode);
+  if (!dm.file_.is_open()) {
+    return Status::IoError("cannot open database file: " + path);
+  }
+  dm.file_.seekg(0, std::ios::end);
+  const auto size = static_cast<uint64_t>(dm.file_.tellg());
+  dm.next_page_id_ = static_cast<PageId>(size / kPageSize);
+  return dm;
+}
+
+DiskManager::~DiskManager() {
+  if (file_.is_open()) file_.close();
+}
+
+PageId DiskManager::AllocatePage() { return next_page_id_++; }
+
+Status DiskManager::ReadPage(PageId page_id, char* out) {
+  if (page_id < 0 || page_id >= next_page_id_) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(page_id));
+  }
+  file_.seekg(static_cast<std::streamoff>(page_id) * kPageSize);
+  file_.read(out, kPageSize);
+  if (file_.eof()) {
+    // Allocated but never written: zero-filled page.
+    file_.clear();
+    const auto got = file_.gcount();
+    std::memset(out + got, 0, kPageSize - static_cast<size_t>(got));
+  } else if (!file_) {
+    return Status::IoError("short read on page " + std::to_string(page_id));
+  }
+  ++stats_.page_reads;
+  return Status::Ok();
+}
+
+Status DiskManager::WritePage(PageId page_id, const char* data) {
+  if (page_id < 0 || page_id >= next_page_id_) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(page_id));
+  }
+  file_.seekp(static_cast<std::streamoff>(page_id) * kPageSize);
+  file_.write(data, kPageSize);
+  if (!file_) {
+    return Status::IoError("short write on page " + std::to_string(page_id));
+  }
+  file_.flush();
+  ++stats_.page_writes;
+  return Status::Ok();
+}
+
+}  // namespace tklus

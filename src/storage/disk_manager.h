@@ -1,0 +1,55 @@
+#ifndef TKLUS_STORAGE_DISK_MANAGER_H_
+#define TKLUS_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace tklus {
+
+// Reads and writes fixed-size pages of a single database file and counts
+// physical I/Os. All experiments that report "I/Os" (thread construction,
+// buffer-pool ablations) read these counters.
+class DiskManager {
+ public:
+  struct Stats {
+    uint64_t page_reads = 0;
+    uint64_t page_writes = 0;
+  };
+
+  // Creates (truncating if `truncate`) or opens the file at `path`.
+  static Result<DiskManager> Open(const std::string& path,
+                                  bool truncate = true);
+
+  DiskManager(DiskManager&&) = default;
+  DiskManager& operator=(DiskManager&&) = default;
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+  ~DiskManager();
+
+  // Allocates a fresh page id at the end of the file.
+  PageId AllocatePage();
+
+  Status ReadPage(PageId page_id, char* out);
+  Status WritePage(PageId page_id, const char* data);
+
+  PageId num_pages() const { return next_page_id_; }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+  const std::string& path() const { return path_; }
+
+ private:
+  DiskManager() = default;
+
+  std::string path_;
+  std::fstream file_;
+  PageId next_page_id_ = 0;
+  Stats stats_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,154 @@
+#include "storage/metadata_db.h"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace tklus {
+
+namespace {
+// Header page (page 0) layout.
+constexpr uint64_t kDbMagic = 0x62646174656d6b54ULL;  // "Tkmetadb"
+constexpr size_t kMagicOff = 0;
+constexpr size_t kSidRootOff = 8;
+constexpr size_t kRsidRootOff = 16;
+constexpr size_t kHeapFirstOff = 24;
+constexpr size_t kHeapLastOff = 32;
+constexpr size_t kRowCountOff = 40;
+}  // namespace
+
+Result<std::unique_ptr<MetadataDb>> MetadataDb::Create(
+    const std::string& path, Options options) {
+  auto db = std::unique_ptr<MetadataDb>(new MetadataDb());
+  Result<DiskManager> disk = DiskManager::Open(path, /*truncate=*/true);
+  if (!disk.ok()) return disk.status();
+  db->disk_ = std::make_unique<DiskManager>(std::move(*disk));
+  db->pool_ =
+      std::make_unique<BufferPool>(db->disk_.get(), options.buffer_pool_pages);
+
+  // Page 0: the database header, filled in by FlushAll.
+  Result<Page*> header = db->pool_->NewPage();
+  if (!header.ok()) return header.status();
+  (*header)->WriteAt<uint64_t>(kMagicOff, kDbMagic);
+  TKLUS_RETURN_IF_ERROR(
+      db->pool_->UnpinPage((*header)->page_id(), /*dirty=*/true));
+
+  Result<TableHeap> heap = TableHeap::Create(db->pool_.get(),
+                                             sizeof(TweetMeta));
+  if (!heap.ok()) return heap.status();
+  db->heap_ = std::make_unique<TableHeap>(std::move(*heap));
+
+  Result<BPlusTree> sid_index = BPlusTree::Create(db->pool_.get());
+  if (!sid_index.ok()) return sid_index.status();
+  db->sid_index_ = std::make_unique<BPlusTree>(std::move(*sid_index));
+
+  Result<BPlusTree> rsid_index = BPlusTree::Create(db->pool_.get());
+  if (!rsid_index.ok()) return rsid_index.status();
+  db->rsid_index_ = std::make_unique<BPlusTree>(std::move(*rsid_index));
+
+  return db;
+}
+
+Result<std::unique_ptr<MetadataDb>> MetadataDb::Open(const std::string& path,
+                                                     Options options) {
+  auto db = std::unique_ptr<MetadataDb>(new MetadataDb());
+  Result<DiskManager> disk = DiskManager::Open(path, /*truncate=*/false);
+  if (!disk.ok()) return disk.status();
+  if (disk->num_pages() == 0) {
+    return Status::Corruption("empty database file: " + path);
+  }
+  db->disk_ = std::make_unique<DiskManager>(std::move(*disk));
+  db->pool_ =
+      std::make_unique<BufferPool>(db->disk_.get(), options.buffer_pool_pages);
+  Result<Page*> header = db->pool_->FetchPage(0);
+  if (!header.ok()) return header.status();
+  Page* h = *header;
+  if (h->ReadAt<uint64_t>(kMagicOff) != kDbMagic) {
+    (void)db->pool_->UnpinPage(0, false);
+    return Status::Corruption("bad database magic: " + path);
+  }
+  const PageId sid_root = h->ReadAt<int64_t>(kSidRootOff);
+  const PageId rsid_root = h->ReadAt<int64_t>(kRsidRootOff);
+  const PageId heap_first = h->ReadAt<int64_t>(kHeapFirstOff);
+  const PageId heap_last = h->ReadAt<int64_t>(kHeapLastOff);
+  const uint64_t rows = h->ReadAt<uint64_t>(kRowCountOff);
+  TKLUS_RETURN_IF_ERROR(db->pool_->UnpinPage(0, false));
+  db->heap_ = std::make_unique<TableHeap>(TableHeap::Open(
+      db->pool_.get(), sizeof(TweetMeta), heap_first, heap_last, rows));
+  db->sid_index_ = std::make_unique<BPlusTree>(
+      BPlusTree::Open(db->pool_.get(), sid_root));
+  db->rsid_index_ = std::make_unique<BPlusTree>(
+      BPlusTree::Open(db->pool_.get(), rsid_root));
+  return db;
+}
+
+Status MetadataDb::FlushAll() {
+  Result<Page*> header = pool_->FetchPage(0);
+  if (!header.ok()) return header.status();
+  Page* h = *header;
+  h->WriteAt<uint64_t>(kMagicOff, kDbMagic);
+  h->WriteAt<int64_t>(kSidRootOff, sid_index_->root());
+  h->WriteAt<int64_t>(kRsidRootOff, rsid_index_->root());
+  h->WriteAt<int64_t>(kHeapFirstOff, heap_->first_page());
+  h->WriteAt<int64_t>(kHeapLastOff, heap_->last_page());
+  h->WriteAt<uint64_t>(kRowCountOff, heap_->record_count());
+  TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(0, /*dirty=*/true));
+  return pool_->FlushAll();
+}
+
+Status MetadataDb::Insert(const TweetMeta& row) {
+  char buf[sizeof(TweetMeta)];
+  std::memcpy(buf, &row, sizeof(TweetMeta));
+  Result<Rid> rid = heap_->Insert(buf);
+  if (!rid.ok()) return rid.status();
+  TKLUS_RETURN_IF_ERROR(sid_index_->Insert(row.sid, rid->Pack()));
+  if (row.rsid != TweetMeta::kNone) {
+    TKLUS_RETURN_IF_ERROR(rsid_index_->Insert(row.rsid, rid->Pack()));
+  }
+  max_fanout_cache_.reset();
+  return Status::Ok();
+}
+
+Result<std::optional<TweetMeta>> MetadataDb::SelectBySid(int64_t sid) {
+  Result<std::optional<uint64_t>> packed = sid_index_->Get(sid);
+  if (!packed.ok()) return packed.status();
+  if (!packed->has_value()) return std::optional<TweetMeta>{};
+  TweetMeta row;
+  char buf[sizeof(TweetMeta)];
+  TKLUS_RETURN_IF_ERROR(heap_->Get(Rid::Unpack(packed->value()), buf));
+  std::memcpy(&row, buf, sizeof(TweetMeta));
+  return std::optional<TweetMeta>{row};
+}
+
+Result<std::vector<TweetMeta>> MetadataDb::SelectByRsid(int64_t rsid) {
+  Result<std::vector<uint64_t>> packed = rsid_index_->GetAll(rsid);
+  if (!packed.ok()) return packed.status();
+  std::vector<TweetMeta> rows;
+  rows.reserve(packed->size());
+  char buf[sizeof(TweetMeta)];
+  for (const uint64_t v : *packed) {
+    TKLUS_RETURN_IF_ERROR(heap_->Get(Rid::Unpack(v), buf));
+    TweetMeta row;
+    std::memcpy(&row, buf, sizeof(TweetMeta));
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+Result<int64_t> MetadataDb::MaxReplyFanout() {
+  if (max_fanout_cache_.has_value()) return *max_fanout_cache_;
+  std::unordered_map<int64_t, int64_t> fanout;
+  Status st = heap_->Scan([&fanout](Rid, const char* rec) {
+    TweetMeta row;
+    std::memcpy(&row, rec, sizeof(TweetMeta));
+    if (row.rsid != TweetMeta::kNone) ++fanout[row.rsid];
+  });
+  TKLUS_RETURN_IF_ERROR(st);
+  int64_t max_fanout = 0;
+  for (const auto& [sid, n] : fanout) {
+    if (n > max_fanout) max_fanout = n;
+  }
+  max_fanout_cache_ = max_fanout;
+  return max_fanout;
+}
+
+}  // namespace tklus

@@ -1,0 +1,100 @@
+#ifndef TKLUS_STORAGE_METADATA_DB_H_
+#define TKLUS_STORAGE_METADATA_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/bplus_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/table_heap.h"
+
+namespace tklus {
+
+// One row of the paper's centralized tweet-metadata relation (§IV-A):
+// (sid, uid, lat, lon, ruid, rsid). sid is the tweet id (timestamp);
+// ruid/rsid identify the replied-to/forwarded user and tweet
+// (kNone when the tweet is an original post).
+struct TweetMeta {
+  static constexpr int64_t kNone = -1;
+
+  int64_t sid = 0;
+  int64_t uid = 0;
+  double lat = 0.0;
+  double lon = 0.0;
+  int64_t ruid = kNone;
+  int64_t rsid = kNone;
+};
+static_assert(sizeof(TweetMeta) == 48, "TweetMeta must be fixed-size POD");
+
+// The centralized metadata database of Figure 3: a heap table of TweetMeta
+// rows, a unique B+-tree on sid (primary key) and a duplicate B+-tree on
+// rsid ("another B+-tree is built on attribute rsid"). Thread construction
+// (Alg. 1, line 7) runs `SelectByRsid`, and its cost in page I/Os is the
+// quantity the paper's pruning optimizations attack.
+class MetadataDb {
+ public:
+  struct Options {
+    size_t buffer_pool_pages = 1024;  // 4 MiB default
+  };
+
+  // Creates an empty database backed by `path` (truncated).
+  static Result<std::unique_ptr<MetadataDb>> Create(const std::string& path,
+                                                    Options options);
+  static Result<std::unique_ptr<MetadataDb>> Create(const std::string& path) {
+    return Create(path, Options{});
+  }
+
+  // Reopens an existing database file written by Create + FlushAll. Page 0
+  // is the database header (magic, index roots, heap extent, row count).
+  static Result<std::unique_ptr<MetadataDb>> Open(const std::string& path,
+                                                  Options options);
+  static Result<std::unique_ptr<MetadataDb>> Open(const std::string& path) {
+    return Open(path, Options{});
+  }
+
+  MetadataDb(const MetadataDb&) = delete;
+  MetadataDb& operator=(const MetadataDb&) = delete;
+
+  // Inserts one tweet row and maintains both indexes.
+  Status Insert(const TweetMeta& row);
+
+  // Point lookup on the primary key.
+  Result<std::optional<TweetMeta>> SelectBySid(int64_t sid);
+
+  // "select all where rsid equals to Id" — all direct replies/forwards of
+  // tweet `rsid`.
+  Result<std::vector<TweetMeta>> SelectByRsid(int64_t rsid);
+
+  // The largest reply fan-out over all tweets: the paper's t_m used by the
+  // global upper-bound popularity (Def. 11). O(n) scan; computed once
+  // offline and cached.
+  Result<int64_t> MaxReplyFanout();
+
+  uint64_t row_count() const { return heap_->record_count(); }
+
+  BufferPool& buffer_pool() { return *pool_; }
+  DiskManager& disk() { return *disk_; }
+
+  // Writes the header (current index roots, heap extent, row count) and
+  // flushes every dirty page; required before Open can see the data.
+  Status FlushAll();
+
+ private:
+  MetadataDb() = default;
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<TableHeap> heap_;
+  std::unique_ptr<BPlusTree> sid_index_;
+  std::unique_ptr<BPlusTree> rsid_index_;
+  std::optional<int64_t> max_fanout_cache_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_STORAGE_METADATA_DB_H_

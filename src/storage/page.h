@@ -1,0 +1,57 @@
+#ifndef TKLUS_STORAGE_PAGE_H_
+#define TKLUS_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace tklus {
+
+inline constexpr size_t kPageSize = 4096;
+using PageId = int64_t;
+inline constexpr PageId kInvalidPageId = -1;
+
+// An in-memory frame for one on-disk page. Frames are owned by the
+// BufferPool; callers pin/unpin them through it and never hold a Page
+// across an eviction point without a pin.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  PageId page_id() const { return page_id_; }
+  int pin_count() const { return pin_count_; }
+  bool is_dirty() const { return dirty_; }
+
+  // Typed accessors at byte offset `off`.
+  template <typename T>
+  T ReadAt(size_t off) const {
+    T v;
+    std::memcpy(&v, data_ + off, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void WriteAt(size_t off, const T& v) {
+    std::memcpy(data_ + off, &v, sizeof(T));
+  }
+
+ private:
+  friend class BufferPool;
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    pin_count_ = 0;
+    dirty_ = false;
+  }
+
+  char data_[kPageSize];
+  PageId page_id_ = kInvalidPageId;
+  int pin_count_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_STORAGE_PAGE_H_

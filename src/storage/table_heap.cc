@@ -1,0 +1,101 @@
+#include "storage/table_heap.h"
+
+#include <functional>
+
+namespace tklus {
+
+// Page layout: u32 record_count, u32 unused, i64 next_page, then densely
+// packed fixed-size records from byte 16. Pages are explicitly chained
+// because heap pages interleave with index pages on a shared disk file.
+namespace {
+constexpr size_t kCountOff = 0;
+constexpr size_t kNextOff = 8;
+constexpr size_t kHeaderSize = 16;
+}  // namespace
+
+Result<TableHeap> TableHeap::Create(BufferPool* pool, size_t record_size) {
+  if (record_size == 0 || record_size > kPageSize - kHeaderSize) {
+    return Status::InvalidArgument("record size does not fit a page");
+  }
+  TableHeap heap(pool, record_size);
+  Result<Page*> page = pool->NewPage();
+  if (!page.ok()) return page.status();
+  Page* p = *page;
+  p->WriteAt<uint32_t>(kCountOff, 0);
+  p->WriteAt<int64_t>(kNextOff, kInvalidPageId);
+  heap.first_page_ = heap.last_page_ = p->page_id();
+  TKLUS_RETURN_IF_ERROR(pool->UnpinPage(p->page_id(), /*dirty=*/true));
+  return heap;
+}
+
+TableHeap TableHeap::Open(BufferPool* pool, size_t record_size,
+                          PageId first_page, PageId last_page,
+                          uint64_t record_count) {
+  TableHeap heap(pool, record_size);
+  heap.first_page_ = first_page;
+  heap.last_page_ = last_page;
+  heap.record_count_ = record_count;
+  return heap;
+}
+
+Result<Rid> TableHeap::Insert(const char* record) {
+  Result<Page*> page = pool_->FetchPage(last_page_);
+  if (!page.ok()) return page.status();
+  Page* p = *page;
+  uint32_t count = p->ReadAt<uint32_t>(kCountOff);
+  if (count >= records_per_page_) {
+    Result<Page*> fresh = pool_->NewPage();
+    if (!fresh.ok()) {
+      (void)pool_->UnpinPage(last_page_, false);
+      return fresh.status();
+    }
+    Page* np = *fresh;
+    np->WriteAt<uint32_t>(kCountOff, 0);
+    np->WriteAt<int64_t>(kNextOff, kInvalidPageId);
+    p->WriteAt<int64_t>(kNextOff, np->page_id());
+    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(last_page_, /*dirty=*/true));
+    p = np;
+    last_page_ = p->page_id();
+    count = 0;
+  }
+  const size_t off = kHeaderSize + count * record_size_;
+  std::memcpy(p->data() + off, record, record_size_);
+  p->WriteAt<uint32_t>(kCountOff, count + 1);
+  const Rid rid{p->page_id(), count};
+  TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(p->page_id(), /*dirty=*/true));
+  ++record_count_;
+  return rid;
+}
+
+Status TableHeap::Get(Rid rid, char* out) {
+  Result<Page*> page = pool_->FetchPage(rid.page_id);
+  if (!page.ok()) return page.status();
+  Page* p = *page;
+  const uint32_t count = p->ReadAt<uint32_t>(kCountOff);
+  if (rid.slot >= count) {
+    (void)pool_->UnpinPage(rid.page_id, false);
+    return Status::OutOfRange("slot past end of page");
+  }
+  std::memcpy(out, p->data() + kHeaderSize + rid.slot * record_size_,
+              record_size_);
+  return pool_->UnpinPage(rid.page_id, false);
+}
+
+Status TableHeap::Scan(const std::function<void(Rid, const char*)>& fn) {
+  PageId pid = first_page_;
+  while (pid != kInvalidPageId) {
+    Result<Page*> page = pool_->FetchPage(pid);
+    if (!page.ok()) return page.status();
+    Page* p = *page;
+    const uint32_t count = p->ReadAt<uint32_t>(kCountOff);
+    for (uint32_t s = 0; s < count; ++s) {
+      fn(Rid{pid, s}, p->data() + kHeaderSize + s * record_size_);
+    }
+    const PageId next = p->ReadAt<int64_t>(kNextOff);
+    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(pid, false));
+    pid = next;
+  }
+  return Status::Ok();
+}
+
+}  // namespace tklus

@@ -1,0 +1,75 @@
+#ifndef TKLUS_STORAGE_TABLE_HEAP_H_
+#define TKLUS_STORAGE_TABLE_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace tklus {
+
+// Record id: page + slot, packed into a u64 for storage in B+-tree values.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint32_t slot = 0;
+
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page_id) << 20) | slot;
+  }
+  static Rid Unpack(uint64_t v) {
+    return Rid{static_cast<PageId>(v >> 20),
+               static_cast<uint32_t>(v & 0xFFFFF)};
+  }
+  friend bool operator==(const Rid& a, const Rid& b) {
+    return a.page_id == b.page_id && a.slot == b.slot;
+  }
+};
+
+// A heap file of fixed-size records. Page layout: u32 record_count, then
+// densely packed records of `record_size` bytes. Pages are chained
+// implicitly by allocation order (first_page..last_page contiguous).
+class TableHeap {
+ public:
+  // Creates an empty heap. `record_size` must fit at least one record per
+  // page alongside the 8-byte header.
+  static Result<TableHeap> Create(BufferPool* pool, size_t record_size);
+
+  // Re-attaches to an existing heap.
+  static TableHeap Open(BufferPool* pool, size_t record_size,
+                        PageId first_page, PageId last_page,
+                        uint64_t record_count);
+
+  // Appends a record; returns its Rid.
+  Result<Rid> Insert(const char* record);
+
+  // Reads the record at `rid` into `out` (record_size bytes).
+  Status Get(Rid rid, char* out);
+
+  uint64_t record_count() const { return record_count_; }
+  size_t record_size() const { return record_size_; }
+  size_t records_per_page() const { return records_per_page_; }
+  PageId first_page() const { return first_page_; }
+  PageId last_page() const { return last_page_; }
+
+  // Sequential scan callback over every record.
+  Status Scan(const std::function<void(Rid, const char*)>& fn);
+
+ private:
+  TableHeap(BufferPool* pool, size_t record_size)
+      : pool_(pool),
+        record_size_(record_size),
+        records_per_page_((kPageSize - 16) / record_size) {}
+
+  BufferPool* pool_;
+  size_t record_size_;
+  size_t records_per_page_;
+  PageId first_page_ = kInvalidPageId;
+  PageId last_page_ = kInvalidPageId;
+  uint64_t record_count_ = 0;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_STORAGE_TABLE_HEAP_H_

@@ -1,0 +1,286 @@
+#include "text/porter_stemmer.h"
+
+#include <cstring>
+
+namespace tklus {
+namespace {
+
+// A direct transcription of Porter's reference algorithm operating on a
+// mutable buffer b[0..k].
+class Impl {
+ public:
+  explicit Impl(std::string word)
+      : b_(std::move(word)), k_(static_cast<long>(b_.size()) - 1) {}
+
+  std::string Run() {
+    if (b_.size() < 3) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, k_ + 1);
+  }
+
+ private:
+  std::string b_;
+  long k_ = 0;  // index of last character of the current stem
+  long j_ = 0;  // index set by Ends(): last char before the suffix
+
+  bool IsConsonant(long i) const {
+    switch (b_[i]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure m of b[0..j_]: the number of VC sequences.
+  int Measure() const {
+    int n = 0;
+    long i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if b[0..j_] contains a vowel.
+  bool VowelInStem() const {
+    for (long i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // True if b[i-1..i] is a double consonant.
+  bool DoubleConsonant(long i) const {
+    if (i < 1) return false;
+    if (b_[i] != b_[i - 1]) return false;
+    return IsConsonant(i);
+  }
+
+  // True if b[i-2..i] is consonant-vowel-consonant and the final consonant
+  // is not w, x, or y — the *o condition of Step 1b.
+  bool Cvc(long i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) ||
+        !IsConsonant(i - 2)) {
+      return false;
+    }
+    const char ch = b_[i];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  // True if b[0..k_] ends with `s`; sets j_ to the char before the suffix.
+  bool Ends(const char* s) {
+    const long len = static_cast<long>(std::strlen(s));
+    if (len > k_ + 1) return false;
+    if (b_.compare(k_ + 1 - len, len, s) != 0) return false;
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces the suffix (b[j_+1..k_]) with `s`.
+  void SetTo(const char* s) {
+    const long len = static_cast<long>(std::strlen(s));
+    b_.replace(j_ + 1, k_ - j_, s, len);
+    k_ = j_ + len;
+  }
+
+  void ReplaceIfM0(const char* s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  void Step1ab() {
+    if (b_[k_] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b_[k_ - 1] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        const char ch = b_[k_];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (Measure() == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) b_[k_] = 'i';
+  }
+
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfM0("ate"); break; }
+        if (Ends("tional")) { ReplaceIfM0("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfM0("ence"); break; }
+        if (Ends("anci")) { ReplaceIfM0("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfM0("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfM0("ble"); break; }
+        if (Ends("alli")) { ReplaceIfM0("al"); break; }
+        if (Ends("entli")) { ReplaceIfM0("ent"); break; }
+        if (Ends("eli")) { ReplaceIfM0("e"); break; }
+        if (Ends("ousli")) { ReplaceIfM0("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfM0("ize"); break; }
+        if (Ends("ation")) { ReplaceIfM0("ate"); break; }
+        if (Ends("ator")) { ReplaceIfM0("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfM0("al"); break; }
+        if (Ends("iveness")) { ReplaceIfM0("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfM0("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfM0("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfM0("al"); break; }
+        if (Ends("iviti")) { ReplaceIfM0("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfM0("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfM0("log"); break; }
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (b_[k_]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfM0("ic"); break; }
+        if (Ends("ative")) { ReplaceIfM0(""); break; }
+        if (Ends("alize")) { ReplaceIfM0("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfM0("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfM0("ic"); break; }
+        if (Ends("ful")) { ReplaceIfM0(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfM0(""); break; }
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 &&
+            (b_[j_] == 's' || b_[j_] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k_ = j_;
+  }
+
+  void Step5() {
+    j_ = k_;
+    if (b_[k_] == 'e') {
+      const int m = Measure();
+      if (m > 1 || (m == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (b_[k_] == 'l' && DoubleConsonant(k_) && Measure() > 1) --k_;
+  }
+};
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  for (char c : word) {
+    if (c < 'a' || c > 'z') return std::string(word);  // non-ASCII-lower
+  }
+  return Impl(std::string(word)).Run();
+}
+
+}  // namespace tklus

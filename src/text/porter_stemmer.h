@@ -1,0 +1,24 @@
+#ifndef TKLUS_TEXT_PORTER_STEMMER_H_
+#define TKLUS_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace tklus {
+
+// The classic Porter (1980) stemming algorithm, used by the index builder
+// (Alg. 2: "each term is stemmed"). Input must be lowercase ASCII letters;
+// other characters pass through untouched by Stem()'s early exit.
+//
+// Reference behaviour: "caresses"->"caress", "ponies"->"poni",
+// "relational"->"relat", "hopping"->"hop", "restaurants"->"restaur".
+class PorterStemmer {
+ public:
+  // Returns the stem of `word`. Words shorter than 3 characters are
+  // returned unchanged, as in Porter's reference implementation.
+  std::string Stem(std::string_view word) const;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_TEXT_PORTER_STEMMER_H_

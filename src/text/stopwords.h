@@ -1,0 +1,19 @@
+#ifndef TKLUS_TEXT_STOPWORDS_H_
+#define TKLUS_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace tklus {
+
+// True if `word` (lowercase) is in the built-in English stop-word list.
+// The paper assumes a vocabulary that "excludes popular stop words
+// (e.g., this and that)" (§II-A); the list here is the classic SMART-style
+// short list commonly used for microblog text.
+bool IsStopWord(std::string_view word);
+
+// Number of words in the built-in list (for tests).
+size_t StopWordCount();
+
+}  // namespace tklus
+
+#endif  // TKLUS_TEXT_STOPWORDS_H_

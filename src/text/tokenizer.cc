@@ -1,0 +1,73 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/stopwords.h"
+
+namespace tklus {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    // Skip separators; handle @mentions and URLs at token starts.
+    while (i < n && !IsWordChar(text[i]) && text[i] != '@' && text[i] != '#') {
+      ++i;
+    }
+    if (i >= n) break;
+
+    bool drop_token = false;
+    if (text[i] == '@') {
+      drop_token = options_.strip_mentions;
+      ++i;
+      if (i >= n || !IsWordChar(text[i])) continue;
+    } else if (text[i] == '#') {
+      ++i;  // hashtags keep their word
+      if (i >= n || !IsWordChar(text[i])) continue;
+    }
+
+    const size_t start = i;
+    while (i < n && IsWordChar(text[i])) ++i;
+    std::string token(text.substr(start, i - start));
+
+    // URL detection: "http"/"https" scheme token followed by "://...".
+    if (options_.strip_urls && (token == "http" || token == "https") &&
+        i + 2 < n && text[i] == ':' && text[i + 1] == '/' &&
+        text[i + 2] == '/') {
+      // Swallow the rest of the URL (until whitespace).
+      while (i < n && !std::isspace(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      continue;
+    }
+    if (drop_token) continue;
+
+    if (options_.lowercase) token = AsciiToLower(token);
+    if (options_.remove_stopwords && IsStopWord(token)) continue;
+    if (options_.stem) token = stemmer_.Stem(token);
+    if (static_cast<int>(token.size()) < options_.min_token_length) continue;
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+std::unordered_map<std::string, int> Tokenizer::TermFrequencies(
+    std::string_view text) const {
+  std::unordered_map<std::string, int> freq;
+  for (std::string& term : Tokenize(text)) {
+    ++freq[std::move(term)];
+  }
+  return freq;
+}
+
+}  // namespace tklus

@@ -1,0 +1,50 @@
+#ifndef TKLUS_TEXT_TOKENIZER_H_
+#define TKLUS_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+
+namespace tklus {
+
+// Options controlling microblog tokenization (Alg. 2, map side).
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool remove_stopwords = true;
+  bool stem = true;
+  // Tweets carry @mentions, #hashtags and URLs; hashtags keep their word,
+  // mentions and URLs are dropped.
+  bool strip_mentions = true;
+  bool strip_urls = true;
+  // Tokens shorter than this after processing are dropped.
+  int min_token_length = 2;
+};
+
+// Splits microblog text into index terms: lowercase, strip URLs/@mentions,
+// split on non-alphanumerics, drop stop words, Porter-stem.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = TokenizerOptions{})
+      : options_(options) {}
+
+  // All terms in order of appearance (duplicates preserved — the postings
+  // builder counts term frequency from them).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  // Term -> frequency bag, the associative array H of Alg. 2.
+  std::unordered_map<std::string, int> TermFrequencies(
+      std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+  PorterStemmer stemmer_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_TEXT_TOKENIZER_H_

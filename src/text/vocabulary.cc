@@ -1,0 +1,40 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+
+namespace tklus {
+
+Vocabulary::TermId Vocabulary::Add(std::string_view term, uint64_t count) {
+  auto it = index_.find(std::string(term));
+  if (it == index_.end()) {
+    const TermId id = static_cast<TermId>(terms_.size());
+    terms_.emplace_back(term);
+    freqs_.push_back(0);
+    it = index_.emplace(terms_.back(), id).first;
+  }
+  freqs_[it->second] += count;
+  total_ += count;
+  return it->second;
+}
+
+Vocabulary::TermId Vocabulary::Lookup(std::string_view term) const {
+  const auto it = index_.find(std::string(term));
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Vocabulary::TopTerms(
+    size_t top_n) const {
+  std::vector<std::pair<std::string, uint64_t>> all;
+  all.reserve(terms_.size());
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    all.emplace_back(terms_[i], freqs_[i]);
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > top_n) all.resize(top_n);
+  return all;
+}
+
+}  // namespace tklus

@@ -1,0 +1,49 @@
+#ifndef TKLUS_TEXT_VOCABULARY_H_
+#define TKLUS_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tklus {
+
+// Bidirectional term <-> id dictionary with corpus frequencies. Backs the
+// Table II "top-10 frequent keywords" statistic and the hot-keyword bound
+// registry.
+class Vocabulary {
+ public:
+  using TermId = uint32_t;
+  static constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+  Vocabulary() = default;
+
+  // Returns the id for `term`, interning it on first sight, and bumps its
+  // frequency by `count`.
+  TermId Add(std::string_view term, uint64_t count = 1);
+
+  // kInvalidTerm if absent. Does not intern.
+  TermId Lookup(std::string_view term) const;
+
+  // Precondition: id < size().
+  const std::string& term(TermId id) const { return terms_[id]; }
+  uint64_t frequency(TermId id) const { return freqs_[id]; }
+
+  size_t size() const { return terms_.size(); }
+  uint64_t total_occurrences() const { return total_; }
+
+  // Terms sorted by descending frequency (ties: lexicographic), at most
+  // `top_n` of them. This is Table II's "frequency rank".
+  std::vector<std::pair<std::string, uint64_t>> TopTerms(size_t top_n) const;
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+  std::vector<uint64_t> freqs_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_TEXT_VOCABULARY_H_

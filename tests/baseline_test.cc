@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/centralized_builder.h"
+#include "baseline/irtree.h"
+#include "baseline/naive_scan.h"
+#include "baseline/rtree.h"
+#include "common/rng.h"
+#include "dfs/dfs.h"
+#include "geo/distance.h"
+#include "index/hybrid_index.h"
+#include "model/dataset.h"
+
+namespace tklus {
+namespace {
+
+// ----------------------------------------------------------------- rtree
+
+TEST(RTreeTest, InsertAndRangeMatchesBruteForce) {
+  RTree tree(16);
+  Rng rng(4);
+  std::vector<GeoPoint> points;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    const GeoPoint p{43.7 + rng.Normal(0, 0.3), -79.4 + rng.Normal(0, 0.3)};
+    points.push_back(p);
+    tree.Insert(p, i);
+  }
+  EXPECT_EQ(tree.size(), 3000u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  const GeoPoint q{43.7, -79.4};
+  for (const double r : {0.5, 5.0, 25.0, 200.0}) {
+    std::set<uint64_t> expected;
+    for (uint64_t i = 0; i < points.size(); ++i) {
+      if (EuclideanKm(points[i], q) <= r) expected.insert(i);
+    }
+    std::set<uint64_t> got;
+    for (const auto& e : tree.RangeQuery(q, r)) got.insert(e.id);
+    EXPECT_EQ(got, expected) << "radius " << r;
+  }
+}
+
+TEST(RTreeTest, UniformPointsInvariantsHold) {
+  RTree tree(8);
+  Rng rng(5);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    tree.Insert(GeoPoint{rng.Uniform(-80, 80), rng.Uniform(-170, 170)}, i);
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_GE(tree.height(), 2);
+  EXPECT_GT(tree.node_count(), 10u);
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.RangeQuery(GeoPoint{0, 0}, 1000).empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, DuplicatePoints) {
+  RTree tree(4);
+  for (uint64_t i = 0; i < 200; ++i) tree.Insert(GeoPoint{5, 5}, i);
+  EXPECT_EQ(tree.RangeQuery(GeoPoint{5, 5}, 0.001).size(), 200u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+// ----------------------------------------------------------------- irtree
+
+Post MakePost(TweetId sid, UserId uid, double lat, double lon,
+              const std::string& text, TweetId rsid = kNoId,
+              UserId ruid = kNoId) {
+  Post p;
+  p.sid = sid;
+  p.uid = uid;
+  p.location = GeoPoint{lat, lon};
+  p.text = text;
+  p.rsid = rsid;
+  p.ruid = ruid;
+  return p;
+}
+
+Dataset IrDataset() {
+  Dataset ds;
+  Rng rng(6);
+  const char* texts[] = {
+      "great hotel stay",     "pizza and beer",
+      "hotel pizza heaven",   "coffee break",
+      "morning coffee hotel", "random chatter about town",
+  };
+  TweetId sid = 1000;
+  for (int round = 0; round < 200; ++round) {
+    for (const char* text : texts) {
+      const UserId uid = (sid % 50) + 1;
+      ds.Add(MakePost(sid, uid, 43.7 + rng.Normal(0, 0.2),
+                      -79.4 + rng.Normal(0, 0.2), text));
+      ++sid;
+    }
+  }
+  return ds;
+}
+
+TEST(IRTreeTest, KeywordRangeMatchesBruteForce) {
+  const Dataset ds = IrDataset();
+  const IRTree irtree(&ds);
+  const Tokenizer tokenizer;
+  const GeoPoint q{43.7, -79.4};
+  const double r = 15.0;
+  for (const Semantics sem : {Semantics::kAnd, Semantics::kOr}) {
+    const std::vector<std::string> terms = {"hotel", "pizza"};
+    std::set<size_t> expected;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      if (EuclideanKm(ds.posts()[i].location, q) > r) continue;
+      const auto bag = tokenizer.TermFrequencies(ds.posts()[i].text);
+      const size_t matched =
+          (bag.count("hotel") ? 1 : 0) + (bag.count("pizza") ? 1 : 0);
+      const bool match =
+          sem == Semantics::kAnd ? matched == 2 : matched > 0;
+      if (match) expected.insert(i);
+    }
+    const auto got_vec = irtree.RangeKeywordQuery(q, r, terms, sem);
+    const std::set<size_t> got(got_vec.begin(), got_vec.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(IRTreeTest, KeywordPruningSkipsSubtrees) {
+  const Dataset ds = IrDataset();
+  const IRTree irtree(&ds);
+  const GeoPoint q{43.7, -79.4};
+  // A term that exists nowhere: traversal should stop at the root.
+  const auto result =
+      irtree.RangeKeywordQuery(q, 50.0, {"nonexistentterm"}, Semantics::kAnd);
+  EXPECT_TRUE(result.empty());
+  EXPECT_EQ(irtree.last_nodes_visited(), 1u);
+}
+
+TEST(IRTreeTest, EmptyTermsEmptyResult) {
+  const Dataset ds = IrDataset();
+  const IRTree irtree(&ds);
+  EXPECT_TRUE(
+      irtree.RangeKeywordQuery(GeoPoint{43.7, -79.4}, 50.0, {}, Semantics::kOr)
+          .empty());
+}
+
+TEST(IRTreeTest, InvertedFilesPopulated) {
+  const Dataset ds = IrDataset();
+  const IRTree irtree(&ds);
+  EXPECT_GT(irtree.inverted_entry_count(), 0u);
+  EXPECT_TRUE(irtree.rtree().CheckInvariants());
+  EXPECT_EQ(irtree.rtree().size(), ds.size());
+}
+
+// ------------------------------------------------------------- naive scan
+
+TEST(NaiveScannerTest, PaperTableIExample) {
+  // The running example of Fig. 1 / Table I: sum favors u1 (two tweets,
+  // both close to the query), max favors u5 (tweet E has considerably
+  // more replies/forwards than other tweets). Thread sizes calibrated so
+  // both rankings separate cleanly under Def. 10 with alpha=0.5, N=40:
+  //   A: 5 replies -> phi=2.5; G: 12 -> phi=6; E: 23 -> phi=11.5;
+  //   A,G at ~1 km (delta(u1)=.9), E at ~2 km (delta(u5)=.8).
+  //   sum(u1)=.556 > sum(u5)=.544;  max(u5)=.544 > max(u1)=.525.
+  Dataset ds;
+  const GeoPoint q{43.6839128037, -79.37356590};
+  ds.Add(MakePost(101, 1, 43.69290, -79.37356590,
+                  "I'm at Toronto Marriott Bloor Yorkville Hotel"));  // A
+  ds.Add(MakePost(102, 2, 43.662, -79.380,
+                  "Finally Toronto (at Clarion Hotel)."));  // B
+  ds.Add(MakePost(103, 3, 43.672, -79.389,
+                  "I'm at Four Seasons Hotel Toronto."));  // C
+  ds.Add(MakePost(104, 4, 43.672, -79.390,
+                  "Veal, lemon ricotta gnocchi @ Four Seasons Hotel "
+                  "Toronto."));  // D
+  ds.Add(MakePost(105, 5, 43.70189, -79.37356590,
+                  "And that was the best massage I've ever had. (@ The Spa "
+                  "at Four Seasons Hotel Toronto)"));  // E
+  ds.Add(MakePost(106, 6, 43.672, -79.388,
+                  "Saturday night steez #fashion #style #toronto @ Four "
+                  "Seasons Hotel Toronto."));  // F
+  ds.Add(MakePost(107, 1, 43.69290, -79.37356590,
+                  "Marriott Bloor Yorkville Hotel is a perfect place to "
+                  "stay."));  // G
+  TweetId sid = 200;
+  UserId replier = 50;
+  for (int i = 0; i < 5; ++i) {  // A's thread
+    ds.Add(MakePost(sid++, replier++, 43.68, -79.37, "so cool", 101, 1));
+  }
+  for (int i = 0; i < 12; ++i) {  // G's thread
+    ds.Add(MakePost(sid++, replier++, 43.68, -79.37, "so true", 107, 1));
+  }
+  for (int i = 0; i < 23; ++i) {  // E's thread — the most popular tweet
+    ds.Add(MakePost(sid++, replier++, 43.68, -79.37, "wonderful", 105, 5));
+  }
+
+  NaiveScanner scanner(&ds);
+  TkLusQuery query;
+  query.location = q;
+  query.radius_km = 10.0;
+  query.keywords = {"hotel"};
+  query.k = 1;
+
+  query.ranking = Ranking::kSum;
+  const QueryResult sum_result = scanner.Process(query);
+  ASSERT_EQ(sum_result.users.size(), 1u);
+  EXPECT_EQ(sum_result.users[0].uid, 1);  // u1: two relevant tweets
+
+  query.ranking = Ranking::kMax;
+  const QueryResult max_result = scanner.Process(query);
+  ASSERT_EQ(max_result.users.size(), 1u);
+  EXPECT_EQ(max_result.users[0].uid, 5);  // u5: most popular thread
+}
+
+TEST(NaiveScannerTest, AndSemanticsFiltersMore) {
+  const Dataset ds = IrDataset();
+  NaiveScanner scanner(&ds);
+  TkLusQuery query;
+  query.location = GeoPoint{43.7, -79.4};
+  query.radius_km = 30.0;
+  query.keywords = {"hotel", "pizza"};
+  query.k = 50;
+  query.semantics = Semantics::kOr;
+  const QueryResult or_result = scanner.Process(query);
+  query.semantics = Semantics::kAnd;
+  const QueryResult and_result = scanner.Process(query);
+  EXPECT_LT(and_result.stats.candidates, or_result.stats.candidates);
+  EXPECT_GT(and_result.stats.candidates, 0u);
+}
+
+TEST(NaiveScannerTest, RadiusZeroOrFarQueryEmpty) {
+  const Dataset ds = IrDataset();
+  NaiveScanner scanner(&ds);
+  TkLusQuery query;
+  query.location = GeoPoint{0.0, 0.0};  // middle of the Atlantic
+  query.radius_km = 5.0;
+  query.keywords = {"hotel"};
+  const QueryResult result = scanner.Process(query);
+  EXPECT_TRUE(result.users.empty());
+}
+
+TEST(NaiveScannerTest, IrTreeCandidatesProduceSameRanking) {
+  // Feeding IR-tree candidates into the shared ranking path must equal the
+  // naive end-to-end result.
+  const Dataset ds = IrDataset();
+  NaiveScanner scanner(&ds);
+  const IRTree irtree(&ds);
+  TkLusQuery query;
+  query.location = GeoPoint{43.7, -79.4};
+  query.radius_km = 20.0;
+  query.keywords = {"coffee"};
+  query.k = 10;
+  const QueryResult direct = scanner.Process(query);
+  const auto candidates = irtree.RangeKeywordQuery(
+      query.location, query.radius_km, {"coffee"}, query.semantics);
+  const QueryResult via_irtree = scanner.RankCandidates(query, candidates);
+  ASSERT_EQ(direct.users.size(), via_irtree.users.size());
+  for (size_t i = 0; i < direct.users.size(); ++i) {
+    EXPECT_EQ(direct.users[i].uid, via_irtree.users[i].uid);
+    EXPECT_NEAR(direct.users[i].score, via_irtree.users[i].score, 1e-12);
+  }
+}
+
+// ------------------------------------------------------------ centralized
+
+TEST(CentralizedBuilderTest, ProducesSameListCountAsHybrid) {
+  const Dataset ds = IrDataset();
+  const CentralizedBuildResult result =
+      BuildCentralizedIndex(ds, 4, TokenizerOptions{});
+  EXPECT_GT(result.postings_lists, 0u);
+  EXPECT_GT(result.postings_entries, 0u);
+  EXPECT_GT(result.encoded_bytes, 0u);
+  // Cross-check against the MapReduce-built hybrid index.
+  SimulatedDfs dfs;
+  auto hybrid = HybridIndex::Build(ds, &dfs, HybridIndex::Options{});
+  ASSERT_TRUE(hybrid.ok());
+  EXPECT_EQ(result.postings_lists, (*hybrid)->build_stats().postings_lists);
+  EXPECT_EQ(result.postings_entries,
+            (*hybrid)->build_stats().postings_entries);
+  EXPECT_EQ(result.encoded_bytes, (*hybrid)->build_stats().inverted_bytes);
+}
+
+}  // namespace
+}  // namespace tklus

@@ -1,0 +1,52 @@
+# End-to-end exercise of examples/tklus_cli: generate -> build -> query ->
+# stats, checking each stage's output. Run via ctest (see
+# tests/CMakeLists.txt); requires -DCLI=<path-to-tklus_cli>.
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<tklus_cli path>")
+endif()
+
+set(WORK "$ENV{TMPDIR}")
+if(WORK STREQUAL "")
+  set(WORK "/tmp")
+endif()
+string(RANDOM LENGTH 8 suffix)
+set(WORK "${WORK}/tklus_cli_test_${suffix}")
+file(MAKE_DIRECTORY "${WORK}")
+
+function(run_cli expect_substr)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "tklus_cli ${ARGN} failed (${rc}): ${out}${err}")
+  endif()
+  if(NOT out MATCHES "${expect_substr}")
+    message(FATAL_ERROR
+        "tklus_cli ${ARGN}: expected output matching '${expect_substr}', "
+        "got: ${out}")
+  endif()
+endfunction()
+
+run_cli("wrote 4000 posts"
+        generate --tweets 4000 --cities 3 --seed 7 --out ${WORK}/corpus.tsv)
+run_cli("engine saved to"
+        build --corpus ${WORK}/corpus.tsv --out ${WORK}/engine --n-norm 8)
+run_cli("rank"
+        query --engine ${WORK}/engine --lat 43.6839 --lon -79.3736
+        --keywords hotel --radius 10 --k 5)
+run_cli("tweet"
+        query --engine ${WORK}/engine --lat 43.6839 --lon -79.3736
+        --keywords hotel --radius 10 --k 5 --tweets yes)
+run_cli("top terms"
+        stats --engine ${WORK}/engine)
+
+# Bad usage exits non-zero.
+execute_process(COMMAND ${CLI} bogus RESULT_VARIABLE rc OUTPUT_QUIET
+                ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown command should fail")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")

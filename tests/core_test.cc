@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "core/kendall.h"
+#include "core/scoring.h"
+#include "model/dataset.h"
+#include "social/social_graph.h"
+#include "social/thread_builder.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+namespace {
+
+// --------------------------------------------------------------- scoring
+
+TEST(ScoringTest, DistanceScoreRange) {
+  EXPECT_DOUBLE_EQ(DistanceScore(0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(DistanceScore(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(DistanceScore(5.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(DistanceScore(15.0, 10.0), 0.0);  // outside -> 0
+  EXPECT_DOUBLE_EQ(DistanceScore(1.0, 0.0), 0.0);    // degenerate radius
+}
+
+TEST(ScoringTest, DistanceScoreFromPoints) {
+  const GeoPoint q{43.68, -79.37};
+  EXPECT_DOUBLE_EQ(DistanceScore(q, q, 10.0), 1.0);
+  const GeoPoint far{44.68, -79.37};  // ~111 km north
+  EXPECT_DOUBLE_EQ(DistanceScore(far, q, 10.0), 0.0);
+}
+
+TEST(ScoringTest, KeywordRelevanceDefinition6) {
+  ScoringParams params;
+  params.n_norm = 40.0;
+  // (3 / 40) * popularity 10/3 = 0.25.
+  EXPECT_NEAR(KeywordRelevance(3, 10.0 / 3.0, params), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(KeywordRelevance(0, 5.0, params), 0.0);
+}
+
+TEST(ScoringTest, UserScoreAlphaMix) {
+  ScoringParams params;
+  params.alpha = 0.5;
+  EXPECT_DOUBLE_EQ(UserScore(0.4, 0.8, params), 0.6);
+  params.alpha = 1.0;
+  EXPECT_DOUBLE_EQ(UserScore(0.4, 0.8, params), 0.4);
+  params.alpha = 0.0;
+  EXPECT_DOUBLE_EQ(UserScore(0.4, 0.8, params), 0.8);
+}
+
+TEST(ScoringTest, PaperGlobalBoundDefinition11) {
+  // sum_{i=2..4} t_m / i with t_m = 12: 6 + 4 + 3 = 13.
+  EXPECT_NEAR(PaperGlobalBoundPopularity(12, 4), 13.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PaperGlobalBoundPopularity(5, 1), 0.0);
+}
+
+TEST(ScoringTest, TweetUpperBoundDominatesAchievable) {
+  ScoringParams params;
+  const double bound_pop = 7.0;
+  for (uint32_t tf = 1; tf <= 5; ++tf) {
+    for (const double pop : {0.1, 3.0, 7.0}) {
+      for (const double delta : {0.0, 0.5, 1.0}) {
+        const double achievable =
+            UserScore(KeywordRelevance(tf, pop, params), delta, params);
+        EXPECT_LE(achievable,
+                  TweetUpperBoundScore(tf, bound_pop, params) + 1e-12);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- kendall
+
+TEST(KendallTest, IdenticalRankingsPerfect) {
+  EXPECT_DOUBLE_EQ(KendallTauVariant({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(KendallTest, ReversedRankingsNegative) {
+  EXPECT_DOUBLE_EQ(KendallTauVariant({1, 2, 3}, {3, 2, 1}), -1.0);
+}
+
+TEST(KendallTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(KendallTauVariant({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTauVariant({5}, {5}), 1.0);
+}
+
+TEST(KendallTest, PaperExampleDisjointTails) {
+  // §VI-B3: rho_b = <A,B,C>, rho_d = <B,D,E>; extended to
+  // <A,B,C,D,E> vs <B,D,E,A,C> with tied ranks for added users.
+  // A=1,B=2,C=3,D=4,E=5.
+  const double tau = KendallTauVariant({1, 2, 3}, {2, 4, 5});
+  // Universe of 5 -> 10 pairs. Enumerate by hand:
+  // ranks_a: A0 B1 C2 D3 E3 ; ranks_b: B0 D1 E2 A3 C3.
+  // AB: a:A<B, b:A>B -> discordant. AC: a:<, b: tie -> neither.
+  // AD: a:<, b:> -> discordant. AE: a:<, b:> -> discordant.
+  // BC: a:<, b:< -> concordant. BD: a:<, b:< -> concordant.
+  // BE: a:<, b:< -> concordant. CD: a:<, b:> -> discordant.
+  // CE: a:<, b:> -> discordant. DE: a: tie, b:< -> neither.
+  // cp=3, dp=5 -> tau = -2/10 = -0.2.
+  EXPECT_NEAR(tau, -0.2, 1e-12);
+}
+
+TEST(KendallTest, SymmetricInArguments) {
+  const std::vector<UserId> a = {1, 2, 3, 4};
+  const std::vector<UserId> b = {2, 1, 5, 3};
+  EXPECT_NEAR(KendallTauVariant(a, b), KendallTauVariant(b, a), 1e-12);
+}
+
+TEST(KendallTest, HighOverlapHighTau) {
+  // One swap in a top-10: tau stays near 1.
+  const std::vector<UserId> a = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<UserId> b = {1, 2, 4, 3, 5, 6, 7, 8, 9, 10};
+  EXPECT_GT(KendallTauVariant(a, b), 0.9);
+}
+
+TEST(KendallTest, BoundedByOne) {
+  const std::vector<UserId> a = {1, 2, 3, 4, 5};
+  const std::vector<UserId> b = {9, 8, 7, 6, 5};
+  const double tau = KendallTauVariant(a, b);
+  EXPECT_GE(tau, -1.0);
+  EXPECT_LE(tau, 1.0);
+}
+
+// --------------------------------------------------------------- bounds
+
+Post MakePost(TweetId sid, UserId uid, const std::string& text,
+              TweetId rsid = kNoId, UserId ruid = kNoId) {
+  Post p;
+  p.sid = sid;
+  p.uid = uid;
+  p.text = text;
+  p.rsid = rsid;
+  p.ruid = ruid;
+  return p;
+}
+
+Dataset BoundsDataset() {
+  Dataset ds;
+  // "hotel" thread: root 1 with 4 replies -> popularity 4/2 = 2.
+  ds.Add(MakePost(1, 1, "grand hotel opening"));
+  for (TweetId t = 2; t <= 5; ++t) ds.Add(MakePost(t, t, "wow", 1, 1));
+  // "pizza" thread: root 10 with 2 replies and 2 at level 3 ->
+  // 2/2 + 2/3 = 5/3.
+  ds.Add(MakePost(10, 10, "pizza party"));
+  ds.Add(MakePost(11, 11, "yum", 10, 10));
+  ds.Add(MakePost(12, 12, "yes", 10, 10));
+  ds.Add(MakePost(13, 13, "ok", 11, 11));
+  ds.Add(MakePost(14, 14, "ok", 12, 12));
+  // Lone "cafe" tweet: popularity epsilon.
+  ds.Add(MakePost(20, 20, "cute cafe corner"));
+  return ds;
+}
+
+TEST(BoundsTest, GlobalBoundIsExactMax) {
+  const Dataset ds = BoundsDataset();
+  const SocialGraph graph = SocialGraph::Build(ds);
+  UpperBoundRegistry::Options opts;
+  opts.num_hot_keywords = 2;
+  const UpperBoundRegistry registry =
+      UpperBoundRegistry::Build(ds, graph, Tokenizer(), opts);
+  EXPECT_NEAR(registry.global_bound(), 2.0, 1e-12);  // hotel thread
+}
+
+TEST(BoundsTest, HotKeywordBoundsTighter) {
+  const Dataset ds = BoundsDataset();
+  const SocialGraph graph = SocialGraph::Build(ds);
+  UpperBoundRegistry::Options opts;
+  opts.num_hot_keywords = 30;  // cover all terms in this tiny corpus
+  const UpperBoundRegistry registry =
+      UpperBoundRegistry::Build(ds, graph, Tokenizer(), opts);
+  EXPECT_NEAR(registry.TermBound("pizza"), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(registry.TermBound("hotel"), 2.0, 1e-12);
+  EXPECT_NEAR(registry.TermBound("cafe"), 0.1, 1e-12);  // epsilon singleton
+  // Unknown term falls back to the global bound.
+  EXPECT_NEAR(registry.TermBound("sushi"), 2.0, 1e-12);
+}
+
+TEST(BoundsTest, QueryBoundSemantics) {
+  const Dataset ds = BoundsDataset();
+  const SocialGraph graph = SocialGraph::Build(ds);
+  UpperBoundRegistry::Options opts;
+  opts.num_hot_keywords = 30;
+  const UpperBoundRegistry registry =
+      UpperBoundRegistry::Build(ds, graph, Tokenizer(), opts);
+  const std::vector<std::string> terms = {"hotel", "pizza"};
+  // AND takes the min bound, OR the max (§VI-B5).
+  EXPECT_NEAR(registry.QueryBound(terms, /*conjunctive=*/true, true),
+              5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(registry.QueryBound(terms, /*conjunctive=*/false, true), 2.0,
+              1e-12);
+  // Disabling hot bounds falls back to global.
+  EXPECT_NEAR(registry.QueryBound(terms, true, false), 2.0, 1e-12);
+}
+
+TEST(BoundsTest, QueryWithoutHotKeywordUsesGlobal) {
+  const Dataset ds = BoundsDataset();
+  const SocialGraph graph = SocialGraph::Build(ds);
+  UpperBoundRegistry::Options opts;
+  opts.num_hot_keywords = 1;  // only the most frequent term is hot
+  const UpperBoundRegistry registry =
+      UpperBoundRegistry::Build(ds, graph, Tokenizer(), opts);
+  // "cafe" is not hot here -> global bound.
+  EXPECT_NEAR(registry.QueryBound({"cafe"}, false, true),
+              registry.global_bound(), 1e-12);
+}
+
+TEST(BoundsTest, BoundDominatesEveryThread) {
+  // Property: for every tweet, its popularity <= TermBound(term) for each
+  // of its terms, and <= global bound.
+  const Dataset ds = BoundsDataset();
+  const SocialGraph graph = SocialGraph::Build(ds);
+  UpperBoundRegistry::Options opts;
+  opts.num_hot_keywords = 30;
+  const Tokenizer tokenizer;
+  const UpperBoundRegistry registry =
+      UpperBoundRegistry::Build(ds, graph, tokenizer, opts);
+  for (const Post& p : ds.posts()) {
+    const ThreadShape shape =
+        BuildShapeInMemory(graph.children(), p.sid, opts.max_depth);
+    const double pop = ThreadPopularity(shape, opts.epsilon);
+    EXPECT_LE(pop, registry.global_bound() + 1e-12);
+    for (const std::string& term : tokenizer.Tokenize(p.text)) {
+      EXPECT_LE(pop, registry.TermBound(term) + 1e-12)
+          << "term " << term << " tweet " << p.sid;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tklus

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "datagen/cities.h"
+#include "datagen/query_workload.h"
+#include "datagen/relevance_oracle.h"
+#include "datagen/text_model.h"
+#include "datagen/tweet_generator.h"
+#include "geo/distance.h"
+#include "social/social_graph.h"
+#include "social/thread_builder.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+namespace {
+
+using datagen::GeneratedCorpus;
+using datagen::MakeQueryWorkload;
+using datagen::RelevanceOracle;
+using datagen::TweetGenerator;
+using datagen::WorkloadOptions;
+
+TweetGenerator::Options SmallOptions() {
+  TweetGenerator::Options opts;
+  opts.num_users = 300;
+  opts.num_tweets = 8000;
+  opts.num_cities = 5;
+  opts.experts_per_city = 10;
+  return opts;
+}
+
+TEST(TextModelTest, TableIiHeadMatchesPaper) {
+  const auto& topics = datagen::TopicWords();
+  ASSERT_GE(topics.size(), 30u);
+  const std::vector<std::string> table2 = {
+      "restaurant", "game", "cafe", "shop", "hotel",
+      "club",       "coffee", "film", "pizza", "mall"};
+  for (size_t i = 0; i < table2.size(); ++i) {
+    EXPECT_EQ(topics[i], table2[i]);
+  }
+}
+
+TEST(TextModelTest, ModifiersNonEmptyForEveryTopic) {
+  for (const std::string& topic : datagen::TopicWords()) {
+    EXPECT_FALSE(datagen::ModifiersForTopic(topic).empty()) << topic;
+  }
+}
+
+TEST(CitiesTest, TableSane) {
+  const auto& cities = datagen::WorldCities();
+  ASSERT_GE(cities.size(), 20u);
+  for (const auto& city : cities) {
+    EXPECT_GE(city.center.lat, -90.0);
+    EXPECT_LE(city.center.lat, 90.0);
+    EXPECT_GT(city.weight, 0.0);
+  }
+  EXPECT_EQ(cities[0].name, "toronto");
+}
+
+TEST(TweetGeneratorTest, Deterministic) {
+  const GeneratedCorpus a = TweetGenerator::Generate(SmallOptions());
+  const GeneratedCorpus b = TweetGenerator::Generate(SmallOptions());
+  ASSERT_EQ(a.dataset.size(), b.dataset.size());
+  for (size_t i = 0; i < a.dataset.size(); i += 97) {
+    EXPECT_EQ(a.dataset.posts()[i].text, b.dataset.posts()[i].text);
+    EXPECT_EQ(a.dataset.posts()[i].uid, b.dataset.posts()[i].uid);
+    EXPECT_EQ(a.dataset.posts()[i].location, b.dataset.posts()[i].location);
+  }
+}
+
+TEST(TweetGeneratorTest, SidsUniqueAndOrdered) {
+  const GeneratedCorpus corpus = TweetGenerator::Generate(SmallOptions());
+  const auto& posts = corpus.dataset.posts();
+  for (size_t i = 1; i < posts.size(); ++i) {
+    EXPECT_EQ(posts[i].sid, posts[i - 1].sid + 1);
+  }
+}
+
+TEST(TweetGeneratorTest, RepliesReferenceEarlierTweets) {
+  const GeneratedCorpus corpus = TweetGenerator::Generate(SmallOptions());
+  const auto& posts = corpus.dataset.posts();
+  std::set<TweetId> seen;
+  size_t replies = 0;
+  for (const Post& p : posts) {
+    if (p.IsReplyOrForward()) {
+      ++replies;
+      EXPECT_TRUE(seen.count(p.rsid)) << "dangling rsid " << p.rsid;
+      EXPECT_NE(p.ruid, kNoId);
+    }
+    seen.insert(p.sid);
+  }
+  // Roughly reply_prob of tweets should be replies.
+  EXPECT_GT(replies, posts.size() / 4);
+  EXPECT_LT(replies, posts.size() * 3 / 5);
+}
+
+TEST(TweetGeneratorTest, SpatialClusteringAroundCities) {
+  const GeneratedCorpus corpus = TweetGenerator::Generate(SmallOptions());
+  size_t near_city = 0;
+  for (const Post& p : corpus.dataset.posts()) {
+    for (const GeoPoint& center : corpus.city_centers) {
+      if (EuclideanKm(p.location, center) < 50.0) {
+        ++near_city;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(near_city, corpus.dataset.size() * 95 / 100);
+}
+
+TEST(TweetGeneratorTest, HeavyTailedThreads) {
+  const GeneratedCorpus corpus = TweetGenerator::Generate(SmallOptions());
+  const SocialGraph graph = SocialGraph::Build(corpus.dataset);
+  // Some tweet must have a large direct fan-out (preferential attachment).
+  size_t max_fanout = 0;
+  for (const auto& [sid, kids] : graph.children()) {
+    max_fanout = std::max(max_fanout, kids.size());
+  }
+  EXPECT_GE(max_fanout, 10u);
+}
+
+TEST(TweetGeneratorTest, TopTermsDominatedByTopics) {
+  const GeneratedCorpus corpus = TweetGenerator::Generate(SmallOptions());
+  const Tokenizer tokenizer;
+  const Vocabulary vocab = corpus.dataset.BuildVocabulary(tokenizer);
+  // Stem the topic list for comparison.
+  std::set<std::string> topic_stems;
+  for (const std::string& topic : datagen::TopicWords()) {
+    for (const std::string& stem : tokenizer.Tokenize(topic)) {
+      topic_stems.insert(stem);
+    }
+  }
+  size_t topical = 0;
+  for (const auto& [term, freq] : vocab.TopTerms(10)) {
+    if (topic_stems.count(term)) ++topical;
+  }
+  EXPECT_GE(topical, 7u);
+}
+
+TEST(TweetGeneratorTest, ExpertsPostOnTopicNearTheirCity) {
+  const GeneratedCorpus corpus = TweetGenerator::Generate(SmallOptions());
+  ASSERT_FALSE(corpus.experts.empty());
+  const Tokenizer tokenizer;
+  std::unordered_map<UserId, const datagen::ExpertProfile*> experts;
+  for (const auto& e : corpus.experts) experts[e.uid] = &e;
+  std::unordered_map<UserId, int> on_topic, total;
+  for (const Post& p : corpus.dataset.posts()) {
+    const auto it = experts.find(p.uid);
+    if (it == experts.end() || p.IsReplyOrForward()) continue;
+    ++total[p.uid];
+    const auto bag = tokenizer.TermFrequencies(p.text);
+    const auto stems = tokenizer.Tokenize(it->second->topic);
+    if (!stems.empty() && bag.count(stems[0])) ++on_topic[p.uid];
+  }
+  // Aggregate: experts' root tweets are mostly on their topic.
+  int sum_total = 0, sum_on_topic = 0;
+  for (const auto& [uid, n] : total) {
+    sum_total += n;
+    sum_on_topic += on_topic[uid];
+  }
+  ASSERT_GT(sum_total, 0);
+  EXPECT_GT(static_cast<double>(sum_on_topic) / sum_total, 0.6);
+}
+
+TEST(QueryWorkloadTest, NinetyQueriesInThreeGroups) {
+  const GeneratedCorpus corpus = TweetGenerator::Generate(SmallOptions());
+  const auto workload = MakeQueryWorkload(corpus, WorkloadOptions{});
+  ASSERT_EQ(workload.size(), 90u);
+  EXPECT_EQ(datagen::FilterByKeywordCount(workload, 1).size(), 30u);
+  EXPECT_EQ(datagen::FilterByKeywordCount(workload, 2).size(), 30u);
+  EXPECT_EQ(datagen::FilterByKeywordCount(workload, 3).size(), 30u);
+}
+
+TEST(QueryWorkloadTest, LocationsFollowDataDistribution) {
+  const GeneratedCorpus corpus = TweetGenerator::Generate(SmallOptions());
+  const auto workload = MakeQueryWorkload(corpus, WorkloadOptions{});
+  for (const TkLusQuery& q : workload) {
+    bool near_city = false;
+    for (const GeoPoint& center : corpus.city_centers) {
+      if (EuclideanKm(q.location, center) < 100.0) near_city = true;
+    }
+    EXPECT_TRUE(near_city);
+  }
+}
+
+TEST(QueryWorkloadTest, MultiKeywordAnchoredOnHotTopics) {
+  const GeneratedCorpus corpus = TweetGenerator::Generate(SmallOptions());
+  const auto workload = MakeQueryWorkload(corpus, WorkloadOptions{});
+  const auto& topics = datagen::TopicWords();
+  const std::set<std::string> hot(topics.begin(), topics.begin() + 10);
+  for (const TkLusQuery& q : datagen::FilterByKeywordCount(workload, 2)) {
+    EXPECT_TRUE(hot.count(q.keywords[0])) << q.keywords[0];
+  }
+}
+
+TEST(RelevanceOracleTest, ExpertRelevantForMatchingQuery) {
+  const GeneratedCorpus corpus = TweetGenerator::Generate(SmallOptions());
+  ASSERT_FALSE(corpus.experts.empty());
+  const auto& expert = corpus.experts.front();
+  RelevanceOracle oracle(&corpus);
+  TkLusQuery query;
+  query.location = expert.center;
+  query.radius_km = 5.0;
+  query.keywords = {expert.topic};
+  EXPECT_TRUE(oracle.TrulyRelevant(expert.uid, query));
+  // Wrong topic: not relevant.
+  query.keywords = {"zzzunknown"};
+  EXPECT_FALSE(oracle.TrulyRelevant(expert.uid, query));
+  // Too far away: not relevant.
+  query.keywords = {expert.topic};
+  query.location = GeoPoint{expert.center.lat + 3.0, expert.center.lon};
+  EXPECT_FALSE(oracle.TrulyRelevant(expert.uid, query));
+}
+
+TEST(RelevanceOracleTest, RequiresRepeatedNearbyOnTopicPosts) {
+  // Crafted corpus: user 1 posted twice about "hotel" near the origin,
+  // user 2 only once, user 3 twice but far away, user 4 off-topic.
+  GeneratedCorpus corpus;
+  const auto add = [&corpus](TweetId sid, UserId uid, double lat, double lon,
+                             const char* text) {
+    Post p;
+    p.sid = sid;
+    p.uid = uid;
+    p.location = GeoPoint{lat, lon};
+    p.text = text;
+    corpus.dataset.Add(std::move(p));
+  };
+  add(1, 1, 10.00, 10.00, "lovely hotel lobby");
+  add(2, 1, 10.01, 10.00, "hotel breakfast is great");
+  add(3, 2, 10.00, 10.01, "nice hotel");
+  add(4, 3, 12.00, 12.00, "hotel one");
+  add(5, 3, 12.00, 12.01, "hotel two");
+  add(6, 4, 10.00, 10.00, "pizza pizza pizza");
+  RelevanceOracle oracle(&corpus);
+  TkLusQuery query;
+  query.location = GeoPoint{10.0, 10.0};
+  query.radius_km = 10.0;
+  query.keywords = {"hotel"};
+  EXPECT_TRUE(oracle.TrulyRelevant(1, query));    // two nearby on-topic
+  EXPECT_FALSE(oracle.TrulyRelevant(2, query));   // only one
+  EXPECT_FALSE(oracle.TrulyRelevant(3, query));   // both beyond locality
+  EXPECT_FALSE(oracle.TrulyRelevant(4, query));   // wrong topic
+  EXPECT_FALSE(oracle.TrulyRelevant(99, query));  // unknown user
+}
+
+TEST(RelevanceOracleTest, JudgeNoiseStaysNearTruth) {
+  const GeneratedCorpus corpus = TweetGenerator::Generate(SmallOptions());
+  RelevanceOracle oracle(&corpus);
+  const auto& expert = corpus.experts.front();
+  TkLusQuery query;
+  query.location = expert.center;
+  query.radius_km = 5.0;
+  query.keywords = {expert.topic};
+  int positive = 0;
+  const int trials = 500;
+  for (int i = 0; i < trials; ++i) {
+    if (oracle.JudgedRelevant(expert.uid, query)) ++positive;
+  }
+  // With accuracy 0.85 and 2-of-4 voting, a truly relevant line is judged
+  // relevant ~97% of the time.
+  EXPECT_GT(positive, trials * 9 / 10);
+}
+
+TEST(RelevanceOracleTest, PrecisionMetric) {
+  const GeneratedCorpus corpus = TweetGenerator::Generate(SmallOptions());
+  RelevanceOracle oracle(&corpus);
+  const auto& expert = corpus.experts.front();
+  TkLusQuery query;
+  query.location = expert.center;
+  query.radius_km = 5.0;
+  query.keywords = {expert.topic};
+  const UserId stranger = 100000;
+  EXPECT_DOUBLE_EQ(oracle.TruePrecision({expert.uid}, query), 1.0);
+  EXPECT_DOUBLE_EQ(oracle.TruePrecision({stranger}, query), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.TruePrecision({expert.uid, stranger}, query), 0.5);
+  EXPECT_DOUBLE_EQ(oracle.TruePrecision({}, query), 0.0);
+}
+
+}  // namespace
+}  // namespace tklus

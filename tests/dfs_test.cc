@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dfs/dfs.h"
+
+namespace tklus {
+namespace {
+
+TEST(DfsTest, AppendAndReadAll) {
+  SimulatedDfs dfs;
+  ASSERT_TRUE(dfs.Append("a/b.txt", "hello ").ok());
+  ASSERT_TRUE(dfs.Append("a/b.txt", "world").ok());
+  Result<std::string> content = dfs.ReadAll("a/b.txt");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello world");
+  Result<uint64_t> size = dfs.FileSize("a/b.txt");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+}
+
+TEST(DfsTest, ReadAtOffsets) {
+  SimulatedDfs::Options opts;
+  opts.block_size = 8;  // force multi-block files
+  SimulatedDfs dfs(opts);
+  const std::string payload = "0123456789abcdefghijklmnopqrstuvwxyz";
+  ASSERT_TRUE(dfs.Append("f", payload).ok());
+  std::string out;
+  ASSERT_TRUE(dfs.ReadAt("f", 0, 5, &out).ok());
+  EXPECT_EQ(out, "01234");
+  ASSERT_TRUE(dfs.ReadAt("f", 6, 10, &out).ok());
+  EXPECT_EQ(out, payload.substr(6, 10));
+  ASSERT_TRUE(dfs.ReadAt("f", 30, 6, &out).ok());
+  EXPECT_EQ(out, payload.substr(30, 6));
+}
+
+TEST(DfsTest, ReadPastEofRejected) {
+  SimulatedDfs dfs;
+  ASSERT_TRUE(dfs.Append("f", "abc").ok());
+  std::string out;
+  EXPECT_EQ(dfs.ReadAt("f", 2, 5, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dfs.ReadAt("missing", 0, 1, &out).code(), StatusCode::kNotFound);
+}
+
+TEST(DfsTest, BlocksRoundRobinAcrossNodes) {
+  SimulatedDfs::Options opts;
+  opts.block_size = 4;
+  opts.num_data_nodes = 3;
+  SimulatedDfs dfs(opts);
+  ASSERT_TRUE(dfs.Append("f", std::string(36, 'x')).ok());  // 9 blocks
+  const auto& nodes = dfs.node_stats();
+  ASSERT_EQ(nodes.size(), 3u);
+  for (const auto& node : nodes) {
+    EXPECT_EQ(node.blocks_stored, 3u);
+    EXPECT_EQ(node.bytes_stored, 12u);
+  }
+  EXPECT_EQ(dfs.total_bytes(), 36u);
+}
+
+TEST(DfsTest, SeekAccounting) {
+  SimulatedDfs::Options opts;
+  opts.block_size = 4;
+  opts.num_data_nodes = 1;
+  SimulatedDfs dfs(opts);
+  ASSERT_TRUE(dfs.Append("f", std::string(40, 'y')).ok());
+  std::string out;
+  // Sequential whole-file read: first block is a seek, the rest are not.
+  ASSERT_TRUE(dfs.ReadAt("f", 0, 40, &out).ok());
+  EXPECT_EQ(dfs.node_stats()[0].block_reads, 10u);
+  EXPECT_EQ(dfs.node_stats()[0].seeks, 1u);
+  dfs.ResetStats();
+  // Two distant random reads: two seeks.
+  ASSERT_TRUE(dfs.ReadAt("f", 0, 2, &out).ok());
+  ASSERT_TRUE(dfs.ReadAt("f", 36, 2, &out).ok());
+  EXPECT_EQ(dfs.node_stats()[0].seeks, 2u);
+}
+
+TEST(DfsTest, ListByPrefix) {
+  SimulatedDfs dfs;
+  ASSERT_TRUE(dfs.Append("index/part-00000", "a").ok());
+  ASSERT_TRUE(dfs.Append("index/part-00001", "b").ok());
+  ASSERT_TRUE(dfs.Append("other/file", "c").ok());
+  const auto files = dfs.List("index/");
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "index/part-00000");
+  EXPECT_EQ(files[1], "index/part-00001");
+  EXPECT_EQ(dfs.List().size(), 3u);
+  EXPECT_EQ(dfs.file_count(), 3u);
+}
+
+TEST(DfsTest, DeleteReclaimsBytes) {
+  SimulatedDfs dfs;
+  ASSERT_TRUE(dfs.Append("f", "12345").ok());
+  EXPECT_EQ(dfs.total_bytes(), 5u);
+  ASSERT_TRUE(dfs.Delete("f").ok());
+  EXPECT_EQ(dfs.total_bytes(), 0u);
+  EXPECT_FALSE(dfs.Exists("f"));
+  EXPECT_EQ(dfs.Delete("f").code(), StatusCode::kNotFound);
+}
+
+TEST(DfsTest, EmptyAppendIsNoop) {
+  SimulatedDfs dfs;
+  ASSERT_TRUE(dfs.Append("f", "").ok());
+  // File exists (namespace entry) with zero size.
+  EXPECT_TRUE(dfs.Exists("f"));
+  Result<uint64_t> size = dfs.FileSize("f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+}
+
+}  // namespace
+}  // namespace tklus

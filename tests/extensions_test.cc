@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "baseline/naive_scan.h"
+#include "core/engine.h"
+#include "core/scoring.h"
+#include "datagen/cities.h"
+#include "datagen/tweet_generator.h"
+#include "model/gazetteer.h"
+
+namespace tklus {
+namespace {
+
+using datagen::GeneratedCorpus;
+using datagen::TweetGenerator;
+
+Post MakePost(TweetId sid, UserId uid, double lat, double lon,
+              const std::string& text, TweetId rsid = kNoId,
+              UserId ruid = kNoId) {
+  Post p;
+  p.sid = sid;
+  p.uid = uid;
+  p.location = GeoPoint{lat, lon};
+  p.text = text;
+  p.rsid = rsid;
+  p.ruid = ruid;
+  return p;
+}
+
+// ----------------------------------------------------------- temporal
+
+// Two users, both on-topic and equally close; user 1's tweets are old,
+// user 2's are recent.
+Dataset TemporalDataset() {
+  Dataset ds;
+  ds.Add(MakePost(1000, 1, 10.0, 10.0, "great cafe here"));
+  ds.Add(MakePost(1001, 1, 10.0, 10.0, "cafe again"));
+  ds.Add(MakePost(9000, 2, 10.0, 10.0, "great cafe there"));
+  ds.Add(MakePost(9001, 2, 10.0, 10.0, "cafe encore"));
+  return ds;
+}
+
+TkLusQuery CafeQuery() {
+  TkLusQuery q;
+  q.location = GeoPoint{10.0, 10.0};
+  q.radius_km = 10.0;
+  q.keywords = {"cafe"};
+  q.k = 5;
+  return q;
+}
+
+TEST(TemporalTest, WindowFiltersOldTweets) {
+  auto engine = TkLusEngine::Build(TemporalDataset());
+  ASSERT_TRUE(engine.ok());
+  TkLusQuery q = CafeQuery();
+  q.temporal.begin = 5000;
+  auto result = (*engine)->Query(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->users.size(), 1u);
+  EXPECT_EQ(result->users[0].uid, 2);  // only user 2's tweets qualify
+
+  q.temporal.begin.reset();
+  q.temporal.end = 5000;
+  result = (*engine)->Query(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->users.size(), 1u);
+  EXPECT_EQ(result->users[0].uid, 1);
+}
+
+TEST(TemporalTest, ClosedWindowBothEnds) {
+  auto engine = TkLusEngine::Build(TemporalDataset());
+  ASSERT_TRUE(engine.ok());
+  TkLusQuery q = CafeQuery();
+  q.temporal.begin = 1001;
+  q.temporal.end = 9000;
+  auto result = (*engine)->Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->users.size(), 2u);  // one tweet of each user
+  q.temporal.begin = 2000;
+  q.temporal.end = 3000;
+  result = (*engine)->Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->users.empty());
+}
+
+TEST(TemporalTest, RecencyWeightingPrefersRecentUser) {
+  // Give user 1 (old tweets) a big thread so it wins without decay.
+  Dataset ds = TemporalDataset();
+  for (int i = 0; i < 10; ++i) {
+    ds.Add(MakePost(2000 + i, 100 + i, 10.0, 10.0, "nice!", 1000, 1));
+  }
+  auto engine = TkLusEngine::Build(ds);
+  ASSERT_TRUE(engine.ok());
+  TkLusQuery q = CafeQuery();
+  auto plain = (*engine)->Query(q);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_GE(plain->users.size(), 2u);
+  EXPECT_EQ(plain->users[0].uid, 1);  // popularity wins without decay
+
+  // With a sharp recency decay anchored at the corpus end, the old
+  // thread's relevance vanishes and the recent user wins.
+  q.temporal.half_life = 500.0;
+  q.temporal.reference = 9001;
+  auto decayed = (*engine)->Query(q);
+  ASSERT_TRUE(decayed.ok());
+  ASSERT_GE(decayed->users.size(), 2u);
+  EXPECT_EQ(decayed->users[0].uid, 2);
+}
+
+TEST(TemporalTest, HalfLifeRequiresReference) {
+  auto engine = TkLusEngine::Build(TemporalDataset());
+  ASSERT_TRUE(engine.ok());
+  TkLusQuery q = CafeQuery();
+  q.temporal.half_life = 100.0;
+  EXPECT_FALSE((*engine)->Query(q).ok());
+  q.temporal.reference = 9001;
+  q.temporal.half_life = -5.0;
+  EXPECT_FALSE((*engine)->Query(q).ok());
+}
+
+TEST(TemporalTest, EngineMatchesOracleWithTemporal) {
+  TweetGenerator::Options gen;
+  gen.num_users = 200;
+  gen.num_tweets = 5000;
+  gen.num_cities = 3;
+  const GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+  const NaiveScanner scanner(&corpus.dataset);
+  auto engine = TkLusEngine::Build(corpus.dataset);
+  ASSERT_TRUE(engine.ok());
+  TkLusQuery q;
+  q.location = corpus.city_centers[0];
+  q.radius_km = 15.0;
+  q.keywords = {"restaurant"};
+  q.k = 10;
+  q.temporal.begin = gen.start_sid + 1000;
+  q.temporal.end = gen.start_sid + 4000;
+  q.temporal.half_life = 800.0;
+  q.temporal.reference = gen.start_sid + 5000;
+  auto got = (*engine)->Query(q);
+  ASSERT_TRUE(got.ok());
+  const QueryResult want = scanner.Process(q);
+  ASSERT_EQ(got->users.size(), want.users.size());
+  for (size_t i = 0; i < want.users.size(); ++i) {
+    EXPECT_EQ(got->users[i].uid, want.users[i].uid) << i;
+    EXPECT_NEAR(got->users[i].score, want.users[i].score, 1e-9);
+  }
+}
+
+TEST(RecencyWeightTest, Shape) {
+  EXPECT_DOUBLE_EQ(RecencyWeight(100, 100, 10), 1.0);
+  EXPECT_DOUBLE_EQ(RecencyWeight(150, 100, 10), 1.0);  // future clamps
+  EXPECT_NEAR(RecencyWeight(90, 100, 10), 0.5, 1e-12);
+  EXPECT_NEAR(RecencyWeight(80, 100, 10), 0.25, 1e-12);
+  EXPECT_GT(RecencyWeight(99, 100, 10), RecencyWeight(50, 100, 10));
+}
+
+// ------------------------------------------------------- gazetteer
+
+TEST(GazetteerTest, AddAndLookupNormalized) {
+  Gazetteer gazetteer;
+  gazetteer.Add("Toronto", GeoPoint{43.68, -79.37});
+  gazetteer.Add("paris", GeoPoint{48.86, 2.35});
+  // Lookups use normalized (stemmed) terms, as produced by the tokenizer.
+  Tokenizer tokenizer;
+  const auto toronto_terms = tokenizer.Tokenize("toronto");
+  ASSERT_EQ(toronto_terms.size(), 1u);
+  EXPECT_TRUE(gazetteer.Lookup(toronto_terms[0]).has_value());
+  const auto paris_terms = tokenizer.Tokenize("paris");
+  ASSERT_EQ(paris_terms.size(), 1u);
+  EXPECT_TRUE(gazetteer.Lookup(paris_terms[0]).has_value());
+  EXPECT_FALSE(gazetteer.Lookup("london").has_value());
+  EXPECT_EQ(gazetteer.size(), 2u);
+}
+
+TEST(GazetteerTest, CityGazetteerCoversBuiltInTable) {
+  const Gazetteer gazetteer = datagen::MakeCityGazetteer();
+  EXPECT_EQ(gazetteer.size(), datagen::WorldCities().size());
+}
+
+TEST(InferLocationsTest, FillsUntaggedFromText) {
+  Dataset ds;
+  Post tagged = MakePost(1, 1, 43.68, -79.37, "hotel in toronto");
+  Post untagged_named = MakePost(2, 2, 0, 0, "amazing hotel in paris");
+  untagged_named.geo_source = GeoSource::kNone;
+  Post untagged_unnamed = MakePost(3, 3, 0, 0, "amazing hotel somewhere");
+  untagged_unnamed.geo_source = GeoSource::kNone;
+  ds.Add(tagged);
+  ds.Add(untagged_named);
+  ds.Add(untagged_unnamed);
+
+  const Gazetteer gazetteer = datagen::MakeCityGazetteer();
+  const LocationInferenceStats stats = InferLocations(&ds, gazetteer);
+  EXPECT_EQ(stats.untagged, 2u);
+  EXPECT_EQ(stats.inferred, 1u);
+  EXPECT_EQ(ds.posts()[0].geo_source, GeoSource::kTagged);
+  EXPECT_EQ(ds.posts()[1].geo_source, GeoSource::kInferred);
+  EXPECT_NEAR(ds.posts()[1].location.lat, 48.8566, 1e-3);
+  EXPECT_EQ(ds.posts()[2].geo_source, GeoSource::kNone);
+}
+
+TEST(InferLocationsTest, EndToEndRecoversHiddenLocalUser) {
+  // User 7 posts about cafes in Paris but never geo-tags; without
+  // inference the engine cannot see them, with inference it can.
+  Dataset ds;
+  ds.Add(MakePost(1, 1, 48.8566, 2.3522, "cafe visit"));
+  for (TweetId sid = 10; sid < 14; ++sid) {
+    Post p = MakePost(sid, 7, 0, 0, "the best paris cafe ever");
+    p.geo_source = GeoSource::kNone;
+    ds.Add(p);
+  }
+  TkLusQuery q;
+  q.location = GeoPoint{48.8566, 2.3522};
+  q.radius_km = 10.0;
+  q.keywords = {"cafe"};
+  q.k = 5;
+
+  auto blind = TkLusEngine::Build(ds);
+  ASSERT_TRUE(blind.ok());
+  auto blind_result = (*blind)->Query(q);
+  ASSERT_TRUE(blind_result.ok());
+  ASSERT_EQ(blind_result->users.size(), 1u);
+  EXPECT_EQ(blind_result->users[0].uid, 1);
+
+  InferLocations(&ds, datagen::MakeCityGazetteer());
+  auto informed = TkLusEngine::Build(ds);
+  ASSERT_TRUE(informed.ok());
+  auto informed_result = (*informed)->Query(q);
+  ASSERT_TRUE(informed_result.ok());
+  ASSERT_EQ(informed_result->users.size(), 2u);
+  EXPECT_EQ(informed_result->users[0].uid, 7);  // 4 relevant tweets
+}
+
+TEST(InferLocationsTest, GeneratedUntaggedCorpus) {
+  TweetGenerator::Options gen;
+  gen.num_users = 200;
+  gen.num_tweets = 5000;
+  gen.num_cities = 4;
+  gen.untagged_frac = 0.3;
+  GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+  size_t untagged = 0;
+  for (const Post& p : corpus.dataset.posts()) {
+    if (!p.HasLocation()) ++untagged;
+  }
+  // ~30% untagged.
+  EXPECT_GT(untagged, corpus.dataset.size() / 5);
+  EXPECT_LT(untagged, corpus.dataset.size() * 2 / 5);
+
+  const LocationInferenceStats stats =
+      InferLocations(&corpus.dataset, datagen::MakeCityGazetteer());
+  EXPECT_EQ(stats.untagged, untagged);
+  // ~80% of untagged posts name their city.
+  EXPECT_GT(stats.inferred, untagged * 6 / 10);
+  // Inferred locations are real city centres.
+  for (const Post& p : corpus.dataset.posts()) {
+    if (p.geo_source != GeoSource::kInferred) continue;
+    bool at_city = false;
+    for (const auto& city : datagen::WorldCities()) {
+      if (p.location == city.center) at_city = true;
+    }
+    EXPECT_TRUE(at_city);
+  }
+}
+
+TEST(InferLocationsTest, UntaggedExcludedFromIndexAndProfiles) {
+  Dataset ds;
+  ds.Add(MakePost(1, 1, 10.0, 10.0, "cafe one"));
+  Post untagged = MakePost(2, 1, 99.0, 99.0, "cafe two");
+  untagged.geo_source = GeoSource::kNone;
+  ds.Add(untagged);
+  auto engine = TkLusEngine::Build(ds);
+  ASSERT_TRUE(engine.ok());
+  // Only the tagged post counts in the Def. 9 profile.
+  ASSERT_EQ((*engine)->user_locations().at(1).size(), 1u);
+  TkLusQuery q;
+  q.location = GeoPoint{10.0, 10.0};
+  q.radius_km = 5.0;
+  q.keywords = {"cafe"};
+  q.k = 5;
+  auto result = (*engine)->Query(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->users.size(), 1u);
+  // delta(u) = 1.0 (single tagged post at the query point), so the
+  // untagged post did not dilute the Def. 9 average.
+  EXPECT_GT(result->users[0].score, 0.5);
+}
+
+}  // namespace
+}  // namespace tklus

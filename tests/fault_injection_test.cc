@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datagen/tweet_generator.h"
+#include "dfs/dfs.h"
+
+namespace tklus {
+namespace {
+
+using datagen::TweetGenerator;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TweetGenerator::Options gen;
+    gen.num_users = 200;
+    gen.num_tweets = 5000;
+    gen.num_cities = 3;
+    corpus_ = new datagen::GeneratedCorpus(TweetGenerator::Generate(gen));
+    auto engine = TkLusEngine::Build(corpus_->dataset);
+    ASSERT_TRUE(engine.ok());
+    engine_ = engine->release();
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete corpus_;
+    engine_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static TkLusQuery HotelQuery() {
+    TkLusQuery q;
+    q.location = corpus_->city_centers[0];
+    q.radius_km = 12.0;
+    q.keywords = {"hotel"};
+    q.k = 5;
+    return q;
+  }
+
+  static datagen::GeneratedCorpus* corpus_;
+  static TkLusEngine* engine_;
+};
+
+datagen::GeneratedCorpus* FaultInjectionTest::corpus_ = nullptr;
+TkLusEngine* FaultInjectionTest::engine_ = nullptr;
+
+TEST_F(FaultInjectionTest, DfsReadFaultSurfacesAsIoError) {
+  // Sanity: the query works.
+  auto ok_result = engine_->Query(HotelQuery());
+  ASSERT_TRUE(ok_result.ok());
+  ASSERT_FALSE(ok_result->users.empty());
+
+  // A dead "data node" fails the postings fetch; the error propagates as a
+  // Status, not a crash or a silent empty result.
+  engine_->dfs().InjectReadFaults(1);
+  auto faulty = engine_->Query(HotelQuery());
+  ASSERT_FALSE(faulty.ok());
+  EXPECT_EQ(faulty.status().code(), StatusCode::kIoError);
+
+  // The node "recovers": the same query succeeds again with the same
+  // answer.
+  auto recovered = engine_->Query(HotelQuery());
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->users.size(), ok_result->users.size());
+  for (size_t i = 0; i < recovered->users.size(); ++i) {
+    EXPECT_EQ(recovered->users[i].uid, ok_result->users[i].uid);
+  }
+}
+
+TEST_F(FaultInjectionTest, SustainedFaultsFailEveryQuery) {
+  engine_->dfs().InjectReadFaults(100);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(engine_->Query(HotelQuery()).ok());
+  }
+  engine_->dfs().InjectReadFaults(0);
+  // Drain any leftovers injected above (0 resets the counter).
+  EXPECT_TRUE(engine_->Query(HotelQuery()).ok());
+}
+
+TEST_F(FaultInjectionTest, NoBufferPoolPinLeaksAcrossQueries) {
+  // Every metadata page pinned during query processing must be unpinned,
+  // including on error paths.
+  for (int i = 0; i < 5; ++i) {
+    (void)engine_->Query(HotelQuery());
+    EXPECT_EQ(engine_->metadata_db().buffer_pool().PinnedCount(), 0u);
+  }
+  engine_->dfs().InjectReadFaults(1);
+  (void)engine_->Query(HotelQuery());
+  EXPECT_EQ(engine_->metadata_db().buffer_pool().PinnedCount(), 0u);
+}
+
+TEST_F(FaultInjectionTest, TweetSearchAlsoPropagatesFaults) {
+  engine_->dfs().InjectReadFaults(1);
+  auto result = engine_->QueryTweets(HotelQuery());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_TRUE(engine_->QueryTweets(HotelQuery()).ok());
+}
+
+}  // namespace
+}  // namespace tklus

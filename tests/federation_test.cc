@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/federation.h"
+#include "datagen/tweet_generator.h"
+
+namespace tklus {
+namespace {
+
+Post MakePost(TweetId sid, UserId uid, double lat, double lon,
+              const std::string& text, TweetId rsid = kNoId,
+              UserId ruid = kNoId) {
+  Post p;
+  p.sid = sid;
+  p.uid = uid;
+  p.location = GeoPoint{lat, lon};
+  p.text = text;
+  p.rsid = rsid;
+  p.ruid = ruid;
+  return p;
+}
+
+// Two "platforms" over the same city: platform A has the stronger cafe
+// user, platform B the stronger hotel user.
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dataset a;
+    a.Add(MakePost(1, 1, 10.0, 10.0, "cafe cafe fantastic"));
+    for (TweetId sid = 10; sid < 20; ++sid) {
+      a.Add(MakePost(sid, 100 + sid, 10.0, 10.0, "love it", 1, 1));
+    }
+    a.Add(MakePost(30, 2, 10.0, 10.0, "hotel is fine"));
+    Dataset b;
+    b.Add(MakePost(1, 1, 10.0, 10.0, "hotel hotel grand"));
+    for (TweetId sid = 10; sid < 24; ++sid) {
+      b.Add(MakePost(sid, 100 + sid, 10.0, 10.0, "wonderful", 1, 1));
+    }
+    b.Add(MakePost(30, 2, 10.0, 10.0, "cafe is fine"));
+
+    auto engine_a = TkLusEngine::Build(a);
+    auto engine_b = TkLusEngine::Build(b);
+    ASSERT_TRUE(engine_a.ok());
+    ASSERT_TRUE(engine_b.ok());
+    engine_a_ = std::move(*engine_a);
+    engine_b_ = std::move(*engine_b);
+    federation_.AddPlatform("twitter", engine_a_.get());
+    federation_.AddPlatform("weibo", engine_b_.get());
+  }
+
+  TkLusQuery Query(const std::string& keyword) {
+    TkLusQuery q;
+    q.location = GeoPoint{10.0, 10.0};
+    q.radius_km = 10.0;
+    q.keywords = {keyword};
+    q.k = 4;
+    return q;
+  }
+
+  std::unique_ptr<TkLusEngine> engine_a_, engine_b_;
+  FederatedEngine federation_;
+};
+
+TEST_F(FederationTest, MergesAcrossPlatforms) {
+  auto result = federation_.Query(Query("cafe"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->users.size(), 2u);
+  // The popular cafe user lives on platform A ("twitter").
+  EXPECT_EQ(result->users[0].platform, "twitter");
+  EXPECT_EQ(result->users[0].uid, 1);
+  // Platform B's weak cafe user still appears in the merged list.
+  bool saw_weibo = false;
+  for (const auto& user : result->users) {
+    if (user.platform == "weibo") saw_weibo = true;
+  }
+  EXPECT_TRUE(saw_weibo);
+  EXPECT_EQ(result->platform_stats.size(), 2u);
+}
+
+TEST_F(FederationTest, TopUserDependsOnKeyword) {
+  auto cafe = federation_.Query(Query("cafe"));
+  auto hotel = federation_.Query(Query("hotel"));
+  ASSERT_TRUE(cafe.ok());
+  ASSERT_TRUE(hotel.ok());
+  EXPECT_EQ(cafe->users[0].platform, "twitter");
+  EXPECT_EQ(hotel->users[0].platform, "weibo");
+}
+
+TEST_F(FederationTest, KAppliesToMergedList) {
+  TkLusQuery q = Query("cafe");
+  q.k = 1;
+  auto result = federation_.Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->users.size(), 1u);
+}
+
+TEST_F(FederationTest, ScoresSortedDescending) {
+  auto result = federation_.Query(Query("hotel"));
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->users.size(); ++i) {
+    EXPECT_GE(result->users[i - 1].score, result->users[i].score);
+  }
+}
+
+TEST(FederationEmptyTest, NoPlatformsRejected) {
+  FederatedEngine federation;
+  TkLusQuery q;
+  q.location = GeoPoint{0, 0};
+  q.radius_km = 5;
+  q.keywords = {"cafe"};
+  EXPECT_FALSE(federation.Query(q).ok());
+}
+
+// ------------------------------------------------------------- explain
+
+TEST(ExplainTest, BreakdownAttachedOnRequest) {
+  Dataset ds;
+  ds.Add(MakePost(1, 1, 10.0, 10.0, "cafe cafe fantastic"));
+  for (TweetId sid = 10; sid < 16; ++sid) {
+    ds.Add(MakePost(sid, 100 + sid, 10.0, 10.0, "love it", 1, 1));
+  }
+  ds.Add(MakePost(30, 1, 10.01, 10.0, "another cafe note"));
+  auto engine = TkLusEngine::Build(ds);
+  ASSERT_TRUE(engine.ok());
+  TkLusQuery q;
+  q.location = GeoPoint{10.0, 10.0};
+  q.radius_km = 10.0;
+  q.keywords = {"cafe"};
+  q.k = 5;
+
+  auto plain = (*engine)->Query(q);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->users[0].why.has_value());
+
+  q.explain = true;
+  auto explained = (*engine)->Query(q);
+  ASSERT_TRUE(explained.ok());
+  ASSERT_FALSE(explained->users.empty());
+  const RankedUser& top = explained->users[0];
+  ASSERT_TRUE(top.why.has_value());
+  EXPECT_EQ(top.uid, 1);
+  EXPECT_EQ(top.why->matched_tweets, 2u);      // tweets 1 and 30
+  EXPECT_EQ(top.why->best_tweet, 1);           // the thread-leading tweet
+  EXPECT_GT(top.why->rho, 0.0);
+  EXPECT_GT(top.why->delta, 0.0);
+  // The Def. 10 mix reconstructs the reported score.
+  ScoringParams params;
+  EXPECT_NEAR(UserScore(top.why->rho, top.why->delta, params), top.score,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace tklus

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "geo/circle_cover.h"
+#include "geo/distance.h"
+#include "geo/geohash.h"
+#include "geo/point.h"
+#include "geo/quadtree.h"
+#include "geo/zorder.h"
+
+namespace tklus {
+namespace {
+
+// ---------------------------------------------------------------- geohash
+
+TEST(GeohashTest, PaperTableIvExample) {
+  // Table IV: (-23.994140625, -46.23046875) at lengths 1..4.
+  const GeoPoint p{-23.994140625, -46.23046875};
+  EXPECT_EQ(geohash::Encode(p, 1), "6");
+  EXPECT_EQ(geohash::Encode(p, 2), "6g");
+  EXPECT_EQ(geohash::Encode(p, 3), "6gx");
+  EXPECT_EQ(geohash::Encode(p, 4), "6gxp");
+}
+
+TEST(GeohashTest, KnownLandmarks) {
+  // Reference geohashes computed with the standard algorithm.
+  EXPECT_EQ(geohash::Encode(GeoPoint{57.64911, 10.40744}, 11), "u4pruydqqvj");
+  EXPECT_EQ(geohash::Encode(GeoPoint{42.6, -5.6}, 5), "ezs42");
+}
+
+TEST(GeohashTest, EncodeDecodeRoundTrip) {
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const GeoPoint p{rng.Uniform(-90, 90), rng.Uniform(-180, 180)};
+    for (int len = 1; len <= 8; ++len) {
+      const std::string h = geohash::Encode(p, len);
+      Result<BoundingBox> box = geohash::DecodeBox(h);
+      ASSERT_TRUE(box.ok());
+      EXPECT_TRUE(box->Contains(p))
+          << h << " does not contain " << p.lat << "," << p.lon;
+    }
+  }
+}
+
+TEST(GeohashTest, PrefixPropertyOfNestedCells) {
+  // A longer geohash refines the shorter one: prefixes must match.
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const GeoPoint p{rng.Uniform(-90, 90), rng.Uniform(-180, 180)};
+    const std::string h8 = geohash::Encode(p, 8);
+    for (int len = 1; len < 8; ++len) {
+      EXPECT_EQ(geohash::Encode(p, len), h8.substr(0, len));
+    }
+  }
+}
+
+TEST(GeohashTest, DecodeBoxNesting) {
+  Result<BoundingBox> outer = geohash::DecodeBox("6g");
+  Result<BoundingBox> inner = geohash::DecodeBox("6gxp");
+  ASSERT_TRUE(outer.ok());
+  ASSERT_TRUE(inner.ok());
+  EXPECT_LE(outer->min_lat, inner->min_lat);
+  EXPECT_GE(outer->max_lat, inner->max_lat);
+  EXPECT_LE(outer->min_lon, inner->min_lon);
+  EXPECT_GE(outer->max_lon, inner->max_lon);
+}
+
+TEST(GeohashTest, InvalidInputRejected) {
+  EXPECT_FALSE(geohash::DecodeBox("").ok());
+  EXPECT_FALSE(geohash::DecodeBox("6ga").ok());  // 'a' not in alphabet
+  EXPECT_FALSE(geohash::IsValid("ilo"));
+  EXPECT_TRUE(geohash::IsValid("6gxp"));
+}
+
+TEST(GeohashTest, EncodeBitsMatchesCharacters) {
+  const GeoPoint p{-23.994140625, -46.23046875};
+  // 20 bits == 4 chars.
+  const uint64_t bits = geohash::EncodeBits(p, 20);
+  // "6gxp": 6=00110 g=01111 x=11101 p=10101
+  EXPECT_EQ(bits, 0b00110011111110110101ULL);
+}
+
+TEST(GeohashTest, CellSpansHalveWithBits) {
+  double lat1, lon1, lat2, lon2;
+  geohash::CellSpanDegrees(1, &lat1, &lon1);
+  geohash::CellSpanDegrees(2, &lat2, &lon2);
+  // 5 more bits: lon halves 3 times at odd->even? Overall area shrinks 32x.
+  EXPECT_NEAR((lat1 * lon1) / (lat2 * lon2), 32.0, 1e-9);
+}
+
+TEST(GeohashTest, NeighborsAreAdjacent) {
+  const std::string h = geohash::Encode(GeoPoint{48.86, 2.35}, 5);
+  const auto neighbors = geohash::Neighbors(h);
+  EXPECT_EQ(neighbors.size(), 8u);
+  Result<BoundingBox> box = geohash::DecodeBox(h);
+  ASSERT_TRUE(box.ok());
+  for (const std::string& nb : neighbors) {
+    EXPECT_NE(nb, h);
+    Result<BoundingBox> nbox = geohash::DecodeBox(nb);
+    ASSERT_TRUE(nbox.ok());
+    // Adjacent: the boxes touch (min distance ~ 0).
+    const double gap_lat =
+        std::max(0.0, std::max(nbox->min_lat - box->max_lat,
+                               box->min_lat - nbox->max_lat));
+    const double gap_lon =
+        std::max(0.0, std::max(nbox->min_lon - box->max_lon,
+                               box->min_lon - nbox->max_lon));
+    EXPECT_LT(gap_lat, 1e-9);
+    EXPECT_LT(gap_lon, 1e-9);
+  }
+}
+
+TEST(GeohashTest, NeighborsAtDateline) {
+  const std::string h = geohash::Encode(GeoPoint{0.0, 179.99}, 4);
+  const auto neighbors = geohash::Neighbors(h);
+  EXPECT_EQ(neighbors.size(), 8u);  // wraps around, none dropped
+}
+
+TEST(GeohashTest, NeighborsNearPoleDropped) {
+  const std::string h = geohash::Encode(GeoPoint{89.9, 0.0}, 1);
+  const auto neighbors = geohash::Neighbors(h);
+  EXPECT_LT(neighbors.size(), 8u);  // northern row is off the pole
+}
+
+// ---------------------------------------------------------------- distance
+
+TEST(DistanceTest, ZeroForIdenticalPoints) {
+  const GeoPoint p{10.5, 20.5};
+  EXPECT_DOUBLE_EQ(EuclideanKm(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(HaversineKm(p, p), 0.0);
+}
+
+TEST(DistanceTest, OneDegreeLatitudeIsAbout111Km) {
+  const double d = EuclideanKm(GeoPoint{0, 0}, GeoPoint{1, 0});
+  EXPECT_NEAR(d, 111.19, 0.2);
+}
+
+TEST(DistanceTest, EquirectangularCloseToHaversineAtCityScale) {
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const GeoPoint a{rng.Uniform(-60, 60), rng.Uniform(-179, 179)};
+    const GeoPoint b{a.lat + rng.Uniform(-0.3, 0.3),
+                     a.lon + rng.Uniform(-0.3, 0.3)};
+    const double de = EuclideanKm(a, b);
+    const double dh = HaversineKm(a, b);
+    EXPECT_NEAR(de, dh, std::max(0.05, dh * 0.01));
+  }
+}
+
+TEST(DistanceTest, Symmetry) {
+  const GeoPoint a{43.68, -79.37}, b{43.70, -79.40};
+  EXPECT_DOUBLE_EQ(EuclideanKm(a, b), EuclideanKm(b, a));
+}
+
+TEST(DistanceTest, TriangleInequality) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const GeoPoint a{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    const GeoPoint b{a.lat + rng.Uniform(-1, 1), a.lon + rng.Uniform(-1, 1)};
+    const GeoPoint c{a.lat + rng.Uniform(-1, 1), a.lon + rng.Uniform(-1, 1)};
+    EXPECT_LE(HaversineKm(a, c),
+              HaversineKm(a, b) + HaversineKm(b, c) + 1e-9);
+  }
+}
+
+TEST(DistanceTest, MinDistanceToContainingBoxIsZero) {
+  BoundingBox box{40, 50, -10, 10};
+  EXPECT_DOUBLE_EQ(MinDistanceKm(box, GeoPoint{45, 0}), 0.0);
+  EXPECT_GT(MinDistanceKm(box, GeoPoint{55, 0}), 500.0);
+}
+
+// -------------------------------------------------------------- zorder
+
+TEST(ZorderTest, InterleaveRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.Next());
+    const uint32_t y = static_cast<uint32_t>(rng.Next());
+    uint32_t x2, y2;
+    zorder::Deinterleave(zorder::Interleave(x, y), &x2, &y2);
+    EXPECT_EQ(x, x2);
+    EXPECT_EQ(y, y2);
+  }
+}
+
+TEST(ZorderTest, KnownPattern) {
+  EXPECT_EQ(zorder::Interleave(0b11, 0b00), 0b0101ULL);
+  EXPECT_EQ(zorder::Interleave(0b00, 0b11), 0b1010ULL);
+}
+
+TEST(ZorderTest, MonotoneInSmallGrid) {
+  // Z-order visits (0,0) (1,0) (0,1) (1,1) within a 2x2 block.
+  EXPECT_LT(zorder::Interleave(0, 0), zorder::Interleave(1, 0));
+  EXPECT_LT(zorder::Interleave(1, 0), zorder::Interleave(0, 1));
+  EXPECT_LT(zorder::Interleave(0, 1), zorder::Interleave(1, 1));
+}
+
+// -------------------------------------------------------------- cover
+
+TEST(CircleCoverTest, ContainsCenterCell) {
+  const GeoPoint q{43.6839128037, -79.37356590};  // the paper's Fig. 1 query
+  const auto cells = GeohashCircleCover(q, 10.0, 4);
+  ASSERT_FALSE(cells.empty());
+  const std::string center_cell = geohash::Encode(q, 4);
+  EXPECT_NE(std::find(cells.begin(), cells.end(), center_cell), cells.end());
+}
+
+TEST(CircleCoverTest, SortedAndUnique) {
+  const auto cells = GeohashCircleCover(GeoPoint{43.68, -79.37}, 20.0, 4);
+  EXPECT_TRUE(std::is_sorted(cells.begin(), cells.end()));
+  EXPECT_EQ(std::set<std::string>(cells.begin(), cells.end()).size(),
+            cells.size());
+}
+
+TEST(CircleCoverTest, CoversRandomPointsInCircle) {
+  // Property: every point within the radius falls in some covered cell.
+  Rng rng(9);
+  const GeoPoint q{43.68, -79.37};
+  const double r = 15.0;
+  const auto cells = GeohashCircleCover(q, r, 4);
+  const std::set<std::string> cell_set(cells.begin(), cells.end());
+  for (int i = 0; i < 2000; ++i) {
+    const GeoPoint p{q.lat + rng.Uniform(-0.2, 0.2),
+                     q.lon + rng.Uniform(-0.3, 0.3)};
+    if (EuclideanKm(p, q) > r) continue;
+    EXPECT_TRUE(cell_set.count(geohash::Encode(p, 4)))
+        << "uncovered point " << p.lat << "," << p.lon;
+  }
+}
+
+TEST(CircleCoverTest, MoreCellsAtLongerLength) {
+  const GeoPoint q{48.86, 2.35};
+  const auto c3 = GeohashCircleCover(q, 10.0, 3);
+  const auto c4 = GeohashCircleCover(q, 10.0, 4);
+  EXPECT_GT(c4.size(), c3.size());
+}
+
+TEST(CircleCoverTest, TighterAtLongerLength) {
+  const GeoPoint q{48.86, 2.35};
+  const double r = 10.0;
+  const double ratio3 = CoverAreaRatio(GeohashCircleCover(q, r, 3), q, r);
+  const double ratio4 = CoverAreaRatio(GeohashCircleCover(q, r, 4), q, r);
+  EXPECT_GE(ratio3, 1.0);
+  EXPECT_GE(ratio4, 1.0);
+  EXPECT_LT(ratio4, ratio3);  // finer cells waste less area
+}
+
+TEST(CircleCoverTest, ZeroRadiusSingleCell) {
+  const auto cells = GeohashCircleCover(GeoPoint{10, 10}, 0.0, 5);
+  EXPECT_EQ(cells.size(), 1u);
+}
+
+TEST(CircleCoverTest, InvalidInputsEmpty) {
+  EXPECT_TRUE(GeohashCircleCover(GeoPoint{0, 0}, -1.0, 4).empty());
+  EXPECT_TRUE(GeohashCircleCover(GeoPoint{0, 0}, 5.0, 0).empty());
+}
+
+// -------------------------------------------------------------- quadtree
+
+TEST(QuadtreeTest, InsertAndCount) {
+  Quadtree tree;
+  Rng rng(5);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    tree.Insert(GeoPoint{rng.Uniform(-80, 80), rng.Uniform(-170, 170)}, i);
+  }
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_GT(tree.node_count(), 1u);
+}
+
+TEST(QuadtreeTest, RangeQueryMatchesBruteForce) {
+  Quadtree tree;
+  Rng rng(6);
+  std::vector<GeoPoint> points;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    // Cluster around Toronto so queries have non-trivial results.
+    const GeoPoint p{43.7 + rng.Normal(0, 0.2), -79.4 + rng.Normal(0, 0.2)};
+    points.push_back(p);
+    tree.Insert(p, i);
+  }
+  const GeoPoint q{43.7, -79.4};
+  for (const double r : {1.0, 5.0, 20.0, 100.0}) {
+    std::set<uint64_t> expected;
+    for (uint64_t i = 0; i < points.size(); ++i) {
+      if (EuclideanKm(points[i], q) <= r) expected.insert(i);
+    }
+    std::set<uint64_t> got;
+    for (const auto& e : tree.RangeQuery(q, r)) got.insert(e.id);
+    EXPECT_EQ(got, expected) << "radius " << r;
+  }
+}
+
+TEST(QuadtreeTest, BoxQueryMatchesBruteForce) {
+  Quadtree tree;
+  Rng rng(8);
+  std::vector<GeoPoint> points;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const GeoPoint p{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    points.push_back(p);
+    tree.Insert(p, i);
+  }
+  const BoundingBox box{-2, 3, -1, 4};
+  std::set<uint64_t> expected;
+  for (uint64_t i = 0; i < points.size(); ++i) {
+    if (box.Contains(points[i])) expected.insert(i);
+  }
+  std::set<uint64_t> got;
+  for (const auto& e : tree.BoxQuery(box)) got.insert(e.id);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(QuadtreeTest, DuplicatePointsDoNotInfinitelySplit) {
+  Quadtree tree(BoundingBox{}, /*capacity=*/4, /*max_depth=*/8);
+  for (uint64_t i = 0; i < 100; ++i) {
+    tree.Insert(GeoPoint{1.0, 1.0}, i);
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_LE(tree.depth(), 8);
+  EXPECT_EQ(tree.RangeQuery(GeoPoint{1.0, 1.0}, 0.1).size(), 100u);
+}
+
+TEST(QuadtreeTest, EmptyTreeQueries) {
+  Quadtree tree;
+  EXPECT_TRUE(tree.RangeQuery(GeoPoint{0, 0}, 100).empty());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tklus

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "dfs/dfs.h"
+#include "geo/circle_cover.h"
+#include "geo/geohash.h"
+#include "index/hybrid_index.h"
+#include "index/posting.h"
+#include "index/postings_ops.h"
+#include "model/dataset.h"
+
+namespace tklus {
+namespace {
+
+// --------------------------------------------------------------- codec
+
+TEST(PostingCodecTest, EmptyList) {
+  const std::string encoded = EncodePostings({});
+  Result<std::vector<Posting>> decoded = DecodePostings(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(PostingCodecTest, RoundTrip) {
+  std::vector<Posting> postings = {
+      {1000000, 1}, {1000001, 3}, {1002000, 2}, {2000000, 1}};
+  Result<std::vector<Posting>> decoded =
+      DecodePostings(EncodePostings(postings));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, postings);
+}
+
+TEST(PostingCodecTest, RandomRoundTrip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Posting> postings;
+    TweetId tid = 1000000;
+    const int n = static_cast<int>(rng.UniformInt(uint64_t{200}));
+    for (int i = 0; i < n; ++i) {
+      tid += 1 + static_cast<TweetId>(rng.UniformInt(uint64_t{10000}));
+      postings.push_back(
+          Posting{tid, 1 + static_cast<uint32_t>(rng.UniformInt(uint64_t{5}))});
+    }
+    Result<std::vector<Posting>> decoded =
+        DecodePostings(EncodePostings(postings));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, postings);
+  }
+}
+
+TEST(PostingCodecTest, DeltaCodingCompresses) {
+  // Dense consecutive tids: ~2 bytes per posting.
+  std::vector<Posting> postings;
+  for (TweetId t = 5000000; t < 5001000; ++t) postings.push_back({t, 1});
+  const std::string encoded = EncodePostings(postings);
+  EXPECT_LT(encoded.size(), postings.size() * 3);
+}
+
+TEST(PostingCodecTest, CorruptionDetected) {
+  const std::string encoded = EncodePostings({{100, 1}, {200, 2}});
+  EXPECT_FALSE(DecodePostings(encoded.substr(0, encoded.size() - 1)).ok());
+  EXPECT_FALSE(DecodePostings(encoded + "x").ok());
+  EXPECT_FALSE(DecodePostings("").ok());
+}
+
+TEST(VarintTest, Boundaries) {
+  for (const uint64_t v :
+       {0ull, 127ull, 128ull, 16383ull, 16384ull, (1ull << 35),
+        ~0ull}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    size_t pos = 0;
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(buf, &pos, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+// ----------------------------------------------------------- set ops
+
+TEST(PostingsOpsTest, IntersectBasic) {
+  std::vector<std::vector<Posting>> lists = {
+      {{1, 1}, {3, 2}, {5, 1}},
+      {{2, 1}, {3, 1}, {5, 3}},
+  };
+  const auto result = IntersectPostings(lists);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], (Posting{3, 3}));
+  EXPECT_EQ(result[1], (Posting{5, 4}));
+}
+
+TEST(PostingsOpsTest, IntersectDisjointEmpty) {
+  std::vector<std::vector<Posting>> lists = {{{1, 1}}, {{2, 1}}};
+  EXPECT_TRUE(IntersectPostings(lists).empty());
+}
+
+TEST(PostingsOpsTest, IntersectWithEmptyListEmpty) {
+  std::vector<std::vector<Posting>> lists = {{{1, 1}, {2, 1}}, {}};
+  EXPECT_TRUE(IntersectPostings(lists).empty());
+}
+
+TEST(PostingsOpsTest, IntersectSingleListIdentity) {
+  std::vector<std::vector<Posting>> lists = {{{1, 2}, {9, 1}}};
+  EXPECT_EQ(IntersectPostings(lists), lists[0]);
+  EXPECT_TRUE(IntersectPostings({}).empty());
+}
+
+TEST(PostingsOpsTest, UnionBasic) {
+  std::vector<std::vector<Posting>> lists = {
+      {{1, 1}, {3, 2}},
+      {{2, 1}, {3, 1}},
+      {{3, 5}, {4, 1}},
+  };
+  const auto result = UnionPostings(lists);
+  ASSERT_EQ(result.size(), 4u);
+  EXPECT_EQ(result[0], (Posting{1, 1}));
+  EXPECT_EQ(result[1], (Posting{2, 1}));
+  EXPECT_EQ(result[2], (Posting{3, 8}));
+  EXPECT_EQ(result[3], (Posting{4, 1}));
+}
+
+TEST(PostingsOpsTest, ThreeWayIntersect) {
+  std::vector<std::vector<Posting>> lists = {
+      {{1, 1}, {5, 1}, {7, 1}, {9, 1}},
+      {{5, 2}, {9, 2}},
+      {{3, 1}, {5, 3}, {9, 3}, {11, 1}},
+  };
+  const auto result = IntersectPostings(lists);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], (Posting{5, 6}));
+  EXPECT_EQ(result[1], (Posting{9, 6}));
+}
+
+TEST(PostingsOpsTest, RandomAgainstSets) {
+  Rng rng(12);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::vector<Posting>> lists(3);
+    std::vector<std::set<TweetId>> sets(3);
+    for (int l = 0; l < 3; ++l) {
+      TweetId tid = 0;
+      const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{50}));
+      for (int i = 0; i < n; ++i) {
+        tid += 1 + static_cast<TweetId>(rng.UniformInt(uint64_t{6}));
+        lists[l].push_back({tid, 1});
+        sets[l].insert(tid);
+      }
+    }
+    std::set<TweetId> expect_and, expect_or;
+    for (const TweetId t : sets[0]) {
+      if (sets[1].count(t) && sets[2].count(t)) expect_and.insert(t);
+    }
+    for (const auto& s : sets) expect_or.insert(s.begin(), s.end());
+    std::set<TweetId> got_and, got_or;
+    for (const auto& p : IntersectPostings(lists)) got_and.insert(p.tid);
+    for (const auto& p : UnionPostings(lists)) got_or.insert(p.tid);
+    EXPECT_EQ(got_and, expect_and);
+    EXPECT_EQ(got_or, expect_or);
+  }
+}
+
+TEST(PostingsOpsTest, MergeDisjoint) {
+  const std::vector<Posting> a = {{1, 1}, {5, 1}};
+  const std::vector<Posting> b = {{2, 2}, {7, 1}};
+  const auto merged = MergeDisjoint(a, b);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].tid, 1);
+  EXPECT_EQ(merged[1].tid, 2);
+  EXPECT_EQ(merged[3].tid, 7);
+}
+
+// -------------------------------------------------------- hybrid index
+
+Post MakePost(TweetId sid, UserId uid, double lat, double lon,
+              const std::string& text) {
+  Post p;
+  p.sid = sid;
+  p.uid = uid;
+  p.location = GeoPoint{lat, lon};
+  p.text = text;
+  return p;
+}
+
+Dataset TorontoDataset() {
+  // A small corpus around Toronto with a couple of far-away posts.
+  Dataset ds;
+  ds.Add(MakePost(1001, 1, 43.684, -79.374, "great hotel downtown"));
+  ds.Add(MakePost(1002, 2, 43.690, -79.380, "hotel breakfast amazing"));
+  ds.Add(MakePost(1003, 3, 43.700, -79.400, "pizza night with friends"));
+  ds.Add(MakePost(1004, 4, 43.650, -79.350, "best pizza hotel combo"));
+  ds.Add(MakePost(1005, 5, 40.712, -74.006, "hotel in newyork"));
+  ds.Add(MakePost(1006, 6, 43.686, -79.376, "the and of"));  // all stopwords
+  return ds;
+}
+
+class HybridIndexTest : public ::testing::Test {
+ protected:
+  void Init(int geohash_length = 4) {
+    dfs_ = std::make_unique<SimulatedDfs>();
+    HybridIndex::Options opts;
+    opts.geohash_length = geohash_length;
+    auto index = HybridIndex::Build(TorontoDataset(), dfs_.get(), opts);
+    ASSERT_TRUE(index.ok());
+    index_ = std::move(*index);
+  }
+
+  std::unique_ptr<SimulatedDfs> dfs_;
+  std::unique_ptr<HybridIndex> index_;
+};
+
+TEST_F(HybridIndexTest, FetchPostingsByCell) {
+  Init();
+  const std::string cell1 =
+      geohash::Encode(GeoPoint{43.684, -79.374}, 4);
+  Result<std::vector<Posting>> postings =
+      index_->FetchPostings(cell1, "hotel");
+  ASSERT_TRUE(postings.ok());
+  // Tweets 1001, 1002, 1004, 1006? — depends which share the cell; at
+  // length 4 (~39 km cells) all Toronto tweets share one cell.
+  std::set<TweetId> tids;
+  for (const Posting& p : *postings) tids.insert(p.tid);
+  EXPECT_TRUE(tids.count(1001));
+  EXPECT_TRUE(tids.count(1002));
+  EXPECT_TRUE(tids.count(1004));
+  EXPECT_FALSE(tids.count(1005));  // New York is another cell
+}
+
+TEST_F(HybridIndexTest, PostingsSortedByTid) {
+  Init();
+  const std::string cell = geohash::Encode(GeoPoint{43.684, -79.374}, 4);
+  Result<std::vector<Posting>> postings =
+      index_->FetchPostings(cell, "hotel");
+  ASSERT_TRUE(postings.ok());
+  for (size_t i = 1; i < postings->size(); ++i) {
+    EXPECT_LT((*postings)[i - 1].tid, (*postings)[i].tid);
+  }
+}
+
+TEST_F(HybridIndexTest, MissingPairEmpty) {
+  Init();
+  Result<std::vector<Posting>> postings =
+      index_->FetchPostings("zzzz", "hotel");
+  ASSERT_TRUE(postings.ok());
+  EXPECT_TRUE(postings->empty());
+  postings = index_->FetchPostings(
+      geohash::Encode(GeoPoint{43.684, -79.374}, 4), "nonexistentterm");
+  ASSERT_TRUE(postings.ok());
+  EXPECT_TRUE(postings->empty());
+}
+
+TEST_F(HybridIndexTest, StemmedTermsIndexed) {
+  Init();
+  // "friends" was indexed as stem "friend".
+  const std::string cell = geohash::Encode(GeoPoint{43.700, -79.400}, 4);
+  Result<std::vector<Posting>> postings =
+      index_->FetchPostings(cell, "friend");
+  ASSERT_TRUE(postings.ok());
+  ASSERT_EQ(postings->size(), 1u);
+  EXPECT_EQ((*postings)[0].tid, 1003);
+}
+
+TEST_F(HybridIndexTest, FetchTermPostingsAcrossCover) {
+  Init();
+  const auto cells =
+      GeohashCircleCover(GeoPoint{43.684, -79.374}, 30.0, 4);
+  Result<std::vector<Posting>> postings =
+      index_->FetchTermPostings(cells, "hotel");
+  ASSERT_TRUE(postings.ok());
+  std::set<TweetId> tids;
+  for (const Posting& p : *postings) tids.insert(p.tid);
+  EXPECT_EQ(tids, (std::set<TweetId>{1001, 1002, 1004}));
+}
+
+TEST_F(HybridIndexTest, BuildStatspopulated) {
+  Init();
+  const IndexBuildStats& stats = index_->build_stats();
+  EXPECT_GT(stats.postings_lists, 0u);
+  EXPECT_GT(stats.postings_entries, 0u);
+  EXPECT_GT(stats.inverted_bytes, 0u);
+  EXPECT_GT(stats.forward_bytes, 0u);
+  EXPECT_EQ(stats.postings_lists, index_->forward_index().size());
+}
+
+TEST_F(HybridIndexTest, StopwordOnlyTweetNotIndexed) {
+  Init();
+  // Tweet 1006 has only stop words; no postings list may reference it.
+  for (const auto& [key, loc] : index_->forward_index().entries()) {
+    Result<std::vector<Posting>> postings =
+        index_->FetchPostings(key.first, key.second);
+    ASSERT_TRUE(postings.ok());
+    for (const Posting& p : *postings) EXPECT_NE(p.tid, 1006);
+  }
+}
+
+TEST_F(HybridIndexTest, ShorterGeohashCoarserCells) {
+  Init(2);
+  // At length 2 (~1000 km cells) Toronto and New York may or may not
+  // share a cell, but every post lands in some cell: total entries equal.
+  const std::string toronto_cell =
+      geohash::Encode(GeoPoint{43.684, -79.374}, 2);
+  Result<std::vector<Posting>> postings =
+      index_->FetchPostings(toronto_cell, "hotel");
+  ASSERT_TRUE(postings.ok());
+  EXPECT_GE(postings->size(), 3u);
+}
+
+TEST_F(HybridIndexTest, TermFrequenciesRecorded) {
+  // "best pizza hotel combo" has tf(pizza)=1; craft a doubled term.
+  Dataset ds;
+  ds.Add(MakePost(2001, 9, 10.0, 10.0, "pizza pizza pizza tonight"));
+  SimulatedDfs dfs;
+  auto index = HybridIndex::Build(ds, &dfs, HybridIndex::Options{});
+  ASSERT_TRUE(index.ok());
+  const std::string cell = geohash::Encode(GeoPoint{10.0, 10.0}, 4);
+  Result<std::vector<Posting>> postings =
+      (*index)->FetchPostings(cell, "pizza");
+  ASSERT_TRUE(postings.ok());
+  ASSERT_EQ(postings->size(), 1u);
+  EXPECT_EQ((*postings)[0].tf, 3u);
+}
+
+TEST_F(HybridIndexTest, InvalidGeohashLengthRejected) {
+  SimulatedDfs dfs;
+  HybridIndex::Options opts;
+  opts.geohash_length = 0;
+  EXPECT_FALSE(HybridIndex::Build(Dataset{}, &dfs, opts).ok());
+  opts.geohash_length = 99;
+  EXPECT_FALSE(HybridIndex::Build(Dataset{}, &dfs, opts).ok());
+}
+
+TEST_F(HybridIndexTest, WorkerCountDoesNotChangeContent) {
+  // 1 worker vs 4 workers must index identically.
+  const Dataset ds = TorontoDataset();
+  SimulatedDfs dfs1, dfs4;
+  HybridIndex::Options o1;
+  o1.mapreduce_workers = 1;
+  HybridIndex::Options o4;
+  o4.mapreduce_workers = 4;
+  auto i1 = HybridIndex::Build(ds, &dfs1, o1);
+  auto i4 = HybridIndex::Build(ds, &dfs4, o4);
+  ASSERT_TRUE(i1.ok());
+  ASSERT_TRUE(i4.ok());
+  ASSERT_EQ((*i1)->forward_index().size(), (*i4)->forward_index().size());
+  for (const auto& [key, loc] : (*i1)->forward_index().entries()) {
+    auto p1 = (*i1)->FetchPostings(key.first, key.second);
+    auto p4 = (*i4)->FetchPostings(key.first, key.second);
+    ASSERT_TRUE(p1.ok());
+    ASSERT_TRUE(p4.ok());
+    EXPECT_EQ(*p1, *p4) << key.first << "/" << key.second;
+  }
+}
+
+}  // namespace
+}  // namespace tklus

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "model/dataset.h"
+#include "model/post.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+namespace {
+
+Post MakePost(TweetId sid, UserId uid, double lat, double lon,
+              const std::string& text, TweetId rsid = kNoId,
+              UserId ruid = kNoId, bool fwd = false) {
+  Post p;
+  p.sid = sid;
+  p.uid = uid;
+  p.location = GeoPoint{lat, lon};
+  p.text = text;
+  p.rsid = rsid;
+  p.ruid = ruid;
+  p.is_forward = fwd;
+  return p;
+}
+
+TEST(PostTest, ReplyDetection) {
+  EXPECT_FALSE(MakePost(1, 1, 0, 0, "x").IsReplyOrForward());
+  EXPECT_TRUE(MakePost(2, 1, 0, 0, "x", /*rsid=*/1, /*ruid=*/2)
+                  .IsReplyOrForward());
+}
+
+TEST(DatasetTest, AddSortCount) {
+  Dataset ds;
+  ds.Add(MakePost(3, 10, 0, 0, "c"));
+  ds.Add(MakePost(1, 10, 0, 0, "a"));
+  ds.Add(MakePost(2, 20, 0, 0, "b"));
+  ds.SortBySid();
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.posts()[0].sid, 1);
+  EXPECT_EQ(ds.posts()[2].sid, 3);
+  EXPECT_EQ(ds.CountUsers(), 2u);
+}
+
+TEST(DatasetTest, PostsByUser) {
+  Dataset ds;
+  ds.Add(MakePost(1, 7, 0, 0, "a"));
+  ds.Add(MakePost(2, 8, 0, 0, "b"));
+  ds.Add(MakePost(3, 7, 0, 0, "c"));
+  const auto by_user = ds.PostsByUser();
+  ASSERT_EQ(by_user.size(), 2u);
+  EXPECT_EQ(by_user.at(7).size(), 2u);
+  EXPECT_EQ(by_user.at(8).size(), 1u);
+}
+
+TEST(DatasetTest, BuildVocabulary) {
+  Dataset ds;
+  ds.Add(MakePost(1, 1, 0, 0, "great hotel"));
+  ds.Add(MakePost(2, 1, 0, 0, "the hotel was great"));
+  ds.Add(MakePost(3, 2, 0, 0, "pizza"));
+  const Vocabulary vocab = ds.BuildVocabulary(Tokenizer());
+  EXPECT_EQ(vocab.frequency(vocab.Lookup("hotel")), 2u);
+  EXPECT_EQ(vocab.frequency(vocab.Lookup("great")), 2u);
+  EXPECT_EQ(vocab.frequency(vocab.Lookup("pizza")), 1u);
+  EXPECT_EQ(vocab.Lookup("the"), Vocabulary::kInvalidTerm);  // stop word
+}
+
+TEST(DatasetTest, TsvRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tklus_ds_roundtrip.tsv")
+          .string();
+  Dataset ds;
+  ds.Add(MakePost(100, 1, 43.6839128, -79.3735659, "I'm at Four Seasons"));
+  ds.Add(MakePost(101, 2, -23.99414062, -46.23046875, "reply here", 100, 1));
+  ds.Add(MakePost(102, 3, 0.0, 0.0, "forwarded!", 100, 1, /*fwd=*/true));
+  ASSERT_TRUE(ds.SaveTsv(path).ok());
+  Result<Dataset> loaded = Dataset::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->posts()[0].text, "I'm at Four Seasons");
+  EXPECT_NEAR(loaded->posts()[0].location.lat, 43.6839128, 1e-6);
+  EXPECT_EQ(loaded->posts()[1].rsid, 100);
+  EXPECT_FALSE(loaded->posts()[1].is_forward);
+  EXPECT_TRUE(loaded->posts()[2].is_forward);
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetTest, LoadMissingFileFails) {
+  EXPECT_FALSE(Dataset::LoadTsv("/nonexistent/file.tsv").ok());
+}
+
+TEST(DatasetTest, LoadCorruptLineFails) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tklus_ds_corrupt.tsv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "not\tenough\tfields\tfor\tthe\tnew\tformat\n";
+  }
+  EXPECT_FALSE(Dataset::LoadTsv(path).ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace tklus

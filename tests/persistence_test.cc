@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/engine.h"
+#include "datagen/tweet_generator.h"
+#include "dfs/dfs.h"
+#include "geo/geohash.h"
+#include "index/hybrid_index.h"
+#include "storage/metadata_db.h"
+
+namespace tklus {
+namespace {
+
+using datagen::TweetGenerator;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tklus_persist_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistenceTest, DfsSaveLoadRoundTrip) {
+  SimulatedDfs::Options opts;
+  opts.block_size = 16;
+  opts.num_data_nodes = 2;
+  SimulatedDfs dfs(opts);
+  ASSERT_TRUE(dfs.Append("a/one", "hello world, this spans blocks").ok());
+  ASSERT_TRUE(dfs.Append("b/two", "short").ok());
+  ASSERT_TRUE(dfs.Append("a/one", " plus a tail").ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(dfs.Save(buffer).ok());
+
+  SimulatedDfs restored;
+  ASSERT_TRUE(restored.Load(buffer).ok());
+  EXPECT_EQ(restored.options().block_size, 16u);
+  EXPECT_EQ(restored.options().num_data_nodes, 2);
+  EXPECT_EQ(restored.file_count(), 2u);
+  auto one = restored.ReadAll("a/one");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, "hello world, this spans blocks plus a tail");
+  auto two = restored.ReadAll("b/two");
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(*two, "short");
+  EXPECT_EQ(restored.total_bytes(), dfs.total_bytes());
+}
+
+TEST_F(PersistenceTest, DfsLoadRejectsGarbage) {
+  std::stringstream buffer("this is not a dfs image at all");
+  SimulatedDfs dfs;
+  EXPECT_FALSE(dfs.Load(buffer).ok());
+}
+
+TEST_F(PersistenceTest, MetadataDbReopen) {
+  const std::string path = Path("meta.db");
+  {
+    auto db = MetadataDb::Create(path);
+    ASSERT_TRUE(db.ok());
+    for (int64_t sid = 1; sid <= 2000; ++sid) {
+      const int64_t rsid = sid > 10 && sid % 3 == 0 ? sid / 2 : -1;
+      ASSERT_TRUE((*db)
+                      ->Insert(TweetMeta{sid, sid % 97, 1.0 * (sid % 90),
+                                         1.0 * (sid % 180),
+                                         rsid == -1 ? -1 : int64_t{1}, rsid})
+                      .ok());
+    }
+    ASSERT_TRUE((*db)->FlushAll().ok());
+  }
+  auto db = MetadataDb::Open(path);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->row_count(), 2000u);
+  auto row = (*db)->SelectBySid(1234);
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(row->has_value());
+  EXPECT_EQ(row->value().uid, 1234 % 97);
+  // rsid index survived: sid 1000 is rsid of sids 2000? find replies of 500.
+  auto replies = (*db)->SelectByRsid(500);
+  ASSERT_TRUE(replies.ok());
+  // sid 1000 (sid%3!=0? 1000%3=1) — count by recomputing expectation.
+  size_t expected = 0;
+  for (int64_t sid = 11; sid <= 2000; ++sid) {
+    if (sid % 3 == 0 && sid / 2 == 500) ++expected;
+  }
+  EXPECT_EQ(replies->size(), expected);
+}
+
+TEST_F(PersistenceTest, MetadataDbOpenRejectsBadFile) {
+  {
+    std::ofstream out(Path("garbage.db"), std::ios::binary);
+    out << std::string(kPageSize, 'x');
+  }
+  EXPECT_FALSE(MetadataDb::Open(Path("garbage.db")).ok());
+  EXPECT_FALSE(MetadataDb::Open(Path("missing.db")).ok());
+}
+
+TEST_F(PersistenceTest, HybridIndexSaveOpenRoundTrip) {
+  Dataset ds;
+  Post p;
+  p.sid = 1;
+  p.uid = 1;
+  p.location = GeoPoint{43.68, -79.37};
+  p.text = "hotel by the lake";
+  ds.Add(p);
+  p.sid = 2;
+  p.text = "another hotel uptown";
+  ds.Add(p);
+
+  SimulatedDfs dfs;
+  auto built = HybridIndex::Build(ds, &dfs, HybridIndex::Options{});
+  ASSERT_TRUE(built.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE((*built)->Save(buffer).ok());
+
+  auto opened = HybridIndex::Open(&dfs, buffer);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ((*opened)->geohash_length(), 4);
+  EXPECT_EQ((*opened)->forward_index().size(),
+            (*built)->forward_index().size());
+  const std::string cell = geohash::Encode(GeoPoint{43.68, -79.37}, 4);
+  auto postings = (*opened)->FetchPostings(cell, "hotel");
+  ASSERT_TRUE(postings.ok());
+  EXPECT_EQ(postings->size(), 2u);
+}
+
+TEST_F(PersistenceTest, EngineSaveOpenIdenticalResults) {
+  TweetGenerator::Options gen;
+  gen.num_users = 250;
+  gen.num_tweets = 6000;
+  gen.num_cities = 4;
+  const auto corpus = TweetGenerator::Generate(gen);
+
+  std::vector<TkLusQuery> queries;
+  for (const char* kw : {"hotel", "restaurant", "cafe"}) {
+    TkLusQuery q;
+    q.location = corpus.city_centers[0];
+    q.radius_km = 15.0;
+    q.keywords = {kw};
+    q.k = 10;
+    queries.push_back(q);
+    q.ranking = Ranking::kMax;
+    queries.push_back(q);
+  }
+
+  std::vector<QueryResult> before;
+  uint64_t built_inverted_bytes = 0;
+  {
+    auto engine = TkLusEngine::Build(corpus.dataset);
+    ASSERT_TRUE(engine.ok());
+    for (const TkLusQuery& q : queries) {
+      auto r = (*engine)->Query(q);
+      ASSERT_TRUE(r.ok());
+      before.push_back(*std::move(r));
+    }
+    built_inverted_bytes = (*engine)->index().build_stats().inverted_bytes;
+    ASSERT_TRUE((*engine)->Save(Path("saved")).ok());
+  }
+
+  auto reopened = TkLusEngine::Open(Path("saved"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->index().build_stats().inverted_bytes,
+            built_inverted_bytes);
+  EXPECT_GT((*reopened)->vocabulary().size(), 0u);
+  EXPECT_GT((*reopened)->bounds().global_bound(), 0.0);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto r = (*reopened)->Query(queries[i]);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->users.size(), before[i].users.size()) << "query " << i;
+    for (size_t j = 0; j < r->users.size(); ++j) {
+      EXPECT_EQ(r->users[j].uid, before[i].users[j].uid);
+      EXPECT_NEAR(r->users[j].score, before[i].users[j].score, 1e-12);
+    }
+  }
+}
+
+TEST_F(PersistenceTest, OpenedEngineKeepsScoringOptions) {
+  TweetGenerator::Options gen;
+  gen.num_users = 100;
+  gen.num_tweets = 2000;
+  gen.num_cities = 2;
+  const auto corpus = TweetGenerator::Generate(gen);
+  {
+    TkLusEngine::Options opts;
+    opts.scoring.alpha = 0.7;
+    opts.scoring.n_norm = 11.0;
+    opts.thread_depth = 4;
+    auto engine = TkLusEngine::Build(corpus.dataset, opts);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Save(Path("saved")).ok());
+  }
+  auto reopened = TkLusEngine::Open(Path("saved"));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_DOUBLE_EQ((*reopened)->options().scoring.alpha, 0.7);
+  EXPECT_DOUBLE_EQ((*reopened)->options().scoring.n_norm, 11.0);
+  EXPECT_EQ((*reopened)->options().thread_depth, 4);
+}
+
+TEST_F(PersistenceTest, OpenMissingDirectoryFails) {
+  EXPECT_FALSE(TkLusEngine::Open(Path("nonexistent")).ok());
+}
+
+}  // namespace
+}  // namespace tklus

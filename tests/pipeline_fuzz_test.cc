@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "baseline/irtree.h"
+#include "baseline/naive_scan.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/kendall.h"
+#include "datagen/text_model.h"
+#include "datagen/tweet_generator.h"
+
+namespace tklus {
+namespace {
+
+using datagen::GeneratedCorpus;
+using datagen::TweetGenerator;
+
+// Whole-pipeline randomized cross-validation: for several generator seeds,
+// run randomized queries (keywords, location, radius, k, semantics,
+// ranking, temporal windows) through the indexed engine and the in-memory
+// oracle, requiring identical rankings. This is the strongest end-to-end
+// invariant the system has: geohash covers, postings codec, AND/OR set
+// operations, B+-tree lookups, thread construction and Def. 5-10 scoring
+// must all agree with a brute-force reimplementation.
+class PipelineFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineFuzzTest, EngineEqualsOracleOnRandomQueries) {
+  TweetGenerator::Options gen;
+  gen.seed = GetParam();
+  gen.num_users = 250;
+  gen.num_tweets = 6000;
+  gen.num_cities = 4;
+  gen.untagged_frac = GetParam() % 2 == 0 ? 0.0 : 0.15;
+  const GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+
+  const NaiveScanner scanner(&corpus.dataset);
+  auto engine = TkLusEngine::Build(corpus.dataset);
+  ASSERT_TRUE(engine.ok());
+  // Pruning must be off for exact oracle equality under kMax: the tracker
+  // bound is exact, but pruned delta-only updates may reorder users whose
+  // scores tie; the pruned-vs-unpruned agreement is covered separately.
+  (*engine)->processor().mutable_options().enable_pruning = false;
+
+  Rng rng(GetParam() * 7919 + 13);
+  const auto& topics = datagen::TopicWords();
+  const int64_t first_sid = corpus.dataset.posts().front().sid;
+  const int64_t last_sid = corpus.dataset.posts().back().sid;
+
+  for (int trial = 0; trial < 25; ++trial) {
+    TkLusQuery q;
+    // Location: near a random post (mirrors the workload generator).
+    const Post& anchor =
+        corpus.dataset.posts()[rng.UniformInt(corpus.dataset.size())];
+    q.location = anchor.location;
+    q.radius_km = rng.Uniform(2.0, 60.0);
+    q.k = 1 + static_cast<int>(rng.UniformInt(uint64_t{15}));
+    const size_t num_keywords = 1 + rng.UniformInt(uint64_t{3});
+    for (size_t i = 0; i < num_keywords; ++i) {
+      if (rng.Bernoulli(0.8)) {
+        q.keywords.push_back(topics[rng.UniformInt(topics.size())]);
+      } else {
+        const auto& modifiers = datagen::ModifierWords();
+        q.keywords.push_back(modifiers[rng.UniformInt(modifiers.size())]);
+      }
+    }
+    q.semantics = rng.Bernoulli(0.5) ? Semantics::kAnd : Semantics::kOr;
+    q.ranking = rng.Bernoulli(0.5) ? Ranking::kSum : Ranking::kMax;
+    if (rng.Bernoulli(0.3)) {
+      const int64_t a = rng.UniformInt(first_sid, last_sid);
+      const int64_t b = rng.UniformInt(first_sid, last_sid);
+      q.temporal.begin = std::min(a, b);
+      q.temporal.end = std::max(a, b);
+    }
+    if (rng.Bernoulli(0.3)) {
+      q.temporal.half_life = rng.Uniform(100.0, 5000.0);
+      q.temporal.reference = last_sid;
+    }
+
+    auto got = (*engine)->Query(q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const QueryResult want = scanner.Process(q);
+    ASSERT_EQ(got->users.size(), want.users.size())
+        << "trial " << trial << " kw=" << q.keywords[0]
+        << " r=" << q.radius_km;
+    for (size_t i = 0; i < want.users.size(); ++i) {
+      EXPECT_EQ(got->users[i].uid, want.users[i].uid)
+          << "trial " << trial << " rank " << i;
+      EXPECT_NEAR(got->users[i].score, want.users[i].score, 1e-9);
+    }
+  }
+}
+
+TEST_P(PipelineFuzzTest, IrTreeCandidatesMatchIndexCandidates) {
+  // The IR-tree and the hybrid index must retrieve the same candidate
+  // tweet sets for the same query (both implement condition 1 of the
+  // problem definition).
+  TweetGenerator::Options gen;
+  gen.seed = GetParam() + 1000;
+  gen.num_users = 200;
+  gen.num_tweets = 4000;
+  gen.num_cities = 3;
+  const GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+  const IRTree irtree(&corpus.dataset);
+  const NaiveScanner scanner(&corpus.dataset);
+  auto engine = TkLusEngine::Build(corpus.dataset);
+  ASSERT_TRUE(engine.ok());
+
+  Rng rng(GetParam() * 104729 + 7);
+  const auto& topics = datagen::TopicWords();
+  for (int trial = 0; trial < 10; ++trial) {
+    TkLusQuery q;
+    const Post& anchor =
+        corpus.dataset.posts()[rng.UniformInt(corpus.dataset.size())];
+    q.location = anchor.location;
+    q.radius_km = rng.Uniform(3.0, 40.0);
+    q.k = 50;
+    q.keywords = {topics[rng.UniformInt(topics.size())]};
+    q.semantics = Semantics::kOr;
+
+    // IR-tree candidates, ranked through the shared oracle path.
+    const auto candidates = irtree.RangeKeywordQuery(
+        q.location, q.radius_km, q.keywords, q.semantics);
+    const QueryResult via_irtree = scanner.RankCandidates(q, candidates);
+    auto via_engine = (*engine)->Query(q);
+    ASSERT_TRUE(via_engine.ok());
+    ASSERT_EQ(via_engine->users.size(), via_irtree.users.size())
+        << "trial " << trial;
+    for (size_t i = 0; i < via_irtree.users.size(); ++i) {
+      EXPECT_EQ(via_engine->users[i].uid, via_irtree.users[i].uid);
+      EXPECT_NEAR(via_engine->users[i].score, via_irtree.users[i].score,
+                  1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace tklus

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/scoring.h"
+
+namespace tklus {
+namespace {
+
+// ---------------------------------------------------- distance score sweep
+
+struct DistanceCase {
+  double distance;
+  double radius;
+  double expected;
+};
+
+class DistanceScoreTest : public ::testing::TestWithParam<DistanceCase> {};
+
+TEST_P(DistanceScoreTest, Definition5) {
+  const DistanceCase& c = GetParam();
+  EXPECT_NEAR(DistanceScore(c.distance, c.radius), c.expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistanceScoreTest,
+    ::testing::Values(DistanceCase{0, 10, 1.0}, DistanceCase{2.5, 10, 0.75},
+                      DistanceCase{5, 10, 0.5}, DistanceCase{7.5, 10, 0.25},
+                      DistanceCase{10, 10, 0.0}, DistanceCase{10.01, 10, 0.0},
+                      DistanceCase{100, 10, 0.0}, DistanceCase{0, 100, 1.0},
+                      DistanceCase{50, 100, 0.5}, DistanceCase{1, 5, 0.8},
+                      DistanceCase{4, 5, 0.2}, DistanceCase{0.0, 0.0, 0.0}));
+
+// Property: monotonically decreasing in distance, increasing in radius.
+TEST(DistanceScorePropertyTest, Monotonicity) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double r = rng.Uniform(1, 100);
+    const double d1 = rng.Uniform(0, r);
+    const double d2 = rng.Uniform(d1, r);
+    EXPECT_GE(DistanceScore(d1, r), DistanceScore(d2, r));
+    EXPECT_LE(DistanceScore(d1, r), DistanceScore(d1, r * 1.5));
+  }
+}
+
+TEST(DistanceScorePropertyTest, RangeZeroOne) {
+  Rng rng(32);
+  for (int i = 0; i < 1000; ++i) {
+    const double v =
+        DistanceScore(rng.Uniform(0, 200), rng.Uniform(0.1, 100));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+// ------------------------------------------------------- alpha mix sweep
+
+class AlphaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweepTest, UserScoreIsConvexMix) {
+  const double alpha = GetParam();
+  ScoringParams params;
+  params.alpha = alpha;
+  Rng rng(33);
+  for (int i = 0; i < 200; ++i) {
+    const double rho = rng.Uniform(0, 5);
+    const double delta = rng.Uniform(0, 1);
+    const double score = UserScore(rho, delta, params);
+    EXPECT_NEAR(score, alpha * rho + (1 - alpha) * delta, 1e-12);
+    // Between the two components (for rho, delta >= 0).
+    EXPECT_GE(score, std::min(rho, delta) * std::min(alpha, 1 - alpha) - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlphaSweepTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+// ----------------------------------------------- keyword relevance sweep
+
+class NNormSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NNormSweepTest, KeywordRelevanceScalesInverselyWithN) {
+  ScoringParams params;
+  params.n_norm = GetParam();
+  // Definition 6: rho = (matched / N) * phi, linear in matched and phi.
+  EXPECT_NEAR(KeywordRelevance(2, 10.0, params), 20.0 / params.n_norm,
+              1e-12);
+  EXPECT_NEAR(KeywordRelevance(4, 10.0, params),
+              2 * KeywordRelevance(2, 10.0, params), 1e-12);
+  EXPECT_NEAR(KeywordRelevance(2, 20.0, params),
+              2 * KeywordRelevance(2, 10.0, params), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NNormSweepTest,
+                         ::testing::Values(1.0, 4.0, 8.0, 40.0, 100.0));
+
+// ------------------------------------------------ bound dominance property
+
+TEST(TweetUpperBoundPropertyTest, DominatesAnyAchievableScore) {
+  Rng rng(34);
+  for (int i = 0; i < 2000; ++i) {
+    ScoringParams params;
+    params.alpha = rng.Uniform(0, 1);
+    params.n_norm = rng.Uniform(1, 50);
+    const double bound_pop = rng.Uniform(0.1, 100);
+    const uint32_t tf = 1 + static_cast<uint32_t>(rng.UniformInt(uint64_t{5}));
+    // Any popularity below the bound, any distance score in [0, 1].
+    const double pop = rng.Uniform(0, bound_pop);
+    const double delta = rng.Uniform(0, 1);
+    const double achievable =
+        UserScore(KeywordRelevance(tf, pop, params), delta, params);
+    EXPECT_LE(achievable, TweetUpperBoundScore(tf, bound_pop, params) + 1e-9);
+  }
+}
+
+TEST(TweetUpperBoundPropertyTest, MonotoneInTfAndBound) {
+  ScoringParams params;
+  for (uint32_t tf = 1; tf < 6; ++tf) {
+    EXPECT_LT(TweetUpperBoundScore(tf, 5.0, params),
+              TweetUpperBoundScore(tf + 1, 5.0, params));
+    EXPECT_LT(TweetUpperBoundScore(tf, 5.0, params),
+              TweetUpperBoundScore(tf, 6.0, params));
+  }
+}
+
+TEST(PaperBoundTest, GrowsWithDepthAndFanout) {
+  EXPECT_LT(PaperGlobalBoundPopularity(10, 3),
+            PaperGlobalBoundPopularity(10, 6));
+  EXPECT_LT(PaperGlobalBoundPopularity(10, 6),
+            PaperGlobalBoundPopularity(20, 6));
+  // Harmonic structure: t_m * (H_n - 1).
+  double h = 0;
+  for (int i = 2; i <= 6; ++i) h += 1.0 / i;
+  EXPECT_NEAR(PaperGlobalBoundPopularity(7, 6), 7 * h, 1e-12);
+}
+
+}  // namespace
+}  // namespace tklus

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "model/dataset.h"
+#include "social/social_graph.h"
+#include "social/thread_builder.h"
+#include "storage/metadata_db.h"
+
+namespace tklus {
+namespace {
+
+Post MakePost(TweetId sid, UserId uid, const std::string& text,
+              TweetId rsid = kNoId, UserId ruid = kNoId, bool fwd = false) {
+  Post p;
+  p.sid = sid;
+  p.uid = uid;
+  p.text = text;
+  p.rsid = rsid;
+  p.ruid = ruid;
+  p.is_forward = fwd;
+  return p;
+}
+
+// The Fig. 2 thread: p1 with 3 children; p2 has 2 children, p3 has 1,
+// p4 has 1 (level 3 = 4); two level-4 tweets.
+Dataset Figure2Dataset() {
+  Dataset ds;
+  ds.Add(MakePost(1, 1, "hotel root"));
+  ds.Add(MakePost(2, 2, "re", 1, 1));
+  ds.Add(MakePost(3, 3, "re", 1, 1));
+  ds.Add(MakePost(4, 4, "re", 1, 1, /*fwd=*/true));
+  ds.Add(MakePost(5, 5, "re", 2, 2));
+  ds.Add(MakePost(6, 6, "re", 2, 2));
+  ds.Add(MakePost(7, 7, "re", 3, 3));
+  ds.Add(MakePost(8, 8, "re", 4, 4));
+  ds.Add(MakePost(9, 9, "re", 5, 5));
+  ds.Add(MakePost(10, 10, "re", 8, 8));
+  return ds;
+}
+
+TEST(SocialGraphTest, EdgesAndPostMaps) {
+  const Dataset ds = Figure2Dataset();
+  const SocialGraph g = SocialGraph::Build(ds);
+  EXPECT_EQ(g.user_count(), 10u);
+  // u2 replied to u1 in post 2.
+  EXPECT_TRUE(g.HasReplyEdge(2, 1));
+  ASSERT_EQ(g.ReplyPosts(2, 1).size(), 1u);
+  EXPECT_EQ(g.ReplyPosts(2, 1)[0], 2);
+  // u4 forwarded u1's post 4.
+  EXPECT_TRUE(g.HasForwardEdge(4, 1));
+  EXPECT_FALSE(g.HasReplyEdge(4, 1));
+  // No edge the other way.
+  EXPECT_FALSE(g.HasReplyEdge(1, 2));
+  EXPECT_TRUE(g.ReplyPosts(1, 2).empty());
+}
+
+TEST(SocialGraphTest, MultiplePostsOnOneEdge) {
+  Dataset ds;
+  ds.Add(MakePost(1, 1, "root a"));
+  ds.Add(MakePost(2, 1, "root b"));
+  ds.Add(MakePost(3, 2, "re", 1, 1));
+  ds.Add(MakePost(4, 2, "re", 2, 1));
+  const SocialGraph g = SocialGraph::Build(ds);
+  EXPECT_EQ(g.reply_edge_count(), 1u);
+  EXPECT_EQ(g.ReplyPosts(2, 1).size(), 2u);
+}
+
+TEST(SocialGraphTest, ChildrenMap) {
+  const SocialGraph g = SocialGraph::Build(Figure2Dataset());
+  const auto& children = g.children();
+  ASSERT_EQ(children.at(1).size(), 3u);
+  EXPECT_EQ(children.at(2).size(), 2u);
+  EXPECT_EQ(children.count(10), 0u);
+}
+
+TEST(SocialGraphTest, ReplyNeighbors) {
+  Dataset ds;
+  ds.Add(MakePost(1, 1, "a"));
+  ds.Add(MakePost(2, 2, "b"));
+  ds.Add(MakePost(3, 3, "re", 1, 1));
+  ds.Add(MakePost(4, 3, "re", 2, 2));
+  const SocialGraph g = SocialGraph::Build(ds);
+  const auto neighbors = g.ReplyNeighbors(3);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0], 1);
+  EXPECT_EQ(neighbors[1], 2);
+}
+
+TEST(ThreadPopularityTest, PaperFigure2Example) {
+  // Levels 1,3,4,2 -> 3/2 + 4/3 + 2/4 = 10/3.
+  ThreadShape shape;
+  shape.level_sizes = {1, 3, 4, 2};
+  EXPECT_NEAR(ThreadPopularity(shape, 0.1), 10.0 / 3.0, 1e-12);
+}
+
+TEST(ThreadPopularityTest, SingletonGetsEpsilon) {
+  ThreadShape shape;
+  shape.level_sizes = {1};
+  EXPECT_DOUBLE_EQ(ThreadPopularity(shape, 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(ThreadPopularity(shape, 0.5), 0.5);
+}
+
+TEST(ThreadPopularityTest, DeeperLevelsDiscounted) {
+  ThreadShape shallow, deep;
+  shallow.level_sizes = {1, 10};
+  deep.level_sizes = {1, 0, 0, 0, 0, 10};
+  // Same 10 tweets, but at level 6 they are worth 10/6 < 10/2.
+  EXPECT_GT(ThreadPopularity(shallow, 0.1), ThreadPopularity(deep, 0.1));
+}
+
+TEST(BuildShapeInMemoryTest, MatchesFigure2) {
+  const SocialGraph g = SocialGraph::Build(Figure2Dataset());
+  const ThreadShape shape = BuildShapeInMemory(g.children(), 1, 10);
+  const std::vector<uint64_t> expected = {1, 3, 4, 2};
+  EXPECT_EQ(shape.level_sizes, expected);
+  EXPECT_EQ(shape.total_tweets(), 10u);
+  EXPECT_EQ(shape.height(), 4);
+}
+
+TEST(BuildShapeInMemoryTest, DepthCapTruncates) {
+  const SocialGraph g = SocialGraph::Build(Figure2Dataset());
+  const ThreadShape shape = BuildShapeInMemory(g.children(), 1, 2);
+  const std::vector<uint64_t> expected = {1, 3};
+  EXPECT_EQ(shape.level_sizes, expected);
+}
+
+class ThreadBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("tklus_threadbuilder_" + std::to_string(::getpid()) + ".db"))
+                .string();
+    auto db = MetadataDb::Create(path_);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    const Dataset figure2 = Figure2Dataset();
+    for (const Post& p : figure2.posts()) {
+      ASSERT_TRUE(db_->Insert(TweetMeta{p.sid, p.uid, 0, 0, p.ruid, p.rsid})
+                      .ok());
+    }
+  }
+  void TearDown() override { db_.reset(); std::filesystem::remove(path_); }
+
+  std::string path_;
+  std::unique_ptr<MetadataDb> db_;
+};
+
+TEST_F(ThreadBuilderTest, MatchesInMemoryOracle) {
+  ThreadBuilder builder(db_.get(), ThreadBuilder::Options{10, 0.1});
+  Result<ThreadShape> shape = builder.BuildShape(1);
+  ASSERT_TRUE(shape.ok());
+  const std::vector<uint64_t> expected = {1, 3, 4, 2};
+  EXPECT_EQ(shape->level_sizes, expected);
+  Result<double> popularity = builder.Popularity(1);
+  ASSERT_TRUE(popularity.ok());
+  EXPECT_NEAR(*popularity, 10.0 / 3.0, 1e-12);
+}
+
+TEST_F(ThreadBuilderTest, SingletonThread) {
+  ThreadBuilder builder(db_.get(), ThreadBuilder::Options{10, 0.25});
+  Result<double> popularity = builder.Popularity(10);  // leaf tweet
+  ASSERT_TRUE(popularity.ok());
+  EXPECT_DOUBLE_EQ(*popularity, 0.25);
+}
+
+TEST_F(ThreadBuilderTest, DepthCapLimitsIo) {
+  // With depth 2, only one SELECT round runs (for the root).
+  ThreadBuilder builder(db_.get(), ThreadBuilder::Options{2, 0.1});
+  Result<ThreadShape> shape = builder.BuildShape(1);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->height(), 2);
+  EXPECT_NEAR(ThreadPopularity(*shape, 0.1), 3.0 / 2.0, 1e-12);
+}
+
+TEST_F(ThreadBuilderTest, SubThread) {
+  ThreadBuilder builder(db_.get(), ThreadBuilder::Options{10, 0.1});
+  // Thread rooted at tweet 2: children {5,6}, then {9}.
+  Result<ThreadShape> shape = builder.BuildShape(2);
+  ASSERT_TRUE(shape.ok());
+  const std::vector<uint64_t> expected = {1, 2, 1};
+  EXPECT_EQ(shape->level_sizes, expected);
+}
+
+}  // namespace
+}  // namespace tklus

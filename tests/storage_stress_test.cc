@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "storage/bplus_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/metadata_db.h"
+#include "storage/table_heap.h"
+
+namespace tklus {
+namespace {
+
+class StressTempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tklus_stress_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+// Fuzz: interleaved inserts and removes against a std::multimap model.
+TEST_F(StressTempDir, BPlusTreeFuzzAgainstModel) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(&*dm, 128);
+  Result<BPlusTree> tree_res = BPlusTree::Create(&pool);
+  ASSERT_TRUE(tree_res.ok());
+  BPlusTree& tree = *tree_res;
+  std::multimap<int64_t, uint64_t> model;
+  Rng rng(55);
+  for (int op = 0; op < 30000; ++op) {
+    const int64_t key = rng.UniformInt(int64_t{0}, int64_t{800});
+    if (rng.Bernoulli(0.8) || model.empty()) {
+      const uint64_t value = rng.Next() % 1000;
+      ASSERT_TRUE(tree.Insert(key, value).ok());
+      model.emplace(key, value);
+    } else {
+      // Remove one specific (key, value) if present in the model.
+      const auto it = model.lower_bound(key);
+      if (it != model.end()) {
+        Result<bool> removed = tree.Remove(it->first, it->second);
+        ASSERT_TRUE(removed.ok());
+        EXPECT_TRUE(*removed);
+        model.erase(it);
+      }
+    }
+    if (op % 3000 == 0) {
+      Result<uint64_t> count = tree.CountEntries();
+      ASSERT_TRUE(count.ok());
+      EXPECT_EQ(*count, model.size());
+    }
+  }
+  // Full comparison at the end.
+  Result<std::vector<std::pair<int64_t, uint64_t>>> all =
+      tree.Range(INT64_MIN, INT64_MAX);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), model.size());
+  auto model_it = model.begin();
+  std::multiset<uint64_t> tree_vals, model_vals;
+  int64_t current_key = all->empty() ? 0 : all->front().first;
+  // Per-key value multisets must match (order of duplicates within a key
+  // may differ after removals).
+  std::map<int64_t, std::multiset<uint64_t>> tree_by_key, model_by_key;
+  for (const auto& [k, v] : *all) tree_by_key[k].insert(v);
+  for (const auto& [k, v] : model) model_by_key[k].insert(v);
+  EXPECT_EQ(tree_by_key, model_by_key);
+  (void)model_it;
+  (void)tree_vals;
+  (void)model_vals;
+  (void)current_key;
+}
+
+TEST_F(StressTempDir, BPlusTreeTinyPoolSpills) {
+  // A pool barely larger than the tree height forces eviction on every
+  // operation; correctness must be unaffected.
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(&*dm, 8);
+  Result<BPlusTree> tree_res = BPlusTree::Create(&pool);
+  ASSERT_TRUE(tree_res.ok());
+  BPlusTree& tree = *tree_res;
+  const int n = 20000;
+  for (int64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree.Insert(k * 7 % n, static_cast<uint64_t>(k)).ok());
+  }
+  EXPECT_GT(pool.stats().evictions, 100u);
+  Result<uint64_t> count = tree.CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, static_cast<uint64_t>(n));
+  for (int64_t k = 0; k < n; k += 997) {
+    Result<std::optional<uint64_t>> got = tree.Get(k * 7 % n);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->has_value()) << k;
+  }
+}
+
+TEST_F(StressTempDir, HeapScanSeesInsertionOrder) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(&*dm, 16);
+  Result<TableHeap> heap = TableHeap::Create(&pool, 16);
+  ASSERT_TRUE(heap.ok());
+  for (uint64_t i = 0; i < 5000; ++i) {
+    char rec[16];
+    std::memcpy(rec, &i, sizeof(i));
+    std::memset(rec + 8, 0, 8);
+    ASSERT_TRUE(heap->Insert(rec).ok());
+  }
+  uint64_t expected = 0;
+  ASSERT_TRUE(heap
+                  ->Scan([&](Rid, const char* rec) {
+                    uint64_t v;
+                    std::memcpy(&v, rec, sizeof(v));
+                    EXPECT_EQ(v, expected++);
+                  })
+                  .ok());
+  EXPECT_EQ(expected, 5000u);
+}
+
+TEST_F(StressTempDir, MetadataDbDeepThreadChains) {
+  // A 1000-deep reply chain: SelectByRsid must step through each level.
+  Result<std::unique_ptr<MetadataDb>> db = MetadataDb::Create(Path("meta"));
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->Insert(TweetMeta{1, 1, 0, 0, TweetMeta::kNone,
+                                     TweetMeta::kNone})
+                  .ok());
+  for (int64_t i = 2; i <= 1000; ++i) {
+    ASSERT_TRUE((*db)->Insert(TweetMeta{i, i, 0, 0, i - 1, i - 1}).ok());
+  }
+  for (int64_t i = 1; i < 1000; i += 111) {
+    Result<std::vector<TweetMeta>> replies = (*db)->SelectByRsid(i);
+    ASSERT_TRUE(replies.ok());
+    ASSERT_EQ(replies->size(), 1u);
+    EXPECT_EQ(replies->front().sid, i + 1);
+  }
+  Result<int64_t> fanout = (*db)->MaxReplyFanout();
+  ASSERT_TRUE(fanout.ok());
+  EXPECT_EQ(*fanout, 1);
+}
+
+TEST_F(StressTempDir, MetadataDbWideFanout) {
+  Result<std::unique_ptr<MetadataDb>> db = MetadataDb::Create(Path("meta"));
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->Insert(TweetMeta{1, 1, 0, 0, TweetMeta::kNone,
+                                     TweetMeta::kNone})
+                  .ok());
+  const int kFanout = 5000;
+  for (int64_t i = 0; i < kFanout; ++i) {
+    ASSERT_TRUE((*db)->Insert(TweetMeta{10 + i, 2 + i, 0, 0, 1, 1}).ok());
+  }
+  Result<std::vector<TweetMeta>> replies = (*db)->SelectByRsid(1);
+  ASSERT_TRUE(replies.ok());
+  EXPECT_EQ(replies->size(), static_cast<size_t>(kFanout));
+  Result<int64_t> fanout = (*db)->MaxReplyFanout();
+  ASSERT_TRUE(fanout.ok());
+  EXPECT_EQ(*fanout, kFanout);
+}
+
+TEST_F(StressTempDir, BufferPoolFlushAllPersists) {
+  PageId pids[32];
+  {
+    Result<DiskManager> dm = DiskManager::Open(Path("db"));
+    ASSERT_TRUE(dm.ok());
+    BufferPool pool(&*dm, 64);
+    for (int i = 0; i < 32; ++i) {
+      Result<Page*> p = pool.NewPage();
+      ASSERT_TRUE(p.ok());
+      (*p)->WriteAt<int>(0, i * 31);
+      pids[i] = (*p)->page_id();
+      ASSERT_TRUE(pool.UnpinPage(pids[i], true).ok());
+    }
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  // Reopen and verify all pages survived.
+  Result<DiskManager> dm = DiskManager::Open(Path("db"), /*truncate=*/false);
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(&*dm, 64);
+  for (int i = 0; i < 32; ++i) {
+    Result<Page*> p = pool.FetchPage(pids[i]);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ((*p)->ReadAt<int>(0), i * 31);
+    ASSERT_TRUE(pool.UnpinPage(pids[i], false).ok());
+  }
+}
+
+TEST_F(StressTempDir, OpenMissingFileWithoutTruncateFails) {
+  Result<DiskManager> dm =
+      DiskManager::Open(Path("never_created.db"), /*truncate=*/false);
+  ASSERT_FALSE(dm.ok());
+  EXPECT_EQ(dm.status().code(), StatusCode::kNotFound);
+  // And the failed open must not have created the file.
+  EXPECT_FALSE(std::filesystem::exists(Path("never_created.db")));
+}
+
+TEST_F(StressTempDir, DiskManagerReopenKeepsPageCount) {
+  {
+    Result<DiskManager> dm = DiskManager::Open(Path("db"));
+    ASSERT_TRUE(dm.ok());
+    char buf[kPageSize] = {};
+    for (int i = 0; i < 10; ++i) {
+      const PageId pid = dm->AllocatePage();
+      ASSERT_TRUE(dm->WritePage(pid, buf).ok());
+    }
+  }
+  Result<DiskManager> dm = DiskManager::Open(Path("db"), /*truncate=*/false);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ(dm->num_pages(), 10);
+  Result<DiskManager> truncated = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated->num_pages(), 0);
+}
+
+}  // namespace
+}  // namespace tklus

@@ -1,0 +1,532 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/bplus_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/metadata_db.h"
+#include "storage/table_heap.h"
+
+namespace tklus {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tklus_storage_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------- disk manager
+
+class DiskManagerTest : public TempDir {};
+
+TEST_F(DiskManagerTest, WriteReadRoundTrip) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  const PageId pid = dm->AllocatePage();
+  char out[kPageSize], in[kPageSize];
+  for (size_t i = 0; i < kPageSize; ++i) in[i] = static_cast<char>(i * 7);
+  ASSERT_TRUE(dm->WritePage(pid, in).ok());
+  ASSERT_TRUE(dm->ReadPage(pid, out).ok());
+  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+}
+
+TEST_F(DiskManagerTest, UnwrittenAllocatedPageReadsZero) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  const PageId pid = dm->AllocatePage();
+  char out[kPageSize];
+  std::memset(out, 0xAB, kPageSize);
+  ASSERT_TRUE(dm->ReadPage(pid, out).ok());
+  for (size_t i = 0; i < kPageSize; ++i) EXPECT_EQ(out[i], 0) << i;
+}
+
+TEST_F(DiskManagerTest, OutOfRangeRejected) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  char buf[kPageSize] = {};
+  EXPECT_EQ(dm->ReadPage(5, buf).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dm->WritePage(-1, buf).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(DiskManagerTest, StatsCountIos) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  char buf[kPageSize] = {};
+  const PageId a = dm->AllocatePage();
+  const PageId b = dm->AllocatePage();
+  ASSERT_TRUE(dm->WritePage(a, buf).ok());
+  ASSERT_TRUE(dm->WritePage(b, buf).ok());
+  ASSERT_TRUE(dm->ReadPage(a, buf).ok());
+  EXPECT_EQ(dm->stats().page_writes, 2u);
+  EXPECT_EQ(dm->stats().page_reads, 1u);
+}
+
+TEST_F(DiskManagerTest, BadPathFails) {
+  Result<DiskManager> dm = DiskManager::Open("/nonexistent/dir/db");
+  EXPECT_FALSE(dm.ok());
+}
+
+// ----------------------------------------------------------- buffer pool
+
+class BufferPoolTest : public TempDir {};
+
+TEST_F(BufferPoolTest, HitOnSecondFetch) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(&*dm, 8);
+  Result<Page*> p = pool.NewPage();
+  ASSERT_TRUE(p.ok());
+  const PageId pid = (*p)->page_id();
+  ASSERT_TRUE(pool.UnpinPage(pid, true).ok());
+  ASSERT_TRUE(pool.FetchPage(pid).ok());
+  ASSERT_TRUE(pool.UnpinPage(pid, false).ok());
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyPage) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(&*dm, 2);
+  // Write page 0 with a marker, unpin dirty.
+  Result<Page*> p0 = pool.NewPage();
+  ASSERT_TRUE(p0.ok());
+  const PageId pid0 = (*p0)->page_id();
+  (*p0)->WriteAt<uint64_t>(0, 0xDEADBEEFull);
+  ASSERT_TRUE(pool.UnpinPage(pid0, true).ok());
+  // Fill pool to evict page 0.
+  for (int i = 0; i < 3; ++i) {
+    Result<Page*> p = pool.NewPage();
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE(pool.UnpinPage((*p)->page_id(), false).ok());
+  }
+  EXPECT_GT(pool.stats().evictions, 0u);
+  // Re-fetch page 0: contents must have survived via disk.
+  Result<Page*> again = pool.FetchPage(pid0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->ReadAt<uint64_t>(0), 0xDEADBEEFull);
+  ASSERT_TRUE(pool.UnpinPage(pid0, false).ok());
+}
+
+TEST_F(BufferPoolTest, AllPinnedExhausts) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(&*dm, 2);
+  Result<Page*> a = pool.NewPage();
+  Result<Page*> b = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Result<Page*> c = pool.NewPage();
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BufferPoolTest, UnpinErrors) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(&*dm, 2);
+  EXPECT_EQ(pool.UnpinPage(99, false).code(), StatusCode::kNotFound);
+  Result<Page*> p = pool.NewPage();
+  ASSERT_TRUE(p.ok());
+  const PageId pid = (*p)->page_id();
+  ASSERT_TRUE(pool.UnpinPage(pid, false).ok());
+  EXPECT_EQ(pool.UnpinPage(pid, false).code(), StatusCode::kInternal);
+}
+
+TEST_F(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(&*dm, 2);
+  Result<Page*> a = pool.NewPage();
+  Result<Page*> b = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const PageId pa = (*a)->page_id(), pb = (*b)->page_id();
+  ASSERT_TRUE(pool.UnpinPage(pa, true).ok());
+  ASSERT_TRUE(pool.UnpinPage(pb, true).ok());
+  // Touch a so b becomes LRU.
+  ASSERT_TRUE(pool.FetchPage(pa).ok());
+  ASSERT_TRUE(pool.UnpinPage(pa, false).ok());
+  // New page evicts b, not a.
+  Result<Page*> c = pool.NewPage();
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(pool.UnpinPage((*c)->page_id(), false).ok());
+  pool.ResetStats();
+  ASSERT_TRUE(pool.FetchPage(pa).ok());
+  ASSERT_TRUE(pool.UnpinPage(pa, false).ok());
+  EXPECT_EQ(pool.stats().hits, 1u);  // a still resident
+}
+
+// ------------------------------------------------------------ B+-tree
+
+class BPlusTreeTest : public TempDir {
+ protected:
+  void Init(size_t pool_pages = 64) {
+    Result<DiskManager> dm = DiskManager::Open(Path("db"));
+    ASSERT_TRUE(dm.ok());
+    disk_ = std::make_unique<DiskManager>(std::move(*dm));
+    pool_ = std::make_unique<BufferPool>(disk_.get(), pool_pages);
+    Result<BPlusTree> tree = BPlusTree::Create(pool_.get());
+    ASSERT_TRUE(tree.ok());
+    tree_ = std::make_unique<BPlusTree>(std::move(*tree));
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTreeLookups) {
+  Init();
+  Result<std::optional<uint64_t>> r = tree_->Get(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+  Result<std::vector<uint64_t>> all = tree_->GetAll(42);
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->empty());
+}
+
+TEST_F(BPlusTreeTest, InsertAndGetSmall) {
+  Init();
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k * 10)).ok());
+  }
+  for (int64_t k = 0; k < 100; ++k) {
+    Result<std::optional<uint64_t>> r = tree_->Get(k);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->has_value());
+    EXPECT_EQ(r->value(), static_cast<uint64_t>(k * 10));
+  }
+  Result<uint64_t> count = tree_->CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 100u);
+}
+
+TEST_F(BPlusTreeTest, LargeRandomInsertMatchesStdMap) {
+  Init(256);
+  Rng rng(17);
+  std::multimap<int64_t, uint64_t> expected;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t key = rng.UniformInt(int64_t{0}, int64_t{5000});
+    const uint64_t val = rng.Next();
+    ASSERT_TRUE(tree_->Insert(key, val).ok());
+    expected.emplace(key, val);
+  }
+  Result<int> height = tree_->Height();
+  ASSERT_TRUE(height.ok());
+  EXPECT_GE(*height, 2);
+  // Spot-check 300 random keys incl. duplicates.
+  for (int i = 0; i < 300; ++i) {
+    const int64_t key = rng.UniformInt(int64_t{0}, int64_t{5000});
+    Result<std::vector<uint64_t>> got = tree_->GetAll(key);
+    ASSERT_TRUE(got.ok());
+    auto [lo, hi] = expected.equal_range(key);
+    std::multiset<uint64_t> want;
+    for (auto it = lo; it != hi; ++it) want.insert(it->second);
+    EXPECT_EQ(std::multiset<uint64_t>(got->begin(), got->end()), want)
+        << "key " << key;
+  }
+  Result<uint64_t> count = tree_->CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, expected.size());
+}
+
+TEST_F(BPlusTreeTest, SequentialInsertSplitsCorrectly) {
+  Init(256);
+  const int n = 10000;
+  for (int64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k)).ok());
+  }
+  Result<std::vector<std::pair<int64_t, uint64_t>>> all = tree_->Range(0, n);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), static_cast<size_t>(n));
+  for (int64_t k = 0; k < n; ++k) {
+    EXPECT_EQ((*all)[k].first, k);
+    EXPECT_EQ((*all)[k].second, static_cast<uint64_t>(k));
+  }
+}
+
+TEST_F(BPlusTreeTest, ReverseInsertOrder) {
+  Init(256);
+  for (int64_t k = 5000; k >= 0; --k) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k + 1)).ok());
+  }
+  for (int64_t k : {0, 1, 2500, 4999, 5000}) {
+    Result<std::optional<uint64_t>> r = tree_->Get(k);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->has_value());
+    EXPECT_EQ(r->value(), static_cast<uint64_t>(k + 1));
+  }
+}
+
+TEST_F(BPlusTreeTest, HeavyDuplicatesSpanLeaves) {
+  Init(256);
+  // 2000 entries under one key forces duplicates across many leaves —
+  // exactly the rsid-index shape for a viral tweet.
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree_->Insert(77, i).ok());
+  }
+  ASSERT_TRUE(tree_->Insert(76, 111).ok());
+  ASSERT_TRUE(tree_->Insert(78, 222).ok());
+  Result<std::vector<uint64_t>> got = tree_->GetAll(77);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 2000u);
+  // Insertion order preserved.
+  for (uint64_t i = 0; i < 2000; ++i) EXPECT_EQ((*got)[i], i);
+}
+
+TEST_F(BPlusTreeTest, RangeQuery) {
+  Init();
+  for (int64_t k = 0; k < 1000; k += 2) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k)).ok());
+  }
+  Result<std::vector<std::pair<int64_t, uint64_t>>> r = tree_->Range(10, 20);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 6u);  // 10,12,14,16,18,20
+  EXPECT_EQ(r->front().first, 10);
+  EXPECT_EQ(r->back().first, 20);
+  // Empty and inverted ranges.
+  EXPECT_TRUE(tree_->Range(1001, 2000)->empty());
+  EXPECT_TRUE(tree_->Range(20, 10)->empty());
+}
+
+TEST_F(BPlusTreeTest, RemoveLazy) {
+  Init();
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k)).ok());
+  }
+  Result<bool> removed = tree_->Remove(50, 50);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(*removed);
+  Result<std::optional<uint64_t>> r = tree_->Get(50);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+  // Removing again: no match.
+  removed = tree_->Remove(50, 50);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_FALSE(*removed);
+  // Value mismatch: no removal.
+  removed = tree_->Remove(51, 999);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_FALSE(*removed);
+}
+
+TEST_F(BPlusTreeTest, NegativeKeys) {
+  Init();
+  for (int64_t k = -500; k <= 500; k += 5) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k + 1000)).ok());
+  }
+  Result<std::optional<uint64_t>> r = tree_->Get(-500);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_value());
+  EXPECT_EQ(r->value(), 500u);
+}
+
+TEST_F(BPlusTreeTest, PersistsAcrossReopen) {
+  Init(64);
+  for (int64_t k = 0; k < 3000; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k * 3)).ok());
+  }
+  const PageId root = tree_->root();
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  // Reopen through fresh disk manager + pool.
+  Result<DiskManager> dm2 = DiskManager::Open(Path("db"), /*truncate=*/false);
+  ASSERT_TRUE(dm2.ok());
+  BufferPool pool2(&*dm2, 64);
+  BPlusTree tree2 = BPlusTree::Open(&pool2, root);
+  for (int64_t k : {0, 1500, 2999}) {
+    Result<std::optional<uint64_t>> r = tree2.Get(k);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->has_value());
+    EXPECT_EQ(r->value(), static_cast<uint64_t>(k * 3));
+  }
+}
+
+// ------------------------------------------------------------ table heap
+
+class TableHeapTest : public TempDir {};
+
+TEST_F(TableHeapTest, InsertGetScan) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(&*dm, 32);
+  Result<TableHeap> heap = TableHeap::Create(&pool, 48);
+  ASSERT_TRUE(heap.ok());
+  std::vector<Rid> rids;
+  for (int i = 0; i < 1000; ++i) {
+    char rec[48];
+    std::memset(rec, i % 251, sizeof(rec));
+    Result<Rid> rid = heap->Insert(rec);
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  EXPECT_EQ(heap->record_count(), 1000u);
+  char buf[48];
+  ASSERT_TRUE(heap->Get(rids[123], buf).ok());
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 123 % 251);
+  int scanned = 0;
+  ASSERT_TRUE(heap->Scan([&](Rid, const char*) { ++scanned; }).ok());
+  EXPECT_EQ(scanned, 1000);
+}
+
+TEST_F(TableHeapTest, RecordTooLargeRejected) {
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(&*dm, 8);
+  EXPECT_FALSE(TableHeap::Create(&pool, kPageSize).ok());
+  EXPECT_FALSE(TableHeap::Create(&pool, 0).ok());
+}
+
+TEST_F(TableHeapTest, RidPackUnpackRoundTrip) {
+  const Rid rid{123456, 789};
+  EXPECT_EQ(Rid::Unpack(rid.Pack()), rid);
+}
+
+TEST_F(TableHeapTest, InterleavedWithBTreePages) {
+  // A heap and a B+-tree sharing one pool must not corrupt each other.
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(&*dm, 64);
+  Result<TableHeap> heap = TableHeap::Create(&pool, 48);
+  ASSERT_TRUE(heap.ok());
+  Result<BPlusTree> tree = BPlusTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 2000; ++i) {
+    char rec[48];
+    std::memcpy(rec, &i, sizeof(i));
+    Result<Rid> rid = heap->Insert(rec);
+    ASSERT_TRUE(rid.ok());
+    ASSERT_TRUE(tree->Insert(i, rid->Pack()).ok());
+  }
+  // Every key resolves through the tree to the right heap record.
+  for (int i = 0; i < 2000; i += 37) {
+    Result<std::optional<uint64_t>> v = tree->Get(i);
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(v->has_value());
+    char buf[48];
+    ASSERT_TRUE(heap->Get(Rid::Unpack(v->value()), buf).ok());
+    int stored;
+    std::memcpy(&stored, buf, sizeof(stored));
+    EXPECT_EQ(stored, i);
+  }
+  // Scan sees exactly the heap records.
+  int scanned = 0;
+  ASSERT_TRUE(heap->Scan([&](Rid, const char*) { ++scanned; }).ok());
+  EXPECT_EQ(scanned, 2000);
+}
+
+// ----------------------------------------------------------- metadata db
+
+class MetadataDbTest : public TempDir {};
+
+TEST_F(MetadataDbTest, InsertAndSelectBySid) {
+  Result<std::unique_ptr<MetadataDb>> db = MetadataDb::Create(Path("meta"));
+  ASSERT_TRUE(db.ok());
+  TweetMeta row{.sid = 1001, .uid = 7, .lat = 43.68, .lon = -79.37,
+                .ruid = TweetMeta::kNone, .rsid = TweetMeta::kNone};
+  ASSERT_TRUE((*db)->Insert(row).ok());
+  Result<std::optional<TweetMeta>> got = (*db)->SelectBySid(1001);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(got->value().uid, 7);
+  EXPECT_DOUBLE_EQ(got->value().lat, 43.68);
+  Result<std::optional<TweetMeta>> missing = (*db)->SelectBySid(9999);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->has_value());
+}
+
+TEST_F(MetadataDbTest, SelectByRsidFindsAllReplies) {
+  Result<std::unique_ptr<MetadataDb>> db = MetadataDb::Create(Path("meta"));
+  ASSERT_TRUE(db.ok());
+  // Root tweet 100 by user 1; replies 101..110 by users 2..11.
+  ASSERT_TRUE((*db)
+                  ->Insert(TweetMeta{100, 1, 43.0, -79.0, TweetMeta::kNone,
+                                     TweetMeta::kNone})
+                  .ok());
+  for (int64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(
+        (*db)->Insert(TweetMeta{100 + i, 1 + i, 43.0, -79.0, 1, 100}).ok());
+  }
+  Result<std::vector<TweetMeta>> replies = (*db)->SelectByRsid(100);
+  ASSERT_TRUE(replies.ok());
+  EXPECT_EQ(replies->size(), 10u);
+  Result<std::vector<TweetMeta>> none = (*db)->SelectByRsid(101);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(MetadataDbTest, MaxReplyFanout) {
+  Result<std::unique_ptr<MetadataDb>> db = MetadataDb::Create(Path("meta"));
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->Insert(TweetMeta{1, 1, 0, 0, TweetMeta::kNone,
+                                     TweetMeta::kNone})
+                  .ok());
+  Result<int64_t> empty_fanout = (*db)->MaxReplyFanout();
+  ASSERT_TRUE(empty_fanout.ok());
+  EXPECT_EQ(*empty_fanout, 0);
+  for (int64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*db)->Insert(TweetMeta{10 + i, 2, 0, 0, 1, 1}).ok());
+  }
+  for (int64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*db)->Insert(TweetMeta{20 + i, 3, 0, 0, 2, 10}).ok());
+  }
+  Result<int64_t> fanout = (*db)->MaxReplyFanout();
+  ASSERT_TRUE(fanout.ok());
+  EXPECT_EQ(*fanout, 5);
+}
+
+TEST_F(MetadataDbTest, ScaleTenThousandRows) {
+  MetadataDb::Options opts;
+  opts.buffer_pool_pages = 128;  // small pool to exercise eviction
+  Result<std::unique_ptr<MetadataDb>> db =
+      MetadataDb::Create(Path("meta"), opts);
+  ASSERT_TRUE(db.ok());
+  Rng rng(21);
+  for (int64_t sid = 1; sid <= 10000; ++sid) {
+    const int64_t rsid =
+        sid > 100 && rng.Bernoulli(0.4) ? rng.UniformInt(int64_t{1}, sid - 1)
+                                        : TweetMeta::kNone;
+    ASSERT_TRUE((*db)
+                    ->Insert(TweetMeta{sid, rng.UniformInt(int64_t{1},
+                                                           int64_t{500}),
+                                       rng.Uniform(-80, 80),
+                                       rng.Uniform(-170, 170),
+                                       rsid == TweetMeta::kNone
+                                           ? TweetMeta::kNone
+                                           : int64_t{1},
+                                       rsid})
+                    .ok());
+  }
+  EXPECT_EQ((*db)->row_count(), 10000u);
+  // Random point lookups across the keyspace must fault evicted pages in.
+  for (int64_t sid = 100; sid <= 10000; sid += 100) {
+    Result<std::optional<TweetMeta>> got = (*db)->SelectBySid(sid);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->has_value()) << sid;
+    EXPECT_EQ(got->value().sid, sid);
+  }
+  // I/O happened: the pool is smaller than the data.
+  EXPECT_GT((*db)->buffer_pool().stats().evictions, 0u);
+  EXPECT_GT((*db)->disk().stats().page_reads, 0u);
+}
+
+}  // namespace
+}  // namespace tklus

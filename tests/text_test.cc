@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace tklus {
+namespace {
+
+// ------------------------------------------------------------- stemmer
+
+struct StemCase {
+  const char* in;
+  const char* out;
+};
+
+class PorterStemmerParamTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemmerParamTest, MatchesReference) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem(GetParam().in), GetParam().out);
+}
+
+// Expected outputs from Porter's reference vocabulary (voc.txt/output.txt).
+INSTANTIATE_TEST_SUITE_P(
+    ReferenceVocabulary, PorterStemmerParamTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("at"), "at");
+  EXPECT_EQ(stemmer.Stem("by"), "by");
+  EXPECT_EQ(stemmer.Stem(""), "");
+  EXPECT_EQ(stemmer.Stem("a"), "a");
+}
+
+TEST(PorterStemmerTest, NonLowercasePassThrough) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("Hotel"), "Hotel");   // not pre-lowercased
+  EXPECT_EQ(stemmer.Stem("caf3"), "caf3");     // digit
+}
+
+TEST(PorterStemmerTest, PaperDomainWords) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("restaurants"), "restaur");
+  EXPECT_EQ(stemmer.Stem("restaurant"), "restaur");
+  EXPECT_EQ(stemmer.Stem("hotels"), "hotel");
+  EXPECT_EQ(stemmer.Stem("babysitters"), "babysitt");
+  EXPECT_EQ(stemmer.Stem("babysitter"), "babysitt");
+}
+
+TEST(PorterStemmerTest, EdgeSuffixWords) {
+  PorterStemmer stemmer;
+  // Words that are pure suffixes must not crash or misindex.
+  EXPECT_EQ(stemmer.Stem("ion"), "ion");
+  EXPECT_EQ(stemmer.Stem("ing"), "ing");
+  EXPECT_EQ(stemmer.Stem("sses"), "ss");  // step 1a: SSES -> SS
+  EXPECT_EQ(stemmer.Stem("eed"), "eed");
+}
+
+// ------------------------------------------------------------ stopwords
+
+TEST(StopwordsTest, PaperExamples) {
+  // §II-A: "excludes popular stop words (e.g., this and that)".
+  EXPECT_TRUE(IsStopWord("this"));
+  EXPECT_TRUE(IsStopWord("that"));
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_TRUE(IsStopWord("rt"));
+}
+
+TEST(StopwordsTest, ContentWordsKept) {
+  EXPECT_FALSE(IsStopWord("hotel"));
+  EXPECT_FALSE(IsStopWord("restaurant"));
+  EXPECT_FALSE(IsStopWord("toronto"));
+}
+
+TEST(StopwordsTest, ListIsSortedForBinarySearch) {
+  // The binary_search contract: if the internal list were unsorted, known
+  // members would be missed. Spot-check words across the alphabet.
+  for (const char* w : {"a", "because", "doing", "herself", "itself",
+                        "ourselves", "through", "yourselves"}) {
+    EXPECT_TRUE(IsStopWord(w)) << w;
+  }
+  EXPECT_GT(StopWordCount(), 100u);
+}
+
+// ------------------------------------------------------------ tokenizer
+
+TEST(TokenizerTest, PaperTweetA) {
+  Tokenizer tok;
+  const auto terms = tok.Tokenize("I'm at Toronto Marriott Bloor Yorkville Hotel");
+  // "I'm" -> "i"+"m" dropped (stopword/short), rest stemmed+lowercased;
+  // "yorkville" stems to "yorkvil" (step 5a drops e, 5b undoubles ll).
+  const std::vector<std::string> expected = {"toronto", "marriott", "bloor",
+                                             "yorkvil", "hotel"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(TokenizerTest, HashtagsKeepWordMentionsDropped) {
+  Tokenizer tok;
+  const auto terms = tok.Tokenize("#fashion #style @someone party");
+  const std::vector<std::string> expected = {"fashion", "style", "parti"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(TokenizerTest, UrlsStripped) {
+  Tokenizer tok;
+  const auto terms = tok.Tokenize(
+      "check http://t.co/abc123 great pizza https://x.y/z tonight");
+  const std::vector<std::string> expected = {"check", "great", "pizza",
+                                             "tonight"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(TokenizerTest, TermFrequenciesBagSemantics) {
+  // §III-B example: "one spicy and two restaurant" occurrences.
+  Tokenizer tok;
+  const auto tf =
+      tok.TermFrequencies("spicy restaurant! best restaurant ever");
+  EXPECT_EQ(tf.at("restaur"), 2);
+  EXPECT_EQ(tf.at("spici"), 1);
+}
+
+TEST(TokenizerTest, StopwordsRemoved) {
+  Tokenizer tok;
+  const auto terms = tok.Tokenize("the hotel is very good");
+  const std::vector<std::string> expected = {"hotel", "good"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(TokenizerTest, OptionsCanDisableStemming) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  Tokenizer tok(opts);
+  const auto terms = tok.Tokenize("amazing restaurants");
+  const std::vector<std::string> expected = {"amazing", "restaurants"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("!!! ... ###").empty());
+  EXPECT_TRUE(tok.Tokenize("@@@").empty());
+}
+
+TEST(TokenizerTest, MinTokenLengthEnforced) {
+  TokenizerOptions opts;
+  opts.min_token_length = 4;
+  Tokenizer tok(opts);
+  const auto terms = tok.Tokenize("go eat great food");
+  const std::vector<std::string> expected = {"great", "food"};
+  EXPECT_EQ(terms, expected);
+}
+
+// ----------------------------------------------------------- vocabulary
+
+TEST(VocabularyTest, InternAssignsStableIds) {
+  Vocabulary vocab;
+  const auto id1 = vocab.Add("hotel");
+  const auto id2 = vocab.Add("restaurant");
+  const auto id3 = vocab.Add("hotel");
+  EXPECT_EQ(id1, id3);
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(vocab.term(id1), "hotel");
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabularyTest, FrequenciesAccumulate) {
+  Vocabulary vocab;
+  vocab.Add("pizza", 3);
+  vocab.Add("pizza", 2);
+  const auto id = vocab.Lookup("pizza");
+  ASSERT_NE(id, Vocabulary::kInvalidTerm);
+  EXPECT_EQ(vocab.frequency(id), 5u);
+  EXPECT_EQ(vocab.total_occurrences(), 5u);
+}
+
+TEST(VocabularyTest, LookupMissing) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Lookup("nothing"), Vocabulary::kInvalidTerm);
+}
+
+TEST(VocabularyTest, TopTermsOrdering) {
+  Vocabulary vocab;
+  vocab.Add("cafe", 10);
+  vocab.Add("game", 30);
+  vocab.Add("restaurant", 40);
+  vocab.Add("shop", 10);
+  const auto top = vocab.TopTerms(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, "restaurant");
+  EXPECT_EQ(top[1].first, "game");
+  EXPECT_EQ(top[2].first, "cafe");  // tie with shop broken lexicographically
+}
+
+TEST(VocabularyTest, TopTermsMoreThanSize) {
+  Vocabulary vocab;
+  vocab.Add("one");
+  EXPECT_EQ(vocab.TopTerms(10).size(), 1u);
+}
+
+}  // namespace
+}  // namespace tklus

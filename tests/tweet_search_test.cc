@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datagen/tweet_generator.h"
+
+namespace tklus {
+namespace {
+
+Post MakePost(TweetId sid, UserId uid, double lat, double lon,
+              const std::string& text, TweetId rsid = kNoId,
+              UserId ruid = kNoId) {
+  Post p;
+  p.sid = sid;
+  p.uid = uid;
+  p.location = GeoPoint{lat, lon};
+  p.text = text;
+  p.rsid = rsid;
+  p.ruid = ruid;
+  return p;
+}
+
+Dataset TweetSearchDataset() {
+  Dataset ds;
+  // Close + popular, close + unpopular, far + popular, out of range.
+  ds.Add(MakePost(1, 1, 10.00, 10.00, "cozy cafe corner"));
+  ds.Add(MakePost(2, 2, 10.01, 10.00, "cafe nearby"));
+  ds.Add(MakePost(3, 3, 10.06, 10.00, "cafe further away"));
+  ds.Add(MakePost(4, 4, 30.00, 30.00, "cafe on another continent"));
+  for (TweetId sid = 100; sid < 110; ++sid) {
+    ds.Add(MakePost(sid, 50 + sid, 10.0, 10.0, "so cozy!", 1, 1));
+  }
+  return ds;
+}
+
+TkLusQuery CafeQuery(int k = 10) {
+  TkLusQuery q;
+  q.location = GeoPoint{10.0, 10.0};
+  q.radius_km = 10.0;
+  q.keywords = {"cafe"};
+  q.k = k;
+  return q;
+}
+
+TEST(TweetSearchTest, RanksByCombinedScore) {
+  auto engine = TkLusEngine::Build(TweetSearchDataset());
+  ASSERT_TRUE(engine.ok());
+  auto result = (*engine)->QueryTweets(CafeQuery());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->tweets.size(), 3u);  // tweet 4 out of range
+  // Tweet 1: at the query point AND a 10-reply thread -> clear winner.
+  EXPECT_EQ(result->tweets[0].sid, 1);
+  EXPECT_EQ(result->tweets[0].uid, 1);
+  // Distance reported per tweet, ascending with rank here.
+  EXPECT_LT(result->tweets[0].distance_km, result->tweets[1].distance_km);
+  for (size_t i = 1; i < result->tweets.size(); ++i) {
+    EXPECT_GE(result->tweets[i - 1].score, result->tweets[i].score);
+  }
+}
+
+TEST(TweetSearchTest, KLimitsTweets) {
+  auto engine = TkLusEngine::Build(TweetSearchDataset());
+  ASSERT_TRUE(engine.ok());
+  auto result = (*engine)->QueryTweets(CafeQuery(2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tweets.size(), 2u);
+}
+
+TEST(TweetSearchTest, AndSemanticsApplies) {
+  Dataset ds = TweetSearchDataset();
+  ds.Add(MakePost(50, 9, 10.0, 10.0, "cafe with great espresso"));
+  auto engine = TkLusEngine::Build(ds);
+  ASSERT_TRUE(engine.ok());
+  TkLusQuery q = CafeQuery();
+  q.keywords = {"cafe", "espresso"};
+  q.semantics = Semantics::kAnd;
+  auto result = (*engine)->QueryTweets(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->tweets.size(), 1u);
+  EXPECT_EQ(result->tweets[0].sid, 50);
+}
+
+TEST(TweetSearchTest, TemporalWindowApplies) {
+  auto engine = TkLusEngine::Build(TweetSearchDataset());
+  ASSERT_TRUE(engine.ok());
+  TkLusQuery q = CafeQuery();
+  q.temporal.begin = 2;
+  q.temporal.end = 3;
+  auto result = (*engine)->QueryTweets(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->tweets.size(), 2u);
+  EXPECT_EQ(result->tweets[0].sid, 2);  // closer of the two
+}
+
+TEST(TweetSearchTest, InvalidQueryRejected) {
+  auto engine = TkLusEngine::Build(TweetSearchDataset());
+  ASSERT_TRUE(engine.ok());
+  TkLusQuery q = CafeQuery(0);
+  EXPECT_FALSE((*engine)->QueryTweets(q).ok());
+}
+
+TEST(TweetSearchTest, IntroMotivation) {
+  // The paper's intro: tweet search "can return too many original tweets";
+  // user search condenses them. With many tweets from few users, the
+  // tweet-level result is larger than the distinct-user result.
+  datagen::TweetGenerator::Options gen;
+  gen.num_users = 100;
+  gen.num_tweets = 4000;
+  gen.num_cities = 2;
+  const auto corpus = datagen::TweetGenerator::Generate(gen);
+  auto engine = TkLusEngine::Build(corpus.dataset);
+  ASSERT_TRUE(engine.ok());
+  TkLusQuery q;
+  q.location = corpus.city_centers[0];
+  q.radius_km = 15.0;
+  q.keywords = {"restaurant"};
+  q.k = 50;
+  auto tweets = (*engine)->QueryTweets(q);
+  auto users = (*engine)->Query(q);
+  ASSERT_TRUE(tweets.ok());
+  ASSERT_TRUE(users.ok());
+  // Distinct users <= matching tweets.
+  EXPECT_LE(users->users.size(), tweets->tweets.size());
+  // Every top tweet's author appears among candidates the user query saw.
+  EXPECT_GT(tweets->tweets.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tklus
