@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_multi_keyword"
+  "../bench/bench_fig10_multi_keyword.pdb"
+  "CMakeFiles/bench_fig10_multi_keyword.dir/bench_fig10_multi_keyword.cpp.o"
+  "CMakeFiles/bench_fig10_multi_keyword.dir/bench_fig10_multi_keyword.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_multi_keyword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_kendall_multi"
+  "../bench/bench_fig11_kendall_multi.pdb"
+  "CMakeFiles/bench_fig11_kendall_multi.dir/bench_fig11_kendall_multi.cpp.o"
+  "CMakeFiles/bench_fig11_kendall_multi.dir/bench_fig11_kendall_multi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_kendall_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

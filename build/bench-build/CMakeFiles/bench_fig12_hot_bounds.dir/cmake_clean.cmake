@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_hot_bounds"
+  "../bench/bench_fig12_hot_bounds.pdb"
+  "CMakeFiles/bench_fig12_hot_bounds.dir/bench_fig12_hot_bounds.cpp.o"
+  "CMakeFiles/bench_fig12_hot_bounds.dir/bench_fig12_hot_bounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_hot_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_index_size"
+  "../bench/bench_fig6_index_size.pdb"
+  "CMakeFiles/bench_fig6_index_size.dir/bench_fig6_index_size.cpp.o"
+  "CMakeFiles/bench_fig6_index_size.dir/bench_fig6_index_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_index_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

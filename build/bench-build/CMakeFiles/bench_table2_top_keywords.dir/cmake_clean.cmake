@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_top_keywords"
+  "../bench/bench_table2_top_keywords.pdb"
+  "CMakeFiles/bench_table2_top_keywords.dir/bench_table2_top_keywords.cpp.o"
+  "CMakeFiles/bench_table2_top_keywords.dir/bench_table2_top_keywords.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_top_keywords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

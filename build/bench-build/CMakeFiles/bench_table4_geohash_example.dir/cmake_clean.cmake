@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_geohash_example"
+  "../bench/bench_table4_geohash_example.pdb"
+  "CMakeFiles/bench_table4_geohash_example.dir/bench_table4_geohash_example.cpp.o"
+  "CMakeFiles/bench_table4_geohash_example.dir/bench_table4_geohash_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_geohash_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

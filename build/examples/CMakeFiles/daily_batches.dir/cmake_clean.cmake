@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_batches.dir/daily_batches.cpp.o"
+  "CMakeFiles/daily_batches.dir/daily_batches.cpp.o.d"
+  "daily_batches"
+  "daily_batches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

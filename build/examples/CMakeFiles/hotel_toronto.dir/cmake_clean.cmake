@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_toronto.dir/hotel_toronto.cpp.o"
+  "CMakeFiles/hotel_toronto.dir/hotel_toronto.cpp.o.d"
+  "hotel_toronto"
+  "hotel_toronto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_toronto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_expert_search.dir/local_expert_search.cpp.o"
+  "CMakeFiles/local_expert_search.dir/local_expert_search.cpp.o.d"
+  "local_expert_search"
+  "local_expert_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_expert_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tklus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/tklus_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/tklus_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/tklus_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/tklus_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tklus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tklus_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tklus_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tklus_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tklus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

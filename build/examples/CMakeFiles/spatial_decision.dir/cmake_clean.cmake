@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_decision.dir/spatial_decision.cpp.o"
+  "CMakeFiles/spatial_decision.dir/spatial_decision.cpp.o.d"
+  "spatial_decision"
+  "spatial_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

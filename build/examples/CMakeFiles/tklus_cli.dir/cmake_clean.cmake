@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tklus_cli.dir/tklus_cli.cpp.o"
+  "CMakeFiles/tklus_cli.dir/tklus_cli.cpp.o.d"
+  "tklus_cli"
+  "tklus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tklus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

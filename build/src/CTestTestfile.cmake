@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geo")
+subdirs("text")
+subdirs("storage")
+subdirs("dfs")
+subdirs("mapreduce")
+subdirs("model")
+subdirs("social")
+subdirs("index")
+subdirs("core")
+subdirs("baseline")
+subdirs("datagen")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tklus_baseline.dir/centralized_builder.cc.o"
+  "CMakeFiles/tklus_baseline.dir/centralized_builder.cc.o.d"
+  "CMakeFiles/tklus_baseline.dir/irtree.cc.o"
+  "CMakeFiles/tklus_baseline.dir/irtree.cc.o.d"
+  "CMakeFiles/tklus_baseline.dir/naive_scan.cc.o"
+  "CMakeFiles/tklus_baseline.dir/naive_scan.cc.o.d"
+  "CMakeFiles/tklus_baseline.dir/rtree.cc.o"
+  "CMakeFiles/tklus_baseline.dir/rtree.cc.o.d"
+  "libtklus_baseline.a"
+  "libtklus_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tklus_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

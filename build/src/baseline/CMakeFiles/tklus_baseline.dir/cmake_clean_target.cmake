@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtklus_baseline.a"
+)

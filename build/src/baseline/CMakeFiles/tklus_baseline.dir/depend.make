@@ -1,0 +1,2 @@
+# Empty dependencies file for tklus_baseline.
+# This may be replaced when dependencies are built.

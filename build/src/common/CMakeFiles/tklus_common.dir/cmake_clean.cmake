@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tklus_common.dir/logging.cc.o"
+  "CMakeFiles/tklus_common.dir/logging.cc.o.d"
+  "CMakeFiles/tklus_common.dir/status.cc.o"
+  "CMakeFiles/tklus_common.dir/status.cc.o.d"
+  "CMakeFiles/tklus_common.dir/string_util.cc.o"
+  "CMakeFiles/tklus_common.dir/string_util.cc.o.d"
+  "libtklus_common.a"
+  "libtklus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tklus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

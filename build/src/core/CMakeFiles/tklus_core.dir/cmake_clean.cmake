@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tklus_core.dir/bounds.cc.o"
+  "CMakeFiles/tklus_core.dir/bounds.cc.o.d"
+  "CMakeFiles/tklus_core.dir/engine.cc.o"
+  "CMakeFiles/tklus_core.dir/engine.cc.o.d"
+  "CMakeFiles/tklus_core.dir/federation.cc.o"
+  "CMakeFiles/tklus_core.dir/federation.cc.o.d"
+  "CMakeFiles/tklus_core.dir/kendall.cc.o"
+  "CMakeFiles/tklus_core.dir/kendall.cc.o.d"
+  "CMakeFiles/tklus_core.dir/query_processor.cc.o"
+  "CMakeFiles/tklus_core.dir/query_processor.cc.o.d"
+  "CMakeFiles/tklus_core.dir/thread_tracker.cc.o"
+  "CMakeFiles/tklus_core.dir/thread_tracker.cc.o.d"
+  "libtklus_core.a"
+  "libtklus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tklus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tklus_datagen.dir/cities.cc.o"
+  "CMakeFiles/tklus_datagen.dir/cities.cc.o.d"
+  "CMakeFiles/tklus_datagen.dir/query_workload.cc.o"
+  "CMakeFiles/tklus_datagen.dir/query_workload.cc.o.d"
+  "CMakeFiles/tklus_datagen.dir/relevance_oracle.cc.o"
+  "CMakeFiles/tklus_datagen.dir/relevance_oracle.cc.o.d"
+  "CMakeFiles/tklus_datagen.dir/text_model.cc.o"
+  "CMakeFiles/tklus_datagen.dir/text_model.cc.o.d"
+  "CMakeFiles/tklus_datagen.dir/tweet_generator.cc.o"
+  "CMakeFiles/tklus_datagen.dir/tweet_generator.cc.o.d"
+  "libtklus_datagen.a"
+  "libtklus_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tklus_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tklus_dfs.dir/dfs.cc.o"
+  "CMakeFiles/tklus_dfs.dir/dfs.cc.o.d"
+  "libtklus_dfs.a"
+  "libtklus_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tklus_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/circle_cover.cc" "src/geo/CMakeFiles/tklus_geo.dir/circle_cover.cc.o" "gcc" "src/geo/CMakeFiles/tklus_geo.dir/circle_cover.cc.o.d"
+  "/root/repo/src/geo/geohash.cc" "src/geo/CMakeFiles/tklus_geo.dir/geohash.cc.o" "gcc" "src/geo/CMakeFiles/tklus_geo.dir/geohash.cc.o.d"
+  "/root/repo/src/geo/quadtree.cc" "src/geo/CMakeFiles/tklus_geo.dir/quadtree.cc.o" "gcc" "src/geo/CMakeFiles/tklus_geo.dir/quadtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tklus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

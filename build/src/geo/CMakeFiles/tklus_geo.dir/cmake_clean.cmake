@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tklus_geo.dir/circle_cover.cc.o"
+  "CMakeFiles/tklus_geo.dir/circle_cover.cc.o.d"
+  "CMakeFiles/tklus_geo.dir/geohash.cc.o"
+  "CMakeFiles/tklus_geo.dir/geohash.cc.o.d"
+  "CMakeFiles/tklus_geo.dir/quadtree.cc.o"
+  "CMakeFiles/tklus_geo.dir/quadtree.cc.o.d"
+  "libtklus_geo.a"
+  "libtklus_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tklus_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/hybrid_index.cc" "src/index/CMakeFiles/tklus_index.dir/hybrid_index.cc.o" "gcc" "src/index/CMakeFiles/tklus_index.dir/hybrid_index.cc.o.d"
+  "/root/repo/src/index/posting.cc" "src/index/CMakeFiles/tklus_index.dir/posting.cc.o" "gcc" "src/index/CMakeFiles/tklus_index.dir/posting.cc.o.d"
+  "/root/repo/src/index/postings_ops.cc" "src/index/CMakeFiles/tklus_index.dir/postings_ops.cc.o" "gcc" "src/index/CMakeFiles/tklus_index.dir/postings_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tklus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tklus_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tklus_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tklus_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/tklus_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tklus_index.dir/hybrid_index.cc.o"
+  "CMakeFiles/tklus_index.dir/hybrid_index.cc.o.d"
+  "CMakeFiles/tklus_index.dir/posting.cc.o"
+  "CMakeFiles/tklus_index.dir/posting.cc.o.d"
+  "CMakeFiles/tklus_index.dir/postings_ops.cc.o"
+  "CMakeFiles/tklus_index.dir/postings_ops.cc.o.d"
+  "libtklus_index.a"
+  "libtklus_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tklus_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

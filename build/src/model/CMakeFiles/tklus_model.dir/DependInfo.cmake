@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/dataset.cc" "src/model/CMakeFiles/tklus_model.dir/dataset.cc.o" "gcc" "src/model/CMakeFiles/tklus_model.dir/dataset.cc.o.d"
+  "/root/repo/src/model/gazetteer.cc" "src/model/CMakeFiles/tklus_model.dir/gazetteer.cc.o" "gcc" "src/model/CMakeFiles/tklus_model.dir/gazetteer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tklus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tklus_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tklus_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

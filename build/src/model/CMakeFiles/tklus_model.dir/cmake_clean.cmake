@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tklus_model.dir/dataset.cc.o"
+  "CMakeFiles/tklus_model.dir/dataset.cc.o.d"
+  "CMakeFiles/tklus_model.dir/gazetteer.cc.o"
+  "CMakeFiles/tklus_model.dir/gazetteer.cc.o.d"
+  "libtklus_model.a"
+  "libtklus_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tklus_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

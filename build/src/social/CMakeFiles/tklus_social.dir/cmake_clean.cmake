@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tklus_social.dir/social_graph.cc.o"
+  "CMakeFiles/tklus_social.dir/social_graph.cc.o.d"
+  "CMakeFiles/tklus_social.dir/thread_builder.cc.o"
+  "CMakeFiles/tklus_social.dir/thread_builder.cc.o.d"
+  "libtklus_social.a"
+  "libtklus_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tklus_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

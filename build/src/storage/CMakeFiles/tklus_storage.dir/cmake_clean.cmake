@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tklus_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/tklus_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/tklus_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/tklus_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/tklus_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/tklus_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/tklus_storage.dir/metadata_db.cc.o"
+  "CMakeFiles/tklus_storage.dir/metadata_db.cc.o.d"
+  "CMakeFiles/tklus_storage.dir/table_heap.cc.o"
+  "CMakeFiles/tklus_storage.dir/table_heap.cc.o.d"
+  "libtklus_storage.a"
+  "libtklus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tklus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

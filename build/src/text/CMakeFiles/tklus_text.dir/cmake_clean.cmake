@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tklus_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/tklus_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/tklus_text.dir/stopwords.cc.o"
+  "CMakeFiles/tklus_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/tklus_text.dir/tokenizer.cc.o"
+  "CMakeFiles/tklus_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/tklus_text.dir/vocabulary.cc.o"
+  "CMakeFiles/tklus_text.dir/vocabulary.cc.o.d"
+  "libtklus_text.a"
+  "libtklus_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tklus_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_append_test.dir/batch_append_test.cc.o"
+  "CMakeFiles/batch_append_test.dir/batch_append_test.cc.o.d"
+  "batch_append_test"
+  "batch_append_test.pdb"
+  "batch_append_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_append_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoring_param_test.dir/scoring_param_test.cc.o"
+  "CMakeFiles/scoring_param_test.dir/scoring_param_test.cc.o.d"
+  "scoring_param_test"
+  "scoring_param_test.pdb"
+  "scoring_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoring_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

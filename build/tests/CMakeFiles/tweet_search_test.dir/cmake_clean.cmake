@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tweet_search_test.dir/tweet_search_test.cc.o"
+  "CMakeFiles/tweet_search_test.dir/tweet_search_test.cc.o.d"
+  "tweet_search_test"
+  "tweet_search_test.pdb"
+  "tweet_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tweet_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
