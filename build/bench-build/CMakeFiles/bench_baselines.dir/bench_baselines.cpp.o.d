@@ -243,16 +243,26 @@ bench-build/CMakeFiles/bench_baselines.dir/bench_baselines.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geo/distance.h \
  /root/repo/src/social/social_graph.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/bench/bench_util.h \
- /root/repo/src/core/engine.h /root/repo/src/core/bounds.h \
- /root/repo/src/core/query_processor.h \
- /root/repo/src/index/hybrid_index.h /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/src/dfs/dfs.h \
+ /root/repo/src/core/engine.h /root/repo/src/common/fault_injector.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
+ /root/repo/src/common/retry.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/core/bounds.h /root/repo/src/core/query_processor.h \
+ /root/repo/src/index/hybrid_index.h /root/repo/src/dfs/dfs.h \
  /root/repo/src/index/forward_index.h /root/repo/src/common/serde.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/index/posting.h /root/repo/src/social/thread_builder.h \
@@ -269,5 +279,4 @@ bench-build/CMakeFiles/bench_baselines.dir/bench_baselines.cpp.o: \
  /root/repo/src/core/thread_tracker.h \
  /root/repo/src/datagen/query_workload.h \
  /root/repo/src/datagen/tweet_generator.h \
- /root/repo/src/common/stopwatch.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc
+ /root/repo/src/common/stopwatch.h

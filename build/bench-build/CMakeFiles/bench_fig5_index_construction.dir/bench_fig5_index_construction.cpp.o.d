@@ -227,10 +227,10 @@ bench-build/CMakeFiles/bench_fig5_index_construction.dir/bench_fig5_index_constr
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/core/engine.h \
- /root/repo/src/core/bounds.h /root/repo/src/social/social_graph.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/query.h \
- /root/repo/src/core/query_processor.h /root/repo/src/core/scoring.h \
+ /root/repo/src/common/fault_injector.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -252,15 +252,17 @@ bench-build/CMakeFiles/bench_fig5_index_construction.dir/bench_fig5_index_constr
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geo/distance.h \
- /root/repo/src/index/hybrid_index.h /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/src/dfs/dfs.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/index/forward_index.h /root/repo/src/common/serde.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/retry.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/bounds.h \
+ /root/repo/src/social/social_graph.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/query.h \
+ /root/repo/src/core/query_processor.h /root/repo/src/core/scoring.h \
+ /root/repo/src/geo/distance.h /root/repo/src/index/hybrid_index.h \
+ /root/repo/src/dfs/dfs.h /root/repo/src/index/forward_index.h \
+ /root/repo/src/common/serde.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/index/posting.h /root/repo/src/social/thread_builder.h \
  /root/repo/src/storage/metadata_db.h /root/repo/src/storage/bplus_tree.h \
  /root/repo/src/storage/buffer_pool.h /usr/include/c++/12/list \
@@ -275,5 +277,4 @@ bench-build/CMakeFiles/bench_fig5_index_construction.dir/bench_fig5_index_constr
  /root/repo/src/core/thread_tracker.h \
  /root/repo/src/datagen/query_workload.h \
  /root/repo/src/datagen/tweet_generator.h \
- /root/repo/src/common/stopwatch.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc
+ /root/repo/src/common/stopwatch.h

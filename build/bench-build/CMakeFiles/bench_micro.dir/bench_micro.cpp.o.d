@@ -259,6 +259,8 @@ bench-build/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/common/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/storage/bplus_tree.h /root/repo/src/storage/buffer_pool.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/storage/disk_manager.h \

@@ -8,7 +8,10 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/fault_injector.cc" "src/common/CMakeFiles/tklus_common.dir/fault_injector.cc.o" "gcc" "src/common/CMakeFiles/tklus_common.dir/fault_injector.cc.o.d"
+  "/root/repo/src/common/file_io.cc" "src/common/CMakeFiles/tklus_common.dir/file_io.cc.o" "gcc" "src/common/CMakeFiles/tklus_common.dir/file_io.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/tklus_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/tklus_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/retry.cc" "src/common/CMakeFiles/tklus_common.dir/retry.cc.o" "gcc" "src/common/CMakeFiles/tklus_common.dir/retry.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/tklus_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/tklus_common.dir/status.cc.o.d"
   "/root/repo/src/common/string_util.cc" "src/common/CMakeFiles/tklus_common.dir/string_util.cc.o" "gcc" "src/common/CMakeFiles/tklus_common.dir/string_util.cc.o.d"
   )

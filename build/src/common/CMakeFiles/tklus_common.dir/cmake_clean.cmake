@@ -1,6 +1,12 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/tklus_common.dir/fault_injector.cc.o"
+  "CMakeFiles/tklus_common.dir/fault_injector.cc.o.d"
+  "CMakeFiles/tklus_common.dir/file_io.cc.o"
+  "CMakeFiles/tklus_common.dir/file_io.cc.o.d"
   "CMakeFiles/tklus_common.dir/logging.cc.o"
   "CMakeFiles/tklus_common.dir/logging.cc.o.d"
+  "CMakeFiles/tklus_common.dir/retry.cc.o"
+  "CMakeFiles/tklus_common.dir/retry.cc.o.d"
   "CMakeFiles/tklus_common.dir/status.cc.o"
   "CMakeFiles/tklus_common.dir/status.cc.o.d"
   "CMakeFiles/tklus_common.dir/string_util.cc.o"

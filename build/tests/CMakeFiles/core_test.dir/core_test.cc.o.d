@@ -326,10 +326,14 @@ tests/CMakeFiles/core_test.dir/core_test.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geo/distance.h \
  /root/repo/src/social/thread_builder.h \
- /root/repo/src/storage/metadata_db.h /root/repo/src/storage/bplus_tree.h \
- /root/repo/src/storage/buffer_pool.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/storage/disk_manager.h /usr/include/c++/12/fstream \
+ /root/repo/src/storage/metadata_db.h \
+ /root/repo/src/common/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
+ /root/repo/src/storage/bplus_tree.h /root/repo/src/storage/buffer_pool.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/storage/disk_manager.h \
+ /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/storage/page.h \

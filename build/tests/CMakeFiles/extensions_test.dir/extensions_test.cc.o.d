@@ -326,10 +326,19 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o: \
  /root/repo/src/text/vocabulary.h /root/repo/src/social/social_graph.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/engine.h \
+ /root/repo/src/common/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
+ /root/repo/src/common/retry.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/core/bounds.h /root/repo/src/core/query_processor.h \
  /root/repo/src/index/hybrid_index.h /root/repo/src/dfs/dfs.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/index/forward_index.h /root/repo/src/common/serde.h \
  /usr/include/c++/12/cstring /root/repo/src/index/posting.h \
  /root/repo/src/social/thread_builder.h \

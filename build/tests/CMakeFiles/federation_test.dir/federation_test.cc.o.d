@@ -294,19 +294,11 @@ tests/CMakeFiles/federation_test.dir/federation_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/federation.h /root/repo/src/common/status.h \
- /root/repo/src/core/engine.h /root/repo/src/core/bounds.h \
- /root/repo/src/model/dataset.h /root/repo/src/model/post.h \
- /root/repo/src/geo/point.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/text/tokenizer.h /root/repo/src/text/porter_stemmer.h \
- /root/repo/src/text/vocabulary.h /root/repo/src/social/social_graph.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/query.h \
- /root/repo/src/core/query_processor.h /root/repo/src/core/scoring.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/core/engine.h /root/repo/src/common/fault_injector.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/rng.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -326,13 +318,28 @@ tests/CMakeFiles/federation_test.dir/federation_test.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geo/distance.h \
- /root/repo/src/index/hybrid_index.h /root/repo/src/dfs/dfs.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/index/forward_index.h /root/repo/src/common/serde.h \
- /usr/include/c++/12/cstring /root/repo/src/index/posting.h \
- /root/repo/src/social/thread_builder.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/retry.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/core/bounds.h /root/repo/src/model/dataset.h \
+ /root/repo/src/model/post.h /root/repo/src/geo/point.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/text/tokenizer.h /root/repo/src/text/porter_stemmer.h \
+ /root/repo/src/text/vocabulary.h /root/repo/src/social/social_graph.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/query.h \
+ /root/repo/src/core/query_processor.h /root/repo/src/core/scoring.h \
+ /root/repo/src/geo/distance.h /root/repo/src/index/hybrid_index.h \
+ /root/repo/src/dfs/dfs.h /root/repo/src/index/forward_index.h \
+ /root/repo/src/common/serde.h /usr/include/c++/12/cstring \
+ /root/repo/src/index/posting.h /root/repo/src/social/thread_builder.h \
  /root/repo/src/storage/metadata_db.h /root/repo/src/storage/bplus_tree.h \
  /root/repo/src/storage/buffer_pool.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \

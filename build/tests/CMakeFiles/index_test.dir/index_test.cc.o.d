@@ -317,12 +317,20 @@ tests/CMakeFiles/index_test.dir/index_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/dfs/dfs.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/common/status.h /root/repo/src/geo/circle_cover.h \
- /root/repo/src/geo/point.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/common/fault_injector.h /root/repo/src/common/status.h \
+ /root/repo/src/geo/circle_cover.h /root/repo/src/geo/point.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/geo/geohash.h /root/repo/src/index/hybrid_index.h \
+ /root/repo/src/common/retry.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/index/forward_index.h /root/repo/src/common/serde.h \
  /usr/include/c++/12/cstring /root/repo/src/index/posting.h \
  /root/repo/src/model/post.h /root/repo/src/model/dataset.h \

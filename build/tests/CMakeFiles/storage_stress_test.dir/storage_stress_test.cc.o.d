@@ -325,6 +325,8 @@ tests/CMakeFiles/storage_stress_test.dir/storage_stress_test.cc.o: \
  /root/repo/src/storage/disk_manager.h /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/storage/page.h \
+ /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/common/fault_injector.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/storage/page.h \
  /usr/include/c++/12/cstring /root/repo/src/storage/metadata_db.h \
  /root/repo/src/storage/table_heap.h

@@ -27,6 +27,7 @@ include("/root/repo/build/tests/batch_append_test[1]_include.cmake")
 include("/root/repo/build/tests/federation_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_tolerance_test[1]_include.cmake")
 include("/root/repo/build/tests/pipeline_fuzz_test[1]_include.cmake")
 add_test(cli_end_to_end "/usr/bin/cmake" "-DCLI=/root/repo/build/examples/tklus_cli" "-P" "/root/repo/tests/cli_test.cmake")
-set_tests_properties(cli_end_to_end PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(cli_end_to_end PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;46;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,52 @@
+#ifndef TKLUS_COMMON_CRC32_H_
+#define TKLUS_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tklus {
+
+// CRC-32 (IEEE 802.3 polynomial, reflected), the checksum guarding every
+// persisted byte: 4 KiB database pages, simulated-DFS blocks, and the
+// footer of each saved artifact file. Table-driven, one byte at a time —
+// integrity checking is nowhere near the hot path.
+namespace crc32_internal {
+
+inline const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace crc32_internal
+
+// Incremental form: pass the previous return value as `seed` to extend a
+// running checksum across multiple buffers. Starts from 0.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto& table = crc32_internal::Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace tklus
+
+#endif  // TKLUS_COMMON_CRC32_H_

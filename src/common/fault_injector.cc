@@ -1,0 +1,100 @@
+#include "common/fault_injector.h"
+
+#include <algorithm>
+
+namespace tklus {
+
+void FaultInjector::SetFaultRate(const std::string& site, FaultKind kind,
+                                 double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_[site].rate[static_cast<int>(kind)] =
+      std::clamp(probability, 0.0, 1.0);
+}
+
+void FaultInjector::FailNext(const std::string& site, FaultKind kind,
+                             int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteRules& rules = rules_[site];
+  if (kind == FaultKind::kCorruption) {
+    rules.scheduled_corrupt += count;
+    return;
+  }
+  rules.scheduled_fail.insert(rules.scheduled_fail.end(),
+                              static_cast<size_t>(std::max(count, 0)), kind);
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+}
+
+void FaultInjector::ClearSite(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.erase(site);
+}
+
+Status FaultInjector::MaybeFail(const std::string& site,
+                                const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = rules_.find(site);
+  if (it == rules_.end()) return Status::Ok();
+  SiteRules& rules = it->second;
+  FaultKind kind;
+  if (!rules.scheduled_fail.empty()) {
+    kind = rules.scheduled_fail.front();
+    rules.scheduled_fail.erase(rules.scheduled_fail.begin());
+  } else {
+    const double transient = rules.rate[static_cast<int>(FaultKind::kTransient)];
+    const double permanent = rules.rate[static_cast<int>(FaultKind::kPermanent)];
+    if (transient <= 0 && permanent <= 0) return Status::Ok();
+    const double u = rng_.NextDouble();
+    if (u < transient) {
+      kind = FaultKind::kTransient;
+    } else if (u < transient + permanent) {
+      kind = FaultKind::kPermanent;
+    } else {
+      return Status::Ok();
+    }
+  }
+  ++injected_[site];
+  if (kind == FaultKind::kTransient) {
+    return Status::Unavailable("injected transient fault at " + site + ": " +
+                               detail);
+  }
+  return Status::IoError("injected permanent fault at " + site + ": " +
+                         detail);
+}
+
+bool FaultInjector::MaybeCorrupt(const std::string& site, char* data,
+                                 size_t len) {
+  if (data == nullptr || len == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = rules_.find(site);
+  if (it == rules_.end()) return false;
+  SiteRules& rules = it->second;
+  if (rules.scheduled_corrupt > 0) {
+    --rules.scheduled_corrupt;
+  } else {
+    const double rate = rules.rate[static_cast<int>(FaultKind::kCorruption)];
+    if (rate <= 0 || !rng_.Bernoulli(rate)) return false;
+  }
+  ++injected_[site];
+  const size_t index = rng_.UniformInt(static_cast<uint64_t>(len));
+  data[index] ^= static_cast<char>(1 + rng_.UniformInt(uint64_t{255}));
+  return true;
+}
+
+uint64_t FaultInjector::injected(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = injected_.find(site);
+  return it == injected_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [site, count] : injected_) total += count;
+  return total;
+}
+
+}  // namespace tklus

@@ -1,0 +1,97 @@
+#ifndef TKLUS_COMMON_FAULT_INJECTOR_H_
+#define TKLUS_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace tklus {
+
+// What an injected fault does at the instrumented call site.
+enum class FaultKind {
+  // The operation fails with kUnavailable ("data node momentarily down");
+  // a later attempt may succeed. Retry policies absorb these.
+  kTransient,
+  // The operation fails with kIoError ("disk gone"); retrying is useless.
+  kPermanent,
+  // The bytes the operation touches are silently flipped at rest; checksum
+  // verification must turn this into kCorruption.
+  kCorruption,
+};
+
+// Well-known instrumentation sites. Components check the injector at these
+// names so one injector can drive faults across the whole stack.
+namespace faults {
+inline constexpr char kDfsRead[] = "dfs.read";
+inline constexpr char kDiskRead[] = "disk.read";
+inline constexpr char kDiskWrite[] = "disk.write";
+inline constexpr char kMapTask[] = "mapreduce.map";
+inline constexpr char kReduceTask[] = "mapreduce.reduce";
+}  // namespace faults
+
+// A seeded, deterministic fault injector shared by every layer that does
+// I/O (DiskManager pages, SimulatedDfs blocks, MapReduce tasks). Faults are
+// either probabilistic (each operation at a site fails with probability p,
+// drawn from the injector's own PRNG so runs replay exactly under a fixed
+// seed) or scheduled (the next N operations at a site fail). Components
+// hold a non-owning pointer and treat nullptr as "no faults"; the injector
+// must outlive everything it is wired into. Thread-safe.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : rng_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Every future operation at `site` fails with probability `probability`
+  // (replacing any previous rate of the same kind at that site; 0 removes
+  // it).
+  void SetFaultRate(const std::string& site, FaultKind kind,
+                    double probability);
+
+  // The next `count` operations at `site` fail deterministically, before
+  // any probabilistic rule is consulted.
+  void FailNext(const std::string& site, FaultKind kind, int count);
+
+  // Removes every rule; counters are kept.
+  void Clear();
+  void ClearSite(const std::string& site);
+
+  // Called by an instrumented operation. Returns kUnavailable (transient)
+  // or kIoError (permanent) when a fault fires, OK otherwise. Corruption
+  // rules never fire here — they are consulted by MaybeCorrupt.
+  Status MaybeFail(const std::string& site, const std::string& detail);
+
+  // Consults corruption rules for `site`; when one fires, flips one
+  // deterministic-but-arbitrary byte of [data, data+len). Returns true if
+  // the buffer was corrupted. No-op on empty buffers.
+  bool MaybeCorrupt(const std::string& site, char* data, size_t len);
+
+  // Faults injected so far (all kinds) at one site / across all sites.
+  uint64_t injected(const std::string& site) const;
+  uint64_t total_injected() const;
+
+ private:
+  struct SiteRules {
+    // Probabilistic rates, one slot per FaultKind.
+    double rate[3] = {0, 0, 0};
+    // Scheduled failing operations (kTransient/kPermanent), consumed front
+    // to back by MaybeFail; scheduled corruptions consumed by MaybeCorrupt.
+    std::vector<FaultKind> scheduled_fail;
+    int scheduled_corrupt = 0;
+  };
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::map<std::string, SiteRules> rules_;
+  std::map<std::string, uint64_t> injected_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_COMMON_FAULT_INJECTOR_H_

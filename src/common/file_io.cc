@@ -1,0 +1,111 @@
+#include "common/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.h"
+
+namespace tklus {
+namespace fileio {
+
+namespace {
+
+constexpr uint64_t kFooterMagic = 0x6b63685374756f46ULL;  // "FoutShck"
+constexpr uint32_t kFooterVersion = 1;
+constexpr size_t kFooterSize = 16;
+
+void PutU32(char* out, uint32_t v) { std::memcpy(out, &v, 4); }
+void PutU64(char* out, uint64_t v) { std::memcpy(out, &v, 8); }
+uint32_t GetU32(const char* in) {
+  uint32_t v;
+  std::memcpy(&v, in, 4);
+  return v;
+}
+uint64_t GetU64(const char* in) {
+  uint64_t v;
+  std::memcpy(&v, in, 8);
+  return v;
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view payload) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  char footer[kFooterSize];
+  PutU32(footer, kFooterVersion);
+  PutU32(footer + 4, Crc32(payload.data(), payload.size()));
+  PutU64(footer + 8, kFooterMagic);
+
+  auto write_all = [fd](const char* data, size_t len) {
+    while (len > 0) {
+      const ssize_t n = ::write(fd, data, len);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      data += n;
+      len -= static_cast<size_t>(n);
+    }
+    return true;
+  };
+  const bool written = write_all(payload.data(), payload.size()) &&
+                       write_all(footer, kFooterSize);
+  // fsync before rename: the new bytes must be durable before the name
+  // points at them, or a crash could expose an empty/torn file.
+  const bool synced = written && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("short write saving " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("renaming " + tmp + " over " + path + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileVerified(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::IoError("cannot read " + path);
+  }
+  if (bytes.size() < kFooterSize) {
+    return Status::Corruption("missing checksum footer in " + path);
+  }
+  const char* footer = bytes.data() + bytes.size() - kFooterSize;
+  if (GetU64(footer + 8) != kFooterMagic) {
+    return Status::Corruption("bad footer magic in " + path);
+  }
+  if (GetU32(footer) != kFooterVersion) {
+    return Status::Corruption("unsupported footer version in " + path);
+  }
+  const uint32_t expected = GetU32(footer + 4);
+  const size_t payload_size = bytes.size() - kFooterSize;
+  if (Crc32(bytes.data(), payload_size) != expected) {
+    return Status::Corruption("checksum mismatch in " + path);
+  }
+  bytes.resize(payload_size);
+  return bytes;
+}
+
+}  // namespace fileio
+}  // namespace tklus

@@ -1,0 +1,33 @@
+#ifndef TKLUS_COMMON_FILE_IO_H_
+#define TKLUS_COMMON_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tklus {
+namespace fileio {
+
+// Crash-safe, corruption-evident whole-file persistence for saved engine
+// artifacts (index image, DFS image, engine state).
+//
+// On-disk layout:   [payload bytes][16-byte footer]
+// Footer layout:    [u32 version][u32 crc32(payload)][u64 magic]
+// (magic last, so a reader can locate the footer from the end of any file
+// regardless of payload length; all fields little-endian).
+//
+// WriteFileAtomic writes payload + footer to `path + ".tmp"`, fsyncs, then
+// renames over `path` — a crash mid-save leaves either the old file or the
+// new one, never a torn mix. ReadFileVerified re-derives the CRC and
+// returns kCorruption on any byte-level damage (bad magic, bad version,
+// truncated footer, CRC mismatch), kNotFound when the file is absent.
+
+Status WriteFileAtomic(const std::string& path, std::string_view payload);
+
+Result<std::string> ReadFileVerified(const std::string& path);
+
+}  // namespace fileio
+}  // namespace tklus
+
+#endif  // TKLUS_COMMON_FILE_IO_H_

@@ -1,0 +1,35 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tklus {
+
+namespace {
+
+// splitmix64 finalizer: a cheap stateless mix for the jitter hash.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double RetryPolicy::BackoffMs(int retry, uint64_t op_key) const {
+  if (retry < 1) retry = 1;
+  double backoff =
+      base_backoff_ms * std::pow(backoff_multiplier, retry - 1);
+  backoff = std::min(backoff, max_backoff_ms);
+  if (jitter_fraction > 0) {
+    // u in [0, 1), a pure function of (seed, op, retry): replayable runs.
+    const uint64_t h =
+        Mix64(jitter_seed ^ Mix64(op_key ^ static_cast<uint64_t>(retry)));
+    const double u = (h >> 11) * 0x1.0p-53;
+    backoff *= 1.0 - jitter_fraction * u;
+  }
+  return std::max(backoff, 0.0);
+}
+
+}  // namespace tklus

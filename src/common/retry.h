@@ -1,0 +1,72 @@
+#ifndef TKLUS_COMMON_RETRY_H_
+#define TKLUS_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tklus {
+
+// Bounded retry with exponential backoff and deterministic jitter, used
+// wherever a transient (kUnavailable) failure is worth absorbing — most
+// importantly the random DFS reads of a postings fetch, the paper's stated
+// query-path bottleneck (§VI-B1). Only kUnavailable is retried: kIoError
+// and kCorruption are permanent by contract and surface immediately.
+struct RetryPolicy {
+  // Total tries including the first one; <= 1 disables retrying.
+  int max_attempts = 4;
+  double base_backoff_ms = 0.2;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 8.0;
+  // Fraction of the backoff randomized away (0 = full, deterministic
+  // backoff). The jitter is a pure function of (seed, op_key, retry), so a
+  // fixed seed replays the exact same schedule.
+  double jitter_fraction = 0.5;
+  uint64_t jitter_seed = 0x7461694c656b7254ULL;
+
+  // Backoff before retry number `retry` (1-based) of the operation
+  // identified by `op_key`. Deterministic.
+  double BackoffMs(int retry, uint64_t op_key) const;
+};
+
+// Outcome accounting for one retried operation.
+struct RetryStats {
+  int attempts = 0;       // tries performed (>= 1 once run)
+  int transient_faults = 0;  // kUnavailable results absorbed or surfaced
+
+  void Merge(const RetryStats& other) {
+    attempts += other.attempts;
+    transient_faults += other.transient_faults;
+  }
+};
+
+// Runs `fn` (a callable returning Status) up to policy.max_attempts times,
+// sleeping BackoffMs between attempts, while it keeps returning
+// kUnavailable. Any other status — OK or a permanent error — is returned
+// as soon as it appears; if every attempt is transient, the last
+// kUnavailable is returned.
+template <typename Fn>
+Status RetryTransient(const RetryPolicy& policy, uint64_t op_key, Fn&& fn,
+                      RetryStats* stats = nullptr) {
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  Status status;
+  for (int attempt = 1;; ++attempt) {
+    status = fn();
+    if (stats != nullptr) ++stats->attempts;
+    if (status.code() != StatusCode::kUnavailable) return status;
+    if (stats != nullptr) ++stats->transient_faults;
+    if (attempt >= max_attempts) return status;
+    const double backoff = policy.BackoffMs(attempt, op_key);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff));
+    }
+  }
+}
+
+}  // namespace tklus
+
+#endif  // TKLUS_COMMON_RETRY_H_

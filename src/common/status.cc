@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "OUT_OF_RANGE";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
     case StatusCode::kCorruption:
       return "CORRUPTION";
     case StatusCode::kResourceExhausted:

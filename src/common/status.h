@@ -15,6 +15,10 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kIoError,
+  // A transient failure (data node momentarily down, lease lost): the same
+  // operation may well succeed if retried, unlike kIoError which is
+  // treated as permanent. Retry policies only retry kUnavailable.
+  kUnavailable,
   kCorruption,
   kResourceExhausted,
   kInternal,
@@ -49,6 +53,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));

@@ -2,8 +2,9 @@
 
 #include <atomic>
 #include <filesystem>
-#include <fstream>
+#include <sstream>
 
+#include "common/file_io.h"
 #include "common/serde.h"
 
 #include "common/logging.h"
@@ -38,6 +39,7 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
   // and rsid.
   MetadataDb::Options db_options;
   db_options.buffer_pool_pages = options.buffer_pool_pages;
+  db_options.fault_injector = options.fault_injector;
   auto db = MetadataDb::Create(options.working_dir + "/meta.db", db_options);
   if (!db.ok()) return db.status();
   engine->db_ = std::move(*db);
@@ -48,11 +50,15 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
 
   // Hybrid index built with MapReduce into the simulated DFS.
   engine->dfs_ = std::make_unique<SimulatedDfs>(options.dfs);
+  engine->dfs_->set_fault_injector(options.fault_injector);
   HybridIndex::Options index_options;
   index_options.geohash_length = options.geohash_length;
   index_options.mapreduce_workers = options.mapreduce_workers;
   index_options.reduce_tasks = options.reduce_tasks;
   index_options.tokenizer = options.tokenizer;
+  index_options.retry = options.dfs_retry;
+  index_options.max_task_attempts = options.max_task_attempts;
+  index_options.fault_injector = options.fault_injector;
   auto index = HybridIndex::Build(dataset, engine->dfs_.get(), index_options);
   if (!index.ok()) return index.status();
   engine->index_ = std::move(*index);
@@ -150,8 +156,9 @@ Status TkLusEngine::AppendBatch(const Dataset& batch) {
 
 Status TkLusEngine::Save(const std::string& dir) {
   std::filesystem::create_directories(dir);
-  // Metadata DB: header + dirty pages to its own file. When saving into a
-  // different directory, copy the database file.
+  // Metadata DB: header + dirty pages to its own file (plus the page-
+  // checksum sidecar, written by FlushAll). When saving into a different
+  // directory, copy both.
   TKLUS_RETURN_IF_ERROR(db_->FlushAll());
   const std::string db_src = options_.working_dir + "/meta.db";
   const std::string db_dst = dir + "/meta.db";
@@ -161,19 +168,27 @@ Status TkLusEngine::Save(const std::string& dir) {
                                std::filesystem::copy_options::overwrite_existing,
                                ec);
     if (ec) return Status::IoError("copying metadata DB: " + ec.message());
+    std::filesystem::copy_file(db_src + ".crc", db_dst + ".crc",
+                               std::filesystem::copy_options::overwrite_existing,
+                               ec);
+    if (ec) {
+      return Status::IoError("copying metadata DB checksums: " + ec.message());
+    }
   }
+  // Remaining artifacts: serialize into memory, then write atomically
+  // (temp + fsync + rename) with a CRC32 footer that Open verifies.
   {
-    std::ofstream out(dir + "/dfs.bin", std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) return Status::IoError("cannot write dfs.bin");
+    std::ostringstream out(std::ios::binary);
     TKLUS_RETURN_IF_ERROR(dfs_->Save(out));
+    TKLUS_RETURN_IF_ERROR(fileio::WriteFileAtomic(dir + "/dfs.bin", out.str()));
   }
   {
-    std::ofstream out(dir + "/index.bin", std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) return Status::IoError("cannot write index.bin");
+    std::ostringstream out(std::ios::binary);
     TKLUS_RETURN_IF_ERROR(index_->Save(out));
+    TKLUS_RETURN_IF_ERROR(
+        fileio::WriteFileAtomic(dir + "/index.bin", out.str()));
   }
-  std::ofstream out(dir + "/engine.bin", std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) return Status::IoError("cannot write engine.bin");
+  std::ostringstream out(std::ios::binary);
   serde::WriteU64(out, kEngineMagic);
   serde::WriteDouble(out, options_.scoring.alpha);
   serde::WriteDouble(out, options_.scoring.n_norm);
@@ -206,7 +221,7 @@ Status TkLusEngine::Save(const std::string& dir) {
   serde::WriteI64(out, max_sid_);
   tracker_.Save(out);
   if (!out) return Status::IoError("short write saving engine.bin");
-  return Status::Ok();
+  return fileio::WriteFileAtomic(dir + "/engine.bin", out.str());
 }
 
 Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
@@ -218,26 +233,38 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
 
   MetadataDb::Options db_options;
   db_options.buffer_pool_pages = options.buffer_pool_pages;
+  db_options.fault_injector = options.fault_injector;
   auto db = MetadataDb::Open(dir + "/meta.db", db_options);
   if (!db.ok()) return db.status();
   engine->db_ = std::move(*db);
 
   engine->dfs_ = std::make_unique<SimulatedDfs>(options.dfs);
+  engine->dfs_->set_fault_injector(options.fault_injector);
   {
-    std::ifstream in(dir + "/dfs.bin", std::ios::binary);
-    if (!in.is_open()) return Status::IoError("cannot read dfs.bin");
+    Result<std::string> payload = fileio::ReadFileVerified(dir + "/dfs.bin");
+    if (!payload.ok()) return payload.status();
+    std::istringstream in(std::move(*payload), std::ios::binary);
     TKLUS_RETURN_IF_ERROR(engine->dfs_->Load(in));
   }
   {
-    std::ifstream in(dir + "/index.bin", std::ios::binary);
-    if (!in.is_open()) return Status::IoError("cannot read index.bin");
-    auto index = HybridIndex::Open(engine->dfs_.get(), in);
+    Result<std::string> payload = fileio::ReadFileVerified(dir + "/index.bin");
+    if (!payload.ok()) return payload.status();
+    std::istringstream in(std::move(*payload), std::ios::binary);
+    HybridIndex::Options index_base;
+    index_base.tokenizer = options.tokenizer;
+    index_base.mapreduce_workers = options.mapreduce_workers;
+    index_base.reduce_tasks = options.reduce_tasks;
+    index_base.retry = options.dfs_retry;
+    index_base.max_task_attempts = options.max_task_attempts;
+    index_base.fault_injector = options.fault_injector;
+    auto index = HybridIndex::Open(engine->dfs_.get(), in, index_base);
     if (!index.ok()) return index.status();
     engine->index_ = std::move(*index);
     engine->options_.geohash_length = engine->index_->geohash_length();
   }
-  std::ifstream in(dir + "/engine.bin", std::ios::binary);
-  if (!in.is_open()) return Status::IoError("cannot read engine.bin");
+  Result<std::string> payload = fileio::ReadFileVerified(dir + "/engine.bin");
+  if (!payload.ok()) return payload.status();
+  std::istringstream in(std::move(*payload), std::ios::binary);
   uint64_t magic = 0;
   if (!serde::ReadU64(in, &magic) || magic != kEngineMagic) {
     return Status::Corruption("not an engine image");

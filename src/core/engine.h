@@ -5,6 +5,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/fault_injector.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "core/bounds.h"
 #include "core/query.h"
@@ -44,6 +46,14 @@ class TkLusEngine {
     ScoringParams scoring;
     SimulatedDfs::Options dfs;
     TokenizerOptions tokenizer;
+    // Fault tolerance. The injector (optional, must outlive the engine) is
+    // wired into every I/O layer: DFS block reads, metadata-DB page I/O
+    // and MapReduce tasks. Transient DFS faults during postings fetches
+    // are absorbed by `dfs_retry`; failed MapReduce task attempts are
+    // re-run up to `max_task_attempts` times.
+    FaultInjector* fault_injector = nullptr;
+    RetryPolicy dfs_retry;
+    int max_task_attempts = 4;
   };
 
   // Builds every subsystem from `dataset`. The dataset is not retained.
@@ -63,10 +73,14 @@ class TkLusEngine {
   // Persists every artifact (metadata DB, DFS image with the inverted
   // index, forward index, score bounds, user location profiles,
   // vocabulary) into `dir`, from which Open can restore the engine without
-  // the original dataset.
+  // the original dataset. Each artifact is written crash-safely (temp file
+  // + fsync + rename) with a CRC32 footer; a crash mid-save never leaves a
+  // half-written artifact under its final name.
   Status Save(const std::string& dir);
 
-  // Restores an engine saved with Save. The social graph is not persisted
+  // Restores an engine saved with Save. Every artifact is checksum-
+  // verified before deserialization: byte-level damage yields kCorruption,
+  // never garbage state. The social graph is not persisted
   // (queries never consult it — bounds are persisted separately);
   // social_graph() returns an empty graph on an opened engine.
   static Result<std::unique_ptr<TkLusEngine>> Open(const std::string& dir,

@@ -10,14 +10,32 @@ Result<FederatedResult> FederatedEngine::Query(
     return Status::InvalidArgument("no platforms registered");
   }
   FederatedResult result;
+  Status first_error = Status::Ok();
   for (const Platform& platform : platforms_) {
     Result<QueryResult> partial = platform.engine->Query(query);
-    if (!partial.ok()) return partial.status();
+    if (!partial.ok()) {
+      if (options_.strict) return partial.status();
+      // Degrade: record the failure, keep merging the survivors.
+      if (first_error.ok()) first_error = partial.status();
+      result.outcomes.push_back(
+          PlatformOutcome{platform.name, partial.status(), QueryStats{}});
+      result.platform_stats.emplace_back();
+      result.degraded = true;
+      continue;
+    }
+    result.outcomes.push_back(
+        PlatformOutcome{platform.name, Status::Ok(), partial->stats});
     result.platform_stats.push_back(partial->stats);
     for (const RankedUser& user : partial->users) {
       result.users.push_back(
           FederatedUser{platform.name, user.uid, user.score});
     }
+  }
+  if (result.platforms_ok() == 0) {
+    // Nothing survived: a degraded-but-empty result would be
+    // indistinguishable from "no local users"; fail loudly instead.
+    return Status::Unavailable("all platforms failed: " +
+                               first_error.message());
   }
   std::sort(result.users.begin(), result.users.end(),
             [](const FederatedUser& a, const FederatedUser& b) {

@@ -28,15 +28,48 @@ struct FederatedUser {
   double score = 0.0;
 };
 
+// What happened on one platform during a federated query. `status` is OK
+// when the platform contributed results; on failure `stats` is
+// default-initialized.
+struct PlatformOutcome {
+  std::string platform;
+  Status status = Status::Ok();
+  QueryStats stats;
+};
+
 struct FederatedResult {
   std::vector<FederatedUser> users;  // descending score, at most k
-  // Per-platform query stats, index-aligned with the platform list.
+  // Per-platform query stats, index-aligned with the platform list. On a
+  // degraded result, failed platforms carry default stats; consult
+  // `outcomes` for their errors.
   std::vector<QueryStats> platform_stats;
+  // Per-platform status + stats, index-aligned with the platform list.
+  std::vector<PlatformOutcome> outcomes;
+  // True when at least one platform failed and `users` merges only the
+  // surviving platforms.
+  bool degraded = false;
+
+  size_t platforms_ok() const {
+    size_t n = 0;
+    for (const PlatformOutcome& o : outcomes) n += o.status.ok() ? 1 : 0;
+    return n;
+  }
+  size_t platforms_failed() const { return outcomes.size() - platforms_ok(); }
 };
 
 class FederatedEngine {
  public:
+  struct Options {
+    // Degraded mode (default): a failing platform is recorded in
+    // `FederatedResult::outcomes` and the merge continues over the
+    // survivors; the query only fails when every platform fails. Strict
+    // mode: the first platform error fails the whole query (the pre-
+    // fault-tolerance behavior).
+    bool strict = false;
+  };
+
   FederatedEngine() = default;
+  explicit FederatedEngine(Options options) : options_(options) {}
 
   // Registers a platform. The engine must outlive the federation.
   void AddPlatform(std::string name, TkLusEngine* engine) {
@@ -44,9 +77,13 @@ class FederatedEngine {
   }
 
   size_t platform_count() const { return platforms_.size(); }
+  const Options& options() const { return options_; }
 
   // Fans the query out to every platform (each asked for its own top-k)
-  // and merges by score.
+  // and merges by score. A platform whose query fails degrades the result
+  // (see Options::strict) instead of failing it, so one dead data node
+  // never silences the other networks. When every platform fails, returns
+  // kUnavailable carrying the first error.
   Result<FederatedResult> Query(const TkLusQuery& query) const;
 
  private:
@@ -54,6 +91,7 @@ class FederatedEngine {
     std::string name;
     TkLusEngine* engine;
   };
+  Options options_;
   std::vector<Platform> platforms_;
 };
 

@@ -86,6 +86,11 @@ struct QueryStats {
   size_t threads_pruned = 0;    // Alg. 5 line 19 skips
   uint64_t db_page_reads = 0;   // metadata DB physical reads
   uint64_t dfs_block_reads = 0; // postings fetch reads
+  // Fault-tolerance accounting: DFS reads re-issued after a transient
+  // fault, and faults the injector raised during this query (both zero
+  // outside fault-injection runs).
+  uint64_t dfs_read_retries = 0;
+  uint64_t injected_faults = 0;
   double elapsed_ms = 0.0;
 };
 

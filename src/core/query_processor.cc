@@ -52,6 +52,11 @@ uint64_t DfsBlockReads(const SimulatedDfs* dfs) {
   return reads;
 }
 
+uint64_t InjectedFaults(const SimulatedDfs* dfs) {
+  const FaultInjector* injector = dfs->fault_injector();
+  return injector == nullptr ? 0 : injector->total_injected();
+}
+
 }  // namespace
 
 std::vector<std::string> QueryProcessor::NormalizeKeywords(
@@ -106,6 +111,8 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
   QueryStats& stats = result.stats;
   const uint64_t db_reads_before = db_->disk().stats().page_reads;
   const uint64_t dfs_reads_before = DfsBlockReads(index_->dfs());
+  const uint64_t retries_before = index_->fetch_retries();
+  const uint64_t faults_before = InjectedFaults(index_->dfs());
 
   // Line 1: the geohash cells covering the query circle.
   const std::vector<std::string> cells = GeohashCircleCover(
@@ -241,6 +248,8 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
   result.users = std::move(ranked);
   stats.db_page_reads = db_->disk().stats().page_reads - db_reads_before;
   stats.dfs_block_reads = DfsBlockReads(index_->dfs()) - dfs_reads_before;
+  stats.dfs_read_retries = index_->fetch_retries() - retries_before;
+  stats.injected_faults = InjectedFaults(index_->dfs()) - faults_before;
   stats.elapsed_ms = timer.ElapsedMillis();
   return result;
 }
@@ -261,6 +270,8 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
   Stopwatch timer;
   TweetQueryResult result;
   QueryStats& stats = result.stats;
+  const uint64_t retries_before = index_->fetch_retries();
+  const uint64_t faults_before = InjectedFaults(index_->dfs());
 
   const std::vector<std::string> cells = GeohashCircleCover(
       query.location, query.radius_km, index_->geohash_length());
@@ -322,6 +333,8 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
   if (static_cast<int>(result.tweets.size()) > query.k) {
     result.tweets.resize(query.k);
   }
+  stats.dfs_read_retries = index_->fetch_retries() - retries_before;
+  stats.injected_faults = InjectedFaults(index_->dfs()) - faults_before;
   stats.elapsed_ms = timer.ElapsedMillis();
   return result;
 }

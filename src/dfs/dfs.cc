@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/crc32.h"
 #include "common/serde.h"
 
 namespace tklus {
@@ -12,6 +13,7 @@ SimulatedDfs::SimulatedDfs(Options options) : options_(options) {
   if (options_.num_data_nodes < 1) options_.num_data_nodes = 1;
   if (options_.block_size == 0) options_.block_size = 64 * 1024;
   nodes_.resize(options_.num_data_nodes);
+  node_down_.assign(options_.num_data_nodes, 0);
   last_block_read_.assign(options_.num_data_nodes, -2);
 }
 
@@ -32,6 +34,7 @@ Status SimulatedDfs::Append(const std::string& path, std::string_view data) {
     const size_t room = options_.block_size - tail.data.size();
     const size_t take = std::min(room, data.size() - consumed);
     tail.data.append(data.substr(consumed, take));
+    tail.crc = Crc32(tail.data.data(), tail.data.size());
     nodes_[tail.node].bytes_stored += take;
     consumed += take;
     file.size += take;
@@ -46,14 +49,12 @@ Status SimulatedDfs::ReadAt(const std::string& path, uint64_t offset,
   if (it == files_.end()) {
     return Status::NotFound("no such file: " + path);
   }
-  const File& file = it->second;
+  File& file = it->second;
   if (offset + length > file.size) {
     return Status::OutOfRange("read past EOF of " + path);
   }
-  if (read_faults_ > 0) {
-    --read_faults_;
-    return Status::IoError("injected fault: data node unavailable for " +
-                           path);
+  if (faults_ != nullptr) {
+    TKLUS_RETURN_IF_ERROR(faults_->MaybeFail(faults::kDfsRead, path));
   }
   out->clear();
   out->reserve(length);
@@ -61,7 +62,11 @@ Status SimulatedDfs::ReadAt(const std::string& path, uint64_t offset,
   uint64_t in_block = offset % options_.block_size;
   uint64_t remaining = length;
   while (remaining > 0) {
-    const Block& block = file.blocks[block_idx];
+    Block& block = file.blocks[block_idx];
+    if (node_down_[block.node]) {
+      return Status::Unavailable("data node " + std::to_string(block.node) +
+                                 " down while reading " + path);
+    }
     NodeStats& node = nodes_[block.node];
     ++node.block_reads;
     // A read is a seek unless it continues right after the previous block
@@ -71,6 +76,18 @@ Status SimulatedDfs::ReadAt(const std::string& path, uint64_t offset,
       ++node.seeks;
     }
     last_block_read_[block.node] = static_cast<int64_t>(block_idx);
+    if (faults_ != nullptr && !block.data.empty()) {
+      // At-rest corruption: the stored bytes themselves are damaged, so
+      // the checksum below (and every later read) sees the flip.
+      faults_->MaybeCorrupt(faults::kDfsRead, block.data.data(),
+                            block.data.size());
+    }
+    if (Crc32(block.data.data(), block.data.size()) != block.crc) {
+      return Status::Corruption(
+          "block checksum mismatch in " + path + " (block " +
+          std::to_string(block_idx) + " on node " +
+          std::to_string(block.node) + ")");
+    }
     const uint64_t take =
         std::min<uint64_t>(remaining, block.data.size() - in_block);
     out->append(block.data, in_block, take);
@@ -171,6 +188,7 @@ Status SimulatedDfs::Load(std::istream& in) {
     options_.num_data_nodes = static_cast<int>(num_nodes);
     files_.clear();
     nodes_.assign(options_.num_data_nodes, NodeStats{});
+    node_down_.assign(options_.num_data_nodes, 0);
     last_block_read_.assign(options_.num_data_nodes, -2);
     next_node_ = 0;
   }
@@ -203,9 +221,30 @@ size_t SimulatedDfs::file_count() const {
   return files_.size();
 }
 
-void SimulatedDfs::InjectReadFaults(int count) {
+Status SimulatedDfs::SetNodeDown(int node, bool down) {
   std::lock_guard<std::mutex> lock(mu_);
-  read_faults_ = count;
+  if (node < 0 || node >= options_.num_data_nodes) {
+    return Status::InvalidArgument("no such data node: " +
+                                   std::to_string(node));
+  }
+  node_down_[node] = down ? 1 : 0;
+  return Status::Ok();
+}
+
+bool SimulatedDfs::node_is_down(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node >= 0 && node < options_.num_data_nodes &&
+         node_down_[node] != 0;
+}
+
+void SimulatedDfs::set_fault_injector(FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_ = injector;
+}
+
+FaultInjector* SimulatedDfs::fault_injector() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
 }
 
 void SimulatedDfs::ResetStats() {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/status.h"
 
 namespace tklus {
@@ -19,6 +20,12 @@ namespace tklus {
 // total stored bytes ("index size in HDFS", Fig. 6), per-node placement,
 // and the sequential-vs-random read pattern of postings fetches ("random
 // access to inverted index in HDFS is disk-based", §VI-B1).
+//
+// Fault model: every block carries a CRC32 verified on read (at-rest
+// corruption surfaces as kCorruption, never as garbage postings); a data
+// node can be marked down (reads of its blocks fail with kUnavailable
+// until it recovers); and an attached FaultInjector can fail or corrupt
+// reads probabilistically or on schedule (site faults::kDfsRead).
 class SimulatedDfs {
  public:
   struct Options {
@@ -59,7 +66,7 @@ class SimulatedDfs {
 
   // Serializes the whole namespace + contents (options, files, data) so
   // an index built once can be reopened later. Load replaces this DFS's
-  // state; block placement is re-derived deterministically.
+  // state; block placement and checksums are re-derived deterministically.
   Status Save(std::ostream& out) const;
   Status Load(std::istream& in);
 
@@ -68,15 +75,26 @@ class SimulatedDfs {
   const std::vector<NodeStats>& node_stats() const { return nodes_; }
   void ResetStats();
 
-  // Failure injection for tests and fault-tolerance drills: the next
-  // `count` ReadAt/ReadAll calls fail with kIoError ("data node down"),
-  // then reads recover.
-  void InjectReadFaults(int count);
+  // Marks one data node dead (reads of blocks stored there return
+  // kUnavailable) or alive again. Writes still place blocks everywhere —
+  // the simulation has no replication, so a down node makes part of the
+  // namespace unreadable, exactly the degraded state federation must
+  // survive.
+  Status SetNodeDown(int node, bool down);
+  bool node_is_down(int node) const;
+
+  // Wires a shared fault injector into the read path (site
+  // faults::kDfsRead); nullptr detaches. The injector must outlive this
+  // DFS.
+  void set_fault_injector(FaultInjector* injector);
+  FaultInjector* fault_injector() const;
+
   const Options& options() const { return options_; }
 
  private:
   struct Block {
     int node = 0;
+    uint32_t crc = 0;  // CRC32 of `data`, maintained by Append
     std::string data;
   };
   struct File {
@@ -87,8 +105,9 @@ class SimulatedDfs {
   Options options_;
   std::map<std::string, File> files_;
   std::vector<NodeStats> nodes_;
+  std::vector<char> node_down_;
   int next_node_ = 0;
-  int read_faults_ = 0;
+  FaultInjector* faults_ = nullptr;
   // Last block index read per (node) — for seek accounting.
   mutable std::vector<int64_t> last_block_read_;
   mutable std::mutex mu_;

@@ -1,6 +1,7 @@
 #include "index/hybrid_index.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/serde.h"
 #include "common/stopwatch.h"
@@ -75,6 +76,8 @@ Status HybridIndex::IndexBatch(const Dataset& dataset) {
   Job::Options job_options;
   job_options.num_workers = options.mapreduce_workers;
   job_options.num_reduce_tasks = options.reduce_tasks;
+  job_options.max_task_attempts = options.max_task_attempts;
+  job_options.fault_injector = options.fault_injector;
   Job job(std::move(map_fn), std::move(reduce_fn), job_options);
   job.set_partitioner(GeohashPartitioner);
 
@@ -142,12 +145,13 @@ Status HybridIndex::Save(std::ostream& out) const {
 }
 
 Result<std::unique_ptr<HybridIndex>> HybridIndex::Open(SimulatedDfs* dfs,
-                                                       std::istream& in) {
+                                                       std::istream& in,
+                                                       Options base) {
   uint64_t magic = 0, length = 0;
   if (!serde::ReadU64(in, &magic) || magic != kIndexMagic) {
     return Status::Corruption("not a hybrid index image");
   }
-  Options options;
+  Options options = std::move(base);  // keep runtime-only settings
   std::string prefix;
   uint64_t generation = 0;
   if (!serde::ReadU64(in, &length) || !serde::ReadU64(in, &generation) ||
@@ -177,8 +181,22 @@ Result<std::vector<Posting>> HybridIndex::FetchPostings(
   std::vector<Posting> merged;
   std::string encoded;
   for (const PostingsLocation& loc : *locations) {
-    TKLUS_RETURN_IF_ERROR(
-        dfs_->ReadAt(loc.file, loc.offset, loc.length, &encoded));
+    // Retry transient DFS faults; permanent errors and corruption
+    // propagate immediately. The op key makes the backoff jitter stable
+    // for a given postings list, so fault runs replay deterministically.
+    const uint64_t op_key =
+        loc.offset ^ (std::hash<std::string>{}(loc.file) * 0x9e3779b97f4a7c15ULL);
+    RetryStats retry_stats;
+    const Status read = RetryTransient(
+        options_.retry, op_key,
+        [&] { return dfs_->ReadAt(loc.file, loc.offset, loc.length, &encoded); },
+        &retry_stats);
+    if (retry_stats.attempts > 1) {
+      fetch_retries_.fetch_add(
+          static_cast<uint64_t>(retry_stats.attempts - 1),
+          std::memory_order_relaxed);
+    }
+    TKLUS_RETURN_IF_ERROR(read);
     Result<std::vector<Posting>> postings = DecodePostings(encoded);
     if (!postings.ok()) return postings.status();
     if (merged.empty()) {

@@ -1,6 +1,7 @@
 #ifndef TKLUS_INDEX_HYBRID_INDEX_H_
 #define TKLUS_INDEX_HYBRID_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <istream>
 #include <memory>
@@ -8,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "dfs/dfs.h"
 #include "geo/point.h"
@@ -45,6 +48,15 @@ class HybridIndex {
     int reduce_tasks = 8;
     std::string dfs_prefix = "index/";
     TokenizerOptions tokenizer;
+    // Transient DFS read faults during a postings fetch are absorbed by
+    // bounded retry with exponential backoff (the paper's query path is
+    // I/O-bound on exactly these reads, §VI-B1).
+    RetryPolicy retry;
+    // Task-attempt budget for the construction MapReduce job.
+    int max_task_attempts = 4;
+    // Optional shared fault injector, forwarded to the MapReduce job
+    // (postings reads are injected at the DFS layer, not here).
+    FaultInjector* fault_injector = nullptr;
   };
 
   // Builds the index from `dataset` into `dfs` with a MapReduce job
@@ -69,9 +81,17 @@ class HybridIndex {
   // in the DFS, persisted separately via SimulatedDfs::Save).
   Status Save(std::ostream& out) const;
 
-  // Re-attaches to an index whose postings are already in `dfs`.
+  // Re-attaches to an index whose postings are already in `dfs`. `base`
+  // supplies the runtime-only options (retry policy, fault injector,
+  // tokenizer); the persisted geohash length / prefix / generation
+  // override whatever `base` carries.
   static Result<std::unique_ptr<HybridIndex>> Open(SimulatedDfs* dfs,
-                                                   std::istream& in);
+                                                   std::istream& in,
+                                                   Options base);
+  static Result<std::unique_ptr<HybridIndex>> Open(SimulatedDfs* dfs,
+                                                   std::istream& in) {
+    return Open(dfs, in, Options{});
+  }
 
   // Postings for one (geohash cell, term) pair; empty when absent. Terms
   // must already be normalized (lowercased + stemmed), as query keywords
@@ -91,6 +111,12 @@ class HybridIndex {
   int geohash_length() const { return options_.geohash_length; }
   const Options& options() const { return options_; }
 
+  // Fault-tolerance accounting for the fetch path (monotonic totals;
+  // QueryStats reports per-query deltas).
+  uint64_t fetch_retries() const {
+    return fetch_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   HybridIndex(SimulatedDfs* dfs, Options options)
       : dfs_(dfs), options_(std::move(options)) {}
@@ -104,6 +130,9 @@ class HybridIndex {
   ForwardIndex forward_;
   IndexBuildStats stats_;
   uint32_t generation_ = 0;  // next batch number
+  // DFS reads re-issued after a transient fault (FetchPostings is const
+  // and concurrent, hence atomic).
+  mutable std::atomic<uint64_t> fetch_retries_{0};
 };
 
 }  // namespace tklus

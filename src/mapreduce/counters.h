@@ -8,6 +8,14 @@
 
 namespace tklus {
 
+// Canonical counter names for the fault-tolerance bookkeeping of
+// MapReduceJob (in the style of Hadoop's TaskCounter namespace).
+namespace counter_names {
+inline constexpr char kMapTaskRetries[] = "mapreduce.map_task_retries";
+inline constexpr char kReduceTaskRetries[] = "mapreduce.reduce_task_retries";
+inline constexpr char kTasksFailed[] = "mapreduce.tasks_failed";
+}  // namespace counter_names
+
 // Thread-safe named counters, in the style of Hadoop job counters.
 class Counters {
  public:

@@ -4,11 +4,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "mapreduce/counters.h"
@@ -24,6 +27,16 @@ namespace tklus {
 // K must be hashable via the Partitioner (default std::hash) and totally
 // ordered via operator< (the shuffle sorts each partition by key — the
 // property the paper relies on for contiguous geohash-prefix placement).
+//
+// Fault tolerance mirrors Hadoop's task-attempt model: each map split and
+// each reduce partition is a *task* executed in an attempt loop. A task
+// attempt fails when the user function throws or an attached FaultInjector
+// fires (sites faults::kMapTask / faults::kReduceTask); its partial output
+// is discarded and the task re-executes, up to Options::max_task_attempts
+// total tries. Only then does the whole job fail, cleanly, with the task's
+// last error. Retries require V (and the inputs) to be copyable, since a
+// reduce attempt that may be retried cannot consume its values
+// destructively. Counters (counter_names::*) record retried/failed tasks.
 template <typename Input, typename K, typename V, typename OutK = K,
           typename OutV = V>
 class MapReduceJob {
@@ -46,6 +59,11 @@ class MapReduceJob {
     int num_reduce_tasks = 8;
     // Inputs per map task (split granularity).
     size_t split_size = 4096;
+    // Total tries per task before the job fails (Hadoop's
+    // mapreduce.map.maxattempts, default 4). <= 1 disables retry.
+    int max_task_attempts = 4;
+    // Optional shared fault injector consulted once per task attempt.
+    FaultInjector* fault_injector = nullptr;
   };
 
   struct Stats {
@@ -94,10 +112,24 @@ class MapReduceJob {
     }
     const int R = options_.num_reduce_tasks;
     const int W = options_.num_workers;
+    const int max_attempts = std::max(1, options_.max_task_attempts);
     stats_ = Stats{};
     Stopwatch phase;
 
-    // ---- Map phase: workers pull splits, emit into per-worker partitions.
+    // Job abort machinery: the first task to exhaust its attempts records
+    // its error and flips `abort`; every worker then drains out.
+    std::atomic<bool> abort{false};
+    Status first_error;
+    std::mutex error_mu;
+    const auto record_error = [&](Status status) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = std::move(status);
+      abort.store(true, std::memory_order_relaxed);
+    };
+
+    // ---- Map phase: workers pull splits (= map tasks). Each task buffers
+    // its emits locally and only merges them into the worker's partitions
+    // on success, so a failed attempt leaves no partial output behind.
     std::vector<std::vector<std::vector<std::pair<K, V>>>> worker_parts(
         W, std::vector<std::vector<std::pair<K, V>>>(R));
     const size_t num_splits =
@@ -110,29 +142,55 @@ class MapReduceJob {
       for (int w = 0; w < W; ++w) {
         workers.emplace_back([&, w] {
           auto& parts = worker_parts[w];
+          std::vector<std::vector<std::pair<K, V>>> task_parts(R);
           const Emit emit = [&](K key, V value) {
             const int p = partitioner_(key, R);
-            parts[p].emplace_back(std::move(key), std::move(value));
-            map_out.fetch_add(1, std::memory_order_relaxed);
+            task_parts[p].emplace_back(std::move(key), std::move(value));
           };
-          while (true) {
+          while (!abort.load(std::memory_order_relaxed)) {
             const size_t split = next_split.fetch_add(1);
             if (split >= num_splits) break;
             const size_t begin = split * options_.split_size;
             const size_t end =
                 std::min(inputs.size(), begin + options_.split_size);
-            for (size_t i = begin; i < end; ++i) {
-              map_fn_(inputs[i], emit);
-              map_in.fetch_add(1, std::memory_order_relaxed);
+            bool done = false;
+            for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+              if (attempt > 1) {
+                counters_.Increment(counter_names::kMapTaskRetries);
+              }
+              for (auto& part : task_parts) part.clear();
+              Status status = RunMapAttempt(inputs, begin, end, split, emit);
+              if (status.ok()) {
+                done = true;
+                break;
+              }
+              if (attempt == max_attempts) {
+                counters_.Increment(counter_names::kTasksFailed);
+                record_error(Status(
+                    status.code(),
+                    "map task " + std::to_string(split) + " failed after " +
+                        std::to_string(max_attempts) + " attempts: " +
+                        status.message()));
+              }
             }
+            if (!done) break;
+            for (int p = 0; p < R; ++p) {
+              auto& chunk = task_parts[p];
+              map_out.fetch_add(chunk.size(), std::memory_order_relaxed);
+              std::move(chunk.begin(), chunk.end(),
+                        std::back_inserter(parts[p]));
+              chunk.clear();
+            }
+            map_in.fetch_add(end - begin, std::memory_order_relaxed);
           }
-          if (combiner_) {
+          if (combiner_ && !abort.load(std::memory_order_relaxed)) {
             RunCombiner(&parts);
           }
         });
       }
       for (std::thread& t : workers) t.join();
     }
+    if (abort.load()) return first_error;
     stats_.map_input_records = map_in.load();
     stats_.map_output_records = map_out.load();
     stats_.map_seconds = phase.ElapsedSeconds();
@@ -172,7 +230,10 @@ class MapReduceJob {
     }
     stats_.shuffle_seconds = phase.ElapsedSeconds();
 
-    // ---- Reduce phase: group consecutive equal keys, reduce each group.
+    // ---- Reduce phase: one task per partition, with the same attempt
+    // loop. A retried attempt starts from cleared output and re-copies its
+    // values; only an attempt that cannot be retried (the last permitted
+    // one) is allowed to move values destructively.
     phase.Restart();
     std::vector<std::vector<std::pair<OutK, OutV>>> outputs(R);
     {
@@ -182,31 +243,38 @@ class MapReduceJob {
       workers.reserve(W);
       for (int w = 0; w < W; ++w) {
         workers.emplace_back([&] {
-          while (true) {
+          while (!abort.load(std::memory_order_relaxed)) {
             const int p = next_part.fetch_add(1);
             if (p >= R) break;
             auto& part = partitions[p];
             auto& out = outputs[p];
-            const OutEmit emit = [&](OutK key, OutV value) {
-              out.emplace_back(std::move(key), std::move(value));
-              out_records.fetch_add(1, std::memory_order_relaxed);
-            };
-            size_t i = 0;
-            std::vector<V> values;
-            while (i < part.size()) {
-              size_t j = i + 1;
-              while (j < part.size() && !(part[i].first < part[j].first)) {
-                ++j;
+            uint64_t task_groups = 0;
+            bool done = false;
+            for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+              if (attempt > 1) {
+                counters_.Increment(counter_names::kReduceTaskRetries);
               }
-              values.clear();
-              values.reserve(j - i);
-              for (size_t v = i; v < j; ++v) {
-                values.push_back(std::move(part[v].second));
+              out.clear();
+              task_groups = 0;
+              Status status = RunReduceAttempt(
+                  part, p, /*may_retry=*/attempt < max_attempts, &out,
+                  &task_groups);
+              if (status.ok()) {
+                done = true;
+                break;
               }
-              reduce_fn_(part[i].first, values, emit);
-              groups.fetch_add(1, std::memory_order_relaxed);
-              i = j;
+              if (attempt == max_attempts) {
+                counters_.Increment(counter_names::kTasksFailed);
+                record_error(Status(
+                    status.code(),
+                    "reduce task " + std::to_string(p) + " failed after " +
+                        std::to_string(max_attempts) + " attempts: " +
+                        status.message()));
+              }
             }
+            if (!done) break;
+            groups.fetch_add(task_groups, std::memory_order_relaxed);
+            out_records.fetch_add(out.size(), std::memory_order_relaxed);
             part.clear();
             part.shrink_to_fit();
           }
@@ -216,6 +284,7 @@ class MapReduceJob {
       stats_.reduce_groups = groups.load();
       stats_.output_records = out_records.load();
     }
+    if (abort.load()) return first_error;
     stats_.reduce_seconds = phase.ElapsedSeconds();
     return outputs;
   }
@@ -225,6 +294,69 @@ class MapReduceJob {
   const Options& options() const { return options_; }
 
  private:
+  // One attempt of the map task covering inputs [begin, end). Failures
+  // come from the fault injector (simulated node loss) or from the user
+  // map function throwing; either way the caller discards this attempt's
+  // buffered emits and decides whether to retry.
+  Status RunMapAttempt(const std::vector<Input>& inputs, size_t begin,
+                       size_t end, size_t split, const Emit& emit) {
+    if (options_.fault_injector != nullptr) {
+      TKLUS_RETURN_IF_ERROR(options_.fault_injector->MaybeFail(
+          faults::kMapTask, "split " + std::to_string(split)));
+    }
+    try {
+      for (size_t i = begin; i < end; ++i) {
+        map_fn_(inputs[i], emit);
+      }
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("map function threw: ") + e.what());
+    }
+    return Status::Ok();
+  }
+
+  // One attempt of the reduce task for partition `p`: group consecutive
+  // equal keys and reduce each group into `out`. While the task may still
+  // be retried the values are copied out of `part`, so a failed attempt
+  // leaves the partition intact for the next one.
+  Status RunReduceAttempt(std::vector<std::pair<K, V>>& part, int p,
+                          bool may_retry,
+                          std::vector<std::pair<OutK, OutV>>* out,
+                          uint64_t* task_groups) {
+    if (options_.fault_injector != nullptr) {
+      TKLUS_RETURN_IF_ERROR(options_.fault_injector->MaybeFail(
+          faults::kReduceTask, "partition " + std::to_string(p)));
+    }
+    const OutEmit emit = [out](OutK key, OutV value) {
+      out->emplace_back(std::move(key), std::move(value));
+    };
+    try {
+      size_t i = 0;
+      std::vector<V> values;
+      while (i < part.size()) {
+        size_t j = i + 1;
+        while (j < part.size() && !(part[i].first < part[j].first)) {
+          ++j;
+        }
+        values.clear();
+        values.reserve(j - i);
+        for (size_t v = i; v < j; ++v) {
+          if (may_retry) {
+            values.push_back(part[v].second);
+          } else {
+            values.push_back(std::move(part[v].second));
+          }
+        }
+        reduce_fn_(part[i].first, values, emit);
+        ++*task_groups;
+        i = j;
+      }
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("reduce function threw: ") +
+                              e.what());
+    }
+    return Status::Ok();
+  }
+
   // Sort each partition buffer and collapse equal keys through the
   // combiner (per worker, mirroring Hadoop's per-map-task combine).
   void RunCombiner(std::vector<std::vector<std::pair<K, V>>>* parts) {

@@ -1,8 +1,27 @@
 #include "storage/disk_manager.h"
 
+#include <cstring>
 #include <filesystem>
 
+#include "common/crc32.h"
+#include "common/file_io.h"
+#include "common/serde.h"
+
 namespace tklus {
+
+namespace {
+
+uint32_t ZeroPageCrc() {
+  static const uint32_t crc = [] {
+    const std::string zeros(kPageSize, '\0');
+    return Crc32(zeros.data(), zeros.size());
+  }();
+  return crc;
+}
+
+std::string SidecarPath(const std::string& path) { return path + ".crc"; }
+
+}  // namespace
 
 Result<DiskManager> DiskManager::Open(const std::string& path,
                                       bool truncate) {
@@ -12,6 +31,9 @@ Result<DiskManager> DiskManager::Open(const std::string& path,
       std::ios::in | std::ios::out | std::ios::binary;
   if (truncate) {
     mode |= std::ios::trunc;
+    // A stale sidecar must not outlive the data it described.
+    std::error_code ec;
+    std::filesystem::remove(SidecarPath(path), ec);
   } else if (!std::filesystem::exists(path)) {
     // Opening an existing database must not create one as a side effect.
     return Status::NotFound("no such database file: " + path);
@@ -23,6 +45,32 @@ Result<DiskManager> DiskManager::Open(const std::string& path,
   dm.file_.seekg(0, std::ios::end);
   const auto size = static_cast<uint64_t>(dm.file_.tellg());
   dm.next_page_id_ = static_cast<PageId>(size / kPageSize);
+
+  if (!truncate) {
+    Result<std::string> sidecar =
+        fileio::ReadFileVerified(SidecarPath(path));
+    if (sidecar.ok()) {
+      const std::string& bytes = *sidecar;
+      uint64_t count = 0;
+      if (bytes.size() < 8) {
+        return Status::Corruption("truncated checksum sidecar for " + path);
+      }
+      std::memcpy(&count, bytes.data(), 8);
+      if (count != static_cast<uint64_t>(dm.next_page_id_) ||
+          bytes.size() != 8 + count * 4) {
+        return Status::Corruption("checksum sidecar for " + path +
+                                  " does not match the database size");
+      }
+      dm.page_crc_.resize(count);
+      std::memcpy(dm.page_crc_.data(), bytes.data() + 8, count * 4);
+    } else if (sidecar.status().code() == StatusCode::kNotFound) {
+      // Pre-checksum database file: readable, but unverifiable.
+      dm.verify_checksums_ = false;
+    } else {
+      // The sidecar exists but is itself damaged.
+      return sidecar.status();
+    }
+  }
   return dm;
 }
 
@@ -30,12 +78,19 @@ DiskManager::~DiskManager() {
   if (file_.is_open()) file_.close();
 }
 
-PageId DiskManager::AllocatePage() { return next_page_id_++; }
+PageId DiskManager::AllocatePage() {
+  if (verify_checksums_) page_crc_.push_back(ZeroPageCrc());
+  return next_page_id_++;
+}
 
 Status DiskManager::ReadPage(PageId page_id, char* out) {
   if (page_id < 0 || page_id >= next_page_id_) {
     return Status::OutOfRange("read of unallocated page " +
                               std::to_string(page_id));
+  }
+  if (faults_ != nullptr) {
+    TKLUS_RETURN_IF_ERROR(faults_->MaybeFail(
+        faults::kDiskRead, path_ + " page " + std::to_string(page_id)));
   }
   file_.seekg(static_cast<std::streamoff>(page_id) * kPageSize);
   file_.read(out, kPageSize);
@@ -48,6 +103,16 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
     return Status::IoError("short read on page " + std::to_string(page_id));
   }
   ++stats_.page_reads;
+  if (faults_ != nullptr) {
+    faults_->MaybeCorrupt(faults::kDiskRead, out, kPageSize);
+  }
+  if (verify_checksums_ &&
+      static_cast<size_t>(page_id) < page_crc_.size() &&
+      Crc32(out, kPageSize) != page_crc_[page_id]) {
+    ++stats_.checksum_failures;
+    return Status::Corruption("page checksum mismatch on page " +
+                              std::to_string(page_id) + " of " + path_);
+  }
   return Status::Ok();
 }
 
@@ -56,14 +121,48 @@ Status DiskManager::WritePage(PageId page_id, const char* data) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(page_id));
   }
+  if (faults_ != nullptr) {
+    TKLUS_RETURN_IF_ERROR(faults_->MaybeFail(
+        faults::kDiskWrite, path_ + " page " + std::to_string(page_id)));
+  }
+  // The checksum always describes the *intended* bytes, so an injected
+  // torn write (corrupted below, after the CRC is recorded) is caught by
+  // the next read of this page.
+  if (verify_checksums_) {
+    if (static_cast<size_t>(page_id) >= page_crc_.size()) {
+      page_crc_.resize(static_cast<size_t>(page_id) + 1, ZeroPageCrc());
+    }
+    page_crc_[page_id] = Crc32(data, kPageSize);
+  }
+  const char* to_write = data;
+  char torn[kPageSize];
+  if (faults_ != nullptr) {
+    std::memcpy(torn, data, kPageSize);
+    if (faults_->MaybeCorrupt(faults::kDiskWrite, torn, kPageSize)) {
+      to_write = torn;
+    }
+  }
   file_.seekp(static_cast<std::streamoff>(page_id) * kPageSize);
-  file_.write(data, kPageSize);
+  file_.write(to_write, kPageSize);
   if (!file_) {
     return Status::IoError("short write on page " + std::to_string(page_id));
   }
   file_.flush();
   ++stats_.page_writes;
   return Status::Ok();
+}
+
+Status DiskManager::Sync() {
+  file_.flush();
+  if (!file_) {
+    return Status::IoError("flushing database file " + path_);
+  }
+  if (!verify_checksums_) return Status::Ok();
+  std::string payload(8 + page_crc_.size() * 4, '\0');
+  const uint64_t count = page_crc_.size();
+  std::memcpy(payload.data(), &count, 8);
+  std::memcpy(payload.data() + 8, page_crc_.data(), page_crc_.size() * 4);
+  return fileio::WriteFileAtomic(SidecarPath(path_), payload);
 }
 
 }  // namespace tklus

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "common/fault_injector.h"
 #include "common/status.h"
 #include "storage/page.h"
 
@@ -13,11 +15,19 @@ namespace tklus {
 // Reads and writes fixed-size pages of a single database file and counts
 // physical I/Os. All experiments that report "I/Os" (thread construction,
 // buffer-pool ablations) read these counters.
+//
+// Integrity: every written page's CRC32 is tracked and persisted to a
+// sidecar file (`<path>.crc`, written by Sync); ReadPage re-derives the
+// CRC and returns kCorruption on any mismatch, so a flipped byte in the
+// database file is detected instead of being served as a valid row.
+// Reopening a database whose sidecar is missing (files from before
+// checksumming existed) disables verification for that file.
 class DiskManager {
  public:
   struct Stats {
     uint64_t page_reads = 0;
     uint64_t page_writes = 0;
+    uint64_t checksum_failures = 0;
   };
 
   // Creates (truncating if `truncate`) or opens the file at `path`.
@@ -36,10 +46,19 @@ class DiskManager {
   Status ReadPage(PageId page_id, char* out);
   Status WritePage(PageId page_id, const char* data);
 
+  // Flushes the data file and persists the checksum sidecar (atomically:
+  // temp + rename). Call after a batch of writes that must be reopenable.
+  Status Sync();
+
+  // Wires a shared fault injector into this file's I/O path (sites
+  // faults::kDiskRead / faults::kDiskWrite); nullptr detaches.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+
   PageId num_pages() const { return next_page_id_; }
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
   const std::string& path() const { return path_; }
+  bool verifies_checksums() const { return verify_checksums_; }
 
  private:
   DiskManager() = default;
@@ -48,6 +67,11 @@ class DiskManager {
   std::fstream file_;
   PageId next_page_id_ = 0;
   Stats stats_;
+  // CRC32 of the last data written to each page (zero-page CRC for pages
+  // allocated but never written). Empty when verification is disabled.
+  std::vector<uint32_t> page_crc_;
+  bool verify_checksums_ = true;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace tklus

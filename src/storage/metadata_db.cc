@@ -22,6 +22,7 @@ Result<std::unique_ptr<MetadataDb>> MetadataDb::Create(
   Result<DiskManager> disk = DiskManager::Open(path, /*truncate=*/true);
   if (!disk.ok()) return disk.status();
   db->disk_ = std::make_unique<DiskManager>(std::move(*disk));
+  db->disk_->set_fault_injector(options.fault_injector);
   db->pool_ =
       std::make_unique<BufferPool>(db->disk_.get(), options.buffer_pool_pages);
 
@@ -57,6 +58,7 @@ Result<std::unique_ptr<MetadataDb>> MetadataDb::Open(const std::string& path,
     return Status::Corruption("empty database file: " + path);
   }
   db->disk_ = std::make_unique<DiskManager>(std::move(*disk));
+  db->disk_->set_fault_injector(options.fault_injector);
   db->pool_ =
       std::make_unique<BufferPool>(db->disk_.get(), options.buffer_pool_pages);
   Result<Page*> header = db->pool_->FetchPage(0);
@@ -92,7 +94,10 @@ Status MetadataDb::FlushAll() {
   h->WriteAt<int64_t>(kHeapLastOff, heap_->last_page());
   h->WriteAt<uint64_t>(kRowCountOff, heap_->record_count());
   TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(0, /*dirty=*/true));
-  return pool_->FlushAll();
+  TKLUS_RETURN_IF_ERROR(pool_->FlushAll());
+  // Persist the page-checksum sidecar alongside the flushed pages so a
+  // reopen verifies exactly what was written.
+  return disk_->Sync();
 }
 
 Status MetadataDb::Insert(const TweetMeta& row) {

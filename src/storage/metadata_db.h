@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/status.h"
 #include "storage/bplus_tree.h"
 #include "storage/buffer_pool.h"
@@ -40,6 +41,9 @@ class MetadataDb {
  public:
   struct Options {
     size_t buffer_pool_pages = 1024;  // 4 MiB default
+    // Optional shared fault injector wired into the page I/O path (sites
+    // faults::kDiskRead / faults::kDiskWrite). Must outlive the database.
+    FaultInjector* fault_injector = nullptr;
   };
 
   // Creates an empty database backed by `path` (truncated).

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
+#include "common/fault_injector.h"
 #include "dfs/dfs.h"
 
 namespace tklus {
@@ -106,6 +108,86 @@ TEST(DfsTest, EmptyAppendIsNoop) {
   Result<uint64_t> size = dfs.FileSize("f");
   ASSERT_TRUE(size.ok());
   EXPECT_EQ(*size, 0u);
+}
+
+// ---------------------------------------------------------- fault model
+
+TEST(DfsFaultTest, DownNodeMakesItsBlocksUnavailable) {
+  SimulatedDfs::Options opts;
+  opts.block_size = 4;
+  opts.num_data_nodes = 2;
+  SimulatedDfs dfs(opts);
+  // Blocks alternate node 0, 1, 0, 1: "aaaa" on 0, "bbbb" on 1, ...
+  ASSERT_TRUE(dfs.Append("f", "aaaabbbbcccc").ok());
+
+  ASSERT_TRUE(dfs.SetNodeDown(1, true).ok());
+  EXPECT_TRUE(dfs.node_is_down(1));
+  // A read confined to node-0 blocks still works.
+  std::string out;
+  EXPECT_TRUE(dfs.ReadAt("f", 0, 4, &out).ok());
+  EXPECT_EQ(out, "aaaa");
+  // A read touching a node-1 block is unavailable, not an I/O error.
+  Status blocked = dfs.ReadAt("f", 4, 4, &out);
+  EXPECT_EQ(blocked.code(), StatusCode::kUnavailable);
+
+  // Recovery restores the data unchanged.
+  ASSERT_TRUE(dfs.SetNodeDown(1, false).ok());
+  ASSERT_TRUE(dfs.ReadAt("f", 0, 12, &out).ok());
+  EXPECT_EQ(out, "aaaabbbbcccc");
+
+  EXPECT_FALSE(dfs.SetNodeDown(7, true).ok());  // no such node
+}
+
+TEST(DfsFaultTest, AtRestCorruptionFailsChecksum) {
+  SimulatedDfs dfs;
+  FaultInjector injector(/*seed=*/31);
+  dfs.set_fault_injector(&injector);
+  ASSERT_TRUE(dfs.Append("f", "some postings bytes").ok());
+
+  std::string out;
+  ASSERT_TRUE(dfs.ReadAt("f", 0, 4, &out).ok());
+
+  // Corrupt the stored block: every subsequent read of it fails with
+  // kCorruption (the damage is at rest, not transient).
+  injector.FailNext(faults::kDfsRead, FaultKind::kCorruption, 1);
+  EXPECT_EQ(dfs.ReadAt("f", 0, 4, &out).code(), StatusCode::kCorruption);
+  EXPECT_EQ(dfs.ReadAt("f", 0, 4, &out).code(), StatusCode::kCorruption);
+}
+
+TEST(DfsFaultTest, InjectedReadFaultsCarryTheirCodes) {
+  SimulatedDfs dfs;
+  FaultInjector injector(/*seed=*/33);
+  dfs.set_fault_injector(&injector);
+  ASSERT_TRUE(dfs.Append("f", "payload").ok());
+
+  std::string out;
+  injector.FailNext(faults::kDfsRead, FaultKind::kTransient, 1);
+  EXPECT_EQ(dfs.ReadAt("f", 0, 7, &out).code(), StatusCode::kUnavailable);
+  injector.FailNext(faults::kDfsRead, FaultKind::kPermanent, 1);
+  EXPECT_EQ(dfs.ReadAt("f", 0, 7, &out).code(), StatusCode::kIoError);
+  EXPECT_TRUE(dfs.ReadAt("f", 0, 7, &out).ok());
+  EXPECT_EQ(out, "payload");
+}
+
+TEST(DfsFaultTest, LoadResetsDownNodesAndChecksums) {
+  SimulatedDfs::Options opts;
+  opts.block_size = 8;
+  SimulatedDfs dfs(opts);
+  ASSERT_TRUE(dfs.Append("f", "0123456789abcdef").ok());
+  ASSERT_TRUE(dfs.SetNodeDown(0, true).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(dfs.Save(buffer).ok());
+  SimulatedDfs restored;
+  ASSERT_TRUE(restored.Load(buffer).ok());
+  // Node state is runtime-only: a restored DFS starts healthy, and the
+  // re-derived block checksums verify.
+  for (int n = 0; n < restored.options().num_data_nodes; ++n) {
+    EXPECT_FALSE(restored.node_is_down(n));
+  }
+  std::string out;
+  ASSERT_TRUE(restored.ReadAt("f", 0, 16, &out).ok());
+  EXPECT_EQ(out, "0123456789abcdef");
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "core/engine.h"
 #include "datagen/tweet_generator.h"
 #include "dfs/dfs.h"
@@ -9,6 +10,9 @@ namespace {
 
 using datagen::TweetGenerator;
 
+// End-to-end fault injection through the whole engine stack: a shared
+// seeded FaultInjector is wired into the DFS read path at Build time and
+// driven per test. Fault rules are cleared after every test.
 class FaultInjectionTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -17,15 +21,27 @@ class FaultInjectionTest : public ::testing::Test {
     gen.num_tweets = 5000;
     gen.num_cities = 3;
     corpus_ = new datagen::GeneratedCorpus(TweetGenerator::Generate(gen));
-    auto engine = TkLusEngine::Build(corpus_->dataset);
-    ASSERT_TRUE(engine.ok());
+    injector_ = new FaultInjector(/*seed=*/42);
+    TkLusEngine::Options options;
+    options.fault_injector = injector_;
+    auto engine = TkLusEngine::Build(corpus_->dataset, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
     engine_ = engine->release();
   }
   static void TearDownTestSuite() {
     delete engine_;
+    delete injector_;
     delete corpus_;
     engine_ = nullptr;
+    injector_ = nullptr;
     corpus_ = nullptr;
+  }
+
+  void TearDown() override {
+    injector_->Clear();
+    for (int n = 0; n < engine_->dfs().options().num_data_nodes; ++n) {
+      ASSERT_TRUE(engine_->dfs().SetNodeDown(n, false).ok());
+    }
   }
 
   static TkLusQuery HotelQuery() {
@@ -38,26 +54,29 @@ class FaultInjectionTest : public ::testing::Test {
   }
 
   static datagen::GeneratedCorpus* corpus_;
+  static FaultInjector* injector_;
   static TkLusEngine* engine_;
 };
 
 datagen::GeneratedCorpus* FaultInjectionTest::corpus_ = nullptr;
+FaultInjector* FaultInjectionTest::injector_ = nullptr;
 TkLusEngine* FaultInjectionTest::engine_ = nullptr;
 
-TEST_F(FaultInjectionTest, DfsReadFaultSurfacesAsIoError) {
+TEST_F(FaultInjectionTest, PermanentDfsFaultSurfacesAsIoError) {
   // Sanity: the query works.
   auto ok_result = engine_->Query(HotelQuery());
   ASSERT_TRUE(ok_result.ok());
   ASSERT_FALSE(ok_result->users.empty());
 
-  // A dead "data node" fails the postings fetch; the error propagates as a
-  // Status, not a crash or a silent empty result.
-  engine_->dfs().InjectReadFaults(1);
+  // A permanent fault fails the postings fetch; retry does not mask it and
+  // the error propagates as a Status, not a crash or a silent empty
+  // result.
+  injector_->FailNext(faults::kDfsRead, FaultKind::kPermanent, 1);
   auto faulty = engine_->Query(HotelQuery());
   ASSERT_FALSE(faulty.ok());
   EXPECT_EQ(faulty.status().code(), StatusCode::kIoError);
 
-  // The node "recovers": the same query succeeds again with the same
+  // The fault was one-shot: the same query succeeds again with the same
   // answer.
   auto recovered = engine_->Query(HotelQuery());
   ASSERT_TRUE(recovered.ok());
@@ -67,14 +86,100 @@ TEST_F(FaultInjectionTest, DfsReadFaultSurfacesAsIoError) {
   }
 }
 
-TEST_F(FaultInjectionTest, SustainedFaultsFailEveryQuery) {
-  engine_->dfs().InjectReadFaults(100);
-  for (int i = 0; i < 3; ++i) {
-    EXPECT_FALSE(engine_->Query(HotelQuery()).ok());
+TEST_F(FaultInjectionTest, TransientFaultsAreRetriedAway) {
+  auto baseline = engine_->Query(HotelQuery());
+  ASSERT_TRUE(baseline.ok());
+
+  // Two consecutive transient faults on the first postings read: both are
+  // absorbed by the bounded retry (default budget 4 attempts) and the
+  // query still succeeds, with the retries visible in the stats.
+  injector_->FailNext(faults::kDfsRead, FaultKind::kTransient, 2);
+  auto retried = engine_->Query(HotelQuery());
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_GE(retried->stats.dfs_read_retries, 2u);
+  EXPECT_GE(retried->stats.injected_faults, 2u);
+  ASSERT_EQ(retried->users.size(), baseline->users.size());
+  for (size_t i = 0; i < retried->users.size(); ++i) {
+    EXPECT_EQ(retried->users[i].uid, baseline->users[i].uid);
   }
-  engine_->dfs().InjectReadFaults(0);
-  // Drain any leftovers injected above (0 resets the counter).
+}
+
+TEST_F(FaultInjectionTest, SeededTransientWorkloadCompletesWithoutFailures) {
+  // The acceptance workload: a 5% transient fault rate on every DFS read.
+  // With a 4-attempt retry budget the chance a fetch exhausts its retries
+  // is 0.05^4; across this whole workload no query may fail.
+  injector_->SetFaultRate(faults::kDfsRead, FaultKind::kTransient, 0.05);
+  const std::vector<std::string> keywords = {"hotel", "pizza", "coffee",
+                                             "music", "game"};
+  int failed = 0;
+  uint64_t retries = 0;
+  for (const GeoPoint& city : corpus_->city_centers) {
+    for (const std::string& keyword : keywords) {
+      TkLusQuery q;
+      q.location = city;
+      q.radius_km = 12.0;
+      q.keywords = {keyword};
+      q.k = 5;
+      auto result = engine_->Query(q);
+      if (!result.ok()) {
+        ++failed;
+      } else {
+        retries += result->stats.dfs_read_retries;
+      }
+    }
+  }
+  EXPECT_EQ(failed, 0);
+  // The workload is large enough that some faults must have fired (and
+  // been retried) — otherwise this test would not be exercising anything.
+  EXPECT_GT(injector_->injected(faults::kDfsRead), 0u);
+  EXPECT_GT(retries, 0u);
+}
+
+TEST_F(FaultInjectionTest, SustainedPermanentFaultsFailEveryQuery) {
+  injector_->SetFaultRate(faults::kDfsRead, FaultKind::kPermanent, 1.0);
+  for (int i = 0; i < 3; ++i) {
+    auto result = engine_->Query(HotelQuery());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  }
+  injector_->Clear();
   EXPECT_TRUE(engine_->Query(HotelQuery()).ok());
+}
+
+TEST_F(FaultInjectionTest, DeadNodeYieldsUnavailableAndRecovers) {
+  // Take down every data node: whatever node holds the postings, the fetch
+  // sees kUnavailable. Retry cannot mask a node that stays down, so the
+  // query fails with kUnavailable (the signal federation degrades on).
+  for (int n = 0; n < engine_->dfs().options().num_data_nodes; ++n) {
+    ASSERT_TRUE(engine_->dfs().SetNodeDown(n, true).ok());
+  }
+  auto down = engine_->Query(HotelQuery());
+  ASSERT_FALSE(down.ok());
+  EXPECT_EQ(down.status().code(), StatusCode::kUnavailable);
+
+  // Nodes recover: the query works again.
+  for (int n = 0; n < engine_->dfs().options().num_data_nodes; ++n) {
+    ASSERT_TRUE(engine_->dfs().SetNodeDown(n, false).ok());
+  }
+  EXPECT_TRUE(engine_->Query(HotelQuery()).ok());
+}
+
+TEST_F(FaultInjectionTest, AtRestCorruptionSurfacesAsCorruption) {
+  // Corruption is at-rest (the stored block bytes are flipped), so this
+  // test builds its own throwaway engine instead of poisoning the shared
+  // one.
+  FaultInjector injector(/*seed=*/7);
+  TkLusEngine::Options options;
+  options.fault_injector = &injector;
+  auto engine = TkLusEngine::Build(corpus_->dataset, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Corrupt the bytes of the next postings read: the DFS block checksum
+  // must catch the flip and fail with kCorruption, never decode garbage.
+  injector.FailNext(faults::kDfsRead, FaultKind::kCorruption, 1);
+  auto corrupted = (*engine)->Query(HotelQuery());
+  ASSERT_FALSE(corrupted.ok());
+  EXPECT_EQ(corrupted.status().code(), StatusCode::kCorruption);
 }
 
 TEST_F(FaultInjectionTest, NoBufferPoolPinLeaksAcrossQueries) {
@@ -84,13 +189,13 @@ TEST_F(FaultInjectionTest, NoBufferPoolPinLeaksAcrossQueries) {
     (void)engine_->Query(HotelQuery());
     EXPECT_EQ(engine_->metadata_db().buffer_pool().PinnedCount(), 0u);
   }
-  engine_->dfs().InjectReadFaults(1);
+  injector_->FailNext(faults::kDfsRead, FaultKind::kPermanent, 1);
   (void)engine_->Query(HotelQuery());
   EXPECT_EQ(engine_->metadata_db().buffer_pool().PinnedCount(), 0u);
 }
 
 TEST_F(FaultInjectionTest, TweetSearchAlsoPropagatesFaults) {
-  engine_->dfs().InjectReadFaults(1);
+  injector_->FailNext(faults::kDfsRead, FaultKind::kPermanent, 1);
   auto result = engine_->QueryTweets(HotelQuery());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/fault_injector.h"
+#include "common/file_io.h"
+#include "common/retry.h"
+
+namespace tklus {
+namespace {
+
+// ---------------------------------------------------------------- CRC32
+
+TEST(Crc32Test, MatchesIeeeCheckValue) {
+  // The canonical CRC-32/IEEE check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0u), 0u);
+}
+
+TEST(Crc32Test, IncrementalEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t first = Crc32(data.substr(0, split));
+    const uint32_t chained = Crc32(data.substr(split), first);
+    EXPECT_EQ(chained, Crc32(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(512, '\x5a');
+  const uint32_t clean = Crc32(data);
+  data[137] ^= 0x01;
+  EXPECT_NE(Crc32(data), clean);
+}
+
+// -------------------------------------------------------- FaultInjector
+
+TEST(FaultInjectorTest, ScheduledFaultsFireInOrderThenStop) {
+  FaultInjector injector(1);
+  injector.FailNext("site", FaultKind::kTransient, 1);
+  injector.FailNext("site", FaultKind::kPermanent, 1);
+
+  Status first = injector.MaybeFail("site", "op");
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable);
+  Status second = injector.MaybeFail("site", "op");
+  EXPECT_EQ(second.code(), StatusCode::kIoError);
+  EXPECT_TRUE(injector.MaybeFail("site", "op").ok());
+  EXPECT_EQ(injector.injected("site"), 2u);
+  EXPECT_EQ(injector.injected("other"), 0u);
+}
+
+TEST(FaultInjectorTest, ProbabilisticFaultsAreSeededAndDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultInjector injector(seed);
+    injector.SetFaultRate("site", FaultKind::kTransient, 0.3);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 200; ++i) {
+      outcomes.push_back(!injector.MaybeFail("site", "op").ok());
+    }
+    return outcomes;
+  };
+  // Same seed, same fault sequence; the rate is roughly honored.
+  const std::vector<bool> a = run(99);
+  EXPECT_EQ(a, run(99));
+  const int fired = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fired, 20);
+  EXPECT_LT(fired, 120);
+}
+
+TEST(FaultInjectorTest, RateZeroNeverFiresAndRateOneAlwaysFires) {
+  FaultInjector injector(3);
+  injector.SetFaultRate("site", FaultKind::kPermanent, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(injector.MaybeFail("site", "op").code(), StatusCode::kIoError);
+  }
+  injector.SetFaultRate("site", FaultKind::kPermanent, 0.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.MaybeFail("site", "op").ok());
+  }
+}
+
+TEST(FaultInjectorTest, CorruptionFlipsExactlyOneByte) {
+  FaultInjector injector(5);
+  injector.FailNext("site", FaultKind::kCorruption, 1);
+  std::string data(64, 'a');
+  const std::string original = data;
+  EXPECT_TRUE(injector.MaybeCorrupt("site", data.data(), data.size()));
+  int diffs = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != original[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1);
+  // The scheduled corruption is consumed.
+  std::string again(64, 'a');
+  EXPECT_FALSE(injector.MaybeCorrupt("site", again.data(), again.size()));
+}
+
+TEST(FaultInjectorTest, CorruptionRulesNeverFailOperations) {
+  // Corruption rules must not leak into MaybeFail: the read "succeeds" but
+  // yields damaged bytes.
+  FaultInjector injector(6);
+  injector.SetFaultRate("site", FaultKind::kCorruption, 1.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(injector.MaybeFail("site", "op").ok());
+  }
+  std::string data(16, 'x');
+  EXPECT_TRUE(injector.MaybeCorrupt("site", data.data(), data.size()));
+}
+
+TEST(FaultInjectorTest, ClearRemovesRulesButKeepsCounters) {
+  FaultInjector injector(8);
+  injector.SetFaultRate("site", FaultKind::kPermanent, 1.0);
+  EXPECT_FALSE(injector.MaybeFail("site", "op").ok());
+  injector.Clear();
+  EXPECT_TRUE(injector.MaybeFail("site", "op").ok());
+  EXPECT_EQ(injector.total_injected(), 1u);
+}
+
+// ---------------------------------------------------------- RetryPolicy
+
+TEST(RetryPolicyTest, BackoffIsDeterministicPerOpKey) {
+  RetryPolicy policy;
+  for (int retry = 1; retry <= 4; ++retry) {
+    EXPECT_DOUBLE_EQ(policy.BackoffMs(retry, 17),
+                     policy.BackoffMs(retry, 17));
+  }
+  // Different op keys jitter differently somewhere in the schedule.
+  bool any_difference = false;
+  for (int retry = 1; retry <= 4; ++retry) {
+    if (policy.BackoffMs(retry, 17) != policy.BackoffMs(retry, 18)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndIsCapped) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 4.0;
+  policy.jitter_fraction = 0.0;  // pure schedule
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(3, 0), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(4, 0), 4.0);  // capped
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinFraction) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 8.0;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_ms = 8.0;
+  policy.jitter_fraction = 0.5;
+  for (uint64_t op = 0; op < 50; ++op) {
+    const double backoff = policy.BackoffMs(1, op);
+    EXPECT_GE(backoff, 4.0);
+    EXPECT_LE(backoff, 8.0);
+  }
+}
+
+TEST(RetryTransientTest, RetriesOnlyUnavailable) {
+  RetryPolicy fast;
+  fast.base_backoff_ms = 0.0;  // no sleeping in tests
+  fast.max_backoff_ms = 0.0;
+
+  // Transient-then-success: absorbed.
+  int calls = 0;
+  RetryStats stats;
+  Status status = RetryTransient(
+      fast, 1,
+      [&calls] {
+        return ++calls < 3 ? Status::Unavailable("blip") : Status::Ok();
+      },
+      &stats);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.transient_faults, 2);
+
+  // Permanent error: returned immediately, no retry.
+  calls = 0;
+  status = RetryTransient(fast, 1, [&calls] {
+    ++calls;
+    return Status::IoError("gone");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 1);
+
+  // All attempts transient: budget exhausted, last kUnavailable surfaces.
+  calls = 0;
+  status = RetryTransient(fast, 1, [&calls] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, fast.max_attempts);
+}
+
+// -------------------------------------------------------------- file_io
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tklus_fileio_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileIoTest, RoundTripsPayload) {
+  const std::string payload("some artifact bytes\0with zeros", 30);
+  ASSERT_TRUE(fileio::WriteFileAtomic(Path("a.bin"), payload).ok());
+  auto read = fileio::ReadFileVerified(Path("a.bin"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  // No temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(Path("a.bin.tmp")));
+}
+
+TEST_F(FileIoTest, MissingFileIsNotFound) {
+  auto read = fileio::ReadFileVerified(Path("missing.bin"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FileIoTest, AnySingleByteFlipIsCorruption) {
+  const std::string payload(300, 'p');
+  ASSERT_TRUE(fileio::WriteFileAtomic(Path("b.bin"), payload).ok());
+  const auto size = std::filesystem::file_size(Path("b.bin"));
+  // Flip one byte at a sample of positions across payload and footer.
+  for (uint64_t pos = 0; pos < size; pos += 37) {
+    std::string bytes;
+    {
+      std::ifstream in(Path("b.bin"), std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    bytes[pos] ^= 0x40;
+    {
+      std::ofstream out(Path("b.bin"), std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    auto read = fileio::ReadFileVerified(Path("b.bin"));
+    ASSERT_FALSE(read.ok()) << "flip at " << pos << " went undetected";
+    EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+    // Restore for the next position.
+    bytes[pos] ^= 0x40;
+    std::ofstream out(Path("b.bin"), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_TRUE(fileio::ReadFileVerified(Path("b.bin")).ok());
+}
+
+TEST_F(FileIoTest, TruncationIsCorruption) {
+  ASSERT_TRUE(fileio::WriteFileAtomic(Path("c.bin"), "0123456789").ok());
+  std::filesystem::resize_file(Path("c.bin"), 12);  // chop into the footer
+  auto read = fileio::ReadFileVerified(Path("c.bin"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FileIoTest, RewriteReplacesAtomically) {
+  ASSERT_TRUE(fileio::WriteFileAtomic(Path("d.bin"), "old").ok());
+  ASSERT_TRUE(fileio::WriteFileAtomic(Path("d.bin"), "new contents").ok());
+  auto read = fileio::ReadFileVerified(Path("d.bin"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "new contents");
+}
+
+}  // namespace
+}  // namespace tklus

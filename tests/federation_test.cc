@@ -74,6 +74,14 @@ TEST_F(FederationTest, MergesAcrossPlatforms) {
   }
   EXPECT_TRUE(saw_weibo);
   EXPECT_EQ(result->platform_stats.size(), 2u);
+  // Healthy federation: nothing degraded, every outcome OK.
+  EXPECT_FALSE(result->degraded);
+  ASSERT_EQ(result->outcomes.size(), 2u);
+  EXPECT_EQ(result->platforms_ok(), 2u);
+  EXPECT_EQ(result->platforms_failed(), 0u);
+  for (const PlatformOutcome& outcome : result->outcomes) {
+    EXPECT_TRUE(outcome.status.ok());
+  }
 }
 
 TEST_F(FederationTest, TopUserDependsOnKeyword) {
@@ -99,6 +107,74 @@ TEST_F(FederationTest, ScoresSortedDescending) {
   for (size_t i = 1; i < result->users.size(); ++i) {
     EXPECT_GE(result->users[i - 1].score, result->users[i].score);
   }
+}
+
+// --------------------------------------------------- degraded federation
+
+// Marks every data node of `engine` dead (or alive again), making all of
+// its postings unreadable — the "one social network is down" scenario.
+void SetAllNodesDown(TkLusEngine* engine, bool down) {
+  for (int n = 0; n < engine->dfs().options().num_data_nodes; ++n) {
+    ASSERT_TRUE(engine->dfs().SetNodeDown(n, down).ok());
+  }
+}
+
+TEST_F(FederationTest, DeadPlatformDegradesInsteadOfFailing) {
+  SetAllNodesDown(engine_b_.get(), true);
+  auto result = federation_.Query(Query("cafe"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The surviving platform's users are still returned, flagged degraded.
+  EXPECT_TRUE(result->degraded);
+  EXPECT_EQ(result->platforms_ok(), 1u);
+  EXPECT_EQ(result->platforms_failed(), 1u);
+  ASSERT_FALSE(result->users.empty());
+  for (const FederatedUser& user : result->users) {
+    EXPECT_EQ(user.platform, "twitter");
+  }
+  // The dead platform's error is preserved, per platform.
+  ASSERT_EQ(result->outcomes.size(), 2u);
+  EXPECT_EQ(result->outcomes[0].platform, "twitter");
+  EXPECT_TRUE(result->outcomes[0].status.ok());
+  EXPECT_EQ(result->outcomes[1].platform, "weibo");
+  EXPECT_EQ(result->outcomes[1].status.code(), StatusCode::kUnavailable);
+  // platform_stats stays index-aligned for older callers.
+  EXPECT_EQ(result->platform_stats.size(), 2u);
+
+  // The platform recovers: back to a full, non-degraded merge.
+  SetAllNodesDown(engine_b_.get(), false);
+  auto healthy = federation_.Query(Query("cafe"));
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_FALSE(healthy->degraded);
+  EXPECT_EQ(healthy->platforms_ok(), 2u);
+}
+
+TEST_F(FederationTest, StrictModeFailsFastOnDeadPlatform) {
+  FederatedEngine::Options options;
+  options.strict = true;
+  FederatedEngine strict(options);
+  strict.AddPlatform("twitter", engine_a_.get());
+  strict.AddPlatform("weibo", engine_b_.get());
+
+  SetAllNodesDown(engine_b_.get(), true);
+  auto result = strict.Query(Query("cafe"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  SetAllNodesDown(engine_b_.get(), false);
+}
+
+TEST_F(FederationTest, AllPlatformsDeadIsAnError) {
+  // With every platform down, a degraded-but-empty result would read as
+  // "no local users"; the federation must fail loudly instead.
+  SetAllNodesDown(engine_a_.get(), true);
+  SetAllNodesDown(engine_b_.get(), true);
+  auto result = federation_.Query(Query("cafe"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("all platforms failed"),
+            std::string::npos);
+  SetAllNodesDown(engine_a_.get(), false);
+  SetAllNodesDown(engine_b_.get(), false);
 }
 
 TEST(FederationEmptyTest, NoPlatformsRejected) {

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/job.h"
 
@@ -178,6 +181,80 @@ TEST(MapReduceTest, ValuesArriveGrouped) {
     }
   }
   EXPECT_EQ(groups, 5);
+}
+
+TEST(MapReduceTest, TransientTaskFaultsAreRetriedAway) {
+  // Two transient map-task faults and one reduce-task fault: every task
+  // re-runs within its attempt budget and the job output is identical to a
+  // fault-free run.
+  std::vector<std::string> inputs(100, "x y x");
+  WordCountJob clean(WordCountMap(), SumReduce());
+  auto expected = clean.Run(inputs);
+  ASSERT_TRUE(expected.ok());
+
+  FaultInjector injector(/*seed=*/11);
+  injector.FailNext(faults::kMapTask, FaultKind::kTransient, 2);
+  injector.FailNext(faults::kReduceTask, FaultKind::kTransient, 1);
+  WordCountJob::Options opts;
+  opts.fault_injector = &injector;
+  WordCountJob job(WordCountMap(), SumReduce(), opts);
+  auto result = job.Run(inputs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Flatten(*result), Flatten(*expected));
+  EXPECT_EQ(job.counters().Get(counter_names::kMapTaskRetries), 2u);
+  EXPECT_EQ(job.counters().Get(counter_names::kReduceTaskRetries), 1u);
+  EXPECT_EQ(job.counters().Get(counter_names::kTasksFailed), 0u);
+}
+
+TEST(MapReduceTest, ThrowingMapFunctionIsRetried) {
+  // A map function that crashes on its first two calls: the task attempt
+  // discards its partial output and re-executes, so no records duplicate.
+  std::atomic<int> calls{0};
+  WordCountJob::Options opts;
+  opts.num_workers = 1;
+  WordCountJob job(
+      [&calls](const std::string& line, const WordCountJob::Emit& emit) {
+        if (calls.fetch_add(1) < 2) {
+          throw std::runtime_error("simulated worker crash");
+        }
+        WordCountMap()(line, emit);
+      },
+      SumReduce(), opts);
+  auto result = job.Run({"a b", "b"});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto counts = Flatten(*result);
+  EXPECT_EQ(counts.at("a"), 1);
+  EXPECT_EQ(counts.at("b"), 2);
+  EXPECT_EQ(job.counters().Get(counter_names::kMapTaskRetries), 2u);
+}
+
+TEST(MapReduceTest, ExhaustedTaskAttemptsFailTheJobCleanly) {
+  // A permanently failing map task: the job fails with the task's error
+  // after max_task_attempts tries, not a crash or partial output.
+  FaultInjector injector(/*seed=*/13);
+  injector.SetFaultRate(faults::kMapTask, FaultKind::kPermanent, 1.0);
+  WordCountJob::Options opts;
+  opts.fault_injector = &injector;
+  opts.max_task_attempts = 3;
+  WordCountJob job(WordCountMap(), SumReduce(), opts);
+  auto result = job.Run({"a b c", "b c", "c"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("failed after 3 attempts"),
+            std::string::npos);
+  EXPECT_GE(job.counters().Get(counter_names::kTasksFailed), 1u);
+}
+
+TEST(MapReduceTest, ExhaustedReduceAttemptsFailTheJobCleanly) {
+  FaultInjector injector(/*seed=*/17);
+  injector.SetFaultRate(faults::kReduceTask, FaultKind::kTransient, 1.0);
+  WordCountJob::Options opts;
+  opts.fault_injector = &injector;
+  WordCountJob job(WordCountMap(), SumReduce(), opts);
+  auto result = job.Run({"a b c"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("reduce task"), std::string::npos);
 }
 
 TEST(CountersTest, IncrementAndSnapshot) {

@@ -208,5 +208,101 @@ TEST_F(PersistenceTest, OpenMissingDirectoryFails) {
   EXPECT_FALSE(TkLusEngine::Open(Path("nonexistent")).ok());
 }
 
+// ------------------------------------------------ corruption round-trips
+
+class CorruptionTest : public PersistenceTest {
+ protected:
+  // Builds and saves a small engine into dir_/saved, once per test.
+  void SaveEngine() {
+    TweetGenerator::Options gen;
+    gen.num_users = 80;
+    gen.num_tweets = 1500;
+    gen.num_cities = 2;
+    const auto corpus = TweetGenerator::Generate(gen);
+    auto engine = TkLusEngine::Build(corpus.dataset);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Save(Path("saved")).ok());
+    ASSERT_TRUE(TkLusEngine::Open(Path("saved")).ok());  // sanity
+  }
+
+  // XORs one byte of `file` at `offset` (from the start; negative counts
+  // from the end).
+  void FlipByte(const std::string& file, int64_t offset) {
+    std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open()) << file;
+    f.seekg(0, std::ios::end);
+    const int64_t size = static_cast<int64_t>(f.tellg());
+    const int64_t pos = offset >= 0 ? offset : size + offset;
+    ASSERT_GE(pos, 0);
+    ASSERT_LT(pos, size);
+    f.seekg(pos);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte ^= 0x20;
+    f.seekp(pos);
+    f.write(&byte, 1);
+  }
+};
+
+TEST_F(CorruptionTest, FlippedByteInEngineImageIsCorruption) {
+  SaveEngine();
+  FlipByte(Path("saved") + "/engine.bin", 100);
+  auto reopened = TkLusEngine::Open(Path("saved"));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(CorruptionTest, FlippedByteInIndexImageIsCorruption) {
+  SaveEngine();
+  FlipByte(Path("saved") + "/index.bin", 64);
+  auto reopened = TkLusEngine::Open(Path("saved"));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(CorruptionTest, FlippedByteInDfsImageIsCorruption) {
+  SaveEngine();
+  FlipByte(Path("saved") + "/dfs.bin", 256);
+  auto reopened = TkLusEngine::Open(Path("saved"));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(CorruptionTest, FlippedFooterByteIsCorruption) {
+  // Damage to the checksum itself (the footer) must also be detected.
+  SaveEngine();
+  FlipByte(Path("saved") + "/engine.bin", -4);
+  auto reopened = TkLusEngine::Open(Path("saved"));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(CorruptionTest, FlippedByteInMetadataPageIsCorruption) {
+  // Page 0 (the database header) is read during Open; its CRC, kept in the
+  // meta.db.crc sidecar, no longer matches.
+  SaveEngine();
+  FlipByte(Path("saved") + "/meta.db", 200);
+  auto reopened = TkLusEngine::Open(Path("saved"));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(CorruptionTest, DamagedChecksumSidecarIsDetected) {
+  SaveEngine();
+  FlipByte(Path("saved") + "/meta.db.crc", 12);
+  auto reopened = TkLusEngine::Open(Path("saved"));
+  EXPECT_FALSE(reopened.ok());
+}
+
+TEST_F(CorruptionTest, TruncatedArtifactIsCorruption) {
+  SaveEngine();
+  const std::string file = Path("saved") + "/index.bin";
+  const auto size = std::filesystem::file_size(file);
+  std::filesystem::resize_file(file, size / 2);
+  auto reopened = TkLusEngine::Open(Path("saved"));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace tklus

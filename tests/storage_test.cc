@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/rng.h"
 #include "storage/bplus_tree.h"
 #include "storage/buffer_pool.h"
@@ -81,6 +83,90 @@ TEST_F(DiskManagerTest, StatsCountIos) {
 TEST_F(DiskManagerTest, BadPathFails) {
   Result<DiskManager> dm = DiskManager::Open("/nonexistent/dir/db");
   EXPECT_FALSE(dm.ok());
+}
+
+TEST_F(DiskManagerTest, InjectedFaultsSurfaceWithTheirCodes) {
+  FaultInjector injector(/*seed=*/21);
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  dm->set_fault_injector(&injector);
+  const PageId pid = dm->AllocatePage();
+  char buf[kPageSize] = {};
+  ASSERT_TRUE(dm->WritePage(pid, buf).ok());
+
+  injector.FailNext(faults::kDiskRead, FaultKind::kTransient, 1);
+  EXPECT_EQ(dm->ReadPage(pid, buf).code(), StatusCode::kUnavailable);
+  injector.FailNext(faults::kDiskRead, FaultKind::kPermanent, 1);
+  EXPECT_EQ(dm->ReadPage(pid, buf).code(), StatusCode::kIoError);
+  injector.FailNext(faults::kDiskWrite, FaultKind::kPermanent, 1);
+  EXPECT_EQ(dm->WritePage(pid, buf).code(), StatusCode::kIoError);
+  EXPECT_TRUE(dm->ReadPage(pid, buf).ok());
+}
+
+TEST_F(DiskManagerTest, TornWriteIsCaughtByTheNextRead) {
+  // The injected torn write "succeeds" but stores damaged bytes; the page
+  // checksum describes the intended bytes, so the next read detects it.
+  FaultInjector injector(/*seed=*/22);
+  Result<DiskManager> dm = DiskManager::Open(Path("db"));
+  ASSERT_TRUE(dm.ok());
+  dm->set_fault_injector(&injector);
+  const PageId pid = dm->AllocatePage();
+  char in[kPageSize], out[kPageSize];
+  for (size_t i = 0; i < kPageSize; ++i) in[i] = static_cast<char>(i * 31);
+
+  injector.FailNext(faults::kDiskWrite, FaultKind::kCorruption, 1);
+  ASSERT_TRUE(dm->WritePage(pid, in).ok());
+  EXPECT_EQ(dm->ReadPage(pid, out).code(), StatusCode::kCorruption);
+  EXPECT_EQ(dm->stats().checksum_failures, 1u);
+
+  // Rewriting the page heals it.
+  ASSERT_TRUE(dm->WritePage(pid, in).ok());
+  ASSERT_TRUE(dm->ReadPage(pid, out).ok());
+  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+}
+
+TEST_F(DiskManagerTest, OnDiskBitRotDetectedAfterReopen) {
+  const std::string path = Path("db");
+  {
+    Result<DiskManager> dm = DiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    char in[kPageSize];
+    for (size_t i = 0; i < kPageSize; ++i) in[i] = static_cast<char>(i);
+    const PageId pid = dm->AllocatePage();
+    ASSERT_TRUE(dm->WritePage(pid, in).ok());
+    ASSERT_TRUE(dm->Sync().ok());
+  }
+  // Flip one byte in the closed database file.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(1000);
+    f.put('\x7f');
+  }
+  Result<DiskManager> dm = DiskManager::Open(path, /*truncate=*/false);
+  ASSERT_TRUE(dm.ok()) << dm.status().ToString();
+  ASSERT_TRUE(dm->verifies_checksums());
+  char out[kPageSize];
+  EXPECT_EQ(dm->ReadPage(0, out).code(), StatusCode::kCorruption);
+}
+
+TEST_F(DiskManagerTest, MissingSidecarDisablesVerification) {
+  // Database files from before checksumming existed stay readable.
+  const std::string path = Path("db");
+  {
+    Result<DiskManager> dm = DiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    char in[kPageSize] = {1, 2, 3};
+    const PageId pid = dm->AllocatePage();
+    ASSERT_TRUE(dm->WritePage(pid, in).ok());
+    ASSERT_TRUE(dm->Sync().ok());
+  }
+  std::filesystem::remove(path + ".crc");
+  Result<DiskManager> dm = DiskManager::Open(path, /*truncate=*/false);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_FALSE(dm->verifies_checksums());
+  char out[kPageSize];
+  EXPECT_TRUE(dm->ReadPage(0, out).ok());
+  EXPECT_EQ(out[1], 2);
 }
 
 // ----------------------------------------------------------- buffer pool
