@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# clang-format wrapper over every C++ file in the tree (.clang-format is
+# Google-style, matching the existing code).
+#
+# Usage:
+#   scripts/format.sh          rewrite files in place
+#   scripts/format.sh --check  exit 1 if any file needs reformatting (CI)
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format: clang-format not found on PATH; skipping (install LLVM to run)"
+  # Missing tool is not a style violation: CI installs clang-format, local
+  # toolchains may not have it.
+  exit 0
+fi
+
+mode="-i"
+if [ "${1:-}" = "--check" ]; then
+  mode="--dry-run -Werror"
+fi
+
+# shellcheck disable=SC2086  # $mode intentionally splits into flags
+find src tests bench examples -name '*.h' -o -name '*.cc' -o -name '*.cpp' \
+  | grep -v 'tests/lint_fixtures/' \
+  | xargs clang-format $mode
+rc=$?
+if [ $rc -ne 0 ]; then
+  echo "format: files need reformatting (run scripts/format.sh)"
+fi
+exit $rc

@@ -6,14 +6,14 @@ namespace tklus {
 
 void FaultInjector::SetFaultRate(const std::string& site, FaultKind kind,
                                  double probability) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_[site].rate[static_cast<int>(kind)] =
       std::clamp(probability, 0.0, 1.0);
 }
 
 void FaultInjector::FailNext(const std::string& site, FaultKind kind,
                              int count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SiteRules& rules = rules_[site];
   if (kind == FaultKind::kCorruption) {
     rules.scheduled_corrupt += count;
@@ -24,18 +24,18 @@ void FaultInjector::FailNext(const std::string& site, FaultKind kind,
 }
 
 void FaultInjector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.clear();
 }
 
 void FaultInjector::ClearSite(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.erase(site);
 }
 
 Status FaultInjector::MaybeFail(const std::string& site,
                                 const std::string& detail) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = rules_.find(site);
   if (it == rules_.end()) return Status::Ok();
   SiteRules& rules = it->second;
@@ -68,7 +68,7 @@ Status FaultInjector::MaybeFail(const std::string& site,
 bool FaultInjector::MaybeCorrupt(const std::string& site, char* data,
                                  size_t len) {
   if (data == nullptr || len == 0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = rules_.find(site);
   if (it == rules_.end()) return false;
   SiteRules& rules = it->second;
@@ -85,13 +85,13 @@ bool FaultInjector::MaybeCorrupt(const std::string& site, char* data,
 }
 
 uint64_t FaultInjector::injected(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = injected_.find(site);
   return it == injected_.end() ? 0 : it->second;
 }
 
 uint64_t FaultInjector::total_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [site, count] : injected_) total += count;
   return total;

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -86,10 +86,10 @@ class FaultInjector {
     int scheduled_corrupt = 0;
   };
 
-  mutable std::mutex mu_;
-  Rng rng_;
-  std::map<std::string, SiteRules> rules_;
-  std::map<std::string, uint64_t> injected_;
+  mutable Mutex mu_;
+  Rng rng_ TKLUS_GUARDED_BY(mu_);
+  std::map<std::string, SiteRules> rules_ TKLUS_GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> injected_ TKLUS_GUARDED_BY(mu_);
 };
 
 }  // namespace tklus

@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace tklus {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_log_mutex;
+// Serializes the fprintf below so interleaved messages from concurrent
+// threads never shear mid-line. Nothing else is guarded: the sink is
+// stderr itself.
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,7 +39,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   if (fatal_ || level_ >= g_level.load()) {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(&g_log_mutex);
     // Strip directories from __FILE__ for readability.
     const char* base = file_;
     for (const char* p = file_; *p; ++p) {

@@ -31,7 +31,16 @@ const char* StatusCodeName(StatusCode code);
 // A lightweight status object in the style of absl::Status. Functions that
 // can fail return a Status (or Result<T>); exceptions are not used on
 // expected failure paths.
-class Status {
+//
+// The class itself is [[nodiscard]], so *every* function returning Status
+// (or Result<T>) is ignored-result-checked by the compiler — silently
+// dropping an error from a fallible call is a build warning, and an error
+// under TKLUS_WERROR. A call site that genuinely cannot act on the error
+// (e.g. best-effort cleanup in a destructor) must say so explicitly by
+// discarding through a named cast; scripts/lint.sh bans bare `(void)`
+// discards in favor of the self-documenting form:
+//   st.IgnoreError();
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -77,14 +86,22 @@ class Status {
   // "OK" or "IO_ERROR: <message>".
   std::string ToString() const;
 
+  // Explicitly discards the status. The only sanctioned way to drop an
+  // error: it names the intent at the call site and is greppable, unlike a
+  // bare (void) cast. Use on best-effort paths only (destructors, cleanup
+  // after a primary error).
+  void IgnoreError() const {}
+
  private:
   StatusCode code_;
   std::string message_;
 };
 
 // Result<T> carries either a value or an error Status (absl::StatusOr-like).
+// [[nodiscard]] for the same reason as Status: a discarded Result is a
+// swallowed error (and a wasted computation).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : value_(std::move(value)) {}

@@ -66,7 +66,9 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
   // Offline artifacts: social graph, corpus vocabulary, exact upper
   // bounds (maintained incrementally by the thread tracker so later
   // AppendBatch calls stay O(1) per post), per-user location profiles
-  // (Def. 9).
+  // (Def. 9). The engine is not yet published, but the fields are
+  // lock-annotated, so initialize them under the (uncontended) lock.
+  MutexLock lock(&engine->mu_);
   const Tokenizer tokenizer(options.tokenizer);
   engine->graph_ = SocialGraph::Build(dataset);
   engine->vocabulary_ = dataset.BuildVocabulary(tokenizer);
@@ -123,6 +125,7 @@ constexpr uint64_t kEngineMagic = 0x32656e69676e6554ULL;  // format v2
 }  // namespace
 
 Status TkLusEngine::AppendBatch(const Dataset& batch) {
+  MutexLock lock(&mu_);
   const Tokenizer tokenizer(options_.tokenizer);
   int64_t previous = max_sid_;
   for (const Post& p : batch.posts()) {
@@ -155,6 +158,7 @@ Status TkLusEngine::AppendBatch(const Dataset& batch) {
 }
 
 Status TkLusEngine::Save(const std::string& dir) {
+  MutexLock lock(&mu_);
   std::filesystem::create_directories(dir);
   // Metadata DB: header + dirty pages to its own file (plus the page-
   // checksum sidecar, written by FlushAll). When saving into a different
@@ -265,6 +269,9 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
   Result<std::string> payload = fileio::ReadFileVerified(dir + "/engine.bin");
   if (!payload.ok()) return payload.status();
   std::istringstream in(std::move(*payload), std::ios::binary);
+  // As in Build: the engine is private to this function, but the fields
+  // deserialized below are lock-annotated, so hold the (uncontended) lock.
+  MutexLock lock(&engine->mu_);
   uint64_t magic = 0;
   if (!serde::ReadU64(in, &magic) || magic != kEngineMagic) {
     return Status::Corruption("not an engine image");
@@ -341,10 +348,14 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
 }
 
 Result<QueryResult> TkLusEngine::Query(const TkLusQuery& query) {
+  // Exclusive, not shared: the read path mutates the metadata-DB buffer
+  // pool (LRU lists, pins), which is single-threaded by design.
+  MutexLock lock(&mu_);
   return processor_->Process(query);
 }
 
 Result<TweetQueryResult> TkLusEngine::QueryTweets(const TkLusQuery& query) {
+  MutexLock lock(&mu_);
   return processor_->ProcessTweets(query);
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/fault_injector.h"
+#include "common/mutex.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "core/bounds.h"
@@ -31,6 +32,14 @@ namespace tklus {
 //   TkLusQuery q{.location = {43.68, -79.37}, .radius_km = 10,
 //                .keywords = {"hotel"}, .k = 5};
 //   auto result = (*engine)->Query(q);
+//
+// Concurrency contract: Query, QueryTweets, AppendBatch and Save are
+// thread-safe with respect to each other — all four serialize on one
+// engine-wide mutex (the buffer pool under the metadata DB is
+// single-threaded by design, so queries cannot yet overlap; making the
+// read path shared-lock concurrent is future work this annotation layer
+// gates). The component accessors (index(), metadata_db(), dfs(), ...)
+// bypass the lock and are for benchmarks/tests on a quiescent engine only.
 class TkLusEngine {
  public:
   struct Options {
@@ -68,7 +77,7 @@ class TkLusEngine {
   // user profiles, vocabulary and the exact score bounds are all updated
   // incrementally. Batch sids must be sorted and strictly greater than
   // everything already indexed (sids are timestamps).
-  Status AppendBatch(const Dataset& batch);
+  Status AppendBatch(const Dataset& batch) TKLUS_EXCLUDES(mu_);
 
   // Persists every artifact (metadata DB, DFS image with the inverted
   // index, forward index, score bounds, user location profiles,
@@ -76,7 +85,7 @@ class TkLusEngine {
   // the original dataset. Each artifact is written crash-safely (temp file
   // + fsync + rename) with a CRC32 footer; a crash mid-save never leaves a
   // half-written artifact under its final name.
-  Status Save(const std::string& dir);
+  Status Save(const std::string& dir) TKLUS_EXCLUDES(mu_);
 
   // Restores an engine saved with Save. Every artifact is checksum-
   // verified before deserialization: byte-level damage yields kCorruption,
@@ -94,24 +103,33 @@ class TkLusEngine {
   TkLusEngine& operator=(const TkLusEngine&) = delete;
 
   // Answers one TkLUS query with its selected semantics/ranking.
-  Result<QueryResult> Query(const TkLusQuery& query);
+  Result<QueryResult> Query(const TkLusQuery& query) TKLUS_EXCLUDES(mu_);
 
   // Tweet-level top-k spatial-keyword search (the intro's "directly
   // retrieve tweets" alternative): ranks tweets, not users.
-  Result<TweetQueryResult> QueryTweets(const TkLusQuery& query);
+  Result<TweetQueryResult> QueryTweets(const TkLusQuery& query)
+      TKLUS_EXCLUDES(mu_);
 
-  // Component access for benchmarks, ablations and tests.
+  // Component access for benchmarks, ablations and tests. These bypass
+  // mu_ (hence the analysis opt-outs): callers must ensure no concurrent
+  // AppendBatch/Query is in flight.
   const HybridIndex& index() const { return *index_; }
   MetadataDb& metadata_db() { return *db_; }
-  const SocialGraph& social_graph() const { return graph_; }
-  const UpperBoundRegistry& bounds() const { return bounds_; }
-  const Vocabulary& vocabulary() const { return vocabulary_; }
+  const SocialGraph& social_graph() const TKLUS_NO_THREAD_SAFETY_ANALYSIS {
+    return graph_;
+  }
+  const UpperBoundRegistry& bounds() const TKLUS_NO_THREAD_SAFETY_ANALYSIS {
+    return bounds_;
+  }
+  const Vocabulary& vocabulary() const TKLUS_NO_THREAD_SAFETY_ANALYSIS {
+    return vocabulary_;
+  }
   SimulatedDfs& dfs() { return *dfs_; }
   QueryProcessor& processor() { return *processor_; }
   // Offline per-user location profile (all post locations per user),
   // backing the Def. 9 user distance score.
   const std::unordered_map<UserId, std::vector<GeoPoint>>& user_locations()
-      const {
+      const TKLUS_NO_THREAD_SAFETY_ANALYSIS {
     return user_locations_;
   }
   const Options& options() const { return options_; }
@@ -121,15 +139,22 @@ class TkLusEngine {
 
   Options options_;
   bool owns_working_dir_ = false;
+  // Engine-wide lock: serializes the public mutating/querying entry
+  // points (see the class comment). The unique_ptr components below are
+  // wired once during Build/Open and never reseated, so the pointers
+  // themselves need no guard; their pointees are protected by taking mu_
+  // in every public entry point that touches them.
+  mutable Mutex mu_;
   std::unique_ptr<SimulatedDfs> dfs_;
   std::unique_ptr<MetadataDb> db_;
   std::unique_ptr<HybridIndex> index_;
-  SocialGraph graph_;
-  UpperBoundRegistry bounds_;
-  Vocabulary vocabulary_;
-  ThreadTracker tracker_;
-  int64_t max_sid_ = INT64_MIN;
-  std::unordered_map<UserId, std::vector<GeoPoint>> user_locations_;
+  SocialGraph graph_ TKLUS_GUARDED_BY(mu_);
+  UpperBoundRegistry bounds_ TKLUS_GUARDED_BY(mu_);
+  Vocabulary vocabulary_ TKLUS_GUARDED_BY(mu_);
+  ThreadTracker tracker_ TKLUS_GUARDED_BY(mu_);
+  int64_t max_sid_ TKLUS_GUARDED_BY(mu_) = INT64_MIN;
+  std::unordered_map<UserId, std::vector<GeoPoint>> user_locations_
+      TKLUS_GUARDED_BY(mu_);
   std::unique_ptr<QueryProcessor> processor_;
 };
 

@@ -18,7 +18,7 @@ SimulatedDfs::SimulatedDfs(Options options) : options_(options) {
 }
 
 Status SimulatedDfs::Append(const std::string& path, std::string_view data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   File& file = files_[path];
   size_t consumed = 0;
   while (consumed < data.size()) {
@@ -44,7 +44,7 @@ Status SimulatedDfs::Append(const std::string& path, std::string_view data) {
 
 Status SimulatedDfs::ReadAt(const std::string& path, uint64_t offset,
                             uint64_t length, std::string* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound("no such file: " + path);
@@ -101,7 +101,7 @@ Status SimulatedDfs::ReadAt(const std::string& path, uint64_t offset,
 Result<std::string> SimulatedDfs::ReadAll(const std::string& path) {
   uint64_t size = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = files_.find(path);
     if (it == files_.end()) {
       return Status::NotFound("no such file: " + path);
@@ -114,12 +114,12 @@ Result<std::string> SimulatedDfs::ReadAll(const std::string& path) {
 }
 
 bool SimulatedDfs::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.count(path) > 0;
 }
 
 Status SimulatedDfs::Delete(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound("no such file: " + path);
@@ -133,7 +133,7 @@ Status SimulatedDfs::Delete(const std::string& path) {
 }
 
 Result<uint64_t> SimulatedDfs::FileSize(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound("no such file: " + path);
@@ -142,7 +142,7 @@ Result<uint64_t> SimulatedDfs::FileSize(const std::string& path) const {
 }
 
 std::vector<std::string> SimulatedDfs::List(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -156,7 +156,7 @@ constexpr uint64_t kDfsMagic = 0x73666474736b6c54ULL;  // "Tklstfds"
 }  // namespace
 
 Status SimulatedDfs::Save(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   serde::WriteU64(out, kDfsMagic);
   serde::WriteU64(out, options_.block_size);
   serde::WriteU64(out, static_cast<uint64_t>(options_.num_data_nodes));
@@ -183,7 +183,7 @@ Status SimulatedDfs::Load(std::istream& in) {
     return Status::Corruption("truncated DFS image header");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     options_.block_size = block_size;
     options_.num_data_nodes = static_cast<int>(num_nodes);
     files_.clear();
@@ -210,19 +210,24 @@ Status SimulatedDfs::Load(std::istream& in) {
 }
 
 uint64_t SimulatedDfs::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const NodeStats& node : nodes_) total += node.bytes_stored;
   return total;
 }
 
 size_t SimulatedDfs::file_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.size();
 }
 
+std::vector<SimulatedDfs::NodeStats> SimulatedDfs::node_stats() const {
+  MutexLock lock(&mu_);
+  return nodes_;
+}
+
 Status SimulatedDfs::SetNodeDown(int node, bool down) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (node < 0 || node >= options_.num_data_nodes) {
     return Status::InvalidArgument("no such data node: " +
                                    std::to_string(node));
@@ -232,23 +237,23 @@ Status SimulatedDfs::SetNodeDown(int node, bool down) {
 }
 
 bool SimulatedDfs::node_is_down(int node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return node >= 0 && node < options_.num_data_nodes &&
          node_down_[node] != 0;
 }
 
 void SimulatedDfs::set_fault_injector(FaultInjector* injector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   faults_ = injector;
 }
 
 FaultInjector* SimulatedDfs::fault_injector() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return faults_;
 }
 
 void SimulatedDfs::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (NodeStats& node : nodes_) {
     node.block_reads = 0;
     node.seeks = 0;

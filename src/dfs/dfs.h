@@ -5,11 +5,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace tklus {
@@ -72,7 +72,9 @@ class SimulatedDfs {
 
   uint64_t total_bytes() const;
   size_t file_count() const;
-  const std::vector<NodeStats>& node_stats() const { return nodes_; }
+  // Consistent snapshot of the per-node placement/read stats, copied under
+  // the lock (a reference would race with concurrent appends/reads).
+  std::vector<NodeStats> node_stats() const;
   void ResetStats();
 
   // Marks one data node dead (reads of blocks stored there return
@@ -103,14 +105,17 @@ class SimulatedDfs {
   };
 
   Options options_;
-  std::map<std::string, File> files_;
-  std::vector<NodeStats> nodes_;
-  std::vector<char> node_down_;
-  int next_node_ = 0;
-  FaultInjector* faults_ = nullptr;
+  // `mu_` guards the whole namespace: every public entry point takes it
+  // before touching any field below, so readers never observe a file with
+  // blocks mid-append or stats mid-update.
+  mutable Mutex mu_;
+  std::map<std::string, File> files_ TKLUS_GUARDED_BY(mu_);
+  std::vector<NodeStats> nodes_ TKLUS_GUARDED_BY(mu_);
+  std::vector<char> node_down_ TKLUS_GUARDED_BY(mu_);
+  int next_node_ TKLUS_GUARDED_BY(mu_) = 0;
+  FaultInjector* faults_ TKLUS_GUARDED_BY(mu_) = nullptr;
   // Last block index read per (node) — for seek accounting.
-  mutable std::vector<int64_t> last_block_read_;
-  mutable std::mutex mu_;
+  mutable std::vector<int64_t> last_block_read_ TKLUS_GUARDED_BY(mu_);
 };
 
 }  // namespace tklus

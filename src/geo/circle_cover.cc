@@ -39,7 +39,7 @@ std::vector<std::string> GeohashCircleCover(const GeoPoint& center,
 }
 
 double CoverAreaRatio(const std::vector<std::string>& cells,
-                      const GeoPoint& center, double radius_km) {
+                      const GeoPoint& /*center*/, double radius_km) {
   if (radius_km <= 0) return 0.0;
   double cell_area = 0.0;
   for (const std::string& cell : cells) {

@@ -88,6 +88,9 @@ Status HybridIndex::IndexBatch(const Dataset& dataset) {
   auto partitions = job.Run(inputs);
   if (!partitions.ok()) return partitions.status();
 
+  // Install the new generation. Fetches block for the duration of the
+  // write pass; the expensive MapReduce above ran unlocked.
+  MutexLock lock(&index->mu_);
   index->stats_.map_seconds += job.stats().map_seconds;
   index->stats_.shuffle_seconds += job.stats().shuffle_seconds;
   index->stats_.reduce_seconds += job.stats().reduce_seconds;
@@ -131,6 +134,7 @@ constexpr uint64_t kIndexMagic = 0x78646979685354ULL;
 }  // namespace
 
 Status HybridIndex::Save(std::ostream& out) const {
+  MutexLock lock(&mu_);
   serde::WriteU64(out, kIndexMagic);
   serde::WriteU64(out, static_cast<uint64_t>(options_.geohash_length));
   serde::WriteU64(out, generation_);
@@ -162,6 +166,9 @@ Result<std::unique_ptr<HybridIndex>> HybridIndex::Open(SimulatedDfs* dfs,
   options.dfs_prefix = std::move(prefix);
   auto index = std::unique_ptr<HybridIndex>(
       new HybridIndex(dfs, std::move(options)));
+  // Not yet published; the lock is uncontended but keeps the annotated
+  // fields' discipline intact.
+  MutexLock lock(&index->mu_);
   index->generation_ = static_cast<uint32_t>(generation);
   if (!serde::ReadU64(in, &index->stats_.postings_lists) ||
       !serde::ReadU64(in, &index->stats_.postings_entries) ||
@@ -175,12 +182,20 @@ Result<std::unique_ptr<HybridIndex>> HybridIndex::Open(SimulatedDfs* dfs,
 
 Result<std::vector<Posting>> HybridIndex::FetchPostings(
     const std::string& geohash, const std::string& term) const {
-  const std::vector<PostingsLocation>* locations =
-      forward_.Lookup(geohash, term);
-  if (locations == nullptr) return std::vector<Posting>{};
+  // Snapshot the location list under the lock, then fetch from the DFS
+  // unlocked: a concurrent AppendBatch may add a new generation, but
+  // existing part files are immutable, so the snapshot stays valid.
+  std::vector<PostingsLocation> locations;
+  {
+    MutexLock lock(&mu_);
+    const std::vector<PostingsLocation>* found =
+        forward_.Lookup(geohash, term);
+    if (found == nullptr) return std::vector<Posting>{};
+    locations = *found;
+  }
   std::vector<Posting> merged;
   std::string encoded;
-  for (const PostingsLocation& loc : *locations) {
+  for (const PostingsLocation& loc : locations) {
     // Retry transient DFS faults; permanent errors and corruption
     // propagate immediately. The op key makes the backoff jitter stable
     // for a given postings list, so fault runs replay deterministically.

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "common/mutex.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "dfs/dfs.h"
@@ -105,9 +106,16 @@ class HybridIndex {
       const std::vector<std::string>& cover_cells,
       const std::string& term) const;
 
-  const ForwardIndex& forward_index() const { return forward_; }
+  // Quiescent-state accessors for tests/benchmarks: they return references
+  // into lock-guarded state without taking mu_, so callers must ensure no
+  // concurrent AppendBatch is in flight.
+  const ForwardIndex& forward_index() const TKLUS_NO_THREAD_SAFETY_ANALYSIS {
+    return forward_;
+  }
   const SimulatedDfs* dfs() const { return dfs_; }
-  const IndexBuildStats& build_stats() const { return stats_; }
+  const IndexBuildStats& build_stats() const TKLUS_NO_THREAD_SAFETY_ANALYSIS {
+    return stats_;
+  }
   int geohash_length() const { return options_.geohash_length; }
   const Options& options() const { return options_; }
 
@@ -127,9 +135,14 @@ class HybridIndex {
 
   SimulatedDfs* dfs_;
   Options options_;
-  ForwardIndex forward_;
-  IndexBuildStats stats_;
-  uint32_t generation_ = 0;  // next batch number
+  // Guards the forward index and build bookkeeping: AppendBatch installs a
+  // new generation's locations while FetchPostings snapshots the location
+  // list for its (cell, term) pair under the same lock, then reads the DFS
+  // blocks unlocked (the DFS has its own mutex).
+  mutable Mutex mu_;
+  ForwardIndex forward_ TKLUS_GUARDED_BY(mu_);
+  IndexBuildStats stats_ TKLUS_GUARDED_BY(mu_);
+  uint32_t generation_ TKLUS_GUARDED_BY(mu_) = 0;  // next batch number
   // DFS reads re-issued after a transient fault (FetchPostings is const
   // and concurrent, hence atomic).
   mutable std::atomic<uint64_t> fetch_retries_{0};

@@ -3,8 +3,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
 
 namespace tklus {
 
@@ -20,29 +21,29 @@ inline constexpr char kTasksFailed[] = "mapreduce.tasks_failed";
 class Counters {
  public:
   void Increment(const std::string& name, uint64_t by = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     counts_[name] += by;
   }
 
   uint64_t Get(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = counts_.find(name);
     return it == counts_.end() ? 0 : it->second;
   }
 
   std::map<std::string, uint64_t> Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return counts_;
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     counts_.clear();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, uint64_t> counts_;
+  mutable Mutex mu_;
+  std::map<std::string, uint64_t> counts_ TKLUS_GUARDED_BY(mu_);
 };
 
 }  // namespace tklus

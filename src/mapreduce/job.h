@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "mapreduce/counters.h"
@@ -120,9 +121,9 @@ class MapReduceJob {
     // its error and flips `abort`; every worker then drains out.
     std::atomic<bool> abort{false};
     Status first_error;
-    std::mutex error_mu;
+    Mutex error_mu;
     const auto record_error = [&](Status status) {
-      std::lock_guard<std::mutex> lock(error_mu);
+      MutexLock lock(&error_mu);
       if (first_error.ok()) first_error = std::move(status);
       abort.store(true, std::memory_order_relaxed);
     };
@@ -384,9 +385,8 @@ class MapReduceJob {
       }
       part = std::move(out);
     }
-    stats_combine_mu_.lock();
+    MutexLock lock(&stats_combine_mu_);
     stats_.combine_output_records += combined;
-    stats_combine_mu_.unlock();
   }
 
   MapFn map_fn_;
@@ -394,8 +394,12 @@ class MapReduceJob {
   CombineFn combiner_;
   Partitioner partitioner_;
   Options options_;
+  // `stats_` is phase-structured: between thread barriers only the job
+  // driver thread writes it, so it is not guarded as a whole.
+  // `stats_combine_mu_` serializes the one field concurrent combiner
+  // workers touch (combine_output_records).
   Stats stats_;
-  std::mutex stats_combine_mu_;
+  Mutex stats_combine_mu_;
   Counters counters_;
 };
 

@@ -82,7 +82,10 @@ class PageGuard {
       : pool_(pool), page_(page), dirty_(dirty) {}
   ~PageGuard() {
     if (pool_ != nullptr && page_ != nullptr) {
-      pool_->UnpinPage(page_->page_id(), dirty_);
+      // Best-effort unpin: the only failure mode is "page not resident",
+      // which cannot happen while this guard holds the pin, and a
+      // destructor has no error channel anyway.
+      pool_->UnpinPage(page_->page_id(), dirty_).IgnoreError();
     }
   }
 

@@ -65,7 +65,7 @@ Result<std::unique_ptr<MetadataDb>> MetadataDb::Open(const std::string& path,
   if (!header.ok()) return header.status();
   Page* h = *header;
   if (h->ReadAt<uint64_t>(kMagicOff) != kDbMagic) {
-    (void)db->pool_->UnpinPage(0, false);
+    db->pool_->UnpinPage(0, false).IgnoreError();
     return Status::Corruption("bad database magic: " + path);
   }
   const PageId sid_root = h->ReadAt<int64_t>(kSidRootOff);

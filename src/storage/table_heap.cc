@@ -46,7 +46,7 @@ Result<Rid> TableHeap::Insert(const char* record) {
   if (count >= records_per_page_) {
     Result<Page*> fresh = pool_->NewPage();
     if (!fresh.ok()) {
-      (void)pool_->UnpinPage(last_page_, false);
+      pool_->UnpinPage(last_page_, false).IgnoreError();
       return fresh.status();
     }
     Page* np = *fresh;
@@ -73,7 +73,7 @@ Status TableHeap::Get(Rid rid, char* out) {
   Page* p = *page;
   const uint32_t count = p->ReadAt<uint32_t>(kCountOff);
   if (rid.slot >= count) {
-    (void)pool_->UnpinPage(rid.page_id, false);
+    pool_->UnpinPage(rid.page_id, false).IgnoreError();
     return Status::OutOfRange("slot past end of page");
   }
   std::memcpy(out, p->data() + kHeaderSize + rid.slot * record_size_,

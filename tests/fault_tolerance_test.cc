@@ -20,7 +20,7 @@ namespace {
 TEST(Crc32Test, MatchesIeeeCheckValue) {
   // The canonical CRC-32/IEEE check value for "123456789".
   EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
-  EXPECT_EQ(Crc32("", 0u), 0u);
+  EXPECT_EQ(Crc32(std::string_view{}, 0u), 0u);
 }
 
 TEST(Crc32Test, IncrementalEqualsOneShot) {

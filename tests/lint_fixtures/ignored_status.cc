@@ -1,0 +1,16 @@
+// Lint fixture: a fallible call silenced with a bare (void) cast, which
+// would defeat [[nodiscard]] without leaving a greppable trace. The real
+// tree must spell this status.IgnoreError().
+namespace fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status MightFail();
+
+void Caller() {
+  (void)MightFail();
+}
+
+}  // namespace fixture

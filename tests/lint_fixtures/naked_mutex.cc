@@ -1,0 +1,19 @@
+// Lint fixture: a raw std::mutex and a std::lock_guard, invisible to the
+// thread-safety analysis. The real tree must use tklus::Mutex/MutexLock.
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Increment() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  long count_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Lint fixture: libc randomness seeded from the wall clock. The real tree
+// must draw from the seeded tklus::Rng so every run replays exactly.
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+int UnseededDiceRoll() {
+  srand(static_cast<unsigned>(time(nullptr)));
+  return rand() % 6;
+}
+
+}  // namespace fixture
