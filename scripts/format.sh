@@ -23,7 +23,7 @@ fi
 
 # shellcheck disable=SC2086  # $mode intentionally splits into flags
 find src tests bench examples -name '*.h' -o -name '*.cc' -o -name '*.cpp' \
-  | grep -v 'tests/lint_fixtures/' \
+  | grep -v 'tests/analyze_fixtures/' \
   | xargs clang-format $mode
 rc=$?
 if [ $rc -ne 0 ]; then

@@ -1,109 +1,39 @@
 #!/usr/bin/env bash
-# Project lint: fast, dependency-free checks that keep the concurrency and
-# error-handling discipline honest. Complements (does not replace) the
-# compile-time layers: [[nodiscard]] Status + -Werror catches ignored
-# results, Clang -Werror=thread-safety checks the lock annotations, and
-# .clang-tidy runs the bugprone-*/concurrency-* suites.
+# Thin wrapper around `tklus_analyze` (tools/analyze/), the single source
+# of truth for every project lint rule. The old grep rules (naked
+# mutexes/locks, (void) discards, nondeterminism, the [[nodiscard]]
+# regression guard) migrated into the analyzer as token-level checks,
+# alongside the domain rules (pin-discipline, layering,
+# status-discipline) greps could never express.
 #
 # Usage:
-#   scripts/lint.sh             lint the tree (src/ + scripts); exit 1 on hits
-#   scripts/lint.sh --selftest  verify every rule fires on tests/lint_fixtures
-#   scripts/lint.sh DIR...      lint specific directories (used by --selftest)
+#   scripts/lint.sh              analyze the tree; exit 1 on violations
+#   scripts/lint.sh --selftest   prove every rule fires on its fixtures
+#   scripts/lint.sh ARGS...      forwarded to tklus_analyze verbatim
+#
+# Binary resolution: $TKLUS_ANALYZE if set (ctest sets it), else the
+# newest already-built copy under build*/, else a minimal direct g++
+# build (no cmake, gtest or benchmark needed — CI's lint job stays lean).
 set -u
 
 cd "$(dirname "$0")/.." || exit 2
 
-dirs=()
-selftest=0
-for arg in "$@"; do
-  case "$arg" in
-    --selftest) selftest=1 ;;
-    *) dirs+=("$arg") ;;
-  esac
-done
-if [ ${#dirs[@]} -eq 0 ]; then
-  dirs=(src)
+bin="${TKLUS_ANALYZE:-}"
+if [ -z "$bin" ]; then
+  # shellcheck disable=SC2012  # newest-first glob pick, paths are ours
+  bin=$(ls -t build*/tools/analyze/tklus_analyze 2>/dev/null | head -n1)
 fi
-
-failures=0
-
-# grep wrapper: records a failure when PATTERN matches in the linted dirs.
-# Matches in src/common/mutex.h itself are exempt from the mutex rules
-# (that is where the wrapper lives).
-check() {
-  local rule="$1" pattern="$2" exempt="${3:-}"
-  local hits
-  hits=$(grep -rnE --include='*.h' --include='*.cc' --include='*.cpp' \
-             "$pattern" "${dirs[@]}" 2>/dev/null)
-  if [ -n "$exempt" ]; then
-    hits=$(printf '%s\n' "$hits" | grep -v "$exempt")
+if [ -z "$bin" ] || [ ! -x "$bin" ]; then
+  bin=build-analyze/tklus_analyze
+  mkdir -p build-analyze
+  echo "lint: building $bin"
+  if ! g++ -std=c++20 -O2 -Wall -Wextra -I src -I tools \
+       tools/analyze/main.cc tools/analyze/analyzer.cc \
+       tools/analyze/rules.cc tools/analyze/source_model.cc \
+       src/common/status.cc -o "$bin"; then
+    echo "lint: failed to build tklus_analyze" >&2
+    exit 2
   fi
-  # Comments may legitimately mention the banned spelling (e.g. "the lint
-  # bans naked std::mutex"); skip pure comment lines.
-  hits=$(printf '%s\n' "$hits" | grep -vE '^[^:]+:[0-9]+: *(//|\*)' | grep .)
-  if [ -n "$hits" ]; then
-    echo "LINT [$rule]:"
-    printf '%s\n' "$hits" | sed 's/^/  /'
-    failures=$((failures + 1))
-  fi
-}
-
-# 1. Naked standard-library mutexes. Every lock must be a tklus::Mutex
-#    (src/common/mutex.h) so Clang's thread-safety analysis and the
-#    GUARDED_BY annotations can see it.
-check "naked-mutex: use tklus::Mutex from common/mutex.h" \
-      'std::(mutex|shared_mutex|recursive_mutex|timed_mutex)\b' \
-      'common/mutex\.h'
-check "naked-lock: use tklus::MutexLock from common/mutex.h" \
-      'std::(lock_guard|unique_lock|scoped_lock|shared_lock)\b' \
-      'common/mutex\.h'
-
-# 2. Silently discarded fallible calls. Status/Result are [[nodiscard]], so
-#    the compiler rejects plain ignores; a bare (void) cast would defeat
-#    that silently. The sanctioned spelling is status.IgnoreError(), which
-#    is greppable and self-documenting.
-check "void-discard: use .IgnoreError() instead of (void) on fallible calls" \
-      '\(void\) *[A-Za-z_][A-Za-z0-9_:]*(\.|->|\()'
-
-# 3. Nondeterminism in deterministic code. Benchmarks, datagen and fault
-#    injection are all seeded (common/rng.h); wall-clock seeds or libc
-#    rand() would make runs unreproducible.
-check "nondeterminism: use the seeded tklus::Rng (common/rng.h)" \
-      '\b(rand|srand)\(\)|\btime\( *NULL *\)|\btime\( *nullptr *\)|\bstd::random_device\b'
-
-# 4. Regression guards for the compile-time layers this lint leans on.
-if ! grep -q 'class \[\[nodiscard\]\] Status' src/common/status.h; then
-  echo "LINT [nodiscard-guard]: Status lost its [[nodiscard]] attribute"
-  failures=$((failures + 1))
-fi
-if ! grep -q 'class \[\[nodiscard\]\] Result' src/common/status.h; then
-  echo "LINT [nodiscard-guard]: Result<T> lost its [[nodiscard]] attribute"
-  failures=$((failures + 1))
 fi
 
-if [ "$selftest" -eq 1 ]; then
-  # Every rule must fire on the fixtures: a lint that silently stopped
-  # matching is worse than no lint. Expected rule violations per fixture
-  # file are counted in tests/lint_fixtures/README.md.
-  out=$("$0" tests/lint_fixtures)
-  rc=$?
-  for rule in naked-mutex naked-lock void-discard nondeterminism; do
-    if ! printf '%s' "$out" | grep -q "LINT \[$rule"; then
-      echo "SELFTEST: rule '$rule' did not fire on tests/lint_fixtures"
-      exit 1
-    fi
-  done
-  if [ "$rc" -eq 0 ]; then
-    echo "SELFTEST: lint exited 0 on fixtures that must fail"
-    exit 1
-  fi
-  echo "lint selftest OK (all rules fire on fixtures)"
-  exit 0
-fi
-
-if [ "$failures" -gt 0 ]; then
-  echo "lint: $failures rule(s) violated"
-  exit 1
-fi
-echo "lint OK (${dirs[*]})"
-exit 0
+exec "$bin" --root . "$@"

@@ -1,6 +1,7 @@
 #include "storage/bplus_tree.h"
 
 #include "common/logging.h"
+#include "storage/page_guard.h"
 
 namespace tklus {
 namespace {
@@ -126,15 +127,13 @@ int ChildIndexForInsert(const Page* p, int64_t key) {
 }  // namespace
 
 Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
-  Result<Page*> page = pool->NewPage();
+  Result<PageGuard> page = PageGuard::New(pool);
   if (!page.ok()) return page.status();
-  Page* root = *page;
+  Page* root = page->get();
   root->WriteAt<uint16_t>(kTypeOff, kLeaf);
   SetKeyCount(root, 0);
   SetNextLeaf(root, kInvalidPageId);
-  const PageId root_id = root->page_id();
-  TKLUS_RETURN_IF_ERROR(pool->UnpinPage(root_id, /*dirty=*/true));
-  return BPlusTree(pool, root_id);
+  return BPlusTree(pool, page->page_id());
 }
 
 BPlusTree BPlusTree::Open(BufferPool* pool, PageId root) {
@@ -144,26 +143,21 @@ BPlusTree BPlusTree::Open(BufferPool* pool, PageId root) {
 Result<PageId> BPlusTree::FindLeaf(int64_t key) {
   PageId page_id = root_;
   while (true) {
-    Result<Page*> page = pool_->FetchPage(page_id);
+    Result<PageGuard> page = PageGuard::Fetch(pool_, page_id);
     if (!page.ok()) return page.status();
-    Page* p = *page;
-    if (PageType(p) == kLeaf) {
-      TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
-      return page_id;
-    }
-    const PageId next = Child(p, ChildIndexForRead(p, key));
-    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
-    page_id = next;
+    Page* p = page->get();
+    if (PageType(p) == kLeaf) return page_id;
+    page_id = Child(p, ChildIndexForRead(p, key));
   }
 }
 
 Status BPlusTree::InsertInto(PageId page_id, int64_t key, uint64_t value,
                              std::optional<SplitResult>* split) {
   split->reset();
-  Result<Page*> page = pool_->FetchPage(page_id);
+  Result<PageGuard> page = PageGuard::Fetch(pool_, page_id);
   if (!page.ok()) return page.status();
-  Page* p = *page;
-  PageGuard guard(pool_, p, /*dirty=*/false);
+  PageGuard& guard = *page;
+  Page* p = guard.get();
 
   if (PageType(p) == kLeaf) {
     const int n = KeyCount(p);
@@ -178,10 +172,9 @@ Status BPlusTree::InsertInto(PageId page_id, int64_t key, uint64_t value,
 
     if (n + 1 > kLeafMaxKeys - 1) {
       // Split: right half moves to a new leaf.
-      Result<Page*> right_res = pool_->NewPage();
+      Result<PageGuard> right_res = PageGuard::New(pool_);
       if (!right_res.ok()) return right_res.status();
-      Page* right = *right_res;
-      PageGuard right_guard(pool_, right, /*dirty=*/true);
+      Page* right = right_res->get();
       right->WriteAt<uint16_t>(kTypeOff, kLeaf);
       const int total = KeyCount(p);
       const int keep = total / 2;
@@ -217,10 +210,9 @@ Status BPlusTree::InsertInto(PageId page_id, int64_t key, uint64_t value,
 
   if (n + 1 > kInternalMaxKeys - 1) {
     // Split internal node: middle key moves up.
-    Result<Page*> right_res = pool_->NewPage();
+    Result<PageGuard> right_res = PageGuard::New(pool_);
     if (!right_res.ok()) return right_res.status();
-    Page* right = *right_res;
-    PageGuard right_guard(pool_, right, /*dirty=*/true);
+    Page* right = right_res->get();
     right->WriteAt<uint16_t>(kTypeOff, kInternal);
     const int total = KeyCount(p);
     const int mid = total / 2;  // key at mid moves up
@@ -244,16 +236,16 @@ Status BPlusTree::Insert(int64_t key, uint64_t value) {
   if (!split.has_value()) return Status::Ok();
 
   // Grow a new root.
-  Result<Page*> new_root_res = pool_->NewPage();
+  Result<PageGuard> new_root_res = PageGuard::New(pool_);
   if (!new_root_res.ok()) return new_root_res.status();
-  Page* new_root = *new_root_res;
+  Page* new_root = new_root_res->get();
   new_root->WriteAt<uint16_t>(kTypeOff, kInternal);
   SetKeyCount(new_root, 1);
   SetChild(new_root, 0, root_);
   SetInternalKey(new_root, 0, split->separator);
   SetChild(new_root, 1, split->right);
-  root_ = new_root->page_id();
-  return pool_->UnpinPage(root_, /*dirty=*/true);
+  root_ = new_root_res->page_id();
+  return Status::Ok();
 }
 
 Result<std::optional<uint64_t>> BPlusTree::Get(int64_t key) {
@@ -269,9 +261,9 @@ Result<std::vector<uint64_t>> BPlusTree::GetAll(int64_t key) {
   if (!leaf_id.ok()) return leaf_id.status();
   PageId page_id = *leaf_id;
   while (page_id != kInvalidPageId) {
-    Result<Page*> page = pool_->FetchPage(page_id);
+    Result<PageGuard> page = PageGuard::Fetch(pool_, page_id);
     if (!page.ok()) return page.status();
-    Page* p = *page;
+    Page* p = page->get();
     const int n = KeyCount(p);
     int i = LeafLowerBound(p, key);
     bool past_key = false;
@@ -283,10 +275,8 @@ Result<std::vector<uint64_t>> BPlusTree::GetAll(int64_t key) {
       }
       out.push_back(LeafValue(p, i));
     }
-    const PageId next = NextLeaf(p);
-    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
     if (past_key) break;
-    page_id = next;
+    page_id = NextLeaf(p);
   }
   return out;
 }
@@ -299,9 +289,9 @@ Result<std::vector<std::pair<int64_t, uint64_t>>> BPlusTree::Range(
   if (!leaf_id.ok()) return leaf_id.status();
   PageId page_id = *leaf_id;
   while (page_id != kInvalidPageId) {
-    Result<Page*> page = pool_->FetchPage(page_id);
+    Result<PageGuard> page = PageGuard::Fetch(pool_, page_id);
     if (!page.ok()) return page.status();
-    Page* p = *page;
+    Page* p = page->get();
     const int n = KeyCount(p);
     bool done = false;
     for (int i = LeafLowerBound(p, lo); i < n; ++i) {
@@ -312,10 +302,8 @@ Result<std::vector<std::pair<int64_t, uint64_t>>> BPlusTree::Range(
       }
       out.emplace_back(k, LeafValue(p, i));
     }
-    const PageId next = NextLeaf(p);
-    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
     if (done) break;
-    page_id = next;
+    page_id = NextLeaf(p);
   }
   return out;
 }
@@ -325,9 +313,9 @@ Result<bool> BPlusTree::Remove(int64_t key, uint64_t value) {
   if (!leaf_id.ok()) return leaf_id.status();
   PageId page_id = *leaf_id;
   while (page_id != kInvalidPageId) {
-    Result<Page*> page = pool_->FetchPage(page_id);
+    Result<PageGuard> page = PageGuard::Fetch(pool_, page_id);
     if (!page.ok()) return page.status();
-    Page* p = *page;
+    Page* p = page->get();
     const int n = KeyCount(p);
     bool past_key = false;
     for (int i = LeafLowerBound(p, key); i < n; ++i) {
@@ -341,14 +329,12 @@ Result<bool> BPlusTree::Remove(int64_t key, uint64_t value) {
           SetLeafEntry(p, j, LeafKey(p, j + 1), LeafValue(p, j + 1));
         }
         SetKeyCount(p, n - 1);
-        TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, /*dirty=*/true));
+        page->MarkDirty();
         return true;
       }
     }
-    const PageId next = NextLeaf(p);
-    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
     if (past_key) break;
-    page_id = next;
+    page_id = NextLeaf(p);
   }
   return false;
 }
@@ -357,15 +343,12 @@ Result<int> BPlusTree::Height() {
   int height = 1;
   PageId page_id = root_;
   while (true) {
-    Result<Page*> page = pool_->FetchPage(page_id);
+    Result<PageGuard> page = PageGuard::Fetch(pool_, page_id);
     if (!page.ok()) return page.status();
-    Page* p = *page;
-    const bool leaf = PageType(p) == kLeaf;
-    const PageId child = leaf ? kInvalidPageId : Child(p, 0);
-    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
-    if (leaf) return height;
+    Page* p = page->get();
+    if (PageType(p) == kLeaf) return height;
     ++height;
-    page_id = child;
+    page_id = Child(p, 0);
   }
 }
 
@@ -373,26 +356,19 @@ Result<uint64_t> BPlusTree::CountEntries() {
   // Walk to the leftmost leaf, then the chain.
   PageId page_id = root_;
   while (true) {
-    Result<Page*> page = pool_->FetchPage(page_id);
+    Result<PageGuard> page = PageGuard::Fetch(pool_, page_id);
     if (!page.ok()) return page.status();
-    Page* p = *page;
-    if (PageType(p) == kLeaf) {
-      TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
-      break;
-    }
-    const PageId child = Child(p, 0);
-    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
-    page_id = child;
+    Page* p = page->get();
+    if (PageType(p) == kLeaf) break;
+    page_id = Child(p, 0);
   }
   uint64_t count = 0;
   while (page_id != kInvalidPageId) {
-    Result<Page*> page = pool_->FetchPage(page_id);
+    Result<PageGuard> page = PageGuard::Fetch(pool_, page_id);
     if (!page.ok()) return page.status();
-    Page* p = *page;
+    Page* p = page->get();
     count += static_cast<uint64_t>(KeyCount(p));
-    const PageId next = NextLeaf(p);
-    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
-    page_id = next;
+    page_id = NextLeaf(p);
   }
   return count;
 }

@@ -17,6 +17,10 @@ namespace tklus {
 // while in use; unpinned pages are eviction candidates in LRU order.
 // Single-threaded by design (the query processors are single-threaded; the
 // MapReduce side uses its own files, not this pool).
+//
+// FetchPage/NewPage/UnpinPage are the raw pin primitives; storage-layer
+// code must go through the RAII PageGuard (storage/page_guard.h) instead —
+// `tklus_analyze` enforces this (rule `pin-discipline`).
 class BufferPool {
  public:
   struct Stats {
@@ -49,8 +53,9 @@ class BufferPool {
 
   size_t pool_size() const { return frames_.size(); }
   // Frames currently pinned — must return to 0 between operations; a
-  // non-zero steady-state value is a pin leak.
-  size_t PinnedCount() const {
+  // non-zero steady-state value is a pin leak. Tests assert this drops
+  // back to zero at teardown.
+  size_t pinned_page_count() const {
     size_t pinned = 0;
     for (const auto& frame : frames_) {
       if (frame->pin_count() > 0) ++pinned;
@@ -73,38 +78,6 @@ class BufferPool {
   std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
   std::vector<size_t> free_frames_;
   Stats stats_;
-};
-
-// RAII pin guard: unpins on destruction.
-class PageGuard {
- public:
-  PageGuard(BufferPool* pool, Page* page, bool dirty = false)
-      : pool_(pool), page_(page), dirty_(dirty) {}
-  ~PageGuard() {
-    if (pool_ != nullptr && page_ != nullptr) {
-      // Best-effort unpin: the only failure mode is "page not resident",
-      // which cannot happen while this guard holds the pin, and a
-      // destructor has no error channel anyway.
-      pool_->UnpinPage(page_->page_id(), dirty_).IgnoreError();
-    }
-  }
-
-  PageGuard(const PageGuard&) = delete;
-  PageGuard& operator=(const PageGuard&) = delete;
-  PageGuard(PageGuard&& o) noexcept
-      : pool_(o.pool_), page_(o.page_), dirty_(o.dirty_) {
-    o.pool_ = nullptr;
-    o.page_ = nullptr;
-  }
-
-  Page* get() { return page_; }
-  Page* operator->() { return page_; }
-  void MarkDirty() { dirty_ = true; }
-
- private:
-  BufferPool* pool_;
-  Page* page_;
-  bool dirty_;
 };
 
 }  // namespace tklus

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "storage/page_guard.h"
+
 namespace tklus {
 
 namespace {
@@ -27,11 +29,9 @@ Result<std::unique_ptr<MetadataDb>> MetadataDb::Create(
       std::make_unique<BufferPool>(db->disk_.get(), options.buffer_pool_pages);
 
   // Page 0: the database header, filled in by FlushAll.
-  Result<Page*> header = db->pool_->NewPage();
+  Result<PageGuard> header = PageGuard::New(db->pool_.get());
   if (!header.ok()) return header.status();
   (*header)->WriteAt<uint64_t>(kMagicOff, kDbMagic);
-  TKLUS_RETURN_IF_ERROR(
-      db->pool_->UnpinPage((*header)->page_id(), /*dirty=*/true));
 
   Result<TableHeap> heap = TableHeap::Create(db->pool_.get(),
                                              sizeof(TweetMeta));
@@ -61,11 +61,10 @@ Result<std::unique_ptr<MetadataDb>> MetadataDb::Open(const std::string& path,
   db->disk_->set_fault_injector(options.fault_injector);
   db->pool_ =
       std::make_unique<BufferPool>(db->disk_.get(), options.buffer_pool_pages);
-  Result<Page*> header = db->pool_->FetchPage(0);
+  Result<PageGuard> header = PageGuard::Fetch(db->pool_.get(), 0);
   if (!header.ok()) return header.status();
-  Page* h = *header;
+  Page* h = header->get();
   if (h->ReadAt<uint64_t>(kMagicOff) != kDbMagic) {
-    db->pool_->UnpinPage(0, false).IgnoreError();
     return Status::Corruption("bad database magic: " + path);
   }
   const PageId sid_root = h->ReadAt<int64_t>(kSidRootOff);
@@ -73,7 +72,6 @@ Result<std::unique_ptr<MetadataDb>> MetadataDb::Open(const std::string& path,
   const PageId heap_first = h->ReadAt<int64_t>(kHeapFirstOff);
   const PageId heap_last = h->ReadAt<int64_t>(kHeapLastOff);
   const uint64_t rows = h->ReadAt<uint64_t>(kRowCountOff);
-  TKLUS_RETURN_IF_ERROR(db->pool_->UnpinPage(0, false));
   db->heap_ = std::make_unique<TableHeap>(TableHeap::Open(
       db->pool_.get(), sizeof(TweetMeta), heap_first, heap_last, rows));
   db->sid_index_ = std::make_unique<BPlusTree>(
@@ -84,16 +82,21 @@ Result<std::unique_ptr<MetadataDb>> MetadataDb::Open(const std::string& path,
 }
 
 Status MetadataDb::FlushAll() {
-  Result<Page*> header = pool_->FetchPage(0);
-  if (!header.ok()) return header.status();
-  Page* h = *header;
-  h->WriteAt<uint64_t>(kMagicOff, kDbMagic);
-  h->WriteAt<int64_t>(kSidRootOff, sid_index_->root());
-  h->WriteAt<int64_t>(kRsidRootOff, rsid_index_->root());
-  h->WriteAt<int64_t>(kHeapFirstOff, heap_->first_page());
-  h->WriteAt<int64_t>(kHeapLastOff, heap_->last_page());
-  h->WriteAt<uint64_t>(kRowCountOff, heap_->record_count());
-  TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(0, /*dirty=*/true));
+  {
+    Result<PageGuard> header = PageGuard::Fetch(pool_.get(), 0);
+    if (!header.ok()) return header.status();
+    Page* h = header->get();
+    h->WriteAt<uint64_t>(kMagicOff, kDbMagic);
+    h->WriteAt<int64_t>(kSidRootOff, sid_index_->root());
+    h->WriteAt<int64_t>(kRsidRootOff, rsid_index_->root());
+    h->WriteAt<int64_t>(kHeapFirstOff, heap_->first_page());
+    h->WriteAt<int64_t>(kHeapLastOff, heap_->last_page());
+    h->WriteAt<uint64_t>(kRowCountOff, heap_->record_count());
+    header->MarkDirty();
+    // The header pin must drop before FlushAll: pinned pages are skipped
+    // by eviction, but FlushAll writes them regardless — unpin first so
+    // the pool is quiescent (pinned_page_count() == 0) when it runs.
+  }
   TKLUS_RETURN_IF_ERROR(pool_->FlushAll());
   // Persist the page-checksum sidecar alongside the flushed pages so a
   // reopen verifies exactly what was written.

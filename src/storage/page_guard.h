@@ -1,0 +1,96 @@
+#ifndef TKLUS_STORAGE_PAGE_GUARD_H_
+#define TKLUS_STORAGE_PAGE_GUARD_H_
+
+#include <utility>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace tklus {
+
+// RAII ownership of exactly one buffer-pool pin. A PageGuard is the only
+// sanctioned way to pin a page: `tklus_analyze` (rule `pin-discipline`)
+// bans naked FetchPage/NewPage/UnpinPage calls everywhere in src/ except
+// this header and the BufferPool implementation itself, so an early
+// `TKLUS_RETURN_IF_ERROR` between a fetch and its unpin can no longer
+// leak a pinned frame — the guard's destructor unpins on every exit path.
+//
+// Usage:
+//   Result<PageGuard> page = PageGuard::Fetch(pool, page_id);
+//   if (!page.ok()) return page.status();
+//   page->get()->ReadAt<uint16_t>(0);   // or (*page)->ReadAt<...>(0)
+//   page->MarkDirty();                  // write-back on eviction/flush
+//   // destructor unpins, even on early error returns
+class PageGuard {
+ public:
+  // Pins `page_id`, reading it from disk on a pool miss.
+  static Result<PageGuard> Fetch(BufferPool* pool, PageId page_id) {
+    Result<Page*> page = pool->FetchPage(page_id);
+    if (!page.ok()) return page.status();
+    return PageGuard(pool, *page, /*dirty=*/false);
+  }
+
+  // Allocates and pins a fresh page. New pages are born dirty (the pool
+  // marks the frame), so the guard records that intent too.
+  static Result<PageGuard> New(BufferPool* pool) {
+    Result<Page*> page = pool->NewPage();
+    if (!page.ok()) return page.status();
+    return PageGuard(pool, *page, /*dirty=*/true);
+  }
+
+  // An empty guard owning nothing; useful as a move-assignment target.
+  PageGuard() = default;
+
+  ~PageGuard() { Reset(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  PageGuard(PageGuard&& o) noexcept
+      : pool_(std::exchange(o.pool_, nullptr)),
+        page_(std::exchange(o.page_, nullptr)),
+        dirty_(std::exchange(o.dirty_, false)) {}
+
+  // Releases the currently held pin (if any) before taking over `o`'s.
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      pool_ = std::exchange(o.pool_, nullptr);
+      page_ = std::exchange(o.page_, nullptr);
+      dirty_ = std::exchange(o.dirty_, false);
+    }
+    return *this;
+  }
+
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+  PageId page_id() const { return page_->page_id(); }
+  explicit operator bool() const { return page_ != nullptr; }
+
+  // Marks the frame for write-back when it is eventually evicted/flushed.
+  void MarkDirty() { dirty_ = true; }
+
+ private:
+  PageGuard(BufferPool* pool, Page* page, bool dirty)
+      : pool_(pool), page_(page), dirty_(dirty) {}
+
+  void Reset() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      // Best-effort unpin: the only failure modes are "page not resident"
+      // and "pin count already zero", neither of which can happen while
+      // this guard holds the pin, and a destructor has no error channel.
+      pool_->UnpinPage(page_->page_id(), dirty_).IgnoreError();
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_STORAGE_PAGE_GUARD_H_

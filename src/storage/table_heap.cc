@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "storage/page_guard.h"
+
 namespace tklus {
 
 // Page layout: u32 record_count, u32 unused, i64 next_page, then densely
@@ -18,13 +20,11 @@ Result<TableHeap> TableHeap::Create(BufferPool* pool, size_t record_size) {
     return Status::InvalidArgument("record size does not fit a page");
   }
   TableHeap heap(pool, record_size);
-  Result<Page*> page = pool->NewPage();
+  Result<PageGuard> page = PageGuard::New(pool);
   if (!page.ok()) return page.status();
-  Page* p = *page;
-  p->WriteAt<uint32_t>(kCountOff, 0);
-  p->WriteAt<int64_t>(kNextOff, kInvalidPageId);
-  heap.first_page_ = heap.last_page_ = p->page_id();
-  TKLUS_RETURN_IF_ERROR(pool->UnpinPage(p->page_id(), /*dirty=*/true));
+  (*page)->WriteAt<uint32_t>(kCountOff, 0);
+  (*page)->WriteAt<int64_t>(kNextOff, kInvalidPageId);
+  heap.first_page_ = heap.last_page_ = page->page_id();
   return heap;
 }
 
@@ -39,61 +39,54 @@ TableHeap TableHeap::Open(BufferPool* pool, size_t record_size,
 }
 
 Result<Rid> TableHeap::Insert(const char* record) {
-  Result<Page*> page = pool_->FetchPage(last_page_);
-  if (!page.ok()) return page.status();
-  Page* p = *page;
-  uint32_t count = p->ReadAt<uint32_t>(kCountOff);
+  Result<PageGuard> last = PageGuard::Fetch(pool_, last_page_);
+  if (!last.ok()) return last.status();
+  PageGuard page = std::move(*last);
+  uint32_t count = page->ReadAt<uint32_t>(kCountOff);
   if (count >= records_per_page_) {
-    Result<Page*> fresh = pool_->NewPage();
-    if (!fresh.ok()) {
-      pool_->UnpinPage(last_page_, false).IgnoreError();
-      return fresh.status();
-    }
-    Page* np = *fresh;
-    np->WriteAt<uint32_t>(kCountOff, 0);
-    np->WriteAt<int64_t>(kNextOff, kInvalidPageId);
-    p->WriteAt<int64_t>(kNextOff, np->page_id());
-    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(last_page_, /*dirty=*/true));
-    p = np;
-    last_page_ = p->page_id();
+    Result<PageGuard> fresh = PageGuard::New(pool_);
+    if (!fresh.ok()) return fresh.status();
+    (*fresh)->WriteAt<uint32_t>(kCountOff, 0);
+    (*fresh)->WriteAt<int64_t>(kNextOff, kInvalidPageId);
+    page->WriteAt<int64_t>(kNextOff, fresh->page_id());
+    page.MarkDirty();
+    // Hand the guard over to the fresh page; the old last page unpins
+    // here (dirty), with no gap an early return could leak through.
+    page = std::move(*fresh);
+    last_page_ = page.page_id();
     count = 0;
   }
   const size_t off = kHeaderSize + count * record_size_;
-  std::memcpy(p->data() + off, record, record_size_);
-  p->WriteAt<uint32_t>(kCountOff, count + 1);
-  const Rid rid{p->page_id(), count};
-  TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(p->page_id(), /*dirty=*/true));
+  std::memcpy(page->data() + off, record, record_size_);
+  page->WriteAt<uint32_t>(kCountOff, count + 1);
+  page.MarkDirty();
   ++record_count_;
-  return rid;
+  return Rid{page.page_id(), count};
 }
 
 Status TableHeap::Get(Rid rid, char* out) {
-  Result<Page*> page = pool_->FetchPage(rid.page_id);
+  Result<PageGuard> page = PageGuard::Fetch(pool_, rid.page_id);
   if (!page.ok()) return page.status();
-  Page* p = *page;
-  const uint32_t count = p->ReadAt<uint32_t>(kCountOff);
+  const uint32_t count = (*page)->ReadAt<uint32_t>(kCountOff);
   if (rid.slot >= count) {
-    pool_->UnpinPage(rid.page_id, false).IgnoreError();
     return Status::OutOfRange("slot past end of page");
   }
-  std::memcpy(out, p->data() + kHeaderSize + rid.slot * record_size_,
+  std::memcpy(out, (*page)->data() + kHeaderSize + rid.slot * record_size_,
               record_size_);
-  return pool_->UnpinPage(rid.page_id, false);
+  return Status::Ok();
 }
 
 Status TableHeap::Scan(const std::function<void(Rid, const char*)>& fn) {
   PageId pid = first_page_;
   while (pid != kInvalidPageId) {
-    Result<Page*> page = pool_->FetchPage(pid);
+    Result<PageGuard> page = PageGuard::Fetch(pool_, pid);
     if (!page.ok()) return page.status();
-    Page* p = *page;
+    Page* p = page->get();
     const uint32_t count = p->ReadAt<uint32_t>(kCountOff);
     for (uint32_t s = 0; s < count; ++s) {
       fn(Rid{pid, s}, p->data() + kHeaderSize + s * record_size_);
     }
-    const PageId next = p->ReadAt<int64_t>(kNextOff);
-    TKLUS_RETURN_IF_ERROR(pool_->UnpinPage(pid, false));
-    pid = next;
+    pid = p->ReadAt<int64_t>(kNextOff);
   }
   return Status::Ok();
 }

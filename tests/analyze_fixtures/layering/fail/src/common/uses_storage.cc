@@ -1,0 +1,9 @@
+// Fixture: an upward edge (common -> storage) is not in the manifest and
+// must trip `layering`.
+#include "storage/buffer_pool.h"
+
+namespace tklus {
+
+int LayerBroken() { return 0; }
+
+}  // namespace tklus

@@ -1,0 +1,9 @@
+// Fixture: a declared downward edge (storage -> common) is allowed.
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace tklus {
+
+int LayerOk() { return 1; }
+
+}  // namespace tklus

@@ -1,0 +1,8 @@
+// Fixture: a std::scoped_lock must trip `naked-lock`.
+namespace tklus {
+
+void Locked(Mutex& mu) {
+  std::scoped_lock lock(mu);  // must fire
+}
+
+}  // namespace tklus

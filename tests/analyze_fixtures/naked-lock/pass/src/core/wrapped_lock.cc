@@ -1,0 +1,6 @@
+// Fixture: tklus::MutexLock is the sanctioned RAII lock; nothing fires.
+namespace tklus {
+
+void Locked(Mutex* mu) { MutexLock lock(mu); }
+
+}  // namespace tklus

@@ -1,0 +1,8 @@
+// Fixture: a std::mutex outside common/mutex.h must trip `naked-mutex`.
+#include <mutex>
+
+namespace tklus {
+
+std::mutex g_unchecked_lock;  // must fire
+
+}  // namespace tklus

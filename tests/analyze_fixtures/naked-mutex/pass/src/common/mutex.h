@@ -1,0 +1,17 @@
+// Fixture stand-in for the wrapper header: this is the one place a
+// std::mutex may appear, so nothing may fire here.
+#ifndef FIXTURE_MUTEX_H_
+#define FIXTURE_MUTEX_H_
+
+#include <mutex>
+
+namespace tklus {
+
+class Mutex {
+ private:
+  std::mutex mu_;  // exempt: the wrapper's own member
+};
+
+}  // namespace tklus
+
+#endif  // FIXTURE_MUTEX_H_

@@ -1,0 +1,10 @@
+// Fixture: the annotated wrapper type is the sanctioned spelling. The
+// mention of std::mutex in this comment proves comment immunity.
+namespace tklus {
+
+class Counters {
+ private:
+  Mutex mu_;
+};
+
+}  // namespace tklus

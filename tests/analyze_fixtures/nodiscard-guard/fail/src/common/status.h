@@ -1,0 +1,18 @@
+// Fixture: a status.h whose classes lost [[nodiscard]] must trip
+// `nodiscard-guard`.
+#ifndef FIXTURE_STATUS_H_
+#define FIXTURE_STATUS_H_
+
+namespace tklus {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class Result {};
+
+}  // namespace tklus
+
+#endif  // FIXTURE_STATUS_H_

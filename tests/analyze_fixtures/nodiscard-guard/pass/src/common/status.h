@@ -1,0 +1,17 @@
+// Fixture: both classes carry [[nodiscard]]; nothing fires.
+#ifndef FIXTURE_STATUS_H_
+#define FIXTURE_STATUS_H_
+
+namespace tklus {
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class [[nodiscard]] Result {};
+
+}  // namespace tklus
+
+#endif  // FIXTURE_STATUS_H_

@@ -1,0 +1,13 @@
+// Fixture: libc randomness and wall-clock seeds must trip
+// `nondeterminism`.
+#include <cstdlib>
+#include <ctime>
+
+namespace tklus {
+
+int WeakDraw() {
+  srand(static_cast<unsigned>(time(nullptr)));  // both must fire
+  return rand();                                // must fire
+}
+
+}  // namespace tklus

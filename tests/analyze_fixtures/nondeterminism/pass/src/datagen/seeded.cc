@@ -1,0 +1,7 @@
+// Fixture: the seeded tklus::Rng is the sanctioned source. This comment
+// mentions rand() and time(NULL) to prove comment immunity.
+namespace tklus {
+
+uint64_t Draw(Rng& rng) { return rng.Next(); }
+
+}  // namespace tklus

@@ -1,0 +1,13 @@
+// Fixture: naked pin-protocol calls outside PageGuard/BufferPool must
+// trip `pin-discipline`.
+#include "storage/buffer_pool.h"
+
+namespace tklus {
+
+Status TouchPage(BufferPool* pool, PageId id) {
+  Result<Page*> page = pool->FetchPage(id);  // naked pin: must fire
+  if (!page.ok()) return page.status();
+  return pool->UnpinPage(id, false);  // naked unpin: must fire
+}
+
+}  // namespace tklus

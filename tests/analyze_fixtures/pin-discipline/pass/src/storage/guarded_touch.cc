@@ -1,0 +1,14 @@
+// Fixture: RAII-guarded pinning is the sanctioned pattern; no rule may
+// fire here. The comment below also proves comment immunity: FetchPage.
+#include "storage/page_guard.h"
+
+namespace tklus {
+
+Status TouchPage(BufferPool* pool, PageId id) {
+  Result<PageGuard> page = PageGuard::Fetch(pool, id);
+  if (!page.ok()) return page.status();
+  page->MarkDirty();
+  return Status::Ok();
+}
+
+}  // namespace tklus

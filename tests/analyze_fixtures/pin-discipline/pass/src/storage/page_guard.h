@@ -1,0 +1,28 @@
+// Fixture copy of the allowlisted guard header: the raw pin calls below
+// are the one sanctioned home of the naked API and must NOT fire.
+#ifndef FIXTURE_PAGE_GUARD_H_
+#define FIXTURE_PAGE_GUARD_H_
+
+#include "storage/buffer_pool.h"
+
+namespace tklus {
+
+class PageGuard {
+ public:
+  static Result<PageGuard> Fetch(BufferPool* pool, PageId id) {
+    Result<Page*> page = pool->FetchPage(id);
+    if (!page.ok()) return page.status();
+    return PageGuard(pool, *page);
+  }
+  ~PageGuard() { pool_->UnpinPage(page_->page_id(), dirty_).IgnoreError(); }
+
+ private:
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  BufferPool* pool_;
+  Page* page_;
+  bool dirty_ = false;
+};
+
+}  // namespace tklus
+
+#endif  // FIXTURE_PAGE_GUARD_H_

@@ -1,0 +1,16 @@
+// Fixture: fallible locals that are never consumed must trip
+// `status-discipline`.
+namespace tklus {
+
+Status Flaky();
+Result<int> Answer();
+
+void SwallowStatus() {
+  Status st = Flaky();  // never consumed: must fire
+}
+
+void SwallowResult() {
+  Result<int> answer = Answer();  // never consumed: must fire
+}
+
+}  // namespace tklus

@@ -1,0 +1,30 @@
+// Fixture: every sanctioned consumption pattern; no rule may fire.
+namespace tklus {
+
+Status Flaky();
+Result<int> Answer();
+
+Status Propagate() {
+  Status st = Flaky();
+  TKLUS_RETURN_IF_ERROR(st);
+  return Status::Ok();
+}
+
+Status Inspect() {
+  Status st = Flaky();
+  if (!st.ok()) return st;
+  return Status::Ok();
+}
+
+void BestEffort() {
+  Status st = Flaky();
+  st.IgnoreError();
+}
+
+Result<int> Forward() {
+  Result<int> answer = Answer();
+  if (!answer.ok()) return answer.status();
+  return *answer;
+}
+
+}  // namespace tklus

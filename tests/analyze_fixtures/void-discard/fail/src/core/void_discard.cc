@@ -1,0 +1,11 @@
+// Fixture: a bare (void) cast on a fallible call must trip
+// `void-discard`.
+namespace tklus {
+
+Status Flaky();
+
+void Discard() {
+  (void)Flaky();  // must fire
+}
+
+}  // namespace tklus

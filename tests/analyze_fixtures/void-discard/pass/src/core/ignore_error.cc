@@ -1,0 +1,10 @@
+// Fixture: IgnoreError() is the sanctioned discard; a C-style `(void)`
+// parameter list is not a discard and must not fire either.
+namespace tklus {
+
+Status Flaky();
+int TakesNoArgs(void);
+
+void Discard() { Flaky().IgnoreError(); }
+
+}  // namespace tklus

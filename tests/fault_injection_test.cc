@@ -187,11 +187,11 @@ TEST_F(FaultInjectionTest, NoBufferPoolPinLeaksAcrossQueries) {
   // including on error paths.
   for (int i = 0; i < 5; ++i) {
     (void)engine_->Query(HotelQuery());
-    EXPECT_EQ(engine_->metadata_db().buffer_pool().PinnedCount(), 0u);
+    EXPECT_EQ(engine_->metadata_db().buffer_pool().pinned_page_count(), 0u);
   }
   injector_->FailNext(faults::kDfsRead, FaultKind::kPermanent, 1);
   (void)engine_->Query(HotelQuery());
-  EXPECT_EQ(engine_->metadata_db().buffer_pool().PinnedCount(), 0u);
+  EXPECT_EQ(engine_->metadata_db().buffer_pool().pinned_page_count(), 0u);
 }
 
 TEST_F(FaultInjectionTest, TweetSearchAlsoPropagatesFaults) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 
 #include "common/rng.h"
@@ -10,6 +11,9 @@
 #include "index/posting.h"
 #include "index/postings_ops.h"
 #include "model/dataset.h"
+#include "storage/bplus_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
 
 namespace tklus {
 namespace {
@@ -328,6 +332,43 @@ TEST_F(HybridIndexTest, InvalidGeohashLengthRejected) {
   EXPECT_FALSE(HybridIndex::Build(Dataset{}, &dfs, opts).ok());
   opts.geohash_length = 99;
   EXPECT_FALSE(HybridIndex::Build(Dataset{}, &dfs, opts).ok());
+}
+
+// ------------------------------------------------- storage-backed index
+//
+// An rsid -> sid index persisted in the storage engine's B+-tree, the
+// same structure MetadataDb uses for reply lookups. Exercises the
+// PageGuard pin discipline from a consumer outside src/storage and
+// asserts the pool ends with zero pinned pages.
+TEST(StorageBackedIndexTest, RsidIndexLeavesNoPinnedPages) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("tklus_index_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  {
+    Result<DiskManager> dm = DiskManager::Open((dir / "rsid.db").string());
+    ASSERT_TRUE(dm.ok());
+    BufferPool pool(&*dm, 16);
+    Result<BPlusTree> tree = BPlusTree::Create(&pool);
+    ASSERT_TRUE(tree.ok());
+    // Thread roots 0..99, each with 20 replies.
+    for (int64_t rsid = 0; rsid < 100; ++rsid) {
+      for (int64_t i = 0; i < 20; ++i) {
+        ASSERT_TRUE(
+            tree->Insert(rsid, static_cast<uint64_t>(rsid * 1000 + i)).ok());
+      }
+    }
+    Result<std::vector<uint64_t>> replies = tree->GetAll(42);
+    ASSERT_TRUE(replies.ok());
+    EXPECT_EQ(replies->size(), 20u);
+    Result<std::optional<uint64_t>> missing = tree->Get(100);
+    ASSERT_TRUE(missing.ok());
+    EXPECT_FALSE(missing->has_value());
+    // Teardown invariant: every fetch above went through a PageGuard, so
+    // nothing may still be pinned.
+    EXPECT_EQ(pool.pinned_page_count(), 0u);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(HybridIndexTest, WorkerCountDoesNotChangeContent) {

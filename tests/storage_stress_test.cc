@@ -77,6 +77,8 @@ TEST_F(StressTempDir, BPlusTreeFuzzAgainstModel) {
   (void)tree_vals;
   (void)model_vals;
   (void)current_key;
+  // 30k interleaved ops later every PageGuard must have unpinned.
+  EXPECT_EQ(pool.pinned_page_count(), 0u);
 }
 
 TEST_F(StressTempDir, BPlusTreeTinyPoolSpills) {
@@ -101,6 +103,9 @@ TEST_F(StressTempDir, BPlusTreeTinyPoolSpills) {
     ASSERT_TRUE(got.ok());
     EXPECT_TRUE(got->has_value()) << k;
   }
+  // With only 8 frames a single leaked pin would have exhausted the
+  // pool long before 20k inserts; assert none survived anyway.
+  EXPECT_EQ(pool.pinned_page_count(), 0u);
 }
 
 TEST_F(StressTempDir, HeapScanSeesInsertionOrder) {
@@ -124,6 +129,7 @@ TEST_F(StressTempDir, HeapScanSeesInsertionOrder) {
                   })
                   .ok());
   EXPECT_EQ(expected, 5000u);
+  EXPECT_EQ(pool.pinned_page_count(), 0u);
 }
 
 TEST_F(StressTempDir, MetadataDbDeepThreadChains) {
@@ -146,6 +152,7 @@ TEST_F(StressTempDir, MetadataDbDeepThreadChains) {
   Result<int64_t> fanout = (*db)->MaxReplyFanout();
   ASSERT_TRUE(fanout.ok());
   EXPECT_EQ(*fanout, 1);
+  EXPECT_EQ((*db)->buffer_pool().pinned_page_count(), 0u);
 }
 
 TEST_F(StressTempDir, MetadataDbWideFanout) {
@@ -165,6 +172,7 @@ TEST_F(StressTempDir, MetadataDbWideFanout) {
   Result<int64_t> fanout = (*db)->MaxReplyFanout();
   ASSERT_TRUE(fanout.ok());
   EXPECT_EQ(*fanout, kFanout);
+  EXPECT_EQ((*db)->buffer_pool().pinned_page_count(), 0u);
 }
 
 TEST_F(StressTempDir, BufferPoolFlushAllPersists) {

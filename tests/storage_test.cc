@@ -274,6 +274,14 @@ class BPlusTreeTest : public TempDir {
     tree_ = std::make_unique<BPlusTree>(std::move(*tree));
   }
 
+  // Every tree operation pins pages through PageGuard; by the time a
+  // test finishes, every guard must have unpinned. A nonzero count here
+  // is a pin leak on some code path the test exercised.
+  void TearDown() override {
+    if (pool_) EXPECT_EQ(pool_->pinned_page_count(), 0u);
+    TempDir::TearDown();
+  }
+
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BPlusTree> tree_;
@@ -470,6 +478,7 @@ TEST_F(TableHeapTest, InsertGetScan) {
   int scanned = 0;
   ASSERT_TRUE(heap->Scan([&](Rid, const char*) { ++scanned; }).ok());
   EXPECT_EQ(scanned, 1000);
+  EXPECT_EQ(pool.pinned_page_count(), 0u);
 }
 
 TEST_F(TableHeapTest, RecordTooLargeRejected) {
@@ -478,6 +487,8 @@ TEST_F(TableHeapTest, RecordTooLargeRejected) {
   BufferPool pool(&*dm, 8);
   EXPECT_FALSE(TableHeap::Create(&pool, kPageSize).ok());
   EXPECT_FALSE(TableHeap::Create(&pool, 0).ok());
+  // Rejected creates must not leak pins either.
+  EXPECT_EQ(pool.pinned_page_count(), 0u);
 }
 
 TEST_F(TableHeapTest, RidPackUnpackRoundTrip) {
@@ -516,6 +527,7 @@ TEST_F(TableHeapTest, InterleavedWithBTreePages) {
   int scanned = 0;
   ASSERT_TRUE(heap->Scan([&](Rid, const char*) { ++scanned; }).ok());
   EXPECT_EQ(scanned, 2000);
+  EXPECT_EQ(pool.pinned_page_count(), 0u);
 }
 
 // ----------------------------------------------------------- metadata db
@@ -536,6 +548,7 @@ TEST_F(MetadataDbTest, InsertAndSelectBySid) {
   Result<std::optional<TweetMeta>> missing = (*db)->SelectBySid(9999);
   ASSERT_TRUE(missing.ok());
   EXPECT_FALSE(missing->has_value());
+  EXPECT_EQ((*db)->buffer_pool().pinned_page_count(), 0u);
 }
 
 TEST_F(MetadataDbTest, SelectByRsidFindsAllReplies) {
@@ -556,6 +569,7 @@ TEST_F(MetadataDbTest, SelectByRsidFindsAllReplies) {
   Result<std::vector<TweetMeta>> none = (*db)->SelectByRsid(101);
   ASSERT_TRUE(none.ok());
   EXPECT_TRUE(none->empty());
+  EXPECT_EQ((*db)->buffer_pool().pinned_page_count(), 0u);
 }
 
 TEST_F(MetadataDbTest, MaxReplyFanout) {

@@ -1,0 +1,135 @@
+#include "analyze/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace tklus::analyze {
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Forward-slash path of `file` relative to `root`.
+std::string RelPath(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::proximate(file, root, ec);
+  return (ec ? file : rel).generic_string();
+}
+
+}  // namespace
+
+Result<AnalyzerContext> LoadManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open manifest " + path);
+  AnalyzerContext ctx;
+  ctx.has_manifest = true;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": expected 'module: deps...'");
+    }
+    const std::string module = Trim(line.substr(0, colon));
+    if (module.empty()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": empty module name");
+    }
+    std::set<std::string>& deps = ctx.allowed_deps[module];
+    std::istringstream rest(line.substr(colon + 1));
+    std::string dep;
+    while (rest >> dep) deps.insert(dep);
+  }
+  return ctx;
+}
+
+Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options) {
+  const fs::path root(options.root);
+  if (!fs::exists(root)) {
+    return Status::InvalidArgument("root does not exist: " + options.root);
+  }
+
+  AnalyzerContext ctx;
+  std::string manifest = options.manifest;
+  if (manifest.empty()) {
+    for (const fs::path& candidate :
+         {root / "layers.conf", root / "tools" / "analyze" / "layers.conf"}) {
+      if (fs::exists(candidate)) {
+        manifest = candidate.string();
+        break;
+      }
+    }
+  }
+  if (!manifest.empty()) {
+    Result<AnalyzerContext> loaded = LoadManifest(manifest);
+    if (!loaded.ok()) return loaded.status();
+    ctx = std::move(*loaded);
+  }
+
+  std::vector<std::string> paths = options.paths;
+  if (paths.empty()) paths.push_back("src");
+
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    const fs::path full = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    if (fs::is_regular_file(full)) {
+      files.push_back(full);
+      continue;
+    }
+    if (!fs::is_directory(full)) {
+      return Status::InvalidArgument("scan path not found: " + full.string());
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(full)) {
+      if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  const std::vector<std::unique_ptr<Rule>> rules = BuildRuleSet();
+  std::vector<Diagnostic> diagnostics;
+  for (const fs::path& file : files) {
+    Result<std::string> text = ReadFile(file);
+    if (!text.ok()) return text.status();
+    const SourceFile model = LexFile(RelPath(file, root), *text);
+    for (const auto& rule : rules) {
+      rule->Check(model, ctx, &diagnostics);
+    }
+  }
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.path, a.line, a.rule) <
+                     std::tie(b.path, b.line, b.rule);
+            });
+  return diagnostics;
+}
+
+}  // namespace tklus::analyze

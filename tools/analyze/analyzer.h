@@ -1,0 +1,33 @@
+#ifndef TKLUS_TOOLS_ANALYZE_ANALYZER_H_
+#define TKLUS_TOOLS_ANALYZE_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/rules.h"
+#include "common/status.h"
+
+namespace tklus::analyze {
+
+// Scan configuration: a root directory, scan paths relative to it, and
+// an optional explicit layering manifest. When `manifest` is empty the
+// analyzer looks for `<root>/layers.conf` (fixture roots), then
+// `<root>/tools/analyze/layers.conf` (the real tree).
+struct AnalyzerOptions {
+  std::string root = ".";
+  std::vector<std::string> paths;  // default: {"src"}
+  std::string manifest;
+};
+
+// Loads `path` as a layering manifest: `module: dep dep ...` lines,
+// `#` comments. Declaring a module with no deps is `module:`.
+Result<AnalyzerContext> LoadManifest(const std::string& path);
+
+// Lexes every .h/.cc/.cpp under the scan paths (sorted, so output is
+// deterministic) and runs the full rule set over each file.
+// Diagnostics come back sorted by (path, line, rule).
+Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options);
+
+}  // namespace tklus::analyze
+
+#endif  // TKLUS_TOOLS_ANALYZE_ANALYZER_H_

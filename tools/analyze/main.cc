@@ -1,0 +1,154 @@
+// tklus_analyze — the project's domain-invariant static analyzer.
+//
+// Generic tooling (clang-tidy, thread-safety annotations) cannot see the
+// project's own contracts: the buffer-pool pin protocol, the include-DAG
+// between modules, the Status consumption discipline. This binary checks
+// exactly those, over a lightweight lexical/include model of the tree.
+//
+// Usage:
+//   tklus_analyze [--root DIR] [PATH...]   analyze (default paths: src)
+//   tklus_analyze --selftest [DIR]         prove every rule fires on its
+//                                          fail fixture and stays quiet on
+//                                          its pass fixture
+//   tklus_analyze --list-rules             print the rule catalog
+//
+// Exit codes: 0 clean, 1 violations/selftest failure, 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+
+namespace tklus::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+void PrintDiagnostics(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    std::printf("%s:%d: [%s] %s\n", d.path.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+}
+
+int ListRules() {
+  for (const auto& rule : BuildRuleSet()) {
+    std::printf("%-18s %s\n", std::string(rule->name()).c_str(),
+                std::string(rule->description()).c_str());
+  }
+  return 0;
+}
+
+// Runs every rule against tests/analyze_fixtures/<rule>/{pass,fail}:
+// the pass mini-tree must be completely clean (any rule firing there is
+// a fixture bug), and the fail mini-tree must trip the rule under test.
+// A rule without fixtures fails the selftest — an unproven rule may have
+// silently stopped matching, which is worse than no rule at all.
+int RunSelftest(const std::string& fixtures_dir) {
+  int failures = 0;
+  for (const auto& rule : BuildRuleSet()) {
+    const std::string name(rule->name());
+    const fs::path base = fs::path(fixtures_dir) / name;
+    for (const char* kind : {"pass", "fail"}) {
+      const fs::path dir = base / kind;
+      if (!fs::is_directory(dir)) {
+        std::printf("SELFTEST %-18s missing fixture dir %s\n", name.c_str(),
+                    dir.string().c_str());
+        ++failures;
+        continue;
+      }
+      AnalyzerOptions opts;
+      opts.root = dir.string();
+      opts.paths = {"."};
+      Result<std::vector<Diagnostic>> diags = RunAnalysis(opts);
+      if (!diags.ok()) {
+        std::printf("SELFTEST %-18s %s: %s\n", name.c_str(), kind,
+                    diags.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      if (std::strcmp(kind, "pass") == 0) {
+        if (!diags->empty()) {
+          std::printf("SELFTEST %-18s pass fixture is not clean:\n",
+                      name.c_str());
+          PrintDiagnostics(*diags);
+          ++failures;
+        }
+        continue;
+      }
+      bool fired = false;
+      for (const Diagnostic& d : *diags) {
+        if (d.rule == name) fired = true;
+      }
+      if (!fired) {
+        std::printf("SELFTEST %-18s did not fire on its fail fixture\n",
+                    name.c_str());
+        ++failures;
+      }
+    }
+  }
+  if (failures > 0) {
+    std::printf("selftest: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("selftest OK (every rule fires on its fail fixture and is "
+              "quiet on its pass fixture)\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  AnalyzerOptions opts;
+  bool selftest = false;
+  std::string fixtures_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opts.root = argv[++i];
+    } else if (arg == "--manifest" && i + 1 < argc) {
+      opts.manifest = argv[++i];
+    } else if (arg == "--selftest") {
+      selftest = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') fixtures_dir = argv[++i];
+    } else if (arg == "--list-rules") {
+      return ListRules();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: tklus_analyze [--root DIR] "
+                   "[--manifest FILE] [--selftest [DIR]] [--list-rules] "
+                   "[PATH...]\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      opts.paths.push_back(arg);
+    }
+  }
+
+  if (selftest) {
+    if (fixtures_dir.empty()) {
+      fixtures_dir =
+          (fs::path(opts.root) / "tests" / "analyze_fixtures").string();
+    }
+    return RunSelftest(fixtures_dir);
+  }
+
+  Result<std::vector<Diagnostic>> diags = RunAnalysis(opts);
+  if (!diags.ok()) {
+    std::fprintf(stderr, "tklus_analyze: %s\n",
+                 diags.status().ToString().c_str());
+    return 2;
+  }
+  if (!diags->empty()) {
+    PrintDiagnostics(*diags);
+    std::printf("tklus_analyze: %zu violation(s)\n", diags->size());
+    return 1;
+  }
+  std::printf("tklus_analyze OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tklus::analyze
+
+int main(int argc, char** argv) { return tklus::analyze::Main(argc, argv); }

@@ -1,0 +1,405 @@
+#include "analyze/rules.h"
+
+#include <array>
+#include <string>
+
+namespace tklus::analyze {
+namespace {
+
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+bool IsPunct(const Token& t, char c) {
+  return t.kind == Token::Kind::kPunct && t.text.size() == 1 && t.text[0] == c;
+}
+
+// True if tokens[i..] spell `std::<name>` for any name in `names`.
+template <size_t N>
+bool MatchesStdName(const std::vector<Token>& toks, size_t i,
+                    const std::array<std::string_view, N>& names) {
+  if (i + 3 >= toks.size()) return false;
+  if (!IsIdent(toks[i], "std") || !IsPunct(toks[i + 1], ':') ||
+      !IsPunct(toks[i + 2], ':')) {
+    return false;
+  }
+  for (const std::string_view name : names) {
+    if (IsIdent(toks[i + 3], name)) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ pin-discipline
+
+// Naked pin-protocol calls leak pinned frames whenever an early error
+// return (TKLUS_RETURN_IF_ERROR and friends) fires between a fetch and
+// its unpin. All pinning must go through the RAII PageGuard; only the
+// guard itself and the BufferPool implementation may touch the raw API.
+class PinDisciplineRule : public Rule {
+ public:
+  std::string_view name() const override { return "pin-discipline"; }
+  std::string_view description() const override {
+    return "FetchPage/NewPage/UnpinPage only inside PageGuard/BufferPool; "
+           "everything else pins via storage/page_guard.h";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext&,
+             std::vector<Diagnostic>* out) const override {
+    for (const auto* exempt :
+         {"storage/page_guard.h", "storage/buffer_pool.h",
+          "storage/buffer_pool.cc"}) {
+      if (PathEndsWith(file.path, exempt)) return;
+    }
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!IsPunct(toks[i + 1], '(')) continue;
+      for (const std::string_view fn : {"FetchPage", "NewPage", "UnpinPage"}) {
+        if (IsIdent(toks[i], fn)) {
+          out->push_back(Diagnostic{
+              std::string(name()), file.path, toks[i].line,
+              "naked " + toks[i].text +
+                  " call; pin pages through PageGuard::Fetch/New "
+                  "(storage/page_guard.h) so early error returns cannot "
+                  "leak the pin"});
+        }
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------------------ layering
+
+// Enforces the declared include-DAG (tools/analyze/layers.conf): a module
+// may include only from itself and from the modules the manifest grants
+// it. Keeps lower layers (common, geo, text, storage) from quietly
+// growing upward dependencies that would freeze the architecture.
+class LayeringRule : public Rule {
+ public:
+  std::string_view name() const override { return "layering"; }
+  std::string_view description() const override {
+    return "src/<module> includes only from modules granted by the "
+           "layers.conf include-DAG manifest";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    if (file.module.empty()) return;  // tests/bench/tools are unconstrained
+    for (const IncludeDirective& inc : file.includes) {
+      if (!inc.quoted) continue;
+      const size_t slash = inc.path.find('/');
+      if (slash == std::string::npos) continue;  // not module-qualified
+      const std::string dep = inc.path.substr(0, slash);
+      if (dep == file.module) continue;
+      if (!ctx.has_manifest) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, inc.line,
+            "cross-module include \"" + inc.path +
+                "\" but no layers.conf manifest was found"});
+        continue;
+      }
+      const auto mod_it = ctx.allowed_deps.find(file.module);
+      if (mod_it == ctx.allowed_deps.end()) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, inc.line,
+            "module '" + file.module + "' is not declared in layers.conf"});
+        continue;
+      }
+      if (ctx.allowed_deps.find(dep) == ctx.allowed_deps.end()) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, inc.line,
+            "include \"" + inc.path + "\" targets undeclared module '" +
+                dep + "'"});
+        continue;
+      }
+      if (mod_it->second.count(dep) == 0) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, inc.line,
+            "layering violation: '" + file.module +
+                "' may not include from '" + dep +
+                "' (edge missing from layers.conf)"});
+      }
+    }
+  }
+};
+
+// --------------------------------------------------------- status-discipline
+
+// A Status/Result local that is initialized and then never mentioned
+// again is a swallowed error: [[nodiscard]] only protects the immediate
+// call expression, not a named local that goes stale. Every such local
+// must be consumed — TKLUS_RETURN_IF_ERROR(st), st.ok(), st.IgnoreError(),
+// returning or moving it all count (any later use of the name does).
+class StatusDisciplineRule : public Rule {
+ public:
+  std::string_view name() const override { return "status-discipline"; }
+  std::string_view description() const override {
+    return "Status/Result<T> locals must be consumed "
+           "(TKLUS_RETURN_IF_ERROR, .ok(), IgnoreError(), return/move)";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext&,
+             std::vector<Diagnostic>* out) const override {
+    const auto& toks = file.tokens;
+    // depth_before[i]: brace depth when token i is read. in_block[i]:
+    // whether the innermost enclosing brace frame is a plain block
+    // (function body, loop, ...) rather than a namespace or a
+    // class/struct/enum body — only block-scoped locals are checked, so
+    // default member initializers and namespace-scope globals are exempt.
+    std::vector<int> depth_before(toks.size(), 0);
+    std::vector<char> in_block(toks.size(), 0);
+    std::vector<char> frame_is_block;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      depth_before[i] = static_cast<int>(frame_is_block.size());
+      in_block[i] = !frame_is_block.empty() && frame_is_block.back();
+      if (IsPunct(toks[i], '{')) {
+        // Classify the frame by the tokens since the previous statement
+        // boundary: a type or namespace keyword there means this brace
+        // opens a declaration body, not executable scope.
+        bool is_block = true;
+        for (size_t j = i; j-- > 0;) {
+          if (IsPunct(toks[j], ';') || IsPunct(toks[j], '{') ||
+              IsPunct(toks[j], '}')) {
+            break;
+          }
+          if (IsIdent(toks[j], "class") || IsIdent(toks[j], "struct") ||
+              IsIdent(toks[j], "union") || IsIdent(toks[j], "enum") ||
+              IsIdent(toks[j], "namespace")) {
+            is_block = false;
+            break;
+          }
+        }
+        frame_is_block.push_back(is_block);
+      }
+      if (IsPunct(toks[i], '}') && !frame_is_block.empty()) {
+        frame_is_block.pop_back();
+      }
+    }
+    for (size_t i = 0; i < toks.size(); ++i) {
+      size_t var_idx = 0;
+      if (IsIdent(toks[i], "Status") && i + 2 < toks.size() &&
+          toks[i + 1].kind == Token::Kind::kIdent &&
+          IsPunct(toks[i + 2], '=')) {
+        var_idx = i + 1;
+      } else if (IsIdent(toks[i], "Result") && i + 1 < toks.size() &&
+                 IsPunct(toks[i + 1], '<')) {
+        // Find the matching `>` of the template argument list.
+        int angle = 1;
+        size_t j = i + 2;
+        for (; j < toks.size() && angle > 0; ++j) {
+          if (IsPunct(toks[j], '<')) ++angle;
+          if (IsPunct(toks[j], '>')) --angle;
+        }
+        if (angle == 0 && j + 1 < toks.size() &&
+            toks[j].kind == Token::Kind::kIdent && IsPunct(toks[j + 1], '=')) {
+          var_idx = j;
+        }
+      }
+      if (var_idx == 0) continue;
+      if (!in_block[var_idx]) continue;  // member/global, not a local
+      const std::string& var = toks[var_idx].text;
+      const int decl_depth = depth_before[var_idx];
+      bool consumed = false;
+      for (size_t j = var_idx + 2; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], '}') && depth_before[j] == decl_depth) {
+          break;  // the block holding the local closed
+        }
+        if (toks[j].kind == Token::Kind::kIdent && toks[j].text == var) {
+          consumed = true;
+          break;
+        }
+      }
+      if (!consumed) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, toks[var_idx].line,
+            "fallible local '" + var +
+                "' is never consumed; check it with TKLUS_RETURN_IF_ERROR/"
+                ".ok() or discard explicitly with IgnoreError()"});
+      }
+    }
+  }
+};
+
+// --------------------------------------------------------------- naked-mutex
+
+// Locks must be tklus::Mutex (common/mutex.h) so Clang thread-safety
+// analysis and the TKLUS_GUARDED_BY annotations can see them. Migrated
+// from the old grep lint; token-level, so comments/strings are exempt.
+class NakedMutexRule : public Rule {
+ public:
+  std::string_view name() const override { return "naked-mutex"; }
+  std::string_view description() const override {
+    return "std::mutex family banned; use tklus::Mutex (common/mutex.h)";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext&,
+             std::vector<Diagnostic>* out) const override {
+    if (PathEndsWith(file.path, "common/mutex.h")) return;
+    static constexpr std::array<std::string_view, 4> kNames = {
+        "mutex", "shared_mutex", "recursive_mutex", "timed_mutex"};
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (MatchesStdName(toks, i, kNames)) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, toks[i].line,
+            "naked std::" + toks[i + 3].text +
+                "; use tklus::Mutex from common/mutex.h"});
+      }
+    }
+  }
+};
+
+class NakedLockRule : public Rule {
+ public:
+  std::string_view name() const override { return "naked-lock"; }
+  std::string_view description() const override {
+    return "std::lock_guard family banned; use tklus::MutexLock "
+           "(common/mutex.h)";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext&,
+             std::vector<Diagnostic>* out) const override {
+    if (PathEndsWith(file.path, "common/mutex.h")) return;
+    static constexpr std::array<std::string_view, 4> kNames = {
+        "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (MatchesStdName(toks, i, kNames)) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, toks[i].line,
+            "naked std::" + toks[i + 3].text +
+                "; use tklus::MutexLock from common/mutex.h"});
+      }
+    }
+  }
+};
+
+// -------------------------------------------------------------- void-discard
+
+// `(void)fallible()` silently defeats [[nodiscard]]. The sanctioned,
+// greppable spelling is `.IgnoreError()`.
+class VoidDiscardRule : public Rule {
+ public:
+  std::string_view name() const override { return "void-discard"; }
+  std::string_view description() const override {
+    return "(void) casts on calls banned; discard with .IgnoreError()";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext&,
+             std::vector<Diagnostic>* out) const override {
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (!IsPunct(toks[i], '(') || !IsIdent(toks[i + 1], "void") ||
+          !IsPunct(toks[i + 2], ')') ||
+          toks[i + 3].kind != Token::Kind::kIdent) {
+        continue;
+      }
+      // Walk the qualified name (`ns::obj`), then require a call or a
+      // member access — `int f(void)` parameter lists never match.
+      size_t j = i + 4;
+      while (j < toks.size() &&
+             (IsPunct(toks[j], ':') || toks[j].kind == Token::Kind::kIdent)) {
+        ++j;
+      }
+      const bool applied =
+          j < toks.size() &&
+          (IsPunct(toks[j], '(') || IsPunct(toks[j], '.') ||
+           (IsPunct(toks[j], '-') && j + 1 < toks.size() &&
+            IsPunct(toks[j + 1], '>')));
+      if (applied) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, toks[i].line,
+            "(void) cast discards a result; use .IgnoreError() on "
+            "fallible calls so the discard is named and greppable"});
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------------ nondeterminism
+
+// Benchmarks, datagen and fault injection are all seeded (common/rng.h);
+// libc rand()/srand(), wall-clock seeds and std::random_device make runs
+// unreproducible.
+class NondeterminismRule : public Rule {
+ public:
+  std::string_view name() const override { return "nondeterminism"; }
+  std::string_view description() const override {
+    return "rand()/srand()/time(NULL)/std::random_device banned; seed "
+           "tklus::Rng (common/rng.h)";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext&,
+             std::vector<Diagnostic>* out) const override {
+    const auto& toks = file.tokens;
+    static constexpr std::array<std::string_view, 1> kRandomDevice = {
+        "random_device"};
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const bool libc_rand =
+          i + 2 < toks.size() && IsIdent(toks[i], "rand") &&
+          IsPunct(toks[i + 1], '(') && IsPunct(toks[i + 2], ')');
+      const bool libc_srand = i + 1 < toks.size() &&
+                              IsIdent(toks[i], "srand") &&
+                              IsPunct(toks[i + 1], '(');
+      const bool wall_clock_seed =
+          i + 3 < toks.size() && IsIdent(toks[i], "time") &&
+          IsPunct(toks[i + 1], '(') &&
+          (IsIdent(toks[i + 2], "NULL") || IsIdent(toks[i + 2], "nullptr")) &&
+          IsPunct(toks[i + 3], ')');
+      if (libc_rand || libc_srand || wall_clock_seed ||
+          MatchesStdName(toks, i, kRandomDevice)) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, toks[i].line,
+            "nondeterministic source '" + toks[i].text +
+                "'; use the seeded tklus::Rng (common/rng.h)"});
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------------ nodiscard-guard
+
+// The whole error-discipline stack leans on Status/Result<T> being
+// [[nodiscard]]; losing the attribute would silently disarm the compiler
+// check everywhere.
+class NodiscardGuardRule : public Rule {
+ public:
+  std::string_view name() const override { return "nodiscard-guard"; }
+  std::string_view description() const override {
+    return "common/status.h must keep class [[nodiscard]] Status/Result";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext&,
+             std::vector<Diagnostic>* out) const override {
+    if (!PathEndsWith(file.path, "common/status.h")) return;
+    for (const std::string_view cls : {"Status", "Result"}) {
+      if (!HasNodiscardClass(file.tokens, cls)) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, 1,
+            "class " + std::string(cls) +
+                " lost its [[nodiscard]] attribute"});
+      }
+    }
+  }
+
+ private:
+  static bool HasNodiscardClass(const std::vector<Token>& toks,
+                                std::string_view cls) {
+    for (size_t i = 0; i + 6 < toks.size(); ++i) {
+      if (IsIdent(toks[i], "class") && IsPunct(toks[i + 1], '[') &&
+          IsPunct(toks[i + 2], '[') && IsIdent(toks[i + 3], "nodiscard") &&
+          IsPunct(toks[i + 4], ']') && IsPunct(toks[i + 5], ']') &&
+          IsIdent(toks[i + 6], cls)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> BuildRuleSet() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<PinDisciplineRule>());
+  rules.push_back(std::make_unique<LayeringRule>());
+  rules.push_back(std::make_unique<StatusDisciplineRule>());
+  rules.push_back(std::make_unique<NakedMutexRule>());
+  rules.push_back(std::make_unique<NakedLockRule>());
+  rules.push_back(std::make_unique<VoidDiscardRule>());
+  rules.push_back(std::make_unique<NondeterminismRule>());
+  rules.push_back(std::make_unique<NodiscardGuardRule>());
+  return rules;
+}
+
+}  // namespace tklus::analyze

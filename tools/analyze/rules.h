@@ -1,0 +1,51 @@
+#ifndef TKLUS_TOOLS_ANALYZE_RULES_H_
+#define TKLUS_TOOLS_ANALYZE_RULES_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/source_model.h"
+
+namespace tklus::analyze {
+
+// One finding. `rule` is the rule's stable name (what --selftest keys on
+// and what a suppression would reference); `path` is relative to the scan
+// root.
+struct Diagnostic {
+  std::string rule;
+  std::string path;
+  int line;
+  std::string message;
+};
+
+// Shared inputs every rule sees: the layering manifest (module ->
+// modules it may include from). `has_manifest` distinguishes "no manifest
+// found" from "manifest with no edges" — the layering rule reports
+// cross-module includes as errors in the former case rather than
+// silently passing.
+struct AnalyzerContext {
+  std::map<std::string, std::set<std::string>> allowed_deps;
+  bool has_manifest = false;
+};
+
+// A domain-invariant check over one file's lexical model. Rules must be
+// pure (no state across files) so scan order never changes the outcome.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+  virtual void Check(const SourceFile& file, const AnalyzerContext& ctx,
+                     std::vector<Diagnostic>* out) const = 0;
+};
+
+// The full registered rule set, in reporting order.
+std::vector<std::unique_ptr<Rule>> BuildRuleSet();
+
+}  // namespace tklus::analyze
+
+#endif  // TKLUS_TOOLS_ANALYZE_RULES_H_

@@ -1,0 +1,155 @@
+#include "analyze/source_model.h"
+
+#include <cctype>
+
+namespace tklus::analyze {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses the payload of an `#include` line starting at `pos` (just past
+// the "include" keyword). Returns false if the line is malformed.
+bool ParseIncludeTarget(std::string_view text, size_t pos, int line,
+                        std::vector<IncludeDirective>* out) {
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  if (pos >= text.size()) return false;
+  const char open = text[pos];
+  const char close = open == '"' ? '"' : (open == '<' ? '>' : '\0');
+  if (close == '\0') return false;
+  const size_t start = pos + 1;
+  const size_t end = text.find(close, start);
+  if (end == std::string_view::npos) return false;
+  out->push_back(IncludeDirective{std::string(text.substr(start, end - start)),
+                                  /*quoted=*/open == '"', line});
+  return true;
+}
+
+}  // namespace
+
+bool PathEndsWith(std::string_view path, std::string_view suffix) {
+  if (path.size() < suffix.size()) return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  return path.size() == suffix.size() ||
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+SourceFile LexFile(std::string rel_path, std::string_view text) {
+  SourceFile file;
+  file.path = std::move(rel_path);
+  if (file.path.rfind("src/", 0) == 0) {
+    const size_t slash = file.path.find('/', 4);
+    if (slash != std::string::npos) {
+      file.module = file.path.substr(4, slash - 4);
+    }
+  }
+
+  int line = 1;
+  size_t i = 0;
+  const size_t n = text.size();
+  bool at_line_start = true;  // only whitespace seen since the last newline
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    // Preprocessor directive at the start of a line: extract #include
+    // targets (the angle-bracket form would otherwise lex as `<` tokens);
+    // other directives fall through to normal tokenization.
+    if (c == '#' && at_line_start) {
+      size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      if (text.compare(j, 7, "include") == 0) {
+        ParseIncludeTarget(text, j + 7, line, &file.includes);
+        while (i < n && text[i] != '\n') ++i;
+        continue;
+      }
+    }
+    at_line_start = false;
+    // Raw string literal (skipped wholesale; delimiters are rare enough
+    // that only the R"( ... )" form is recognized).
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim.push_back(text[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const size_t end = text.find(closer, j);
+      const size_t stop = end == std::string_view::npos ? n : end + closer.size();
+      for (size_t k = i; k < stop; ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      file.tokens.push_back(Token{Token::Kind::kString, "<raw-string>", line});
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const int start_line = line;
+      size_t j = i + 1;
+      while (j < n && text[j] != c) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      file.tokens.push_back(Token{
+          c == '"' ? Token::Kind::kString : Token::Kind::kChar,
+          std::string(text.substr(i, j + 1 - i)), start_line});
+      i = j + 1;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      file.tokens.push_back(Token{Token::Kind::kIdent,
+                                  std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      while (j < n && (IsIdentChar(text[j]) || text[j] == '.' ||
+                       text[j] == '\'')) {
+        ++j;
+      }
+      file.tokens.push_back(Token{Token::Kind::kNumber,
+                                  std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Single-character punctuation; rules match multi-char operators as
+    // token sequences (e.g. `::` is two `:` tokens).
+    file.tokens.push_back(Token{Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return file;
+}
+
+}  // namespace tklus::analyze

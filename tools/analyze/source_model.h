@@ -1,0 +1,47 @@
+#ifndef TKLUS_TOOLS_ANALYZE_SOURCE_MODEL_H_
+#define TKLUS_TOOLS_ANALYZE_SOURCE_MODEL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tklus::analyze {
+
+// One lexical token. The lexer strips comments and collapses string/char
+// literals into single tokens, so rules never false-positive on a banned
+// spelling inside a comment or a log message — the main precision win
+// over the grep-based lint this analyzer replaced.
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+// An `#include` directive, extracted before tokenization.
+struct IncludeDirective {
+  std::string path;  // as written between the delimiters
+  bool quoted;       // "module/header.h" (true) vs <vector> (false)
+  int line;
+};
+
+// The lexical model of one file that rules run against.
+struct SourceFile {
+  std::string path;    // forward-slash path relative to the scan root
+  std::string module;  // "storage" for src/storage/...; "" outside src/
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+};
+
+// Lexes `text` into the model. `rel_path` must already be normalized to
+// forward slashes and relative to the scan root.
+SourceFile LexFile(std::string rel_path, std::string_view text);
+
+// True if `path` ends with the path suffix `suffix` on a component
+// boundary (so "storage/buffer_pool.h" matches "src/storage/buffer_pool.h"
+// but not "src/storage/other_buffer_pool.h").
+bool PathEndsWith(std::string_view path, std::string_view suffix);
+
+}  // namespace tklus::analyze
+
+#endif  // TKLUS_TOOLS_ANALYZE_SOURCE_MODEL_H_
