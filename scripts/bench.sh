@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the machine-readable performance baseline (bench_query_throughput)
+# and leaves BENCH_query.json in the repo root.
+#
+# Usage:
+#   scripts/bench.sh             full run (default 60k-tweet corpus)
+#   scripts/bench.sh --smoke     small corpus, <1 min — the CI smoke job
+#   scripts/bench.sh ARGS...     extra args forwarded to the binary
+#
+# Reuses an existing build when one has the binary; otherwise configures
+# a RelWithDebInfo build into build/ first. TKLUS_BENCH_TWEETS scales the
+# corpus as for every other bench binary.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+bin=$(ls -t build*/bench/bench_query_throughput 2>/dev/null | head -n1 || true)
+if [ -z "$bin" ] || [ ! -x "$bin" ]; then
+  echo "bench: building bench_query_throughput"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build -j"$(nproc)" --target bench_query_throughput
+  bin=build/bench/bench_query_throughput
+fi
+
+exec "$bin" --out BENCH_query.json "$@"

@@ -1,6 +1,7 @@
 #ifndef TKLUS_COMMON_MUTEX_H_
 #define TKLUS_COMMON_MUTEX_H_
 
+#include <condition_variable>
 #include <mutex>
 
 // Clang thread-safety analysis (-Wthread-safety) attributes, in the style
@@ -42,6 +43,13 @@
   TKLUS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
 #define TKLUS_TRY_ACQUIRE(...) \
   TKLUS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// Shared (reader) flavor of acquire/release for SharedMutex: many holders
+// of the shared capability may coexist; the exclusive flavor above still
+// excludes everyone.
+#define TKLUS_ACQUIRE_SHARED(...) \
+  TKLUS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define TKLUS_RELEASE_SHARED(...) \
+  TKLUS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
 // The function must be called with the capability *not* held (deadlock
 // guard for functions that lock internally).
 #define TKLUS_EXCLUDES(...) TKLUS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
@@ -81,6 +89,96 @@ class TKLUS_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex* mu_;
+};
+
+// An annotated reader-writer mutex. Readers (LockShared) may overlap each
+// other; a writer (Lock) excludes everyone. Same annotation contract as
+// Mutex: a TKLUS_GUARDED_BY(shared_mu_) field may be *read* under either
+// flavor but *written* only under the exclusive one, and Clang's analysis
+// enforces exactly that split.
+//
+// Writer-preferring by construction (hand-rolled over mutex + condvars
+// rather than std::shared_mutex, whose glibc backing is reader-preferring):
+// once a writer is waiting, new readers queue behind it, so a continuous
+// stream of readers — e.g. query threads hammering the engine — can never
+// starve an appender. Readers already inside are drained first; the writer
+// goes next; queued readers resume after it.
+class TKLUS_CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() TKLUS_ACQUIRE() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++waiting_writers_;
+    writer_cv_.wait(lock,
+                    [this] { return !writer_active_ && active_readers_ == 0; });
+    --waiting_writers_;
+    writer_active_ = true;
+  }
+  void Unlock() TKLUS_RELEASE() {
+    std::unique_lock<std::mutex> lock(mu_);
+    writer_active_ = false;
+    if (waiting_writers_ > 0) {
+      writer_cv_.notify_one();
+    } else {
+      reader_cv_.notify_all();
+    }
+  }
+  void LockShared() TKLUS_ACQUIRE_SHARED() {
+    std::unique_lock<std::mutex> lock(mu_);
+    reader_cv_.wait(lock,
+                    [this] { return !writer_active_ && waiting_writers_ == 0; });
+    ++active_readers_;
+  }
+  void UnlockShared() TKLUS_RELEASE_SHARED() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--active_readers_ == 0 && waiting_writers_ > 0) {
+      writer_cv_.notify_one();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable reader_cv_;
+  std::condition_variable writer_cv_;
+  int active_readers_ = 0;
+  int waiting_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+// RAII exclusive (writer) lock over a SharedMutex:
+//   WriterMutexLock lock(&shared_mu_);
+class TKLUS_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) TKLUS_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() TKLUS_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+// RAII shared (reader) lock over a SharedMutex:
+//   ReaderMutexLock lock(&shared_mu_);
+class TKLUS_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) TKLUS_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() TKLUS_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
 };
 
 }  // namespace tklus

@@ -68,7 +68,7 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
   // AppendBatch calls stay O(1) per post), per-user location profiles
   // (Def. 9). The engine is not yet published, but the fields are
   // lock-annotated, so initialize them under the (uncontended) lock.
-  MutexLock lock(&engine->mu_);
+  WriterMutexLock lock(&engine->mu_);
   const Tokenizer tokenizer(options.tokenizer);
   engine->graph_ = SocialGraph::Build(dataset);
   engine->vocabulary_ = dataset.BuildVocabulary(tokenizer);
@@ -104,6 +104,11 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
   engine->processor_ = std::make_unique<QueryProcessor>(
       engine->index_.get(), engine->db_.get(), &engine->bounds_,
       &engine->user_locations_, tokenizer, proc_options);
+  if (options.popularity_cache_entries > 0) {
+    engine->popularity_cache_ = std::make_unique<PopularityCache>(
+        PopularityCache::Options{options.popularity_cache_entries});
+    engine->processor_->set_popularity_cache(engine->popularity_cache_.get());
+  }
   return engine;
 }
 
@@ -125,7 +130,7 @@ constexpr uint64_t kEngineMagic = 0x32656e69676e6554ULL;  // format v2
 }  // namespace
 
 Status TkLusEngine::AppendBatch(const Dataset& batch) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   const Tokenizer tokenizer(options_.tokenizer);
   int64_t previous = max_sid_;
   for (const Post& p : batch.posts()) {
@@ -137,6 +142,10 @@ Status TkLusEngine::AppendBatch(const Dataset& batch) {
     }
     previous = p.sid;
   }
+  // Bump the φ(p) memo generation before touching any state: memoized
+  // popularities can span reply chains the batch extends, and a partial
+  // failure below must not leave stale entries servable.
+  if (popularity_cache_) popularity_cache_->Invalidate();
   for (const Post& p : batch.posts()) {
     TKLUS_RETURN_IF_ERROR(db_->Insert(TweetMeta{
         p.sid, p.uid, p.location.lat, p.location.lon, p.ruid, p.rsid}));
@@ -158,7 +167,7 @@ Status TkLusEngine::AppendBatch(const Dataset& batch) {
 }
 
 Status TkLusEngine::Save(const std::string& dir) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   std::filesystem::create_directories(dir);
   // Metadata DB: header + dirty pages to its own file (plus the page-
   // checksum sidecar, written by FlushAll). When saving into a different
@@ -271,7 +280,7 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
   std::istringstream in(std::move(*payload), std::ios::binary);
   // As in Build: the engine is private to this function, but the fields
   // deserialized below are lock-annotated, so hold the (uncontended) lock.
-  MutexLock lock(&engine->mu_);
+  WriterMutexLock lock(&engine->mu_);
   uint64_t magic = 0;
   if (!serde::ReadU64(in, &magic) || magic != kEngineMagic) {
     return Status::Corruption("not an engine image");
@@ -344,18 +353,23 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
       engine->index_.get(), engine->db_.get(), &engine->bounds_,
       &engine->user_locations_, Tokenizer(engine->options_.tokenizer),
       proc_options);
+  if (options.popularity_cache_entries > 0) {
+    engine->popularity_cache_ = std::make_unique<PopularityCache>(
+        PopularityCache::Options{options.popularity_cache_entries});
+    engine->processor_->set_popularity_cache(engine->popularity_cache_.get());
+  }
   return engine;
 }
 
 Result<QueryResult> TkLusEngine::Query(const TkLusQuery& query) {
-  // Exclusive, not shared: the read path mutates the metadata-DB buffer
-  // pool (LRU lists, pins), which is single-threaded by design.
-  MutexLock lock(&mu_);
+  // Shared: the read path is re-entrant (internally latched buffer pool,
+  // read-only page contents between appends) — see the class comment.
+  ReaderMutexLock lock(&mu_);
   return processor_->Process(query);
 }
 
 Result<TweetQueryResult> TkLusEngine::QueryTweets(const TkLusQuery& query) {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return processor_->ProcessTweets(query);
 }
 

@@ -16,6 +16,7 @@
 #include "dfs/dfs.h"
 #include "index/hybrid_index.h"
 #include "model/dataset.h"
+#include "social/popularity_cache.h"
 #include "social/social_graph.h"
 #include "storage/metadata_db.h"
 #include "text/vocabulary.h"
@@ -33,13 +34,18 @@ namespace tklus {
 //                .keywords = {"hotel"}, .k = 5};
 //   auto result = (*engine)->Query(q);
 //
-// Concurrency contract: Query, QueryTweets, AppendBatch and Save are
-// thread-safe with respect to each other — all four serialize on one
-// engine-wide mutex (the buffer pool under the metadata DB is
-// single-threaded by design, so queries cannot yet overlap; making the
-// read path shared-lock concurrent is future work this annotation layer
-// gates). The component accessors (index(), metadata_db(), dfs(), ...)
-// bypass the lock and are for benchmarks/tests on a quiescent engine only.
+// Concurrency contract: Query and QueryTweets take the engine lock in
+// shared mode and may run concurrently with each other from any number
+// of threads; AppendBatch and Save take it exclusively and serialize
+// against everything. This is sound because the whole read path is
+// re-entrant under a quiescent writer: the metadata DB's buffer pool is
+// internally latched (page table / LRU / pins under its own mutex), page
+// *contents* are read-only between appends (Insert — the only mutator —
+// runs under the exclusive writer lock), the hybrid index snapshots its
+// forward-index state under its own lock, and the popularity cache is
+// sharded-lock thread-safe with generation-based invalidation on append.
+// The component accessors (index(), metadata_db(), dfs(), ...) bypass
+// the lock and are for benchmarks/tests on a quiescent engine only.
 class TkLusEngine {
  public:
   struct Options {
@@ -63,6 +69,10 @@ class TkLusEngine {
     FaultInjector* fault_injector = nullptr;
     RetryPolicy dfs_retry;
     int max_task_attempts = 4;
+    // Capacity (entries) of the engine-owned φ(p) memo shared across
+    // queries; AppendBatch invalidates it wholesale via a generation
+    // bump. 0 disables the cache (every query rebuilds every thread).
+    size_t popularity_cache_entries = 1 << 16;
   };
 
   // Builds every subsystem from `dataset`. The dataset is not retained.
@@ -139,12 +149,13 @@ class TkLusEngine {
 
   Options options_;
   bool owns_working_dir_ = false;
-  // Engine-wide lock: serializes the public mutating/querying entry
-  // points (see the class comment). The unique_ptr components below are
-  // wired once during Build/Open and never reseated, so the pointers
-  // themselves need no guard; their pointees are protected by taking mu_
-  // in every public entry point that touches them.
-  mutable Mutex mu_;
+  // Engine-wide reader-writer lock: Query/QueryTweets hold it shared,
+  // AppendBatch/Save exclusive (see the class comment). The unique_ptr
+  // components below are wired once during Build/Open and never
+  // reseated, so the pointers themselves need no guard; their pointees
+  // are protected by the shared/exclusive discipline of the public
+  // entry points.
+  mutable SharedMutex mu_;
   std::unique_ptr<SimulatedDfs> dfs_;
   std::unique_ptr<MetadataDb> db_;
   std::unique_ptr<HybridIndex> index_;
@@ -155,6 +166,10 @@ class TkLusEngine {
   int64_t max_sid_ TKLUS_GUARDED_BY(mu_) = INT64_MIN;
   std::unordered_map<UserId, std::vector<GeoPoint>> user_locations_
       TKLUS_GUARDED_BY(mu_);
+  // φ(p) memo shared by all concurrent queries; internally thread-safe
+  // (sharded locks), invalidated by AppendBatch's generation bump.
+  // Null when Options::popularity_cache_entries == 0.
+  std::unique_ptr<PopularityCache> popularity_cache_;
   std::unique_ptr<QueryProcessor> processor_;
 };
 

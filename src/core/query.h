@@ -84,6 +84,12 @@ struct QueryStats {
   size_t within_radius = 0;
   size_t threads_built = 0;
   size_t threads_pruned = 0;    // Alg. 5 line 19 skips
+  // Engine popularity-cache traffic for this query: hits are candidates
+  // whose φ(p) was served memoized (no thread construction, no rsid
+  // descents); misses were computed and installed. Both zero when the
+  // cache is disabled.
+  uint64_t popularity_cache_hits = 0;
+  uint64_t popularity_cache_misses = 0;
   uint64_t db_page_reads = 0;   // metadata DB physical reads
   uint64_t dfs_block_reads = 0; // postings fetch reads
   // Fault-tolerance accounting: DFS reads re-issued after a transient

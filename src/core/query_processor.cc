@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_set>
 
 #include "common/stopwatch.h"
 #include "geo/circle_cover.h"
@@ -15,35 +16,55 @@ namespace {
 // Running top-k score threshold: the paper's topKUser priority queue
 // (Alg. 5 line 3). Scores only grow during a scan (every contribution is
 // non-negative), so the peek value is monotone and pruning stays valid.
+//
+// Only the k largest current scores are materialized (`topk_`), so Peek is
+// the multiset minimum — O(1) — instead of an O(k) std::advance over every
+// user's score on every candidate. Score monotonicity makes the bounded
+// set maintainable: a user's new score can only move it further into the
+// top k, never out of it.
 class TopKTracker {
  public:
   explicit TopKTracker(int k) : k_(k) {}
 
   // Updates user's current score (must be >= its previous score).
   void Update(UserId uid, double score) {
+    double old_score = 0.0;
+    bool had_old = false;
     const auto it = current_.find(uid);
     if (it != current_.end()) {
-      scores_.erase(scores_.find(it->second));
+      old_score = it->second;
+      had_old = true;
       it->second = score;
     } else {
       current_.emplace(uid, score);
     }
-    scores_.insert(score);
+    if (had_old) {
+      // Scores are compared by value: if several users share old_score,
+      // evicting any one copy keeps topk_ the correct value-multiset.
+      const auto pos = topk_.find(old_score);
+      if (pos != topk_.end()) {
+        topk_.erase(pos);
+        topk_.insert(score);
+        return;
+      }
+    }
+    if (static_cast<int>(topk_.size()) < k_) {
+      topk_.insert(score);
+    } else if (score > *topk_.begin()) {
+      topk_.erase(topk_.begin());
+      topk_.insert(score);
+    }
   }
 
   bool Full() const { return static_cast<int>(current_.size()) >= k_; }
 
-  // k-th largest current score — topKUser.peek().
-  double Peek() const {
-    auto it = scores_.rbegin();
-    std::advance(it, k_ - 1);
-    return *it;
-  }
+  // k-th largest current score — topKUser.peek(). Only valid when Full().
+  double Peek() const { return *topk_.begin(); }
 
  private:
   int k_;
   std::unordered_map<UserId, double> current_;
-  std::multiset<double> scores_;
+  std::multiset<double> topk_;  // the k largest current scores
 };
 
 uint64_t DfsBlockReads(const SimulatedDfs* dfs) {
@@ -62,11 +83,11 @@ uint64_t InjectedFaults(const SimulatedDfs* dfs) {
 std::vector<std::string> QueryProcessor::NormalizeKeywords(
     const std::vector<std::string>& keywords) const {
   std::vector<std::string> terms;
+  std::unordered_set<std::string> seen;
   for (const std::string& keyword : keywords) {
     for (std::string& term : tokenizer_.Tokenize(keyword)) {
-      if (std::find(terms.begin(), terms.end(), term) == terms.end()) {
-        terms.push_back(std::move(term));
-      }
+      if (!seen.insert(term).second) continue;  // O(1) dedup, order kept
+      terms.push_back(std::move(term));
     }
   }
   return terms;
@@ -88,6 +109,32 @@ double QueryProcessor::FinalScore(const UserState& state,
   const double rho =
       ranking == Ranking::kSum ? state.rho_sum : state.rho_max;
   return UserScore(rho, state.delta_user, options_.scoring);
+}
+
+Result<double> QueryProcessor::Popularity(TweetId root_sid,
+                                          ThreadBuilder& builder,
+                                          QueryStats& stats) {
+  if (popularity_cache_ != nullptr) {
+    const std::optional<double> cached = popularity_cache_->Get(
+        root_sid, options_.thread_depth, options_.scoring.epsilon);
+    if (cached.has_value()) {
+      ++stats.popularity_cache_hits;
+      return *cached;
+    }
+  }
+  // Capture the epoch before the rsid descents so a φ computed against a
+  // pre-append thread can never be installed into a post-append cache.
+  const uint64_t generation =
+      popularity_cache_ != nullptr ? popularity_cache_->generation() : 0;
+  Result<double> popularity = builder.Popularity(root_sid);
+  if (!popularity.ok()) return popularity;
+  ++stats.threads_built;
+  if (popularity_cache_ != nullptr) {
+    ++stats.popularity_cache_misses;
+    popularity_cache_->Put(root_sid, options_.thread_depth,
+                           options_.scoring.epsilon, generation, *popularity);
+  }
+  return popularity;
 }
 
 Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
@@ -166,16 +213,28 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
   std::unordered_map<UserId, UserState> users;
   TopKTracker tracker(query.k);
 
+  // Line 20 (Alg. 4) / line 22 (Alg. 5): resolve every candidate's user
+  // and location through the metadata DB. Candidates are tid-sorted
+  // (postings combination preserves order), so the whole run resolves
+  // with one batched descent + a leaf-chain walk of the sid B+-tree
+  // instead of one root-to-leaf descent per candidate.
+  std::vector<int64_t> candidate_sids;
+  candidate_sids.reserve(candidates.size());
   for (const Posting& posting : candidates) {
-    // Line 20 (Alg. 4) / line 22 (Alg. 5): resolve the tweet's user and
-    // location through the metadata DB.
-    Result<std::optional<TweetMeta>> meta = db_->SelectBySid(posting.tid);
-    if (!meta.ok()) return meta.status();
-    if (!meta->has_value()) {
+    candidate_sids.push_back(posting.tid);
+  }
+  Result<std::vector<std::optional<TweetMeta>>> metas =
+      db_->SelectBySidBatch(candidate_sids);
+  if (!metas.ok()) return metas.status();
+
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    const Posting& posting = candidates[ci];
+    const std::optional<TweetMeta>& meta = (*metas)[ci];
+    if (!meta.has_value()) {
       return Status::Corruption("indexed tweet missing from metadata DB: " +
                                 std::to_string(posting.tid));
     }
-    const TweetMeta& row = meta->value();
+    const TweetMeta& row = meta.value();
     // Lines 16-17: distance filter (cells overhang the circle).
     const double dist = EuclideanKm(GeoPoint{row.lat, row.lon},
                                     query.location);
@@ -202,9 +261,9 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
     if (prune) {
       ++stats.threads_pruned;
     } else {
-      Result<double> popularity = thread_builder.Popularity(posting.tid);
+      Result<double> popularity = Popularity(posting.tid, thread_builder,
+                                             stats);
       if (!popularity.ok()) return popularity.status();
-      ++stats.threads_built;
       double rho = KeywordRelevance(posting.tf, *popularity, options_.scoring);
       if (query.temporal.half_life.has_value()) {
         // Recency decay <= 1, so the Alg. 5 bound stays admissible.
@@ -301,21 +360,30 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
   ThreadBuilder thread_builder(
       db_, ThreadBuilder::Options{options_.thread_depth,
                                   options_.scoring.epsilon});
+  // Same batched sid resolution as Process: one descent per tid-sorted run.
+  std::vector<int64_t> candidate_sids;
+  candidate_sids.reserve(candidates.size());
   for (const Posting& posting : candidates) {
-    Result<std::optional<TweetMeta>> meta = db_->SelectBySid(posting.tid);
-    if (!meta.ok()) return meta.status();
-    if (!meta->has_value()) {
+    candidate_sids.push_back(posting.tid);
+  }
+  Result<std::vector<std::optional<TweetMeta>>> metas =
+      db_->SelectBySidBatch(candidate_sids);
+  if (!metas.ok()) return metas.status();
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    const Posting& posting = candidates[ci];
+    const std::optional<TweetMeta>& meta = (*metas)[ci];
+    if (!meta.has_value()) {
       return Status::Corruption("indexed tweet missing from metadata DB: " +
                                 std::to_string(posting.tid));
     }
-    const TweetMeta& row = meta->value();
+    const TweetMeta& row = meta.value();
     const double dist =
         EuclideanKm(GeoPoint{row.lat, row.lon}, query.location);
     if (dist > query.radius_km) continue;
     ++stats.within_radius;
-    Result<double> popularity = thread_builder.Popularity(posting.tid);
+    Result<double> popularity = Popularity(posting.tid, thread_builder,
+                                           stats);
     if (!popularity.ok()) return popularity.status();
-    ++stats.threads_built;
     double rho = KeywordRelevance(posting.tf, *popularity, options_.scoring);
     if (query.temporal.half_life.has_value()) {
       rho *= RecencyWeight(posting.tid, *query.temporal.reference,

@@ -13,6 +13,7 @@
 #include "core/scoring.h"
 #include "geo/point.h"
 #include "index/hybrid_index.h"
+#include "social/popularity_cache.h"
 #include "social/thread_builder.h"
 #include "storage/metadata_db.h"
 #include "text/tokenizer.h"
@@ -22,6 +23,11 @@ namespace tklus {
 // Executes TkLUS queries against the hybrid index + metadata database:
 // Algorithm 4 (sum-score ranking) and Algorithm 5 (max-score ranking with
 // upper-bound pruning and optional hot-keyword bounds).
+//
+// Thread safety: Process/ProcessTweets are safe for concurrent callers as
+// long as no engine mutation (AppendBatch/Save, or the test-only
+// mutable_options) runs concurrently — the engine's reader-writer lock
+// provides exactly that. The processor itself holds no per-query state.
 class QueryProcessor {
  public:
   struct Options {
@@ -63,6 +69,11 @@ class QueryProcessor {
   const Options& options() const { return options_; }
   Options& mutable_options() { return options_; }
 
+  // Attaches the engine-owned φ(p) memo (nullptr detaches: every thread is
+  // rebuilt). The cache must outlive the processor.
+  void set_popularity_cache(PopularityCache* cache) { popularity_cache_ = cache; }
+  PopularityCache* popularity_cache() const { return popularity_cache_; }
+
  private:
   struct UserState {
     double delta_user = 0.0;  // Def. 9 user distance score (query-fixed)
@@ -76,12 +87,18 @@ class QueryProcessor {
   double UserDistanceScore(UserId uid, const TkLusQuery& query) const;
   double FinalScore(const UserState& state, Ranking ranking) const;
 
+  // φ(root_sid) through the cache when attached (counting hits/misses and
+  // threads_built into `stats`), else straight through `builder`.
+  Result<double> Popularity(TweetId root_sid, ThreadBuilder& builder,
+                            QueryStats& stats);
+
   const HybridIndex* index_;
   MetadataDb* db_;
   const UpperBoundRegistry* bounds_;
   const std::unordered_map<UserId, std::vector<GeoPoint>>* user_locations_;
   Tokenizer tokenizer_;
   Options options_;
+  PopularityCache* popularity_cache_ = nullptr;  // optional, engine-owned
 };
 
 }  // namespace tklus

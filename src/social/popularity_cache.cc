@@ -1,0 +1,59 @@
+#include "social/popularity_cache.h"
+
+#include <algorithm>
+
+namespace tklus {
+
+PopularityCache::PopularityCache(Options options) : options_(options) {
+  const size_t shard_count = std::max<size_t>(1, options_.shards);
+  options_.capacity = std::max<size_t>(shard_count, options_.capacity);
+  per_shard_capacity_ = options_.capacity / shard_count;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::optional<double> PopularityCache::Get(int64_t root_sid, int depth,
+                                           double epsilon) {
+  const uint64_t gen = generation();
+  Shard& shard = ShardFor(root_sid);
+  MutexLock lock(&shard.mu);
+  const auto it = shard.entries.find(root_sid);
+  if (it != shard.entries.end() && it->second.generation == gen &&
+      it->second.depth == depth && it->second.epsilon == epsilon) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second.phi;
+  }
+  if (it != shard.entries.end() && it->second.generation != gen) {
+    // Lazy epoch cleanup: stale entries never satisfy a Get, so reclaim
+    // the slot on sight rather than sweeping on Invalidate.
+    shard.entries.erase(it);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void PopularityCache::Put(int64_t root_sid, int depth, double epsilon,
+                          uint64_t generation, double phi) {
+  if (generation != this->generation()) return;  // computed pre-append
+  Shard& shard = ShardFor(root_sid);
+  MutexLock lock(&shard.mu);
+  const auto it = shard.entries.find(root_sid);
+  if (it == shard.entries.end() &&
+      shard.entries.size() >= per_shard_capacity_) {
+    shard.entries.erase(shard.entries.begin());
+  }
+  shard.entries[root_sid] = Entry{depth, epsilon, generation, phi};
+}
+
+size_t PopularityCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+}  // namespace tklus

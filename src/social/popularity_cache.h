@@ -1,0 +1,107 @@
+#ifndef TKLUS_SOCIAL_POPULARITY_CACHE_H_
+#define TKLUS_SOCIAL_POPULARITY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace tklus {
+
+// A sharded, capacity-bounded memoization of thread popularity φ(p)
+// (Definition 4). φ depends only on (root_sid, max_depth, epsilon) and on
+// the set of replies reachable from root_sid — it is query-independent, so
+// the same thread rebuilt by every query that touches a hot tweet is pure
+// waste. The engine owns one cache and shares it across all concurrent
+// queries; ThreadBuilder stays the (uncached) compute path.
+//
+// Invalidation is by generation: AppendBatch bumps the generation (a new
+// reply can extend *any* existing thread, so per-entry invalidation would
+// need the full ancestor chain — the paper's threads are shallow but wide,
+// making a whole-cache epoch both correct and cheap). Entries written
+// under an older generation miss and are lazily overwritten.
+//
+// Thread safety: fully thread-safe. Keys are sharded over per-shard
+// mutexes; the generation and the hit/miss counters are atomics. Writers
+// (the engine's AppendBatch) only ever call Invalidate, which is
+// wait-free for readers mid-lookup: a reader that raced the bump either
+// sees the old generation and misses, or re-computes φ against the
+// already-updated metadata DB — both yield correct post-append results
+// because the engine's reader-writer lock keeps queries and appends from
+// overlapping in the first place.
+class PopularityCache {
+ public:
+  struct Options {
+    size_t capacity = 1 << 16;  // total entries across shards
+    size_t shards = 16;         // power of two recommended
+  };
+
+  explicit PopularityCache(Options options);
+  PopularityCache(const PopularityCache&) = delete;
+  PopularityCache& operator=(const PopularityCache&) = delete;
+
+  // Current epoch. Capture before computing φ and pass to Put so a value
+  // computed against pre-append state can never be installed post-append.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // Invalidates every cached φ by starting a new epoch.
+  void Invalidate() { generation_.fetch_add(1, std::memory_order_acq_rel); }
+
+  // Cached φ for (root_sid, depth, epsilon) in the current epoch, or
+  // nullopt. Stale-epoch and parameter-mismatched entries count as misses.
+  std::optional<double> Get(int64_t root_sid, int depth, double epsilon);
+
+  // Installs φ computed under epoch `generation`; dropped if an
+  // Invalidate ran in between. Evicts an arbitrary resident entry when the
+  // shard is at capacity (the workload's reuse is heavily skewed toward
+  // hot threads, so any-victim eviction loses little over LRU and needs
+  // no shared recency state).
+  void Put(int64_t root_sid, int depth, double epsilon, uint64_t generation,
+           double phi);
+
+  // Cumulative counters across all queries (atomics; also reported
+  // per-query in QueryStats by the query processor).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  // Resident entries summed over shards (approximate under concurrency).
+  size_t size() const;
+
+  size_t capacity() const { return options_.capacity; }
+
+ private:
+  struct Entry {
+    int depth = 0;
+    double epsilon = 0.0;
+    uint64_t generation = 0;
+    double phi = 0.0;
+  };
+  struct Shard {
+    Mutex mu;
+    std::unordered_map<int64_t, Entry> entries TKLUS_GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(int64_t root_sid) {
+    // Multiplicative hash: sids are timestamps, so low bits alone cluster.
+    const uint64_t h =
+        static_cast<uint64_t>(root_sid) * 0x9e3779b97f4a7c15ULL;
+    return *shards_[(h >> 32) % shards_.size()];
+  }
+
+  Options options_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_SOCIAL_POPULARITY_CACHE_H_

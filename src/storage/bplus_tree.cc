@@ -255,6 +255,69 @@ Result<std::optional<uint64_t>> BPlusTree::Get(int64_t key) {
   return std::optional<uint64_t>{all->front()};
 }
 
+Result<std::vector<std::optional<uint64_t>>> BPlusTree::GetBatch(
+    const std::vector<int64_t>& keys) {
+  std::vector<std::optional<uint64_t>> out(keys.size());
+  if (keys.empty()) return out;
+  // How many sibling hops to try before giving up on the chain and paying
+  // a fresh descent: bounds the worst case (sparse keys far apart) to one
+  // wasted leaf read per key while keeping dense runs at ~one leaf fetch
+  // per leaf of results.
+  constexpr int kMaxChainHops = 2;
+
+  PageGuard leaf;              // current position in the leaf chain
+  int64_t watermark = INT64_MIN;  // keys <= watermark may lie behind us
+  bool have_watermark = false;
+  for (size_t ki = 0; ki < keys.size(); ++ki) {
+    const int64_t key = keys[ki];
+    // An out-of-order key may live in a leaf we already passed.
+    if (have_watermark && key < watermark) leaf = PageGuard();
+    // Whether a fresh root-to-leaf descent already ran for this key. After
+    // one descent we are at-or-before the key's leaf, so pure forward
+    // chain-walking terminates; a second descent could only revisit the
+    // same leaf and loop.
+    bool descended = false;
+    if (!leaf) {
+      Result<PageId> leaf_id = FindLeaf(key);
+      if (!leaf_id.ok()) return leaf_id.status();
+      Result<PageGuard> fetched = PageGuard::Fetch(pool_, *leaf_id);
+      if (!fetched.ok()) return fetched.status();
+      leaf = std::move(*fetched);
+      descended = true;
+    }
+    int hops = 0;
+    while (true) {
+      Page* p = leaf.get();
+      const int n = KeyCount(p);
+      if (n > 0 && key <= LeafKey(p, n - 1)) {
+        const int i = LeafLowerBound(p, key);
+        if (i < n && LeafKey(p, i) == key) {
+          out[ki] = LeafValue(p, i);
+        }
+        break;  // key <= max of this leaf: present here or nowhere ahead
+      }
+      const PageId next = NextLeaf(p);
+      if (next == kInvalidPageId) break;  // past the last leaf: absent
+      if (++hops > kMaxChainHops && !descended) {
+        // Too far ahead for chain-walking to pay off; re-descend once.
+        Result<PageId> leaf_id = FindLeaf(key);
+        if (!leaf_id.ok()) return leaf_id.status();
+        Result<PageGuard> fetched = PageGuard::Fetch(pool_, *leaf_id);
+        if (!fetched.ok()) return fetched.status();
+        leaf = std::move(*fetched);
+        descended = true;
+        continue;
+      }
+      Result<PageGuard> fetched = PageGuard::Fetch(pool_, next);
+      if (!fetched.ok()) return fetched.status();
+      leaf = std::move(*fetched);
+    }
+    watermark = key;
+    have_watermark = true;
+  }
+  return out;
+}
+
 Result<std::vector<uint64_t>> BPlusTree::GetAll(int64_t key) {
   std::vector<uint64_t> out;
   Result<PageId> leaf_id = FindLeaf(key);

@@ -36,6 +36,16 @@ class BPlusTree {
   // First value with exactly `key`, or nullopt.
   Result<std::optional<uint64_t>> Get(int64_t key);
 
+  // Batched point lookup: Get(keys[i]) for every i, but with one
+  // root-to-leaf descent amortized over each ascending run of keys — the
+  // leaf chain is walked forward between consecutive keys instead of
+  // re-descending from the root per key. Callers should pass keys sorted
+  // ascending (the query path's candidates arrive tid-sorted); unsorted
+  // keys stay correct but fall back to a fresh descent at each
+  // order-violation.
+  Result<std::vector<std::optional<uint64_t>>> GetBatch(
+      const std::vector<int64_t>& keys);
+
   // All values with exactly `key`, in insertion order.
   Result<std::vector<uint64_t>> GetAll(int64_t key);
 

@@ -4,6 +4,7 @@ namespace tklus {
 
 BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
   frames_.reserve(pool_size);
+  MutexLock lock(&latch_);
   free_frames_.reserve(pool_size);
   for (size_t i = 0; i < pool_size; ++i) {
     frames_.push_back(std::make_unique<Page>());
@@ -26,11 +27,12 @@ Result<size_t> BufferPool::GetVictimFrame() {
     free_frames_.pop_back();
     return frame;
   }
-  // Evict the least recently used unpinned frame.
+  // Evict the least recently used unpinned frame. Pins only change under
+  // the latch, so the pin_count check cannot race a concurrent FetchPage.
   for (auto it = lru_.begin(); it != lru_.end(); ++it) {
     const size_t frame = *it;
     Page* page = frames_[frame].get();
-    if (page->pin_count_ > 0) continue;
+    if (page->pin_count() > 0) continue;
     if (page->dirty_) {
       TKLUS_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
     }
@@ -45,11 +47,12 @@ Result<size_t> BufferPool::GetVictimFrame() {
 }
 
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  MutexLock lock(&latch_);
   const auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     ++stats_.hits;
     Page* page = frames_[it->second].get();
-    ++page->pin_count_;
+    page->pin_count_.fetch_add(1, std::memory_order_acq_rel);
     Touch(it->second);
     return page;
   }
@@ -57,9 +60,16 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   Result<size_t> frame = GetVictimFrame();
   if (!frame.ok()) return frame.status();
   Page* page = frames_[*frame].get();
-  TKLUS_RETURN_IF_ERROR(disk_->ReadPage(page_id, page->data_));
+  Status read = disk_->ReadPage(page_id, page->data_);
+  if (!read.ok()) {
+    // The victim was already detached from the page table; hand the frame
+    // back so a transient (injected) read fault cannot leak capacity.
+    page->Reset();
+    free_frames_.push_back(*frame);
+    return read;
+  }
   page->page_id_ = page_id;
-  page->pin_count_ = 1;
+  page->pin_count_.store(1, std::memory_order_release);
   page->dirty_ = false;
   page_table_[page_id] = *frame;
   Touch(*frame);
@@ -67,12 +77,13 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
 }
 
 Result<Page*> BufferPool::NewPage() {
+  MutexLock lock(&latch_);
   Result<size_t> frame = GetVictimFrame();
   if (!frame.ok()) return frame.status();
   const PageId page_id = disk_->AllocatePage();
   Page* page = frames_[*frame].get();
   page->page_id_ = page_id;
-  page->pin_count_ = 1;
+  page->pin_count_.store(1, std::memory_order_release);
   page->dirty_ = true;  // must reach disk even if never written again
   page_table_[page_id] = *frame;
   Touch(*frame);
@@ -80,22 +91,24 @@ Result<Page*> BufferPool::NewPage() {
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  MutexLock lock(&latch_);
   const auto it = page_table_.find(page_id);
   if (it == page_table_.end()) {
     return Status::NotFound("unpin of unmapped page " +
                             std::to_string(page_id));
   }
   Page* page = frames_[it->second].get();
-  if (page->pin_count_ <= 0) {
+  if (page->pin_count() <= 0) {
     return Status::Internal("unpin of unpinned page " +
                             std::to_string(page_id));
   }
-  --page->pin_count_;
+  page->pin_count_.fetch_sub(1, std::memory_order_acq_rel);
   if (dirty) page->dirty_ = true;
   return Status::Ok();
 }
 
 Status BufferPool::FlushPage(PageId page_id) {
+  MutexLock lock(&latch_);
   const auto it = page_table_.find(page_id);
   if (it == page_table_.end()) {
     return Status::NotFound("flush of unmapped page " +
@@ -110,6 +123,7 @@ Status BufferPool::FlushPage(PageId page_id) {
 }
 
 Status BufferPool::FlushAll() {
+  MutexLock lock(&latch_);
   for (const auto& [page_id, frame] : page_table_) {
     Page* page = frames_[frame].get();
     if (page->dirty_) {

@@ -1,12 +1,14 @@
 #ifndef TKLUS_STORAGE_BUFFER_POOL_H_
 #define TKLUS_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -15,21 +17,48 @@ namespace tklus {
 
 // A fixed-capacity LRU buffer pool over a DiskManager. Pages are pinned
 // while in use; unpinned pages are eviction candidates in LRU order.
-// Single-threaded by design (the query processors are single-threaded; the
-// MapReduce side uses its own files, not this pool).
+//
+// Thread safety: safe for concurrent callers. One internal latch protects
+// the page table, the LRU list and the free list (and covers the disk I/O
+// of misses and evictions); pin counts are per-frame atomics so lock-free
+// observers (pinned_page_count) stay race-free. Page *contents* are not
+// latched: a pinned frame cannot be evicted, so concurrent readers of the
+// same pinned page are safe as long as nobody writes it — which the
+// engine guarantees by running all mutators (inserts, header updates)
+// under its exclusive writer lock. See DESIGN.md §10 for the latch order.
 //
 // FetchPage/NewPage/UnpinPage are the raw pin primitives; storage-layer
 // code must go through the RAII PageGuard (storage/page_guard.h) instead —
 // `tklus_analyze` enforces this (rule `pin-discipline`).
 class BufferPool {
  public:
+  // Hit/miss/eviction counters. Relaxed atomics with value-copy semantics:
+  // bumped under the latch, but read by benchmarks and per-query stats
+  // without it.
   struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+
+    Stats() = default;
+    Stats(const Stats& o)
+        : hits(o.hits.load(std::memory_order_relaxed)),
+          misses(o.misses.load(std::memory_order_relaxed)),
+          evictions(o.evictions.load(std::memory_order_relaxed)) {}
+    Stats& operator=(const Stats& o) {
+      hits.store(o.hits.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+      misses.store(o.misses.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      evictions.store(o.evictions.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      return *this;
+    }
     double HitRate() const {
-      const uint64_t total = hits + misses;
-      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+      const uint64_t h = hits.load(std::memory_order_relaxed);
+      const uint64_t m = misses.load(std::memory_order_relaxed);
+      const uint64_t total = h + m;
+      return total == 0 ? 0.0 : static_cast<double>(h) / total;
     }
   };
 
@@ -40,21 +69,21 @@ class BufferPool {
 
   // Pins and returns the page, reading it from disk on a miss. Returns an
   // error if every frame is pinned.
-  Result<Page*> FetchPage(PageId page_id);
+  Result<Page*> FetchPage(PageId page_id) TKLUS_EXCLUDES(latch_);
 
   // Allocates a new page on disk and pins an empty frame for it.
-  Result<Page*> NewPage();
+  Result<Page*> NewPage() TKLUS_EXCLUDES(latch_);
 
   // Unpins; `dirty` marks the frame for write-back on eviction/flush.
-  Status UnpinPage(PageId page_id, bool dirty);
+  Status UnpinPage(PageId page_id, bool dirty) TKLUS_EXCLUDES(latch_);
 
-  Status FlushPage(PageId page_id);
-  Status FlushAll();
+  Status FlushPage(PageId page_id) TKLUS_EXCLUDES(latch_);
+  Status FlushAll() TKLUS_EXCLUDES(latch_);
 
   size_t pool_size() const { return frames_.size(); }
   // Frames currently pinned — must return to 0 between operations; a
   // non-zero steady-state value is a pin leak. Tests assert this drops
-  // back to zero at teardown.
+  // back to zero at teardown. Latch-free: reads the atomic pin counts.
   size_t pinned_page_count() const {
     size_t pinned = 0;
     for (const auto& frame : frames_) {
@@ -68,15 +97,21 @@ class BufferPool {
 
  private:
   // Returns a free frame, evicting the LRU unpinned page if needed.
-  Result<size_t> GetVictimFrame();
-  void Touch(size_t frame);
+  Result<size_t> GetVictimFrame() TKLUS_REQUIRES(latch_);
+  void Touch(size_t frame) TKLUS_REQUIRES(latch_);
 
   DiskManager* disk_;
+  // frames_ itself (the vector of stable unique_ptrs) is immutable after
+  // construction; frame *metadata* is guarded by latch_ per the Page
+  // contract above.
   std::vector<std::unique_ptr<Page>> frames_;
-  std::unordered_map<PageId, size_t> page_table_;   // page id -> frame
-  std::list<size_t> lru_;                           // front = least recent
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-  std::vector<size_t> free_frames_;
+  mutable Mutex latch_;
+  std::unordered_map<PageId, size_t> page_table_
+      TKLUS_GUARDED_BY(latch_);  // page id -> frame
+  std::list<size_t> lru_ TKLUS_GUARDED_BY(latch_);  // front = least recent
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_
+      TKLUS_GUARDED_BY(latch_);
+  std::vector<size_t> free_frames_ TKLUS_GUARDED_BY(latch_);
   Stats stats_;
 };
 

@@ -1,6 +1,7 @@
 #ifndef TKLUS_STORAGE_DISK_MANAGER_H_
 #define TKLUS_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <string>
@@ -24,10 +25,31 @@ namespace tklus {
 // checksumming existed) disables verification for that file.
 class DiskManager {
  public:
+  // I/O counters. The fields are relaxed atomics (with value-copy
+  // semantics preserved) because the query path reads them for per-query
+  // deltas while concurrent readers bump them under the buffer pool's
+  // latch — an unsynchronized plain read would be a data race.
   struct Stats {
-    uint64_t page_reads = 0;
-    uint64_t page_writes = 0;
-    uint64_t checksum_failures = 0;
+    std::atomic<uint64_t> page_reads{0};
+    std::atomic<uint64_t> page_writes{0};
+    std::atomic<uint64_t> checksum_failures{0};
+
+    Stats() = default;
+    Stats(const Stats& o)
+        : page_reads(o.page_reads.load(std::memory_order_relaxed)),
+          page_writes(o.page_writes.load(std::memory_order_relaxed)),
+          checksum_failures(
+              o.checksum_failures.load(std::memory_order_relaxed)) {}
+    Stats& operator=(const Stats& o) {
+      page_reads.store(o.page_reads.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      page_writes.store(o.page_writes.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      checksum_failures.store(
+          o.checksum_failures.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      return *this;
+    }
   };
 
   // Creates (truncating if `truncate`) or opens the file at `path`.

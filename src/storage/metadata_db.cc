@@ -127,6 +127,23 @@ Result<std::optional<TweetMeta>> MetadataDb::SelectBySid(int64_t sid) {
   return std::optional<TweetMeta>{row};
 }
 
+Result<std::vector<std::optional<TweetMeta>>> MetadataDb::SelectBySidBatch(
+    std::span<const int64_t> sids) {
+  Result<std::vector<std::optional<uint64_t>>> packed =
+      sid_index_->GetBatch(std::vector<int64_t>(sids.begin(), sids.end()));
+  if (!packed.ok()) return packed.status();
+  std::vector<std::optional<TweetMeta>> rows(sids.size());
+  char buf[sizeof(TweetMeta)];
+  for (size_t i = 0; i < packed->size(); ++i) {
+    if (!(*packed)[i].has_value()) continue;
+    TKLUS_RETURN_IF_ERROR(heap_->Get(Rid::Unpack((*packed)[i].value()), buf));
+    TweetMeta row;
+    std::memcpy(&row, buf, sizeof(TweetMeta));
+    rows[i] = row;
+  }
+  return rows;
+}
+
 Result<std::vector<TweetMeta>> MetadataDb::SelectByRsid(int64_t rsid) {
   Result<std::vector<uint64_t>> packed = rsid_index_->GetAll(rsid);
   if (!packed.ok()) return packed.status();

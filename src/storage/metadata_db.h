@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,16 @@ static_assert(sizeof(TweetMeta) == 48, "TweetMeta must be fixed-size POD");
 // rsid ("another B+-tree is built on attribute rsid"). Thread construction
 // (Alg. 1, line 7) runs `SelectByRsid`, and its cost in page I/Os is the
 // quantity the paper's pruning optimizations attack.
+//
+// Concurrency: the read entry points (SelectBySid, SelectBySidBatch,
+// SelectByRsid) are safe for concurrent callers *between appends*. The
+// invariant making that true: Insert is the only mutator of the B+-trees
+// and the heap, and the engine runs every Insert under its exclusive
+// writer lock, so during concurrent reads both index structures and all
+// row pages are read-only — the BufferPool's internal latch then suffices
+// to make the page traffic (pins, LRU, evictions, miss I/O) race-free.
+// Insert/FlushAll/MaxReplyFanout are NOT safe to run concurrently with
+// anything; callers must hold an exclusive lock (the engine does).
 class MetadataDb {
  public:
   struct Options {
@@ -69,6 +80,15 @@ class MetadataDb {
 
   // Point lookup on the primary key.
   Result<std::optional<TweetMeta>> SelectBySid(int64_t sid);
+
+  // Batched point lookups: one entry per requested sid, in request order
+  // (nullopt where absent). Pass sids sorted ascending — the sid B+-tree
+  // is then descended once per run and its leaf chain walked forward,
+  // replacing N independent root-to-leaf descents (the dominant metadata
+  // I/O of Alg. 4/5's candidate loops). Unsorted input stays correct but
+  // loses the batching win.
+  Result<std::vector<std::optional<TweetMeta>>> SelectBySidBatch(
+      std::span<const int64_t> sids);
 
   // "select all where rsid equals to Id" — all direct replies/forwards of
   // tweet `rsid`.

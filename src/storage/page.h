@@ -1,6 +1,7 @@
 #ifndef TKLUS_STORAGE_PAGE_H_
 #define TKLUS_STORAGE_PAGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 
@@ -13,6 +14,13 @@ inline constexpr PageId kInvalidPageId = -1;
 // An in-memory frame for one on-disk page. Frames are owned by the
 // BufferPool; callers pin/unpin them through it and never hold a Page
 // across an eviction point without a pin.
+//
+// Concurrency: all frame metadata except the pin count is mutated only
+// under the pool's latch. The pin count is atomic so lock-free observers
+// (BufferPool::pinned_page_count()) can read it while readers pin and
+// unpin concurrently; every pin-count *transition* still happens under the
+// latch, which is what makes the eviction check (pin_count == 0, latched)
+// race-free against concurrent FetchPage calls.
 class Page {
  public:
   Page() { Reset(); }
@@ -21,7 +29,7 @@ class Page {
   const char* data() const { return data_; }
 
   PageId page_id() const { return page_id_; }
-  int pin_count() const { return pin_count_; }
+  int pin_count() const { return pin_count_.load(std::memory_order_acquire); }
   bool is_dirty() const { return dirty_; }
 
   // Typed accessors at byte offset `off`.
@@ -42,13 +50,13 @@ class Page {
   void Reset() {
     std::memset(data_, 0, kPageSize);
     page_id_ = kInvalidPageId;
-    pin_count_ = 0;
+    pin_count_.store(0, std::memory_order_release);
     dirty_ = false;
   }
 
   char data_[kPageSize];
   PageId page_id_ = kInvalidPageId;
-  int pin_count_ = 0;
+  std::atomic<int> pin_count_{0};
   bool dirty_ = false;
 };
 

@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +19,9 @@
 #include "datagen/tweet_generator.h"
 #include "dfs/dfs.h"
 #include "mapreduce/counters.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page_guard.h"
 
 namespace tklus {
 namespace {
@@ -106,6 +112,177 @@ TEST(ConcurrencyStressTest, EngineQueryVsAppend) {
     EXPECT_EQ(got->users[i].uid, want->users[i].uid) << "rank " << i;
     EXPECT_NEAR(got->users[i].score, want->users[i].score, 1e-9);
   }
+}
+
+// Readers mix Query and QueryTweets while a writer appends batches.
+// Because appends take the engine lock exclusively, every result a reader
+// observes must correspond to a *complete* dataset prefix — never a torn
+// half-applied batch. We enumerate the serial oracle for each of the four
+// prefixes up front and require every mid-flight observation to equal one
+// of them (and the final state to equal the full-dataset oracle).
+TEST(ConcurrencyStressTest, MixedReadersSeeOnlyPrefixStates) {
+  const GeneratedCorpus corpus = MakeCorpus(2400);
+  constexpr size_t kSeedSize = 1200;
+  constexpr size_t kBatchSize = 400;
+  auto [seed, rest] = Split(corpus.dataset, kSeedSize);
+  std::vector<Dataset> batches;
+  {
+    auto [b0, tail] = Split(rest, kBatchSize);
+    auto [b1, b2] = Split(tail, kBatchSize);
+    batches.push_back(std::move(b0));
+    batches.push_back(std::move(b1));
+    batches.push_back(std::move(b2));
+  }
+
+  TkLusEngine::Options options;
+  options.mapreduce_workers = 2;
+
+  TkLusQuery user_query;
+  user_query.location = corpus.city_centers[0];
+  user_query.radius_km = 25.0;
+  user_query.keywords = {"hotel", "restaurant"};
+  user_query.k = 10;
+  TkLusQuery tweet_query = user_query;
+  tweet_query.ranking = Ranking::kMax;
+
+  // Serial oracles: a fresh engine per prefix (seed plus 0..3 batches).
+  std::vector<QueryResult> user_oracles;
+  std::vector<TweetQueryResult> tweet_oracles;
+  for (size_t prefix = 0; prefix <= batches.size(); ++prefix) {
+    auto [head, dropped] =
+        Split(corpus.dataset, kSeedSize + prefix * kBatchSize);
+    (void)dropped;
+    auto oracle = TkLusEngine::Build(head, options);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    auto users = (*oracle)->Query(user_query);
+    auto tweets = (*oracle)->QueryTweets(tweet_query);
+    ASSERT_TRUE(users.ok() && tweets.ok());
+    user_oracles.push_back(std::move(*users));
+    tweet_oracles.push_back(std::move(*tweets));
+  }
+
+  const auto matches_users = [&](const QueryResult& got) {
+    for (const QueryResult& want : user_oracles) {
+      if (got.users.size() != want.users.size()) continue;
+      bool same = true;
+      for (size_t i = 0; i < want.users.size() && same; ++i) {
+        same = got.users[i].uid == want.users[i].uid &&
+               std::abs(got.users[i].score - want.users[i].score) < 1e-9;
+      }
+      if (same) return true;
+    }
+    return false;
+  };
+  const auto matches_tweets = [&](const TweetQueryResult& got) {
+    for (const TweetQueryResult& want : tweet_oracles) {
+      if (got.tweets.size() != want.tweets.size()) continue;
+      bool same = true;
+      for (size_t i = 0; i < want.tweets.size() && same; ++i) {
+        same = got.tweets[i].sid == want.tweets[i].sid &&
+               got.tweets[i].uid == want.tweets[i].uid &&
+               std::abs(got.tweets[i].score - want.tweets[i].score) < 1e-9;
+      }
+      if (same) return true;
+    }
+    return false;
+  };
+
+  auto engine = TkLusEngine::Build(seed, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> observations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (t % 2 == 0) {
+          const auto got = (*engine)->Query(user_query);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          ASSERT_TRUE(matches_users(*got)) << "non-prefix user ranking";
+        } else {
+          const auto got = (*engine)->QueryTweets(tweet_query);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          ASSERT_TRUE(matches_tweets(*got)) << "non-prefix tweet ranking";
+        }
+        observations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread appender([&] {
+    for (const Dataset& batch : batches) {
+      const Status st = (*engine)->AppendBatch(batch);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  appender.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(observations.load(), 0u);
+
+  // Final state is the full-dataset oracle; no reader leaked a pin.
+  const auto final_users = (*engine)->Query(user_query);
+  ASSERT_TRUE(final_users.ok());
+  ASSERT_EQ(final_users->users.size(), user_oracles.back().users.size());
+  for (size_t i = 0; i < final_users->users.size(); ++i) {
+    EXPECT_EQ(final_users->users[i].uid, user_oracles.back().users[i].uid);
+    EXPECT_NEAR(final_users->users[i].score,
+                user_oracles.back().users[i].score, 1e-9);
+  }
+  EXPECT_EQ((*engine)->metadata_db().buffer_pool().pinned_page_count(), 0u);
+}
+
+// ------------------------------------------------------ buffer pool
+
+// Raw pool-level stress: readers hammer overlapping pages through a pool
+// far smaller than the page set, forcing concurrent misses, evictions and
+// pin/unpin races. Every read must see the page's stamped content and no
+// pin may leak.
+TEST(ConcurrencyStressTest, BufferPoolConcurrentReaders) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("tklus_pool_stress_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  {
+    Result<DiskManager> dm = DiskManager::Open((dir / "db").string());
+    ASSERT_TRUE(dm.ok());
+    constexpr int kPages = 256;
+    BufferPool pool(&*dm, 32);  // 8x more pages than frames
+    for (int i = 0; i < kPages; ++i) {
+      Result<PageGuard> page = PageGuard::New(&pool);
+      ASSERT_TRUE(page.ok());
+      const int64_t stamp = page->page_id() * 2654435761LL;
+      std::memcpy((*page)->data(), &stamp, sizeof(stamp));
+    }
+    ASSERT_TRUE(pool.FlushAll().ok());
+
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 6; ++t) {
+      threads.emplace_back([&pool, &failed, t] {
+        uint64_t state = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(t + 1);
+        for (int i = 0; i < 4000 && !failed.load(std::memory_order_relaxed);
+             ++i) {
+          state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+          const PageId pid = static_cast<PageId>((state >> 24) % kPages);
+          Result<PageGuard> page = PageGuard::Fetch(&pool, pid);
+          if (!page.ok()) {
+            failed.store(true);
+            break;
+          }
+          int64_t stamp = 0;
+          std::memcpy(&stamp, (*page)->data(), sizeof(stamp));
+          if (stamp != pid * 2654435761LL) {
+            failed.store(true);
+            break;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_FALSE(failed.load()) << "fetch failure or torn page content";
+    EXPECT_EQ(pool.pinned_page_count(), 0u);
+    EXPECT_GT(pool.stats().evictions, 0u);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 // ------------------------------------------------------ DFS

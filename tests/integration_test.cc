@@ -196,12 +196,18 @@ TEST(PruningTest, HotBoundPrunesWeakSingletons) {
   EXPECT_EQ(hot->stats.threads_built, 3u);
 
   // The global bound is inflated by the off-topic hotel thread: nothing
-  // can be pruned (the Fig. 12 baseline).
+  // can be pruned (the Fig. 12 baseline). All 53 candidates are evaluated;
+  // the 3 strong threads built by the first query come from the engine's
+  // popularity cache, the 50 previously-pruned ones are built fresh.
   opts.use_hot_bounds = false;
   Result<QueryResult> global_only = (*engine)->Query(q);
   ASSERT_TRUE(global_only.ok());
   EXPECT_EQ(global_only->stats.threads_pruned, 0u);
-  EXPECT_EQ(global_only->stats.threads_built, 53u);
+  EXPECT_EQ(global_only->stats.threads_built +
+                global_only->stats.popularity_cache_hits,
+            53u);
+  EXPECT_EQ(global_only->stats.popularity_cache_hits, 3u);
+  EXPECT_EQ(global_only->stats.threads_built, 50u);
 
   // Pruning must not change the answer: compare against no pruning.
   opts.enable_pruning = false;

@@ -278,7 +278,9 @@ class BPlusTreeTest : public TempDir {
   // test finishes, every guard must have unpinned. A nonzero count here
   // is a pin leak on some code path the test exercised.
   void TearDown() override {
-    if (pool_) EXPECT_EQ(pool_->pinned_page_count(), 0u);
+    if (pool_) {
+      EXPECT_EQ(pool_->pinned_page_count(), 0u);
+    }
     TempDir::TearDown();
   }
 
@@ -431,6 +433,77 @@ TEST_F(BPlusTreeTest, NegativeKeys) {
   ASSERT_TRUE(r.ok());
   ASSERT_TRUE(r->has_value());
   EXPECT_EQ(r->value(), 500u);
+}
+
+TEST_F(BPlusTreeTest, GetBatchMatchesPerKeyGet) {
+  Init(256);
+  Rng rng(23);
+  for (int i = 0; i < 15000; ++i) {
+    ASSERT_TRUE(
+        tree_->Insert(rng.UniformInt(int64_t{0}, int64_t{4000}), rng.Next())
+            .ok());
+  }
+  // Mixed present/absent keys, unsorted, with repeats: the batch answer
+  // must be positionally identical to issuing each Get alone.
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back(rng.UniformInt(int64_t{-10}, int64_t{4100}));
+  }
+  keys.push_back(keys.front());  // repeated key
+  Result<std::vector<std::optional<uint64_t>>> batch = tree_->GetBatch(keys);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Result<std::optional<uint64_t>> single = tree_->Get(keys[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*batch)[i], *single) << "key " << keys[i] << " at " << i;
+  }
+}
+
+TEST_F(BPlusTreeTest, GetBatchSortedRunWalksLeafChain) {
+  Init(64);
+  const int64_t n = 8000;  // many leaves at 64 pool pages
+  for (int64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k * 7)).ok());
+  }
+  // An ascending run across the whole keyspace: one descent amortized
+  // over sibling-chain hops instead of one descent per key.
+  std::vector<int64_t> keys;
+  for (int64_t k = 0; k < n; k += 3) keys.push_back(k);
+  keys.push_back(n + 5);  // past the last leaf: absent
+  Result<std::vector<std::optional<uint64_t>>> batch = tree_->GetBatch(keys);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    ASSERT_TRUE((*batch)[i].has_value()) << keys[i];
+    EXPECT_EQ(*(*batch)[i], static_cast<uint64_t>(keys[i] * 7));
+  }
+  EXPECT_FALSE(batch->back().has_value());
+}
+
+TEST_F(BPlusTreeTest, GetBatchDescendingInputRedescends) {
+  Init(64);
+  for (int64_t k = 0; k < 5000; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, static_cast<uint64_t>(k + 1)).ok());
+  }
+  // Strictly descending keys defeat the leaf-chain walk; every key must
+  // still resolve via per-key re-descent.
+  std::vector<int64_t> keys;
+  for (int64_t k = 4999; k >= 0; k -= 101) keys.push_back(k);
+  Result<std::vector<std::optional<uint64_t>>> batch = tree_->GetBatch(keys);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE((*batch)[i].has_value()) << keys[i];
+    EXPECT_EQ(*(*batch)[i], static_cast<uint64_t>(keys[i] + 1));
+  }
+}
+
+TEST_F(BPlusTreeTest, GetBatchEmptyAndEmptyTree) {
+  Init();
+  EXPECT_TRUE(tree_->GetBatch({})->empty());
+  Result<std::vector<std::optional<uint64_t>>> batch =
+      tree_->GetBatch({1, 2, 3});
+  ASSERT_TRUE(batch.ok());
+  for (const std::optional<uint64_t>& v : *batch) EXPECT_FALSE(v.has_value());
 }
 
 TEST_F(BPlusTreeTest, PersistsAcrossReopen) {
@@ -626,6 +699,43 @@ TEST_F(MetadataDbTest, ScaleTenThousandRows) {
   // I/O happened: the pool is smaller than the data.
   EXPECT_GT((*db)->buffer_pool().stats().evictions, 0u);
   EXPECT_GT((*db)->disk().stats().page_reads, 0u);
+}
+
+TEST_F(MetadataDbTest, SelectBySidBatchMatchesSingleLookups) {
+  MetadataDb::Options opts;
+  opts.buffer_pool_pages = 64;
+  Result<std::unique_ptr<MetadataDb>> db =
+      MetadataDb::Create(Path("meta"), opts);
+  ASSERT_TRUE(db.ok());
+  for (int64_t sid = 1; sid <= 4000; ++sid) {
+    ASSERT_TRUE((*db)
+                    ->Insert(TweetMeta{sid, sid % 97, 1.0 * (sid % 50),
+                                       -1.0 * (sid % 70), TweetMeta::kNone,
+                                       TweetMeta::kNone})
+                    .ok());
+  }
+  // Ascending run (the query-processor shape: candidates sorted by tid),
+  // plus gaps and misses at both ends.
+  std::vector<int64_t> sids{-5, 0};
+  for (int64_t sid = 1; sid <= 4000; sid += 7) sids.push_back(sid);
+  sids.push_back(4001);
+  sids.push_back(9999);
+  Result<std::vector<std::optional<TweetMeta>>> batch =
+      (*db)->SelectBySidBatch(sids);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), sids.size());
+  for (size_t i = 0; i < sids.size(); ++i) {
+    Result<std::optional<TweetMeta>> single = (*db)->SelectBySid(sids[i]);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ((*batch)[i].has_value(), single->has_value()) << sids[i];
+    if ((*batch)[i].has_value()) {
+      EXPECT_EQ((*batch)[i]->sid, single->value().sid);
+      EXPECT_EQ((*batch)[i]->uid, single->value().uid);
+      EXPECT_DOUBLE_EQ((*batch)[i]->lat, single->value().lat);
+      EXPECT_DOUBLE_EQ((*batch)[i]->lon, single->value().lon);
+    }
+  }
+  EXPECT_EQ((*db)->buffer_pool().pinned_page_count(), 0u);
 }
 
 }  // namespace
