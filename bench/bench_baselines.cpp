@@ -7,7 +7,7 @@
 #include "baseline/irtree.h"
 #include "baseline/naive_scan.h"
 #include "bench_util.h"
-#include "common/stopwatch.h"
+#include "obs/stopwatch.h"
 
 int main() {
   using namespace tklus;

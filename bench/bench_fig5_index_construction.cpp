@@ -8,7 +8,7 @@
 
 #include "baseline/centralized_builder.h"
 #include "bench_util.h"
-#include "common/stopwatch.h"
+#include "obs/stopwatch.h"
 #include "dfs/dfs.h"
 #include "index/hybrid_index.h"
 

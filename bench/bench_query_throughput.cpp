@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -62,6 +63,65 @@ PassStats RunPass(TkLusEngine& engine, const std::vector<TkLusQuery>& queries) {
     pass.threads_built += result->stats.threads_built;
   }
   return pass;
+}
+
+// Display/JSON order of the pipeline stages (matches execution order in
+// QueryProcessor::Process).
+constexpr const char* kStageNames[] = {
+    stage::kCover, stage::kPostingsFetch, stage::kSidResolve,
+    stage::kThreadConstruction, stage::kScoreTopk};
+constexpr size_t kNumStages = sizeof(kStageNames) / sizeof(kStageNames[0]);
+
+struct StageTotals {
+  uint64_t queries = 0;
+  uint64_t root_ns = 0;
+  uint64_t stage_ns[kNumStages] = {};
+  uint64_t stage_db_reads[kNumStages] = {};
+  // Sum of stage spans / root span: the acceptance bar is >= 0.95 (the
+  // stages tile the query, leaving only span bookkeeping uncovered).
+  double Coverage() const {
+    uint64_t total = 0;
+    for (const uint64_t ns : stage_ns) total += ns;
+    return root_ns > 0 ? static_cast<double>(total) /
+                             static_cast<double>(root_ns)
+                       : 0.0;
+  }
+};
+
+// One traced serial pass: every query runs with TkLusQuery::trace on and
+// the per-query span trees are folded into per-stage wall-time and I/O
+// totals.
+StageTotals RunTracedPass(TkLusEngine& engine,
+                          const std::vector<TkLusQuery>& queries) {
+  StageTotals totals;
+  for (TkLusQuery q : queries) {
+    q.trace = true;
+    auto result = engine.Query(q);
+    if (!result.ok()) {
+      std::fprintf(stderr, "traced query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    const std::shared_ptr<const Trace>& trace = result->stats.trace;
+    if (trace == nullptr || trace->spans.empty()) {
+      std::fprintf(stderr, "traced query returned no trace\n");
+      std::exit(1);
+    }
+    ++totals.queries;
+    const TraceSpan& root = trace->spans.front();
+    totals.root_ns += root.duration_ns;
+    for (const TraceSpan& span : trace->spans) {
+      if (span.parent != root.id) continue;
+      for (size_t s = 0; s < kNumStages; ++s) {
+        if (span.name == kStageNames[s]) {
+          totals.stage_ns[s] += span.duration_ns;
+          totals.stage_db_reads[s] += span.Counter(stage::kCounterDbPageReads);
+          break;
+        }
+      }
+    }
+  }
+  return totals;
 }
 
 struct ThroughputPoint {
@@ -232,8 +292,44 @@ int main(int argc, char** argv) {
   const double speedup =
       points.front().qps > 0 ? points.back().qps / points.front().qps : 0.0;
   std::printf("4-thread / 1-thread QPS: %.2fx (needs >= 4 hardware threads "
-              "to show parallel speedup)\n",
+              "to show parallel speedup)\n\n",
               speedup);
+
+  // ---- per-stage breakdown: the same workload traced, span trees folded
+  // into per-stage totals. Coverage (stage sum / root span) certifies the
+  // stages tile the query; the per-stage db-read column shows where the
+  // physical I/O concentrates.
+  const StageTotals stages = RunTracedPass(*engine, workload);
+  std::printf("%-20s %-12s %-8s %-12s\n", "stage", "total ms", "share",
+              "db pg reads");
+  for (size_t s = 0; s < kNumStages; ++s) {
+    const double share =
+        stages.root_ns > 0 ? static_cast<double>(stages.stage_ns[s]) /
+                                 static_cast<double>(stages.root_ns)
+                           : 0.0;
+    std::printf("%-20s %-12.2f %-8.3f %-12llu\n", kStageNames[s],
+                static_cast<double>(stages.stage_ns[s]) * 1e-6, share,
+                (unsigned long long)stages.stage_db_reads[s]);
+  }
+  std::printf("stage coverage of root span: %.1f%% (queries: %llu)\n\n",
+              100.0 * stages.Coverage(),
+              (unsigned long long)stages.queries);
+
+  // ---- tracing overhead: single-thread QPS with every query traced vs
+  // the untraced single-thread point above. Traces are allocated and the
+  // clock is read per stage, so a few percent is expected; the untraced
+  // path's instrumentation cost is what must stay negligible.
+  std::vector<TkLusQuery> traced_workload = workload;
+  for (TkLusQuery& q : traced_workload) q.trace = true;
+  const ThroughputPoint traced_point =
+      RunThroughput(*engine, traced_workload, 1, reps);
+  const double tracing_overhead =
+      points.front().qps > 0 ? 1.0 - traced_point.qps / points.front().qps
+                             : 0.0;
+  std::printf("traced 1-thread QPS: %.1f vs untraced %.1f (overhead "
+              "%.1f%%)\n",
+              traced_point.qps, points.front().qps,
+              100.0 * tracing_overhead);
 
   // ---- machine-readable record (schema: EXPERIMENTS.md "BENCH_query").
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -261,6 +357,31 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"qps_speedup_4_vs_1\": %.3f,\n", speedup);
+  std::fprintf(out, "  \"stage_breakdown\": {\n");
+  std::fprintf(out, "    \"queries\": %llu,\n",
+               (unsigned long long)stages.queries);
+  std::fprintf(out, "    \"root_ns_total\": %llu,\n",
+               (unsigned long long)stages.root_ns);
+  std::fprintf(out, "    \"coverage\": %.4f,\n", stages.Coverage());
+  std::fprintf(out, "    \"stages\": [\n");
+  for (size_t s = 0; s < kNumStages; ++s) {
+    const double share =
+        stages.root_ns > 0 ? static_cast<double>(stages.stage_ns[s]) /
+                                 static_cast<double>(stages.root_ns)
+                           : 0.0;
+    std::fprintf(out,
+                 "      {\"stage\": \"%s\", \"total_ns\": %llu, "
+                 "\"share\": %.4f, \"db_page_reads\": %llu}%s\n",
+                 kStageNames[s], (unsigned long long)stages.stage_ns[s],
+                 share, (unsigned long long)stages.stage_db_reads[s],
+                 s + 1 < kNumStages ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out,
+               "  \"tracing\": {\"qps_untraced_1t\": %.2f, "
+               "\"qps_traced_1t\": %.2f, \"overhead\": %.4f},\n",
+               points.front().qps, traced_point.qps, tracing_overhead);
   std::fprintf(out, "  \"cache\": {\n");
   std::fprintf(out,
                "    \"cold\": {\"db_page_reads\": %llu, \"hits\": %llu, "

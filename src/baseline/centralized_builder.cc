@@ -4,7 +4,7 @@
 #include <map>
 #include <vector>
 
-#include "common/stopwatch.h"
+#include "obs/stopwatch.h"
 #include "geo/geohash.h"
 #include "index/posting.h"
 

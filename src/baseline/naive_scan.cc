@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/stopwatch.h"
+#include "obs/stopwatch.h"
 #include "geo/distance.h"
 #include "social/thread_builder.h"
 

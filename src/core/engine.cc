@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <sstream>
 
@@ -8,10 +9,56 @@
 #include "common/serde.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace tklus {
 
 namespace {
+
+// Process-wide query metrics, resolved once. Queries of both flavors feed
+// one latency histogram; the per-flavor counters separate the mix.
+struct QueryMetricFamilies {
+  Counter* user_queries;
+  Counter* tweet_queries;
+  Counter* slow_queries;
+  Histogram* latency_ms;
+
+  static const QueryMetricFamilies& Get() {
+    static const QueryMetricFamilies* families = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      auto* f = new QueryMetricFamilies();
+      f->user_queries = reg.GetCounter(
+          "tklus_queries_total", "TkLUS user queries answered successfully.");
+      f->tweet_queries = reg.GetCounter(
+          "tklus_tweet_queries_total",
+          "Tweet-level queries answered successfully.");
+      f->slow_queries = reg.GetCounter(
+          "tklus_slow_queries_total",
+          "Queries admitted to the slow-query log.");
+      f->latency_ms = reg.GetHistogram(
+          "tklus_query_latency_ms", "End-to-end query latency (ms).",
+          {0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500});
+      return f;
+    }();
+    return *families;
+  }
+};
+
+std::string SummarizeQuery(const char* kind, const TkLusQuery& query) {
+  char head[128];
+  std::snprintf(head, sizeof(head),
+                "%s(lat=%.4f lon=%.4f r=%.1fkm k=%d %s %s W=[", kind,
+                query.location.lat, query.location.lon, query.radius_km,
+                query.k, query.semantics == Semantics::kAnd ? "AND" : "OR",
+                query.ranking == Ranking::kSum ? "Sum" : "Max");
+  std::string out = head;
+  for (size_t i = 0; i < query.keywords.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += query.keywords[i];
+  }
+  out += "])";
+  return out;
+}
 
 std::string MakeTempWorkingDir() {
   static std::atomic<uint64_t> counter{0};
@@ -34,6 +81,8 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
     std::filesystem::create_directories(options.working_dir);
   }
   engine->options_ = options;
+  engine->slow_log_ = std::make_unique<SlowQueryLog>(SlowQueryLog::Options{
+      options.slow_query_ms, options.slow_query_log_entries});
 
   // Centralized metadata DB (Figure 3): one row per tweet, B+-trees on sid
   // and rsid.
@@ -243,6 +292,8 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
   options.working_dir = dir;
   engine->options_ = options;
   engine->owns_working_dir_ = false;
+  engine->slow_log_ = std::make_unique<SlowQueryLog>(SlowQueryLog::Options{
+      options.slow_query_ms, options.slow_query_log_entries});
 
   MetadataDb::Options db_options;
   db_options.buffer_pool_pages = options.buffer_pool_pages;
@@ -362,15 +413,44 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
 }
 
 Result<QueryResult> TkLusEngine::Query(const TkLusQuery& query) {
-  // Shared: the read path is re-entrant (internally latched buffer pool,
-  // read-only page contents between appends) — see the class comment.
-  ReaderMutexLock lock(&mu_);
-  return processor_->Process(query);
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    // Shared: the read path is re-entrant (internally latched buffer pool,
+    // read-only page contents between appends) — see the class comment.
+    ReaderMutexLock lock(&mu_);
+    return processor_->Process(query);
+  }();
+  if (result.ok()) RecordQueryObservability("q", query, result->stats);
+  return result;
 }
 
 Result<TweetQueryResult> TkLusEngine::QueryTweets(const TkLusQuery& query) {
-  ReaderMutexLock lock(&mu_);
-  return processor_->ProcessTweets(query);
+  Result<TweetQueryResult> result = [&]() -> Result<TweetQueryResult> {
+    ReaderMutexLock lock(&mu_);
+    return processor_->ProcessTweets(query);
+  }();
+  if (result.ok()) RecordQueryObservability("qt", query, result->stats);
+  return result;
+}
+
+void TkLusEngine::RecordQueryObservability(const char* kind,
+                                           const TkLusQuery& query,
+                                           const QueryStats& stats) const {
+  const QueryMetricFamilies& metrics = QueryMetricFamilies::Get();
+  (kind[1] == 't' ? metrics.tweet_queries : metrics.user_queries)->Increment();
+  metrics.latency_ms->Observe(stats.elapsed_ms);
+  if (slow_log_->ShouldRecord(stats.elapsed_ms)) {
+    metrics.slow_queries->Increment();
+    SlowQueryRecord record;
+    record.summary = SummarizeQuery(kind, query);
+    record.elapsed_ms = stats.elapsed_ms;
+    record.db_page_reads = stats.db_page_reads;
+    record.dfs_block_reads = stats.dfs_block_reads;
+    record.candidates = stats.candidates;
+    record.threads_built = stats.threads_built;
+    record.popularity_cache_hits = stats.popularity_cache_hits;
+    record.popularity_cache_misses = stats.popularity_cache_misses;
+    slow_log_->Record(std::move(record));
+  }
 }
 
 }  // namespace tklus

@@ -16,6 +16,7 @@
 #include "dfs/dfs.h"
 #include "index/hybrid_index.h"
 #include "model/dataset.h"
+#include "obs/slow_query_log.h"
 #include "social/popularity_cache.h"
 #include "social/social_graph.h"
 #include "storage/metadata_db.h"
@@ -73,6 +74,10 @@ class TkLusEngine {
     // queries; AppendBatch invalidates it wholesale via a generation
     // bump. 0 disables the cache (every query rebuilds every thread).
     size_t popularity_cache_entries = 1 << 16;
+    // Observability: queries slower than `slow_query_ms` land in the
+    // engine's slow-query ring (slow_query_log()); <= 0 disables it.
+    double slow_query_ms = 250.0;
+    size_t slow_query_log_entries = 128;
   };
 
   // Builds every subsystem from `dataset`. The dataset is not retained.
@@ -136,6 +141,9 @@ class TkLusEngine {
   }
   SimulatedDfs& dfs() { return *dfs_; }
   QueryProcessor& processor() { return *processor_; }
+  // Slow-query ring buffer (internally thread-safe; always constructed,
+  // disabled when Options::slow_query_ms <= 0).
+  const SlowQueryLog& slow_query_log() const { return *slow_log_; }
   // Offline per-user location profile (all post locations per user),
   // backing the Def. 9 user distance score.
   const std::unordered_map<UserId, std::vector<GeoPoint>>& user_locations()
@@ -146,6 +154,11 @@ class TkLusEngine {
 
  private:
   TkLusEngine() = default;
+
+  // Post-query accounting (process metrics + slow-query log); called
+  // outside mu_ — the log and registry are internally thread-safe.
+  void RecordQueryObservability(const char* kind, const TkLusQuery& query,
+                                const QueryStats& stats) const;
 
   Options options_;
   bool owns_working_dir_ = false;
@@ -171,6 +184,8 @@ class TkLusEngine {
   // Null when Options::popularity_cache_entries == 0.
   std::unique_ptr<PopularityCache> popularity_cache_;
   std::unique_ptr<QueryProcessor> processor_;
+  // Internally mutexed; recorded to outside mu_ after each query.
+  std::unique_ptr<SlowQueryLog> slow_log_;
 };
 
 }  // namespace tklus

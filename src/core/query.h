@@ -2,6 +2,7 @@
 #define TKLUS_CORE_QUERY_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +11,24 @@
 #include "model/post.h"
 
 namespace tklus {
+
+struct Trace;  // obs/trace.h; include it to inspect QueryStats::trace
+
+// Span and counter names the query processor records when
+// TkLusQuery::trace is set. The five stage spans tile the root "query"
+// span, and every stage carries kCounterDbPageReads/kCounterDfsBlockReads
+// deltas, so per-stage I/O counters sum to the whole-query totals.
+namespace stage {
+inline constexpr char kQuery[] = "query";
+inline constexpr char kCover[] = "cover";
+inline constexpr char kPostingsFetch[] = "postings_fetch";
+inline constexpr char kSidResolve[] = "sid_resolve";
+inline constexpr char kThreadConstruction[] = "thread_construction";
+inline constexpr char kScoreTopk[] = "score_topk";
+
+inline constexpr char kCounterDbPageReads[] = "db_page_reads";
+inline constexpr char kCounterDfsBlockReads[] = "dfs_block_reads";
+}  // namespace stage
 
 // Multi-keyword matching semantics (§V-A): AND requires all keywords in a
 // candidate tweet, OR any of them.
@@ -54,6 +73,8 @@ struct TkLusQuery {
   TemporalOptions temporal;
   // Attach a UserScoreBreakdown to every returned user.
   bool explain = false;
+  // Record a per-stage span tree into QueryStats::trace (obs/trace.h).
+  bool trace = false;
 };
 
 // Per-user score evidence, filled when TkLusQuery::explain is set: how
@@ -98,6 +119,14 @@ struct QueryStats {
   uint64_t dfs_read_retries = 0;
   uint64_t injected_faults = 0;
   double elapsed_ms = 0.0;
+  // Stage span tree, set only when TkLusQuery::trace was requested.
+  // Shared (not owned) so results stay cheap to copy.
+  std::shared_ptr<const Trace> trace;
+
+  // Both query entry points (Process and ProcessTweets) start from this
+  // one reset, so every counter — including the I/O deltas that
+  // ProcessTweets historically left at zero — is accounted identically.
+  void Reset() { *this = QueryStats(); }
 };
 
 struct QueryResult {

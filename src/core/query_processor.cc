@@ -4,10 +4,11 @@
 #include <set>
 #include <unordered_set>
 
-#include "common/stopwatch.h"
 #include "geo/circle_cover.h"
 #include "geo/distance.h"
 #include "index/postings_ops.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 
 namespace tklus {
 
@@ -77,6 +78,71 @@ uint64_t InjectedFaults(const SimulatedDfs* dfs) {
   const FaultInjector* injector = dfs->fault_injector();
   return injector == nullptr ? 0 : injector->total_injected();
 }
+
+// I/O counters captured at query entry and diffed into QueryStats at the
+// end. One shared helper so Process and ProcessTweets account identically
+// (ProcessTweets used to skip the DB/DFS baselines, reporting zero reads).
+struct IoBaselines {
+  uint64_t db_page_reads = 0;
+  uint64_t dfs_block_reads = 0;
+  uint64_t fetch_retries = 0;
+  uint64_t injected_faults = 0;
+
+  static IoBaselines Capture(MetadataDb* db, const HybridIndex* index) {
+    IoBaselines b;
+    b.db_page_reads = db->disk().stats().page_reads;
+    b.dfs_block_reads = DfsBlockReads(index->dfs());
+    b.fetch_retries = index->fetch_retries();
+    b.injected_faults = InjectedFaults(index->dfs());
+    return b;
+  }
+
+  void Finish(MetadataDb* db, const HybridIndex* index,
+              QueryStats& stats) const {
+    stats.db_page_reads = db->disk().stats().page_reads - db_page_reads;
+    stats.dfs_block_reads = DfsBlockReads(index->dfs()) - dfs_block_reads;
+    stats.dfs_read_retries = index->fetch_retries() - fetch_retries;
+    stats.injected_faults = InjectedFaults(index->dfs()) - injected_faults;
+  }
+};
+
+// One processing stage: a trace span plus the per-stage I/O read deltas.
+// Every stage records stage::kCounterDbPageReads/kCounterDfsBlockReads
+// (even when zero), and the stages tile the candidate-to-result path, so
+// summing a counter over stage spans reproduces the QueryStats total.
+class StageScope {
+ public:
+  StageScope(Tracer& tracer, std::string_view name, MetadataDb* db,
+             const HybridIndex* index)
+      : db_(db), index_(index), span_(tracer.StartSpan(name)) {
+    if (span_.active()) {
+      db_reads_before_ = db_->disk().stats().page_reads;
+      dfs_reads_before_ = DfsBlockReads(index_->dfs());
+    }
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+  ~StageScope() { End(); }
+
+  Tracer::Span& span() { return span_; }
+
+  void End() {
+    if (span_.active()) {
+      span_.AddCounter(stage::kCounterDbPageReads,
+                       db_->disk().stats().page_reads - db_reads_before_);
+      span_.AddCounter(stage::kCounterDfsBlockReads,
+                       DfsBlockReads(index_->dfs()) - dfs_reads_before_);
+    }
+    span_.End();
+  }
+
+ private:
+  MetadataDb* db_;
+  const HybridIndex* index_;
+  Tracer::Span span_;
+  uint64_t db_reads_before_ = 0;
+  uint64_t dfs_reads_before_ = 0;
+};
 
 }  // namespace
 
@@ -156,23 +222,32 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
   Stopwatch timer;
   QueryResult result;
   QueryStats& stats = result.stats;
-  const uint64_t db_reads_before = db_->disk().stats().page_reads;
-  const uint64_t dfs_reads_before = DfsBlockReads(index_->dfs());
-  const uint64_t retries_before = index_->fetch_retries();
-  const uint64_t faults_before = InjectedFaults(index_->dfs());
+  stats.Reset();
+  const IoBaselines io = IoBaselines::Capture(db_, index_);
+  std::shared_ptr<Trace> trace;
+  if (query.trace) trace = std::make_shared<Trace>();
+  Tracer tracer(trace.get());
+  Tracer::Span root = tracer.StartSpan(stage::kQuery);
 
   // Line 1: the geohash cells covering the query circle.
+  StageScope cover_stage(tracer, stage::kCover, db_, index_);
   const std::vector<std::string> cells = GeohashCircleCover(
       query.location, query.radius_km, index_->geohash_length());
   stats.cover_cells = cells.size();
+  cover_stage.span().AddCounter("cover_cells", cells.size());
 
   const std::vector<std::string> terms = NormalizeKeywords(query.keywords);
+  cover_stage.End();
   if (terms.empty()) {
+    root.End();
+    io.Finish(db_, index_, stats);
     stats.elapsed_ms = timer.ElapsedMillis();
+    stats.trace = std::move(trace);
     return result;
   }
 
   // Lines 4-7: fetch postings lists per (cell, term).
+  StageScope fetch_stage(tracer, stage::kPostingsFetch, db_, index_);
   std::vector<std::vector<Posting>> term_lists;
   term_lists.reserve(terms.size());
   for (const std::string& term : terms) {
@@ -201,6 +276,10 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
       return !query.temporal.InWindow(p.tid);
     });
   }
+  fetch_stage.span().AddCounter("postings_lists",
+                                stats.postings_lists_fetched);
+  fetch_stage.span().AddCounter("candidates", candidates.size());
+  fetch_stage.End();
 
   ThreadBuilder thread_builder(
       db_, ThreadBuilder::Options{options_.thread_depth,
@@ -218,6 +297,7 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
   // (postings combination preserves order), so the whole run resolves
   // with one batched descent + a leaf-chain walk of the sid B+-tree
   // instead of one root-to-leaf descent per candidate.
+  StageScope resolve_stage(tracer, stage::kSidResolve, db_, index_);
   std::vector<int64_t> candidate_sids;
   candidate_sids.reserve(candidates.size());
   for (const Posting& posting : candidates) {
@@ -226,7 +306,10 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
   Result<std::vector<std::optional<TweetMeta>>> metas =
       db_->SelectBySidBatch(candidate_sids);
   if (!metas.ok()) return metas.status();
+  resolve_stage.span().AddCounter("rows_resolved", metas->size());
+  resolve_stage.End();
 
+  StageScope thread_stage(tracer, stage::kThreadConstruction, db_, index_);
   for (size_t ci = 0; ci < candidates.size(); ++ci) {
     const Posting& posting = candidates[ci];
     const std::optional<TweetMeta>& meta = (*metas)[ci];
@@ -280,8 +363,17 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
       tracker.Update(row.uid, FinalScore(state, query.ranking));
     }
   }
+  thread_stage.span().AddCounter("within_radius", stats.within_radius);
+  thread_stage.span().AddCounter("threads_built", stats.threads_built);
+  thread_stage.span().AddCounter("threads_pruned", stats.threads_pruned);
+  thread_stage.span().AddCounter("popularity_cache_hits",
+                                 stats.popularity_cache_hits);
+  thread_stage.span().AddCounter("popularity_cache_misses",
+                                 stats.popularity_cache_misses);
+  thread_stage.End();
 
   // Lines 25-29: final user scores, sort, top k.
+  StageScope score_stage(tracer, stage::kScoreTopk, db_, index_);
   std::vector<RankedUser> ranked;
   ranked.reserve(users.size());
   for (const auto& [uid, state] : users) {
@@ -304,12 +396,13 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
   if (static_cast<int>(ranked.size()) > query.k) {
     ranked.resize(query.k);
   }
+  score_stage.span().AddCounter("users_ranked", users.size());
   result.users = std::move(ranked);
-  stats.db_page_reads = db_->disk().stats().page_reads - db_reads_before;
-  stats.dfs_block_reads = DfsBlockReads(index_->dfs()) - dfs_reads_before;
-  stats.dfs_read_retries = index_->fetch_retries() - retries_before;
-  stats.injected_faults = InjectedFaults(index_->dfs()) - faults_before;
+  score_stage.End();
+  root.End();
+  io.Finish(db_, index_, stats);
   stats.elapsed_ms = timer.ElapsedMillis();
+  stats.trace = std::move(trace);
   return result;
 }
 
@@ -329,17 +422,28 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
   Stopwatch timer;
   TweetQueryResult result;
   QueryStats& stats = result.stats;
-  const uint64_t retries_before = index_->fetch_retries();
-  const uint64_t faults_before = InjectedFaults(index_->dfs());
+  stats.Reset();
+  const IoBaselines io = IoBaselines::Capture(db_, index_);
+  std::shared_ptr<Trace> trace;
+  if (query.trace) trace = std::make_shared<Trace>();
+  Tracer tracer(trace.get());
+  Tracer::Span root = tracer.StartSpan(stage::kQuery);
 
+  StageScope cover_stage(tracer, stage::kCover, db_, index_);
   const std::vector<std::string> cells = GeohashCircleCover(
       query.location, query.radius_km, index_->geohash_length());
   stats.cover_cells = cells.size();
+  cover_stage.span().AddCounter("cover_cells", cells.size());
   const std::vector<std::string> terms = NormalizeKeywords(query.keywords);
+  cover_stage.End();
   if (terms.empty()) {
+    root.End();
+    io.Finish(db_, index_, stats);
     stats.elapsed_ms = timer.ElapsedMillis();
+    stats.trace = std::move(trace);
     return result;
   }
+  StageScope fetch_stage(tracer, stage::kPostingsFetch, db_, index_);
   std::vector<std::vector<Posting>> term_lists;
   term_lists.reserve(terms.size());
   for (const std::string& term : terms) {
@@ -356,11 +460,14 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
       return !query.temporal.InWindow(p.tid);
     });
   }
+  fetch_stage.span().AddCounter("candidates", candidates.size());
+  fetch_stage.End();
 
   ThreadBuilder thread_builder(
       db_, ThreadBuilder::Options{options_.thread_depth,
                                   options_.scoring.epsilon});
   // Same batched sid resolution as Process: one descent per tid-sorted run.
+  StageScope resolve_stage(tracer, stage::kSidResolve, db_, index_);
   std::vector<int64_t> candidate_sids;
   candidate_sids.reserve(candidates.size());
   for (const Posting& posting : candidates) {
@@ -369,6 +476,10 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
   Result<std::vector<std::optional<TweetMeta>>> metas =
       db_->SelectBySidBatch(candidate_sids);
   if (!metas.ok()) return metas.status();
+  resolve_stage.span().AddCounter("rows_resolved", metas->size());
+  resolve_stage.End();
+
+  StageScope thread_stage(tracer, stage::kThreadConstruction, db_, index_);
   for (size_t ci = 0; ci < candidates.size(); ++ci) {
     const Posting& posting = candidates[ci];
     const std::optional<TweetMeta>& meta = (*metas)[ci];
@@ -393,6 +504,15 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
         rho, DistanceScore(dist, query.radius_km), options_.scoring);
     result.tweets.push_back(RankedTweet{posting.tid, row.uid, score, dist});
   }
+  thread_stage.span().AddCounter("within_radius", stats.within_radius);
+  thread_stage.span().AddCounter("threads_built", stats.threads_built);
+  thread_stage.span().AddCounter("popularity_cache_hits",
+                                 stats.popularity_cache_hits);
+  thread_stage.span().AddCounter("popularity_cache_misses",
+                                 stats.popularity_cache_misses);
+  thread_stage.End();
+
+  StageScope score_stage(tracer, stage::kScoreTopk, db_, index_);
   std::sort(result.tweets.begin(), result.tweets.end(),
             [](const RankedTweet& a, const RankedTweet& b) {
               if (a.score != b.score) return a.score > b.score;
@@ -401,9 +521,11 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
   if (static_cast<int>(result.tweets.size()) > query.k) {
     result.tweets.resize(query.k);
   }
-  stats.dfs_read_retries = index_->fetch_retries() - retries_before;
-  stats.injected_faults = InjectedFaults(index_->dfs()) - faults_before;
+  score_stage.End();
+  root.End();
+  io.Finish(db_, index_, stats);
   stats.elapsed_ms = timer.ElapsedMillis();
+  stats.trace = std::move(trace);
   return result;
 }
 

@@ -6,8 +6,34 @@
 
 #include "common/crc32.h"
 #include "common/serde.h"
+#include "obs/metrics.h"
 
 namespace tklus {
+
+namespace {
+
+// Process-wide DFS counters across every SimulatedDfs instance; the
+// per-node breakdown stays on node_stats().
+struct DfsMetrics {
+  Counter* block_reads;
+  Counter* read_faults;
+
+  static const DfsMetrics& Get() {
+    static const DfsMetrics* metrics = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      auto* m = new DfsMetrics();
+      m->block_reads = reg.GetCounter("tklus_dfs_block_reads_total",
+                                      "DFS blocks read across all nodes.");
+      m->read_faults = reg.GetCounter(
+          "tklus_dfs_read_faults_total",
+          "DFS reads aborted by an injected transient fault.");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 SimulatedDfs::SimulatedDfs(Options options) : options_(options) {
   if (options_.num_data_nodes < 1) options_.num_data_nodes = 1;
@@ -54,7 +80,11 @@ Status SimulatedDfs::ReadAt(const std::string& path, uint64_t offset,
     return Status::OutOfRange("read past EOF of " + path);
   }
   if (faults_ != nullptr) {
-    TKLUS_RETURN_IF_ERROR(faults_->MaybeFail(faults::kDfsRead, path));
+    Status fault = faults_->MaybeFail(faults::kDfsRead, path);
+    if (!fault.ok()) {
+      DfsMetrics::Get().read_faults->Increment();
+      return fault;
+    }
   }
   out->clear();
   out->reserve(length);
@@ -69,6 +99,7 @@ Status SimulatedDfs::ReadAt(const std::string& path, uint64_t offset,
     }
     NodeStats& node = nodes_[block.node];
     ++node.block_reads;
+    DfsMetrics::Get().block_reads->Increment();
     // A read is a seek unless it continues right after the previous block
     // read on the same node.
     if (last_block_read_[block.node] + 1 !=

@@ -4,10 +4,11 @@
 #include <functional>
 
 #include "common/serde.h"
-#include "common/stopwatch.h"
 #include "geo/geohash.h"
 #include "index/postings_ops.h"
 #include "mapreduce/job.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
 
 namespace tklus {
 
@@ -210,6 +211,10 @@ Result<std::vector<Posting>> HybridIndex::FetchPostings(
       fetch_retries_.fetch_add(
           static_cast<uint64_t>(retry_stats.attempts - 1),
           std::memory_order_relaxed);
+      MetricsRegistry::Global()
+          .GetCounter("tklus_index_fetch_retries_total",
+                      "Postings fetches re-issued after transient DFS faults.")
+          ->Increment(static_cast<uint64_t>(retry_stats.attempts - 1));
     }
     TKLUS_RETURN_IF_ERROR(read);
     Result<std::vector<Posting>> postings = DecodePostings(encoded);

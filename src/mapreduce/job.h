@@ -14,10 +14,38 @@
 #include "common/fault_injector.h"
 #include "common/mutex.h"
 #include "common/status.h"
-#include "common/stopwatch.h"
 #include "mapreduce/counters.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
 
 namespace tklus {
+
+// Process-wide task-attempt counters aggregated over every MapReduceJob
+// instantiation (per-job numbers stay on counters()). Non-template so all
+// K/V instantiations feed the same families.
+struct MapReduceMetrics {
+  Counter* task_attempts;
+  Counter* task_retries;
+  Counter* task_failures;
+
+  static const MapReduceMetrics& Get() {
+    static const MapReduceMetrics* metrics = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      auto* m = new MapReduceMetrics();
+      m->task_attempts = reg.GetCounter(
+          "tklus_mapreduce_task_attempts_total",
+          "Map and reduce task attempts started (first tries + retries).");
+      m->task_retries = reg.GetCounter(
+          "tklus_mapreduce_task_retries_total",
+          "Task attempts re-run after a failed earlier attempt.");
+      m->task_failures = reg.GetCounter(
+          "tklus_mapreduce_task_failures_total",
+          "Tasks that exhausted every permitted attempt.");
+      return m;
+    }();
+    return *metrics;
+  }
+};
 
 // An in-process multi-threaded MapReduce framework modelling the Hadoop
 // pipeline the paper builds its index with (§IV-B.2): input splits ->
@@ -156,8 +184,10 @@ class MapReduceJob {
                 std::min(inputs.size(), begin + options_.split_size);
             bool done = false;
             for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+              MapReduceMetrics::Get().task_attempts->Increment();
               if (attempt > 1) {
                 counters_.Increment(counter_names::kMapTaskRetries);
+                MapReduceMetrics::Get().task_retries->Increment();
               }
               for (auto& part : task_parts) part.clear();
               Status status = RunMapAttempt(inputs, begin, end, split, emit);
@@ -167,6 +197,7 @@ class MapReduceJob {
               }
               if (attempt == max_attempts) {
                 counters_.Increment(counter_names::kTasksFailed);
+                MapReduceMetrics::Get().task_failures->Increment();
                 record_error(Status(
                     status.code(),
                     "map task " + std::to_string(split) + " failed after " +
@@ -252,8 +283,10 @@ class MapReduceJob {
             uint64_t task_groups = 0;
             bool done = false;
             for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+              MapReduceMetrics::Get().task_attempts->Increment();
               if (attempt > 1) {
                 counters_.Increment(counter_names::kReduceTaskRetries);
+                MapReduceMetrics::Get().task_retries->Increment();
               }
               out.clear();
               task_groups = 0;
@@ -266,6 +299,7 @@ class MapReduceJob {
               }
               if (attempt == max_attempts) {
                 counters_.Increment(counter_names::kTasksFailed);
+                MapReduceMetrics::Get().task_failures->Increment();
                 record_error(Status(
                     status.code(),
                     "reduce task " + std::to_string(p) + " failed after " +

@@ -1,0 +1,63 @@
+#ifndef TKLUS_OBS_CLOCK_H_
+#define TKLUS_OBS_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tklus {
+
+// The project's single steady-clock injection point. Everything that
+// needs monotonic time — trace spans, stopwatches, slow-query
+// thresholds — reads it through a Clock*, so tests substitute a
+// FakeClock and become fully deterministic. `tklus_analyze` (rule
+// `clock-discipline`) bans the raw std::chrono clocks outside src/obs/,
+// making this the only place wall time can leak in from.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotonic nanoseconds since an arbitrary epoch.
+  virtual uint64_t NowNanos() const = 0;
+};
+
+// The real monotonic clock.
+class MonotonicClock final : public Clock {
+ public:
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+// Process-wide default clock instance (a MonotonicClock). Functions
+// taking a Clock* default to this, so production call sites never spell
+// a clock at all.
+inline const Clock* DefaultClock() {
+  static const MonotonicClock clock;
+  return &clock;
+}
+
+// A manually advanced clock for tests: time moves only when told to, so
+// span durations and slow-query thresholds assert exact values. Thread-
+// safe (atomic), so concurrent stress tests can share one.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  uint64_t NowNanos() const override {
+    return now_ns_.load(std::memory_order_acquire);
+  }
+  void AdvanceNanos(uint64_t delta_ns) {
+    now_ns_.fetch_add(delta_ns, std::memory_order_acq_rel);
+  }
+  void AdvanceMillis(uint64_t delta_ms) { AdvanceNanos(delta_ms * 1000000); }
+
+ private:
+  std::atomic<uint64_t> now_ns_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_OBS_CLOCK_H_

@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace tklus {
+
+namespace {
+
+size_t DefaultShardCount() {
+  // One shard per hardware thread, rounded up to a power of two so the
+  // index is a mask, clamped to keep the footprint bounded on huge hosts.
+  size_t n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  size_t shards = 1;
+  while (shards < n && shards < 64) shards <<= 1;
+  return shards;
+}
+
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace
+
+namespace {
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+Counter::Counter(size_t shards)
+    : num_shards_(shards == 0 ? DefaultShardCount() : RoundUpPow2(shards)),
+      shards_(std::make_unique<Shard[]>(num_shards_)) {}
+
+size_t Counter::ShardIndex() const {
+  // Hashed thread id, cached per thread: shard choice is stable for a
+  // thread's lifetime, so a thread always bumps the same cache line.
+  static thread_local const size_t hashed =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return hashed & (num_shards_ - 1);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    total += shards_[i].value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value; everything past the last bound lands in +Inf.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::CumulativeCount(size_t i) const {
+  uint64_t total = 0;
+  for (size_t b = 0; b <= i && b <= bounds_.size(); ++b) {
+    total += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  MutexLock lock(&mu_);
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = Type::kCounter;
+    it->second.help = help;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  if (it->second.type != Type::kCounter) {
+    static Counter* mismatch_dummy = new Counter(1);  // never exposed
+    return mismatch_dummy;
+  }
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  MutexLock lock(&mu_);
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = Type::kGauge;
+    it->second.help = help;
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  if (it->second.type != Type::kGauge) {
+    static Gauge* mismatch_dummy = new Gauge();  // never exposed
+    return mismatch_dummy;
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bucket_bounds) {
+  MutexLock lock(&mu_);
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = Type::kHistogram;
+    it->second.help = help;
+    it->second.histogram =
+        std::make_unique<Histogram>(std::move(bucket_bounds));
+  }
+  if (it->second.type != Type::kHistogram) {
+    static Histogram* mismatch_dummy =
+        new Histogram(std::vector<double>{1.0});  // never exposed
+    return mismatch_dummy;
+  }
+  return it->second.histogram.get();
+}
+
+std::string MetricsRegistry::Expose() const {
+  MutexLock lock(&mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + EscapeHelp(family.help) + "\n";
+    switch (family.type) {
+      case Type::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(family.counter->Value()) + "\n";
+        break;
+      case Type::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(family.gauge->Value()) + "\n";
+        break;
+      case Type::kHistogram: {
+        const Histogram& h = *family.histogram;
+        out += "# TYPE " + name + " histogram\n";
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          out += name + "_bucket{le=\"" + FormatDouble(h.bounds()[i]) +
+                 "\"} " + std::to_string(h.CumulativeCount(i)) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.Count()) +
+               "\n";
+        out += name + "_sum " + FormatDouble(h.Sum()) + "\n";
+        out += name + "_count " + std::to_string(h.Count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tklus

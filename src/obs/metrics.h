@@ -1,0 +1,139 @@
+#ifndef TKLUS_OBS_METRICS_H_
+#define TKLUS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace tklus {
+
+// Process-wide metrics: counters, gauges and fixed-bucket histograms,
+// exposed in the Prometheus text format by MetricsRegistry::Expose().
+//
+// Counters are sharded per core (cache-line-padded atomics indexed by a
+// hashed thread id), so the hot paths that bump them — every buffer-pool
+// fetch, every DFS block read — never contend on one cache line even
+// with all reader threads running. Values are eventually consistent:
+// Value() sums the shards without a lock.
+
+// A monotonically increasing counter.
+class Counter {
+ public:
+  explicit Counter(size_t shards = 0);  // 0 -> per-core default
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  size_t ShardIndex() const;
+
+  size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+// A settable instantaneous value.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// A histogram over fixed, strictly increasing bucket upper bounds (an
+// implicit +Inf bucket is appended). Observe is lock-free: per-bucket
+// atomic counts plus a CAS loop for the running sum.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bucket_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  // Cumulative count of observations <= bounds()[i] (Prometheus `le`
+  // semantics); i == bounds().size() is the +Inf bucket == Count().
+  uint64_t CumulativeCount(size_t i) const;
+  uint64_t Count() const;
+  double Sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // per-bound + Inf
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// The process-wide registry. Get* registers on first use and returns the
+// same stable pointer ever after, so call sites cache the pointer once
+// (e.g. in a constructor) and pay only the atomic bump per event.
+// Re-registering a name as a different metric type is a programming
+// error; the call then returns a detached dummy metric that is never
+// exposed, so the caller stays safe and the mismatch is visible in
+// Expose() output (the name keeps its first type).
+//
+// Global() is the process instance; tests construct private registries
+// so their assertions see only their own traffic.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help)
+      TKLUS_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const std::string& help)
+      TKLUS_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bucket_bounds)
+      TKLUS_EXCLUDES(mu_);
+
+  // Prometheus text exposition format, families sorted by name:
+  //   # HELP <name> <escaped help>
+  //   # TYPE <name> counter|gauge|histogram
+  //   <name> <value>            (counter/gauge)
+  //   <name>_bucket{le="..."} <cumulative>   (histogram, incl. +Inf)
+  //   <name>_sum / <name>_count
+  std::string Expose() const TKLUS_EXCLUDES(mu_);
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Family {
+    Type type;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable Mutex mu_;
+  // Sorted map: Expose() output order is deterministic.
+  std::map<std::string, Family> families_ TKLUS_GUARDED_BY(mu_);
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_OBS_METRICS_H_

@@ -1,0 +1,38 @@
+#ifndef TKLUS_OBS_STOPWATCH_H_
+#define TKLUS_OBS_STOPWATCH_H_
+
+#include <cstdint>
+
+#include "obs/clock.h"
+
+namespace tklus {
+
+// Wall-clock stopwatch used by benchmark harnesses and job statistics.
+// Reads time through the obs Clock injection point (clock.h), so a
+// FakeClock makes any stopwatch-driven duration deterministic in tests.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock = DefaultClock())
+      : clock_(clock), start_ns_(clock_->NowNanos()) {}
+
+  void Restart() { start_ns_ = clock_->NowNanos(); }
+
+  uint64_t ElapsedNanos() const { return clock_->NowNanos() - start_ns_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-3;
+  }
+
+ private:
+  const Clock* clock_;
+  uint64_t start_ns_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_OBS_STOPWATCH_H_

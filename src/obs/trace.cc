@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tklus {
+
+uint64_t TraceSpan::Counter(std::string_view counter_name) const {
+  for (const auto& [name, value] : counters) {
+    if (name == counter_name) return value;
+  }
+  return 0;
+}
+
+const TraceSpan* Trace::Find(std::string_view name) const {
+  for (const TraceSpan& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+std::vector<const TraceSpan*> Trace::ChildrenOf(uint32_t parent_id) const {
+  std::vector<const TraceSpan*> children;
+  for (const TraceSpan& span : spans) {
+    if (span.parent == parent_id) children.push_back(&span);
+  }
+  return children;
+}
+
+uint64_t Trace::CounterTotal(std::string_view counter_name) const {
+  uint64_t total = 0;
+  for (const TraceSpan& span : spans) total += span.Counter(counter_name);
+  return total;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string Trace::ToJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    if (i > 0) out += ", ";
+    out += "{\"id\": " + std::to_string(span.id) +
+           ", \"parent\": " + std::to_string(span.parent) + ", \"name\": ";
+    AppendJsonString(&out, span.name);
+    out += ", \"start_ns\": " + std::to_string(span.start_ns) +
+           ", \"duration_ns\": " + std::to_string(span.duration_ns);
+    if (!span.counters.empty()) {
+      out += ", \"counters\": {";
+      for (size_t c = 0; c < span.counters.size(); ++c) {
+        if (c > 0) out += ", ";
+        AppendJsonString(&out, span.counters[c].first);
+        out += ": " + std::to_string(span.counters[c].second);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+void Tracer::Span::AddCounter(std::string_view name, uint64_t delta) {
+  if (tracer_ != nullptr) tracer_->AddCounter(id_, name, delta);
+}
+
+void Tracer::Span::End() {
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(id_);
+    tracer_ = nullptr;
+    id_ = 0;
+  }
+}
+
+Tracer::Span Tracer::StartSpan(std::string_view name) {
+  if (trace_ == nullptr) return Span{};
+  TraceSpan span;
+  span.id = static_cast<uint32_t>(trace_->spans.size() + 1);
+  span.parent = open_.empty() ? 0 : open_.back();
+  span.name = std::string(name);
+  span.start_ns = clock_->NowNanos();
+  trace_->spans.push_back(std::move(span));
+  open_.push_back(trace_->spans.back().id);
+  return Span{this, trace_->spans.back().id};
+}
+
+void Tracer::EndSpan(uint32_t id) {
+  TraceSpan& span = trace_->spans[id - 1];
+  span.duration_ns = clock_->NowNanos() - span.start_ns;
+  // RAII guards close innermost-first; tolerate a skipped End (e.g. a
+  // moved-from guard) by popping through to the ending span.
+  while (!open_.empty()) {
+    const uint32_t top = open_.back();
+    open_.pop_back();
+    if (top == id) break;
+  }
+}
+
+void Tracer::AddCounter(uint32_t id, std::string_view name, uint64_t delta) {
+  TraceSpan& span = trace_->spans[id - 1];
+  for (auto& [existing, value] : span.counters) {
+    if (existing == name) {
+      value += delta;
+      return;
+    }
+  }
+  span.counters.emplace_back(std::string(name), delta);
+}
+
+}  // namespace tklus

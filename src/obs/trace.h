@@ -1,0 +1,121 @@
+#ifndef TKLUS_OBS_TRACE_H_
+#define TKLUS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace tklus {
+
+// One node of a per-query trace tree: a named interval with a counters
+// map. Span ids are 1-based indexes into Trace::spans (id == index + 1);
+// parent == 0 marks a root.
+struct TraceSpan {
+  uint32_t id = 0;
+  uint32_t parent = 0;
+  std::string name;
+  uint64_t start_ns = 0;     // clock-relative, monotone within the trace
+  uint64_t duration_ns = 0;  // 0 until the span ends
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  // Counter value by name; 0 when absent.
+  uint64_t Counter(std::string_view counter_name) const;
+};
+
+// The recorded tree of one query, reachable via QueryStats::trace. Spans
+// appear in start order, so spans[0] is the root when the trace is
+// non-empty and every span's parent precedes it.
+struct Trace {
+  std::vector<TraceSpan> spans;
+
+  const TraceSpan* Find(std::string_view name) const;  // first by name
+  std::vector<const TraceSpan*> ChildrenOf(uint32_t parent_id) const;
+  // Sum of `counter_name` over every span (stage counters are disjoint,
+  // so this is the whole-query total).
+  uint64_t CounterTotal(std::string_view counter_name) const;
+  // Compact JSON array of span objects, for bench output and debugging.
+  std::string ToJson() const;
+};
+
+// Records hierarchical spans into a Trace through RAII guards:
+//
+//   Trace trace;
+//   Tracer tracer(&trace);
+//   {
+//     Tracer::Span stage = tracer.StartSpan("sid_resolve");
+//     stage.AddCounter("db_page_reads", delta);
+//   }  // duration captured here
+//
+// A default-constructed Tracer (or one built over nullptr) is disabled:
+// StartSpan returns an inert guard and every operation is a cheap
+// early-out, so the query path pays almost nothing when tracing is off.
+// The clock is injected (obs/clock.h) so tests drive time by hand.
+//
+// Not thread-safe: one Tracer records one query on one thread. (Stage
+// spans nest via an explicit parent stack; sharing it across threads
+// would interleave unrelated stages.)
+class Tracer {
+ public:
+  // An RAII span guard. Move-only; ends the span on destruction (or on
+  // an explicit End, after which further calls are no-ops).
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept
+        : tracer_(other.tracer_), id_(other.id_) {
+      other.tracer_ = nullptr;
+      other.id_ = 0;
+    }
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        End();
+        tracer_ = other.tracer_;
+        id_ = other.id_;
+        other.tracer_ = nullptr;
+        other.id_ = 0;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { End(); }
+
+    // Adds `delta` to the span's named counter (created at 0 on first use).
+    void AddCounter(std::string_view name, uint64_t delta);
+    // Closes the span (captures duration, pops it off the parent stack).
+    void End();
+    bool active() const { return tracer_ != nullptr; }
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, uint32_t id) : tracer_(tracer), id_(id) {}
+
+    Tracer* tracer_ = nullptr;
+    uint32_t id_ = 0;
+  };
+
+  Tracer() = default;  // disabled
+  explicit Tracer(Trace* trace, const Clock* clock = DefaultClock())
+      : trace_(trace), clock_(clock) {}
+
+  bool enabled() const { return trace_ != nullptr; }
+
+  // Opens a span under the innermost open span (or as a root).
+  Span StartSpan(std::string_view name);
+
+ private:
+  void EndSpan(uint32_t id);
+  void AddCounter(uint32_t id, std::string_view name, uint64_t delta);
+
+  Trace* trace_ = nullptr;
+  const Clock* clock_ = nullptr;
+  std::vector<uint32_t> open_;  // stack of open span ids
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_OBS_TRACE_H_

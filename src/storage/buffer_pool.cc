@@ -1,6 +1,36 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/metrics.h"
+
 namespace tklus {
+
+namespace {
+
+// Process-wide buffer-pool counters, aggregated across every pool (each
+// engine owns one). Per-pool numbers stay available via stats().
+struct PoolMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics* metrics = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      auto* m = new PoolMetrics();
+      m->hits = reg.GetCounter("tklus_buffer_pool_hits_total",
+                               "Buffer-pool page fetches served in memory.");
+      m->misses = reg.GetCounter(
+          "tklus_buffer_pool_misses_total",
+          "Buffer-pool fetches that required a physical page read.");
+      m->evictions = reg.GetCounter("tklus_buffer_pool_evictions_total",
+                                    "LRU frames evicted to make room.");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
   frames_.reserve(pool_size);
@@ -41,6 +71,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
     lru_pos_.erase(frame);
     page->Reset();
     ++stats_.evictions;
+    PoolMetrics::Get().evictions->Increment();
     return frame;
   }
   return Status::ResourceExhausted("all buffer pool frames are pinned");
@@ -51,12 +82,14 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   const auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     ++stats_.hits;
+    PoolMetrics::Get().hits->Increment();
     Page* page = frames_[it->second].get();
     page->pin_count_.fetch_add(1, std::memory_order_acq_rel);
     Touch(it->second);
     return page;
   }
   ++stats_.misses;
+  PoolMetrics::Get().misses->Increment();
   Result<size_t> frame = GetVictimFrame();
   if (!frame.ok()) return frame.status();
   Page* page = frames_[*frame].get();

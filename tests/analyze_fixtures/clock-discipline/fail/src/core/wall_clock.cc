@@ -1,0 +1,19 @@
+// Fixture: a core file reading wall time directly instead of through the
+// injectable tklus::Clock. Both the fully qualified spelling and the
+// using-shortened one must fire.
+#include <chrono>
+
+namespace tklus {
+
+long NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+long WallNs() {
+  using namespace std::chrono;
+  return system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace tklus

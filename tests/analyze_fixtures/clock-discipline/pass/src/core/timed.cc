@@ -1,0 +1,10 @@
+// Fixture: core code times work through the injected clock abstraction.
+// The words steady_clock / system_clock in this comment prove comment
+// immunity — only identifier tokens may fire.
+namespace tklus {
+
+class Stopwatch;
+
+double ElapsedMs(const Stopwatch&);
+
+}  // namespace tklus

@@ -1,0 +1,23 @@
+// Fixture stand-in for the real obs/clock.h: the obs module is the one
+// place the std::chrono clocks may appear, so nothing may fire here.
+#ifndef FIXTURE_OBS_CLOCK_H_
+#define FIXTURE_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tklus {
+
+class MonotonicClock {
+ public:
+  uint64_t NowNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace tklus
+
+#endif  // FIXTURE_OBS_CLOCK_H_

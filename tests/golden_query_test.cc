@@ -1,0 +1,243 @@
+// Golden differential-test corpus: a fixed generated world, a fixed
+// seeded batch of queries, and a checked-in golden file of the engine's
+// exact top-k output. Every corpus entry is evaluated three ways:
+//
+//   1. the indexed engine (the system under test),
+//   2. the in-memory NaiveScanner oracle (differential check, exact), and
+//   3. the checked-in golden line (regression check, byte-identical).
+//
+// The goldens pin the *numeric* behavior: a change that reorders ties,
+// perturbs accumulation order or touches the Def. 4-10 scoring surfaces
+// as a golden diff even when engine and oracle still agree with each
+// other (e.g. a change applied to both sides). Queries sweep both Sum and
+// Max ranking and an alpha grid, AND/OR semantics, radii, k and temporal
+// windows.
+//
+// Regenerate after an intentional scoring change with:
+//   ./tests/golden_query_test --regen
+// then review the golden diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baseline/naive_scan.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "datagen/text_model.h"
+#include "datagen/tweet_generator.h"
+
+namespace tklus {
+
+// Set by main() on --regen; namespace-scope (not anonymous) so the custom
+// main below can reach it.
+bool g_regen = false;
+
+namespace {
+
+using datagen::GeneratedCorpus;
+using datagen::TweetGenerator;
+
+constexpr uint64_t kWorldSeed = 6021023;
+constexpr int kNumQueries = 50;
+constexpr double kAlphaGrid[] = {0.3, 0.5, 0.8};
+
+std::string GoldenPath() {
+  return std::string(TKLUS_GOLDEN_DIR) + "/topk_corpus.golden";
+}
+
+// The fixed corpus behind every golden line. Built once per process.
+const GeneratedCorpus& World() {
+  static const GeneratedCorpus* corpus = [] {
+    TweetGenerator::Options gen;
+    gen.seed = kWorldSeed;
+    gen.num_users = 220;
+    gen.num_tweets = 5000;
+    gen.num_cities = 4;
+    gen.untagged_frac = 0.1;
+    return new GeneratedCorpus(TweetGenerator::Generate(gen));
+  }();
+  return *corpus;
+}
+
+// The fixed query batch: deterministic in kWorldSeed, independent of the
+// evaluation order. Temporal recency decay is included; its weights feed
+// the same Def. 10 mix, so it belongs under the golden pin too.
+std::vector<TkLusQuery> CorpusQueries(const Dataset& dataset) {
+  std::vector<TkLusQuery> queries;
+  Rng rng(kWorldSeed * 31 + 7);
+  const auto& topics = datagen::TopicWords();
+  const auto& modifiers = datagen::ModifierWords();
+  const int64_t first_sid = dataset.posts().front().sid;
+  const int64_t last_sid = dataset.posts().back().sid;
+  for (int i = 0; i < kNumQueries; ++i) {
+    TkLusQuery q;
+    const Post& anchor = dataset.posts()[rng.UniformInt(dataset.size())];
+    q.location = anchor.location;
+    q.radius_km = rng.Uniform(2.0, 50.0);
+    q.k = 1 + static_cast<int>(rng.UniformInt(uint64_t{15}));
+    const size_t num_keywords = 1 + rng.UniformInt(uint64_t{3});
+    for (size_t j = 0; j < num_keywords; ++j) {
+      if (rng.Bernoulli(0.8)) {
+        q.keywords.push_back(topics[rng.UniformInt(topics.size())]);
+      } else {
+        q.keywords.push_back(modifiers[rng.UniformInt(modifiers.size())]);
+      }
+    }
+    q.semantics = rng.Bernoulli(0.5) ? Semantics::kAnd : Semantics::kOr;
+    if (rng.Bernoulli(0.25)) {
+      const int64_t a = rng.UniformInt(first_sid, last_sid);
+      const int64_t b = rng.UniformInt(first_sid, last_sid);
+      q.temporal.begin = std::min(a, b);
+      q.temporal.end = std::max(a, b);
+    }
+    if (rng.Bernoulli(0.25)) {
+      q.temporal.half_life = rng.Uniform(200.0, 4000.0);
+      q.temporal.reference = last_sid;
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::string FormatLine(int query_idx, Ranking ranking, double alpha,
+                       const QueryResult& result) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "q%03d rank=%s alpha=%.1f ::", query_idx,
+                ranking == Ranking::kSum ? "Sum" : "Max", alpha);
+  std::string line = head;
+  for (const RankedUser& user : result.users) {
+    char entry[64];
+    std::snprintf(entry, sizeof(entry), " %lld:%.17g",
+                  static_cast<long long>(user.uid), user.score);
+    line += entry;
+  }
+  return line;
+}
+
+TEST(GoldenQueryTest, EngineMatchesOracleAndGoldens) {
+  const GeneratedCorpus& corpus = World();
+  auto engine = TkLusEngine::Build(corpus.dataset);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  // Exact oracle equality needs pruning off (ties may reorder under the
+  // pruned delta updates); pruned-vs-unpruned agreement has its own test.
+  (*engine)->processor().mutable_options().enable_pruning = false;
+
+  const std::vector<TkLusQuery> queries = CorpusQueries(corpus.dataset);
+
+  std::vector<std::string> lines;
+  lines.push_back("# tklus golden top-k corpus v1");
+  lines.push_back("# world seed " + std::to_string(kWorldSeed) + ", " +
+                  std::to_string(kNumQueries) +
+                  " queries x {Sum,Max} x alpha grid");
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (const Ranking ranking : {Ranking::kSum, Ranking::kMax}) {
+      for (const double alpha : kAlphaGrid) {
+        TkLusQuery q = queries[qi];
+        q.ranking = ranking;
+
+        ScoringParams scoring;
+        scoring.alpha = alpha;
+        (*engine)->processor().mutable_options().scoring = scoring;
+        NaiveScanner::Options oracle_options;
+        oracle_options.scoring = scoring;
+        const NaiveScanner oracle(&corpus.dataset, oracle_options);
+
+        auto got = (*engine)->Query(q);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        const QueryResult want = oracle.Process(q);
+        ASSERT_EQ(got->users.size(), want.users.size())
+            << "query " << qi << " alpha " << alpha;
+        for (size_t i = 0; i < want.users.size(); ++i) {
+          ASSERT_EQ(got->users[i].uid, want.users[i].uid)
+              << "query " << qi << " rank " << i << " alpha " << alpha;
+          ASSERT_NEAR(got->users[i].score, want.users[i].score, 1e-9);
+        }
+        lines.push_back(
+            FormatLine(static_cast<int>(qi), ranking, alpha, *got));
+      }
+    }
+  }
+
+  std::string expected_text;
+  for (const std::string& line : lines) {
+    expected_text += line;
+    expected_text += '\n';
+  }
+
+  if (g_regen) {
+    std::ofstream out(GoldenPath(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << GoldenPath();
+    out << expected_text;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "regenerated " << GoldenPath() << " ("
+                 << lines.size() - 2 << " corpus lines)";
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << "missing golden file " << GoldenPath()
+      << "; run golden_query_test --regen and commit the result";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  // Byte-identical: any score or ordering drift shows as a line diff.
+  const std::string golden_text = golden.str();
+  if (golden_text != expected_text) {
+    std::istringstream got_lines(expected_text);
+    std::istringstream want_lines(golden_text);
+    std::string got_line, want_line;
+    int line_no = 0;
+    while (true) {
+      const bool got_ok = static_cast<bool>(std::getline(got_lines, got_line));
+      const bool want_ok =
+          static_cast<bool>(std::getline(want_lines, want_line));
+      ++line_no;
+      if (!got_ok && !want_ok) break;
+      ASSERT_EQ(got_ok, want_ok) << "golden line count changed";
+      ASSERT_EQ(got_line, want_line) << "first divergence at golden line "
+                                     << line_no;
+    }
+    FAIL() << "golden text mismatch";  // unreachable if lines all matched
+  }
+}
+
+// Seam sanity: the differential sweep above drives TkLusQuery::trace off;
+// run one corpus query traced to pin that tracing does not perturb the
+// ranked output.
+TEST(GoldenQueryTest, TracingDoesNotChangeResults) {
+  const GeneratedCorpus& corpus = World();
+  auto engine = TkLusEngine::Build(corpus.dataset);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const std::vector<TkLusQuery> queries = CorpusQueries(corpus.dataset);
+  TkLusQuery plain = queries.front();
+  TkLusQuery traced = plain;
+  traced.trace = true;
+  auto plain_result = (*engine)->Query(plain);
+  auto traced_result = (*engine)->Query(traced);
+  ASSERT_TRUE(plain_result.ok());
+  ASSERT_TRUE(traced_result.ok());
+  ASSERT_EQ(plain_result->users.size(), traced_result->users.size());
+  for (size_t i = 0; i < plain_result->users.size(); ++i) {
+    EXPECT_EQ(plain_result->users[i].uid, traced_result->users[i].uid);
+    EXPECT_EQ(plain_result->users[i].score, traced_result->users[i].score);
+  }
+  ASSERT_NE(traced_result->stats.trace, nullptr);
+  EXPECT_EQ(plain_result->stats.trace, nullptr);
+}
+
+}  // namespace
+}  // namespace tklus
+
+// Custom main (instead of gtest_main) so the checked-in goldens can be
+// refreshed in place with `golden_query_test --regen`.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--regen") tklus::g_regen = true;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
+
+namespace tklus {
+namespace {
+
+// ------------------------------------------------------------------- tracing
+
+TEST(TracerTest, FakeClockDurationsAreExact) {
+  FakeClock clock(1000);
+  Trace trace;
+  Tracer tracer(&trace, &clock);
+  {
+    Tracer::Span root = tracer.StartSpan("query");
+    clock.AdvanceNanos(10);
+    {
+      Tracer::Span stage = tracer.StartSpan("cover");
+      clock.AdvanceNanos(25);
+    }
+    clock.AdvanceNanos(5);
+  }
+  ASSERT_EQ(trace.spans.size(), 2u);
+  const TraceSpan* root = trace.Find("query");
+  const TraceSpan* cover = trace.Find("cover");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(cover, nullptr);
+  EXPECT_EQ(root->start_ns, 1000u);
+  EXPECT_EQ(root->duration_ns, 40u);
+  EXPECT_EQ(cover->start_ns, 1010u);
+  EXPECT_EQ(cover->duration_ns, 25u);
+}
+
+TEST(TracerTest, NestingAttributesParents) {
+  FakeClock clock;
+  Trace trace;
+  Tracer tracer(&trace, &clock);
+  Tracer::Span root = tracer.StartSpan("query");
+  {
+    Tracer::Span a = tracer.StartSpan("a");
+    Tracer::Span inner = tracer.StartSpan("a.inner");
+  }
+  Tracer::Span b = tracer.StartSpan("b");
+  b.End();
+  root.End();
+
+  ASSERT_EQ(trace.spans.size(), 4u);
+  EXPECT_EQ(trace.Find("query")->parent, 0u);
+  EXPECT_EQ(trace.Find("a")->parent, trace.Find("query")->id);
+  EXPECT_EQ(trace.Find("a.inner")->parent, trace.Find("a")->id);
+  // `b` starts after a's guards closed, so it hangs off the root again.
+  EXPECT_EQ(trace.Find("b")->parent, trace.Find("query")->id);
+  const auto children = trace.ChildrenOf(trace.Find("query")->id);
+  ASSERT_EQ(children.size(), 2u);
+}
+
+TEST(TracerTest, CountersMergeByName) {
+  FakeClock clock;
+  Trace trace;
+  Tracer tracer(&trace, &clock);
+  Tracer::Span span = tracer.StartSpan("stage");
+  span.AddCounter("db_page_reads", 3);
+  span.AddCounter("db_page_reads", 4);
+  span.AddCounter("other", 1);
+  span.End();
+  EXPECT_EQ(trace.Find("stage")->Counter("db_page_reads"), 7u);
+  EXPECT_EQ(trace.Find("stage")->Counter("other"), 1u);
+  EXPECT_EQ(trace.Find("stage")->Counter("absent"), 0u);
+  EXPECT_EQ(trace.CounterTotal("db_page_reads"), 7u);
+}
+
+TEST(TracerTest, DisabledTracerIsInert) {
+  Tracer tracer;  // no trace sink
+  EXPECT_FALSE(tracer.enabled());
+  Tracer::Span span = tracer.StartSpan("anything");
+  span.AddCounter("x", 1);
+  span.End();  // must not crash
+  EXPECT_FALSE(span.active());
+}
+
+TEST(TracerTest, MovedFromGuardDoesNotDoubleEnd) {
+  FakeClock clock;
+  Trace trace;
+  Tracer tracer(&trace, &clock);
+  Tracer::Span a = tracer.StartSpan("a");
+  clock.AdvanceNanos(7);
+  Tracer::Span moved = std::move(a);
+  a.End();  // moved-from: no-op
+  moved.End();
+  EXPECT_EQ(trace.Find("a")->duration_ns, 7u);
+  clock.AdvanceNanos(100);
+  moved.End();  // second End: no-op
+  EXPECT_EQ(trace.Find("a")->duration_ns, 7u);
+}
+
+TEST(TracerTest, ToJsonEscapesNames) {
+  FakeClock clock;
+  Trace trace;
+  Tracer tracer(&trace, &clock);
+  Tracer::Span span = tracer.StartSpan("we\"ird\nname");
+  span.AddCounter("c\\ount", 2);
+  span.End();
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"we\\\"ird\\nname\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c\\\\ount\": 2"), std::string::npos) << json;
+}
+
+TEST(StopwatchTest, FakeClockElapsed) {
+  FakeClock clock;
+  Stopwatch sw(&clock);
+  clock.AdvanceMillis(250);
+  EXPECT_DOUBLE_EQ(sw.ElapsedMillis(), 250.0);
+  sw.Restart();
+  clock.AdvanceMillis(3);
+  EXPECT_DOUBLE_EQ(sw.ElapsedMillis(), 3.0);
+}
+
+// ------------------------------------------------------------------- metrics
+
+TEST(MetricsTest, CounterAccumulatesAcrossShards) {
+  Counter c(4);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreLeInclusive) {
+  Histogram h({1.0, 5.0, 10.0});
+  h.Observe(0.5);   // le=1
+  h.Observe(1.0);   // le=1 (boundary is inclusive, Prometheus `le`)
+  h.Observe(1.001); // le=5
+  h.Observe(5.0);   // le=5
+  h.Observe(10.0);  // le=10
+  h.Observe(99.0);  // +Inf
+  EXPECT_EQ(h.CumulativeCount(0), 2u);   // <= 1
+  EXPECT_EQ(h.CumulativeCount(1), 4u);   // <= 5
+  EXPECT_EQ(h.CumulativeCount(2), 5u);   // <= 10
+  EXPECT_EQ(h.CumulativeCount(3), 6u);   // +Inf
+  EXPECT_EQ(h.Count(), 6u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.001 + 5.0 + 10.0 + 99.0);
+}
+
+TEST(MetricsTest, HistogramSortsAndDedupsBounds) {
+  Histogram h({10.0, 1.0, 10.0, 5.0});
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_DOUBLE_EQ(h.bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[2], 10.0);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("tklus_test_total", "help");
+  Counter* b = reg.GetCounter("tklus_test_total", "different help ignored");
+  EXPECT_EQ(a, b);
+  a->Increment(5);
+  EXPECT_EQ(b->Value(), 5u);
+}
+
+TEST(MetricsTest, RegistryTypeMismatchYieldsDetachedDummy) {
+  MetricsRegistry reg;
+  reg.GetCounter("tklus_name", "first registration wins");
+  Gauge* dummy = reg.GetGauge("tklus_name", "wrong type");
+  ASSERT_NE(dummy, nullptr);
+  dummy->Set(77);  // must not crash, must not surface in Expose
+  const std::string text = reg.Expose();
+  EXPECT_NE(text.find("# TYPE tklus_name counter"), std::string::npos);
+  EXPECT_EQ(text.find("77"), std::string::npos) << text;
+}
+
+TEST(MetricsTest, ExposeFormatsFamiliesSortedAndEscaped) {
+  MetricsRegistry reg;
+  reg.GetCounter("tklus_b_total", "line one\nline two \\ backslash")
+      ->Increment(3);
+  reg.GetGauge("tklus_a_gauge", "a gauge")->Set(-4);
+  Histogram* h =
+      reg.GetHistogram("tklus_lat_ms", "latency", {0.5, 2.5});
+  h->Observe(0.25);
+  h->Observe(2.0);
+  h->Observe(50.0);
+  const std::string text = reg.Expose();
+
+  // Families are name-sorted: a_gauge, b_total, lat_ms.
+  const size_t pos_a = text.find("# TYPE tklus_a_gauge gauge");
+  const size_t pos_b = text.find("# TYPE tklus_b_total counter");
+  const size_t pos_h = text.find("# TYPE tklus_lat_ms histogram");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_h, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_h);
+
+  // HELP escaping: newline -> \n, backslash -> \\ (Prometheus rules).
+  EXPECT_NE(text.find("# HELP tklus_b_total line one\\nline two \\\\ "
+                      "backslash"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tklus_a_gauge -4\n"), std::string::npos);
+  EXPECT_NE(text.find("tklus_b_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("tklus_lat_ms_bucket{le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tklus_lat_ms_bucket{le=\"2.5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tklus_lat_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tklus_lat_ms_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsTest, GlobalRegistryCarriesEngineFamilies) {
+  // The process registry exists and Expose() never throws; families from
+  // instrumented subsystems appear once anything ran in this process.
+  const std::string text = MetricsRegistry::Global().Expose();
+  SUCCEED() << text.size();
+}
+
+// ------------------------------------------------------------ slow query log
+
+SlowQueryRecord MakeRecord(const std::string& summary, double ms) {
+  SlowQueryRecord r;
+  r.summary = summary;
+  r.elapsed_ms = ms;
+  return r;
+}
+
+TEST(SlowQueryLogTest, ThresholdGates) {
+  SlowQueryLog log({/*threshold_ms=*/100.0, /*capacity=*/4});
+  EXPECT_TRUE(log.enabled());
+  EXPECT_FALSE(log.ShouldRecord(99.9));
+  EXPECT_TRUE(log.ShouldRecord(100.0));
+  SlowQueryLog disabled({/*threshold_ms=*/0.0, /*capacity=*/4});
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_FALSE(disabled.ShouldRecord(1e9));
+  disabled.Record(MakeRecord("ignored", 1e9));
+  EXPECT_EQ(disabled.total_recorded(), 0u);
+}
+
+TEST(SlowQueryLogTest, RingWrapsKeepingNewestOldestFirst) {
+  SlowQueryLog log({/*threshold_ms=*/1.0, /*capacity=*/3});
+  for (int i = 1; i <= 5; ++i) {
+    log.Record(MakeRecord("q" + std::to_string(i), 10.0 * i));
+  }
+  EXPECT_EQ(log.total_recorded(), 5u);
+  const std::vector<SlowQueryRecord> snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Oldest surviving first: q3, q4, q5 with their admission sequences.
+  EXPECT_EQ(snap[0].summary, "q3");
+  EXPECT_EQ(snap[0].sequence, 3u);
+  EXPECT_EQ(snap[1].summary, "q4");
+  EXPECT_EQ(snap[2].summary, "q5");
+  EXPECT_EQ(snap[2].sequence, 5u);
+}
+
+TEST(SlowQueryLogTest, DumpJsonLinesEscapesAndOrders) {
+  SlowQueryLog log({/*threshold_ms=*/1.0, /*capacity=*/8});
+  log.Record(MakeRecord("plain", 12.5));
+  log.Record(MakeRecord("quo\"te\nline", 13.0));
+  std::ostringstream out;
+  log.DumpJsonLines(out);
+  const std::string text = out.str();
+  // One object per line, oldest first, JSON string escaping applied.
+  const size_t newline = text.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  EXPECT_NE(text.find("\"summary\": \"plain\""), std::string::npos);
+  EXPECT_NE(text.find("\"elapsed_ms\": 12.500"), std::string::npos);
+  EXPECT_NE(text.find("\"quo\\\"te\\nline\""), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(SlowQueryLogTest, CapacityZeroClampsToOne) {
+  SlowQueryLog log({/*threshold_ms=*/1.0, /*capacity=*/0});
+  log.Record(MakeRecord("a", 2.0));
+  log.Record(MakeRecord("b", 3.0));
+  const auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].summary, "b");
+}
+
+}  // namespace
+}  // namespace tklus

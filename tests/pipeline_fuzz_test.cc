@@ -7,9 +7,42 @@
 #include "core/kendall.h"
 #include "datagen/text_model.h"
 #include "datagen/tweet_generator.h"
+#include "obs/trace.h"
 
 namespace tklus {
 namespace {
+
+// Structural invariants every recorded trace must satisfy, checked on
+// each randomized query: a well-formed span tree (one root, parents
+// precede children), stage durations that sum to no more than the root
+// span, and per-stage I/O counters that attribute every db/dfs read the
+// QueryStats totals saw.
+void CheckTraceInvariants(const Trace& trace, const QueryStats& stats) {
+  ASSERT_FALSE(trace.spans.empty());
+  const TraceSpan& root = trace.spans.front();
+  EXPECT_EQ(root.name, stage::kQuery);
+  EXPECT_EQ(root.parent, 0u);
+  uint64_t child_duration_total = 0;
+  for (size_t i = 0; i < trace.spans.size(); ++i) {
+    const TraceSpan& span = trace.spans[i];
+    EXPECT_EQ(span.id, static_cast<uint32_t>(i + 1));
+    if (i == 0) continue;
+    // Spans appear in start order, so a parent always precedes its child;
+    // exactly one root exists.
+    EXPECT_GT(span.parent, 0u) << "second root span: " << span.name;
+    EXPECT_LT(span.parent, span.id);
+    EXPECT_GE(span.start_ns, root.start_ns);
+    if (span.parent == root.id) child_duration_total += span.duration_ns;
+  }
+  // Stages tile the root span: their wall time cannot exceed it.
+  EXPECT_LE(child_duration_total, root.duration_ns);
+  // I/O attribution: every page/block read lands in exactly one stage
+  // counter (the root span carries none), so the totals reconcile.
+  EXPECT_EQ(trace.CounterTotal(stage::kCounterDbPageReads),
+            stats.db_page_reads);
+  EXPECT_EQ(trace.CounterTotal(stage::kCounterDfsBlockReads),
+            stats.dfs_block_reads);
+}
 
 using datagen::GeneratedCorpus;
 using datagen::TweetGenerator;
@@ -64,6 +97,10 @@ TEST_P(PipelineFuzzTest, EngineEqualsOracleOnRandomQueries) {
     }
     q.semantics = rng.Bernoulli(0.5) ? Semantics::kAnd : Semantics::kOr;
     q.ranking = rng.Bernoulli(0.5) ? Ranking::kSum : Ranking::kMax;
+    // Trace half the trials: results must be identical either way (the
+    // oracle comparison below covers that), and each recorded trace must
+    // satisfy the structural invariants.
+    q.trace = trial % 2 == 0;
     if (rng.Bernoulli(0.3)) {
       const int64_t a = rng.UniformInt(first_sid, last_sid);
       const int64_t b = rng.UniformInt(first_sid, last_sid);
@@ -85,6 +122,12 @@ TEST_P(PipelineFuzzTest, EngineEqualsOracleOnRandomQueries) {
       EXPECT_EQ(got->users[i].uid, want.users[i].uid)
           << "trial " << trial << " rank " << i;
       EXPECT_NEAR(got->users[i].score, want.users[i].score, 1e-9);
+    }
+    if (q.trace) {
+      ASSERT_NE(got->stats.trace, nullptr) << "trial " << trial;
+      CheckTraceInvariants(*got->stats.trace, got->stats);
+    } else {
+      EXPECT_EQ(got->stats.trace, nullptr);
     }
   }
 }

@@ -348,6 +348,40 @@ class NondeterminismRule : public Rule {
   }
 };
 
+// ----------------------------------------------------------- clock-discipline
+
+// Every wall-time read must flow through the injectable tklus::Clock
+// (obs/clock.h) so spans, latency stats and the slow-query log are
+// fake-clock testable. src/obs is the single module allowed to touch the
+// std::chrono clocks; a bare `steady_clock` anywhere else — including a
+// `using namespace std::chrono` shortening — is a violation.
+class ClockDisciplineRule : public Rule {
+ public:
+  std::string_view name() const override { return "clock-discipline"; }
+  std::string_view description() const override {
+    return "std::chrono steady_clock/system_clock/high_resolution_clock "
+           "banned outside src/obs; read time via obs/clock.h";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext&,
+             std::vector<Diagnostic>* out) const override {
+    if (file.module == "obs") return;
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      for (const std::string_view clock :
+           {"steady_clock", "system_clock", "high_resolution_clock"}) {
+        if (IsIdent(toks[i], clock)) {
+          out->push_back(Diagnostic{
+              std::string(name()), file.path, toks[i].line,
+              "raw chrono clock '" + toks[i].text +
+                  "' outside src/obs; read time via tklus::Clock / "
+                  "Stopwatch (obs/clock.h, obs/stopwatch.h) so tests can "
+                  "inject a fake clock"});
+        }
+      }
+    }
+  }
+};
+
 // ------------------------------------------------------------ nodiscard-guard
 
 // The whole error-discipline stack leans on Status/Result<T> being
@@ -398,6 +432,7 @@ std::vector<std::unique_ptr<Rule>> BuildRuleSet() {
   rules.push_back(std::make_unique<NakedLockRule>());
   rules.push_back(std::make_unique<VoidDiscardRule>());
   rules.push_back(std::make_unique<NondeterminismRule>());
+  rules.push_back(std::make_unique<ClockDisciplineRule>());
   rules.push_back(std::make_unique<NodiscardGuardRule>());
   return rules;
 }
