@@ -1,25 +1,34 @@
 #!/usr/bin/env bash
-# Runs the machine-readable performance baseline (bench_query_throughput)
-# and leaves BENCH_query.json in the repo root.
+# Runs the machine-readable performance baselines and leaves
+# BENCH_query.json + BENCH_ingest.json in the repo root.
 #
 # Usage:
 #   scripts/bench.sh             full run (default 60k-tweet corpus)
-#   scripts/bench.sh --smoke     small corpus, <1 min — the CI smoke job
-#   scripts/bench.sh ARGS...     extra args forwarded to the binary
+#   scripts/bench.sh --smoke     small corpus, <2 min — the CI smoke job
+#   scripts/bench.sh ARGS...     extra args forwarded to both binaries
 #
-# Reuses an existing build when one has the binary; otherwise configures
+# Reuses an existing build when one has the binaries; otherwise configures
 # a RelWithDebInfo build into build/ first. TKLUS_BENCH_TWEETS scales the
 # corpus as for every other bench binary.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-bin=$(ls -t build*/bench/bench_query_throughput 2>/dev/null | head -n1 || true)
-if [ -z "$bin" ] || [ ! -x "$bin" ]; then
-  echo "bench: building bench_query_throughput"
+find_bin() {
+  ls -t build*/bench/"$1" 2>/dev/null | head -n1 || true
+}
+
+query_bin=$(find_bin bench_query_throughput)
+ingest_bin=$(find_bin bench_ingest)
+if [ -z "$query_bin" ] || [ ! -x "$query_bin" ] ||
+   [ -z "$ingest_bin" ] || [ ! -x "$ingest_bin" ]; then
+  echo "bench: building benchmark binaries"
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build build -j"$(nproc)" --target bench_query_throughput
-  bin=build/bench/bench_query_throughput
+  cmake --build build -j"$(nproc)" --target bench_query_throughput \
+    --target bench_ingest
+  query_bin=build/bench/bench_query_throughput
+  ingest_bin=build/bench/bench_ingest
 fi
 
-exec "$bin" --out BENCH_query.json "$@"
+"$query_bin" --out BENCH_query.json "$@"
+"$ingest_bin" --out BENCH_ingest.json "$@"

@@ -19,6 +19,10 @@ void FaultInjector::FailNext(const std::string& site, FaultKind kind,
     rules.scheduled_corrupt += count;
     return;
   }
+  if (kind == FaultKind::kTornWrite) {
+    rules.scheduled_torn += count;
+    return;
+  }
   rules.scheduled_fail.insert(rules.scheduled_fail.end(),
                               static_cast<size_t>(std::max(count, 0)), kind);
 }
@@ -82,6 +86,25 @@ bool FaultInjector::MaybeCorrupt(const std::string& site, char* data,
   const size_t index = rng_.UniformInt(static_cast<uint64_t>(len));
   data[index] ^= static_cast<char>(1 + rng_.UniformInt(uint64_t{255}));
   return true;
+}
+
+std::optional<size_t> FaultInjector::MaybeTornWrite(const std::string& site,
+                                                    size_t len) {
+  if (len == 0) return std::nullopt;
+  MutexLock lock(&mu_);
+  const auto it = rules_.find(site);
+  if (it == rules_.end()) return std::nullopt;
+  SiteRules& rules = it->second;
+  if (rules.scheduled_torn > 0) {
+    --rules.scheduled_torn;
+  } else {
+    const double rate = rules.rate[static_cast<int>(FaultKind::kTornWrite)];
+    if (rate <= 0 || !rng_.Bernoulli(rate)) return std::nullopt;
+  }
+  ++injected_[site];
+  // A strict prefix: UniformInt(len) is in [0, len), so the full buffer
+  // never lands — a torn write always leaves an unparseable tail.
+  return static_cast<size_t>(rng_.UniformInt(static_cast<uint64_t>(len)));
 }
 
 uint64_t FaultInjector::injected(const std::string& site) const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,11 @@ enum class FaultKind {
   // The bytes the operation touches are silently flipped at rest; checksum
   // verification must turn this into kCorruption.
   kCorruption,
+  // The write is torn: only a strict prefix of the buffer reaches the
+  // medium before the operation "crashes" (kIoError). Consulted by
+  // MaybeTornWrite, never by MaybeFail — the caller must persist the
+  // prefix itself so recovery code sees a genuinely partial record.
+  kTornWrite,
 };
 
 // Well-known instrumentation sites. Components check the injector at these
@@ -32,6 +38,11 @@ inline constexpr char kDiskRead[] = "disk.read";
 inline constexpr char kDiskWrite[] = "disk.write";
 inline constexpr char kMapTask[] = "mapreduce.map";
 inline constexpr char kReduceTask[] = "mapreduce.reduce";
+inline constexpr char kWalAppend[] = "wal.append";
+inline constexpr char kWalFsync[] = "wal.fsync";
+inline constexpr char kWalTruncate[] = "wal.truncate";
+inline constexpr char kFileWrite[] = "file.write";
+inline constexpr char kFileRename[] = "file.rename";
 }  // namespace faults
 
 // A seeded, deterministic fault injector shared by every layer that does
@@ -72,6 +83,12 @@ class FaultInjector {
   // the buffer was corrupted. No-op on empty buffers.
   bool MaybeCorrupt(const std::string& site, char* data, size_t len);
 
+  // Consults torn-write rules for `site` before a `len`-byte write. When
+  // one fires, returns the number of bytes (a strict prefix, possibly 0)
+  // the caller must persist before failing the operation with kIoError —
+  // simulating a crash mid-write. Returns nullopt when no rule fires.
+  std::optional<size_t> MaybeTornWrite(const std::string& site, size_t len);
+
   // Faults injected so far (all kinds) at one site / across all sites.
   uint64_t injected(const std::string& site) const;
   uint64_t total_injected() const;
@@ -79,11 +96,13 @@ class FaultInjector {
  private:
   struct SiteRules {
     // Probabilistic rates, one slot per FaultKind.
-    double rate[3] = {0, 0, 0};
+    double rate[4] = {0, 0, 0, 0};
     // Scheduled failing operations (kTransient/kPermanent), consumed front
-    // to back by MaybeFail; scheduled corruptions consumed by MaybeCorrupt.
+    // to back by MaybeFail; scheduled corruptions consumed by MaybeCorrupt;
+    // scheduled torn writes consumed by MaybeTornWrite.
     std::vector<FaultKind> scheduled_fail;
     int scheduled_corrupt = 0;
+    int scheduled_torn = 0;
   };
 
   mutable Mutex mu_;

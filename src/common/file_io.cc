@@ -32,20 +32,21 @@ uint64_t GetU64(const char* in) {
   return v;
 }
 
-}  // namespace
-
-Status WriteFileAtomic(const std::string& path, std::string_view payload) {
+// Writes `frame` (payload, optionally followed by a footer the caller
+// already appended) to `path + ".tmp"`, fsyncs, renames over `path`.
+// Consults `faults` at kFileWrite (fail / torn write) and kFileRename.
+Status WriteFrameAtomic(const std::string& path, std::string_view frame,
+                        FaultInjector* faults) {
+  if (faults != nullptr) {
+    Status st = faults->MaybeFail(faults::kFileWrite, path);
+    if (!st.ok()) return st;
+  }
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::IoError("cannot create " + tmp + ": " +
                            std::strerror(errno));
   }
-  char footer[kFooterSize];
-  PutU32(footer, kFooterVersion);
-  PutU32(footer + 4, Crc32(payload.data(), payload.size()));
-  PutU64(footer + 8, kFooterMagic);
-
   auto write_all = [fd](const char* data, size_t len) {
     while (len > 0) {
       const ssize_t n = ::write(fd, data, len);
@@ -58,8 +59,19 @@ Status WriteFileAtomic(const std::string& path, std::string_view payload) {
     }
     return true;
   };
-  const bool written = write_all(payload.data(), payload.size()) &&
-                       write_all(footer, kFooterSize);
+  if (faults != nullptr) {
+    const std::optional<size_t> torn =
+        faults->MaybeTornWrite(faults::kFileWrite, frame.size());
+    if (torn.has_value()) {
+      // Persist only the prefix and "crash": the torn temp file stays on
+      // disk, the destination name still points at the old content.
+      write_all(frame.data(), *torn);
+      ::fsync(fd);
+      ::close(fd);
+      return Status::IoError("injected torn write saving " + tmp);
+    }
+  }
+  const bool written = write_all(frame.data(), frame.size());
   // fsync before rename: the new bytes must be durable before the name
   // points at them, or a crash could expose an empty/torn file.
   const bool synced = written && ::fsync(fd) == 0;
@@ -67,6 +79,12 @@ Status WriteFileAtomic(const std::string& path, std::string_view payload) {
   if (!synced) {
     ::unlink(tmp.c_str());
     return Status::IoError("short write saving " + tmp);
+  }
+  if (faults != nullptr) {
+    // A fault here models a crash after the durable temp write but before
+    // the rename: the temp file is deliberately left behind.
+    Status st = faults->MaybeFail(faults::kFileRename, path);
+    if (!st.ok()) return st;
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
@@ -78,7 +96,25 @@ Status WriteFileAtomic(const std::string& path, std::string_view payload) {
   return Status::Ok();
 }
 
-Result<std::string> ReadFileVerified(const std::string& path) {
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view payload,
+                       FaultInjector* faults) {
+  std::string frame(payload);
+  char footer[kFooterSize];
+  PutU32(footer, kFooterVersion);
+  PutU32(footer + 4, Crc32(payload.data(), payload.size()));
+  PutU64(footer + 8, kFooterMagic);
+  frame.append(footer, kFooterSize);
+  return WriteFrameAtomic(path, frame, faults);
+}
+
+Status WriteFilePlain(const std::string& path, std::string_view payload,
+                      FaultInjector* faults) {
+  return WriteFrameAtomic(path, payload, faults);
+}
+
+Result<std::string> ReadFileRaw(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::NotFound("no such file: " + path);
@@ -88,6 +124,13 @@ Result<std::string> ReadFileVerified(const std::string& path) {
   if (!in.good() && !in.eof()) {
     return Status::IoError("cannot read " + path);
   }
+  return bytes;
+}
+
+Result<std::string> ReadFileVerified(const std::string& path) {
+  Result<std::string> raw = ReadFileRaw(path);
+  if (!raw.ok()) return raw.status();
+  std::string bytes = *std::move(raw);
   if (bytes.size() < kFooterSize) {
     return Status::Corruption("missing checksum footer in " + path);
   }

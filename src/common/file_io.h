@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/fault_injector.h"
 #include "common/status.h"
 
 namespace tklus {
@@ -22,10 +23,28 @@ namespace fileio {
 // new one, never a torn mix. ReadFileVerified re-derives the CRC and
 // returns kCorruption on any byte-level damage (bad magic, bad version,
 // truncated footer, CRC mismatch), kNotFound when the file is absent.
+//
+// `faults` (optional) drives deterministic crash simulation: site
+// faults::kFileWrite is consulted before the temp-file write (fail or torn
+// write — a torn write persists a prefix of the temp file and fails, the
+// destination name is never touched) and faults::kFileRename before the
+// rename (the completed temp file is left behind, exactly the state a
+// crash between write and rename leaves on disk).
 
-Status WriteFileAtomic(const std::string& path, std::string_view payload);
+Status WriteFileAtomic(const std::string& path, std::string_view payload,
+                       FaultInjector* faults = nullptr);
+
+// Same atomic temp-write + fsync + rename protocol, but without the
+// checksum footer — for plain-format exports (e.g. TSV) that other tools
+// read. Same fault sites as WriteFileAtomic.
+Status WriteFilePlain(const std::string& path, std::string_view payload,
+                      FaultInjector* faults = nullptr);
 
 Result<std::string> ReadFileVerified(const std::string& path);
+
+// Whole-file read with no footer expectation (live DB files, plain
+// exports). kNotFound when absent.
+Result<std::string> ReadFileRaw(const std::string& path);
 
 }  // namespace fileio
 }  // namespace tklus

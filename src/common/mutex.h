@@ -91,6 +91,41 @@ class TKLUS_SCOPED_CAPABILITY MutexLock {
   Mutex* mu_;
 };
 
+// A condition variable paired with tklus::Mutex (std sync primitives are
+// confined to this header so the lint/analysis can account for every lock).
+// Usage mirrors absl::CondVar:
+//   MutexLock lock(&mu_);
+//   while (!ready_) cv_.Wait(&mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases *mu (which the caller must hold), blocks until
+  // signalled, and reacquires *mu before returning. Spurious wakeups are
+  // possible; callers always re-check their predicate in a loop.
+  void Wait(Mutex* mu) TKLUS_REQUIRES(mu) {
+    MutexAdapter adapter{mu};
+    cv_.wait(adapter);
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  // BasicLockable shim so condition_variable_any can release/reacquire a
+  // tklus::Mutex. The analysis cannot follow the handoff through
+  // condition_variable_any, hence the escape hatch on both methods.
+  struct MutexAdapter {
+    Mutex* mu;
+    void lock() TKLUS_NO_THREAD_SAFETY_ANALYSIS { mu->Lock(); }
+    void unlock() TKLUS_NO_THREAD_SAFETY_ANALYSIS { mu->Unlock(); }
+  };
+
+  std::condition_variable_any cv_;
+};
+
 // An annotated reader-writer mutex. Readers (LockShared) may overlap each
 // other; a writer (Lock) excludes everyone. Same annotation contract as
 // Mutex: a TKLUS_GUARDED_BY(shared_mu_) field may be *read* under either

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <span>
 #include <sstream>
+#include <utility>
 
 #include "common/file_io.h"
 #include "common/serde.h"
@@ -69,6 +71,72 @@ std::string MakeTempWorkingDir() {
   return dir.string();
 }
 
+bool SamePath(const std::string& a, const std::string& b) {
+  return std::filesystem::absolute(a) == std::filesystem::absolute(b);
+}
+
+constexpr uint64_t kEngineMagic = 0x32656e69676e6554ULL;    // format v2
+constexpr uint64_t kMetaBlobMagic = 0x62644d7375754b54ULL;  // "TkLusMdb"
+
+// The flushed live DB + page-CRC sidecar, bundled into one atomically
+// written, footer-checksummed checkpoint artifact. The live file itself is
+// scratch state: Open regenerates it from this blob, so it needs no crash
+// safety of its own.
+constexpr char kLiveDbFile[] = "/meta.live.db";
+constexpr char kDbBlobFile[] = "/meta.db";
+constexpr char kWalFile[] = "/wal.log";
+
+TweetMeta ToMeta(const Post& p) {
+  return TweetMeta{p.sid, p.uid, p.location.lat, p.location.lon, p.ruid,
+                   p.rsid};
+}
+
+// WAL record payload: one appended batch. Framing (length + CRC32) is the
+// WAL's job; this codec only needs to round-trip every Post field.
+std::string EncodeBatch(const Dataset& batch) {
+  std::ostringstream out(std::ios::binary);
+  serde::WriteU64(out, batch.size());
+  for (const Post& p : batch.posts()) {
+    serde::WriteI64(out, p.sid);
+    serde::WriteI64(out, p.uid);
+    serde::WriteDouble(out, p.location.lat);
+    serde::WriteDouble(out, p.location.lon);
+    serde::WriteI64(out, p.ruid);
+    serde::WriteI64(out, p.rsid);
+    serde::WriteU32(out, static_cast<uint32_t>(p.is_forward ? 1 : 0) |
+                             (static_cast<uint32_t>(p.geo_source) << 1));
+    serde::WriteString(out, p.text);
+  }
+  return out.str();
+}
+
+Result<Dataset> DecodeBatch(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  uint64_t count = 0;
+  if (!serde::ReadU64(in, &count)) {
+    return Status::Corruption("truncated WAL batch header");
+  }
+  Dataset batch;
+  for (uint64_t i = 0; i < count; ++i) {
+    Post p;
+    uint32_t flags = 0;
+    if (!serde::ReadI64(in, &p.sid) || !serde::ReadI64(in, &p.uid) ||
+        !serde::ReadDouble(in, &p.location.lat) ||
+        !serde::ReadDouble(in, &p.location.lon) ||
+        !serde::ReadI64(in, &p.ruid) || !serde::ReadI64(in, &p.rsid) ||
+        !serde::ReadU32(in, &flags) || !serde::ReadString(in, &p.text)) {
+      return Status::Corruption("truncated WAL batch record");
+    }
+    if ((flags >> 1) > static_cast<uint32_t>(GeoSource::kNone)) {
+      return Status::Corruption("bad geo source in WAL batch record");
+    }
+    p.is_forward = (flags & 1) != 0;
+    p.geo_source = static_cast<GeoSource>(flags >> 1);
+    batch.Add(std::move(p));
+  }
+  return batch;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
@@ -89,12 +157,12 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
   MetadataDb::Options db_options;
   db_options.buffer_pool_pages = options.buffer_pool_pages;
   db_options.fault_injector = options.fault_injector;
-  auto db = MetadataDb::Create(options.working_dir + "/meta.db", db_options);
+  auto db =
+      MetadataDb::Create(options.working_dir + kLiveDbFile, db_options);
   if (!db.ok()) return db.status();
   engine->db_ = std::move(*db);
   for (const Post& p : dataset.posts()) {
-    TKLUS_RETURN_IF_ERROR(engine->db_->Insert(TweetMeta{
-        p.sid, p.uid, p.location.lat, p.location.lon, p.ruid, p.rsid}));
+    TKLUS_RETURN_IF_ERROR(engine->db_->Insert(ToMeta(p)));
   }
 
   // Hybrid index built with MapReduce into the simulated DFS.
@@ -112,6 +180,18 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
   if (!index.ok()) return index.status();
   engine->index_ = std::move(*index);
 
+  // Fresh WAL: a stale wal.log in a reused working dir belongs to a
+  // previous engine whose checkpoint this Build replaces.
+  {
+    std::error_code ec;
+    std::filesystem::remove(options.working_dir + kWalFile, ec);
+  }
+  Wal::Options wal_options;
+  wal_options.fault_injector = options.fault_injector;
+  auto wal = Wal::Open(options.working_dir + kWalFile, wal_options);
+  if (!wal.ok()) return wal.status();
+  engine->wal_ = std::move(*wal);
+
   // Offline artifacts: social graph, corpus vocabulary, exact upper
   // bounds (maintained incrementally by the thread tracker so later
   // AppendBatch calls stay O(1) per post), per-user location profiles
@@ -119,6 +199,8 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
   // lock-annotated, so initialize them under the (uncontended) lock.
   WriterMutexLock lock(&engine->mu_);
   const Tokenizer tokenizer(options.tokenizer);
+  engine->delta_ = std::make_unique<DeltaIndex>(
+      DeltaIndex::Options{options.geohash_length, options.tokenizer});
   engine->graph_ = SocialGraph::Build(dataset);
   engine->vocabulary_ = dataset.BuildVocabulary(tokenizer);
   engine->tracker_ = ThreadTracker(ThreadTracker::Options{
@@ -147,22 +229,14 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
   engine->bounds_ = UpperBoundRegistry::FromParts(
       engine->tracker_.global_bound(), engine->tracker_.HotBounds());
 
-  QueryProcessor::Options proc_options;
-  proc_options.scoring = options.scoring;
-  proc_options.thread_depth = options.thread_depth;
-  engine->processor_ = std::make_unique<QueryProcessor>(
-      engine->index_.get(), engine->db_.get(), &engine->bounds_,
-      &engine->user_locations_, tokenizer, proc_options);
-  if (options.popularity_cache_entries > 0) {
-    engine->popularity_cache_ = std::make_unique<PopularityCache>(
-        PopularityCache::Options{options.popularity_cache_entries});
-    engine->processor_->set_popularity_cache(engine->popularity_cache_.get());
-  }
+  engine->FinishConstruction();
   return engine;
 }
 
 TkLusEngine::~TkLusEngine() {
-  // Release the DB file handle before removing the directory.
+  StopMergeThread();
+  // Release the WAL and DB file handles before removing the directory.
+  wal_.reset();
   db_.reset();
   if (owns_working_dir_) {
     std::error_code ec;
@@ -174,116 +248,260 @@ TkLusEngine::~TkLusEngine() {
   }
 }
 
-namespace {
-constexpr uint64_t kEngineMagic = 0x32656e69676e6554ULL;  // format v2
-}  // namespace
+void TkLusEngine::FinishConstruction() {
+  QueryProcessor::Options proc_options;
+  proc_options.scoring = options_.scoring;
+  proc_options.thread_depth = options_.thread_depth;
+  processor_ = std::make_unique<QueryProcessor>(
+      index_.get(), db_.get(), &bounds_, &user_locations_,
+      Tokenizer(options_.tokenizer), proc_options);
+  if (options_.popularity_cache_entries > 0) {
+    popularity_cache_ = std::make_unique<PopularityCache>(
+        PopularityCache::Options{options_.popularity_cache_entries});
+    processor_->set_popularity_cache(popularity_cache_.get());
+  }
+  processor_->set_delta_index(delta_.get());
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  delta_posts_gauge_ = reg.GetGauge(
+      "tklus_delta_index_posts",
+      "Posts resident in the in-memory delta index (awaiting a merge).");
+  delta_bytes_gauge_ = reg.GetGauge(
+      "tklus_delta_index_bytes",
+      "Approximate heap footprint of the in-memory delta index.");
+  delta_merges_total_ = reg.GetCounter(
+      "tklus_delta_merges_total",
+      "Delta-index folds into the hybrid index (background or explicit).");
+  UpdateDeltaGaugesLocked();
+  StartMergeThread();
+}
+
+void TkLusEngine::ApplyPostLocked(const Post& post,
+                                  const Tokenizer& tokenizer) {
+  delta_->Apply(post);
+  graph_.AddPost(post);
+  const std::vector<std::string> terms = tokenizer.Tokenize(post.text);
+  tracker_.AddPost(post, terms);
+  for (const std::string& term : terms) {
+    vocabulary_.Add(term);
+  }
+  if (post.HasLocation()) {
+    user_locations_[post.uid].push_back(post.location);
+  }
+  max_sid_ = std::max(max_sid_, post.sid);
+}
+
+void TkLusEngine::UpdateDeltaGaugesLocked() {
+  if (delta_posts_gauge_ == nullptr) return;
+  delta_posts_gauge_->Set(static_cast<int64_t>(delta_->post_count()));
+  delta_bytes_gauge_->Set(static_cast<int64_t>(delta_->approx_bytes()));
+}
 
 Status TkLusEngine::AppendBatch(const Dataset& batch) {
-  WriterMutexLock lock(&mu_);
+  if (batch.size() == 0) return Status::Ok();
+  MutexLock append_lock(&append_mu_);
+  {
+    ReaderMutexLock lock(&mu_);
+    int64_t previous = max_sid_;
+    for (const Post& p : batch.posts()) {
+      if (p.sid <= previous) {
+        return Status::InvalidArgument(
+            "batch posts must be sorted with sids greater than all indexed "
+            "posts (sid " + std::to_string(p.sid) + " after " +
+            std::to_string(previous) + ")");
+      }
+      previous = p.sid;
+    }
+  }
+  // Ack barrier: the batch is appended + fsynced before any in-memory
+  // state changes. An error return leaves the engine (and, courtesy of
+  // the WAL's tail restore, the log) exactly as before — no phantoms; an
+  // OK return means the batch survives a crash.
+  TKLUS_RETURN_IF_ERROR(wal_->Append(EncodeBatch(batch)));
   const Tokenizer tokenizer(options_.tokenizer);
-  int64_t previous = max_sid_;
-  for (const Post& p : batch.posts()) {
-    if (p.sid <= previous) {
-      return Status::InvalidArgument(
-          "batch posts must be sorted with sids greater than all indexed "
-          "posts (sid " + std::to_string(p.sid) + " after " +
-          std::to_string(previous) + ")");
+  size_t pending = 0;
+  {
+    WriterMutexLock lock(&mu_);
+    // Bump the φ(p) memo generation before touching any state: memoized
+    // popularities can span reply chains the batch extends.
+    if (popularity_cache_) popularity_cache_->Invalidate();
+    for (const Post& p : batch.posts()) {
+      ApplyPostLocked(p, tokenizer);
     }
-    previous = p.sid;
+    bounds_ = UpperBoundRegistry::FromParts(tracker_.global_bound(),
+                                            tracker_.HotBounds());
+    UpdateDeltaGaugesLocked();
+    pending = delta_->post_count();
   }
-  // Bump the φ(p) memo generation before touching any state: memoized
-  // popularities can span reply chains the batch extends, and a partial
-  // failure below must not leave stale entries servable.
-  if (popularity_cache_) popularity_cache_->Invalidate();
-  for (const Post& p : batch.posts()) {
-    TKLUS_RETURN_IF_ERROR(db_->Insert(TweetMeta{
-        p.sid, p.uid, p.location.lat, p.location.lon, p.ruid, p.rsid}));
-    graph_.AddPost(p);
-    const std::vector<std::string> terms = tokenizer.Tokenize(p.text);
-    tracker_.AddPost(p, terms);
-    for (const std::string& term : terms) {
-      vocabulary_.Add(term);
-    }
-    if (p.HasLocation()) {
-      user_locations_[p.uid].push_back(p.location);
-    }
-    max_sid_ = std::max(max_sid_, p.sid);
+  if (options_.delta_merge_posts > 0 &&
+      pending >= options_.delta_merge_posts && merge_thread_.joinable()) {
+    MutexLock wake(&merge_wake_mu_);
+    merge_requested_ = true;
+    merge_wake_cv_.Signal();
   }
-  TKLUS_RETURN_IF_ERROR(index_->AppendBatch(batch));
-  bounds_ = UpperBoundRegistry::FromParts(tracker_.global_bound(),
-                                          tracker_.HotBounds());
+  return Status::Ok();
+}
+
+Status TkLusEngine::FoldDeltaLocked() {
+  Dataset batch;
+  TweetId watermark = kNoId;
+  {
+    ReaderMutexLock lock(&mu_);
+    if (delta_->empty()) return Status::Ok();
+    batch = delta_->Snapshot();
+    watermark = delta_->max_sid();
+  }
+  // Rows the DB already holds must not be re-inserted: recovery re-absorbs
+  // posts into the delta that an earlier fold had committed when the crash
+  // hit between that fold and its checkpoint. Reading here is safe —
+  // merge_mu_ excludes the only DB mutator (a fold commit).
+  std::vector<int64_t> sids;
+  sids.reserve(batch.size());
+  for (const Post& p : batch.posts()) sids.push_back(p.sid);
+  Result<std::vector<std::optional<TweetMeta>>> existing =
+      db_->SelectBySidBatch(std::span<const int64_t>(sids));
+  if (!existing.ok()) return existing.status();
+  // MapReduce + DFS part writes run off the engine lock: the new index
+  // generation is invisible until CommitAppend installs its forward
+  // entries. A failure here orphans at most some DFS part files.
+  Result<HybridIndex::PreparedAppend> prepared = index_->PrepareAppend(batch);
+  if (!prepared.ok()) return prepared.status();
+  // Brief exclusive commit. Appends that landed after the snapshot stay in
+  // the delta: DropThrough only sheds posts at or below the watermark.
+  WriterMutexLock lock(&mu_);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if ((*existing)[i].has_value()) continue;
+    TKLUS_RETURN_IF_ERROR(db_->Insert(ToMeta(batch.posts()[i])));
+  }
+  index_->CommitAppend(*std::move(prepared));
+  delta_->DropThrough(watermark);
+  UpdateDeltaGaugesLocked();
+  if (delta_merges_total_ != nullptr) delta_merges_total_->Increment();
   return Status::Ok();
 }
 
 Status TkLusEngine::Save(const std::string& dir) {
-  WriterMutexLock lock(&mu_);
+  MutexLock append_lock(&append_mu_);
+  MutexLock merge_lock(&merge_mu_);
+  return CheckpointLocked(dir);
+}
+
+Status TkLusEngine::MergeNow() {
+  // Fold without the append lock: WAL appends proceed during the
+  // (MapReduce-heavy) fold. The subsequent checkpoint re-folds whatever
+  // trickled in meanwhile — usually a much smaller batch.
+  {
+    MutexLock merge_lock(&merge_mu_);
+    TKLUS_RETURN_IF_ERROR(FoldDeltaLocked());
+  }
+  if (!has_checkpoint_.load(std::memory_order_acquire)) return Status::Ok();
+  MutexLock append_lock(&append_mu_);
+  MutexLock merge_lock(&merge_mu_);
+  return CheckpointLocked(options_.working_dir);
+}
+
+Status TkLusEngine::CheckpointLocked(const std::string& dir) {
+  // Fold first, so the checkpoint artifacts cover every absorbed post and
+  // the WAL records become redundant.
+  TKLUS_RETURN_IF_ERROR(FoldDeltaLocked());
   std::filesystem::create_directories(dir);
-  // Metadata DB: header + dirty pages to its own file (plus the page-
-  // checksum sidecar, written by FlushAll). When saving into a different
-  // directory, copy both.
-  TKLUS_RETURN_IF_ERROR(db_->FlushAll());
-  const std::string db_src = options_.working_dir + "/meta.db";
-  const std::string db_dst = dir + "/meta.db";
-  if (std::filesystem::absolute(db_src) != std::filesystem::absolute(db_dst)) {
-    std::error_code ec;
-    std::filesystem::copy_file(db_src, db_dst,
-                               std::filesystem::copy_options::overwrite_existing,
-                               ec);
-    if (ec) return Status::IoError("copying metadata DB: " + ec.message());
-    std::filesystem::copy_file(db_src + ".crc", db_dst + ".crc",
-                               std::filesystem::copy_options::overwrite_existing,
-                               ec);
-    if (ec) {
-      return Status::IoError("copying metadata DB checksums: " + ec.message());
-    }
-  }
-  // Remaining artifacts: serialize into memory, then write atomically
-  // (temp + fsync + rename) with a CRC32 footer that Open verifies.
   {
-    std::ostringstream out(std::ios::binary);
-    TKLUS_RETURN_IF_ERROR(dfs_->Save(out));
-    TKLUS_RETURN_IF_ERROR(fileio::WriteFileAtomic(dir + "/dfs.bin", out.str()));
+    // Exclusive: FlushAll rewrites the header and dirty pages, which
+    // would race shared readers' page traffic.
+    WriterMutexLock lock(&mu_);
+    TKLUS_RETURN_IF_ERROR(db_->FlushAll());
   }
+  // Serialize under the shared lock (queries keep running; appends and
+  // folds are excluded by the locks this function requires), write off
+  // the lock entirely.
+  std::string dfs_payload, index_payload, engine_payload;
   {
-    std::ostringstream out(std::ios::binary);
-    TKLUS_RETURN_IF_ERROR(index_->Save(out));
-    TKLUS_RETURN_IF_ERROR(
-        fileio::WriteFileAtomic(dir + "/index.bin", out.str()));
-  }
-  std::ostringstream out(std::ios::binary);
-  serde::WriteU64(out, kEngineMagic);
-  serde::WriteDouble(out, options_.scoring.alpha);
-  serde::WriteDouble(out, options_.scoring.n_norm);
-  serde::WriteDouble(out, options_.scoring.epsilon);
-  serde::WriteU64(out, static_cast<uint64_t>(options_.thread_depth));
-  // Bounds.
-  serde::WriteDouble(out, bounds_.global_bound());
-  serde::WriteU64(out, bounds_.hot_bounds().size());
-  for (const auto& [term, bound] : bounds_.hot_bounds()) {
-    serde::WriteString(out, term);
-    serde::WriteDouble(out, bound);
-  }
-  // User location profiles.
-  serde::WriteU64(out, user_locations_.size());
-  for (const auto& [uid, locations] : user_locations_) {
-    serde::WriteI64(out, uid);
-    serde::WriteU64(out, locations.size());
-    for (const GeoPoint& p : locations) {
-      serde::WriteDouble(out, p.lat);
-      serde::WriteDouble(out, p.lon);
+    ReaderMutexLock lock(&mu_);
+    {
+      std::ostringstream out(std::ios::binary);
+      TKLUS_RETURN_IF_ERROR(dfs_->Save(out));
+      dfs_payload = out.str();
     }
+    {
+      std::ostringstream out(std::ios::binary);
+      TKLUS_RETURN_IF_ERROR(index_->Save(out));
+      index_payload = out.str();
+    }
+    std::ostringstream out(std::ios::binary);
+    serde::WriteU64(out, kEngineMagic);
+    serde::WriteDouble(out, options_.scoring.alpha);
+    serde::WriteDouble(out, options_.scoring.n_norm);
+    serde::WriteDouble(out, options_.scoring.epsilon);
+    serde::WriteU64(out, static_cast<uint64_t>(options_.thread_depth));
+    // Bounds.
+    serde::WriteDouble(out, bounds_.global_bound());
+    serde::WriteU64(out, bounds_.hot_bounds().size());
+    for (const auto& [term, bound] : bounds_.hot_bounds()) {
+      serde::WriteString(out, term);
+      serde::WriteDouble(out, bound);
+    }
+    // User location profiles.
+    serde::WriteU64(out, user_locations_.size());
+    for (const auto& [uid, locations] : user_locations_) {
+      serde::WriteI64(out, uid);
+      serde::WriteU64(out, locations.size());
+      for (const GeoPoint& p : locations) {
+        serde::WriteDouble(out, p.lat);
+        serde::WriteDouble(out, p.lon);
+      }
+    }
+    // Vocabulary (term + frequency, in id order).
+    serde::WriteU64(out, vocabulary_.size());
+    for (Vocabulary::TermId id = 0; id < vocabulary_.size(); ++id) {
+      serde::WriteString(out, vocabulary_.term(id));
+      serde::WriteU64(out, vocabulary_.frequency(id));
+    }
+    // Thread tracker + append ordering watermark.
+    serde::WriteI64(out, max_sid_);
+    tracker_.Save(out);
+    if (!out) return Status::IoError("short write saving engine.bin");
+    engine_payload = out.str();
   }
-  // Vocabulary (term + frequency, in id order).
-  serde::WriteU64(out, vocabulary_.size());
-  for (Vocabulary::TermId id = 0; id < vocabulary_.size(); ++id) {
-    serde::WriteString(out, vocabulary_.term(id));
-    serde::WriteU64(out, vocabulary_.frequency(id));
+  // Metadata DB blob: the flushed live file + its page-CRC sidecar. The
+  // sidecar is stored as its verified payload (ReadFileVerified strips
+  // the footer; the restore re-frames it with WriteFileAtomic).
+  std::string db_blob;
+  {
+    Result<std::string> db_bytes =
+        fileio::ReadFileRaw(options_.working_dir + kLiveDbFile);
+    if (!db_bytes.ok()) return db_bytes.status();
+    Result<std::string> crc_bytes = fileio::ReadFileVerified(
+        options_.working_dir + kLiveDbFile + std::string(".crc"));
+    if (!crc_bytes.ok()) return crc_bytes.status();
+    std::ostringstream out(std::ios::binary);
+    serde::WriteU64(out, kMetaBlobMagic);
+    serde::WriteString(out, *db_bytes);
+    serde::WriteString(out, *crc_bytes);
+    db_blob = out.str();
   }
-  // Thread tracker + append ordering watermark.
-  serde::WriteI64(out, max_sid_);
-  tracker_.Save(out);
-  if (!out) return Status::IoError("short write saving engine.bin");
-  return fileio::WriteFileAtomic(dir + "/engine.bin", out.str());
+  // Fixed artifact order — meta.db, dfs.bin, index.bin, engine.bin — so
+  // every crash window is recoverable: the watermark (engine.bin) only
+  // advances once everything it refers to is in place, the forward index
+  // (index.bin) only once the DFS blocks it points at are, and a stale
+  // watermark merely makes recovery re-absorb posts the newer artifacts
+  // already hold, which the base-wins merge rules deduplicate.
+  FaultInjector* faults = options_.fault_injector;
+  TKLUS_RETURN_IF_ERROR(
+      fileio::WriteFileAtomic(dir + kDbBlobFile, db_blob, faults));
+  TKLUS_RETURN_IF_ERROR(
+      fileio::WriteFileAtomic(dir + "/dfs.bin", dfs_payload, faults));
+  TKLUS_RETURN_IF_ERROR(
+      fileio::WriteFileAtomic(dir + "/index.bin", index_payload, faults));
+  TKLUS_RETURN_IF_ERROR(
+      fileio::WriteFileAtomic(dir + "/engine.bin", engine_payload, faults));
+  if (SamePath(dir, options_.working_dir)) {
+    // Only now are the WAL records redundant. Truncating a WAL whose
+    // checkpoint went to a *different* directory would erase acked
+    // batches the working directory's own (older) checkpoint lacks.
+    TKLUS_RETURN_IF_ERROR(wal_->Truncate());
+    has_checkpoint_.store(true, std::memory_order_release);
+  }
+  return Status::Ok();
 }
 
 Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
@@ -295,10 +513,31 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
   engine->slow_log_ = std::make_unique<SlowQueryLog>(SlowQueryLog::Options{
       options.slow_query_ms, options.slow_query_log_entries});
 
+  // Regenerate the live metadata DB (+ page-CRC sidecar) from the
+  // checkpoint blob. The blob's footer CRC covers both, so byte damage
+  // anywhere inside surfaces as kCorruption here.
+  {
+    Result<std::string> blob = fileio::ReadFileVerified(dir + kDbBlobFile);
+    if (!blob.ok()) return blob.status();
+    std::istringstream in(std::move(*blob), std::ios::binary);
+    uint64_t magic = 0;
+    std::string db_bytes, crc_bytes;
+    if (!serde::ReadU64(in, &magic) || magic != kMetaBlobMagic) {
+      return Status::Corruption("not a metadata DB checkpoint blob");
+    }
+    if (!serde::ReadString(in, &db_bytes) ||
+        !serde::ReadString(in, &crc_bytes)) {
+      return Status::Corruption("truncated metadata DB checkpoint blob");
+    }
+    TKLUS_RETURN_IF_ERROR(
+        fileio::WriteFilePlain(dir + kLiveDbFile, db_bytes));
+    TKLUS_RETURN_IF_ERROR(fileio::WriteFileAtomic(
+        dir + kLiveDbFile + std::string(".crc"), crc_bytes));
+  }
   MetadataDb::Options db_options;
   db_options.buffer_pool_pages = options.buffer_pool_pages;
   db_options.fault_injector = options.fault_injector;
-  auto db = MetadataDb::Open(dir + "/meta.db", db_options);
+  auto db = MetadataDb::Open(dir + kLiveDbFile, db_options);
   if (!db.ok()) return db.status();
   engine->db_ = std::move(*db);
 
@@ -397,25 +636,91 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
   }
   TKLUS_RETURN_IF_ERROR(engine->tracker_.Load(in));
 
-  QueryProcessor::Options proc_options;
-  proc_options.scoring = engine->options_.scoring;
-  proc_options.thread_depth = engine->options_.thread_depth;
-  engine->processor_ = std::make_unique<QueryProcessor>(
-      engine->index_.get(), engine->db_.get(), &engine->bounds_,
-      &engine->user_locations_, Tokenizer(engine->options_.tokenizer),
-      proc_options);
-  if (options.popularity_cache_entries > 0) {
-    engine->popularity_cache_ = std::make_unique<PopularityCache>(
-        PopularityCache::Options{options.popularity_cache_entries});
-    engine->processor_->set_popularity_cache(engine->popularity_cache_.get());
+  // WAL recovery: re-absorb every intact record past the checkpoint
+  // watermark. Posts at or below the watermark are inside the checkpoint
+  // already (the crash hit between a fold/checkpoint step and the WAL
+  // truncation); re-applying only the newer ones keeps replay idempotent.
+  const Tokenizer tokenizer(engine->options_.tokenizer);
+  engine->delta_ = std::make_unique<DeltaIndex>(DeltaIndex::Options{
+      engine->options_.geohash_length, engine->options_.tokenizer});
+  Wal::Options wal_options;
+  wal_options.fault_injector = options.fault_injector;
+  auto wal = Wal::Open(dir + kWalFile, wal_options);
+  if (!wal.ok()) return wal.status();
+  engine->wal_ = std::move(*wal);
+  uint64_t replayed_posts = 0;
+  uint64_t skipped_posts = 0;
+  for (const std::string& record : engine->wal_->TakeRecoveredRecords()) {
+    Result<Dataset> batch = DecodeBatch(record);
+    if (!batch.ok()) return batch.status();
+    for (const Post& p : batch->posts()) {
+      if (p.sid <= engine->max_sid_) {
+        ++skipped_posts;
+        continue;
+      }
+      engine->ApplyPostLocked(p, tokenizer);
+      ++replayed_posts;
+    }
   }
+  if (replayed_posts > 0) {
+    engine->bounds_ = UpperBoundRegistry::FromParts(
+        engine->tracker_.global_bound(), engine->tracker_.HotBounds());
+  }
+  const Wal::RecoveryInfo& info = engine->wal_->recovery_info();
+  MetricsRegistry::Global()
+      .GetCounter("tklus_wal_recovered_records_total",
+                  "Intact WAL records read back during engine recovery.")
+      ->Increment(info.records);
+  TKLUS_LOG(Info) << "recovery: wal held " << info.records << " record(s) ("
+                  << info.bytes << " byte(s)), replayed " << replayed_posts
+                  << " post(s) past watermark, skipped " << skipped_posts
+                  << " already-checkpointed post(s), dropped "
+                  << info.truncated_bytes << " torn tail byte(s)";
+
+  engine->has_checkpoint_.store(true, std::memory_order_release);
+  engine->FinishConstruction();
   return engine;
+}
+
+void TkLusEngine::StartMergeThread() {
+  if (options_.delta_merge_posts == 0) return;
+  merge_thread_ = std::thread([this] { MergeLoop(); });
+}
+
+void TkLusEngine::StopMergeThread() {
+  if (!merge_thread_.joinable()) return;
+  {
+    MutexLock lock(&merge_wake_mu_);
+    stop_merge_ = true;
+    merge_wake_cv_.SignalAll();
+  }
+  merge_thread_.join();
+}
+
+void TkLusEngine::MergeLoop() {
+  for (;;) {
+    {
+      MutexLock lock(&merge_wake_mu_);
+      while (!stop_merge_ && !merge_requested_) {
+        merge_wake_cv_.Wait(&merge_wake_mu_);
+      }
+      if (stop_merge_) return;
+      merge_requested_ = false;
+    }
+    const Status status = MergeNow();
+    if (!status.ok()) {
+      // Non-fatal: the delta stays resident (queries keep serving it) and
+      // the next append past the threshold re-triggers the merge.
+      TKLUS_LOG(Warning) << "background delta merge failed: "
+                         << status.ToString();
+    }
+  }
 }
 
 Result<QueryResult> TkLusEngine::Query(const TkLusQuery& query) {
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     // Shared: the read path is re-entrant (internally latched buffer pool,
-    // read-only page contents between appends) — see the class comment.
+    // read-only page contents between folds) — see the class comment.
     ReaderMutexLock lock(&mu_);
     return processor_->Process(query);
   }();

@@ -1,8 +1,10 @@
 #ifndef TKLUS_CORE_ENGINE_H_
 #define TKLUS_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "common/fault_injector.h"
@@ -14,12 +16,15 @@
 #include "core/query_processor.h"
 #include "core/thread_tracker.h"
 #include "dfs/dfs.h"
+#include "index/delta_index.h"
 #include "index/hybrid_index.h"
 #include "model/dataset.h"
+#include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "social/popularity_cache.h"
 #include "social/social_graph.h"
 #include "storage/metadata_db.h"
+#include "storage/wal.h"
 #include "text/vocabulary.h"
 
 namespace tklus {
@@ -35,23 +40,44 @@ namespace tklus {
 //                .keywords = {"hotel"}, .k = 5};
 //   auto result = (*engine)->Query(q);
 //
+// Write path (durable, LSM-style): AppendBatch appends the serialized
+// batch to a write-ahead log and fsyncs *before* acking, then absorbs the
+// posts into an in-memory delta index under a brief exclusive lock.
+// Queries read base ⊎ delta. A background merge folds the delta into the
+// hybrid index (MapReduce + metadata rows) off the appenders' lock path
+// and, once the engine has an established checkpoint (a Save into its
+// working directory, or having been Open()ed), re-checkpoints and
+// truncates the WAL. TkLusEngine::Open replays the WAL tail past the last
+// checkpoint, truncating torn/corrupt tail records rather than failing.
+//
+// Ack contract: once AppendBatch returns OK, the batch survives any crash
+// — provided a checkpoint was ever established in the working directory
+// (Open() recovers checkpoint + WAL tail). A batch whose AppendBatch
+// returned an error is never visible after recovery (no phantoms).
+//
 // Concurrency contract: Query and QueryTweets take the engine lock in
-// shared mode and may run concurrently with each other from any number
-// of threads; AppendBatch and Save take it exclusively and serialize
-// against everything. This is sound because the whole read path is
-// re-entrant under a quiescent writer: the metadata DB's buffer pool is
-// internally latched (page table / LRU / pins under its own mutex), page
-// *contents* are read-only between appends (Insert — the only mutator —
-// runs under the exclusive writer lock), the hybrid index snapshots its
-// forward-index state under its own lock, and the popularity cache is
-// sharded-lock thread-safe with generation-based invalidation on append.
-// The component accessors (index(), metadata_db(), dfs(), ...) bypass
-// the lock and are for benchmarks/tests on a quiescent engine only.
+// shared mode and may run concurrently with each other from any number of
+// threads. AppendBatch serializes against other appenders on its own lock
+// and takes the engine lock exclusively only for the in-memory absorb, so
+// readers overlap the WAL write/fsync. Save/MergeNow serialize with
+// appenders and the background merge; their expensive phases (MapReduce
+// fold, artifact file writes) run off the engine lock. This is sound
+// because the whole read path is re-entrant under a quiescent writer: the
+// metadata DB's buffer pool is internally latched, page *contents* are
+// read-only between folds (Insert — the only mutator — runs under the
+// exclusive lock during a fold commit), the hybrid index snapshots its
+// forward-index state under its own lock, the DFS has its own mutex, and
+// the popularity cache is sharded-lock thread-safe with generation-based
+// invalidation on append. The component accessors (index(),
+// metadata_db(), dfs(), ...) bypass the lock and are for benchmarks/tests
+// on a quiescent engine only.
+//
+// Lock order (outer to inner): append_mu_ -> merge_mu_ -> mu_.
 class TkLusEngine {
  public:
   struct Options {
-    // Directory for the metadata DB file. Empty -> unique temp directory
-    // (removed when the engine is destroyed).
+    // Directory for the metadata DB file + WAL. Empty -> unique temp
+    // directory (removed when the engine is destroyed).
     std::string working_dir;
     int geohash_length = 4;       // §VI-B2's choice
     int mapreduce_workers = 3;    // Table III cluster
@@ -63,10 +89,10 @@ class TkLusEngine {
     SimulatedDfs::Options dfs;
     TokenizerOptions tokenizer;
     // Fault tolerance. The injector (optional, must outlive the engine) is
-    // wired into every I/O layer: DFS block reads, metadata-DB page I/O
-    // and MapReduce tasks. Transient DFS faults during postings fetches
-    // are absorbed by `dfs_retry`; failed MapReduce task attempts are
-    // re-run up to `max_task_attempts` times.
+    // wired into every I/O layer: DFS block reads, metadata-DB page I/O,
+    // MapReduce tasks, the WAL and artifact writes. Transient DFS faults
+    // during postings fetches are absorbed by `dfs_retry`; failed
+    // MapReduce task attempts are re-run up to `max_task_attempts` times.
     FaultInjector* fault_injector = nullptr;
     RetryPolicy dfs_retry;
     int max_task_attempts = 4;
@@ -78,6 +104,11 @@ class TkLusEngine {
     // engine's slow-query ring (slow_query_log()); <= 0 disables it.
     double slow_query_ms = 250.0;
     size_t slow_query_log_entries = 128;
+    // The background merge folds the delta index into the hybrid index
+    // once it holds at least this many posts (and re-checkpoints + WAL-
+    // truncates when a checkpoint is established). 0 disables the
+    // background merge: the delta grows until Save()/MergeNow() folds it.
+    size_t delta_merge_posts = 4096;
   };
 
   // Builds every subsystem from `dataset`. The dataset is not retained.
@@ -88,25 +119,42 @@ class TkLusEngine {
   }
 
   // Appends a new batch of posts — the paper's periodic-batch setting
-  // (§IV-A): metadata rows, a new index generation, the social graph,
-  // user profiles, vocabulary and the exact score bounds are all updated
-  // incrementally. Batch sids must be sorted and strictly greater than
+  // (§IV-A) made durable and non-blocking: the batch is WAL-logged and
+  // fsynced (the ack barrier), then absorbed into the delta index, user
+  // profiles, vocabulary and the exact score bounds. Queries see the batch
+  // as soon as this returns; the hybrid index catches up via the
+  // background merge. Batch sids must be sorted and strictly greater than
   // everything already indexed (sids are timestamps).
-  Status AppendBatch(const Dataset& batch) TKLUS_EXCLUDES(mu_);
+  Status AppendBatch(const Dataset& batch)
+      TKLUS_EXCLUDES(append_mu_, merge_mu_, mu_);
 
-  // Persists every artifact (metadata DB, DFS image with the inverted
-  // index, forward index, score bounds, user location profiles,
+  // Checkpoints every artifact (metadata DB image, DFS image with the
+  // inverted index, forward index, score bounds, user location profiles,
   // vocabulary) into `dir`, from which Open can restore the engine without
-  // the original dataset. Each artifact is written crash-safely (temp file
-  // + fsync + rename) with a CRC32 footer; a crash mid-save never leaves a
-  // half-written artifact under its final name.
-  Status Save(const std::string& dir) TKLUS_EXCLUDES(mu_);
+  // the original dataset. The delta index is folded first, so the
+  // checkpoint is self-contained. Each artifact is written crash-safely
+  // (temp file + fsync + rename) with a CRC32 footer; a crash mid-save
+  // never leaves a half-written artifact under its final name. When `dir`
+  // is the engine's own working directory the WAL is truncated afterwards
+  // (the records are all inside the checkpoint) and the background merge
+  // starts re-checkpointing on every fold.
+  Status Save(const std::string& dir)
+      TKLUS_EXCLUDES(append_mu_, merge_mu_, mu_);
 
-  // Restores an engine saved with Save. Every artifact is checksum-
-  // verified before deserialization: byte-level damage yields kCorruption,
-  // never garbage state. The social graph is not persisted
-  // (queries never consult it — bounds are persisted separately);
-  // social_graph() returns an empty graph on an opened engine.
+  // Synchronously folds the delta index into the hybrid index and, when a
+  // checkpoint is established, re-checkpoints the working directory and
+  // truncates the WAL. What the background merge runs; exposed for tests
+  // and benchmarks that need a deterministic merge point.
+  Status MergeNow() TKLUS_EXCLUDES(append_mu_, merge_mu_, mu_);
+
+  // Restores an engine saved with Save, then replays the WAL tail: torn
+  // or checksum-damaged tail records are truncated (with a warning), and
+  // every intact record past the checkpoint watermark is re-absorbed into
+  // the delta index. Artifacts are checksum-verified before
+  // deserialization: byte-level damage yields kCorruption, never garbage
+  // state. The social graph is not persisted (queries never consult it —
+  // bounds are persisted separately); social_graph() covers only replayed
+  // posts on an opened engine.
   static Result<std::unique_ptr<TkLusEngine>> Open(const std::string& dir,
                                                    Options options);
   static Result<std::unique_ptr<TkLusEngine>> Open(const std::string& dir) {
@@ -141,6 +189,8 @@ class TkLusEngine {
   }
   SimulatedDfs& dfs() { return *dfs_; }
   QueryProcessor& processor() { return *processor_; }
+  const DeltaIndex& delta_index() const { return *delta_; }
+  const Wal& wal() const { return *wal_; }
   // Slow-query ring buffer (internally thread-safe; always constructed,
   // disabled when Options::slow_query_ms <= 0).
   const SlowQueryLog& slow_query_log() const { return *slow_log_; }
@@ -160,18 +210,53 @@ class TkLusEngine {
   void RecordQueryObservability(const char* kind, const TkLusQuery& query,
                                 const QueryStats& stats) const;
 
+  // Shared tail of Build/Open: processor + caches + delta wiring + merge
+  // thread. Called with the engine fields initialized, under the
+  // (uncontended) construction-time exclusive lock.
+  void FinishConstruction() TKLUS_REQUIRES(mu_);
+
+  // Absorbs one post into the delta index and every derived in-memory
+  // structure (graph, tracker, vocabulary, profiles, watermark). The
+  // caller recomputes bounds_ once per batch.
+  void ApplyPostLocked(const Post& post, const Tokenizer& tokenizer)
+      TKLUS_REQUIRES(mu_);
+
+  // Folds the current delta into the hybrid index + metadata DB; on
+  // return the folded posts serve from the base index. Idempotent against
+  // crash-recovery double-application: rows already in the DB are not
+  // re-inserted, and postings merges prefer base over delta.
+  Status FoldDeltaLocked() TKLUS_REQUIRES(merge_mu_) TKLUS_EXCLUDES(mu_);
+
+  // Save's body: fold + write artifacts to `dir` + (same-dir) truncate.
+  Status CheckpointLocked(const std::string& dir)
+      TKLUS_REQUIRES(append_mu_, merge_mu_) TKLUS_EXCLUDES(mu_);
+
+  void StartMergeThread();
+  void StopMergeThread();
+  void MergeLoop();
+  void UpdateDeltaGaugesLocked() TKLUS_REQUIRES_SHARED(mu_);
+
   Options options_;
   bool owns_working_dir_ = false;
-  // Engine-wide reader-writer lock: Query/QueryTweets hold it shared,
-  // AppendBatch/Save exclusive (see the class comment). The unique_ptr
-  // components below are wired once during Build/Open and never
-  // reseated, so the pointers themselves need no guard; their pointees
-  // are protected by the shared/exclusive discipline of the public
-  // entry points.
+  // Engine-wide reader-writer lock (see the class comment). The
+  // unique_ptr components below are wired once during Build/Open and
+  // never reseated, so the pointers themselves need no guard; their
+  // pointees are protected by the shared/exclusive discipline of the
+  // public entry points (DFS, buffer pool, WAL and the popularity cache
+  // are additionally synchronized internally or by append_mu_).
   mutable SharedMutex mu_;
+  // Serializes appenders (WAL appends + validation) without blocking
+  // readers; also held across checkpoint truncation so an acked record
+  // can never be erased before its batch is inside a checkpoint.
+  Mutex append_mu_;
+  // Serializes delta folds and checkpoints (the background merge vs
+  // Save/MergeNow).
+  Mutex merge_mu_;
   std::unique_ptr<SimulatedDfs> dfs_;
   std::unique_ptr<MetadataDb> db_;
   std::unique_ptr<HybridIndex> index_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<DeltaIndex> delta_;  // guarded by mu_ like the fields below
   SocialGraph graph_ TKLUS_GUARDED_BY(mu_);
   UpperBoundRegistry bounds_ TKLUS_GUARDED_BY(mu_);
   Vocabulary vocabulary_ TKLUS_GUARDED_BY(mu_);
@@ -186,6 +271,24 @@ class TkLusEngine {
   std::unique_ptr<QueryProcessor> processor_;
   // Internally mutexed; recorded to outside mu_ after each query.
   std::unique_ptr<SlowQueryLog> slow_log_;
+
+  // True once `working_dir` holds a complete checkpoint (Open(), or a
+  // Save() into the working dir): only then may the merge truncate the
+  // WAL — truncating without a checkpoint would erase acked batches.
+  std::atomic<bool> has_checkpoint_{false};
+
+  // Background merge thread: woken by AppendBatch when the delta crosses
+  // Options::delta_merge_posts, stopped by the destructor.
+  Mutex merge_wake_mu_;
+  CondVar merge_wake_cv_;
+  bool merge_requested_ TKLUS_GUARDED_BY(merge_wake_mu_) = false;
+  bool stop_merge_ TKLUS_GUARDED_BY(merge_wake_mu_) = false;
+  std::thread merge_thread_;
+
+  // Cached metric handles (process-global families).
+  Gauge* delta_posts_gauge_ = nullptr;
+  Gauge* delta_bytes_gauge_ = nullptr;
+  Counter* delta_merges_total_ = nullptr;
 };
 
 }  // namespace tklus

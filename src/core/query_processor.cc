@@ -144,6 +144,32 @@ class StageScope {
   uint64_t dfs_reads_before_ = 0;
 };
 
+// Resolves metadata misses through delta-resident posts: a candidate tid
+// that the metadata DB has no row for yet (its batch is durable in the WAL
+// but not folded) materializes from the delta instead. A tid in neither
+// place remains nullopt and is reported as corruption by the caller.
+void FillMetasFromDelta(const DeltaIndex* delta,
+                        const std::vector<int64_t>& sids,
+                        std::vector<std::optional<TweetMeta>>* metas) {
+  if (delta == nullptr || delta->empty()) return;
+  for (size_t i = 0; i < sids.size(); ++i) {
+    if ((*metas)[i].has_value()) continue;
+    const Post* post = delta->FindBySid(sids[i]);
+    if (post == nullptr) continue;
+    (*metas)[i] = TweetMeta{post->sid,          post->uid,
+                            post->location.lat, post->location.lon,
+                            post->ruid,         post->rsid};
+  }
+}
+
+// Extends thread traversal with delta-resident replies.
+void AttachDeltaChildren(const DeltaIndex* delta, ThreadBuilder& builder) {
+  if (delta == nullptr || delta->empty()) return;
+  builder.set_extra_children([delta](TweetId sid, std::vector<TweetId>* out) {
+    delta->AppendChildren(sid, out);
+  });
+}
+
 }  // namespace
 
 std::vector<std::string> QueryProcessor::NormalizeKeywords(
@@ -258,6 +284,9 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
     }
     Result<std::vector<Posting>> list = index_->FetchTermPostings(cells, term);
     if (!list.ok()) return list.status();
+    if (delta_ != nullptr && !delta_->empty()) {
+      *list = MergeDeltaPostings(*list, delta_->FetchTermPostings(cells, term));
+    }
     term_lists.push_back(std::move(*list));
   }
 
@@ -306,9 +335,11 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
   Result<std::vector<std::optional<TweetMeta>>> metas =
       db_->SelectBySidBatch(candidate_sids);
   if (!metas.ok()) return metas.status();
+  FillMetasFromDelta(delta_, candidate_sids, &*metas);
   resolve_stage.span().AddCounter("rows_resolved", metas->size());
   resolve_stage.End();
 
+  AttachDeltaChildren(delta_, thread_builder);
   StageScope thread_stage(tracer, stage::kThreadConstruction, db_, index_);
   for (size_t ci = 0; ci < candidates.size(); ++ci) {
     const Posting& posting = candidates[ci];
@@ -449,6 +480,9 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
   for (const std::string& term : terms) {
     Result<std::vector<Posting>> list = index_->FetchTermPostings(cells, term);
     if (!list.ok()) return list.status();
+    if (delta_ != nullptr && !delta_->empty()) {
+      *list = MergeDeltaPostings(*list, delta_->FetchTermPostings(cells, term));
+    }
     term_lists.push_back(std::move(*list));
   }
   std::vector<Posting> candidates = query.semantics == Semantics::kAnd
@@ -476,9 +510,11 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
   Result<std::vector<std::optional<TweetMeta>>> metas =
       db_->SelectBySidBatch(candidate_sids);
   if (!metas.ok()) return metas.status();
+  FillMetasFromDelta(delta_, candidate_sids, &*metas);
   resolve_stage.span().AddCounter("rows_resolved", metas->size());
   resolve_stage.End();
 
+  AttachDeltaChildren(delta_, thread_builder);
   StageScope thread_stage(tracer, stage::kThreadConstruction, db_, index_);
   for (size_t ci = 0; ci < candidates.size(); ++ci) {
     const Posting& posting = candidates[ci];

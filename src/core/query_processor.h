@@ -12,6 +12,7 @@
 #include "core/query.h"
 #include "core/scoring.h"
 #include "geo/point.h"
+#include "index/delta_index.h"
 #include "index/hybrid_index.h"
 #include "social/popularity_cache.h"
 #include "social/thread_builder.h"
@@ -74,6 +75,14 @@ class QueryProcessor {
   void set_popularity_cache(PopularityCache* cache) { popularity_cache_ = cache; }
   PopularityCache* popularity_cache() const { return popularity_cache_; }
 
+  // Attaches the engine-owned delta index (nullptr detaches). When set,
+  // queries read base ⊎ delta: per-term postings merge with the delta's
+  // lists (base wins on duplicate tids), metadata-DB misses resolve
+  // through delta-resident posts, and thread traversal sees delta replies.
+  // The engine's shared lock covers the delta for the whole query.
+  void set_delta_index(const DeltaIndex* delta) { delta_ = delta; }
+  const DeltaIndex* delta_index() const { return delta_; }
+
  private:
   struct UserState {
     double delta_user = 0.0;  // Def. 9 user distance score (query-fixed)
@@ -99,6 +108,7 @@ class QueryProcessor {
   Tokenizer tokenizer_;
   Options options_;
   PopularityCache* popularity_cache_ = nullptr;  // optional, engine-owned
+  const DeltaIndex* delta_ = nullptr;            // optional, engine-owned
 };
 
 }  // namespace tklus

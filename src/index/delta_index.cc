@@ -1,0 +1,128 @@
+#include "index/delta_index.h"
+
+#include <algorithm>
+
+#include "geo/geohash.h"
+
+namespace tklus {
+
+DeltaIndex::DeltaIndex(Options options)
+    : options_(options), tokenizer_(options.tokenizer) {}
+
+std::string DeltaIndex::Key(const std::string& cell, const std::string& term) {
+  std::string key;
+  key.reserve(cell.size() + 1 + term.size());
+  key.append(cell);
+  key.push_back('\0');
+  key.append(term);
+  return key;
+}
+
+void DeltaIndex::Apply(const Post& post) {
+  auto [it, inserted] = posts_.emplace(post.sid, post);
+  if (!inserted) return;  // replay idempotency
+  approx_bytes_ += sizeof(Post) + post.text.size() + 2 * sizeof(TweetId);
+
+  if (post.rsid != kNoId) {
+    children_[post.rsid].push_back(post.sid);
+  }
+  if (!post.HasLocation()) return;
+  const std::string cell =
+      geohash::Encode(post.location, options_.geohash_length);
+  for (const auto& [term, tf] : tokenizer_.TermFrequencies(post.text)) {
+    std::vector<Posting>& list = postings_[Key(cell, term)];
+    // Posts arrive in ascending sid (== tid) order, so appending keeps
+    // every list sorted.
+    list.push_back(Posting{post.sid, static_cast<uint32_t>(tf)});
+    approx_bytes_ += sizeof(Posting) + term.size();
+  }
+}
+
+void DeltaIndex::DropThrough(TweetId sid) {
+  posts_.erase(posts_.begin(), posts_.upper_bound(sid));
+  for (auto it = postings_.begin(); it != postings_.end();) {
+    std::vector<Posting>& list = it->second;
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [sid](const Posting& p) { return p.tid <= sid; }),
+               list.end());
+    it = list.empty() ? postings_.erase(it) : std::next(it);
+  }
+  for (auto it = children_.begin(); it != children_.end();) {
+    std::vector<TweetId>& kids = it->second;
+    kids.erase(
+        std::remove_if(kids.begin(), kids.end(),
+                       [sid](TweetId child) { return child <= sid; }),
+        kids.end());
+    it = kids.empty() ? children_.erase(it) : std::next(it);
+  }
+  // Recompute the footprint estimate from what is left.
+  size_t bytes = 0;
+  for (const auto& [id, post] : posts_) {
+    bytes += sizeof(Post) + post.text.size() + 2 * sizeof(TweetId);
+  }
+  for (const auto& [key, list] : postings_) {
+    bytes += list.size() * sizeof(Posting) + key.size();
+  }
+  approx_bytes_ = bytes;
+}
+
+TweetId DeltaIndex::max_sid() const {
+  return posts_.empty() ? kNoId : posts_.rbegin()->first;
+}
+
+Dataset DeltaIndex::Snapshot() const {
+  Dataset out;
+  for (const auto& [sid, post] : posts_) out.Add(post);
+  return out;
+}
+
+std::vector<Posting> DeltaIndex::FetchTermPostings(
+    const std::vector<std::string>& cells, const std::string& term) const {
+  std::vector<Posting> out;
+  for (const std::string& cell : cells) {
+    const auto it = postings_.find(Key(cell, term));
+    if (it == postings_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  // Cells are disjoint and each list is sorted, but the cell order is the
+  // caller's cover order — restore global tid order.
+  std::sort(out.begin(), out.end(),
+            [](const Posting& a, const Posting& b) { return a.tid < b.tid; });
+  return out;
+}
+
+const Post* DeltaIndex::FindBySid(TweetId sid) const {
+  const auto it = posts_.find(sid);
+  return it == posts_.end() ? nullptr : &it->second;
+}
+
+void DeltaIndex::AppendChildren(TweetId rsid,
+                                std::vector<TweetId>* out) const {
+  const auto it = children_.find(rsid);
+  if (it == children_.end()) return;
+  out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+std::vector<Posting> MergeDeltaPostings(const std::vector<Posting>& base,
+                                        const std::vector<Posting>& delta) {
+  if (delta.empty()) return base;
+  if (base.empty()) return delta;
+  std::vector<Posting> out;
+  out.reserve(base.size() + delta.size());
+  size_t i = 0, j = 0;
+  while (i < base.size() && j < delta.size()) {
+    if (base[i].tid < delta[j].tid) {
+      out.push_back(base[i++]);
+    } else if (delta[j].tid < base[i].tid) {
+      out.push_back(delta[j++]);
+    } else {
+      out.push_back(base[i++]);  // duplicate: base wins
+      ++j;
+    }
+  }
+  out.insert(out.end(), base.begin() + i, base.end());
+  out.insert(out.end(), delta.begin() + j, delta.end());
+  return out;
+}
+
+}  // namespace tklus

@@ -1,0 +1,99 @@
+#ifndef TKLUS_INDEX_DELTA_INDEX_H_
+#define TKLUS_INDEX_DELTA_INDEX_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/posting.h"
+#include "model/dataset.h"
+#include "model/post.h"
+#include "text/tokenizer.h"
+
+namespace tklus {
+
+// The in-memory delta of the LSM-style write path: appended posts that the
+// WAL has made durable but the background merge has not yet folded into
+// the hybrid index. Queries read base ⊎ delta — the query processor merges
+// FetchTermPostings output with the base index's lists (base wins on
+// duplicate tids, which arise only in crash-recovery windows where a fold
+// committed but the checkpoint did not), resolves metadata misses through
+// FindBySid, and extends reply-thread traversal through AppendChildren.
+//
+// Mirrors the hybrid index's keying: posts tokenize with the same
+// Tokenizer and land under the same geohash cell, so a delta posting is
+// indistinguishable from a base posting to the scorer.
+//
+// Concurrency: externally synchronized by the engine's shared lock —
+// mutators (Apply, DropThrough) run under the exclusive flavor, the const
+// readers under the shared one.
+class DeltaIndex {
+ public:
+  struct Options {
+    int geohash_length = 4;
+    TokenizerOptions tokenizer;
+  };
+
+  explicit DeltaIndex(Options options);
+
+  DeltaIndex(const DeltaIndex&) = delete;
+  DeltaIndex& operator=(const DeltaIndex&) = delete;
+
+  // Absorbs one post (already durable in the WAL). Posts arrive in
+  // strictly increasing sid order; re-applying a sid is a no-op (replay
+  // idempotency).
+  void Apply(const Post& post);
+
+  // Drops every post with sid <= `sid` — the fold watermark — after the
+  // merge committed them to the base index.
+  void DropThrough(TweetId sid);
+
+  bool empty() const { return posts_.empty(); }
+  size_t post_count() const { return posts_.size(); }
+  // kNoId when empty; otherwise the highest absorbed sid.
+  TweetId max_sid() const;
+  // Rough heap footprint, for the size gauge and merge trigger.
+  size_t approx_bytes() const { return approx_bytes_; }
+
+  // All resident posts in ascending sid order (the fold input).
+  Dataset Snapshot() const;
+
+  // Postings for `term` across `cells`, ascending tid. Same contract as
+  // HybridIndex::FetchTermPostings restricted to delta-resident posts.
+  std::vector<Posting> FetchTermPostings(const std::vector<std::string>& cells,
+                                         const std::string& term) const;
+
+  // The resident post with this sid, or nullptr.
+  const Post* FindBySid(TweetId sid) const;
+
+  // Appends the sids of resident replies to `rsid` (thread children the
+  // metadata DB does not know about yet).
+  void AppendChildren(TweetId rsid, std::vector<TweetId>* out) const;
+
+ private:
+  static std::string Key(const std::string& cell, const std::string& term);
+
+  Options options_;
+  Tokenizer tokenizer_;
+  // Sorted by sid: Snapshot() and DropThrough() walk prefixes in order.
+  std::map<TweetId, Post> posts_;
+  // (geohash-cell '\0' term) -> postings, ascending tid.
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  // rsid -> resident reply sids, ascending.
+  std::unordered_map<TweetId, std::vector<TweetId>> children_;
+  size_t approx_bytes_ = 0;
+};
+
+// Base ⊎ delta postings merge: ascending-tid union of the two lists. On a
+// duplicate tid the base posting wins — after a crash between a fold
+// commit and its checkpoint, replay re-absorbs posts the base index
+// already holds, and preferring base keeps the pair counted once with
+// identical stats.
+std::vector<Posting> MergeDeltaPostings(const std::vector<Posting>& base,
+                                        const std::vector<Posting>& delta);
+
+}  // namespace tklus
+
+#endif  // TKLUS_INDEX_DELTA_INDEX_H_

@@ -34,17 +34,20 @@ Result<std::unique_ptr<HybridIndex>> HybridIndex::Build(
   }
   auto index =
       std::unique_ptr<HybridIndex>(new HybridIndex(dfs, options));
-  TKLUS_RETURN_IF_ERROR(index->IndexBatch(dataset));
+  TKLUS_RETURN_IF_ERROR(index->AppendBatch(dataset));
   return index;
 }
 
 Status HybridIndex::AppendBatch(const Dataset& batch) {
-  return IndexBatch(batch);
+  Result<PreparedAppend> prepared = PrepareAppend(batch);
+  if (!prepared.ok()) return prepared.status();
+  CommitAppend(*std::move(prepared));
+  return Status::Ok();
 }
 
-Status HybridIndex::IndexBatch(const Dataset& dataset) {
+Result<HybridIndex::PreparedAppend> HybridIndex::PrepareAppend(
+    const Dataset& dataset) {
   const Options& options = options_;
-  HybridIndex* index = this;
   const Tokenizer tokenizer(options.tokenizer);
   const int length = options.geohash_length;
 
@@ -89,20 +92,26 @@ Status HybridIndex::IndexBatch(const Dataset& dataset) {
   auto partitions = job.Run(inputs);
   if (!partitions.ok()) return partitions.status();
 
-  // Install the new generation. Fetches block for the duration of the
-  // write pass; the expensive MapReduce above ran unlocked.
-  MutexLock lock(&index->mu_);
-  index->stats_.map_seconds += job.stats().map_seconds;
-  index->stats_.shuffle_seconds += job.stats().shuffle_seconds;
-  index->stats_.reduce_seconds += job.stats().reduce_seconds;
+  PreparedAppend prepared;
+  prepared.stats_delta.map_seconds = job.stats().map_seconds;
+  prepared.stats_delta.shuffle_seconds = job.stats().shuffle_seconds;
+  prepared.stats_delta.reduce_seconds = job.stats().reduce_seconds;
+
+  // Reserve this batch's generation number; the write pass below runs
+  // unlocked (the DFS has its own mutex, and nothing can fetch from the
+  // new part files until CommitAppend publishes their locations).
+  uint32_t generation = 0;
+  {
+    MutexLock lock(&mu_);
+    generation = generation_++;
+  }
 
   // ---- Write each partition as one DFS part file in sorted key order and
-  // record every list's position in the forward index (the "posting
+  // record every list's position for the forward index (the "posting
   // forward index" second MapReduce job of §IV-B.2, folded into the write
   // pass since our DFS exposes offsets directly).
   Stopwatch write_timer;
   char name[48];
-  const uint32_t generation = index->generation_++;
   for (size_t p = 0; p < partitions->size(); ++p) {
     std::snprintf(name, sizeof(name), "gen-%04u/part-%05zu", generation, p);
     const std::string file = options.dfs_prefix + name;
@@ -115,19 +124,33 @@ Status HybridIndex::IndexBatch(const Dataset& dataset) {
       if (!GetVarint64(encoded, &pos, &doc_count)) {
         return Status::Internal("unreadable encoded postings");
       }
-      index->forward_.Add(
+      prepared.entries.push_back(PreparedAppend::Entry{
           key.first, key.second,
           PostingsLocation{file, offset, encoded.size(),
-                           static_cast<uint32_t>(doc_count)});
+                           static_cast<uint32_t>(doc_count)}});
       offset += encoded.size();
-      index->stats_.postings_entries += doc_count;
-      index->stats_.inverted_bytes += encoded.size();
-      ++index->stats_.postings_lists;
+      prepared.stats_delta.postings_entries += doc_count;
+      prepared.stats_delta.inverted_bytes += encoded.size();
+      ++prepared.stats_delta.postings_lists;
     }
   }
-  index->stats_.write_seconds += write_timer.ElapsedSeconds();
-  index->stats_.forward_bytes = index->forward_.ApproxBytes();
-  return Status::Ok();
+  prepared.stats_delta.write_seconds = write_timer.ElapsedSeconds();
+  return prepared;
+}
+
+void HybridIndex::CommitAppend(PreparedAppend prepared) {
+  MutexLock lock(&mu_);
+  for (PreparedAppend::Entry& entry : prepared.entries) {
+    forward_.Add(entry.cell, entry.term, std::move(entry.location));
+  }
+  stats_.map_seconds += prepared.stats_delta.map_seconds;
+  stats_.shuffle_seconds += prepared.stats_delta.shuffle_seconds;
+  stats_.reduce_seconds += prepared.stats_delta.reduce_seconds;
+  stats_.write_seconds += prepared.stats_delta.write_seconds;
+  stats_.postings_lists += prepared.stats_delta.postings_lists;
+  stats_.postings_entries += prepared.stats_delta.postings_entries;
+  stats_.inverted_bytes += prepared.stats_delta.inverted_bytes;
+  stats_.forward_bytes = forward_.ApproxBytes();
 }
 
 namespace {

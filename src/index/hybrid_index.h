@@ -78,6 +78,26 @@ class HybridIndex {
   // merge across generations either way.
   Status AppendBatch(const Dataset& batch);
 
+  // The two halves of AppendBatch, split so the background delta merge
+  // can run the expensive part without stalling fetches or the engine's
+  // commit lock. PrepareAppend reserves a generation, runs the MapReduce
+  // job and writes the part files into the DFS — all invisible to fetches,
+  // since nothing references the new files until CommitAppend installs
+  // their forward-index entries (a quick in-memory pass under the index
+  // lock). A PreparedAppend that is never committed merely leaves orphan
+  // part files in the DFS; fetch results are unaffected.
+  struct PreparedAppend {
+    struct Entry {
+      std::string cell;
+      std::string term;
+      PostingsLocation location;
+    };
+    std::vector<Entry> entries;
+    IndexBuildStats stats_delta;  // what this batch adds to build_stats()
+  };
+  Result<PreparedAppend> PrepareAppend(const Dataset& batch);
+  void CommitAppend(PreparedAppend prepared);
+
   // Persists the forward index + configuration (the inverted index lives
   // in the DFS, persisted separately via SimulatedDfs::Save).
   Status Save(std::ostream& out) const;
@@ -128,10 +148,6 @@ class HybridIndex {
  private:
   HybridIndex(SimulatedDfs* dfs, Options options)
       : dfs_(dfs), options_(std::move(options)) {}
-
-  // Runs Alg. 2/3 over `posts` and writes one set of part files under
-  // generation `generation_`.
-  Status IndexBatch(const Dataset& batch);
 
   SimulatedDfs* dfs_;
   Options options_;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <unordered_set>
 
+#include "common/file_io.h"
 #include "common/string_util.h"
 
 namespace tklus {
@@ -41,10 +42,8 @@ Vocabulary Dataset::BuildVocabulary(const Tokenizer& tokenizer) const {
 }
 
 Status Dataset::SaveTsv(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IoError("cannot write dataset: " + path);
-  }
+  std::string out;
+  out.reserve(posts_.size() * 96);
   char buf[144];
   for (const Post& p : posts_) {
     std::snprintf(buf, sizeof(buf),
@@ -54,10 +53,13 @@ Status Dataset::SaveTsv(const std::string& path) const {
                   p.location.lon, static_cast<long long>(p.ruid),
                   static_cast<long long>(p.rsid), p.is_forward ? 1 : 0,
                   static_cast<int>(p.geo_source));
-    out << buf << p.text << '\n';
+    out += buf;
+    out += p.text;
+    out += '\n';
   }
-  if (!out) return Status::IoError("short write: " + path);
-  return Status::Ok();
+  // Temp-write + fsync + rename: a crash never leaves a torn dataset
+  // under the final name (and datasets are small enough to stage whole).
+  return fileio::WriteFilePlain(path, out);
 }
 
 Result<Dataset> Dataset::LoadTsv(const std::string& path) {

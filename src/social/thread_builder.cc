@@ -1,5 +1,7 @@
 #include "social/thread_builder.h"
 
+#include <algorithm>
+
 namespace tklus {
 
 double ThreadPopularity(const ThreadShape& shape, double epsilon) {
@@ -24,6 +26,14 @@ Result<ThreadShape> ThreadBuilder::BuildShape(TweetId root_sid) {
       for (const TweetMeta& reply : *replies) {
         next.push_back(reply.sid);
       }
+      if (extra_children_) extra_children_(sid, &next);
+    }
+    if (extra_children_) {
+      // A reply can surface from both sources during crash-recovery
+      // windows (row already folded into the DB, post still resident in
+      // the delta); each level counts a sid once.
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
     }
     if (next.empty()) break;
     shape.level_sizes.push_back(next.size());

@@ -2,6 +2,7 @@
 #define TKLUS_SOCIAL_THREAD_BUILDER_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +41,12 @@ class ThreadBuilder {
     double epsilon = 0.1;    // Def. 4 smoothing, §VI-B1 sets it to 0.1
   };
 
+  // Supplies reply sids the metadata DB does not know about (e.g. posts
+  // still resident in the engine's delta index). Appends children of the
+  // given sid to the vector; duplicates with the DB's own replies are
+  // deduplicated by the builder.
+  using ExtraChildrenFn = std::function<void(TweetId, std::vector<TweetId>*)>;
+
   ThreadBuilder(MetadataDb* db, Options options)
       : db_(db), options_(options) {}
   explicit ThreadBuilder(MetadataDb* db) : ThreadBuilder(db, Options{}) {}
@@ -50,11 +57,14 @@ class ThreadBuilder {
   // Algorithm 1 end-to-end: popularity of the thread rooted at `root_sid`.
   Result<double> Popularity(TweetId root_sid);
 
+  void set_extra_children(ExtraChildrenFn fn) { extra_children_ = std::move(fn); }
+
   const Options& options() const { return options_; }
 
  private:
   MetadataDb* db_;
   Options options_;
+  ExtraChildrenFn extra_children_;
 };
 
 // In-memory thread construction from a children adjacency map

@@ -141,6 +141,18 @@ Status DiskManager::WritePage(PageId page_id, const char* data) {
     if (faults_->MaybeCorrupt(faults::kDiskWrite, torn, kPageSize)) {
       to_write = torn;
     }
+    const std::optional<size_t> torn_len =
+        faults_->MaybeTornWrite(faults::kDiskWrite, kPageSize);
+    if (torn_len.has_value()) {
+      // Persist only a prefix of the page and fail, simulating a crash
+      // mid-write. The recorded CRC still describes the intended bytes,
+      // so the next read of this page reports kCorruption.
+      file_.seekp(static_cast<std::streamoff>(page_id) * kPageSize);
+      file_.write(to_write, static_cast<std::streamsize>(*torn_len));
+      file_.flush();
+      return Status::IoError("injected torn write on page " +
+                             std::to_string(page_id) + " of " + path_);
+    }
   }
   file_.seekp(static_cast<std::streamoff>(page_id) * kPageSize);
   file_.write(to_write, kPageSize);
@@ -162,7 +174,7 @@ Status DiskManager::Sync() {
   const uint64_t count = page_crc_.size();
   std::memcpy(payload.data(), &count, 8);
   std::memcpy(payload.data() + 8, page_crc_.data(), page_crc_.size() * 4);
-  return fileio::WriteFileAtomic(SidecarPath(path_), payload);
+  return fileio::WriteFileAtomic(SidecarPath(path_), payload, faults_);
 }
 
 }  // namespace tklus

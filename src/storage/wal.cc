@@ -1,0 +1,276 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace tklus {
+
+namespace {
+
+constexpr uint64_t kWalMagic = 0x6c61577375754b54ULL;  // "TkLusWal"
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kHeaderSize = 12;  // u64 magic + u32 version
+constexpr size_t kFrameOverhead = 8;  // u32 len + u32 crc
+
+void PutU32(char* out, uint32_t v) { std::memcpy(out, &v, 4); }
+void PutU64(char* out, uint64_t v) { std::memcpy(out, &v, 8); }
+uint32_t GetU32(const char* in) {
+  uint32_t v;
+  std::memcpy(&v, in, 4);
+  return v;
+}
+uint64_t GetU64(const char* in) {
+  uint64_t v;
+  std::memcpy(&v, in, 8);
+  return v;
+}
+
+bool WriteAllAt(int fd, const char* data, size_t len, uint64_t offset) {
+  while (len > 0) {
+    const ssize_t n =
+        ::pwrite(fd, data, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    offset += static_cast<uint64_t>(n);
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Wal::Wal(std::string path, int fd, Options options)
+    : path_(std::move(path)),
+      fd_(fd),
+      options_(options),
+      appends_total_(MetricsRegistry::Global().GetCounter(
+          "tklus_wal_appends_total", "WAL records successfully appended")),
+      fsyncs_total_(MetricsRegistry::Global().GetCounter(
+          "tklus_wal_fsyncs_total", "WAL fsync calls that completed")) {}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       Options options) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::unique_ptr<Wal> wal(new Wal(path, fd, options));
+
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::IoError("cannot stat WAL " + path + ": " + ec.message());
+  }
+
+  if (file_size == 0) {
+    // Fresh log: write and sync the header so the file is well-formed
+    // from its first byte on disk.
+    char header[kHeaderSize];
+    PutU64(header, kWalMagic);
+    PutU32(header + 8, kWalVersion);
+    if (!WriteAllAt(fd, header, kHeaderSize, 0) || ::fsync(fd) != 0) {
+      return Status::IoError("cannot initialize WAL " + path);
+    }
+    wal->end_offset_ = kHeaderSize;
+    return wal;
+  }
+
+  if (file_size < kHeaderSize) {
+    return Status::Corruption("WAL " + path + " shorter than its header");
+  }
+  std::string bytes(file_size, '\0');
+  {
+    size_t got = 0;
+    while (got < bytes.size()) {
+      const ssize_t n = ::pread(fd, bytes.data() + got, bytes.size() - got,
+                                static_cast<off_t>(got));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("cannot read WAL " + path + ": " +
+                               std::strerror(errno));
+      }
+      if (n == 0) break;
+      got += static_cast<size_t>(n);
+    }
+    if (got != bytes.size()) {
+      return Status::IoError("short read scanning WAL " + path);
+    }
+  }
+  if (GetU64(bytes.data()) != kWalMagic) {
+    return Status::Corruption("not a WAL file: " + path);
+  }
+  if (GetU32(bytes.data() + 8) != kWalVersion) {
+    return Status::Corruption("unsupported WAL version in " + path);
+  }
+
+  // Scan records forward. The first frame that does not parse — short
+  // frame, payload running past EOF, or CRC mismatch — ends the durable
+  // prefix; everything from there on is a torn tail and is truncated.
+  uint64_t pos = kHeaderSize;
+  while (pos < file_size) {
+    if (file_size - pos < kFrameOverhead) break;
+    const uint32_t len = GetU32(bytes.data() + pos);
+    const uint32_t crc = GetU32(bytes.data() + pos + 4);
+    if (file_size - pos - kFrameOverhead < len) break;
+    const char* payload = bytes.data() + pos + kFrameOverhead;
+    if (Crc32(payload, static_cast<size_t>(len)) != crc) break;
+    wal->recovered_.emplace_back(payload, len);
+    pos += kFrameOverhead + len;
+  }
+  wal->end_offset_ = pos;
+  wal->record_count_ = wal->recovered_.size();
+  wal->recovery_info_.records = wal->recovered_.size();
+  wal->recovery_info_.bytes = pos - kHeaderSize;
+  wal->recovery_info_.truncated_bytes = file_size - pos;
+  if (file_size > pos) {
+    if (::ftruncate(fd, static_cast<off_t>(pos)) != 0 || ::fsync(fd) != 0) {
+      return Status::IoError("cannot truncate torn WAL tail in " + path);
+    }
+    TKLUS_LOG(Warning) << "WAL " << path << ": dropped "
+                       << (file_size - pos)
+                       << " torn/corrupt tail byte(s) past record "
+                       << wal->record_count_;
+  }
+  return wal;
+}
+
+Status Wal::RestoreTail() {
+  if (::ftruncate(fd_, static_cast<off_t>(end_offset_)) != 0 ||
+      ::fsync(fd_) != 0) {
+    tail_dirty_ = true;
+    return Status::IoError("cannot restore WAL tail in " + path_);
+  }
+  tail_dirty_ = false;
+  return Status::Ok();
+}
+
+Status Wal::Append(std::string_view payload) {
+  FaultInjector* faults = options_.fault_injector;
+  if (faults != nullptr) {
+    Status st = faults->MaybeFail(faults::kWalAppend, path_);
+    if (!st.ok()) return st;
+  }
+  // A previous torn/failed append may have left bytes past the durable
+  // end; heal before writing so frames stay contiguous.
+  if (tail_dirty_) {
+    Status st = RestoreTail();
+    if (!st.ok()) return st;
+  }
+
+  std::string frame(kFrameOverhead + payload.size(), '\0');
+  PutU32(frame.data(), static_cast<uint32_t>(payload.size()));
+  PutU32(frame.data() + 4, Crc32(payload.data(), payload.size()));
+  std::memcpy(frame.data() + kFrameOverhead, payload.data(), payload.size());
+
+  if (faults != nullptr) {
+    const std::optional<size_t> torn =
+        faults->MaybeTornWrite(faults::kWalAppend, frame.size());
+    if (torn.has_value()) {
+      // Persist the prefix and "crash". The torn bytes are deliberately
+      // left on disk (tail_dirty_) so a crash image taken now exercises
+      // the replay truncation path; the next Append heals them.
+      WriteAllAt(fd_, frame.data(), *torn, end_offset_);
+      ::fsync(fd_);
+      tail_dirty_ = true;
+      return Status::IoError("injected torn WAL append in " + path_);
+    }
+  }
+
+  if (!WriteAllAt(fd_, frame.data(), frame.size(), end_offset_)) {
+    tail_dirty_ = true;
+    const Status restore = RestoreTail();  // best effort; dirty flag kept
+    (void)restore;
+    return Status::IoError("short write appending to WAL " + path_);
+  }
+
+  if (faults != nullptr) {
+    Status st = faults->MaybeFail(faults::kWalFsync, path_);
+    if (!st.ok()) {
+      // The frame is fully on disk but was never synced/acked. Roll it
+      // back immediately: an unacked record must never survive to replay
+      // (no phantoms).
+      tail_dirty_ = true;
+      const Status restore = RestoreTail();
+      (void)restore;
+      return st;
+    }
+  }
+  if (::fsync(fd_) != 0) {
+    tail_dirty_ = true;
+    const Status restore = RestoreTail();
+    (void)restore;
+    return Status::IoError("fsync failed appending to WAL " + path_);
+  }
+
+  end_offset_ += frame.size();
+  ++record_count_;
+  appends_total_->Increment();
+  fsyncs_total_->Increment();
+  return Status::Ok();
+}
+
+Status Wal::Truncate() {
+  FaultInjector* faults = options_.fault_injector;
+  if (faults != nullptr) {
+    Status st = faults->MaybeFail(faults::kWalTruncate, path_);
+    if (!st.ok()) return st;
+  }
+  // Atomic swap: build a fresh empty log beside the old one and rename it
+  // into place, so a crash leaves either the full old log (records replay,
+  // the checkpoint dedups them) or the empty new one — never a torn log.
+  const std::string tmp = path_ + ".tmp";
+  const int tmp_fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) {
+    return Status::IoError("cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  char header[kHeaderSize];
+  PutU64(header, kWalMagic);
+  PutU32(header + 8, kWalVersion);
+  const bool ok =
+      WriteAllAt(tmp_fd, header, kHeaderSize, 0) && ::fsync(tmp_fd) == 0;
+  ::close(tmp_fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("cannot initialize " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("renaming " + tmp + " over " + path_ + ": " +
+                           ec.message());
+  }
+  const int fd = ::open(path_.c_str(), O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot reopen WAL " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  ::close(fd_);
+  fd_ = fd;
+  end_offset_ = kHeaderSize;
+  record_count_ = 0;
+  tail_dirty_ = false;
+  return Status::Ok();
+}
+
+std::vector<std::string> Wal::TakeRecoveredRecords() {
+  return std::move(recovered_);
+}
+
+}  // namespace tklus

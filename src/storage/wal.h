@@ -1,0 +1,114 @@
+#ifndef TKLUS_STORAGE_WAL_H_
+#define TKLUS_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace tklus {
+
+// A checksummed, record-framed write-ahead log. The engine appends one
+// serialized batch per record and fsyncs before acking the append — the
+// durability half of the delta-index write path (base ⊎ delta reads, WAL
+// replay after a crash).
+//
+// On-disk layout:
+//   header:  [u64 magic "TkLusWal"][u32 version]
+//   record:  [u32 payload_len][u32 crc32(payload)][payload bytes]
+//
+// The payload is opaque to the WAL (the storage layer cannot see model
+// types); the engine owns the batch codec. Records are applied strictly in
+// append order on replay.
+//
+// Tail policy (as in LevelDB's log reader): the first record that fails
+// to parse — short frame, payload past EOF, CRC mismatch — ends the
+// durable prefix. Open truncates the file back to the last intact record
+// boundary and reports how many bytes were dropped; replay never sees a
+// record written after a damaged one. A damaged *header* is kCorruption
+// and fatal (the file is not a WAL).
+//
+// Concurrency: the engine serializes Append/Truncate under its append
+// lock; the WAL itself is not internally synchronized.
+//
+// Fault sites (via the optional FaultInjector): faults::kWalAppend (fail
+// before writing, or torn write — a prefix of the frame lands on disk and
+// the append fails, leaving exactly the state a mid-write crash leaves),
+// faults::kWalFsync (the frame is fully written but the sync "crashes";
+// the tail is rolled back before returning so an unacked record can never
+// survive to replay), and faults::kWalTruncate (checkpoint truncation
+// fails before touching the log).
+class Wal {
+ public:
+  struct Options {
+    FaultInjector* fault_injector = nullptr;  // must outlive the Wal
+  };
+
+  // What Open found in an existing log.
+  struct RecoveryInfo {
+    uint64_t records = 0;          // intact records scanned
+    uint64_t bytes = 0;            // bytes of intact records (incl. frames)
+    uint64_t truncated_bytes = 0;  // torn/corrupt tail bytes dropped
+  };
+
+  // Opens (creating if absent) the log at `path`, scans it, truncates any
+  // torn/corrupt tail, and retains the replayable records for
+  // TakeRecoveredRecords. Fails with kCorruption on a bad header or
+  // interior damage, kIoError on filesystem errors.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           Options options);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Appends one record and fsyncs. On success the record is durable: it
+  // will be replayed by every future Open. On failure the log is restored
+  // (or marked for restoration) to its pre-call durable prefix, so a
+  // failed append is never replayed — except for an injected torn write,
+  // which deliberately leaves the partial frame on disk (healed by the
+  // next successful Append, truncated by the next Open).
+  Status Append(std::string_view payload);
+
+  // Checkpoint barrier: atomically replaces the log with an empty one
+  // (fresh header written to a temp file, fsynced, renamed over `path`).
+  // Every record appended so far is discarded — the caller must have
+  // folded them into a durable checkpoint first.
+  Status Truncate();
+
+  // Moves the records Open recovered out of the Wal (one call; later
+  // calls return empty). In append order.
+  std::vector<std::string> TakeRecoveredRecords();
+
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+  const std::string& path() const { return path_; }
+  // Records/bytes currently in the durable log (recovered + appended).
+  uint64_t record_count() const { return record_count_; }
+  uint64_t size_bytes() const { return end_offset_; }
+
+ private:
+  Wal(std::string path, int fd, Options options);
+
+  // Rolls a dirty tail (failed/torn append) back to the durable prefix.
+  Status RestoreTail();
+
+  std::string path_;
+  int fd_ = -1;
+  Options options_;
+  RecoveryInfo recovery_info_;
+  std::vector<std::string> recovered_;
+  uint64_t end_offset_ = 0;  // durable end: header + intact records
+  uint64_t record_count_ = 0;
+  bool tail_dirty_ = false;  // bytes past end_offset_ may exist on disk
+  Counter* appends_total_ = nullptr;
+  Counter* fsyncs_total_ = nullptr;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_STORAGE_WAL_H_

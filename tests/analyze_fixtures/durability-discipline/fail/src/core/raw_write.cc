@@ -1,0 +1,11 @@
+// Fixture: a raw std::ofstream outside the whitelisted durability layer
+// must trip `durability-discipline` — the bytes skip fsync, checksums
+// and fault injection.
+namespace tklus {
+
+void DumpState(const std::string& path, const std::string& payload) {
+  std::ofstream out(path);  // must fire
+  out << payload;
+}
+
+}  // namespace tklus

@@ -1,0 +1,13 @@
+// Fixture: the sanctioned pattern — all file writes flow through fileio's
+// atomic writers. The words ofstream / fopen / ::write in this comment
+// prove comment immunity, and the stream member call below proves that
+// in-memory `.write(...)` never fires.
+namespace tklus {
+
+Status DumpState(const std::string& path, const std::string& payload) {
+  std::ostringstream out;
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return fileio::WriteFileAtomic(path, out.str());
+}
+
+}  // namespace tklus

@@ -1,0 +1,10 @@
+// Fixture: storage/wal.cc is inside the audited durability layer — the
+// raw syscall below is the implementation of the discipline, not a
+// violation of it.
+namespace tklus {
+
+bool AppendRaw(int fd, const char* data, unsigned long len) {
+  return ::write(fd, data, len) == static_cast<long>(len);
+}
+
+}  // namespace tklus

@@ -5,7 +5,9 @@
 // the fault injector, the MapReduce counters or the log sink.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -232,6 +234,138 @@ TEST(ConcurrencyStressTest, MixedReadersSeeOnlyPrefixStates) {
                 user_oracles.back().users[i].score, 1e-9);
   }
   EXPECT_EQ((*engine)->metadata_db().buffer_pool().pinned_page_count(), 0u);
+}
+
+// The durable streaming path under concurrency: a writer streams batches
+// through WAL-acked AppendBatch while the *background merge* folds the
+// delta into the hybrid index and re-checkpoints (truncating the WAL)
+// mid-stream. Readers must still only ever observe complete batch
+// prefixes — a fold moving posts from delta to base must be invisible to
+// queries — and reader latency is sampled so a fold that stalls the read
+// path shows up as a p99 cliff in the logged numbers.
+TEST(ConcurrencyStressTest, ReadersStayPrefixConsistentDuringDeltaStreaming) {
+  const GeneratedCorpus corpus = MakeCorpus(2400);
+  constexpr size_t kSeedSize = 1200;
+  constexpr size_t kBatchSize = 200;
+  constexpr size_t kNumBatches = 6;
+  auto [seed, rest] = Split(corpus.dataset, kSeedSize);
+  std::vector<Dataset> batches;
+  Dataset tail = std::move(rest);
+  for (size_t b = 0; b + 1 < kNumBatches; ++b) {
+    auto [head, next] = Split(tail, kBatchSize);
+    batches.push_back(std::move(head));
+    tail = std::move(next);
+  }
+  batches.push_back(std::move(tail));
+
+  TkLusEngine::Options options;
+  options.mapreduce_workers = 2;
+  // Fold eagerly: with 200-post batches a 256-post threshold has the
+  // background merge (and, once Save establishes the checkpoint, the WAL
+  // truncation) racing the readers repeatedly during the stream.
+  options.delta_merge_posts = 256;
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("tklus_stream_stress_" + std::to_string(::getpid()));
+  options.working_dir = dir.string();
+
+  TkLusQuery query;
+  query.location = corpus.city_centers[0];
+  query.radius_km = 25.0;
+  query.keywords = {"hotel", "restaurant"};
+  query.k = 10;
+
+  // Serial per-prefix oracles (merging plays no part in a quiescent
+  // build, so plain engines suffice).
+  std::vector<QueryResult> oracles;
+  for (size_t prefix = 0; prefix <= kNumBatches; ++prefix) {
+    auto [head, dropped] =
+        Split(corpus.dataset, kSeedSize + prefix * kBatchSize);
+    (void)dropped;
+    TkLusEngine::Options oracle_options;
+    oracle_options.mapreduce_workers = 2;
+    auto oracle = TkLusEngine::Build(head, oracle_options);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    auto result = (*oracle)->Query(query);
+    ASSERT_TRUE(result.ok());
+    oracles.push_back(std::move(*result));
+  }
+  const auto matches_prefix = [&](const QueryResult& got) {
+    for (const QueryResult& want : oracles) {
+      if (got.users.size() != want.users.size()) continue;
+      bool same = true;
+      for (size_t i = 0; i < want.users.size() && same; ++i) {
+        same = got.users[i].uid == want.users[i].uid &&
+               std::abs(got.users[i].score - want.users[i].score) < 1e-9;
+      }
+      if (same) return true;
+    }
+    return false;
+  };
+
+  auto engine = TkLusEngine::Build(seed, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  // Checkpoint into the working dir so the merges also truncate the WAL
+  // while the readers run.
+  ASSERT_TRUE((*engine)->Save(dir.string()).ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  std::vector<std::vector<uint64_t>> latencies_ns(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto got = (*engine)->Query(query);
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ASSERT_TRUE(matches_prefix(*got))
+            << "reader observed a non-prefix state mid-stream";
+        latencies_ns[t].push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+      }
+    });
+  }
+  std::thread appender([&] {
+    for (const Dataset& batch : batches) {
+      const Status st = (*engine)->AppendBatch(batch);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  appender.join();
+  for (std::thread& t : readers) t.join();
+
+  // Quiesce: fold whatever delta remains, then the final ranking must be
+  // the full-dataset oracle whether served from base, delta, or both.
+  ASSERT_TRUE((*engine)->MergeNow().ok());
+  EXPECT_TRUE((*engine)->delta_index().empty());
+  EXPECT_EQ((*engine)->wal().record_count(), 0u);  // checkpoint truncated
+  const auto final_result = (*engine)->Query(query);
+  ASSERT_TRUE(final_result.ok());
+  ASSERT_EQ(final_result->users.size(), oracles.back().users.size());
+  for (size_t i = 0; i < final_result->users.size(); ++i) {
+    EXPECT_EQ(final_result->users[i].uid, oracles.back().users[i].uid);
+    EXPECT_NEAR(final_result->users[i].score, oracles.back().users[i].score,
+                1e-9);
+  }
+  EXPECT_EQ((*engine)->metadata_db().buffer_pool().pinned_page_count(), 0u);
+
+  std::vector<uint64_t> all;
+  for (const auto& per_thread : latencies_ns) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  ASSERT_GT(all.size(), 0u);
+  std::sort(all.begin(), all.end());
+  const uint64_t p50 = all[all.size() / 2];
+  const uint64_t p99 = all[all.size() * 99 / 100];
+  TKLUS_LOG(Info) << "delta-streaming readers: " << all.size()
+                  << " queries, p50 " << p50 / 1000 << "us, p99 "
+                  << p99 / 1000 << "us during "
+                  << kNumBatches * kBatchSize << " streamed posts";
+
+  engine->reset();
+  std::filesystem::remove_all(dir);
 }
 
 // ------------------------------------------------------ buffer pool

@@ -110,7 +110,8 @@ TEST(EngineOptionsTest, CustomWorkingDirKept) {
     opts.working_dir = dir.string();
     auto engine = TkLusEngine::Build(SmallCorpus().dataset, opts);
     ASSERT_TRUE(engine.ok());
-    EXPECT_TRUE(std::filesystem::exists(dir / "meta.db"));
+    EXPECT_TRUE(std::filesystem::exists(dir / "meta.live.db"));
+    EXPECT_TRUE(std::filesystem::exists(dir / "wal.log"));
   }
   // Caller-provided directories are not deleted by the engine.
   EXPECT_TRUE(std::filesystem::exists(dir));

@@ -289,7 +289,10 @@ TEST_F(CorruptionTest, FlippedByteInMetadataPageIsCorruption) {
 
 TEST_F(CorruptionTest, DamagedChecksumSidecarIsDetected) {
   SaveEngine();
-  FlipByte(Path("saved") + "/meta.db.crc", 12);
+  // The page-CRC sidecar travels inside the meta.db checkpoint blob; its
+  // bytes sit near the end (after the DB image). Damage there must be
+  // caught by the blob's footer CRC before any page is trusted.
+  FlipByte(Path("saved") + "/meta.db", -24);  // inside the sidecar region
   auto reopened = TkLusEngine::Open(Path("saved"));
   EXPECT_FALSE(reopened.ok());
 }

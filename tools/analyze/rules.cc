@@ -382,6 +382,66 @@ class ClockDisciplineRule : public Rule {
   }
 };
 
+// ------------------------------------------------------ durability-discipline
+
+// Every byte that must survive a crash flows through an audited write
+// path: fileio's atomic temp+fsync+rename writers (common/file_io), the
+// DiskManager's CRC-tracked page writes, or the WAL's append+fsync
+// protocol. A raw std::ofstream / fopen / fwrite / ::write anywhere else
+// bypasses fsync, checksumming and fault injection — durable-looking
+// data that a crash can tear silently and the recovery harness cannot
+// exercise. Stream member calls (`buf.write(...)`) are in-memory and
+// exempt.
+class DurabilityDisciplineRule : public Rule {
+ public:
+  std::string_view name() const override { return "durability-discipline"; }
+  std::string_view description() const override {
+    return "raw file writes (ofstream/fopen/fwrite/::write) banned outside "
+           "common/file_io, storage/disk_manager, storage/wal";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext&,
+             std::vector<Diagnostic>* out) const override {
+    for (const auto* exempt :
+         {"common/file_io.h", "common/file_io.cc", "storage/disk_manager.h",
+          "storage/disk_manager.cc", "storage/wal.h", "storage/wal.cc"}) {
+      if (PathEndsWith(file.path, exempt)) return;
+    }
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (IsIdent(toks[i], "ofstream")) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, toks[i].line,
+            "raw ofstream bypasses the durability layer; write files via "
+            "fileio::WriteFileAtomic/WriteFilePlain (common/file_io.h)"});
+        continue;
+      }
+      if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], '(')) continue;
+      if (IsIdent(toks[i], "fopen") || IsIdent(toks[i], "fwrite")) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, toks[i].line,
+            "raw " + toks[i].text +
+                " bypasses the durability layer; write files via "
+                "fileio::WriteFileAtomic/WriteFilePlain (common/file_io.h)"});
+        continue;
+      }
+      if (IsIdent(toks[i], "write")) {
+        // `x.write(...)` / `x->write(...)` are member calls (in-memory
+        // streams); `ssize_t write(...)` after an identifier is a
+        // declaration. Everything else — `::write(fd, ...)` included —
+        // is a raw file write.
+        if (i > 0 && (IsPunct(toks[i - 1], '.') || IsPunct(toks[i - 1], '>') ||
+                      toks[i - 1].kind == Token::Kind::kIdent)) {
+          continue;
+        }
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, toks[i].line,
+            "raw write() syscall bypasses the durability layer; write files "
+            "via fileio (common/file_io.h) or the WAL/DiskManager"});
+      }
+    }
+  }
+};
+
 // ------------------------------------------------------------ nodiscard-guard
 
 // The whole error-discipline stack leans on Status/Result<T> being
@@ -433,6 +493,7 @@ std::vector<std::unique_ptr<Rule>> BuildRuleSet() {
   rules.push_back(std::make_unique<VoidDiscardRule>());
   rules.push_back(std::make_unique<NondeterminismRule>());
   rules.push_back(std::make_unique<ClockDisciplineRule>());
+  rules.push_back(std::make_unique<DurabilityDisciplineRule>());
   rules.push_back(std::make_unique<NodiscardGuardRule>());
   return rules;
 }
