@@ -27,9 +27,10 @@ if [ -z "$bin" ] || [ ! -x "$bin" ]; then
   bin=build-analyze/tklus_analyze
   mkdir -p build-analyze
   echo "lint: building $bin"
-  if ! g++ -std=c++20 -O2 -Wall -Wextra -I src -I tools \
+  if ! g++ -std=c++20 -O2 -Wall -Wextra -pthread -I src -I tools \
        tools/analyze/main.cc tools/analyze/analyzer.cc \
-       tools/analyze/rules.cc tools/analyze/source_model.cc \
+       tools/analyze/output.cc tools/analyze/rules.cc \
+       tools/analyze/source_model.cc \
        src/common/status.cc -o "$bin"; then
     echo "lint: failed to build tklus_analyze" >&2
     exit 2

@@ -4,6 +4,16 @@
 #include <condition_variable>
 #include <mutex>
 
+#ifdef TKLUS_DEADLOCK_DEBUG
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define TKLUS_LOCKDEBUG_HAVE_BACKTRACE 1
+#endif
+#endif
+
 // Clang thread-safety analysis (-Wthread-safety) attributes, in the style
 // of absl/base/thread_annotations.h. Under GCC (which has no analysis) the
 // macros expand to nothing, so annotated code compiles everywhere; under
@@ -60,21 +70,149 @@
 
 namespace tklus {
 
+// Rank for locks that opt out of the runtime deadlock witness's ordering
+// check (they are still checked for recursive acquisition). Ranked locks
+// take their rank from src/core/lock_ranks.h, which mirrors the declared
+// order in tools/analyze/lockorder.conf.
+inline constexpr int kNoLockRank = -1;
+
+#ifdef TKLUS_DEADLOCK_DEBUG
+// Runtime deadlock witness (DESIGN.md §13). Each ranked lock records its
+// rank + name; every acquisition is checked against a thread-local stack
+// of locks this thread already holds. Acquiring a rank <= any held rank
+// is a lock-order inversion — the witness aborts immediately with both
+// lock stacks, instead of leaving a deadlock that only manifests under
+// the right interleaving. Recursive acquisition of the same object is
+// always fatal, ranked or not: for SharedMutex even the *shared* flavor
+// self-deadlocks, because a writer queued between the two reader
+// acquisitions blocks the second one forever (writer-preference).
+//
+// TKLUS_DEADLOCK_DEBUG must be a global compile definition (cmake option
+// of the same name): this header is included everywhere, and mixing
+// debug and non-debug TUs would violate the ODR (locks grow fields).
+namespace lockdebug {
+
+struct HeldEntry {
+  const void* mutex;
+  int rank;
+  const char* name;
+  bool shared;
+};
+
+// Locks currently held by this thread, outermost first.
+inline std::vector<HeldEntry>& HeldStack() {
+  thread_local std::vector<HeldEntry> stack;
+  return stack;
+}
+
+[[noreturn]] inline void Abort(const char* kind, const HeldEntry& acquiring,
+                               const HeldEntry& conflict) {
+  std::fprintf(stderr,
+               "tklus deadlock witness: %s: acquiring '%s' (rank %d%s) "
+               "while holding '%s' (rank %d%s)\n",
+               kind, acquiring.name, acquiring.rank,
+               acquiring.shared ? ", shared" : "", conflict.name,
+               conflict.rank, conflict.shared ? ", shared" : "");
+  std::fprintf(stderr, "  locks held by this thread (outermost first):\n");
+  for (const HeldEntry& e : HeldStack()) {
+    std::fprintf(stderr, "    '%s' (rank %d%s)\n", e.name, e.rank,
+                 e.shared ? ", shared" : "");
+  }
+#ifdef TKLUS_LOCKDEBUG_HAVE_BACKTRACE
+  void* frames[64];
+  const int n = backtrace(frames, 64);
+  std::fprintf(stderr, "  acquisition backtrace:\n");
+  backtrace_symbols_fd(frames, n, /*fd=*/2);
+#endif
+  std::abort();
+}
+
+// Checks + records an acquisition about to block. Called *before* the
+// underlying lock so an inversion aborts rather than deadlocks.
+inline void OnAcquire(const void* mu, int rank, const char* name,
+                      bool shared) {
+  std::vector<HeldEntry>& held = HeldStack();
+  const HeldEntry entry{mu, rank, name, shared};
+  for (const HeldEntry& e : held) {
+    if (e.mutex == mu) {
+      Abort(e.shared && shared ? "recursive acquisition (shared readers "
+                                 "deadlock behind a queued writer)"
+                               : "recursive acquisition",
+            entry, e);
+    }
+    if (rank != kNoLockRank && e.rank != kNoLockRank && e.rank >= rank) {
+      Abort("lock-order inversion", entry, e);
+    }
+  }
+  held.push_back(entry);
+}
+
+// TryLock never blocks, so a successful try-acquisition in "wrong" order
+// cannot deadlock — record it (so later acquisitions see it held) but
+// skip the ordering check.
+inline void OnTryAcquire(const void* mu, int rank, const char* name,
+                         bool shared) {
+  HeldStack().push_back(HeldEntry{mu, rank, name, shared});
+}
+
+inline void OnRelease(const void* mu) {
+  std::vector<HeldEntry>& held = HeldStack();
+  for (size_t i = held.size(); i-- > 0;) {
+    if (held[i].mutex == mu) {
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+}  // namespace lockdebug
+#endif  // TKLUS_DEADLOCK_DEBUG
+
 // An annotated exclusive mutex. Identical cost to std::mutex; exists so
 // every lock in the project is visible to Clang's thread-safety analysis
-// and to the lint.
+// and to the lint. The optional (rank, name) constructor feeds the
+// runtime deadlock witness in debug builds and is free otherwise.
 class TKLUS_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(int rank, const char* name = "") {
+#ifdef TKLUS_DEADLOCK_DEBUG
+    rank_ = rank;
+    name_ = name;
+#else
+    static_cast<void>(rank);
+    static_cast<void>(name);
+#endif
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() TKLUS_ACQUIRE() { mu_.lock(); }
-  void Unlock() TKLUS_RELEASE() { mu_.unlock(); }
-  bool TryLock() TKLUS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() TKLUS_ACQUIRE() {
+#ifdef TKLUS_DEADLOCK_DEBUG
+    lockdebug::OnAcquire(this, rank_, name_, /*shared=*/false);
+#endif
+    mu_.lock();
+  }
+  void Unlock() TKLUS_RELEASE() {
+    mu_.unlock();
+#ifdef TKLUS_DEADLOCK_DEBUG
+    lockdebug::OnRelease(this);
+#endif
+  }
+  bool TryLock() TKLUS_TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+#ifdef TKLUS_DEADLOCK_DEBUG
+    if (ok) lockdebug::OnTryAcquire(this, rank_, name_, /*shared=*/false);
+#endif
+    return ok;
+  }
 
  private:
   std::mutex mu_;
+#ifdef TKLUS_DEADLOCK_DEBUG
+  int rank_ = kNoLockRank;
+  const char* name_ = "";
+#endif
 };
 
 // RAII lock, the project's replacement for std::lock_guard:
@@ -141,10 +279,22 @@ class CondVar {
 class TKLUS_CAPABILITY("mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(int rank, const char* name = "") {
+#ifdef TKLUS_DEADLOCK_DEBUG
+    rank_ = rank;
+    name_ = name;
+#else
+    static_cast<void>(rank);
+    static_cast<void>(name);
+#endif
+  }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
   void Lock() TKLUS_ACQUIRE() {
+#ifdef TKLUS_DEADLOCK_DEBUG
+    lockdebug::OnAcquire(this, rank_, name_, /*shared=*/false);
+#endif
     std::unique_lock<std::mutex> lock(mu_);
     ++waiting_writers_;
     writer_cv_.wait(lock,
@@ -153,25 +303,38 @@ class TKLUS_CAPABILITY("mutex") SharedMutex {
     writer_active_ = true;
   }
   void Unlock() TKLUS_RELEASE() {
-    std::unique_lock<std::mutex> lock(mu_);
-    writer_active_ = false;
-    if (waiting_writers_ > 0) {
-      writer_cv_.notify_one();
-    } else {
-      reader_cv_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      writer_active_ = false;
+      if (waiting_writers_ > 0) {
+        writer_cv_.notify_one();
+      } else {
+        reader_cv_.notify_all();
+      }
     }
+#ifdef TKLUS_DEADLOCK_DEBUG
+    lockdebug::OnRelease(this);
+#endif
   }
   void LockShared() TKLUS_ACQUIRE_SHARED() {
+#ifdef TKLUS_DEADLOCK_DEBUG
+    lockdebug::OnAcquire(this, rank_, name_, /*shared=*/true);
+#endif
     std::unique_lock<std::mutex> lock(mu_);
     reader_cv_.wait(lock,
                     [this] { return !writer_active_ && waiting_writers_ == 0; });
     ++active_readers_;
   }
   void UnlockShared() TKLUS_RELEASE_SHARED() {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (--active_readers_ == 0 && waiting_writers_ > 0) {
-      writer_cv_.notify_one();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--active_readers_ == 0 && waiting_writers_ > 0) {
+        writer_cv_.notify_one();
+      }
     }
+#ifdef TKLUS_DEADLOCK_DEBUG
+    lockdebug::OnRelease(this);
+#endif
   }
 
  private:
@@ -181,6 +344,10 @@ class TKLUS_CAPABILITY("mutex") SharedMutex {
   int active_readers_ = 0;
   int waiting_writers_ = 0;
   bool writer_active_ = false;
+#ifdef TKLUS_DEADLOCK_DEBUG
+  int rank_ = kNoLockRank;
+  const char* name_ = "";
+#endif
 };
 
 // RAII exclusive (writer) lock over a SharedMutex:

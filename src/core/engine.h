@@ -12,6 +12,7 @@
 #include "common/retry.h"
 #include "common/status.h"
 #include "core/bounds.h"
+#include "core/lock_ranks.h"
 #include "core/query.h"
 #include "core/query_processor.h"
 #include "core/thread_tracker.h"
@@ -72,7 +73,12 @@ namespace tklus {
 // metadata_db(), dfs(), ...) bypass the lock and are for benchmarks/tests
 // on a quiescent engine only.
 //
-// Lock order (outer to inner): append_mu_ -> merge_mu_ -> mu_.
+// Lock order (outer to inner): append_mu_ -> merge_mu_ -> mu_, with
+// merge_wake_mu_ nesting only under append_mu_. The order is declared in
+// tools/analyze/lockorder.conf (checked lexically by tklus_analyze's
+// lock-order rule) and mirrored as ranks in core/lock_ranks.h (checked
+// at runtime by the deadlock witness when built with
+// -DTKLUS_DEADLOCK_DEBUG=ON).
 class TkLusEngine {
  public:
   struct Options {
@@ -244,14 +250,14 @@ class TkLusEngine {
   // pointees are protected by the shared/exclusive discipline of the
   // public entry points (DFS, buffer pool, WAL and the popularity cache
   // are additionally synchronized internally or by append_mu_).
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{lockrank::kEngineMu, "mu_"};
   // Serializes appenders (WAL appends + validation) without blocking
   // readers; also held across checkpoint truncation so an acked record
   // can never be erased before its batch is inside a checkpoint.
-  Mutex append_mu_;
+  Mutex append_mu_{lockrank::kAppendMu, "append_mu_"};
   // Serializes delta folds and checkpoints (the background merge vs
   // Save/MergeNow).
-  Mutex merge_mu_;
+  Mutex merge_mu_{lockrank::kMergeMu, "merge_mu_"};
   std::unique_ptr<SimulatedDfs> dfs_;
   std::unique_ptr<MetadataDb> db_;
   std::unique_ptr<HybridIndex> index_;
@@ -279,7 +285,7 @@ class TkLusEngine {
 
   // Background merge thread: woken by AppendBatch when the delta crosses
   // Options::delta_merge_posts, stopped by the destructor.
-  Mutex merge_wake_mu_;
+  Mutex merge_wake_mu_{lockrank::kMergeWakeMu, "merge_wake_mu_"};
   CondVar merge_wake_cv_;
   bool merge_requested_ TKLUS_GUARDED_BY(merge_wake_mu_) = false;
   bool stop_merge_ TKLUS_GUARDED_BY(merge_wake_mu_) = false;

@@ -1,0 +1,27 @@
+#ifndef TKLUS_CORE_LOCK_RANKS_H_
+#define TKLUS_CORE_LOCK_RANKS_H_
+
+// Lock ranks for the engine's runtime deadlock witness
+// (common/mutex.h, built with -DTKLUS_DEADLOCK_DEBUG=ON). Ranks must
+// strictly increase along every permitted acquisition chain; the witness
+// aborts any thread that acquires a rank <= one it already holds.
+//
+// This is the same DAG the static analyzer checks lexically — declared in
+// tools/analyze/lockorder.conf — so keep the two in sync:
+//
+//   order append_mu_ merge_mu_ mu_     (10 -> 20 -> 30)
+//   order append_mu_ merge_wake_mu_    (10 -> 40)
+//
+// Gaps between ranks leave room to slot a new lock into the middle of a
+// chain without renumbering.
+
+namespace tklus::lockrank {
+
+inline constexpr int kAppendMu = 10;     // Engine::append_mu_
+inline constexpr int kMergeMu = 20;      // Engine::merge_mu_
+inline constexpr int kEngineMu = 30;     // Engine::mu_ (innermost)
+inline constexpr int kMergeWakeMu = 40;  // Engine::merge_wake_mu_
+
+}  // namespace tklus::lockrank
+
+#endif  // TKLUS_CORE_LOCK_RANKS_H_

@@ -1,0 +1,17 @@
+// Fixture: fsync while holding the engine lock stalls every concurrent
+// query behind one disk flush and must trip `io-under-lock`.
+namespace tklus {
+
+class Engine {
+ public:
+  void Checkpoint() {
+    WriterMutexLock lock(&mu_);
+    fsync(fd_);  // must fire: blocking syscall under the engine lock
+  }
+
+ private:
+  SharedMutex mu_;
+  int fd_ = 0;
+};
+
+}  // namespace tklus

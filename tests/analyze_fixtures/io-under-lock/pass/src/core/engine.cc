@@ -1,0 +1,26 @@
+// Fixture: blocking I/O stays off the engine lock (WAL append under the
+// staging lock, only the in-memory absorb under mu_); nothing fires.
+namespace tklus {
+
+class Engine {
+ public:
+  void AppendBatch() {
+    MutexLock append(&append_mu_);
+    wal_->Append(record_);  // under append_mu_ only: allowed
+    {
+      WriterMutexLock lock(&mu_);
+      AbsorbRecord(record_);  // in-memory, not an io-symbol
+    }
+  }
+
+ private:
+  void AbsorbRecord(int record) { last_ = record; }
+
+  Mutex append_mu_;
+  SharedMutex mu_;
+  Wal* wal_;
+  int record_ = 0;
+  int last_ = 0;
+};
+
+}  // namespace tklus

@@ -1,0 +1,17 @@
+// Fixture: merge_mu_ acquired before append_mu_ inverts the declared
+// order (append_mu_ -> merge_mu_ -> mu_) and must trip `lock-order`.
+namespace tklus {
+
+class Engine {
+ public:
+  void BadSave() {
+    MutexLock merge(&merge_mu_);
+    MutexLock append(&append_mu_);  // must fire: inversion
+  }
+
+ private:
+  Mutex append_mu_;
+  Mutex merge_mu_;
+};
+
+}  // namespace tklus

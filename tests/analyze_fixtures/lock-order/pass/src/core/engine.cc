@@ -1,0 +1,35 @@
+// Fixture: acquisition chains that follow the declared order
+// (append_mu_ -> merge_mu_ -> mu_); nothing fires.
+namespace tklus {
+
+class Engine {
+ public:
+  void Save() {
+    MutexLock append(&append_mu_);
+    MutexLock merge(&merge_mu_);
+    WriterMutexLock lock(&mu_);
+  }
+
+  // Skipping a middle rank is fine: the declared order is transitive.
+  void Absorb() {
+    MutexLock append(&append_mu_);
+    WriterMutexLock lock(&mu_);
+  }
+
+  // Scoped release: the reader guard closes before the writer opens, so
+  // no chain (and no recursion) is observed.
+  void Fold() {
+    MutexLock merge(&merge_mu_);
+    {
+      ReaderMutexLock read(&mu_);
+    }
+    WriterMutexLock write(&mu_);
+  }
+
+ private:
+  Mutex append_mu_;
+  Mutex merge_mu_;
+  SharedMutex mu_;
+};
+
+}  // namespace tklus

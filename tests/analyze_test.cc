@@ -1,0 +1,402 @@
+// Unit tests for the tklus_analyze internals grown in DESIGN.md §13: the
+// splice/raw-string-aware lexer, the flow-aware lock model, the
+// lock-order manifest loader, the two lock rules, and the JSON/SARIF
+// emitters. The end-to-end gates (clean tree, fixture selftest) live in
+// ctest's analyze_clean_tree / analyze_selftest; these tests pin the
+// pieces those gates are built from.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze/analyzer.h"
+#include "analyze/output.h"
+#include "analyze/rules.h"
+#include "analyze/source_model.h"
+
+namespace tklus::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasIdent(const SourceFile& f, const std::string& text) {
+  return std::any_of(f.tokens.begin(), f.tokens.end(), [&](const Token& t) {
+    return t.kind == Token::Kind::kIdent && t.text == text;
+  });
+}
+
+const Token* FindIdent(const SourceFile& f, const std::string& text) {
+  for (const Token& t : f.tokens) {
+    if (t.kind == Token::Kind::kIdent && t.text == text) return &t;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------------- lexer
+
+TEST(LexerRawString, CollapsesToSingleToken) {
+  const SourceFile f = LexFile(
+      "src/core/x.cc",
+      "const char* s = R\"(std::mutex \"quoted\" // not a comment)\";\n"
+      "int after = 1;\n");
+  // Nothing inside the raw string may leak out as a token...
+  EXPECT_FALSE(HasIdent(f, "mutex"));
+  EXPECT_FALSE(HasIdent(f, "quoted"));
+  // ...and lexing must resynchronize cleanly after it.
+  const Token* after = FindIdent(f, "after");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 2);
+}
+
+TEST(LexerRawString, EncodingPrefixes) {
+  for (const char* prefix : {"u8", "u", "U", "L"}) {
+    const std::string code = std::string("auto s = ") + prefix +
+                             "R\"(steady_clock)\";\nint tail = 0;\n";
+    const SourceFile f = LexFile("src/core/x.cc", code);
+    EXPECT_FALSE(HasIdent(f, "steady_clock")) << "prefix " << prefix;
+    EXPECT_TRUE(HasIdent(f, "tail")) << "prefix " << prefix;
+  }
+}
+
+TEST(LexerRawString, DCharDelimiters) {
+  // The plain )" inside must NOT close an R"xy(...)xy" literal.
+  const SourceFile f = LexFile(
+      "src/core/x.cc",
+      "auto s = R\"xy(contains )\" inside)xy\";\nint tail = 0;\n");
+  EXPECT_FALSE(HasIdent(f, "contains"));
+  EXPECT_FALSE(HasIdent(f, "inside"));
+  EXPECT_TRUE(HasIdent(f, "tail"));
+}
+
+TEST(LexerRawString, UpperRSuffixIdentIsNotAPrefix) {
+  // An identifier merely *ending* in R (not a literal prefix) followed
+  // by a string is an ordinary ident + string pair.
+  const SourceFile f =
+      LexFile("src/core/x.cc", "auto x = MACRO_R\"(text)\";\n");
+  EXPECT_TRUE(HasIdent(f, "MACRO_R"));
+}
+
+TEST(LexerSplice, JoinsIdentifierAcrossContinuation) {
+  const SourceFile f = LexFile("src/core/x.cc", "int ab\\\ncd = 1;\n");
+  EXPECT_TRUE(HasIdent(f, "abcd"));
+  EXPECT_FALSE(HasIdent(f, "ab"));
+  EXPECT_FALSE(HasIdent(f, "cd"));
+}
+
+TEST(LexerSplice, LineCommentContinuationSwallowsNextLine) {
+  // Phase-2 splicing makes the second line part of the comment — exactly
+  // what the preprocessor does; the old lexer tokenized `hidden`.
+  const SourceFile f = LexFile("src/core/x.cc",
+                               "// comment \\\nint hidden = 1;\n"
+                               "int visible = 2;\n");
+  EXPECT_FALSE(HasIdent(f, "hidden"));
+  const Token* visible = FindIdent(f, "visible");
+  ASSERT_NE(visible, nullptr);
+  EXPECT_EQ(visible->line, 3);
+}
+
+TEST(LexerSplice, LineNumbersSurviveSplices) {
+  const SourceFile f =
+      LexFile("src/core/x.cc", "int a;\nint b\\\n2;\nint c;\n");
+  const Token* a = FindIdent(f, "a");
+  const Token* b2 = FindIdent(f, "b2");
+  const Token* c = FindIdent(f, "c");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b2, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(a->line, 1);
+  EXPECT_EQ(b2->line, 2);
+  EXPECT_EQ(c->line, 4);
+}
+
+// -------------------------------------------------------------- lock model
+
+SourceFile LexWithModel(const std::string& path, const std::string& code) {
+  SourceFile f = LexFile(path, code);
+  f.functions = BuildLockModel(f);
+  return f;
+}
+
+TEST(LockModel, TracksNestedAcquisitionsAndCalls) {
+  const SourceFile f = LexWithModel("src/core/engine.cc",
+                                    "namespace tklus {\n"
+                                    "class Engine {\n"
+                                    " public:\n"
+                                    "  void Save() {\n"
+                                    "    MutexLock a(&append_mu_);\n"
+                                    "    MutexLock m(&merge_mu_);\n"
+                                    "    Flush();\n"
+                                    "  }\n"
+                                    "};\n"
+                                    "}  // namespace tklus\n");
+  ASSERT_EQ(f.functions.size(), 1u);
+  const FunctionLockModel& fn = f.functions[0];
+  EXPECT_EQ(fn.name, "Save");
+  ASSERT_EQ(fn.acquisitions.size(), 2u);
+  EXPECT_EQ(fn.acquisitions[0].guard.member, "append_mu_");
+  EXPECT_TRUE(fn.acquisitions[0].held.empty());
+  EXPECT_EQ(fn.acquisitions[1].guard.member, "merge_mu_");
+  ASSERT_EQ(fn.acquisitions[1].held.size(), 1u);
+  EXPECT_EQ(fn.acquisitions[1].held[0].member, "append_mu_");
+  ASSERT_EQ(fn.calls.size(), 1u);
+  EXPECT_EQ(fn.calls[0].callee, "Flush");
+  EXPECT_EQ(fn.calls[0].held.size(), 2u);
+}
+
+TEST(LockModel, ScopedReleasePopsGuard) {
+  const SourceFile f = LexWithModel("src/core/engine.cc",
+                                    "void Fold() {\n"
+                                    "  MutexLock m(&merge_mu_);\n"
+                                    "  {\n"
+                                    "    ReaderMutexLock r(&mu_);\n"
+                                    "  }\n"
+                                    "  WriterMutexLock w(&mu_);\n"
+                                    "}\n");
+  ASSERT_EQ(f.functions.size(), 1u);
+  const FunctionLockModel& fn = f.functions[0];
+  ASSERT_EQ(fn.acquisitions.size(), 3u);
+  EXPECT_FALSE(fn.acquisitions[1].guard.exclusive);  // the reader
+  // The writer at the end sees only merge_mu_: the reader guard died
+  // with its block.
+  const GuardAcquire& writer = fn.acquisitions[2];
+  EXPECT_EQ(writer.guard.member, "mu_");
+  ASSERT_EQ(writer.held.size(), 1u);
+  EXPECT_EQ(writer.held[0].member, "merge_mu_");
+}
+
+TEST(LockModel, ResolvesMemberThroughArrow) {
+  const SourceFile f = LexWithModel(
+      "src/core/engine.cc",
+      "void Open(Engine* engine) {\n"
+      "  WriterMutexLock lock(&engine->mu_);\n"
+      "}\n");
+  ASSERT_EQ(f.functions.size(), 1u);
+  ASSERT_EQ(f.functions[0].acquisitions.size(), 1u);
+  EXPECT_EQ(f.functions[0].acquisitions[0].guard.member, "mu_");
+}
+
+TEST(LockModel, QualifiedOutOfClassName) {
+  const SourceFile f = LexWithModel("src/core/engine.cc",
+                                    "void Engine::Save() {\n"
+                                    "  MutexLock a(&append_mu_);\n"
+                                    "}\n");
+  ASSERT_EQ(f.functions.size(), 1u);
+  EXPECT_EQ(f.functions[0].name, "Engine::Save");
+}
+
+// ----------------------------------------------------------- conf loading
+
+std::string WriteTempConf(const std::string& name, const std::string& body) {
+  const fs::path path = fs::path(testing::TempDir()) / name;
+  std::ofstream out(path);
+  out << body;
+  out.close();
+  return path.string();
+}
+
+TEST(LockOrderConf, TransitiveClosureAndIoLists) {
+  const std::string path = WriteTempConf("ok.conf",
+                                         "# comment\n"
+                                         "lock a core/engine.cc\n"
+                                         "lock b\n"
+                                         "lock c\n"
+                                         "order a b c\n"
+                                         "io-lock c\n"
+                                         "io-symbol fsync Append\n");
+  Result<LockOrderConfig> cfg = LoadLockOrderConfig(path);
+  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+  EXPECT_TRUE(cfg->CanPrecede("a", "b"));
+  EXPECT_TRUE(cfg->CanPrecede("a", "c"));  // transitive
+  EXPECT_TRUE(cfg->CanPrecede("b", "c"));
+  EXPECT_FALSE(cfg->CanPrecede("c", "a"));
+  EXPECT_FALSE(cfg->CanPrecede("b", "a"));
+  EXPECT_TRUE(cfg->IsDeclared("a", "src/core/engine.cc"));
+  EXPECT_FALSE(cfg->IsDeclared("a", "src/index/hybrid_index.cc"));
+  EXPECT_TRUE(cfg->IsDeclared("b", "src/index/hybrid_index.cc"));
+  EXPECT_EQ(cfg->io_locks.count("c"), 1u);
+  EXPECT_EQ(cfg->io_symbols.count("fsync"), 1u);
+  EXPECT_EQ(cfg->io_symbols.count("Append"), 1u);
+}
+
+TEST(LockOrderConf, RejectsCycle) {
+  const std::string path = WriteTempConf("cycle.conf",
+                                         "lock a\nlock b\n"
+                                         "order a b\norder b a\n");
+  Result<LockOrderConfig> cfg = LoadLockOrderConfig(path);
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_NE(cfg.status().ToString().find("cycle"), std::string::npos);
+}
+
+TEST(LockOrderConf, RejectsUndeclaredOrderName) {
+  const std::string path =
+      WriteTempConf("undeclared.conf", "lock a\norder a ghost\n");
+  Result<LockOrderConfig> cfg = LoadLockOrderConfig(path);
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_NE(cfg.status().ToString().find("undeclared"), std::string::npos);
+}
+
+TEST(LockOrderConf, RejectsDuplicateLock) {
+  const std::string path =
+      WriteTempConf("dup.conf", "lock a\nlock a scope.cc\n");
+  ASSERT_FALSE(LoadLockOrderConfig(path).ok());
+}
+
+// ------------------------------------------------------------------- rules
+
+std::vector<Diagnostic> RunRule(const std::string& rule_name,
+                                const SourceFile& file,
+                                const AnalyzerContext& ctx) {
+  std::vector<Diagnostic> out;
+  for (const auto& rule : BuildRuleSet()) {
+    if (rule->name() == rule_name) rule->Check(file, ctx, &out);
+  }
+  return out;
+}
+
+AnalyzerContext EngineLockContext() {
+  AnalyzerContext ctx;
+  ctx.lockorder.loaded = true;
+  ctx.lockorder.locks = {{"append_mu_", ""}, {"merge_mu_", ""}, {"mu_", ""}};
+  ctx.lockorder.can_precede["append_mu_"] = {"merge_mu_", "mu_"};
+  ctx.lockorder.can_precede["merge_mu_"] = {"mu_"};
+  ctx.lockorder.io_locks = {"mu_"};
+  ctx.lockorder.io_symbols = {"fsync", "Append"};
+  return ctx;
+}
+
+TEST(LockOrderRule, FlagsInversion) {
+  const SourceFile f = LexWithModel("src/core/engine.cc",
+                                    "void Bad() {\n"
+                                    "  MutexLock m(&merge_mu_);\n"
+                                    "  MutexLock a(&append_mu_);\n"
+                                    "}\n");
+  const std::vector<Diagnostic> diags =
+      RunRule("lock-order", f, EngineLockContext());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("inversion"), std::string::npos);
+}
+
+TEST(LockOrderRule, AcceptsDeclaredChain) {
+  const SourceFile f = LexWithModel("src/core/engine.cc",
+                                    "void Good() {\n"
+                                    "  MutexLock a(&append_mu_);\n"
+                                    "  MutexLock m(&merge_mu_);\n"
+                                    "  WriterMutexLock w(&mu_);\n"
+                                    "}\n");
+  EXPECT_TRUE(RunRule("lock-order", f, EngineLockContext()).empty());
+}
+
+TEST(LockOrderRule, FlagsRecursiveSharedAcquisition) {
+  const SourceFile f = LexWithModel("src/core/engine.cc",
+                                    "void Bad() {\n"
+                                    "  ReaderMutexLock r1(&mu_);\n"
+                                    "  ReaderMutexLock r2(&mu_);\n"
+                                    "}\n");
+  const std::vector<Diagnostic> diags =
+      RunRule("lock-order", f, EngineLockContext());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("recursive"), std::string::npos);
+}
+
+TEST(LockOrderRule, MissingManifestFlagsNesting) {
+  const SourceFile f = LexWithModel("src/core/engine.cc",
+                                    "void Nest() {\n"
+                                    "  MutexLock a(&x_mu_);\n"
+                                    "  MutexLock b(&y_mu_);\n"
+                                    "}\n");
+  AnalyzerContext ctx;  // no lockorder.conf
+  const std::vector<Diagnostic> diags = RunRule("lock-order", f, ctx);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("lockorder.conf"), std::string::npos);
+}
+
+TEST(IoUnderLockRule, FlagsBlockingCallUnderIoLock) {
+  const SourceFile f = LexWithModel("src/core/engine.cc",
+                                    "void Bad() {\n"
+                                    "  WriterMutexLock w(&mu_);\n"
+                                    "  fsync(fd);\n"
+                                    "}\n");
+  const std::vector<Diagnostic> diags =
+      RunRule("io-under-lock", f, EngineLockContext());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("fsync"), std::string::npos);
+}
+
+TEST(IoUnderLockRule, AllowsIoUnderNonIoLock) {
+  const SourceFile f = LexWithModel("src/core/engine.cc",
+                                    "void Good() {\n"
+                                    "  MutexLock a(&append_mu_);\n"
+                                    "  wal_->Append(rec);\n"
+                                    "}\n");
+  EXPECT_TRUE(RunRule("io-under-lock", f, EngineLockContext()).empty());
+}
+
+// ------------------------------------------------------------------ output
+
+TEST(Output, JsonEscapesSpecials) {
+  const std::vector<Diagnostic> diags = {
+      {"rule-x", "src/a.cc", 3, "say \"hi\"\nback\\slash"}};
+  const std::string json = DiagnosticsToJson(diags);
+  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+}
+
+TEST(Output, SarifCarriesCatalogAndResults) {
+  const std::vector<RuleInfo> rules = {{"lock-order", "order rule"},
+                                       {"io-under-lock", "io rule"}};
+  const std::vector<Diagnostic> diags = {
+      {"lock-order", "src/core/engine.cc", 12, "inversion"}};
+  const std::string sarif = DiagnosticsToSarif(diags, rules);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"tklus_analyze\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\": \"io-under-lock\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"lock-order\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleIndex\": 0"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(sarif.find("src/core/engine.cc"), std::string::npos);
+}
+
+// ------------------------------------------------------- parallel analysis
+
+TEST(RunAnalysis, DeterministicAcrossJobCounts) {
+  const fs::path root = fs::path(testing::TempDir()) / "analyze_jobs_tree";
+  fs::create_directories(root / "src" / "core");
+  for (int i = 0; i < 6; ++i) {
+    std::ofstream out(root / "src" / "core" /
+                      ("f" + std::to_string(i) + ".cc"));
+    // Nested guards + no lockorder.conf in this root -> one
+    // missing-manifest diagnostic per file, on every scan.
+    out << "void Nest" << i << "() {\n"
+        << "  MutexLock a(&x_mu_);\n"
+        << "  MutexLock b(&y_mu_);\n"
+        << "}\n";
+  }
+  std::vector<std::vector<Diagnostic>> runs;
+  for (const unsigned jobs : {1u, 4u}) {
+    AnalyzerOptions opts;
+    opts.root = root.string();
+    opts.jobs = jobs;
+    Result<std::vector<Diagnostic>> diags = RunAnalysis(opts);
+    ASSERT_TRUE(diags.ok()) << diags.status().ToString();
+    EXPECT_EQ(diags->size(), 6u) << "jobs=" << jobs;
+    runs.push_back(*diags);
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i].path, runs[1][i].path);
+    EXPECT_EQ(runs[0][i].line, runs[1][i].line);
+    EXPECT_EQ(runs[0][i].rule, runs[1][i].rule);
+    EXPECT_EQ(runs[0][i].message, runs[1][i].message);
+  }
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace tklus::analyze

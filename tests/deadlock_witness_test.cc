@@ -1,0 +1,181 @@
+// Death tests for the runtime deadlock witness (common/mutex.h with
+// -DTKLUS_DEADLOCK_DEBUG=ON): every ranked acquisition is checked against
+// the thread's held-lock stack, so a lock-order inversion aborts with
+// both stacks printed instead of deadlocking under the right
+// interleaving. The ranks come from core/lock_ranks.h — the same DAG the
+// static lock-order rule enforces lexically — so these tests prove the
+// runtime and static layers agree on what an inversion is.
+//
+// This file is only registered when the cmake option is ON; the witness
+// types do not exist otherwise.
+#include <gtest/gtest.h>
+
+#include "common/mutex.h"
+#include "core/engine.h"
+#include "core/lock_ranks.h"
+#include "datagen/tweet_generator.h"
+
+namespace tklus {
+namespace {
+
+// Death tests fork; threadsafe style re-executes the binary so they stay
+// sound under TSan and the engine's background merge thread.
+class DeadlockWitnessDeathTest : public testing::Test {
+ protected:
+  DeadlockWitnessDeathTest() {
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(DeadlockWitnessDeathTest, ConformingOrderDoesNotAbort) {
+  Mutex append(lockrank::kAppendMu, "append_mu_");
+  Mutex merge(lockrank::kMergeMu, "merge_mu_");
+  SharedMutex mu(lockrank::kEngineMu, "mu_");
+  Mutex wake(lockrank::kMergeWakeMu, "merge_wake_mu_");
+  {
+    MutexLock a(&append);
+    MutexLock m(&merge);
+    WriterMutexLock w(&mu);
+  }
+  {
+    MutexLock a(&append);
+    MutexLock k(&wake);  // the AppendBatch wakeup chain
+  }
+  {
+    MutexLock m(&merge);
+    ReaderMutexLock r(&mu);  // skipping a rank is fine: ranks must climb
+  }
+  SUCCEED();
+}
+
+TEST_F(DeadlockWitnessDeathTest, InversionAborts) {
+  // The exact inversion the static rule's fail fixture seeds:
+  // merge_mu_ (rank 20) held, then append_mu_ (rank 10) requested.
+  EXPECT_DEATH(
+      {
+        Mutex append(lockrank::kAppendMu, "append_mu_");
+        Mutex merge(lockrank::kMergeMu, "merge_mu_");
+        MutexLock m(&merge);
+        MutexLock a(&append);
+      },
+      "lock-order inversion");
+}
+
+TEST_F(DeadlockWitnessDeathTest, EqualRankAborts) {
+  // Two distinct locks sharing a rank cannot be ordered against each
+  // other; acquiring the second is an inversion, not a tie.
+  EXPECT_DEATH(
+      {
+        Mutex a(lockrank::kMergeMu, "a");
+        Mutex b(lockrank::kMergeMu, "b");
+        MutexLock la(&a);
+        MutexLock lb(&b);
+      },
+      "lock-order inversion");
+}
+
+TEST_F(DeadlockWitnessDeathTest, RecursiveExclusiveAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex mu(lockrank::kAppendMu, "append_mu_");
+        MutexLock outer(&mu);
+        MutexLock inner(&mu);
+      },
+      "recursive acquisition");
+}
+
+TEST_F(DeadlockWitnessDeathTest, RecursiveSharedAborts) {
+  // Even two *reader* locks self-deadlock on the writer-preferring
+  // SharedMutex: a writer queued between them blocks the inner reader
+  // forever. The witness calls this out explicitly.
+  EXPECT_DEATH(
+      {
+        SharedMutex mu(lockrank::kEngineMu, "mu_");
+        ReaderMutexLock outer(&mu);
+        ReaderMutexLock inner(&mu);
+      },
+      "shared readers deadlock behind a queued writer");
+}
+
+TEST_F(DeadlockWitnessDeathTest, UnrankedLocksAreUnconstrained) {
+  // Locks without a declared rank opt out of ordering (they are leaves
+  // like the metrics registry's mutex) but recursion is still fatal.
+  Mutex a;
+  Mutex b;
+  {
+    MutexLock lb(&b);
+    MutexLock la(&a);
+  }
+  {
+    MutexLock la(&a);
+    MutexLock lb(&b);
+  }
+  SUCCEED();
+}
+
+TEST_F(DeadlockWitnessDeathTest, ReleaseResetsTheHeldStack) {
+  // Sequential (non-nested) acquisitions in "descending" rank order are
+  // fine: the stack is empty between them.
+  Mutex append(lockrank::kAppendMu, "append_mu_");
+  Mutex merge(lockrank::kMergeMu, "merge_mu_");
+  { MutexLock m(&merge); }
+  { MutexLock a(&append); }
+  {
+    MutexLock a(&append);
+    MutexLock m(&merge);
+  }
+  SUCCEED();
+}
+
+TEST_F(DeadlockWitnessDeathTest, TryLockRecordsWithoutOrderCheck) {
+  // A successful TryLock cannot deadlock, so it skips the order check —
+  // but it must still be visible as held to later blocking acquisitions.
+  Mutex append(lockrank::kAppendMu, "append_mu_");
+  Mutex merge(lockrank::kMergeMu, "merge_mu_");
+  {
+    MutexLock m(&merge);
+    ASSERT_TRUE(append.TryLock());  // inverted, but non-blocking: allowed
+    append.Unlock();
+  }
+  EXPECT_DEATH(
+      {
+        Mutex lo(lockrank::kAppendMu, "append_mu_");
+        Mutex hi(lockrank::kMergeMu, "merge_mu_");
+        ASSERT_TRUE(hi.TryLock());
+        MutexLock l(&lo);  // blocking acquisition below a held rank
+      },
+      "lock-order inversion");
+}
+
+// The real engine's full lifecycle — build, append (WAL + wakeup chain),
+// merge, query — under the witness: every chain the engine takes must
+// climb the declared ranks, so this passing means the production lock
+// discipline and lock_ranks.h agree.
+TEST(DeadlockWitnessEngineTest, EngineLifecycleConforms) {
+  datagen::TweetGenerator::Options gen;
+  gen.num_users = 60;
+  gen.num_tweets = 800;
+  gen.num_cities = 2;
+  const auto corpus = datagen::TweetGenerator::Generate(gen);
+
+  Dataset first, second;
+  for (size_t i = 0; i < corpus.dataset.size(); ++i) {
+    (i < corpus.dataset.size() / 2 ? first : second)
+        .Add(corpus.dataset.posts()[i]);
+  }
+
+  auto engine = TkLusEngine::Build(first);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->AppendBatch(second).ok());
+  ASSERT_TRUE((*engine)->MergeNow().ok());
+
+  TkLusQuery q;
+  q.location = corpus.city_centers[0];
+  q.radius_km = 15.0;
+  q.keywords = {"hotel"};
+  q.k = 5;
+  ASSERT_TRUE((*engine)->Query(q).ok());
+}
+
+}  // namespace
+}  // namespace tklus

@@ -1,9 +1,11 @@
 #include "analyze/analyzer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 namespace tklus::analyze {
 namespace fs = std::filesystem;
@@ -70,6 +72,91 @@ Result<AnalyzerContext> LoadManifest(const std::string& path) {
   return ctx;
 }
 
+Result<LockOrderConfig> LoadLockOrderConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open lockorder manifest " + path);
+  LockOrderConfig cfg;
+  cfg.loaded = true;
+  std::map<std::string, std::set<std::string>> edges;
+  std::string line;
+  int lineno = 0;
+  const auto err = [&](const std::string& what) {
+    return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                   ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    std::istringstream rest(line);
+    std::string directive;
+    rest >> directive;
+    std::vector<std::string> args;
+    for (std::string arg; rest >> arg;) args.push_back(arg);
+    if (directive == "lock") {
+      if (args.empty() || args.size() > 2) {
+        return err("expected 'lock NAME [PATH_SUFFIX]'");
+      }
+      for (const LockOrderConfig::LockDecl& decl : cfg.locks) {
+        if (decl.name == args[0]) {
+          return err("duplicate lock declaration '" + args[0] + "'");
+        }
+      }
+      cfg.locks.push_back(LockOrderConfig::LockDecl{
+          args[0], args.size() > 1 ? args[1] : std::string()});
+      edges.emplace(args[0], std::set<std::string>());
+    } else if (directive == "order") {
+      if (args.size() < 2) return err("expected 'order A B [C ...]'");
+      for (const std::string& name : args) {
+        if (edges.find(name) == edges.end()) {
+          return err("order names undeclared lock '" + name +
+                     "' (declare it with 'lock' first)");
+        }
+      }
+      for (size_t i = 0; i + 1 < args.size(); ++i) {
+        edges[args[i]].insert(args[i + 1]);
+      }
+    } else if (directive == "io-symbol") {
+      if (args.empty()) return err("expected 'io-symbol NAME...'");
+      cfg.io_symbols.insert(args.begin(), args.end());
+    } else if (directive == "io-lock") {
+      if (args.empty()) return err("expected 'io-lock NAME...'");
+      for (const std::string& name : args) {
+        if (edges.find(name) == edges.end()) {
+          return err("io-lock names undeclared lock '" + name + "'");
+        }
+        cfg.io_locks.insert(name);
+      }
+    } else {
+      return err("unknown directive '" + directive + "'");
+    }
+  }
+  // Transitive closure + cycle check, DFS per node. A lock reachable
+  // from itself means the declared "order" is not a DAG.
+  for (const auto& [start, unused] : edges) {
+    std::set<std::string>& reach = cfg.can_precede[start];
+    std::vector<std::string> stack(edges.at(start).begin(),
+                                   edges.at(start).end());
+    while (!stack.empty()) {
+      const std::string node = std::move(stack.back());
+      stack.pop_back();
+      if (node == start) {
+        return Status::InvalidArgument(
+            path + ": declared lock order contains a cycle through '" +
+            start + "'");
+      }
+      if (!reach.insert(node).second) continue;
+      const auto it = edges.find(node);
+      if (it != edges.end()) {
+        stack.insert(stack.end(), it->second.begin(), it->second.end());
+      }
+    }
+  }
+  return cfg;
+}
+
 Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options) {
   const fs::path root(options.root);
   if (!fs::exists(root)) {
@@ -91,6 +178,22 @@ Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options) {
     Result<AnalyzerContext> loaded = LoadManifest(manifest);
     if (!loaded.ok()) return loaded.status();
     ctx = std::move(*loaded);
+  }
+  std::string lockorder = options.lockorder;
+  if (lockorder.empty()) {
+    for (const fs::path& candidate :
+         {root / "lockorder.conf",
+          root / "tools" / "analyze" / "lockorder.conf"}) {
+      if (fs::exists(candidate)) {
+        lockorder = candidate.string();
+        break;
+      }
+    }
+  }
+  if (!lockorder.empty()) {
+    Result<LockOrderConfig> loaded = LoadLockOrderConfig(lockorder);
+    if (!loaded.ok()) return loaded.status();
+    ctx.lockorder = std::move(*loaded);
   }
 
   std::vector<std::string> paths = options.paths;
@@ -114,15 +217,54 @@ Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options) {
   }
   std::sort(files.begin(), files.end());
 
-  const std::vector<std::unique_ptr<Rule>> rules = BuildRuleSet();
-  std::vector<Diagnostic> diagnostics;
-  for (const fs::path& file : files) {
-    Result<std::string> text = ReadFile(file);
-    if (!text.ok()) return text.status();
-    const SourceFile model = LexFile(RelPath(file, root), *text);
-    for (const auto& rule : rules) {
-      rule->Check(model, ctx, &diagnostics);
+  // Per-file analysis fans out over a small thread pool: rules are pure
+  // (no state across files), so each worker lexes + checks whole files
+  // independently and determinism comes from the final sort. Per-file
+  // results land in a pre-sized slot vector — no locking needed.
+  struct FileOutcome {
+    std::vector<Diagnostic> diags;
+    Status status = Status::Ok();
+  };
+  std::vector<FileOutcome> outcomes(files.size());
+  std::atomic<size_t> next{0};
+  const auto worker = [&] {
+    // Each worker owns a rule set: BuildRuleSet is cheap and per-worker
+    // instances remove any question of shared mutable rule state.
+    const std::vector<std::unique_ptr<Rule>> rules = BuildRuleSet();
+    for (size_t idx; (idx = next.fetch_add(1)) < files.size();) {
+      Result<std::string> text = ReadFile(files[idx]);
+      if (!text.ok()) {
+        outcomes[idx].status = text.status();
+        continue;
+      }
+      SourceFile model = LexFile(RelPath(files[idx], root), *text);
+      model.functions = BuildLockModel(model);
+      for (const auto& rule : rules) {
+        rule->Check(model, ctx, &outcomes[idx].diags);
+      }
     }
+  };
+  unsigned jobs = options.jobs;
+  if (jobs == 0) {
+    jobs = std::min(8u, std::max(1u, std::thread::hardware_concurrency()));
+  }
+  jobs = static_cast<unsigned>(
+      std::min<size_t>(jobs, std::max<size_t>(files.size(), 1)));
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::vector<Diagnostic> diagnostics;
+  for (FileOutcome& outcome : outcomes) {
+    if (!outcome.status.ok()) return outcome.status;
+    diagnostics.insert(diagnostics.end(),
+                       std::make_move_iterator(outcome.diags.begin()),
+                       std::make_move_iterator(outcome.diags.end()));
   }
   std::sort(diagnostics.begin(), diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {

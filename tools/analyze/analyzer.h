@@ -10,21 +10,40 @@
 namespace tklus::analyze {
 
 // Scan configuration: a root directory, scan paths relative to it, and
-// an optional explicit layering manifest. When `manifest` is empty the
-// analyzer looks for `<root>/layers.conf` (fixture roots), then
-// `<root>/tools/analyze/layers.conf` (the real tree).
+// optional explicit manifests. When `manifest` is empty the analyzer
+// looks for `<root>/layers.conf` (fixture roots), then
+// `<root>/tools/analyze/layers.conf` (the real tree); `lockorder`
+// resolves the same way against lockorder.conf. `jobs` caps the scan
+// worker threads (0 = pick from hardware_concurrency).
 struct AnalyzerOptions {
   std::string root = ".";
   std::vector<std::string> paths;  // default: {"src"}
   std::string manifest;
+  std::string lockorder;
+  unsigned jobs = 0;
 };
 
 // Loads `path` as a layering manifest: `module: dep dep ...` lines,
 // `#` comments. Declaring a module with no deps is `module:`.
 Result<AnalyzerContext> LoadManifest(const std::string& path);
 
+// Loads `path` as a lock-order manifest. Directives (with `#` comments):
+//   lock NAME [PATH_SUFFIX]   declare a lock, optionally scoped to files
+//                             whose path ends with PATH_SUFFIX
+//   order A B [C ...]         A may be held when acquiring B, B when
+//                             acquiring C, ... (edges of the DAG)
+//   io-symbol NAME...         blocking call names for io-under-lock
+//   io-lock NAME...           declared locks the io symbols are banned
+//                             under (any mode)
+// The declared order is cycle-checked at load — a cyclic "order" is a
+// manifest bug, not a tree finding — and the returned config carries the
+// transitive closure.
+Result<LockOrderConfig> LoadLockOrderConfig(const std::string& path);
+
 // Lexes every .h/.cc/.cpp under the scan paths (sorted, so output is
-// deterministic) and runs the full rule set over each file.
+// deterministic), builds the statement model, and runs the full rule set
+// over each file — files are analyzed in parallel on a small thread pool
+// (rules are pure, so scan order never changes the outcome).
 // Diagnostics come back sorted by (path, line, rule).
 Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options);
 

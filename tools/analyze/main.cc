@@ -11,15 +11,24 @@
 //                                          fail fixture and stays quiet on
 //                                          its pass fixture
 //   tklus_analyze --list-rules             print the rule catalog
+//   --format=text|json|sarif               findings format (default text)
+//   --output FILE                          write findings there instead of
+//                                          stdout (text summary still
+//                                          prints)
+//   --jobs N                               scan worker threads (0 = auto)
+//   --lockorder FILE                       explicit lockorder.conf
 //
 // Exit codes: 0 clean, 1 violations/selftest failure, 2 usage/IO error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "analyze/analyzer.h"
+#include "analyze/output.h"
 
 namespace tklus::analyze {
 namespace {
@@ -98,27 +107,54 @@ int RunSelftest(const std::string& fixtures_dir) {
   return 0;
 }
 
+// Findings in the requested format. SARIF wants the rule catalog even
+// for rules that did not fire, so it is built from BuildRuleSet here.
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diags,
+                              const std::string& format) {
+  if (format == "json") return DiagnosticsToJson(diags);
+  std::vector<RuleInfo> catalog;
+  for (const auto& rule : BuildRuleSet()) {
+    catalog.push_back(
+        RuleInfo{std::string(rule->name()), std::string(rule->description())});
+  }
+  return DiagnosticsToSarif(diags, catalog);
+}
+
 int Main(int argc, char** argv) {
   AnalyzerOptions opts;
   bool selftest = false;
   std::string fixtures_dir;
+  std::string format = "text";
+  std::string output_file;
+  const char* const usage =
+      "usage: tklus_analyze [--root DIR] [--manifest FILE] "
+      "[--lockorder FILE] [--format=text|json|sarif] [--output FILE] "
+      "[--jobs N] [--selftest [DIR]] [--list-rules] [PATH...]\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       opts.root = argv[++i];
     } else if (arg == "--manifest" && i + 1 < argc) {
       opts.manifest = argv[++i];
+    } else if (arg == "--lockorder" && i + 1 < argc) {
+      opts.lockorder = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opts.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(std::strlen("--format="));
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::fprintf(stderr, "unknown format '%s'\n%s", format.c_str(), usage);
+        return 2;
+      }
+    } else if (arg == "--output" && i + 1 < argc) {
+      output_file = argv[++i];
     } else if (arg == "--selftest") {
       selftest = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') fixtures_dir = argv[++i];
     } else if (arg == "--list-rules") {
       return ListRules();
     } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr,
-                   "unknown flag %s\nusage: tklus_analyze [--root DIR] "
-                   "[--manifest FILE] [--selftest [DIR]] [--list-rules] "
-                   "[PATH...]\n",
-                   arg.c_str());
+      std::fprintf(stderr, "unknown flag %s\n%s", arg.c_str(), usage);
       return 2;
     } else {
       opts.paths.push_back(arg);
@@ -139,12 +175,42 @@ int Main(int argc, char** argv) {
                  diags.status().ToString().c_str());
     return 2;
   }
+
+  if (format != "text" || !output_file.empty()) {
+    const std::string rendered = format == "text"
+                                     ? std::string()  // text never to file
+                                     : FormatDiagnostics(*diags, format);
+    if (!output_file.empty()) {
+      if (format == "text") {
+        std::fprintf(stderr,
+                     "tklus_analyze: --output requires --format=json|sarif\n");
+        return 2;
+      }
+      std::ofstream out(output_file, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "tklus_analyze: cannot write %s\n",
+                     output_file.c_str());
+        return 2;
+      }
+      out << rendered;
+      if (!out.flush()) {
+        std::fprintf(stderr, "tklus_analyze: short write to %s\n",
+                     output_file.c_str());
+        return 2;
+      }
+    } else {
+      std::fputs(rendered.c_str(), stdout);
+    }
+  }
+
   if (!diags->empty()) {
-    PrintDiagnostics(*diags);
-    std::printf("tklus_analyze: %zu violation(s)\n", diags->size());
+    if (format == "text" || !output_file.empty()) {
+      PrintDiagnostics(*diags);
+    }
+    std::fprintf(stderr, "tklus_analyze: %zu violation(s)\n", diags->size());
     return 1;
   }
-  std::printf("tklus_analyze OK\n");
+  if (format == "text") std::printf("tklus_analyze OK\n");
   return 0;
 }
 

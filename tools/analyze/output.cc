@@ -1,0 +1,116 @@
+#include "analyze/output.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tklus::analyze {
+namespace {
+
+// Index of `rule` in the catalog, or -1. SARIF results reference their
+// rule by index so viewers can join back to the catalog entry.
+int RuleIndex(const std::vector<RuleInfo>& rules, const std::string& name) {
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "[\n";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out << "  {\"rule\": \"" << JsonEscape(d.rule) << "\", \"path\": \""
+        << JsonEscape(d.path) << "\", \"line\": " << d.line
+        << ", \"message\": \"" << JsonEscape(d.message) << "\"}"
+        << (i + 1 < diags.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+std::string DiagnosticsToSarif(const std::vector<Diagnostic>& diags,
+                               const std::vector<RuleInfo>& rules) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"tklus_analyze\",\n"
+      << "          \"rules\": [\n";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\"id\": \"" << JsonEscape(rules[i].name)
+        << "\", \"shortDescription\": {\"text\": \""
+        << JsonEscape(rules[i].description) << "\"}}"
+        << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    const int rule_index = RuleIndex(rules, d.rule);
+    out << "        {\n"
+        << "          \"ruleId\": \"" << JsonEscape(d.rule) << "\",\n";
+    if (rule_index >= 0) {
+      out << "          \"ruleIndex\": " << rule_index << ",\n";
+    }
+    out << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << JsonEscape(d.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\"physicalLocation\": {\"artifactLocation\": "
+           "{\"uri\": \""
+        << JsonEscape(d.path) << "\"}, \"region\": {\"startLine\": "
+        << (d.line > 0 ? d.line : 1) << "}}}\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < diags.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace tklus::analyze

@@ -1,0 +1,34 @@
+#ifndef TKLUS_TOOLS_ANALYZE_OUTPUT_H_
+#define TKLUS_TOOLS_ANALYZE_OUTPUT_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/rules.h"
+
+namespace tklus::analyze {
+
+// Rule catalog entry for machine-readable output. SARIF wants the full
+// catalog (so viewers can show descriptions even for rules that did not
+// fire), not just the rules present in the findings.
+struct RuleInfo {
+  std::string name;
+  std::string description;
+};
+
+// JSON-escapes `s` (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+// Findings as a JSON array of {rule, path, line, message} objects —
+// stable field order, trailing newline, deterministic given sorted input.
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags);
+
+// Findings as a minimal SARIF 2.1.0 log: one run, the full rule catalog
+// under tool.driver.rules, one result per diagnostic with a physical
+// location. Paths are emitted as given (relative to the scan root).
+std::string DiagnosticsToSarif(const std::vector<Diagnostic>& diags,
+                               const std::vector<RuleInfo>& rules);
+
+}  // namespace tklus::analyze
+
+#endif  // TKLUS_TOOLS_ANALYZE_OUTPUT_H_

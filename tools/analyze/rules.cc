@@ -442,6 +442,117 @@ class DurabilityDisciplineRule : public Rule {
   }
 };
 
+// ----------------------------------------------------------------- lock-order
+
+// Validates every observed guard-acquisition chain against the declared
+// lock-order DAG (tools/analyze/lockorder.conf). Clang's thread-safety
+// analysis checks capability *requirements* but not acquisition
+// *ordering*; this rule pins the order that previously existed only as a
+// comment in engine.h, over the flow-aware statement model. The check is
+// intraprocedural: it sees the guards a function itself opens, which is
+// exactly where the engine's lock chains live.
+class LockOrderRule : public Rule {
+ public:
+  std::string_view name() const override { return "lock-order"; }
+  std::string_view description() const override {
+    return "RAII guard acquisition chains must follow the declared "
+           "lock-order DAG (tools/analyze/lockorder.conf)";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    const LockOrderConfig& cfg = ctx.lockorder;
+    for (const FunctionLockModel& fn : file.functions) {
+      for (const GuardAcquire& acq : fn.acquisitions) {
+        if (acq.held.empty()) continue;
+        if (!cfg.loaded) {
+          // Mirrors the layering rule's missing-manifest behavior:
+          // nested acquisitions with no declared order are an error, so
+          // deleting lockorder.conf cannot silently disarm the rule.
+          for (const HeldGuard& h : acq.held) {
+            if (h.member != acq.guard.member) {
+              out->push_back(Diagnostic{
+                  std::string(name()), file.path, acq.guard.line,
+                  "nested acquisition of '" + acq.guard.member +
+                      "' while holding '" + h.member +
+                      "' but no lockorder.conf manifest was found"});
+              break;
+            }
+          }
+          continue;
+        }
+        if (!cfg.IsDeclared(acq.guard.member, file.path)) continue;
+        for (const HeldGuard& h : acq.held) {
+          if (!cfg.IsDeclared(h.member, file.path)) continue;
+          const std::string where =
+              fn.name.empty() ? std::string() : (" in " + fn.name);
+          if (h.member == acq.guard.member) {
+            out->push_back(Diagnostic{
+                std::string(name()), file.path, acq.guard.line,
+                "recursive acquisition of '" + acq.guard.member + "'" +
+                    where + " (outer " + h.guard_type + " at line " +
+                    std::to_string(h.line) +
+                    "); re-entry deadlocks — the SharedMutex is "
+                    "writer-preferring, so even a nested reader queues "
+                    "behind a waiting writer"});
+          } else if (!cfg.CanPrecede(h.member, acq.guard.member)) {
+            out->push_back(Diagnostic{
+                std::string(name()), file.path, acq.guard.line,
+                "lock-order inversion" + where + ": acquiring '" +
+                    acq.guard.member + "' while holding '" + h.member +
+                    "' (held since line " + std::to_string(h.line) +
+                    ") — no declared order in lockorder.conf permits "
+                    "this chain"});
+          }
+        }
+      }
+    }
+  }
+};
+
+// -------------------------------------------------------------- io-under-lock
+
+// Bans the configured blocking calls (fsync, pwrite, WAL appends, DFS
+// block reads, ...) while a lock listed as `io-lock` is held in *any*
+// mode. This statically pins the PR-6 durability design: the WAL
+// fsync-before-ack happens off the readers' lock, so a blocking syscall
+// creeping under the engine lock — which would stall every concurrent
+// query behind one disk flush — fails `ctest -L static` instead of
+// shipping.
+class IoUnderLockRule : public Rule {
+ public:
+  std::string_view name() const override { return "io-under-lock"; }
+  std::string_view description() const override {
+    return "blocking calls (lockorder.conf io-symbol list) banned while "
+           "an io-lock guard is held";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    const LockOrderConfig& cfg = ctx.lockorder;
+    if (!cfg.loaded || cfg.io_symbols.empty()) return;
+    for (const FunctionLockModel& fn : file.functions) {
+      for (const GuardedCall& call : fn.calls) {
+        if (cfg.io_symbols.count(call.callee) == 0) continue;
+        for (const HeldGuard& h : call.held) {
+          if (cfg.io_locks.count(h.member) == 0 ||
+              !cfg.IsDeclared(h.member, file.path)) {
+            continue;
+          }
+          const std::string where =
+              fn.name.empty() ? std::string() : (" in " + fn.name);
+          out->push_back(Diagnostic{
+              std::string(name()), file.path, call.line,
+              "blocking call '" + call.callee + "'" + where +
+                  " while holding '" + h.member + "' (" +
+                  (h.exclusive ? "exclusive" : "shared") + " " +
+                  h.guard_type + " since line " + std::to_string(h.line) +
+                  "); move the I/O off the lock — the ack-barrier design "
+                  "keeps fsync/pwrite outside every engine lock"});
+        }
+      }
+    }
+  }
+};
+
 // ------------------------------------------------------------ nodiscard-guard
 
 // The whole error-discipline stack leans on Status/Result<T> being
@@ -494,6 +605,8 @@ std::vector<std::unique_ptr<Rule>> BuildRuleSet() {
   rules.push_back(std::make_unique<NondeterminismRule>());
   rules.push_back(std::make_unique<ClockDisciplineRule>());
   rules.push_back(std::make_unique<DurabilityDisciplineRule>());
+  rules.push_back(std::make_unique<LockOrderRule>());
+  rules.push_back(std::make_unique<IoUnderLockRule>());
   rules.push_back(std::make_unique<NodiscardGuardRule>());
   return rules;
 }

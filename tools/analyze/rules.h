@@ -22,14 +22,53 @@ struct Diagnostic {
   std::string message;
 };
 
+// The declared lock-order DAG plus the io-under-lock symbol list, loaded
+// from tools/analyze/lockorder.conf (cycle-checked at load, like
+// layers.conf). Lock declarations are scoped to a path suffix so a
+// `mu_` member in core/engine.cc and an unrelated `mu_` in another
+// class never alias.
+struct LockOrderConfig {
+  bool loaded = false;
+  struct LockDecl {
+    std::string name;   // the guarded member, e.g. "append_mu_"
+    std::string scope;  // path suffix the declaration applies to; "" = any
+  };
+  std::vector<LockDecl> locks;
+  // Transitive closure of the declared `order` chains: can_precede[a]
+  // holds every lock that may be acquired while `a` is held.
+  std::map<std::string, std::set<std::string>> can_precede;
+  // Blocking call names (fsync, pwrite, Append, ...) banned while a lock
+  // listed in `io_locks` is held in any mode — the fsync-before-ack
+  // design keeps every blocking syscall off the engine lock entirely.
+  std::set<std::string> io_symbols;
+  std::set<std::string> io_locks;
+
+  // True if `member` in `path` matches a declared lock.
+  bool IsDeclared(const std::string& member, std::string_view path) const {
+    for (const LockDecl& decl : locks) {
+      if (decl.name == member &&
+          (decl.scope.empty() || PathEndsWith(path, decl.scope))) {
+        return true;
+      }
+    }
+    return false;
+  }
+  bool CanPrecede(const std::string& held, const std::string& next) const {
+    const auto it = can_precede.find(held);
+    return it != can_precede.end() && it->second.count(next) > 0;
+  }
+};
+
 // Shared inputs every rule sees: the layering manifest (module ->
-// modules it may include from). `has_manifest` distinguishes "no manifest
-// found" from "manifest with no edges" — the layering rule reports
-// cross-module includes as errors in the former case rather than
-// silently passing.
+// modules it may include from) and the lock-order manifest.
+// `has_manifest` distinguishes "no manifest found" from "manifest with
+// no edges" — the layering rule reports cross-module includes as errors
+// in the former case rather than silently passing; the lock-order rule
+// treats nested acquisitions the same way when lockorder.conf is absent.
 struct AnalyzerContext {
   std::map<std::string, std::set<std::string>> allowed_deps;
   bool has_manifest = false;
+  LockOrderConfig lockorder;
 };
 
 // A domain-invariant check over one file's lexical model. Rules must be

@@ -1,5 +1,6 @@
 #include "analyze/source_model.h"
 
+#include <array>
 #include <cctype>
 
 namespace tklus::analyze {
@@ -29,6 +30,40 @@ bool ParseIncludeTarget(std::string_view text, size_t pos, int line,
   return true;
 }
 
+// An encoding prefix that may precede a string/char literal. `R` suffixes
+// (raw) are handled by the caller.
+bool IsLiteralPrefix(std::string_view ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+// Phase-1 preprocessing: backslash-newline splices are removed (the
+// spliced pieces become adjacent, exactly like translation phase 2), and
+// every surviving character remembers its original line. Lexing over the
+// spliced text makes line comments that end in `\` swallow their
+// continuation lines and keeps a spliced identifier one token — both
+// were mis-lexed before, which could hide or fabricate rule hits.
+void SpliceLines(std::string_view text, std::string* out,
+                 std::vector<int>* line_of) {
+  out->reserve(text.size());
+  line_of->reserve(text.size());
+  int line = 1;
+  for (size_t i = 0; i < text.size();) {
+    if (text[i] == '\\') {
+      size_t j = i + 1;
+      if (j < text.size() && text[j] == '\r') ++j;
+      if (j < text.size() && text[j] == '\n') {
+        ++line;
+        i = j + 1;
+        continue;
+      }
+    }
+    out->push_back(text[i]);
+    line_of->push_back(line);
+    if (text[i] == '\n') ++line;
+    ++i;
+  }
+}
+
 }  // namespace
 
 bool PathEndsWith(std::string_view path, std::string_view suffix) {
@@ -40,7 +75,7 @@ bool PathEndsWith(std::string_view path, std::string_view suffix) {
          path[path.size() - suffix.size() - 1] == '/';
 }
 
-SourceFile LexFile(std::string rel_path, std::string_view text) {
+SourceFile LexFile(std::string rel_path, std::string_view raw_text) {
   SourceFile file;
   file.path = std::move(rel_path);
   if (file.path.rfind("src/", 0) == 0) {
@@ -50,14 +85,55 @@ SourceFile LexFile(std::string rel_path, std::string_view text) {
     }
   }
 
-  int line = 1;
+  std::string text;
+  std::vector<int> line_of;
+  SpliceLines(raw_text, &text, &line_of);
+  const auto line_at = [&](size_t pos) {
+    return pos < line_of.size() ? line_of[pos] : (line_of.empty()
+                                                      ? 1
+                                                      : line_of.back());
+  };
+
   size_t i = 0;
   const size_t n = text.size();
   bool at_line_start = true;  // only whitespace seen since the last newline
+
+  // Consumes a string/char literal starting at the quote `q` (the
+  // optional encoding prefix began at `start`); returns one past the
+  // closing quote.
+  const auto lex_quoted = [&](size_t start, size_t q) {
+    const char quote = text[q];
+    size_t j = q + 1;
+    while (j < n && text[j] != quote) {
+      if (text[j] == '\\' && j + 1 < n) ++j;
+      ++j;
+    }
+    file.tokens.push_back(Token{
+        quote == '"' ? Token::Kind::kString : Token::Kind::kChar,
+        std::string(text.substr(start, j + 1 - start)), line_at(start)});
+    return j + 1;
+  };
+
+  // Consumes a raw string literal whose `"` sits at `q` (the prefix and
+  // `R` began at `start`); returns one past the closing delimiter. Raw
+  // strings collapse to a single `<raw-string>` token: their contents
+  // must never produce rule hits.
+  const auto lex_raw_string = [&](size_t start, size_t q) {
+    size_t j = q + 1;
+    std::string delim;
+    while (j < n && text[j] != '(') delim.push_back(text[j++]);
+    const std::string closer = ")" + delim + "\"";
+    const size_t end = text.find(closer, j);
+    const size_t stop =
+        end == std::string_view::npos ? n : end + closer.size();
+    file.tokens.push_back(
+        Token{Token::Kind::kString, "<raw-string>", line_at(start)});
+    return stop;
+  };
+
   while (i < n) {
     const char c = text[i];
     if (c == '\n') {
-      ++line;
       ++i;
       at_line_start = true;
       continue;
@@ -66,7 +142,8 @@ SourceFile LexFile(std::string rel_path, std::string_view text) {
       ++i;
       continue;
     }
-    // Line comment.
+    // Line comment (splices already resolved, so a trailing `\` has
+    // correctly pulled the next line into this comment).
     if (c == '/' && i + 1 < n && text[i + 1] == '/') {
       while (i < n && text[i] != '\n') ++i;
       continue;
@@ -74,10 +151,7 @@ SourceFile LexFile(std::string rel_path, std::string_view text) {
     // Block comment.
     if (c == '/' && i + 1 < n && text[i + 1] == '*') {
       i += 2;
-      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
-        if (text[i] == '\n') ++line;
-        ++i;
-      }
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) ++i;
       i = i + 2 <= n ? i + 2 : n;
       continue;
     }
@@ -88,49 +162,41 @@ SourceFile LexFile(std::string rel_path, std::string_view text) {
       size_t j = i + 1;
       while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
       if (text.compare(j, 7, "include") == 0) {
-        ParseIncludeTarget(text, j + 7, line, &file.includes);
+        ParseIncludeTarget(text, j + 7, line_at(i), &file.includes);
         while (i < n && text[i] != '\n') ++i;
         continue;
       }
     }
     at_line_start = false;
-    // Raw string literal (skipped wholesale; delimiters are rare enough
-    // that only the R"( ... )" form is recognized).
-    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
-      size_t j = i + 2;
-      std::string delim;
-      while (j < n && text[j] != '(') delim.push_back(text[j++]);
-      const std::string closer = ")" + delim + "\"";
-      const size_t end = text.find(closer, j);
-      const size_t stop = end == std::string_view::npos ? n : end + closer.size();
-      for (size_t k = i; k < stop; ++k) {
-        if (text[k] == '\n') ++line;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      const std::string_view ident(text.data() + i, j - i);
+      // Encoding-prefixed literals: u8R"(..)", LR"(..)", u"..", L'x' and
+      // the bare R"(..)" all start with what scans as an identifier.
+      if (j < n && text[j] == '"') {
+        if (ident == "R" || (ident.size() > 1 && ident.back() == 'R' &&
+                             IsLiteralPrefix(ident.substr(0, ident.size() - 1)))) {
+          i = lex_raw_string(i, j);
+          continue;
+        }
+        if (IsLiteralPrefix(ident)) {
+          i = lex_quoted(i, j);
+          continue;
+        }
       }
-      file.tokens.push_back(Token{Token::Kind::kString, "<raw-string>", line});
-      i = stop;
+      if (j < n && text[j] == '\'' && IsLiteralPrefix(ident)) {
+        i = lex_quoted(i, j);
+        continue;
+      }
+      file.tokens.push_back(
+          Token{Token::Kind::kIdent, std::string(ident), line_at(i)});
+      i = j;
       continue;
     }
     // String / char literal.
     if (c == '"' || c == '\'') {
-      const int start_line = line;
-      size_t j = i + 1;
-      while (j < n && text[j] != c) {
-        if (text[j] == '\\' && j + 1 < n) ++j;
-        if (text[j] == '\n') ++line;
-        ++j;
-      }
-      file.tokens.push_back(Token{
-          c == '"' ? Token::Kind::kString : Token::Kind::kChar,
-          std::string(text.substr(i, j + 1 - i)), start_line});
-      i = j + 1;
-      continue;
-    }
-    if (IsIdentStart(c)) {
-      size_t j = i + 1;
-      while (j < n && IsIdentChar(text[j])) ++j;
-      file.tokens.push_back(Token{Token::Kind::kIdent,
-                                  std::string(text.substr(i, j - i)), line});
-      i = j;
+      i = lex_quoted(i, i);
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
@@ -140,16 +206,177 @@ SourceFile LexFile(std::string rel_path, std::string_view text) {
         ++j;
       }
       file.tokens.push_back(Token{Token::Kind::kNumber,
-                                  std::string(text.substr(i, j - i)), line});
+                                  std::string(text.substr(i, j - i)),
+                                  line_at(i)});
       i = j;
       continue;
     }
     // Single-character punctuation; rules match multi-char operators as
     // token sequences (e.g. `::` is two `:` tokens).
-    file.tokens.push_back(Token{Token::Kind::kPunct, std::string(1, c), line});
+    file.tokens.push_back(
+        Token{Token::Kind::kPunct, std::string(1, c), line_at(i)});
     ++i;
   }
   return file;
+}
+
+namespace {
+
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+bool IsPunct(const Token& t, char c) {
+  return t.kind == Token::Kind::kPunct && t.text.size() == 1 && t.text[0] == c;
+}
+
+bool IsGuardType(const Token& t) {
+  return IsIdent(t, "MutexLock") || IsIdent(t, "ReaderMutexLock") ||
+         IsIdent(t, "WriterMutexLock");
+}
+
+// Best-effort name of the function whose body opens at `toks[open]`
+// (`open` indexes a `{`): walks left over the trailing specifiers and
+// parenthesized groups (argument list, TKLUS_* annotation macros, ctor
+// init lists), remembering the identifier chain before the leftmost
+// group — `Status TkLusEngine::AppendBatch(const Dataset&)
+// TKLUS_EXCLUDES(mu_) {` names `TkLusEngine::AppendBatch`. Cosmetic
+// only; diagnostics always carry file:line.
+std::string FunctionNameBefore(const std::vector<Token>& toks, size_t open) {
+  std::string name;
+  size_t i = open;
+  while (i-- > 0) {
+    const Token& t = toks[i];
+    if (IsPunct(t, ';') || IsPunct(t, '{') || IsPunct(t, '}')) break;
+    if (IsPunct(t, ')')) {
+      int depth = 1;
+      size_t j = i;
+      while (depth > 0) {
+        if (j == 0) return name;  // unbalanced; give up
+        --j;
+        if (IsPunct(toks[j], ')')) ++depth;
+        if (IsPunct(toks[j], '(')) --depth;
+      }
+      // `j` is at the matching `(`; the qualified name (if any) sits
+      // before it. Groups are visited right to left, so the leftmost
+      // group's name is assigned last and wins.
+      if (j > 0 && toks[j - 1].kind == Token::Kind::kIdent) {
+        size_t k = j - 1;
+        std::string candidate = toks[k].text;
+        while (k >= 3 && IsPunct(toks[k - 1], ':') &&
+               IsPunct(toks[k - 2], ':') &&
+               toks[k - 3].kind == Token::Kind::kIdent) {
+          candidate = toks[k - 3].text + "::" + candidate;
+          k -= 3;
+        }
+        name = candidate;
+      }
+      i = j;  // resume scanning left of the `(`
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+std::vector<FunctionLockModel> BuildLockModel(const SourceFile& file) {
+  const std::vector<Token>& toks = file.tokens;
+  std::vector<FunctionLockModel> functions;
+
+  // Brace frames, classified as in the status-discipline rule: a frame
+  // whose introducing statement contains a type or namespace keyword is
+  // a declaration body, anything else is an executable block. The
+  // outermost block frame is a function body.
+  struct Frame {
+    bool is_block;
+  };
+  std::vector<Frame> frames;
+  int open_blocks = 0;
+  FunctionLockModel* current = nullptr;
+
+  struct ActiveGuard {
+    HeldGuard guard;
+    size_t frame_count;  // frames.size() when declared; dies below that
+  };
+  std::vector<ActiveGuard> held;
+
+  const auto held_snapshot = [&] {
+    std::vector<HeldGuard> out;
+    out.reserve(held.size());
+    for (const ActiveGuard& g : held) out.push_back(g.guard);
+    return out;
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (IsPunct(t, '{')) {
+      bool is_block = true;
+      for (size_t j = i; j-- > 0;) {
+        if (IsPunct(toks[j], ';') || IsPunct(toks[j], '{') ||
+            IsPunct(toks[j], '}')) {
+          break;
+        }
+        if (IsIdent(toks[j], "class") || IsIdent(toks[j], "struct") ||
+            IsIdent(toks[j], "union") || IsIdent(toks[j], "enum") ||
+            IsIdent(toks[j], "namespace")) {
+          is_block = false;
+          break;
+        }
+      }
+      if (is_block && open_blocks == 0) {
+        functions.push_back(
+            FunctionLockModel{FunctionNameBefore(toks, i), t.line, {}, {}});
+        current = &functions.back();
+      }
+      frames.push_back(Frame{is_block});
+      if (is_block) ++open_blocks;
+      continue;
+    }
+    if (IsPunct(t, '}')) {
+      if (!frames.empty()) {
+        if (frames.back().is_block) --open_blocks;
+        frames.pop_back();
+        while (!held.empty() && held.back().frame_count > frames.size()) {
+          held.pop_back();
+        }
+        if (open_blocks == 0) current = nullptr;
+      }
+      continue;
+    }
+    if (current == nullptr) continue;
+
+    // Guard declaration: `MutexLock name(&... member ...);`. The bare
+    // class name in a declaration (`MutexLock(Mutex*)`) has no variable
+    // identifier before the `(` and never matches.
+    if (IsGuardType(t) && i + 2 < toks.size() &&
+        toks[i + 1].kind == Token::Kind::kIdent && IsPunct(toks[i + 2], '(')) {
+      int depth = 1;
+      size_t j = i + 3;
+      std::string member;
+      for (; j < toks.size() && depth > 0; ++j) {
+        if (IsPunct(toks[j], '(')) ++depth;
+        if (IsPunct(toks[j], ')')) --depth;
+        if (depth > 0 && toks[j].kind == Token::Kind::kIdent) {
+          member = toks[j].text;
+        }
+      }
+      if (!member.empty()) {
+        HeldGuard guard{member, t.text, !IsIdent(t, "ReaderMutexLock"),
+                        t.line};
+        current->acquisitions.push_back(GuardAcquire{guard, held_snapshot()});
+        held.push_back(ActiveGuard{std::move(guard), frames.size()});
+      }
+      i = j - 1;  // continue after the closing `)`
+      continue;
+    }
+
+    // Call under at least one guard: `ident(` — the callee is the final
+    // identifier of the chain, so member calls record the method name.
+    if (!held.empty() && t.kind == Token::Kind::kIdent &&
+        i + 1 < toks.size() && IsPunct(toks[i + 1], '(')) {
+      current->calls.push_back(GuardedCall{t.text, t.line, held_snapshot()});
+    }
+  }
+  return functions;
 }
 
 }  // namespace tklus::analyze

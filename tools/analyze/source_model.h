@@ -25,17 +25,67 @@ struct IncludeDirective {
   int line;
 };
 
+// One RAII lock guard (`MutexLock` / `ReaderMutexLock` /
+// `WriterMutexLock`) as seen by the statement model: the guarded member
+// is the last identifier of the constructor argument, so
+// `MutexLock lock(&append_mu_)` and `WriterMutexLock l(&engine->mu_)`
+// resolve to `append_mu_` and `mu_`.
+struct HeldGuard {
+  std::string member;
+  std::string guard_type;  // the RAII class name as written
+  bool exclusive;          // false only for ReaderMutexLock
+  int line;
+};
+
+// One guard acquisition together with the guards already held (in
+// acquisition order, outermost first) at that statement.
+struct GuardAcquire {
+  HeldGuard guard;
+  std::vector<HeldGuard> held;
+};
+
+// One call made while at least one guard is in scope. `callee` is the
+// final identifier of the call chain (`wal_->Append(..)` -> `Append`).
+struct GuardedCall {
+  std::string callee;
+  int line;
+  std::vector<HeldGuard> held;
+};
+
+// The flow-aware view of one function: every guard acquisition with its
+// in-scope predecessors, and every call made under a guard. Guard
+// lifetimes follow brace scopes (RAII), so a guard declared inside a
+// nested block stops being "held" at the block's closing brace. The
+// model is intraprocedural: a lock held by a caller is invisible here.
+struct FunctionLockModel {
+  std::string name;  // best-effort qualified name; may be empty
+  int line;
+  std::vector<GuardAcquire> acquisitions;
+  std::vector<GuardedCall> calls;
+};
+
 // The lexical model of one file that rules run against.
 struct SourceFile {
   std::string path;    // forward-slash path relative to the scan root
   std::string module;  // "storage" for src/storage/...; "" outside src/
   std::vector<Token> tokens;
   std::vector<IncludeDirective> includes;
+  // Statement model, filled by the analyzer after lexing (rules read it;
+  // unit tests may call BuildLockModel directly).
+  std::vector<FunctionLockModel> functions;
 };
 
 // Lexes `text` into the model. `rel_path` must already be normalized to
-// forward slashes and relative to the scan root.
+// forward slashes and relative to the scan root. Backslash-newline
+// splices are resolved first (a spliced identifier is one token and a
+// line comment ending in `\` swallows its continuation, exactly like the
+// preprocessor), and raw string literals — including the u8R/uR/UR/LR
+// encoding-prefixed forms and d-char delimiters — collapse to a single
+// `<raw-string>` token.
 SourceFile LexFile(std::string rel_path, std::string_view text);
+
+// Builds the function-scope statement model over a lexed file.
+std::vector<FunctionLockModel> BuildLockModel(const SourceFile& file);
 
 // True if `path` ends with the path suffix `suffix` on a component
 // boundary (so "storage/buffer_pool.h" matches "src/storage/buffer_pool.h"
