@@ -29,8 +29,9 @@ if [ -z "$bin" ] || [ ! -x "$bin" ]; then
   echo "lint: building $bin"
   if ! g++ -std=c++20 -O2 -Wall -Wextra -pthread -I src -I tools \
        tools/analyze/main.cc tools/analyze/analyzer.cc \
-       tools/analyze/output.cc tools/analyze/rules.cc \
-       tools/analyze/source_model.cc \
+       tools/analyze/callgraph.cc tools/analyze/output.cc \
+       tools/analyze/rules.cc tools/analyze/source_model.cc \
+       tools/analyze/summaries.cc \
        src/common/status.cc -o "$bin"; then
     echo "lint: failed to build tklus_analyze" >&2
     exit 2

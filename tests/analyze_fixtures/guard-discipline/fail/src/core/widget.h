@@ -1,0 +1,15 @@
+// Fixture: `value_` is declared TKLUS_GUARDED_BY(mu_), but Get reads it
+// with no lock held, no TKLUS_REQUIRES annotation, and no caller that
+// could vouch for the lock — the core unguarded-access finding.
+namespace tklus {
+
+class Widget {
+ public:
+  int Get() const { return value_; }  // must fire: mu_ not held
+
+ private:
+  Mutex mu_;
+  int value_ TKLUS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tklus

@@ -1,0 +1,23 @@
+// Fixture: the three sanctioned ways to touch a GUARDED_BY member — a
+// guard the function opens itself, a TKLUS_REQUIRES annotation, and the
+// entry-held propagation (Helper is private and every same-class caller
+// demonstrably holds mu_ at the call site).
+namespace tklus {
+
+class Widget {
+ public:
+  int Get() {
+    MutexLock lock(&mu_);
+    return Helper();  // Helper inherits mu_ from this call site
+  }
+
+  int GetLocked() TKLUS_REQUIRES(mu_) { return value_; }
+
+ private:
+  int Helper() { return value_ + 1; }  // ok: proven held on entry
+
+  Mutex mu_;
+  int value_ TKLUS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tklus

@@ -1,0 +1,16 @@
+// Fixture: Leaf is one call away from the declared hot root
+// Engine::Score and constructs a std::string — reachable impurity the
+// per-function view cannot see.
+namespace tklus {
+
+double Leaf(int n) {
+  std::string label = std::to_string(n);  // must fire: string on hot path
+  return label.size() > 1 ? 1.0 : 0.0;
+}
+
+class Engine {
+ public:
+  double Score(int n) { return Leaf(n); }
+};
+
+}  // namespace tklus

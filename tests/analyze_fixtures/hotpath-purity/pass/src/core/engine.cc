@@ -1,0 +1,12 @@
+// Fixture: the same call shape as the fail tree, but the reachable
+// helper is pure arithmetic — nothing for hotpath-purity to flag.
+namespace tklus {
+
+double Leaf(int n) { return n > 0 ? 1.0 / n : 0.0; }
+
+class Engine {
+ public:
+  double Score(int n) { return Leaf(n); }
+};
+
+}  // namespace tklus

@@ -1,0 +1,21 @@
+// Fixture: each function is locally clean — Outer opens one guard,
+// Inner opens one guard — but the call chain acquires a_mu_ while b_mu_
+// is held, inverting the declared order (a_mu_ -> b_mu_). Only the
+// interprocedural rule can see it; `lock-order` alone stays silent.
+namespace tklus {
+
+class Engine {
+ public:
+  void Inner() { MutexLock lock(&a_mu_); }
+
+  void Outer() {
+    MutexLock lock(&b_mu_);
+    Inner();  // must fire: holding b_mu_, callee chain takes a_mu_
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+};
+
+}  // namespace tklus

@@ -1,0 +1,19 @@
+// Fixture: the same call shape as the fail tree, but the chain follows
+// the declared order — a_mu_ held, callee acquires b_mu_.
+namespace tklus {
+
+class Engine {
+ public:
+  void Inner() { MutexLock lock(&b_mu_); }
+
+  void Outer() {
+    MutexLock lock(&a_mu_);
+    Inner();  // ok: a_mu_ -> b_mu_ is the declared order
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+};
+
+}  // namespace tklus

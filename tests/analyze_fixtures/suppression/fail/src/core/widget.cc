@@ -1,0 +1,18 @@
+// Fixture: every malformed suppression shape — bare, reasonless, and
+// naming an unknown rule. Each is its own finding; an unexplained or
+// unaddressed suppression is how analyzer debt becomes invisible.
+namespace tklus {
+
+int Answer() {
+  return 42;  // NOLINT
+}
+
+int Bare() {
+  return 1;  // NOLINT(tklus-naked-mutex)
+}
+
+int Unknown() {
+  return 2;  // NOLINT(tklus-no-such-rule): the rule name is wrong
+}
+
+}  // namespace tklus

@@ -1,0 +1,9 @@
+// Fixture: a well-formed suppression actually silencing a live finding
+// (naked-mutex fires on the annotated line when the marker is removed).
+// The pass tree must come out completely clean: the finding is
+// suppressed and the suppression is not stale.
+namespace tklus {
+
+std::mutex legacy_mu;  // NOLINT(tklus-naked-mutex): fixture exercising a sanctioned suppression
+
+}  // namespace tklus

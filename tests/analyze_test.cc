@@ -1,21 +1,27 @@
-// Unit tests for the tklus_analyze internals grown in DESIGN.md §13: the
-// splice/raw-string-aware lexer, the flow-aware lock model, the
-// lock-order manifest loader, the two lock rules, and the JSON/SARIF
+// Unit tests for the tklus_analyze internals grown in DESIGN.md §13-14:
+// the splice/raw-string-aware lexer, the flow-aware lock model, the
+// manifest loaders, the cross-TU program model (call resolution, summary
+// fixpoint, entry-held propagation, hot-path reachability), the lock and
+// interprocedural rules, NOLINT suppression handling, and the JSON/SARIF
 // emitters. The end-to-end gates (clean tree, fixture selftest) live in
 // ctest's analyze_clean_tree / analyze_selftest; these tests pin the
 // pieces those gates are built from.
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "analyze/analyzer.h"
+#include "analyze/callgraph.h"
 #include "analyze/output.h"
 #include "analyze/rules.h"
 #include "analyze/source_model.h"
+#include "analyze/summaries.h"
 
 namespace tklus::analyze {
 namespace {
@@ -363,6 +369,556 @@ TEST(Output, SarifCarriesCatalogAndResults) {
   EXPECT_NE(sarif.find("src/core/engine.cc"), std::string::npos);
 }
 
+// --------------------------------------------------------- lexer regressions
+
+TEST(LexerNumber, DigitSeparatorsStayOneToken) {
+  const SourceFile f =
+      LexFile("src/core/x.cc", "int n = 1'000'000;\nint tail = 0;\n");
+  bool found = false;
+  for (const Token& t : f.tokens) {
+    if (t.kind == Token::Kind::kNumber && t.text == "1'000'000") found = true;
+    // The separator must never be mis-lexed as a char literal opening.
+    EXPECT_NE(t.kind, Token::Kind::kChar);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(HasIdent(f, "tail"));
+}
+
+TEST(LexerNumber, SeparatorDoesNotSwallowRealCharLiteral) {
+  // `f(1,'a')`: the 1 and the 'a' are distinct tokens — the quote is not
+  // flanked by digit characters on both sides, so it is a char literal.
+  const SourceFile f = LexFile("src/core/x.cc", "int y = f(1,'a');\n");
+  bool has_char = false;
+  for (const Token& t : f.tokens) {
+    if (t.kind == Token::Kind::kChar) has_char = true;
+  }
+  EXPECT_TRUE(has_char);
+}
+
+TEST(LexerNumber, ExponentSignsStayAttached) {
+  const SourceFile f = LexFile(
+      "src/core/x.cc", "double a = 1e+5;\ndouble b = 0x1.8p-3;\n");
+  bool dec = false, hex = false;
+  for (const Token& t : f.tokens) {
+    if (t.kind != Token::Kind::kNumber) continue;
+    if (t.text == "1e+5") dec = true;
+    if (t.text == "0x1.8p-3") hex = true;
+  }
+  EXPECT_TRUE(dec);
+  EXPECT_TRUE(hex);
+}
+
+TEST(LexerUdl, OperatorDefinitionNamesTheSuffix) {
+  SourceFile f = LexFile(
+      "src/core/units.cc",
+      "constexpr unsigned long long operator\"\" _kb(unsigned long long v) "
+      "{\n  return v * 1024;\n}\n");
+  BuildFileModel(&f);
+  ASSERT_EQ(f.functions.size(), 1u);
+  EXPECT_EQ(f.functions[0].name, "operator\"\"_kb");
+  // The definition header must not be mistaken for a call to `_kb`.
+  for (const FunctionLockModel& fn : f.functions) {
+    for (const CallSite& cs : fn.call_sites) {
+      EXPECT_NE(cs.callee, "_kb");
+    }
+  }
+}
+
+TEST(LexerSuppression, CapturesEveryShape) {
+  const SourceFile f = LexFile(
+      "src/core/x.cc",
+      "int a = 1;  // NOLINT\n"
+      "int b = 2;  // NOLINT(tklus-naked-mutex)\n"
+      "int c = 3;  // NOLINT(tklus-lock-order): reviewed in PR 7\n");
+  ASSERT_EQ(f.suppressions.size(), 3u);
+  EXPECT_EQ(f.suppressions[0].line, 1);
+  EXPECT_FALSE(f.suppressions[0].has_rule);
+  EXPECT_EQ(f.suppressions[1].line, 2);
+  EXPECT_TRUE(f.suppressions[1].has_rule);
+  EXPECT_EQ(f.suppressions[1].rule, "naked-mutex");
+  EXPECT_FALSE(f.suppressions[1].has_reason);
+  EXPECT_EQ(f.suppressions[2].line, 3);
+  EXPECT_TRUE(f.suppressions[2].has_rule);
+  EXPECT_EQ(f.suppressions[2].rule, "lock-order");
+  EXPECT_TRUE(f.suppressions[2].has_reason);
+}
+
+// ----------------------------------------------------- file model extraction
+
+SourceFile ModelFile(const std::string& path, const std::string& code) {
+  SourceFile f = LexFile(path, code);
+  BuildFileModel(&f);
+  return f;
+}
+
+TEST(FileModel, CallSiteFormsAndLambdaFlag) {
+  const SourceFile f = ModelFile(
+      "src/core/engine.cc",
+      "class Engine {\n"
+      " public:\n"
+      "  void Run() {\n"
+      "    Helper();\n"
+      "    this->Tick();\n"
+      "    other_->Poke();\n"
+      "    Util::Mix();\n"
+      "    worker_ = std::thread([this] { Deferred(); });\n"
+      "  }\n"
+      "};\n");
+  ASSERT_EQ(f.functions.size(), 1u);
+  const FunctionLockModel& fn = f.functions[0];
+  auto find = [&](const std::string& callee) -> const CallSite* {
+    for (const CallSite& cs : fn.call_sites) {
+      if (cs.callee == callee) return &cs;
+    }
+    return nullptr;
+  };
+  const CallSite* helper = find("Helper");
+  ASSERT_NE(helper, nullptr);
+  EXPECT_EQ(helper->form, CallSite::Form::kUnqualified);
+  EXPECT_FALSE(helper->in_lambda);
+  const CallSite* tick = find("Tick");
+  ASSERT_NE(tick, nullptr);
+  EXPECT_EQ(tick->form, CallSite::Form::kThis);
+  const CallSite* poke = find("Poke");
+  ASSERT_NE(poke, nullptr);
+  EXPECT_EQ(poke->form, CallSite::Form::kMember);
+  const CallSite* mix = find("Mix");
+  ASSERT_NE(mix, nullptr);
+  EXPECT_EQ(mix->form, CallSite::Form::kQualified);
+  EXPECT_EQ(mix->qualifier, "Util");
+  const CallSite* deferred = find("Deferred");
+  ASSERT_NE(deferred, nullptr);
+  EXPECT_TRUE(deferred->in_lambda);
+}
+
+TEST(FileModel, EffectSitesAndGuardedAccesses) {
+  const SourceFile f = ModelFile(
+      "src/core/engine.cc",
+      "class Engine {\n"
+      " public:\n"
+      "  void Touch() {\n"
+      "    auto p = std::make_unique<int>(7);\n"
+      "    std::string label = std::to_string(3);\n"
+      "    MutexLock lock(&mu_);\n"
+      "    count_ = 1;\n"
+      "  }\n"
+      "};\n");
+  ASSERT_EQ(f.functions.size(), 1u);
+  const FunctionLockModel& fn = f.functions[0];
+  bool alloc = false, str = false;
+  for (const EffectSite& e : fn.effects) {
+    if (e.kind == EffectSite::Kind::kAlloc && e.what == "make_unique") {
+      alloc = true;
+    }
+    if (e.kind == EffectSite::Kind::kString) str = true;
+  }
+  EXPECT_TRUE(alloc);
+  EXPECT_TRUE(str);
+  const MemberAccess* count = nullptr;
+  for (const MemberAccess& a : fn.accesses) {
+    if (a.member == "count_") count = &a;
+  }
+  ASSERT_NE(count, nullptr);
+  ASSERT_EQ(count->held.size(), 1u);
+  EXPECT_EQ(count->held[0].member, "mu_");
+}
+
+TEST(FileModel, CollectsFieldAndMethodAnnotations) {
+  const SourceFile f = ModelFile(
+      "src/core/widget.h",
+      "class Widget {\n"
+      " public:\n"
+      "  int GetLocked() const TKLUS_REQUIRES(mu_);\n"
+      "  void Detach() TKLUS_NO_THREAD_SAFETY_ANALYSIS;\n"
+      "\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int value_ TKLUS_GUARDED_BY(mu_) = 0;\n"
+      "};\n");
+  ASSERT_EQ(f.guarded_fields.size(), 1u);
+  EXPECT_EQ(f.guarded_fields[0].class_name, "Widget");
+  EXPECT_EQ(f.guarded_fields[0].field, "value_");
+  EXPECT_EQ(f.guarded_fields[0].mutex, "mu_");
+  const MethodAnnotation* get = nullptr;
+  const MethodAnnotation* detach = nullptr;
+  for (const MethodAnnotation& m : f.method_annotations) {
+    if (m.method == "GetLocked") get = &m;
+    if (m.method == "Detach") detach = &m;
+  }
+  ASSERT_NE(get, nullptr);
+  EXPECT_EQ(get->class_name, "Widget");
+  EXPECT_EQ(get->requires_locks.count("mu_"), 1u);
+  ASSERT_NE(detach, nullptr);
+  EXPECT_TRUE(detach->no_thread_safety);
+}
+
+// ------------------------------------------------------------- program model
+
+// Lexes+models each (path, code) pair and builds the cross-TU program
+// model with summaries, the way RunAnalysis's sequential phase does.
+struct Program {
+  std::vector<SourceFile> files;
+  ProgramModel model;
+};
+
+Program BuildProgram(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  Program p;
+  for (const auto& [path, code] : sources) {
+    p.files.push_back(ModelFile(path, code));
+  }
+  p.model.Build(p.files);
+  ComputeSummaries(&p.model);
+  return p;
+}
+
+const ProgramFunction* FindFn(const ProgramModel& m,
+                              const std::string& qualified) {
+  const auto it = m.by_qualified.find(qualified);
+  if (it == m.by_qualified.end() || it->second.size() != 1) return nullptr;
+  return &m.functions[it->second[0]];
+}
+
+TEST(ProgramModel, SummariesPropagateAcrossFiles) {
+  const Program p = BuildProgram(
+      {{"src/core/a.cc",
+        "void Outer() {\n"
+        "  MutexLock a(&a_mu_);\n"
+        "  Inner();\n"
+        "}\n"},
+       {"src/core/b.cc",
+        "void Inner() {\n"
+        "  MutexLock b(&b_mu_);\n"
+        "}\n"}});
+  const ProgramFunction* outer = FindFn(p.model, "Outer");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_EQ(outer->callees.size(), 1u);
+  EXPECT_EQ(p.model.functions[outer->callees[0].callee].qualified, "Inner");
+  ASSERT_EQ(outer->callees[0].held.size(), 1u);
+  EXPECT_EQ(outer->callees[0].held[0], "a_mu_");
+  // Outer's summary holds its own acquire plus Inner's, with a witness
+  // chain that starts at Outer and ends at the acquiring function.
+  bool own = false;
+  const TransitiveAcquire* via_inner = nullptr;
+  for (const TransitiveAcquire& acq : outer->summary.acquires) {
+    if (acq.lock == "a_mu_") own = true;
+    if (acq.lock == "b_mu_") via_inner = &acq;
+  }
+  EXPECT_TRUE(own);
+  ASSERT_NE(via_inner, nullptr);
+  EXPECT_EQ(via_inner->site_path, "src/core/b.cc");
+  ASSERT_GE(via_inner->path.size(), 2u);
+  EXPECT_EQ(via_inner->path.front(), "Outer");
+  EXPECT_EQ(via_inner->path.back(), "Inner");
+}
+
+TEST(ProgramModel, RecursiveCycleReachesFixpoint) {
+  const Program p = BuildProgram(
+      {{"src/core/a.cc",
+        "void Ping() {\n  Pong();\n}\n"
+        "void Pong() {\n"
+        "  MutexLock m(&cycle_mu_);\n"
+        "  Ping();\n"
+        "}\n"}});
+  const ProgramFunction* ping = FindFn(p.model, "Ping");
+  const ProgramFunction* pong = FindFn(p.model, "Pong");
+  ASSERT_NE(ping, nullptr);
+  ASSERT_NE(pong, nullptr);
+  // Both members of the cycle end up knowing about the acquire; the
+  // fixpoint must terminate despite the loop.
+  auto has = [](const ProgramFunction* fn, const std::string& lock) {
+    for (const TransitiveAcquire& acq : fn->summary.acquires) {
+      if (acq.lock == lock) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(ping, "cycle_mu_"));
+  EXPECT_TRUE(has(pong, "cycle_mu_"));
+}
+
+TEST(ProgramModel, LambdaCallSitesProduceNoEdges) {
+  // A thread-entry call inside a lambda must not become a synchronous
+  // call edge: the spawner never executes MergeLoop's acquisitions.
+  const Program p = BuildProgram(
+      {{"src/core/a.cc",
+        "class Engine {\n"
+        " public:\n"
+        "  void Start() {\n"
+        "    MutexLock m(&mu_);\n"
+        "    worker_ = std::thread([this] { MergeLoop(); });\n"
+        "  }\n"
+        "  void MergeLoop() {\n"
+        "    MutexLock m(&mu_);\n"
+        "  }\n"
+        "};\n"}});
+  const ProgramFunction* start = FindFn(p.model, "Engine::Start");
+  ASSERT_NE(start, nullptr);
+  EXPECT_TRUE(start->callees.empty());
+  for (const TransitiveAcquire& acq : start->summary.acquires) {
+    EXPECT_EQ(acq.site_line, 4) << "summary leaked MergeLoop's acquire";
+  }
+}
+
+TEST(ProgramModel, EntryHeldPropagatesFromCallers) {
+  const Program p = BuildProgram(
+      {{"src/core/widget.h",
+        "class Widget {\n"
+        " public:\n"
+        "  int Get() {\n"
+        "    MutexLock lock(&mu_);\n"
+        "    return Helper();\n"
+        "  }\n"
+        "  int Put() {\n"
+        "    MutexLock lock(&mu_);\n"
+        "    return Helper();\n"
+        "  }\n"
+        " private:\n"
+        "  int Helper() { return 1; }\n"
+        "  Mutex mu_;\n"
+        "};\n"}});
+  const ProgramFunction* helper = FindFn(p.model, "Widget::Helper");
+  ASSERT_NE(helper, nullptr);
+  EXPECT_FALSE(helper->entry_held_universal);
+  EXPECT_EQ(helper->entry_held.count("mu_"), 1u)
+      << "every same-class caller holds mu_ at the call site";
+  // The public entry points themselves have no same-class callers, so
+  // nothing is known about their entry state.
+  const ProgramFunction* get = FindFn(p.model, "Widget::Get");
+  ASSERT_NE(get, nullptr);
+  EXPECT_TRUE(get->entry_held.empty());
+}
+
+TEST(ProgramModel, MemberCallsResolveOnlyWhenUnique) {
+  // Two functions named Refresh: a receiver-qualified call must not
+  // guess between them, so no edge is created.
+  const Program p = BuildProgram(
+      {{"src/core/a.cc",
+        "class A { public: void Refresh() { MutexLock m(&a_mu_); } };\n"},
+       {"src/core/b.cc",
+        "class B { public: void Refresh() { MutexLock m(&b_mu_); } };\n"},
+       {"src/core/c.cc",
+        "void Drive(A* a) {\n  a->Refresh();\n}\n"}});
+  const ProgramFunction* drive = FindFn(p.model, "Drive");
+  ASSERT_NE(drive, nullptr);
+  EXPECT_TRUE(drive->callees.empty());
+}
+
+// -------------------------------------------------- interprocedural rules
+
+AnalyzerContext IpaContext(const Program& p) {
+  AnalyzerContext ctx = EngineLockContext();
+  ctx.program = &p.model;
+  return ctx;
+}
+
+TEST(LockOrderIpaRule, FlagsCrossFunctionInversion) {
+  const Program p = BuildProgram(
+      {{"src/core/a.cc",
+        "void Outer() {\n"
+        "  MutexLock m(&merge_mu_);\n"
+        "  Inner();\n"
+        "}\n"},
+       {"src/core/b.cc",
+        "void Inner() {\n"
+        "  MutexLock a(&append_mu_);\n"
+        "}\n"}});
+  const std::vector<Diagnostic> diags =
+      RunRule("lock-order-ipa", p.files[0], IpaContext(p));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);  // the call site
+  EXPECT_NE(diags[0].message.find("interprocedural lock-order inversion"),
+            std::string::npos);
+  EXPECT_NE(diags[0].message.find("src/core/b.cc:2"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("via"), std::string::npos);
+  // The callee's own file is locally clean — nothing to report there.
+  EXPECT_TRUE(RunRule("lock-order-ipa", p.files[1], IpaContext(p)).empty());
+}
+
+TEST(LockOrderIpaRule, FlagsRecursiveAcquisitionThroughCalls) {
+  const Program p = BuildProgram(
+      {{"src/core/a.cc",
+        "void Outer() {\n"
+        "  WriterMutexLock w(&mu_);\n"
+        "  Inner();\n"
+        "}\n"
+        "void Inner() {\n"
+        "  ReaderMutexLock r(&mu_);\n"
+        "}\n"}});
+  const std::vector<Diagnostic> diags =
+      RunRule("lock-order-ipa", p.files[0], IpaContext(p));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("recursive acquisition through calls"),
+            std::string::npos);
+}
+
+TEST(LockOrderIpaRule, AcceptsDeclaredChainAcrossCalls) {
+  const Program p = BuildProgram(
+      {{"src/core/a.cc",
+        "void Outer() {\n"
+        "  MutexLock a(&append_mu_);\n"
+        "  Inner();\n"
+        "}\n"},
+       {"src/core/b.cc",
+        "void Inner() {\n"
+        "  MutexLock m(&merge_mu_);\n"
+        "}\n"}});
+  EXPECT_TRUE(RunRule("lock-order-ipa", p.files[0], IpaContext(p)).empty());
+}
+
+TEST(GuardDisciplineRule, FlagsUnguardedAccess) {
+  const Program p = BuildProgram(
+      {{"src/core/widget.h",
+        "class Widget {\n"
+        " public:\n"
+        "  int Get() const { return value_; }\n"
+        " private:\n"
+        "  Mutex mu_;\n"
+        "  int value_ TKLUS_GUARDED_BY(mu_) = 0;\n"
+        "};\n"}});
+  AnalyzerContext ctx;
+  ctx.program = &p.model;
+  const std::vector<Diagnostic> diags =
+      RunRule("guard-discipline", p.files[0], ctx);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("TKLUS_GUARDED_BY(mu_)"),
+            std::string::npos);
+}
+
+TEST(GuardDisciplineRule, SanctionedAccessPatternsStayQuiet) {
+  // Direct guard, TKLUS_REQUIRES, and entry-held propagation — the same
+  // three shapes the pass fixture pins, exercised as a unit test.
+  const Program p = BuildProgram(
+      {{"src/core/widget.h",
+        "class Widget {\n"
+        " public:\n"
+        "  int Get() {\n"
+        "    MutexLock lock(&mu_);\n"
+        "    return Helper();\n"
+        "  }\n"
+        "  int GetLocked() TKLUS_REQUIRES(mu_) { return value_; }\n"
+        " private:\n"
+        "  int Helper() { return value_ + 1; }\n"
+        "  Mutex mu_;\n"
+        "  int value_ TKLUS_GUARDED_BY(mu_) = 0;\n"
+        "};\n"}});
+  AnalyzerContext ctx;
+  ctx.program = &p.model;
+  EXPECT_TRUE(RunRule("guard-discipline", p.files[0], ctx).empty());
+}
+
+TEST(HotPathPurityRule, FlagsReachableImpurityWithWitness) {
+  Program p = BuildProgram(
+      {{"src/core/score.cc",
+        "double Leaf(int n) {\n"
+        "  std::string label = std::to_string(n);\n"
+        "  ReadBlock(n);\n"
+        "  return 1.0;\n"
+        "}\n"
+        "class Engine {\n"
+        " public:\n"
+        "  double Score(int n) { return Leaf(n); }\n"
+        "};\n"}});
+  HotPathConfig cfg;
+  cfg.loaded = true;
+  cfg.roots = {"Engine::Score"};
+  cfg.banned = {"ReadBlock"};
+  ComputeHotPaths(cfg, &p.model);
+  AnalyzerContext ctx;
+  ctx.program = &p.model;
+  ctx.hotpath = cfg;
+  const std::vector<Diagnostic> diags =
+      RunRule("hotpath-purity", p.files[0], ctx);
+  // std::string construction + to_string + the banned ReadBlock call.
+  ASSERT_GE(diags.size(), 2u);
+  bool str = false, banned = false;
+  for (const Diagnostic& d : diags) {
+    if (d.message.find("string construction") != std::string::npos) {
+      str = true;
+    }
+    if (d.message.find("blocking call 'ReadBlock'") != std::string::npos) {
+      banned = true;
+    }
+    EXPECT_NE(d.message.find("Engine::Score -> Leaf"), std::string::npos);
+  }
+  EXPECT_TRUE(str);
+  EXPECT_TRUE(banned);
+}
+
+TEST(HotPathPurityRule, AllowListSkipsAuditedLeaf) {
+  Program p = BuildProgram(
+      {{"src/core/score.cc",
+        "double Leaf(int n) {\n"
+        "  std::string label = std::to_string(n);\n"
+        "  return 1.0;\n"
+        "}\n"
+        "class Engine {\n"
+        " public:\n"
+        "  double Score(int n) { return Leaf(n); }\n"
+        "};\n"}});
+  HotPathConfig cfg;
+  cfg.loaded = true;
+  cfg.roots = {"Engine::Score"};
+  cfg.allowed = {"Leaf"};
+  ComputeHotPaths(cfg, &p.model);
+  AnalyzerContext ctx;
+  ctx.program = &p.model;
+  ctx.hotpath = cfg;
+  EXPECT_TRUE(RunRule("hotpath-purity", p.files[0], ctx).empty());
+}
+
+TEST(SuppressionRule, FlagsEveryMalformedShape) {
+  const SourceFile f = LexFile(
+      "src/core/x.cc",
+      "int a = 1;  // NOLINT\n"
+      "int b = 2;  // NOLINT(tklus-naked-mutex)\n"
+      "int c = 3;  // NOLINT(tklus-no-such-rule): wrong name\n");
+  AnalyzerContext ctx;
+  ctx.rule_names = {"naked-mutex", "lock-order"};
+  const std::vector<Diagnostic> diags = RunRule("suppression", f, ctx);
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_NE(diags[0].message.find("bare NOLINT"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("no reason"), std::string::npos);
+  EXPECT_NE(diags[2].message.find("unknown rule"), std::string::npos);
+}
+
+// ------------------------------------------------------------ conf + stats
+
+TEST(HotPathConf, LoadsRootsBansAndAllows) {
+  const std::string path = WriteTempConf("hot.conf",
+                                         "# hot roots\n"
+                                         "root Engine::Score Popularity\n"
+                                         "ban fsync ReadBlock\n"
+                                         "allow FastHash\n");
+  Result<HotPathConfig> cfg = LoadHotPathConfig(path);
+  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+  EXPECT_TRUE(cfg->loaded);
+  ASSERT_EQ(cfg->roots.size(), 2u);
+  EXPECT_EQ(cfg->roots[0], "Engine::Score");
+  EXPECT_EQ(cfg->banned.count("ReadBlock"), 1u);
+  EXPECT_TRUE(cfg->IsAllowed("FastHash", "FastHash"));
+  EXPECT_TRUE(cfg->IsAllowed("Util::FastHash", "FastHash"));
+  EXPECT_FALSE(cfg->IsAllowed("Other", "Other"));
+}
+
+TEST(Stats, JsonCarriesPassAndRuleTimings) {
+  AnalyzerStats stats;
+  stats.lex_ms = 1.5;
+  stats.total_ms = 10.25;
+  stats.files = 3;
+  stats.functions = 7;
+  stats.call_edges = 9;
+  stats.rule_ms = {{"lock-order", 0.5}, {"guard-discipline", 0.25}};
+  const std::string json = StatsToJson(stats);
+  EXPECT_NE(json.find("\"total_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"passes\""), std::string::npos);
+  EXPECT_NE(json.find("\"lex_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"files\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"functions\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"call_edges\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"guard-discipline\""), std::string::npos);
+}
+
 // ------------------------------------------------------- parallel analysis
 
 TEST(RunAnalysis, DeterministicAcrossJobCounts) {
@@ -396,6 +952,157 @@ TEST(RunAnalysis, DeterministicAcrossJobCounts) {
     EXPECT_EQ(runs[0][i].message, runs[1][i].message);
   }
   fs::remove_all(root);
+}
+
+void WriteTree(const fs::path& root,
+               const std::vector<std::pair<std::string, std::string>>& files) {
+  for (const auto& [rel, body] : files) {
+    const fs::path path = root / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << body;
+  }
+}
+
+TEST(RunAnalysis, SuppressionFiltersFindingsAndReportsStale) {
+  const fs::path root = fs::path(testing::TempDir()) / "analyze_nolint_tree";
+  fs::remove_all(root);
+  WriteTree(
+      root,
+      {{"src/core/a.cc",
+        "std::mutex m;  // NOLINT(tklus-naked-mutex): unit-test sanctioned\n"},
+       {"src/core/b.cc",
+        "int x = 0;  // NOLINT(tklus-naked-mutex): nothing fires here\n"}});
+  AnalyzerOptions opts;
+  opts.root = root.string();
+  Result<std::vector<Diagnostic>> diags = RunAnalysis(opts);
+  ASSERT_TRUE(diags.ok()) << diags.status().ToString();
+  // a.cc's naked-mutex finding is silenced; b.cc's suppression silences
+  // nothing and is itself the only finding.
+  ASSERT_EQ(diags->size(), 1u);
+  EXPECT_EQ((*diags)[0].rule, "suppression");
+  EXPECT_EQ((*diags)[0].path, "src/core/b.cc");
+  EXPECT_NE((*diags)[0].message.find("stale suppression"),
+            std::string::npos);
+  fs::remove_all(root);
+}
+
+TEST(RunAnalysis, InterproceduralPassDeterministicAcrossJobCounts) {
+  // Cross-file lock chains, GUARDED_BY enforcement and hot-path
+  // reachability all flow through the shared sequential program model;
+  // the parallel rule phase around it must stay order-independent.
+  const fs::path root = fs::path(testing::TempDir()) / "analyze_ipa_tree";
+  fs::remove_all(root);
+  WriteTree(
+      root,
+      {{"lockorder.conf",
+        "lock a_mu_\nlock b_mu_\norder a_mu_ b_mu_\n"},
+       {"hotpath.conf", "root HotLoop\nban ReadBlock\n"},
+       {"src/core/inner.cc",
+        "void Inner() {\n"
+        "  MutexLock a(&a_mu_);\n"
+        "}\n"},
+       {"src/core/outer.cc",
+        "void Outer() {\n"
+        "  MutexLock b(&b_mu_);\n"
+        "  Inner();\n"
+        "}\n"},
+       {"src/core/hot.cc",
+        "void HotLoop(int n) {\n"
+        "  std::string s = std::to_string(n);\n"
+        "  ReadBlock(n);\n"
+        "}\n"},
+       {"src/core/widget.h",
+        "class Widget {\n"
+        " public:\n"
+        "  int Get() const { return value_; }\n"
+        " private:\n"
+        "  Mutex mu_;\n"
+        "  int value_ TKLUS_GUARDED_BY(mu_) = 0;\n"
+        "};\n"}});
+  std::vector<std::vector<Diagnostic>> runs;
+  for (const unsigned jobs : {1u, 4u}) {
+    AnalyzerOptions opts;
+    opts.root = root.string();
+    opts.jobs = jobs;
+    Result<std::vector<Diagnostic>> diags = RunAnalysis(opts);
+    ASSERT_TRUE(diags.ok()) << diags.status().ToString();
+    runs.push_back(*diags);
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i].path, runs[1][i].path);
+    EXPECT_EQ(runs[0][i].line, runs[1][i].line);
+    EXPECT_EQ(runs[0][i].rule, runs[1][i].rule);
+    EXPECT_EQ(runs[0][i].message, runs[1][i].message);
+  }
+  // Each interprocedural rule actually fired on this tree.
+  std::set<std::string> rules;
+  for (const Diagnostic& d : runs[0]) rules.insert(d.rule);
+  EXPECT_EQ(rules.count("lock-order-ipa"), 1u);
+  EXPECT_EQ(rules.count("guard-discipline"), 1u);
+  EXPECT_EQ(rules.count("hotpath-purity"), 1u);
+  fs::remove_all(root);
+}
+
+TEST(RunAnalysis, PopulatesStats) {
+  const fs::path root = fs::path(testing::TempDir()) / "analyze_stats_tree";
+  fs::remove_all(root);
+  WriteTree(root, {{"src/core/a.cc", "void F() {\n  G();\n}\n"},
+                   {"src/core/b.cc", "void G() {\n}\n"}});
+  AnalyzerOptions opts;
+  opts.root = root.string();
+  AnalyzerStats stats;
+  Result<std::vector<Diagnostic>> diags = RunAnalysis(opts, &stats);
+  ASSERT_TRUE(diags.ok()) << diags.status().ToString();
+  EXPECT_EQ(stats.files, 2u);
+  EXPECT_EQ(stats.functions, 2u);
+  EXPECT_EQ(stats.call_edges, 1u);
+  EXPECT_GE(stats.total_ms, 0.0);
+  EXPECT_EQ(stats.rule_ms.size(), BuildRuleSet().size());
+  const std::string json = StatsToJson(stats);
+  EXPECT_NE(json.find("\"files\": 2"), std::string::npos);
+  fs::remove_all(root);
+}
+
+// ------------------------------------------------------------ SARIF golden
+
+// Snapshot of the full SARIF envelope: the registered rule catalog plus
+// a fixed diagnostic from each interprocedural rule. Adding or renaming
+// a rule intentionally changes this — regenerate with
+// `TKLUS_REGEN_GOLDEN=1 ./analyze_test` and review the diff.
+TEST(Output, SarifGoldenSnapshot) {
+  std::vector<RuleInfo> catalog;
+  for (const auto& rule : BuildRuleSet()) {
+    catalog.push_back(
+        {std::string(rule->name()), std::string(rule->description())});
+  }
+  const std::vector<Diagnostic> diags = {
+      {"lock-order-ipa", "src/core/engine.cc", 42,
+       "interprocedural lock-order inversion: holding 'mu_' while the "
+       "callee chain acquires 'append_mu_'"},
+      {"guard-discipline", "src/core/widget.h", 8,
+       "access to 'value_' (TKLUS_GUARDED_BY(mu_) on Widget) without "
+       "holding 'mu_'"},
+      {"hotpath-purity", "src/core/score.cc", 7,
+       "string construction 'to_string' on a declared hot path"}};
+  const std::string sarif = DiagnosticsToSarif(diags, catalog);
+  const fs::path golden =
+      fs::path(TKLUS_ANALYZE_GOLDEN_DIR) / "analyze_catalog.sarif";
+  if (std::getenv("TKLUS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden);
+    out << sarif;
+    ASSERT_TRUE(out.good()) << "failed to write " << golden;
+    GTEST_SKIP() << "regenerated " << golden;
+  }
+  std::ifstream in(golden);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden
+                         << "; regenerate with TKLUS_REGEN_GOLDEN=1";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), sarif)
+      << "SARIF envelope changed; if intended, regenerate the golden "
+         "with TKLUS_REGEN_GOLDEN=1 and review the diff";
 }
 
 }  // namespace

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
+
+#include "analyze/callgraph.h"
+#include "analyze/summaries.h"
 
 namespace tklus::analyze {
 namespace fs = std::filesystem;
@@ -39,7 +44,63 @@ std::string RelPath(const fs::path& file, const fs::path& root) {
   return (ec ? file : rel).generic_string();
 }
 
+using SteadyClock = std::chrono::steady_clock;
+
+double MsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start)
+      .count();
+}
+
+std::string JsonNumber(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+// Runs `body(index)` for every index in [0, count) across `jobs`
+// worker threads (body must be safe to run concurrently for distinct
+// indexes). jobs <= 1 runs inline.
+template <typename Body>
+void ParallelFor(size_t count, unsigned jobs, const Body& body) {
+  if (jobs <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  const auto worker = [&] {
+    for (size_t i; (i = next.fetch_add(1)) < count;) body(i);
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
 }  // namespace
+
+std::string StatsToJson(const AnalyzerStats& stats) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"total_ms\": " << JsonNumber(stats.total_ms) << ",\n"
+      << "  \"files\": " << stats.files << ",\n"
+      << "  \"functions\": " << stats.functions << ",\n"
+      << "  \"call_edges\": " << stats.call_edges << ",\n"
+      << "  \"passes\": {\n"
+      << "    \"lex_ms\": " << JsonNumber(stats.lex_ms) << ",\n"
+      << "    \"model_ms\": " << JsonNumber(stats.model_ms) << ",\n"
+      << "    \"callgraph_ms\": " << JsonNumber(stats.callgraph_ms) << ",\n"
+      << "    \"fixpoint_ms\": " << JsonNumber(stats.fixpoint_ms) << ",\n"
+      << "    \"rules_ms\": " << JsonNumber(stats.rules_ms) << "\n"
+      << "  },\n"
+      << "  \"rules\": [\n";
+  for (size_t i = 0; i < stats.rule_ms.size(); ++i) {
+    out << "    {\"rule\": \"" << stats.rule_ms[i].first
+        << "\", \"ms\": " << JsonNumber(stats.rule_ms[i].second) << "}"
+        << (i + 1 < stats.rule_ms.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}";
+  return out.str();
+}
 
 Result<AnalyzerContext> LoadManifest(const std::string& path) {
   std::ifstream in(path);
@@ -157,7 +218,47 @@ Result<LockOrderConfig> LoadLockOrderConfig(const std::string& path) {
   return cfg;
 }
 
-Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options) {
+Result<HotPathConfig> LoadHotPathConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open hotpath manifest " + path);
+  HotPathConfig cfg;
+  cfg.loaded = true;
+  std::string line;
+  int lineno = 0;
+  const auto err = [&](const std::string& what) {
+    return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                   ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    std::istringstream rest(line);
+    std::string directive;
+    rest >> directive;
+    std::vector<std::string> args;
+    for (std::string arg; rest >> arg;) args.push_back(arg);
+    if (args.empty()) {
+      return err("expected '" + directive + " NAME...'");
+    }
+    if (directive == "root") {
+      cfg.roots.insert(cfg.roots.end(), args.begin(), args.end());
+    } else if (directive == "ban") {
+      cfg.banned.insert(args.begin(), args.end());
+    } else if (directive == "allow") {
+      cfg.allowed.insert(args.begin(), args.end());
+    } else {
+      return err("unknown directive '" + directive + "'");
+    }
+  }
+  return cfg;
+}
+
+Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options,
+                                            AnalyzerStats* stats) {
+  const auto run_start = SteadyClock::now();
   const fs::path root(options.root);
   if (!fs::exists(root)) {
     return Status::InvalidArgument("root does not exist: " + options.root);
@@ -195,6 +296,22 @@ Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options) {
     if (!loaded.ok()) return loaded.status();
     ctx.lockorder = std::move(*loaded);
   }
+  std::string hotpath = options.hotpath;
+  if (hotpath.empty()) {
+    for (const fs::path& candidate :
+         {root / "hotpath.conf",
+          root / "tools" / "analyze" / "hotpath.conf"}) {
+      if (fs::exists(candidate)) {
+        hotpath = candidate.string();
+        break;
+      }
+    }
+  }
+  if (!hotpath.empty()) {
+    Result<HotPathConfig> loaded = LoadHotPathConfig(hotpath);
+    if (!loaded.ok()) return loaded.status();
+    ctx.hotpath = std::move(*loaded);
+  }
 
   std::vector<std::string> paths = options.paths;
   if (paths.empty()) paths.push_back("src");
@@ -217,51 +334,139 @@ Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options) {
   }
   std::sort(files.begin(), files.end());
 
-  // Per-file analysis fans out over a small thread pool: rules are pure
-  // (no state across files), so each worker lexes + checks whole files
-  // independently and determinism comes from the final sort. Per-file
-  // results land in a pre-sized slot vector — no locking needed.
-  struct FileOutcome {
-    std::vector<Diagnostic> diags;
-    Status status = Status::Ok();
-  };
-  std::vector<FileOutcome> outcomes(files.size());
-  std::atomic<size_t> next{0};
-  const auto worker = [&] {
-    // Each worker owns a rule set: BuildRuleSet is cheap and per-worker
-    // instances remove any question of shared mutable rule state.
-    const std::vector<std::unique_ptr<Rule>> rules = BuildRuleSet();
-    for (size_t idx; (idx = next.fetch_add(1)) < files.size();) {
-      Result<std::string> text = ReadFile(files[idx]);
-      if (!text.ok()) {
-        outcomes[idx].status = text.status();
-        continue;
-      }
-      SourceFile model = LexFile(RelPath(files[idx], root), *text);
-      model.functions = BuildLockModel(model);
-      for (const auto& rule : rules) {
-        rule->Check(model, ctx, &outcomes[idx].diags);
-      }
-    }
-  };
   unsigned jobs = options.jobs;
   if (jobs == 0) {
     jobs = std::min(8u, std::max(1u, std::thread::hardware_concurrency()));
   }
   jobs = static_cast<unsigned>(
       std::min<size_t>(jobs, std::max<size_t>(files.size(), 1)));
-  if (jobs <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+
+  // The registered rule set, for suppression validation and stats
+  // labels; each phase-3 worker still builds its own instances.
+  const std::vector<std::unique_ptr<Rule>> registry = BuildRuleSet();
+  for (const auto& rule : registry) {
+    ctx.rule_names.insert(std::string(rule->name()));
+  }
+
+  // Phase 1a: parallel lex into pre-sized slots. Read failures park in
+  // per-file statuses, surfaced after the phase (keeps slot indexes
+  // aligned with `files`).
+  std::vector<SourceFile> models(files.size());
+  std::vector<Status> read_status(files.size(), Status::Ok());
+  auto phase_start = SteadyClock::now();
+  ParallelFor(files.size(), jobs, [&](size_t idx) {
+    Result<std::string> text = ReadFile(files[idx]);
+    if (!text.ok()) {
+      read_status[idx] = text.status();
+      return;
+    }
+    models[idx] = LexFile(RelPath(files[idx], root), *text);
+  });
+  for (const Status& st : read_status) {
+    if (!st.ok()) return st;
+  }
+  if (stats != nullptr) stats->lex_ms = MsSince(phase_start);
+
+  // Phase 1b: parallel per-file statement model.
+  phase_start = SteadyClock::now();
+  ParallelFor(models.size(), jobs,
+              [&](size_t idx) { BuildFileModel(&models[idx]); });
+  if (stats != nullptr) stats->model_ms = MsSince(phase_start);
+
+  // Phase 2 (sequential): the cross-TU program model, the summary
+  // fixpoint and hot-path reachability. Sequential by design — the
+  // interprocedural state must be identical for every jobs value.
+  phase_start = SteadyClock::now();
+  ProgramModel program;
+  program.Build(models);
+  if (stats != nullptr) stats->callgraph_ms = MsSince(phase_start);
+  phase_start = SteadyClock::now();
+  ComputeSummaries(&program);
+  ComputeHotPaths(ctx.hotpath, &program);
+  if (stats != nullptr) stats->fixpoint_ms = MsSince(phase_start);
+  ctx.program = &program;
+
+  // Phase 3: parallel rule phase. Each worker invocation handles one
+  // whole file: run every rule, then apply that file's NOLINT
+  // suppressions — dropping findings a well-formed suppression names and
+  // flagging well-formed suppressions that no longer silence anything.
+  struct FileOutcome {
+    std::vector<Diagnostic> diags;
+  };
+  std::vector<FileOutcome> outcomes(models.size());
+  std::vector<std::vector<double>> rule_times(
+      models.size(), std::vector<double>());
+  phase_start = SteadyClock::now();
+  const bool want_rule_times = stats != nullptr;
+  ParallelFor(models.size(), jobs, [&](size_t idx) {
+    thread_local std::vector<std::unique_ptr<Rule>> rules;
+    if (rules.empty()) rules = BuildRuleSet();
+    const SourceFile& model = models[idx];
+    std::vector<Diagnostic>& diags = outcomes[idx].diags;
+    if (want_rule_times) rule_times[idx].assign(rules.size(), 0.0);
+    for (size_t r = 0; r < rules.size(); ++r) {
+      const auto rule_start = SteadyClock::now();
+      rules[r]->Check(model, ctx, &diags);
+      if (want_rule_times) rule_times[idx][r] = MsSince(rule_start);
+    }
+    // Suppression application. A suppression participates only when
+    // well-formed (rule named, known, reason given) — malformed ones
+    // were just flagged by the suppression rule and must not silence
+    // anything. Suppression-rule findings themselves are not
+    // suppressible: silencing the suppression police with its own
+    // syntax would be a hole.
+    std::vector<const Suppression*> active;
+    for (const Suppression& s : model.suppressions) {
+      if (s.has_rule && s.has_reason && ctx.rule_names.count(s.rule) > 0 &&
+          s.rule != "suppression") {
+        active.push_back(&s);
+      }
+    }
+    if (active.empty()) return;
+    std::vector<char> used(active.size(), 0);
+    std::vector<Diagnostic> kept;
+    kept.reserve(diags.size());
+    for (Diagnostic& d : diags) {
+      bool drop = false;
+      if (d.rule != "suppression") {
+        for (size_t s = 0; s < active.size(); ++s) {
+          if (active[s]->line == d.line && active[s]->rule == d.rule) {
+            used[s] = 1;
+            drop = true;
+          }
+        }
+      }
+      if (!drop) kept.push_back(std::move(d));
+    }
+    for (size_t s = 0; s < active.size(); ++s) {
+      if (used[s]) continue;
+      kept.push_back(Diagnostic{
+          "suppression", model.path, active[s]->line,
+          "stale suppression: 'tklus-" + active[s]->rule +
+              "' does not fire on this line; delete the NOLINT so the "
+              "exemption cannot outlive its cause"});
+    }
+    diags = std::move(kept);
+  });
+  if (stats != nullptr) {
+    stats->rules_ms = MsSince(phase_start);
+    stats->files = models.size();
+    stats->functions = program.functions.size();
+    for (const ProgramFunction& fn : program.functions) {
+      stats->call_edges += fn.callees.size();
+    }
+    stats->rule_ms.reserve(registry.size());
+    for (size_t r = 0; r < registry.size(); ++r) {
+      double total = 0;
+      for (const std::vector<double>& per_file : rule_times) {
+        if (r < per_file.size()) total += per_file[r];
+      }
+      stats->rule_ms.emplace_back(std::string(registry[r]->name()), total);
+    }
   }
 
   std::vector<Diagnostic> diagnostics;
   for (FileOutcome& outcome : outcomes) {
-    if (!outcome.status.ok()) return outcome.status;
     diagnostics.insert(diagnostics.end(),
                        std::make_move_iterator(outcome.diags.begin()),
                        std::make_move_iterator(outcome.diags.end()));
@@ -271,6 +476,7 @@ Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options) {
               return std::tie(a.path, a.line, a.rule) <
                      std::tie(b.path, b.line, b.rule);
             });
+  if (stats != nullptr) stats->total_ms = MsSince(run_start);
   return diagnostics;
 }
 

@@ -2,6 +2,7 @@
 #define TKLUS_TOOLS_ANALYZE_ANALYZER_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analyze/rules.h"
@@ -12,16 +13,39 @@ namespace tklus::analyze {
 // Scan configuration: a root directory, scan paths relative to it, and
 // optional explicit manifests. When `manifest` is empty the analyzer
 // looks for `<root>/layers.conf` (fixture roots), then
-// `<root>/tools/analyze/layers.conf` (the real tree); `lockorder`
-// resolves the same way against lockorder.conf. `jobs` caps the scan
-// worker threads (0 = pick from hardware_concurrency).
+// `<root>/tools/analyze/layers.conf` (the real tree); `lockorder` and
+// `hotpath` resolve the same way against lockorder.conf / hotpath.conf.
+// `jobs` caps the scan worker threads (0 = pick from
+// hardware_concurrency).
 struct AnalyzerOptions {
   std::string root = ".";
   std::vector<std::string> paths;  // default: {"src"}
   std::string manifest;
   std::string lockorder;
+  std::string hotpath;
   unsigned jobs = 0;
 };
+
+// Wall-time and size accounting for one analysis run, emitted by
+// --stats so CI can track analyzer cost as the tree grows. The parallel
+// phases (lex, per-file model, rules) report wall time of the phase, not
+// summed worker time; per-rule times are summed across workers (they
+// measure relative rule cost, not wall time).
+struct AnalyzerStats {
+  double lex_ms = 0;
+  double model_ms = 0;
+  double callgraph_ms = 0;  // ProgramModel::Build
+  double fixpoint_ms = 0;   // ComputeSummaries + ComputeHotPaths
+  double rules_ms = 0;
+  double total_ms = 0;
+  size_t files = 0;
+  size_t functions = 0;
+  size_t call_edges = 0;
+  std::vector<std::pair<std::string, double>> rule_ms;  // registry order
+};
+
+// Renders stats as a single JSON object (stable key order).
+std::string StatsToJson(const AnalyzerStats& stats);
 
 // Loads `path` as a layering manifest: `module: dep dep ...` lines,
 // `#` comments. Declaring a module with no deps is `module:`.
@@ -40,12 +64,21 @@ Result<AnalyzerContext> LoadManifest(const std::string& path);
 // transitive closure.
 Result<LockOrderConfig> LoadLockOrderConfig(const std::string& path);
 
-// Lexes every .h/.cc/.cpp under the scan paths (sorted, so output is
-// deterministic), builds the statement model, and runs the full rule set
-// over each file — files are analyzed in parallel on a small thread pool
-// (rules are pure, so scan order never changes the outcome).
-// Diagnostics come back sorted by (path, line, rule).
-Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options);
+// Loads `path` as a hot-path manifest for hotpath-purity. Directives:
+//   root NAME...    hot-path roots (plain or Class::Method spellings)
+//   ban NAME...     call names banned anywhere reachable from a root
+//   allow NAME...   audited helpers the reachability walk skips
+Result<HotPathConfig> LoadHotPathConfig(const std::string& path);
+
+// Runs the full analysis: parallel lex + per-file statement model,
+// one sequential interprocedural pass (cross-TU call graph, summary
+// fixpoint, hot-path reachability), then the parallel rule phase with
+// NOLINT suppression filtering. File discovery is sorted and the final
+// diagnostics are sorted by (path, line, rule), so the jobs count never
+// changes the output. `stats` (optional) receives per-pass and per-rule
+// timing.
+Result<std::vector<Diagnostic>> RunAnalysis(const AnalyzerOptions& options,
+                                            AnalyzerStats* stats = nullptr);
 
 }  // namespace tklus::analyze
 

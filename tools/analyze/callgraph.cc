@@ -1,0 +1,231 @@
+#include "analyze/callgraph.h"
+
+#include <algorithm>
+
+namespace tklus::analyze {
+
+namespace {
+
+// One id if the candidate list has exactly one entry, else -1.
+int UniqueOf(const std::vector<int>& candidates) {
+  return candidates.size() == 1 ? candidates[0] : -1;
+}
+
+}  // namespace
+
+void ProgramModel::Build(const std::vector<SourceFile>& files) {
+  functions.clear();
+  by_file.clear();
+  by_qualified.clear();
+  by_name.clear();
+  field_guards.clear();
+
+  // Annotations first: a header's TKLUS_REQUIRES on the declaration must
+  // reach the .cc definition, so they merge program-wide by
+  // (class, method) before functions are interned.
+  std::map<std::pair<std::string, std::string>, MethodAnnotation> annotations;
+  for (const SourceFile& file : files) {
+    for (const FieldGuard& guard : file.guarded_fields) {
+      field_guards.emplace(std::make_pair(guard.class_name, guard.field),
+                           guard);
+    }
+    for (const MethodAnnotation& anno : file.method_annotations) {
+      const auto key = std::make_pair(anno.class_name, anno.method);
+      auto [it, inserted] = annotations.emplace(key, anno);
+      if (!inserted) {
+        it->second.requires_locks.insert(anno.requires_locks.begin(),
+                                         anno.requires_locks.end());
+        it->second.no_thread_safety |= anno.no_thread_safety;
+      }
+    }
+  }
+
+  for (const SourceFile& file : files) {
+    std::vector<int>& ids = by_file[file.path];
+    for (size_t fi = 0; fi < file.functions.size(); ++fi) {
+      const FunctionLockModel& fn = file.functions[fi];
+      ProgramFunction pf;
+      pf.path = file.path;
+      pf.fn_index = static_cast<int>(fi);
+      pf.class_name = fn.class_name;
+      pf.line = fn.line;
+      pf.is_ctor_or_dtor = fn.is_ctor_or_dtor;
+      const size_t sep = fn.name.rfind("::");
+      pf.last_name =
+          sep == std::string::npos ? fn.name : fn.name.substr(sep + 2);
+      pf.qualified = pf.class_name.empty()
+                         ? pf.last_name
+                         : pf.class_name + "::" + pf.last_name;
+      const auto anno = annotations.find(
+          std::make_pair(pf.class_name, pf.last_name));
+      if (anno != annotations.end()) {
+        pf.requires_locks = anno->second.requires_locks;
+        pf.no_thread_safety = anno->second.no_thread_safety;
+      }
+      // Seed the summary with the function's own RAII acquisitions; the
+      // fixpoint (ComputeSummaries) folds callee summaries in on top.
+      const std::string display =
+          !pf.qualified.empty()
+              ? pf.qualified
+              : file.path + ":" + std::to_string(pf.line);
+      for (const GuardAcquire& acq : fn.acquisitions) {
+        pf.summary.AddAcquire(TransitiveAcquire{
+            acq.guard.member, file.path, acq.guard.line,
+            acq.guard.exclusive, {display}});
+      }
+      const int id = static_cast<int>(functions.size());
+      ids.push_back(id);
+      if (!pf.last_name.empty()) {
+        by_name[pf.last_name].push_back(id);
+        by_qualified[pf.qualified].push_back(id);
+      }
+      functions.push_back(std::move(pf));
+    }
+  }
+
+  // Edges, now that every body is interned. Held-lock names dedup in
+  // acquisition order; self-edges are kept (direct recursion is a real
+  // cycle the SCC pass must see).
+  for (const SourceFile& file : files) {
+    const std::vector<int>& ids = by_file[file.path];
+    for (size_t fi = 0; fi < file.functions.size(); ++fi) {
+      ProgramFunction& caller = functions[ids[fi]];
+      for (const CallSite& call : file.functions[fi].call_sites) {
+        // Lambda-body calls execute on an unknowable schedule (thread
+        // entries, deferred callbacks); attributing them to the
+        // enclosing function would fabricate chains it never runs.
+        if (call.in_lambda) continue;
+        const int callee = Resolve(caller, call);
+        if (callee < 0) continue;
+        CallEdge edge;
+        edge.callee = callee;
+        edge.line = call.line;
+        for (const HeldGuard& h : call.held) {
+          if (std::find(edge.held.begin(), edge.held.end(), h.member) ==
+              edge.held.end()) {
+            edge.held.push_back(h.member);
+          }
+        }
+        caller.callees.push_back(std::move(edge));
+      }
+    }
+  }
+}
+
+int ProgramModel::IdOf(std::string_view path, size_t fn_index) const {
+  const auto it = by_file.find(std::string(path));
+  if (it == by_file.end() || fn_index >= it->second.size()) return -1;
+  return it->second[fn_index];
+}
+
+const FieldGuard* ProgramModel::FindFieldGuard(
+    const std::string& class_name, const std::string& field) const {
+  const auto it = field_guards.find(std::make_pair(class_name, field));
+  return it == field_guards.end() ? nullptr : &it->second;
+}
+
+int ProgramModel::Resolve(const ProgramFunction& caller,
+                          const CallSite& call) const {
+  const auto named = by_name.find(call.callee);
+  const auto unique_qualified = [&](const std::string& q) {
+    const auto it = by_qualified.find(q);
+    return it == by_qualified.end() ? -1 : UniqueOf(it->second);
+  };
+  switch (call.form) {
+    case CallSite::Form::kUnqualified:
+    case CallSite::Form::kThis: {
+      if (!caller.class_name.empty()) {
+        const int id =
+            unique_qualified(caller.class_name + "::" + call.callee);
+        if (id >= 0) return id;
+      }
+      if (named == by_name.end()) return -1;
+      // Unqualified calls prefer a unique same-file target — the
+      // anonymous-namespace-helper case, where the same helper name in
+      // two TUs must never cross-resolve.
+      int same_file = -1;
+      int same_file_count = 0;
+      for (const int id : named->second) {
+        if (functions[id].path == caller.path) {
+          same_file = id;
+          ++same_file_count;
+        }
+      }
+      if (same_file_count == 1) return same_file;
+      if (same_file_count > 1) return -1;
+      return UniqueOf(named->second);
+    }
+    case CallSite::Form::kQualified: {
+      if (!call.qualifier.empty()) {
+        const int id = unique_qualified(call.qualifier + "::" + call.callee);
+        if (id >= 0) return id;
+      }
+      return named == by_name.end() ? -1 : UniqueOf(named->second);
+    }
+    case CallSite::Form::kMember:
+      // The token model cannot type the receiver; resolve only when the
+      // whole program has exactly one function of this name.
+      return named == by_name.end() ? -1 : UniqueOf(named->second);
+  }
+  return -1;
+}
+
+std::vector<std::vector<int>> ProgramModel::SccOrder() const {
+  // Iterative Tarjan. Components are emitted when their root finishes,
+  // i.e. after every component reachable from them — exactly the
+  // bottom-up (callees-first) order the summary fixpoint wants.
+  const int n = static_cast<int>(functions.size());
+  std::vector<int> index(n, -1), lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> sccs;
+  int next_index = 0;
+
+  struct Frame {
+    int node;
+    size_t edge;
+  };
+  std::vector<Frame> work;
+  for (int start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    work.push_back(Frame{start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = 1;
+    while (!work.empty()) {
+      Frame& frame = work.back();
+      const int v = frame.node;
+      if (frame.edge < functions[v].callees.size()) {
+        const int w = functions[v].callees[frame.edge++].callee;
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          work.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<int> scc;
+        int w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          scc.push_back(w);
+        } while (w != v);
+        sccs.push_back(std::move(scc));
+      }
+      work.pop_back();
+      if (!work.empty()) {
+        const int parent = work.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return sccs;
+}
+
+}  // namespace tklus::analyze

@@ -1,0 +1,95 @@
+#ifndef TKLUS_TOOLS_ANALYZE_CALLGRAPH_H_
+#define TKLUS_TOOLS_ANALYZE_CALLGRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analyze/source_model.h"
+#include "analyze/summaries.h"
+
+namespace tklus::analyze {
+
+// One resolved call-graph edge, recorded on the caller.
+struct CallEdge {
+  int callee;  // index into ProgramModel::functions
+  int line;    // call-site line in the caller's file
+  std::vector<std::string> held;  // lock members held at the site, in
+                                  // acquisition order (deduped)
+};
+
+// One function body somewhere in the program, with the interprocedural
+// state the rules read: merged thread-safety annotations, resolved
+// callee edges, the acquire summary and the hot-path mark.
+struct ProgramFunction {
+  std::string path;        // file the body lives in
+  int fn_index;            // index into that SourceFile's `functions`
+  std::string class_name;  // "" for free functions
+  std::string last_name;   // final name component
+  std::string qualified;   // "Class::Method" or the bare name
+  int line;
+  bool is_ctor_or_dtor = false;
+  // Merged from every TKLUS_REQUIRES(_SHARED) / NO_THREAD_SAFETY
+  // annotation on this (class, method) across all scanned files, so a
+  // header declaration annotates the out-of-line definition.
+  std::set<std::string> requires_locks;
+  bool no_thread_safety = false;
+  std::vector<CallEdge> callees;
+  FunctionSummary summary;
+  // Locks provably held whenever this function is entered (greatest
+  // fixpoint over same-class callers; see ComputeSummaries). When
+  // `entry_held_universal` is true nothing is known — every same-class
+  // caller is itself unconstrained — and guard-discipline treats the
+  // entry set as "everything" rather than guess.
+  std::set<std::string> entry_held;
+  bool entry_held_universal = false;
+  bool hot = false;
+  std::vector<std::string> hot_path;  // witness: root ... this function
+};
+
+// The cross-TU program model: every function body in the scanned files,
+// name indexes, GUARDED_BY field annotations merged by (class, field),
+// and the resolved call graph. Built once per analysis run (the one
+// sequential pass between the parallel lex/model and rule phases) and
+// read-only afterwards, so the rule workers share it freely.
+struct ProgramModel {
+  std::vector<ProgramFunction> functions;
+  // path -> function ids, positionally matching SourceFile::functions.
+  std::map<std::string, std::vector<int>> by_file;
+  std::map<std::string, std::vector<int>> by_qualified;
+  std::map<std::string, std::vector<int>> by_name;  // by last component
+  std::map<std::pair<std::string, std::string>, FieldGuard> field_guards;
+
+  // Builds functions, indexes, annotations and edges from the per-file
+  // models. `files` must outlive nothing — the model copies what it
+  // keeps.
+  void Build(const std::vector<SourceFile>& files);
+
+  // Id of `file.functions[fn_index]`, or -1 if unknown.
+  int IdOf(std::string_view path, size_t fn_index) const;
+
+  // The GUARDED_BY annotation for (class, field), or nullptr.
+  const FieldGuard* FindFieldGuard(const std::string& class_name,
+                                   const std::string& field) const;
+
+  // Conservative, collision-safe call resolution (see DESIGN.md §14):
+  // unqualified/this-> calls prefer the caller's class, then a unique
+  // same-file match, then a unique program-wide name; `Class::f` goes
+  // through the qualifier; receiver calls (`x.f` / `p->f`) resolve only
+  // when the name is program-unique. Returns -1 when ambiguous or
+  // unknown — a missing edge can only make the interprocedural rules
+  // quieter, never wrong.
+  int Resolve(const ProgramFunction& caller, const CallSite& call) const;
+
+  // Strongly connected components of the call graph in bottom-up order
+  // (every edge out of a component lands in an earlier-listed one) —
+  // the order ComputeSummaries folds callee summaries in.
+  std::vector<std::vector<int>> SccOrder() const;
+};
+
+}  // namespace tklus::analyze
+
+#endif  // TKLUS_TOOLS_ANALYZE_CALLGRAPH_H_

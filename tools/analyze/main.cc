@@ -17,6 +17,9 @@
 //                                          prints)
 //   --jobs N                               scan worker threads (0 = auto)
 //   --lockorder FILE                       explicit lockorder.conf
+//   --hotpath FILE                         explicit hotpath.conf
+//   --stats                                per-pass and per-rule wall time
+//                                          as JSON on stderr
 //
 // Exit codes: 0 clean, 1 violations/selftest failure, 2 usage/IO error.
 #include <cstdio>
@@ -123,13 +126,15 @@ std::string FormatDiagnostics(const std::vector<Diagnostic>& diags,
 int Main(int argc, char** argv) {
   AnalyzerOptions opts;
   bool selftest = false;
+  bool want_stats = false;
   std::string fixtures_dir;
   std::string format = "text";
   std::string output_file;
   const char* const usage =
       "usage: tklus_analyze [--root DIR] [--manifest FILE] "
-      "[--lockorder FILE] [--format=text|json|sarif] [--output FILE] "
-      "[--jobs N] [--selftest [DIR]] [--list-rules] [PATH...]\n";
+      "[--lockorder FILE] [--hotpath FILE] [--format=text|json|sarif] "
+      "[--output FILE] [--jobs N] [--stats] [--selftest [DIR]] "
+      "[--list-rules] [PATH...]\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -138,6 +143,10 @@ int Main(int argc, char** argv) {
       opts.manifest = argv[++i];
     } else if (arg == "--lockorder" && i + 1 < argc) {
       opts.lockorder = argv[++i];
+    } else if (arg == "--hotpath" && i + 1 < argc) {
+      opts.hotpath = argv[++i];
+    } else if (arg == "--stats") {
+      want_stats = true;
     } else if (arg == "--jobs" && i + 1 < argc) {
       opts.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg.rfind("--format=", 0) == 0) {
@@ -169,11 +178,18 @@ int Main(int argc, char** argv) {
     return RunSelftest(fixtures_dir);
   }
 
-  Result<std::vector<Diagnostic>> diags = RunAnalysis(opts);
+  AnalyzerStats stats;
+  Result<std::vector<Diagnostic>> diags =
+      RunAnalysis(opts, want_stats ? &stats : nullptr);
   if (!diags.ok()) {
     std::fprintf(stderr, "tklus_analyze: %s\n",
                  diags.status().ToString().c_str());
     return 2;
+  }
+  if (want_stats) {
+    // Stats go to stderr so the machine-readable finding formats on
+    // stdout stay parseable with --stats on.
+    std::fprintf(stderr, "%s\n", StatsToJson(stats).c_str());
   }
 
   if (format != "text" || !output_file.empty()) {

@@ -3,6 +3,8 @@
 #include <array>
 #include <string>
 
+#include "analyze/callgraph.h"
+
 namespace tklus::analyze {
 namespace {
 
@@ -592,6 +594,219 @@ class NodiscardGuardRule : public Rule {
   }
 };
 
+// -------------------------------------------------------------- lock-order-ipa
+
+// The interprocedural extension of lock-order: a function that holds a
+// declared lock at a call site must not reach — through any chain of
+// resolved calls — an acquisition the lock-order DAG forbids after it.
+// This is where a PR-7-clean inversion hides: f takes `mu_` and calls g,
+// g takes `append_mu_`, both functions locally well-ordered. The
+// diagnostic carries the witness call path from the summary so the chain
+// is readable without re-deriving it.
+class LockOrderIpaRule : public Rule {
+ public:
+  std::string_view name() const override { return "lock-order-ipa"; }
+  std::string_view description() const override {
+    return "call chains must not reach a lock acquisition the declared "
+           "lock-order DAG forbids under the locks held at the call site";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    const LockOrderConfig& cfg = ctx.lockorder;
+    if (!cfg.loaded || ctx.program == nullptr) return;
+    for (size_t fi = 0; fi < file.functions.size(); ++fi) {
+      const int id = ctx.program->IdOf(file.path, fi);
+      if (id < 0) continue;
+      const ProgramFunction& pf = ctx.program->functions[id];
+      for (const CallEdge& edge : pf.callees) {
+        if (edge.held.empty()) continue;
+        const ProgramFunction& callee = ctx.program->functions[edge.callee];
+        for (const TransitiveAcquire& acq : callee.summary.acquires) {
+          if (!cfg.IsDeclared(acq.lock, acq.site_path)) continue;
+          for (const std::string& held : edge.held) {
+            if (!cfg.IsDeclared(held, file.path)) continue;
+            std::string via;
+            for (const std::string& hop : acq.path) {
+              via += (via.empty() ? "" : " -> ") + hop;
+            }
+            const std::string site = acq.site_path + ":" +
+                                     std::to_string(acq.site_line);
+            if (held == acq.lock) {
+              out->push_back(Diagnostic{
+                  std::string(name()), file.path, edge.line,
+                  "recursive acquisition through calls: '" + held +
+                      "' is held at this call and reacquired at " + site +
+                      " (via " + via +
+                      "); re-entry deadlocks on the writer-preferring "
+                      "SharedMutex"});
+            } else if (!cfg.CanPrecede(held, acq.lock)) {
+              out->push_back(Diagnostic{
+                  std::string(name()), file.path, edge.line,
+                  "interprocedural lock-order inversion: holding '" + held +
+                      "' while the callee chain acquires '" + acq.lock +
+                      "' at " + site + " (via " + via +
+                      ") — no declared order in lockorder.conf permits "
+                      "this chain"});
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------------ guard-discipline
+
+// Compiler-independent GUARDED_BY enforcement — the gcc substitute for
+// clang -Werror=thread-safety. A read/write of an annotated member (via
+// `this`, explicit or implicit) must happen with the declared mutex in
+// the held set: locks the function itself opened, locks from a
+// TKLUS_REQUIRES annotation, or locks every same-class caller provably
+// holds at the call site (the entry-held propagation). Everything the
+// token model cannot type — receiver-qualified accesses, lambda bodies
+// (deferred execution), constructors/destructors (exclusive access) —
+// is skipped, so the rule stays silent wherever clang's analysis is.
+class GuardDisciplineRule : public Rule {
+ public:
+  std::string_view name() const override { return "guard-discipline"; }
+  std::string_view description() const override {
+    return "reads/writes of TKLUS_GUARDED_BY members require the declared "
+           "mutex held (directly, via TKLUS_REQUIRES, or proven on entry)";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    if (ctx.program == nullptr) return;
+    for (size_t fi = 0; fi < file.functions.size(); ++fi) {
+      const FunctionLockModel& fn = file.functions[fi];
+      if (fn.class_name.empty() || fn.is_ctor_or_dtor) continue;
+      const int id = ctx.program->IdOf(file.path, fi);
+      if (id < 0) continue;
+      const ProgramFunction& pf = ctx.program->functions[id];
+      if (pf.no_thread_safety) continue;
+      for (const MemberAccess& access : fn.accesses) {
+        if (access.in_lambda) continue;
+        const FieldGuard* guard =
+            ctx.program->FindFieldGuard(fn.class_name, access.member);
+        if (guard == nullptr) continue;
+        bool held = pf.entry_held_universal ||
+                    pf.entry_held.count(guard->mutex) > 0;
+        for (const HeldGuard& h : access.held) {
+          held = held || h.member == guard->mutex;
+        }
+        if (held) continue;
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, access.line,
+            "access to '" + access.member + "' (TKLUS_GUARDED_BY(" +
+                guard->mutex + ") on " + fn.class_name + ", declared at " +
+                guard->class_name + " line " + std::to_string(guard->line) +
+                ") without holding '" + guard->mutex +
+                "'; lock it, annotate the method with TKLUS_REQUIRES, or "
+                "mark an audited exception with "
+                "TKLUS_NO_THREAD_SAFETY_ANALYSIS"});
+      }
+    }
+  }
+};
+
+// -------------------------------------------------------------- hotpath-purity
+
+// The per-posting inner loops (hotpath.conf roots: scoring, bounds,
+// thread-tracker lookups) run under the shared engine lock for every
+// query; one stray allocation or blocking call there multiplies across
+// the whole corpus scan. This rule bans heap allocation, string
+// construction and the configured blocking calls in any function
+// *reachable* from a declared root — the guardrail the sid_resolve
+// rewrite and block-max pruning work build against. `allow` entries are
+// audited leaves the walk neither flags nor descends into.
+class HotPathPurityRule : public Rule {
+ public:
+  std::string_view name() const override { return "hotpath-purity"; }
+  std::string_view description() const override {
+    return "no heap allocation, string construction or configured "
+           "blocking calls reachable from hotpath.conf roots";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    if (!ctx.hotpath.loaded || ctx.program == nullptr) return;
+    for (size_t fi = 0; fi < file.functions.size(); ++fi) {
+      const FunctionLockModel& fn = file.functions[fi];
+      const int id = ctx.program->IdOf(file.path, fi);
+      if (id < 0) continue;
+      const ProgramFunction& pf = ctx.program->functions[id];
+      if (!pf.hot) continue;
+      std::string witness;
+      for (const std::string& hop : pf.hot_path) {
+        witness += (witness.empty() ? "" : " -> ") + hop;
+      }
+      for (const EffectSite& effect : fn.effects) {
+        const char* what = effect.kind == EffectSite::Kind::kAlloc
+                               ? "heap allocation"
+                               : "string construction";
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, effect.line,
+            std::string(what) + " '" + effect.what +
+                "' on a declared hot path (" + witness +
+                "); hoist it out of the per-posting loop or allow-list "
+                "the audited helper in hotpath.conf"});
+      }
+      for (const CallSite& call : fn.call_sites) {
+        if (ctx.hotpath.banned.count(call.callee) == 0) continue;
+        if (ctx.hotpath.allowed.count(call.callee) > 0) continue;
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, call.line,
+            "blocking call '" + call.callee + "' on a declared hot path (" +
+                witness + "); hot-path roots must never reach blocking "
+                "I/O — move it behind the lock-free read path"});
+      }
+    }
+  }
+};
+
+// ----------------------------------------------------------------- suppression
+
+// Polices the inline suppression syntax itself. The sanctioned spelling
+// is `// NOLINT(tklus-<rule>): <reason>`: a bare NOLINT, an unknown rule
+// name and a missing reason are each findings — a suppression that does
+// not say what it silences and why is how analyzer debt becomes
+// invisible. The companion stale check (a well-formed suppression whose
+// rule no longer fires on that line) lives in the analyzer driver, which
+// is the only place that sees the other rules' results.
+class SuppressionRule : public Rule {
+ public:
+  std::string_view name() const override { return "suppression"; }
+  std::string_view description() const override {
+    return "NOLINT comments must name a tklus rule and a reason "
+           "(`// NOLINT(tklus-<rule>): <reason>`); stale suppressions "
+           "are flagged";
+  }
+  void Check(const SourceFile& file, const AnalyzerContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    for (const Suppression& s : file.suppressions) {
+      if (!s.has_rule) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, s.line,
+            "bare NOLINT; name the silenced rule and the reason: "
+            "`// NOLINT(tklus-<rule>): <reason>`"});
+        continue;
+      }
+      if (!ctx.rule_names.empty() && ctx.rule_names.count(s.rule) == 0) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, s.line,
+            "NOLINT names unknown rule 'tklus-" + s.rule +
+                "'; see --list-rules for the registered set"});
+        continue;
+      }
+      if (!s.has_reason) {
+        out->push_back(Diagnostic{
+            std::string(name()), file.path, s.line,
+            "NOLINT(tklus-" + s.rule +
+                ") has no reason; append `: <why this is safe>` — "
+                "unexplained suppressions are unreviewable"});
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> BuildRuleSet() {
@@ -608,6 +823,10 @@ std::vector<std::unique_ptr<Rule>> BuildRuleSet() {
   rules.push_back(std::make_unique<LockOrderRule>());
   rules.push_back(std::make_unique<IoUnderLockRule>());
   rules.push_back(std::make_unique<NodiscardGuardRule>());
+  rules.push_back(std::make_unique<LockOrderIpaRule>());
+  rules.push_back(std::make_unique<GuardDisciplineRule>());
+  rules.push_back(std::make_unique<HotPathPurityRule>());
+  rules.push_back(std::make_unique<SuppressionRule>());
   return rules;
 }
 

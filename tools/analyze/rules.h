@@ -9,8 +9,11 @@
 #include <vector>
 
 #include "analyze/source_model.h"
+#include "analyze/summaries.h"
 
 namespace tklus::analyze {
+
+struct ProgramModel;
 
 // One finding. `rule` is the rule's stable name (what --selftest keys on
 // and what a suppression would reference); `path` is relative to the scan
@@ -69,6 +72,15 @@ struct AnalyzerContext {
   std::map<std::string, std::set<std::string>> allowed_deps;
   bool has_manifest = false;
   LockOrderConfig lockorder;
+  // The cross-TU program model (analyze/callgraph.h), built once after
+  // every file is lexed and modeled; null in unit tests that drive a
+  // single rule without the interprocedural phase — the rules that read
+  // it no-op then.
+  const ProgramModel* program = nullptr;
+  HotPathConfig hotpath;
+  // Registered rule names, for suppression validation. Empty in
+  // single-rule unit tests; the unknown-rule check is skipped then.
+  std::set<std::string> rule_names;
 };
 
 // A domain-invariant check over one file's lexical model. Rules must be

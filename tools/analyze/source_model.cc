@@ -64,6 +64,45 @@ void SpliceLines(std::string_view text, std::string* out,
   }
 }
 
+// Parses a NOLINT marker out of one line comment's text. `comment` is
+// everything after the `//`. Recognized shape:
+//   NOLINT(tklus-<rule>): <reason>
+// A bare NOLINT, a missing rule, a rule without the tklus- prefix and a
+// missing reason all still produce a Suppression record (with the flags
+// reflecting what was found) so the suppression rule can flag them.
+void ParseSuppression(std::string_view comment, int line,
+                      std::vector<Suppression>* out) {
+  const size_t at = comment.find("NOLINT");
+  if (at == std::string_view::npos) return;
+  // Avoid matching inside a longer word (e.g. "DONOLINTER").
+  if (at > 0 && IsIdentChar(comment[at - 1])) return;
+  size_t pos = at + 6;  // past "NOLINT"
+  if (pos < comment.size() && IsIdentChar(comment[pos])) return;
+  Suppression s{line, "", false, false};
+  if (pos < comment.size() && comment[pos] == '(') {
+    const size_t close = comment.find(')', pos + 1);
+    if (close != std::string_view::npos) {
+      std::string_view rule = comment.substr(pos + 1, close - pos - 1);
+      if (rule.rfind("tklus-", 0) == 0) {
+        s.has_rule = true;
+        s.rule = std::string(rule.substr(6));
+      }
+      pos = close + 1;
+    }
+  }
+  // Reason: non-space text after a `:` following the marker.
+  const size_t colon = comment.find(':', pos);
+  if (colon != std::string_view::npos) {
+    for (size_t i = colon + 1; i < comment.size(); ++i) {
+      if (!std::isspace(static_cast<unsigned char>(comment[i]))) {
+        s.has_reason = true;
+        break;
+      }
+    }
+  }
+  out->push_back(std::move(s));
+}
+
 }  // namespace
 
 bool PathEndsWith(std::string_view path, std::string_view suffix) {
@@ -143,9 +182,15 @@ SourceFile LexFile(std::string rel_path, std::string_view raw_text) {
       continue;
     }
     // Line comment (splices already resolved, so a trailing `\` has
-    // correctly pulled the next line into this comment).
+    // correctly pulled the next line into this comment). NOLINT
+    // suppressions are parsed out of the comment text here — the only
+    // place comment content survives lexing.
     if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const size_t start = i + 2;
       while (i < n && text[i] != '\n') ++i;
+      ParseSuppression(std::string_view(text).substr(start, i - start),
+                       line_at(start > 0 ? start - 2 : 0),
+                       &file.suppressions);
       continue;
     }
     // Block comment.
@@ -200,10 +245,26 @@ SourceFile LexFile(std::string rel_path, std::string_view raw_text) {
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
+      // A pp-number: identifier chars, `.`, C++14 digit separators (`'`
+      // only when flanked by number chars, so `f(1,'a')` never swallows
+      // the char literal) and signed exponents (1e+5, 0x1p-3).
       size_t j = i + 1;
-      while (j < n && (IsIdentChar(text[j]) || text[j] == '.' ||
-                       text[j] == '\'')) {
-        ++j;
+      while (j < n) {
+        if (IsIdentChar(text[j]) || text[j] == '.') {
+          ++j;
+          continue;
+        }
+        if (text[j] == '\'' && j + 1 < n && IsIdentChar(text[j + 1])) {
+          j += 2;
+          continue;
+        }
+        if ((text[j] == '+' || text[j] == '-') &&
+            (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+             text[j - 1] == 'p' || text[j - 1] == 'P')) {
+          ++j;
+          continue;
+        }
+        break;
       }
       file.tokens.push_back(Token{Token::Kind::kNumber,
                                   std::string(text.substr(i, j - i)),
@@ -234,13 +295,27 @@ bool IsGuardType(const Token& t) {
          IsIdent(t, "WriterMutexLock");
 }
 
+// Keywords (and keyword-shaped constructs) that read as `ident (` but
+// are not calls.
+bool IsCallKeyword(std::string_view s) {
+  static const std::set<std::string_view> kKeywords = {
+      "if",       "for",      "while",   "switch",        "return",
+      "sizeof",   "alignof",  "catch",   "throw",         "new",
+      "delete",   "decltype", "typeid",  "noexcept",      "operator",
+      "co_await", "co_yield", "co_return", "static_assert", "defined",
+      "alignas",  "requires"};
+  return kKeywords.count(s) > 0;
+}
+
 // Best-effort name of the function whose body opens at `toks[open]`
 // (`open` indexes a `{`): walks left over the trailing specifiers and
 // parenthesized groups (argument list, TKLUS_* annotation macros, ctor
 // init lists), remembering the identifier chain before the leftmost
 // group — `Status TkLusEngine::AppendBatch(const Dataset&)
-// TKLUS_EXCLUDES(mu_) {` names `TkLusEngine::AppendBatch`. Cosmetic
-// only; diagnostics always carry file:line.
+// TKLUS_EXCLUDES(mu_) {` names `TkLusEngine::AppendBatch`. A
+// user-defined-literal definition (`Bytes operator"" _kb(...)`) names
+// `operator""_kb` rather than the bare suffix. Cosmetic plus call-graph
+// identity; diagnostics always carry file:line.
 std::string FunctionNameBefore(const std::vector<Token>& toks, size_t open) {
   std::string name;
   size_t i = open;
@@ -262,6 +337,12 @@ std::string FunctionNameBefore(const std::vector<Token>& toks, size_t open) {
       if (j > 0 && toks[j - 1].kind == Token::Kind::kIdent) {
         size_t k = j - 1;
         std::string candidate = toks[k].text;
+        // `operator"" _suffix(` — fold the UDL spelling into one name.
+        if (k >= 2 && toks[k - 1].kind == Token::Kind::kString &&
+            toks[k - 1].text == "\"\"" && IsIdent(toks[k - 2], "operator")) {
+          candidate = "operator\"\"" + candidate;
+          k -= 2;
+        }
         while (k >= 3 && IsPunct(toks[k - 1], ':') &&
                IsPunct(toks[k - 2], ':') &&
                toks[k - 3].kind == Token::Kind::kIdent) {
@@ -276,21 +357,175 @@ std::string FunctionNameBefore(const std::vector<Token>& toks, size_t open) {
   return name;
 }
 
+// Name of the class/struct whose body opens at `toks[open]`: the last
+// identifier at paren depth 0 between the class keyword and the brace,
+// stopping at a base-clause `:` — handles `class TKLUS_CAPABILITY("x")
+// Mutex {` and `class Foo : public Bar {` alike. `kw` indexes the
+// class/struct token.
+std::string ClassNameBetween(const std::vector<Token>& toks, size_t kw,
+                             size_t open) {
+  std::string name;
+  int depth = 0;
+  for (size_t j = kw + 1; j < open; ++j) {
+    if (IsPunct(toks[j], '(')) ++depth;
+    if (IsPunct(toks[j], ')')) --depth;
+    if (depth > 0) continue;
+    if (IsPunct(toks[j], ':')) break;  // base clause (`::` cannot appear
+                                       // at depth 0 before the name)
+    if (toks[j].kind == Token::Kind::kIdent && !IsIdent(toks[j], "final") &&
+        !IsIdent(toks[j], "alignas")) {
+      name = toks[j].text;
+    }
+  }
+  return name;
+}
+
+// True if the `{` at `open` starts a lambda body: the token to its left
+// (after skipping trailing specifiers and a `-> ret` clause) is either a
+// `]` or the `)` of a parameter list whose `(` directly follows `]`.
+bool IsLambdaBody(const std::vector<Token>& toks, size_t open) {
+  size_t j = open;
+  // Skip `mutable`, `noexcept`, `const` and `-> Type` pieces.
+  while (j-- > 0) {
+    const Token& t = toks[j];
+    if (t.kind == Token::Kind::kIdent &&
+        (t.text == "mutable" || t.text == "noexcept" || t.text == "const" ||
+         IsIdentStart(t.text[0]))) {
+      // Identifiers here can only be specifiers or a trailing return
+      // type; keep skipping, but only across a short tail.
+      if (open - j > 8) return false;
+      continue;
+    }
+    if (IsPunct(t, '>') || IsPunct(t, '-') || IsPunct(t, ':') ||
+        IsPunct(t, '<') || IsPunct(t, '*') || IsPunct(t, '&')) {
+      if (open - j > 8) return false;
+      continue;
+    }
+    break;
+  }
+  if (j == static_cast<size_t>(-1)) return false;
+  if (IsPunct(toks[j], ']')) return true;
+  if (IsPunct(toks[j], ')')) {
+    int depth = 1;
+    while (depth > 0) {
+      if (j == 0) return false;
+      --j;
+      if (IsPunct(toks[j], ')')) ++depth;
+      if (IsPunct(toks[j], '(')) --depth;
+    }
+    return j > 0 && IsPunct(toks[j - 1], ']');
+  }
+  return false;
+}
+
+// Splits a qualified name into (class prefix, last component). A name
+// with no `::` yields an empty prefix.
+void SplitQualified(const std::string& name, std::string* cls,
+                    std::string* last) {
+  const size_t sep = name.rfind("::");
+  if (sep == std::string::npos) {
+    cls->clear();
+    *last = name;
+  } else {
+    *cls = name.substr(0, sep);
+    *last = name.substr(sep + 2);
+  }
+}
+
+// Extracts the lock names from a TKLUS_REQUIRES(...) argument list
+// starting at the `(` at `open`: the last identifier of each
+// comma-separated chunk (so `this->mu_` and `engine->mu_` both yield
+// `mu_`). Returns one past the closing `)`.
+size_t ParseRequiresArgs(const std::vector<Token>& toks, size_t open,
+                         std::set<std::string>* locks) {
+  int depth = 1;
+  std::string last;
+  size_t j = open + 1;
+  for (; j < toks.size() && depth > 0; ++j) {
+    if (IsPunct(toks[j], '(')) ++depth;
+    if (IsPunct(toks[j], ')')) --depth;
+    if (depth == 0) break;
+    if (depth == 1 && IsPunct(toks[j], ',')) {
+      if (!last.empty()) locks->insert(last);
+      last.clear();
+      continue;
+    }
+    if (toks[j].kind == Token::Kind::kIdent) last = toks[j].text;
+  }
+  if (!last.empty()) locks->insert(last);
+  return j + 1;
+}
+
+// Walks left from an annotation token to the method it annotates:
+// skips trailing specifiers (`const`, `noexcept`, `override`, `final`)
+// and other annotation groups, then takes the identifier before the
+// parameter list's `(`. Returns the qualified method name ("" = not
+// attributable, e.g. the macro's own #define line).
+std::string AnnotatedMethodBefore(const std::vector<Token>& toks,
+                                  size_t anno) {
+  size_t j = anno;
+  while (j-- > 0) {
+    const Token& t = toks[j];
+    if (t.kind == Token::Kind::kIdent &&
+        (t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+         t.text == "final" || t.text == "mutable")) {
+      continue;
+    }
+    if (IsPunct(t, ')')) {
+      int depth = 1;
+      size_t k = j;
+      while (depth > 0) {
+        if (k == 0) return "";
+        --k;
+        if (IsPunct(toks[k], ')')) ++depth;
+        if (IsPunct(toks[k], '(')) --depth;
+      }
+      if (k == 0 || toks[k - 1].kind != Token::Kind::kIdent) return "";
+      const std::string& ident = toks[k - 1].text;
+      if (ident.rfind("TKLUS_", 0) == 0) {
+        // Another annotation group; keep walking left of it.
+        j = k - 1;
+        continue;
+      }
+      // This is the parameter list; `ident` is the method.
+      std::string candidate = ident;
+      size_t p = k - 1;
+      while (p >= 3 && IsPunct(toks[p - 1], ':') && IsPunct(toks[p - 2], ':') &&
+             toks[p - 3].kind == Token::Kind::kIdent) {
+        candidate = toks[p - 3].text + "::" + candidate;
+        p -= 3;
+      }
+      return candidate;
+    }
+    return "";
+  }
+  return "";
+}
+
 }  // namespace
 
-std::vector<FunctionLockModel> BuildLockModel(const SourceFile& file) {
+void BuildFileModel(SourceFile* file_ptr) {
+  SourceFile& file = *file_ptr;
   const std::vector<Token>& toks = file.tokens;
   std::vector<FunctionLockModel> functions;
+  file.guarded_fields.clear();
+  file.method_annotations.clear();
 
   // Brace frames, classified as in the status-discipline rule: a frame
   // whose introducing statement contains a type or namespace keyword is
   // a declaration body, anything else is an executable block. The
-  // outermost block frame is a function body.
+  // outermost block frame is a function body. Class frames carry their
+  // class name so field annotations and inline methods know their class;
+  // lambda frames are marked so member accesses inside deferred bodies
+  // can be exempted from guard-discipline.
   struct Frame {
     bool is_block;
+    bool is_lambda;
+    std::string class_name;  // nonempty only for class/struct frames
   };
   std::vector<Frame> frames;
   int open_blocks = 0;
+  int lambda_blocks = 0;
   FunctionLockModel* current = nullptr;
 
   struct ActiveGuard {
@@ -305,11 +540,18 @@ std::vector<FunctionLockModel> BuildLockModel(const SourceFile& file) {
     for (const ActiveGuard& g : held) out.push_back(g.guard);
     return out;
   };
+  const auto enclosing_class = [&]() -> const std::string* {
+    for (size_t f = frames.size(); f-- > 0;) {
+      if (!frames[f].class_name.empty()) return &frames[f].class_name;
+    }
+    return nullptr;
+  };
 
   for (size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
     if (IsPunct(t, '{')) {
       bool is_block = true;
+      std::string class_name;
       for (size_t j = i; j-- > 0;) {
         if (IsPunct(toks[j], ';') || IsPunct(toks[j], '{') ||
             IsPunct(toks[j], '}')) {
@@ -319,21 +561,42 @@ std::vector<FunctionLockModel> BuildLockModel(const SourceFile& file) {
             IsIdent(toks[j], "union") || IsIdent(toks[j], "enum") ||
             IsIdent(toks[j], "namespace")) {
           is_block = false;
+          if (IsIdent(toks[j], "class") || IsIdent(toks[j], "struct")) {
+            class_name = ClassNameBetween(toks, j, i);
+          }
           break;
         }
       }
+      const bool is_lambda = is_block && IsLambdaBody(toks, i);
       if (is_block && open_blocks == 0) {
-        functions.push_back(
-            FunctionLockModel{FunctionNameBefore(toks, i), t.line, {}, {}});
+        FunctionLockModel fn;
+        fn.name = FunctionNameBefore(toks, i);
+        fn.line = t.line;
+        std::string cls, last;
+        SplitQualified(fn.name, &cls, &last);
+        if (cls.empty()) {
+          const std::string* enc = enclosing_class();
+          if (enc != nullptr) cls = *enc;
+        }
+        fn.class_name = cls;
+        if (!cls.empty()) {
+          std::string cls_last = cls;
+          const size_t sep = cls.rfind("::");
+          if (sep != std::string::npos) cls_last = cls.substr(sep + 2);
+          fn.is_ctor_or_dtor = (last == cls_last);
+        }
+        functions.push_back(std::move(fn));
         current = &functions.back();
       }
-      frames.push_back(Frame{is_block});
+      frames.push_back(Frame{is_block, is_lambda, std::move(class_name)});
       if (is_block) ++open_blocks;
+      if (is_lambda) ++lambda_blocks;
       continue;
     }
     if (IsPunct(t, '}')) {
       if (!frames.empty()) {
         if (frames.back().is_block) --open_blocks;
+        if (frames.back().is_lambda) --lambda_blocks;
         frames.pop_back();
         while (!held.empty() && held.back().frame_count > frames.size()) {
           held.pop_back();
@@ -341,6 +604,50 @@ std::vector<FunctionLockModel> BuildLockModel(const SourceFile& file) {
         if (open_blocks == 0) current = nullptr;
       }
       continue;
+    }
+
+    // Annotation collection runs at declaration scope (outside any
+    // function body): field guards and method annotations.
+    if (current == nullptr && t.kind == Token::Kind::kIdent) {
+      if ((t.text == "TKLUS_GUARDED_BY" || t.text == "TKLUS_PT_GUARDED_BY") &&
+          i + 1 < toks.size() && IsPunct(toks[i + 1], '(') && i > 0 &&
+          toks[i - 1].kind == Token::Kind::kIdent) {
+        const std::string* cls = enclosing_class();
+        if (cls != nullptr) {
+          std::set<std::string> args;
+          ParseRequiresArgs(toks, i + 1, &args);
+          if (!args.empty()) {
+            file.guarded_fields.push_back(FieldGuard{
+                *cls, toks[i - 1].text, *args.rbegin(), t.line});
+          }
+        }
+        continue;
+      }
+      const bool is_requires = t.text == "TKLUS_REQUIRES" ||
+                               t.text == "TKLUS_REQUIRES_SHARED";
+      const bool is_no_ts = t.text == "TKLUS_NO_THREAD_SAFETY_ANALYSIS";
+      if (is_requires || is_no_ts) {
+        const std::string method = AnnotatedMethodBefore(toks, i);
+        if (!method.empty()) {
+          MethodAnnotation anno;
+          std::string cls, last;
+          SplitQualified(method, &cls, &last);
+          if (cls.empty()) {
+            const std::string* enc = enclosing_class();
+            if (enc != nullptr) cls = *enc;
+          }
+          anno.class_name = cls;
+          anno.method = last;
+          anno.line = t.line;
+          anno.no_thread_safety = is_no_ts;
+          if (is_requires && i + 1 < toks.size() &&
+              IsPunct(toks[i + 1], '(')) {
+            ParseRequiresArgs(toks, i + 1, &anno.requires_locks);
+          }
+          file.method_annotations.push_back(std::move(anno));
+        }
+        continue;
+      }
     }
     if (current == nullptr) continue;
 
@@ -369,14 +676,116 @@ std::vector<FunctionLockModel> BuildLockModel(const SourceFile& file) {
       continue;
     }
 
-    // Call under at least one guard: `ident(` — the callee is the final
-    // identifier of the chain, so member calls record the method name.
-    if (!held.empty() && t.kind == Token::Kind::kIdent &&
-        i + 1 < toks.size() && IsPunct(toks[i + 1], '(')) {
-      current->calls.push_back(GuardedCall{t.text, t.line, held_snapshot()});
+    if (t.kind != Token::Kind::kIdent) continue;
+
+    // Effect sites (heap allocation / string construction), as visible
+    // at token level.
+    const bool next_is_call =
+        i + 1 < toks.size() && IsPunct(toks[i + 1], '(');
+    const bool next_is_open =
+        i + 1 < toks.size() &&
+        (IsPunct(toks[i + 1], '(') || IsPunct(toks[i + 1], '<'));
+    if (t.text == "new") {
+      if (!(i > 0 && IsIdent(toks[i - 1], "operator"))) {
+        current->effects.push_back(EffectSite{EffectSite::Kind::kAlloc,
+                                              "new", t.line});
+      }
+    } else if (next_is_open &&
+               (t.text == "make_unique" || t.text == "make_shared" ||
+                t.text == "malloc" || t.text == "calloc" ||
+                t.text == "realloc" || t.text == "strdup")) {
+      current->effects.push_back(
+          EffectSite{EffectSite::Kind::kAlloc, t.text, t.line});
+    } else if (next_is_call && (t.text == "to_string" || t.text == "substr")) {
+      current->effects.push_back(
+          EffectSite{EffectSite::Kind::kString, t.text, t.line});
+    } else if (t.text == "ostringstream" || t.text == "stringstream") {
+      current->effects.push_back(
+          EffectSite{EffectSite::Kind::kString, t.text, t.line});
+    } else if (t.text == "string" && i >= 3 && IsPunct(toks[i - 1], ':') &&
+               IsPunct(toks[i - 2], ':') && IsIdent(toks[i - 3], "std") &&
+               i + 1 < toks.size() &&
+               (toks[i + 1].kind == Token::Kind::kIdent ||
+                IsPunct(toks[i + 1], '(') || IsPunct(toks[i + 1], '{'))) {
+      // `std::string local`/`std::string(...)` construct; `std::string&`,
+      // `std::string>` and `std::string::npos` do not.
+      current->effects.push_back(
+          EffectSite{EffectSite::Kind::kString, "std::string", t.line});
+    }
+
+    // Call site: `ident(` — the callee is the final identifier of the
+    // chain. Keywords, guard declarations (handled above) and the header
+    // of a UDL definition are not calls.
+    if (next_is_call && !IsCallKeyword(t.text) && !IsGuardType(t)) {
+      const bool udl_header =
+          i >= 2 && toks[i - 1].kind == Token::Kind::kString &&
+          toks[i - 1].text == "\"\"" && IsIdent(toks[i - 2], "operator");
+      const bool ctor_after_new = i > 0 && IsIdent(toks[i - 1], "new");
+      if (!udl_header && !ctor_after_new) {
+        CallSite cs;
+        cs.callee = t.text;
+        cs.form = CallSite::Form::kUnqualified;
+        cs.line = t.line;
+        cs.in_lambda = lambda_blocks > 0;
+        cs.held = held_snapshot();
+        if (i > 0 && IsPunct(toks[i - 1], '.')) {
+          cs.form = CallSite::Form::kMember;
+          if (i > 1 && toks[i - 2].kind == Token::Kind::kIdent) {
+            cs.qualifier = toks[i - 2].text;
+          }
+        } else if (i > 1 && IsPunct(toks[i - 1], '>') &&
+                   IsPunct(toks[i - 2], '-')) {
+          if (i > 2 && IsIdent(toks[i - 3], "this")) {
+            cs.form = CallSite::Form::kThis;
+          } else {
+            cs.form = CallSite::Form::kMember;
+            if (i > 2 && toks[i - 3].kind == Token::Kind::kIdent) {
+              cs.qualifier = toks[i - 3].text;
+            }
+          }
+        } else if (i > 1 && IsPunct(toks[i - 1], ':') &&
+                   IsPunct(toks[i - 2], ':')) {
+          cs.form = CallSite::Form::kQualified;
+          if (i > 2 && toks[i - 3].kind == Token::Kind::kIdent) {
+            cs.qualifier = toks[i - 3].text;
+          }
+        }
+        if (!held.empty()) {
+          current->calls.push_back(GuardedCall{cs.callee, cs.line, cs.held});
+        }
+        current->call_sites.push_back(std::move(cs));
+      }
+    }
+
+    // Candidate member access: a `_`-suffixed identifier read through
+    // `this` (explicitly or implicitly). Accesses through other
+    // receivers are skipped — the token model cannot type them.
+    if (t.text.size() > 1 && t.text.back() == '_' && !next_is_call) {
+      bool via_this = true;
+      if (i > 0) {
+        if (IsPunct(toks[i - 1], '.')) {
+          via_this = false;  // `obj.member_`
+        } else if (i > 1 && IsPunct(toks[i - 1], '>') &&
+                   IsPunct(toks[i - 2], '-')) {
+          via_this = i > 2 && IsIdent(toks[i - 3], "this");
+        } else if (i > 1 && IsPunct(toks[i - 1], ':') &&
+                   IsPunct(toks[i - 2], ':')) {
+          via_this = false;  // `Class::member_`
+        }
+      }
+      if (via_this) {
+        current->accesses.push_back(MemberAccess{
+            t.text, t.line, lambda_blocks > 0, held_snapshot()});
+      }
     }
   }
-  return functions;
+  file.functions = std::move(functions);
+}
+
+std::vector<FunctionLockModel> BuildLockModel(const SourceFile& file) {
+  SourceFile copy = file;
+  BuildFileModel(&copy);
+  return std::move(copy.functions);
 }
 
 }  // namespace tklus::analyze

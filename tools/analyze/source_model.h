@@ -1,6 +1,7 @@
 #ifndef TKLUS_TOOLS_ANALYZE_SOURCE_MODEL_H_
 #define TKLUS_TOOLS_ANALYZE_SOURCE_MODEL_H_
 
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +24,18 @@ struct IncludeDirective {
   std::string path;  // as written between the delimiters
   bool quoted;       // "module/header.h" (true) vs <vector> (false)
   int line;
+};
+
+// A `// NOLINT...` suppression comment, captured during lexing. The
+// sanctioned spelling is `// NOLINT(tklus-<rule>): <reason>` — the rule
+// parenthesized with its `tklus-` prefix, the reason mandatory. Malformed
+// forms are kept too (with the flags unset) so the suppression rule can
+// report them.
+struct Suppression {
+  int line;
+  std::string rule;  // without the "tklus-" prefix; empty if none given
+  bool has_rule;     // false for a bare `// NOLINT`
+  bool has_reason;   // true when non-space text follows the `:`
 };
 
 // One RAII lock guard (`MutexLock` / `ReaderMutexLock` /
@@ -52,16 +65,89 @@ struct GuardedCall {
   std::vector<HeldGuard> held;
 };
 
-// The flow-aware view of one function: every guard acquisition with its
-// in-scope predecessors, and every call made under a guard. Guard
-// lifetimes follow brace scopes (RAII), so a guard declared inside a
-// nested block stops being "held" at the block's closing brace. The
-// model is intraprocedural: a lock held by a caller is invisible here.
-struct FunctionLockModel {
-  std::string name;  // best-effort qualified name; may be empty
+// Every call site (guarded or not), with enough syntactic context for
+// the cross-TU call graph to resolve it conservatively: an unqualified
+// or `this->` call inside a member function prefers the same class, a
+// `Class::f(...)` call resolves through the qualifier, and a call
+// through an object receiver (`x.f(...)` / `p->f(...)`) resolves only
+// when exactly one function in the program bears that name.
+struct CallSite {
+  enum class Form { kUnqualified, kThis, kMember, kQualified };
+  std::string callee;     // final identifier of the call chain
+  std::string qualifier;  // `Class` for kQualified; receiver for kMember
+  Form form;
   int line;
+  // Inside a lambda body. The token model cannot tell a deferred lambda
+  // (thread entry, callback) from an immediately-invoked one, so the
+  // call graph drops these call sites entirely: a thread-entry call
+  // attributed to the spawning function would fabricate lock chains the
+  // spawner never executes. Intraprocedural rules still see the call.
+  bool in_lambda = false;
+  std::vector<HeldGuard> held;  // guards in scope at the call
+};
+
+// A heap-allocation or string-construction site inside a function body,
+// as visible at token level: `new`, make_unique/make_shared, the malloc
+// family, `std::string` construction, to_string/substr and the
+// stringstream types. Invisible allocations (container growth inside a
+// member call) are out of scope — hotpath-purity documents that bound.
+struct EffectSite {
+  enum class Kind { kAlloc, kString };
+  Kind kind;
+  std::string what;  // the spelling that triggered the record
+  int line;
+};
+
+// An unqualified or `this->` read/write of a `_`-suffixed identifier —
+// the candidate member accesses guard-discipline checks against the
+// GUARDED_BY annotations. Accesses through a non-this receiver are not
+// recorded: the token model cannot type the receiver, and a wrong guess
+// would be a false positive factory.
+struct MemberAccess {
+  std::string member;
+  int line;
+  bool in_lambda;  // inside a lambda body; guard-discipline skips these
+  std::vector<HeldGuard> held;
+};
+
+// A `TKLUS_GUARDED_BY(mu)` (or TKLUS_PT_GUARDED_BY) field annotation,
+// attributed to its enclosing class.
+struct FieldGuard {
+  std::string class_name;
+  std::string field;
+  std::string mutex;  // last identifier of the annotation argument
+  int line;
+};
+
+// A TKLUS_REQUIRES / TKLUS_REQUIRES_SHARED /
+// TKLUS_NO_THREAD_SAFETY_ANALYSIS annotation attached to a method
+// declaration or definition. Collected from headers and sources alike;
+// the program model merges them by (class, method).
+struct MethodAnnotation {
+  std::string class_name;
+  std::string method;
+  std::set<std::string> requires_locks;  // REQUIRES(_SHARED) arguments
+  bool no_thread_safety = false;
+  int line;
+};
+
+// The flow-aware view of one function: every guard acquisition with its
+// in-scope predecessors, every call made under a guard, plus the
+// interprocedural inputs — all call sites, effect sites and candidate
+// member accesses. Guard lifetimes follow brace scopes (RAII), so a
+// guard declared inside a nested block stops being "held" at the block's
+// closing brace. The per-function view is intraprocedural; the program
+// model (analyze/callgraph.h) propagates it across calls.
+struct FunctionLockModel {
+  std::string name;        // best-effort qualified name; may be empty
+  std::string class_name;  // from the name's prefix or the enclosing class
+  int line;
+  bool is_ctor_or_dtor = false;
   std::vector<GuardAcquire> acquisitions;
-  std::vector<GuardedCall> calls;
+  std::vector<GuardedCall> calls;  // calls under at least one guard
+  std::vector<CallSite> call_sites;
+  std::vector<EffectSite> effects;
+  std::vector<MemberAccess> accesses;
 };
 
 // The lexical model of one file that rules run against.
@@ -70,9 +156,12 @@ struct SourceFile {
   std::string module;  // "storage" for src/storage/...; "" outside src/
   std::vector<Token> tokens;
   std::vector<IncludeDirective> includes;
+  std::vector<Suppression> suppressions;
   // Statement model, filled by the analyzer after lexing (rules read it;
-  // unit tests may call BuildLockModel directly).
+  // unit tests may call BuildFileModel directly).
   std::vector<FunctionLockModel> functions;
+  std::vector<FieldGuard> guarded_fields;
+  std::vector<MethodAnnotation> method_annotations;
 };
 
 // Lexes `text` into the model. `rel_path` must already be normalized to
@@ -81,10 +170,17 @@ struct SourceFile {
 // line comment ending in `\` swallows its continuation, exactly like the
 // preprocessor), and raw string literals — including the u8R/uR/UR/LR
 // encoding-prefixed forms and d-char delimiters — collapse to a single
-// `<raw-string>` token.
+// `<raw-string>` token. NOLINT suppressions are captured from line
+// comments before they are stripped.
 SourceFile LexFile(std::string rel_path, std::string_view text);
 
-// Builds the function-scope statement model over a lexed file.
+// Builds the statement model over a lexed file in place: functions (with
+// call sites, effects and member accesses), GUARDED_BY field annotations
+// and method annotations.
+void BuildFileModel(SourceFile* file);
+
+// Legacy entry point: builds the function-scope statement model and
+// returns it (unit tests use this; the analyzer calls BuildFileModel).
 std::vector<FunctionLockModel> BuildLockModel(const SourceFile& file);
 
 // True if `path` ends with the path suffix `suffix` on a component

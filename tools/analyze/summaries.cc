@@ -1,0 +1,184 @@
+#include "analyze/summaries.h"
+
+#include <deque>
+#include <optional>
+
+#include "analyze/callgraph.h"
+
+namespace tklus::analyze {
+
+namespace {
+
+// Witness call chains stay readable: beyond this depth the tail is
+// elided (the site file:line in the diagnostic still pins the end).
+constexpr size_t kMaxWitness = 8;
+
+std::string DisplayOf(const ProgramFunction& fn) {
+  return !fn.qualified.empty()
+             ? fn.qualified
+             : fn.path + ":" + std::to_string(fn.line);
+}
+
+// The caller-side view of a callee's transitive acquire: same lock and
+// site, witness chain extended with the caller.
+TransitiveAcquire Lift(const ProgramFunction& caller,
+                       const TransitiveAcquire& acquire) {
+  TransitiveAcquire lifted = acquire;
+  if (lifted.path.size() < kMaxWitness) {
+    lifted.path.insert(lifted.path.begin(), DisplayOf(caller));
+  }
+  return lifted;
+}
+
+// Folds every callee summary of `fn` into `fn`'s own; true if anything
+// new was learned.
+bool FoldCallees(ProgramModel* program, int fn_id) {
+  ProgramFunction& fn = program->functions[fn_id];
+  bool changed = false;
+  for (const CallEdge& edge : fn.callees) {
+    if (edge.callee == fn_id) continue;  // direct recursion adds nothing
+    // Snapshot by index, not reference: callee == some other SCC member
+    // whose summary this same sweep grows is fine, the next sweep picks
+    // it up.
+    const size_t count =
+        program->functions[edge.callee].summary.acquires.size();
+    for (size_t i = 0; i < count; ++i) {
+      const TransitiveAcquire acquire =
+          program->functions[edge.callee].summary.acquires[i];
+      changed |= fn.summary.AddAcquire(Lift(fn, acquire));
+    }
+  }
+  return changed;
+}
+
+// The entry-held greatest fixpoint: starting from "unknown = everything"
+// for functions with same-class callers, repeatedly replace each
+// function's entry set with REQUIRES ∪ ⋂ over same-class caller edges of
+// (caller's entry set ∪ locks held at the call site). Monotonically
+// decreasing, so it terminates; the result can only *add* held locks to
+// what guard-discipline sees at an access, so propagation is strictly
+// false-positive-safe. Cross-class edges are excluded on purpose: lock
+// member names alias across classes (every class calls its mutex `mu_`),
+// and an edge from another class holding *its* `mu_` must not vouch for
+// ours.
+void PropagateEntryHeld(ProgramModel* program) {
+  const int n = static_cast<int>(program->functions.size());
+  // caller_edges[f]: (caller id, held-at-site) for same-class callers.
+  std::vector<std::vector<std::pair<int, const std::vector<std::string>*>>>
+      caller_edges(n);
+  for (int caller = 0; caller < n; ++caller) {
+    const ProgramFunction& from = program->functions[caller];
+    if (from.class_name.empty()) continue;
+    for (const CallEdge& edge : from.callees) {
+      if (edge.callee == caller) continue;
+      if (program->functions[edge.callee].class_name != from.class_name) {
+        continue;
+      }
+      caller_edges[edge.callee].emplace_back(caller, &edge.held);
+    }
+  }
+  for (int f = 0; f < n; ++f) {
+    ProgramFunction& fn = program->functions[f];
+    fn.entry_held = fn.requires_locks;
+    fn.entry_held_universal = !caller_edges[f].empty();
+  }
+  bool changed = true;
+  int sweeps = 0;
+  while (changed && sweeps++ < n + 2) {
+    changed = false;
+    for (int f = 0; f < n; ++f) {
+      if (caller_edges[f].empty()) continue;
+      ProgramFunction& fn = program->functions[f];
+      // nullopt = the universal set (all edges still unknown).
+      std::optional<std::set<std::string>> meet;
+      for (const auto& [caller, held] : caller_edges[f]) {
+        const ProgramFunction& from = program->functions[caller];
+        if (from.entry_held_universal) continue;  // Universe term
+        std::set<std::string> term = from.entry_held;
+        term.insert(held->begin(), held->end());
+        if (!meet.has_value()) {
+          meet = std::move(term);
+          continue;
+        }
+        for (auto it = meet->begin(); it != meet->end();) {
+          it = term.count(*it) > 0 ? std::next(it) : meet->erase(it);
+        }
+      }
+      if (!meet.has_value()) continue;  // still universal
+      meet->insert(fn.requires_locks.begin(), fn.requires_locks.end());
+      if (fn.entry_held_universal || *meet != fn.entry_held) {
+        fn.entry_held_universal = false;
+        fn.entry_held = std::move(*meet);
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ComputeSummaries(ProgramModel* program) {
+  // Bottom-up over SCCs: singleton components fold their callees once;
+  // cyclic components iterate until no member learns a new acquire. The
+  // (lock, site_path) dedup in AddAcquire bounds every summary, so the
+  // inner loop terminates.
+  for (const std::vector<int>& scc : program->SccOrder()) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const int fn_id : scc) {
+        changed |= FoldCallees(program, fn_id);
+      }
+      if (scc.size() == 1) break;
+    }
+  }
+  PropagateEntryHeld(program);
+}
+
+void ComputeHotPaths(const HotPathConfig& config, ProgramModel* program) {
+  if (!config.loaded) return;
+  std::deque<int> queue;
+  const auto mark_root = [&](int id) {
+    ProgramFunction& fn = program->functions[id];
+    if (fn.hot) return;
+    fn.hot = true;
+    fn.hot_path = {DisplayOf(fn)};
+    queue.push_back(id);
+  };
+  for (const std::string& root : config.roots) {
+    // A root may be spelled qualified or plain; every body matching the
+    // spelling is a root (roots are declared, not resolved — flagging
+    // both overloads of a declared hot entry point is the safe reading).
+    const auto q = program->by_qualified.find(root);
+    if (q != program->by_qualified.end()) {
+      for (const int id : q->second) mark_root(id);
+      continue;
+    }
+    const auto n = program->by_name.find(root);
+    if (n != program->by_name.end()) {
+      for (const int id : n->second) mark_root(id);
+    }
+  }
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    // Copy the witness — marking callees may reallocate functions? No:
+    // marking only mutates existing entries, but the vector reference
+    // stays valid; copy anyway so `hot_path` reads stay coherent while
+    // the callee's own path is being assembled.
+    const std::vector<std::string> witness = program->functions[v].hot_path;
+    for (const CallEdge& edge : program->functions[v].callees) {
+      ProgramFunction& callee = program->functions[edge.callee];
+      if (callee.hot) continue;
+      if (config.IsAllowed(callee.qualified, callee.last_name)) continue;
+      callee.hot = true;
+      callee.hot_path = witness;
+      if (callee.hot_path.size() < kMaxWitness) {
+        callee.hot_path.push_back(DisplayOf(callee));
+      }
+      queue.push_back(edge.callee);
+    }
+  }
+}
+
+}  // namespace tklus::analyze

@@ -1,0 +1,80 @@
+#ifndef TKLUS_TOOLS_ANALYZE_SUMMARIES_H_
+#define TKLUS_TOOLS_ANALYZE_SUMMARIES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/source_model.h"
+
+namespace tklus::analyze {
+
+struct ProgramModel;
+
+// One lock a function acquires either directly or through some chain of
+// calls, with the acquisition site and a witness call path (display
+// names, summarized function first, acquiring function last) so the
+// diagnostic can show *how* the lock gets taken. Summaries dedup by
+// (lock, site_path): two acquisitions of the same lock in the same file
+// collapse to the first-seen witness, which both bounds the fixpoint and
+// keeps per-function state small.
+struct TransitiveAcquire {
+  std::string lock;       // the guarded member, e.g. "append_mu_"
+  std::string site_path;  // file containing the acquisition statement
+  int site_line;
+  bool exclusive;
+  std::vector<std::string> path;  // witness call chain (capped)
+};
+
+// The interprocedural effect summary of one function. `AddAcquire`
+// returns false when an equivalent acquire (same lock + site file) is
+// already present — the monotone-growth check the fixpoint terminates
+// on.
+struct FunctionSummary {
+  std::vector<TransitiveAcquire> acquires;
+
+  bool AddAcquire(TransitiveAcquire acquire) {
+    for (const TransitiveAcquire& have : acquires) {
+      if (have.lock == acquire.lock && have.site_path == acquire.site_path) {
+        return false;
+      }
+    }
+    acquires.push_back(std::move(acquire));
+    return true;
+  }
+};
+
+// Hot-path configuration (tools/analyze/hotpath.conf): declared roots
+// (the scoring/postings inner loops), call names banned anywhere
+// reachable from a root, and audited leaf functions the reachability
+// walk neither flags nor traverses through.
+struct HotPathConfig {
+  bool loaded = false;
+  std::vector<std::string> roots;  // plain or Class::Method spellings
+  std::set<std::string> banned;    // blocking call names
+  std::set<std::string> allowed;   // audited leaves (skipped entirely)
+
+  bool IsAllowed(const std::string& qualified,
+                 const std::string& last) const {
+    return allowed.count(qualified) > 0 || allowed.count(last) > 0;
+  }
+};
+
+// Bottom-up summary propagation over the call graph: seeds every
+// function's summary with its own RAII acquisitions, then folds callee
+// summaries into callers in SCC order (iterating cyclic components to a
+// fixed point), and finally runs the entry-held propagation
+// guard-discipline reads (greatest fixpoint over same-class caller
+// edges, so a lock every same-class caller demonstrably holds counts as
+// held on entry). Fills ProgramFunction::summary / entry_held /
+// entry_held_universal.
+void ComputeSummaries(ProgramModel* program);
+
+// Marks every function reachable from a configured root (stopping at
+// `allow`ed functions) hot, recording a witness path from the root.
+// Must run after ProgramModel::Build; independent of ComputeSummaries.
+void ComputeHotPaths(const HotPathConfig& config, ProgramModel* program);
+
+}  // namespace tklus::analyze
+
+#endif  // TKLUS_TOOLS_ANALYZE_SUMMARIES_H_
