@@ -43,6 +43,8 @@ struct PassStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t threads_built = 0;
+  uint64_t sid_store_hits = 0;
+  uint64_t sid_store_fallback_rows = 0;
 };
 
 // One serial pass over the workload, accumulating the QueryStats that the
@@ -61,6 +63,8 @@ PassStats RunPass(TkLusEngine& engine, const std::vector<TkLusQuery>& queries) {
     pass.cache_hits += result->stats.popularity_cache_hits;
     pass.cache_misses += result->stats.popularity_cache_misses;
     pass.threads_built += result->stats.threads_built;
+    pass.sid_store_hits += result->stats.sid_store_hits;
+    pass.sid_store_fallback_rows += result->stats.sid_store_fallback_rows;
   }
   return pass;
 }
@@ -274,8 +278,18 @@ int main(int argc, char** argv) {
               (unsigned long long)warm.db_page_reads,
               (unsigned long long)warm.cache_hits,
               (unsigned long long)warm.cache_misses, warm_hit_rate);
-  std::printf("warm-pass page-read reduction: %.1f%%\n\n",
+  std::printf("warm-pass page-read reduction: %.1f%%\n",
               100.0 * read_reduction);
+  // Steady state the SidStore promises: every candidate row resolves out
+  // of the denormalized array (hits == rows), and the warm pass never
+  // falls back to the metadata B+-tree (fallback rows == 0).
+  std::printf("sid store: %llu entries, %.1f MiB; warm hits %llu, warm "
+              "fallback rows %llu\n\n",
+              (unsigned long long)engine->sid_store().entry_count(),
+              static_cast<double>(engine->sid_store().size_bytes()) /
+                  (1024.0 * 1024.0),
+              (unsigned long long)warm.sid_store_hits,
+              (unsigned long long)warm.sid_store_fallback_rows);
 
   // ---- throughput scaling (warm cache for every point, so the only
   // variable is reader concurrency).
@@ -396,6 +410,20 @@ int main(int argc, char** argv) {
                (unsigned long long)warm.cache_hits,
                (unsigned long long)warm.cache_misses, warm_hit_rate);
   std::fprintf(out, "    \"db_page_read_reduction\": %.4f\n", read_reduction);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sid_store\": {\n");
+  std::fprintf(out, "    \"entries\": %llu,\n",
+               (unsigned long long)engine->sid_store().entry_count());
+  std::fprintf(out, "    \"bytes\": %llu,\n",
+               (unsigned long long)engine->sid_store().size_bytes());
+  std::fprintf(out,
+               "    \"cold_hits\": %llu, \"cold_fallback_rows\": %llu,\n",
+               (unsigned long long)cold.sid_store_hits,
+               (unsigned long long)cold.sid_store_fallback_rows);
+  std::fprintf(out,
+               "    \"warm_hits\": %llu, \"warm_fallback_rows\": %llu\n",
+               (unsigned long long)warm.sid_store_hits,
+               (unsigned long long)warm.sid_store_fallback_rows);
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);

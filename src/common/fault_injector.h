@@ -43,6 +43,10 @@ inline constexpr char kWalFsync[] = "wal.fsync";
 inline constexpr char kWalTruncate[] = "wal.truncate";
 inline constexpr char kFileWrite[] = "file.write";
 inline constexpr char kFileRename[] = "file.rename";
+// Consulted by the engine immediately before the sid_store.bin artifact
+// write, so the recovery sweep can kill exactly that checkpoint window
+// (kFileWrite would fire on the first artifact instead).
+inline constexpr char kSidStoreWrite[] = "sid_store.write";
 }  // namespace faults
 
 // A seeded, deterministic fault injector shared by every layer that does

@@ -23,6 +23,8 @@ struct QueryMetricFamilies {
   Counter* user_queries;
   Counter* tweet_queries;
   Counter* slow_queries;
+  Counter* sid_store_hits;
+  Counter* sid_store_fallback_rows;
   Histogram* latency_ms;
 
   static const QueryMetricFamilies& Get() {
@@ -37,6 +39,13 @@ struct QueryMetricFamilies {
       f->slow_queries = reg.GetCounter(
           "tklus_slow_queries_total",
           "Queries admitted to the slow-query log.");
+      f->sid_store_hits = reg.GetCounter(
+          "tklus_sid_store_hits_total",
+          "Candidate rows resolved O(1) by the denormalized sid store.");
+      f->sid_store_fallback_rows = reg.GetCounter(
+          "tklus_sid_store_fallback_rows_total",
+          "Candidate rows that fell back to the metadata DB B+-tree "
+          "(sid store detached or stale).");
       f->latency_ms = reg.GetHistogram(
           "tklus_query_latency_ms", "End-to-end query latency (ms).",
           {0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500});
@@ -84,6 +93,7 @@ constexpr uint64_t kMetaBlobMagic = 0x62644d7375754b54ULL;  // "TkLusMdb"
 // safety of its own.
 constexpr char kLiveDbFile[] = "/meta.live.db";
 constexpr char kDbBlobFile[] = "/meta.db";
+constexpr char kSidStoreFile[] = "/sid_store.bin";
 constexpr char kWalFile[] = "/wal.log";
 
 TweetMeta ToMeta(const Post& p) {
@@ -161,8 +171,13 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Build(
       MetadataDb::Create(options.working_dir + kLiveDbFile, db_options);
   if (!db.ok()) return db.status();
   engine->db_ = std::move(*db);
+  // The denormalized sid table is populated in lockstep with the DB from
+  // the start: every committed row lands in both.
+  engine->sid_store_ = std::make_unique<SidStore>();
   for (const Post& p : dataset.posts()) {
-    TKLUS_RETURN_IF_ERROR(engine->db_->Insert(ToMeta(p)));
+    const TweetMeta row = ToMeta(p);
+    TKLUS_RETURN_IF_ERROR(engine->db_->Insert(row));
+    engine->sid_store_->Put(row);
   }
 
   // Hybrid index built with MapReduce into the simulated DFS.
@@ -261,6 +276,7 @@ void TkLusEngine::FinishConstruction() {
     processor_->set_popularity_cache(popularity_cache_.get());
   }
   processor_->set_delta_index(delta_.get());
+  processor_->set_sid_store(sid_store_.get());
 
   MetricsRegistry& reg = MetricsRegistry::Global();
   delta_posts_gauge_ = reg.GetGauge(
@@ -272,6 +288,12 @@ void TkLusEngine::FinishConstruction() {
   delta_merges_total_ = reg.GetCounter(
       "tklus_delta_merges_total",
       "Delta-index folds into the hybrid index (background or explicit).");
+  sid_store_entries_gauge_ = reg.GetGauge(
+      "tklus_sid_store_entries",
+      "Rows resident in the denormalized sid store (== committed DB rows).");
+  sid_store_bytes_gauge_ = reg.GetGauge(
+      "tklus_sid_store_bytes",
+      "Resident bytes of the denormalized sid store's slot arrays.");
   UpdateDeltaGaugesLocked();
   StartMergeThread();
 }
@@ -295,6 +317,9 @@ void TkLusEngine::UpdateDeltaGaugesLocked() {
   if (delta_posts_gauge_ == nullptr) return;
   delta_posts_gauge_->Set(static_cast<int64_t>(delta_->post_count()));
   delta_bytes_gauge_->Set(static_cast<int64_t>(delta_->approx_bytes()));
+  sid_store_entries_gauge_->Set(
+      static_cast<int64_t>(sid_store_->entry_count()));
+  sid_store_bytes_gauge_->Set(static_cast<int64_t>(sid_store_->size_bytes()));
 }
 
 Status TkLusEngine::AppendBatch(const Dataset& batch) {
@@ -370,8 +395,13 @@ Status TkLusEngine::FoldDeltaLocked() {
   // the delta: DropThrough only sheds posts at or below the watermark.
   WriterMutexLock lock(&mu_);
   for (size_t i = 0; i < batch.size(); ++i) {
+    const TweetMeta row = ToMeta(batch.posts()[i]);
+    // Unconditional: for rows the DB already holds (recovery re-absorbed
+    // an already-folded batch) the Put is an idempotent overwrite with
+    // identical bytes, so store == DB holds after every commit.
+    sid_store_->Put(row);
     if ((*existing)[i].has_value()) continue;
-    TKLUS_RETURN_IF_ERROR(db_->Insert(ToMeta(batch.posts()[i])));
+    TKLUS_RETURN_IF_ERROR(db_->Insert(row));
   }
   index_->CommitAppend(*std::move(prepared));
   delta_->DropThrough(watermark);
@@ -414,13 +444,19 @@ Status TkLusEngine::CheckpointLocked(const std::string& dir) {
   // Serialize under the shared lock (queries keep running; appends and
   // folds are excluded by the locks this function requires), write off
   // the lock entirely.
-  std::string dfs_payload, index_payload, engine_payload;
+  std::string dfs_payload, index_payload, sid_store_payload, engine_payload;
   {
     ReaderMutexLock lock(&mu_);
     {
       std::ostringstream out(std::ios::binary);
       TKLUS_RETURN_IF_ERROR(dfs_->Save(out));
       dfs_payload = out.str();
+    }
+    {
+      std::ostringstream out(std::ios::binary);
+      sid_store_->Save(out);
+      if (!out) return Status::IoError("short write saving sid_store.bin");
+      sid_store_payload = out.str();
     }
     {
       std::ostringstream out(std::ios::binary);
@@ -479,12 +515,15 @@ Status TkLusEngine::CheckpointLocked(const std::string& dir) {
     serde::WriteString(out, *crc_bytes);
     db_blob = out.str();
   }
-  // Fixed artifact order — meta.db, dfs.bin, index.bin, engine.bin — so
-  // every crash window is recoverable: the watermark (engine.bin) only
-  // advances once everything it refers to is in place, the forward index
-  // (index.bin) only once the DFS blocks it points at are, and a stale
-  // watermark merely makes recovery re-absorb posts the newer artifacts
-  // already hold, which the base-wins merge rules deduplicate.
+  // Fixed artifact order — meta.db, dfs.bin, index.bin, sid_store.bin,
+  // engine.bin — so every crash window is recoverable: the watermark
+  // (engine.bin) only advances once everything it refers to is in place,
+  // the forward index (index.bin) only once the DFS blocks it points at
+  // are, and a stale watermark merely makes recovery re-absorb posts the
+  // newer artifacts already hold, which the base-wins merge rules
+  // deduplicate. The sid store is derived data: a crash leaving it stale
+  // relative to meta.db is caught by Open's entry-count lockstep check
+  // and repaired by a rebuild, never trusted.
   FaultInjector* faults = options_.fault_injector;
   TKLUS_RETURN_IF_ERROR(
       fileio::WriteFileAtomic(dir + kDbBlobFile, db_blob, faults));
@@ -492,6 +531,14 @@ Status TkLusEngine::CheckpointLocked(const std::string& dir) {
       fileio::WriteFileAtomic(dir + "/dfs.bin", dfs_payload, faults));
   TKLUS_RETURN_IF_ERROR(
       fileio::WriteFileAtomic(dir + "/index.bin", index_payload, faults));
+  // Dedicated kill point: lets the recovery sweep crash exactly between
+  // index.bin and sid_store.bin (site kFileWrite would fire on meta.db).
+  if (faults != nullptr) {
+    TKLUS_RETURN_IF_ERROR(
+        faults->MaybeFail(faults::kSidStoreWrite, dir + kSidStoreFile));
+  }
+  TKLUS_RETURN_IF_ERROR(fileio::WriteFileAtomic(dir + kSidStoreFile,
+                                                sid_store_payload, faults));
   TKLUS_RETURN_IF_ERROR(
       fileio::WriteFileAtomic(dir + "/engine.bin", engine_payload, faults));
   if (SamePath(dir, options_.working_dir)) {
@@ -540,6 +587,34 @@ Result<std::unique_ptr<TkLusEngine>> TkLusEngine::Open(const std::string& dir,
   auto db = MetadataDb::Open(dir + kLiveDbFile, db_options);
   if (!db.ok()) return db.status();
   engine->db_ = std::move(*db);
+
+  // Denormalized sid table: trust the checkpoint artifact only when it is
+  // intact AND in lockstep with the restored DB (entry count == row count
+  // — counts grow monotonically with content a function of the count, so
+  // equality implies identity). Anything else — absent (a pre-SidStore
+  // checkpoint), torn, corrupt, or stale from a crash window between
+  // artifact writes — falls back to a full rebuild from the B+-tree.
+  // Never fatal: the store is derived data.
+  {
+    Result<SidStore> store = SidStore::LoadFromFile(dir + kSidStoreFile);
+    if (store.ok() && store->entry_count() == engine->db_->row_count()) {
+      engine->sid_store_ = std::make_unique<SidStore>(std::move(store).value());
+    } else {
+      const std::string reason =
+          store.ok() ? "stale (entry count != DB row count)"
+                     : store.status().ToString();
+      TKLUS_LOG(Warning) << "sid store artifact unusable: " << reason
+                         << "; rebuilding from the metadata DB";
+      Result<SidStore> rebuilt = SidStore::RebuildFromDb(engine->db_.get());
+      if (!rebuilt.ok()) return rebuilt.status();
+      engine->sid_store_ = std::make_unique<SidStore>(std::move(rebuilt).value());
+      MetricsRegistry::Global()
+          .GetCounter("tklus_sid_store_rebuilds_total",
+                      "Full sid-store rebuilds from the metadata DB "
+                      "(missing/torn/stale checkpoint artifact).")
+          ->Increment();
+    }
+  }
 
   engine->dfs_ = std::make_unique<SimulatedDfs>(options.dfs);
   engine->dfs_->set_fault_injector(options.fault_injector);
@@ -742,6 +817,12 @@ void TkLusEngine::RecordQueryObservability(const char* kind,
                                            const QueryStats& stats) const {
   const QueryMetricFamilies& metrics = QueryMetricFamilies::Get();
   (kind[1] == 't' ? metrics.tweet_queries : metrics.user_queries)->Increment();
+  if (stats.sid_store_hits > 0) {
+    metrics.sid_store_hits->Increment(stats.sid_store_hits);
+  }
+  if (stats.sid_store_fallback_rows > 0) {
+    metrics.sid_store_fallback_rows->Increment(stats.sid_store_fallback_rows);
+  }
   metrics.latency_ms->Observe(stats.elapsed_ms);
   if (slow_log_->ShouldRecord(stats.elapsed_ms)) {
     metrics.slow_queries->Increment();

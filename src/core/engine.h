@@ -25,6 +25,7 @@
 #include "social/popularity_cache.h"
 #include "social/social_graph.h"
 #include "storage/metadata_db.h"
+#include "storage/sid_store.h"
 #include "storage/wal.h"
 #include "text/vocabulary.h"
 
@@ -196,6 +197,11 @@ class TkLusEngine {
   SimulatedDfs& dfs() { return *dfs_; }
   QueryProcessor& processor() { return *processor_; }
   const DeltaIndex& delta_index() const { return *delta_; }
+  // Denormalized O(1) sid -> row table the sid_resolve stage reads instead
+  // of the B+-tree; populated at build and at every delta-merge commit,
+  // checkpointed as sid_store.bin, rebuilt from the DB when the artifact
+  // is missing/torn/stale.
+  const SidStore& sid_store() const { return *sid_store_; }
   const Wal& wal() const { return *wal_; }
   // Slow-query ring buffer (internally thread-safe; always constructed,
   // disabled when Options::slow_query_ms <= 0).
@@ -263,6 +269,10 @@ class TkLusEngine {
   std::unique_ptr<HybridIndex> index_;
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<DeltaIndex> delta_;  // guarded by mu_ like the fields below
+  // Read-optimized twin of db_'s committed rows (see storage/sid_store.h):
+  // mutated only inside fold commits / construction (exclusive lock), read
+  // lock-free by concurrent queries like the other mu_-disciplined state.
+  std::unique_ptr<SidStore> sid_store_;
   SocialGraph graph_ TKLUS_GUARDED_BY(mu_);
   UpperBoundRegistry bounds_ TKLUS_GUARDED_BY(mu_);
   Vocabulary vocabulary_ TKLUS_GUARDED_BY(mu_);
@@ -295,6 +305,8 @@ class TkLusEngine {
   Gauge* delta_posts_gauge_ = nullptr;
   Gauge* delta_bytes_gauge_ = nullptr;
   Counter* delta_merges_total_ = nullptr;
+  Gauge* sid_store_entries_gauge_ = nullptr;
+  Gauge* sid_store_bytes_gauge_ = nullptr;
 };
 
 }  // namespace tklus

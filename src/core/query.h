@@ -111,6 +111,12 @@ struct QueryStats {
   // cache is disabled.
   uint64_t popularity_cache_hits = 0;
   uint64_t popularity_cache_misses = 0;
+  // sid_resolve traffic split: candidates served by the O(1) SidStore vs
+  // rows that had to fall back to the metadata DB's B+-tree (neither the
+  // store nor the delta overlay held the sid). Fallback rows are zero in
+  // steady state — nonzero means the store is stale relative to the DB.
+  uint64_t sid_store_hits = 0;
+  uint64_t sid_store_fallback_rows = 0;
   uint64_t db_page_reads = 0;   // metadata DB physical reads
   uint64_t dfs_block_reads = 0; // postings fetch reads
   // Fault-tolerance accounting: DFS reads re-issued after a transient

@@ -185,6 +185,63 @@ std::vector<std::string> QueryProcessor::NormalizeKeywords(
   return terms;
 }
 
+Result<std::vector<std::optional<TweetMeta>>> QueryProcessor::ResolveCandidates(
+    const std::vector<Posting>& candidates, Tracer& tracer,
+    QueryStats* stats) {
+  StageScope resolve_stage(tracer, stage::kSidResolve, db_, index_);
+  // Scratch is thread_local, not a member: the processor is shared by
+  // concurrent query threads, and hoisting the buffers out of the per-query
+  // scope drops two allocations per query once each thread is warm.
+  static thread_local std::vector<int64_t> candidate_sids;
+  candidate_sids.clear();
+  candidate_sids.reserve(candidates.size());
+  for (const Posting& posting : candidates) {
+    candidate_sids.push_back(posting.tid);
+  }
+
+  std::vector<std::optional<TweetMeta>> metas(candidates.size());
+  uint64_t store_hits = 0;
+  if (sid_store_ != nullptr) {
+    store_hits = sid_store_->ResolveBatch(candidate_sids, &metas);
+  }
+  // Overlay order is equivalent to the historical db-then-delta join: the
+  // store carries exactly the DB's committed rows, and a sid present in
+  // both (the crash-recovery double-apply window) carries an identical row
+  // in both, so base-wins semantics are unchanged.
+  FillMetasFromDelta(delta_, candidate_sids, &metas);
+
+  // B+-tree fallback for rows neither the store nor the delta held —
+  // empty in steady state (the exclusive-commit window keeps the store in
+  // lockstep with the DB), non-empty only when the store is detached or
+  // stale, where correctness beats the extra descents.
+  static thread_local std::vector<int64_t> missing_sids;
+  static thread_local std::vector<size_t> missing_slots;
+  missing_sids.clear();
+  missing_slots.clear();
+  for (size_t i = 0; i < metas.size(); ++i) {
+    if (metas[i].has_value()) continue;
+    missing_sids.push_back(candidate_sids[i]);
+    missing_slots.push_back(i);
+  }
+  if (!missing_sids.empty()) {
+    Result<std::vector<std::optional<TweetMeta>>> rows =
+        db_->SelectBySidBatch(missing_sids);
+    if (!rows.ok()) return rows.status();
+    for (size_t j = 0; j < missing_slots.size(); ++j) {
+      metas[missing_slots[j]] = (*rows)[j];
+    }
+    stats->sid_store_fallback_rows += missing_sids.size();
+  }
+  stats->sid_store_hits += store_hits;
+
+  resolve_stage.span().AddCounter("rows_resolved", metas.size());
+  resolve_stage.span().AddCounter("sid_store_hits", store_hits);
+  resolve_stage.span().AddCounter("sid_store_fallback_rows",
+                                  missing_sids.size());
+  resolve_stage.End();
+  return metas;
+}
+
 double QueryProcessor::UserDistanceScore(UserId uid,
                                          const TkLusQuery& query) const {
   const auto it = user_locations_->find(uid);
@@ -322,22 +379,11 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
   TopKTracker tracker(query.k);
 
   // Line 20 (Alg. 4) / line 22 (Alg. 5): resolve every candidate's user
-  // and location through the metadata DB. Candidates are tid-sorted
-  // (postings combination preserves order), so the whole run resolves
-  // with one batched descent + a leaf-chain walk of the sid B+-tree
-  // instead of one root-to-leaf descent per candidate.
-  StageScope resolve_stage(tracer, stage::kSidResolve, db_, index_);
-  std::vector<int64_t> candidate_sids;
-  candidate_sids.reserve(candidates.size());
-  for (const Posting& posting : candidates) {
-    candidate_sids.push_back(posting.tid);
-  }
+  // and location — O(1) through the SidStore, with the delta overlay and
+  // the B+-tree fallback behind it (see ResolveCandidates).
   Result<std::vector<std::optional<TweetMeta>>> metas =
-      db_->SelectBySidBatch(candidate_sids);
+      ResolveCandidates(candidates, tracer, &stats);
   if (!metas.ok()) return metas.status();
-  FillMetasFromDelta(delta_, candidate_sids, &*metas);
-  resolve_stage.span().AddCounter("rows_resolved", metas->size());
-  resolve_stage.End();
 
   AttachDeltaChildren(delta_, thread_builder);
   StageScope thread_stage(tracer, stage::kThreadConstruction, db_, index_);
@@ -500,19 +546,10 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
   ThreadBuilder thread_builder(
       db_, ThreadBuilder::Options{options_.thread_depth,
                                   options_.scoring.epsilon});
-  // Same batched sid resolution as Process: one descent per tid-sorted run.
-  StageScope resolve_stage(tracer, stage::kSidResolve, db_, index_);
-  std::vector<int64_t> candidate_sids;
-  candidate_sids.reserve(candidates.size());
-  for (const Posting& posting : candidates) {
-    candidate_sids.push_back(posting.tid);
-  }
+  // Same shared sid resolution as Process: SidStore + delta overlay.
   Result<std::vector<std::optional<TweetMeta>>> metas =
-      db_->SelectBySidBatch(candidate_sids);
+      ResolveCandidates(candidates, tracer, &stats);
   if (!metas.ok()) return metas.status();
-  FillMetasFromDelta(delta_, candidate_sids, &*metas);
-  resolve_stage.span().AddCounter("rows_resolved", metas->size());
-  resolve_stage.End();
 
   AttachDeltaChildren(delta_, thread_builder);
   StageScope thread_stage(tracer, stage::kThreadConstruction, db_, index_);

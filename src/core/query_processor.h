@@ -17,9 +17,12 @@
 #include "social/popularity_cache.h"
 #include "social/thread_builder.h"
 #include "storage/metadata_db.h"
+#include "storage/sid_store.h"
 #include "text/tokenizer.h"
 
 namespace tklus {
+
+class Tracer;  // obs/trace.h
 
 // Executes TkLUS queries against the hybrid index + metadata database:
 // Algorithm 4 (sum-score ranking) and Algorithm 5 (max-score ranking with
@@ -83,6 +86,14 @@ class QueryProcessor {
   void set_delta_index(const DeltaIndex* delta) { delta_ = delta; }
   const DeltaIndex* delta_index() const { return delta_; }
 
+  // Attaches the engine-owned denormalized sid table (nullptr detaches:
+  // every candidate resolves through the metadata DB again). When set,
+  // the sid_resolve stage reads SidStore first, overlays the delta on the
+  // misses, and touches the B+-tree only for rows neither holds — zero DB
+  // page reads on the common path.
+  void set_sid_store(const SidStore* store) { sid_store_ = store; }
+  const SidStore* sid_store() const { return sid_store_; }
+
  private:
   struct UserState {
     double delta_user = 0.0;  // Def. 9 user distance score (query-fixed)
@@ -91,6 +102,18 @@ class QueryProcessor {
     size_t matched = 0;       // candidates within radius
     TweetId best_tweet = 0;   // argmax rho(p, q)
   };
+
+  // The shared sid_resolve stage of Process/ProcessTweets: opens the
+  // kSidResolve span and resolves every candidate posting to its metadata
+  // row — SidStore first (O(1), no I/O), delta overlay on the misses
+  // (db-wins semantics preserved: the store carries exactly the DB's
+  // committed state), metadata-DB batch lookup only for rows neither
+  // holds. One entry per candidate, in order (nullopt where the sid is
+  // unknown everywhere). Scratch vectors are thread_local: the processor
+  // stays free of per-query state under concurrent callers.
+  Result<std::vector<std::optional<TweetMeta>>> ResolveCandidates(
+      const std::vector<Posting>& candidates, Tracer& tracer,
+      QueryStats* stats);
 
   // Def. 9: average distance score of all the user's posts.
   double UserDistanceScore(UserId uid, const TkLusQuery& query) const;
@@ -109,6 +132,7 @@ class QueryProcessor {
   Options options_;
   PopularityCache* popularity_cache_ = nullptr;  // optional, engine-owned
   const DeltaIndex* delta_ = nullptr;            // optional, engine-owned
+  const SidStore* sid_store_ = nullptr;          // optional, engine-owned
 };
 
 }  // namespace tklus

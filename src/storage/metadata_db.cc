@@ -159,6 +159,14 @@ Result<std::vector<TweetMeta>> MetadataDb::SelectByRsid(int64_t rsid) {
   return rows;
 }
 
+Status MetadataDb::ScanRows(const std::function<void(const TweetMeta&)>& fn) {
+  return heap_->Scan([&fn](Rid, const char* rec) {
+    TweetMeta row;
+    std::memcpy(&row, rec, sizeof(TweetMeta));
+    fn(row);
+  });
+}
+
 Result<int64_t> MetadataDb::MaxReplyFanout() {
   if (max_fanout_cache_.has_value()) return *max_fanout_cache_;
   std::unordered_map<int64_t, int64_t> fanout;

@@ -2,6 +2,7 @@
 #define TKLUS_STORAGE_METADATA_DB_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -93,6 +94,12 @@ class MetadataDb {
   // "select all where rsid equals to Id" — all direct replies/forwards of
   // tweet `rsid`.
   Result<std::vector<TweetMeta>> SelectByRsid(int64_t rsid);
+
+  // Full heap scan, one callback per committed row (heap order). Backs
+  // offline derivations from the source of truth — notably the SidStore
+  // rebuild path. NOT safe concurrently with Insert/FlushAll; callers
+  // hold an exclusive lock like every other scan.
+  Status ScanRows(const std::function<void(const TweetMeta&)>& fn);
 
   // The largest reply fan-out over all tweets: the paper's t_m used by the
   // global upper-bound popularity (Def. 11). O(n) scan; computed once

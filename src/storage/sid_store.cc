@@ -1,0 +1,138 @@
+#include "storage/sid_store.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/file_io.h"
+#include "common/serde.h"
+
+namespace tklus {
+
+namespace {
+
+constexpr uint64_t kSidStoreMagic = 0x3153524453554c54ull;  // "TLUSDRS1"
+constexpr uint32_t kSidStoreVersion = 1;
+
+}  // namespace
+
+void SidStore::Put(const TweetMeta& row) {
+  if (entries_.empty()) {
+    base_sid_ = row.sid;
+    entries_.resize(1);
+    valid_.resize(1, 0);
+  } else if (row.sid < base_sid_) {
+    // Never hit by the engine (its sids are monotone); kept correct for
+    // arbitrary insertion orders (rebuild scans, tests).
+    const size_t shift = static_cast<size_t>(base_sid_ - row.sid);
+    entries_.insert(entries_.begin(), shift, TweetMeta{});
+    valid_.insert(valid_.begin(), shift, 0);
+    base_sid_ = row.sid;
+  } else if (static_cast<uint64_t>(row.sid - base_sid_) >= entries_.size()) {
+    const size_t need = static_cast<size_t>(row.sid - base_sid_) + 1;
+    entries_.resize(need);
+    valid_.resize(need, 0);
+  }
+  const size_t slot = static_cast<size_t>(row.sid - base_sid_);
+  entry_count_ += valid_[slot] == 0 ? 1 : 0;
+  entries_[slot] = row;
+  valid_[slot] = 1;
+}
+
+std::optional<TweetMeta> SidStore::Resolve(int64_t sid) const {
+  const std::optional<size_t> slot = SlotOf(sid);
+  if (!slot.has_value() || valid_[*slot] == 0) return std::nullopt;
+  return entries_[*slot];
+}
+
+uint64_t SidStore::ResolveBatch(
+    std::span<const int64_t> sids,
+    std::vector<std::optional<TweetMeta>>* metas) const {
+  uint64_t filled = 0;
+  for (size_t i = 0; i < sids.size(); ++i) {
+    const std::optional<size_t> slot = SlotOf(sids[i]);
+    if (!slot.has_value() || valid_[*slot] == 0) continue;
+    (*metas)[i] = entries_[*slot];
+    ++filled;
+  }
+  return filled;
+}
+
+uint64_t SidStore::size_bytes() const {
+  return entries_.capacity() * sizeof(TweetMeta) + valid_.capacity();
+}
+
+void SidStore::Save(std::ostream& out) const {
+  serde::WriteU64(out, kSidStoreMagic);
+  serde::WriteU32(out, kSidStoreVersion);
+  serde::WriteI64(out, base_sid_);
+  serde::WriteU64(out, entries_.size());
+  serde::WriteU64(out, entry_count_);
+  out.write(reinterpret_cast<const char*>(entries_.data()),
+            static_cast<std::streamsize>(entries_.size() * sizeof(TweetMeta)));
+  out.write(reinterpret_cast<const char*>(valid_.data()),
+            static_cast<std::streamsize>(valid_.size()));
+}
+
+Result<SidStore> SidStore::Load(std::istream& in) {
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  int64_t base_sid = 0;
+  uint64_t slots = 0;
+  uint64_t declared_entries = 0;
+  if (!serde::ReadU64(in, &magic) || magic != kSidStoreMagic) {
+    return Status::Corruption("sid store: bad magic");
+  }
+  if (!serde::ReadU32(in, &version) || version != kSidStoreVersion) {
+    return Status::Corruption("sid store: unsupported version");
+  }
+  if (!serde::ReadI64(in, &base_sid) || !serde::ReadU64(in, &slots) ||
+      !serde::ReadU64(in, &declared_entries)) {
+    return Status::Corruption("sid store: truncated header");
+  }
+  SidStore store;
+  store.base_sid_ = base_sid;
+  store.entries_.resize(slots);
+  store.valid_.resize(slots);
+  in.read(reinterpret_cast<char*>(store.entries_.data()),
+          static_cast<std::streamsize>(slots * sizeof(TweetMeta)));
+  if (static_cast<uint64_t>(in.gcount()) != slots * sizeof(TweetMeta)) {
+    return Status::Corruption("sid store: truncated entries");
+  }
+  in.read(reinterpret_cast<char*>(store.valid_.data()),
+          static_cast<std::streamsize>(slots));
+  if (static_cast<uint64_t>(in.gcount()) != slots) {
+    return Status::Corruption("sid store: truncated validity map");
+  }
+  for (const uint8_t v : store.valid_) {
+    store.entry_count_ += v != 0 ? 1 : 0;
+  }
+  if (store.entry_count_ != declared_entries) {
+    return Status::Corruption("sid store: entry count mismatch");
+  }
+  return store;
+}
+
+Status SidStore::SaveToFile(const std::string& path,
+                            FaultInjector* faults) const {
+  std::ostringstream payload;
+  Save(payload);
+  return fileio::WriteFileAtomic(path, payload.str(), faults);
+}
+
+Result<SidStore> SidStore::LoadFromFile(const std::string& path) {
+  Result<std::string> payload = fileio::ReadFileVerified(path);
+  if (!payload.ok()) return payload.status();
+  std::istringstream in(*payload);
+  return Load(in);
+}
+
+Result<SidStore> SidStore::RebuildFromDb(MetadataDb* db) {
+  SidStore store;
+  TKLUS_RETURN_IF_ERROR(
+      db->ScanRows([&store](const TweetMeta& row) { store.Put(row); }));
+  return store;
+}
+
+}  // namespace tklus

@@ -1,0 +1,104 @@
+#ifndef TKLUS_STORAGE_SID_STORE_H_
+#define TKLUS_STORAGE_SID_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/status.h"
+#include "storage/metadata_db.h"
+
+namespace tklus {
+
+// Denormalized O(1) sid -> TweetMeta resolution table — the read-optimized
+// twin of the metadata DB's sid B+-tree. BENCH_query.json localized ~90%
+// of query time (and every warm db_page_read) in the sid_resolve stage,
+// where each candidate posting paid a root-to-leaf descent to join
+// (sid -> uid, lat, lon, ruid, rsid). Sids are dense (timestamps assigned
+// sequentially by the generators and appenders), so the join collapses to
+// one subtraction and an array load: entries are stored in a flat
+// array-of-structs indexed by `sid - base_sid`, with a parallel validity
+// byte per slot (sentinel uids are not assumed).
+//
+// Write-side contract: the B+-tree/MetadataDb stays the source of truth.
+// The store is populated at index build and at delta-merge commit (the
+// engine's exclusive-commit window), persisted as a checksummed artifact
+// in the checkpoint sequence, and rebuilt wholesale from the B+-tree when
+// the artifact is missing, torn, or stale — a damaged store is never
+// fatal and never consulted.
+//
+// Concurrency: externally synchronized, exactly like DeltaIndex — Put and
+// the (de)serializers run under the engine's exclusive lock; Resolve /
+// ResolveBatch are const and safe for any number of concurrent readers
+// between commits.
+class SidStore {
+ public:
+  SidStore() = default;
+  SidStore(SidStore&&) = default;
+  SidStore& operator=(SidStore&&) = default;
+  SidStore(const SidStore&) = delete;
+  SidStore& operator=(const SidStore&) = delete;
+
+  // Inserts or overwrites the row's slot. Sids far from dense only cost
+  // memory (absent slots hold one entry + one validity byte); slots below
+  // the current base trigger an O(n) front-shift, which never happens on
+  // the engine's append-only (monotone sid) write path.
+  void Put(const TweetMeta& row);
+
+  // O(1) point lookup; nullopt when the sid has no committed row.
+  std::optional<TweetMeta> Resolve(int64_t sid) const;
+
+  // Vectorized lookup: fills metas[i] for every sids[i] present in the
+  // store, leaves the rest untouched (so a delta/db overlay can fill the
+  // misses), and returns the number of slots filled. metas.size() must
+  // equal sids.size().
+  uint64_t ResolveBatch(std::span<const int64_t> sids,
+                        std::vector<std::optional<TweetMeta>>* metas) const;
+
+  // Rows present (not slot capacity). Matches MetadataDb::row_count()
+  // exactly when store and DB were committed together — the staleness
+  // check Open() uses.
+  uint64_t entry_count() const { return entry_count_; }
+  // Resident bytes of the slot + validity arrays.
+  uint64_t size_bytes() const;
+
+  // (De)serialization of the full table (used inside the checkpoint
+  // artifact). Load returns kCorruption on truncation or bad magic.
+  void Save(std::ostream& out) const;
+  static Result<SidStore> Load(std::istream& in);
+
+  // Checkpoint artifact: Save framed by fileio::WriteFileAtomic (payload +
+  // CRC32 footer, temp + fsync + rename); LoadFromFile verifies the footer
+  // first and returns kNotFound / kCorruption like every other artifact.
+  Status SaveToFile(const std::string& path,
+                    FaultInjector* faults = nullptr) const;
+  static Result<SidStore> LoadFromFile(const std::string& path);
+
+  // Full rebuild from the source of truth: one heap scan over every
+  // committed row. The recovery path for a missing/torn/stale artifact.
+  static Result<SidStore> RebuildFromDb(MetadataDb* db);
+
+ private:
+  // Slot index of `sid`, or nullopt when outside [base_sid_, base_sid_ +
+  // slots). Keeps Resolve branch-light: one subtract + one unsigned
+  // compare covers both bounds.
+  std::optional<size_t> SlotOf(int64_t sid) const {
+    if (entries_.empty()) return std::nullopt;
+    const uint64_t offset =
+        static_cast<uint64_t>(sid) - static_cast<uint64_t>(base_sid_);
+    if (offset >= entries_.size()) return std::nullopt;
+    return static_cast<size_t>(offset);
+  }
+
+  int64_t base_sid_ = 0;            // sid of slot 0 (meaningless when empty)
+  std::vector<TweetMeta> entries_;  // dense slots, base_sid_ + i
+  std::vector<uint8_t> valid_;      // 1 <=> entries_[i] holds a row
+  uint64_t entry_count_ = 0;        // number of valid slots
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_STORAGE_SID_STORE_H_

@@ -1,5 +1,6 @@
-// Fixture: Leaf is one call away from the declared hot root
-// Engine::Score and constructs a std::string — reachable impurity the
+// Fixture: both impurities are one call away from the declared hot root
+// Engine::Score — Leaf constructs a std::string, and ResolveMeta joins
+// through the banned B+-tree entry point — reachable effects the
 // per-function view cannot see.
 namespace tklus {
 
@@ -8,9 +9,13 @@ double Leaf(int n) {
   return label.size() > 1 ? 1.0 : 0.0;
 }
 
+double ResolveMeta(int n) {
+  return SelectBySidBatch(n) > 0 ? 1.0 : 0.0;  // must fire: banned join
+}
+
 class Engine {
  public:
-  double Score(int n) { return Leaf(n); }
+  double Score(int n) { return Leaf(n) + ResolveMeta(n); }
 };
 
 }  // namespace tklus

@@ -1,12 +1,15 @@
-// Fixture: the same call shape as the fail tree, but the reachable
-// helper is pure arithmetic — nothing for hotpath-purity to flag.
+// Fixture: the same call shape as the fail tree, but both reachable
+// helpers are pure — Leaf is arithmetic and ResolveMeta is an O(1)
+// array probe (the sid-store shape), so nothing fires.
 namespace tklus {
 
 double Leaf(int n) { return n > 0 ? 1.0 / n : 0.0; }
 
+double ResolveMeta(int n) { return Leaf(n) + 1.0; }
+
 class Engine {
  public:
-  double Score(int n) { return Leaf(n); }
+  double Score(int n) { return Leaf(n) + ResolveMeta(n); }
 };
 
 }  // namespace tklus

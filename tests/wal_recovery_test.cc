@@ -415,16 +415,21 @@ INSTANTIATE_TEST_SUITE_P(
         KillPoint{faults::kFileWrite, FaultKind::kTornWrite, "file_torn"},
         KillPoint{faults::kFileRename, FaultKind::kPermanent, "file_rename"},
         KillPoint{faults::kDiskWrite, FaultKind::kPermanent, "disk_write"},
-        KillPoint{faults::kDiskWrite, FaultKind::kTornWrite, "disk_torn"}),
+        KillPoint{faults::kDiskWrite, FaultKind::kTornWrite, "disk_torn"},
+        // Crash exactly between index.bin and sid_store.bin: the image
+        // holds a folded DB but a stale sid store, which Open's lockstep
+        // check must catch and rebuild.
+        KillPoint{faults::kSidStoreWrite, FaultKind::kPermanent,
+                  "sid_store_write"}),
     [](const ::testing::TestParamInfo<KillPoint>& info) {
       return info.param.label;
     });
 
 // Every inter-artifact crash window of the checkpoint protocol, built
 // deterministically: artifacts are written in the fixed order meta.db ->
-// dfs.bin -> index.bin -> engine.bin -> WAL truncate, so a crash image
-// with the first j artifacts new, the rest old, and the pre-truncate WAL
-// is exactly "the crash hit after artifact j".
+// dfs.bin -> index.bin -> sid_store.bin -> engine.bin -> WAL truncate,
+// so a crash image with the first j artifacts new, the rest old, and the
+// pre-truncate WAL is exactly "the crash hit after artifact j".
 TEST_F(EngineRecoveryTest, EveryCheckpointCrashWindowRecovers) {
   const fs::path dir = TempDir("ckptwin");
   Dataset acked = seed_;
@@ -443,8 +448,8 @@ TEST_F(EngineRecoveryTest, EveryCheckpointCrashWindowRecovers) {
     CopyDir(dir, after);  // new artifacts + truncated WAL
 
     const char* artifacts[] = {"meta.db", "dfs.bin", "index.bin",
-                               "engine.bin"};
-    for (size_t j = 0; j <= 4; ++j) {
+                               "sid_store.bin", "engine.bin"};
+    for (size_t j = 0; j <= 5; ++j) {
       const fs::path window = TempDir("ckptwin_" + std::to_string(j));
       CopyDir(before, window);  // start from the pre-checkpoint state
       for (size_t i = 0; i < j; ++i) {
@@ -461,6 +466,64 @@ TEST_F(EngineRecoveryTest, EveryCheckpointCrashWindowRecovers) {
     }
     fs::remove_all(before);
     fs::remove_all(after);
+  }
+  fs::remove_all(dir);
+}
+
+// The sid-store checkpoint artifact is derived data: byte damage in its
+// payload or footer — and outright deletion — must fall back to a full
+// rebuild from the B+-tree inside Open. Never fatal, never stale rows.
+TEST_F(EngineRecoveryTest, DamagedSidStoreArtifactFallsBackToRebuild) {
+  Counter* rebuilds = MetricsRegistry::Global().GetCounter(
+      "tklus_sid_store_rebuilds_total",
+      "Full sid-store rebuilds from the metadata DB "
+      "(missing/torn/stale checkpoint artifact).");
+  const fs::path dir = TempDir("sidstore");
+  Dataset acked = seed_;
+  {
+    auto engine = TkLusEngine::Build(seed_, DurableOptions(dir, nullptr));
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Save(dir.string()).ok());
+    for (size_t b = 0; b < 2; ++b) {
+      ASSERT_TRUE((*engine)->AppendBatch(batches_[b]).ok());
+      acked = Concat(acked, batches_[b]);
+    }
+    // Fold + re-checkpoint so sid_store.bin covers the appended batches
+    // and the WAL is empty — recovery below rides on the artifact alone.
+    ASSERT_TRUE((*engine)->MergeNow().ok());
+  }
+  for (const std::string damage : {"flip_payload", "flip_footer", "delete"}) {
+    const fs::path crash = TempDir("sidstore_" + damage);
+    CopyDir(dir, crash);
+    if (damage == "flip_payload") {
+      FlipByte(crash / "sid_store.bin", 64);  // an entry byte: CRC mismatch
+    } else if (damage == "flip_footer") {
+      FlipByte(crash / "sid_store.bin", -4);  // footer magic: not an artifact
+    } else {
+      fs::remove(crash / "sid_store.bin");  // kNotFound
+    }
+    const uint64_t rebuilds_before = rebuilds->Value();
+    auto reopened = TkLusEngine::Open(crash.string());
+    ASSERT_TRUE(reopened.ok())
+        << damage << ": " << reopened.status().ToString();
+    EXPECT_EQ(rebuilds->Value() - rebuilds_before, 1u) << damage;
+    EXPECT_EQ((*reopened)->sid_store().entry_count(),
+              (*reopened)->metadata_db().row_count())
+        << damage;
+    ExpectMatchesOracle(**reopened, acked, corpus_.city_centers[0], damage);
+    // The rebuilt store serves the whole candidate set: no B+-tree
+    // fallback rows on a steady-state query.
+    TkLusQuery q;
+    q.location = corpus_.city_centers[0];
+    q.radius_km = 15.0;
+    q.keywords = {"hotel"};
+    q.k = 10;
+    auto result = (*reopened)->Query(q);
+    ASSERT_TRUE(result.ok()) << damage;
+    EXPECT_GT(result->stats.sid_store_hits, 0u) << damage;
+    EXPECT_EQ(result->stats.sid_store_fallback_rows, 0u) << damage;
+    reopened->reset();
+    fs::remove_all(crash);
   }
   fs::remove_all(dir);
 }
