@@ -1,0 +1,359 @@
+// Open-loop load harness for the request server (DESIGN.md §16): drives
+// the loopback query server fronting a ShardedEngine at N=1 and N=4
+// shards, measures closed-loop saturation QPS, then replays an open-loop
+// Poisson arrival schedule at fractions of saturation — latency is
+// completion minus *scheduled* arrival, so queueing delay under overload
+// is charged to the server, not hidden by coordinated omission.
+//
+// Emits machine-readable BENCH_server.json (schema: EXPERIMENTS.md
+// "BENCH_server.json") so CI can validate the scatter-gather scaling
+// claim (N=4 saturation >= 2x N=1, gated on >= 4 hardware threads —
+// a single-core box serializes the shards and proves nothing).
+//
+// Flags:
+//   --smoke       small corpus + short passes (CI-friendly, <1 min)
+//   --out <path>  JSON destination (default: BENCH_server.json in cwd)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/sharded_engine.h"
+#include "datagen/query_workload.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace tklus;
+using Clock = std::chrono::steady_clock;
+
+double Percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+struct LoadResult {
+  double offered_qps = 0.0;  // 0 => closed loop (no pacing)
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t requests = 0;
+};
+
+std::vector<std::string> EncodeWorkload(const datagen::GeneratedCorpus& corpus,
+                                        size_t limit) {
+  datagen::WorkloadOptions options;
+  std::vector<TkLusQuery> queries =
+      datagen::MakeQueryWorkload(corpus, options);
+  if (queries.size() > limit) queries.resize(limit);
+  std::vector<std::string> frames;
+  frames.reserve(queries.size());
+  for (const TkLusQuery& q : queries) {
+    server::WireRequest request;
+    request.query = q;
+    frames.push_back(server::EncodeRequest(request));
+  }
+  return frames;
+}
+
+int DialOrDie(int port) {
+  auto fd = server::Connect(port);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 fd.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *fd;
+}
+
+server::WireResponse CallOrDie(int fd, const std::string& frame) {
+  if (const Status st = server::WriteFrame(fd, frame); !st.ok()) {
+    std::fprintf(stderr, "request failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  std::string payload;
+  bool eof = false;
+  if (const Status st = server::ReadFrame(fd, 1 << 20, &payload, &eof);
+      !st.ok() || eof) {
+    std::fprintf(stderr, "response failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  server::WireResponse response;
+  if (const Status st = server::DecodeResponse(payload, &response);
+      !st.ok()) {
+    std::fprintf(stderr, "decode failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  if (response.code != 0) {
+    std::fprintf(stderr, "server error: %s\n", response.message.c_str());
+    std::exit(1);
+  }
+  return response;
+}
+
+// Closed loop: `connections` senders issue back-to-back requests for
+// `seconds`. The aggregate rate is the server's saturation throughput;
+// latencies are per-request round trips at full load.
+LoadResult RunClosedLoop(int port, const std::vector<std::string>& frames,
+                         int connections, double seconds) {
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(connections));
+  std::atomic<uint64_t> total{0};
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  std::vector<std::thread> senders;
+  for (int c = 0; c < connections; ++c) {
+    senders.emplace_back([&, c] {
+      const int fd = DialOrDie(port);
+      size_t next = static_cast<size_t>(c);
+      while (Clock::now() < deadline) {
+        const Clock::time_point sent = Clock::now();
+        CallOrDie(fd, frames[next % frames.size()]);
+        latencies[static_cast<size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - sent)
+                .count());
+        next += static_cast<size_t>(connections);
+        total.fetch_add(1, std::memory_order_relaxed);
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : senders) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LoadResult result;
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  result.requests = total.load();
+  result.achieved_qps =
+      elapsed > 0 ? static_cast<double>(result.requests) / elapsed : 0.0;
+  result.p50_ms = Percentile(all, 0.50);
+  result.p99_ms = Percentile(all, 0.99);
+  return result;
+}
+
+// Open loop: a Poisson arrival schedule at `offered_qps` is fixed up
+// front; senders dispatch each request at its scheduled instant (or as
+// soon as their connection frees up) and latency is measured from the
+// *schedule*, so a server that falls behind accrues queueing delay.
+LoadResult RunOpenLoop(int port, const std::vector<std::string>& frames,
+                       int connections, double offered_qps, double seconds,
+                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> arrivals;  // seconds from start
+  double t = 0.0;
+  while (t < seconds) {
+    const double u = rng.NextDouble();
+    t += -std::log(1.0 - u) / offered_qps;
+    if (t < seconds) arrivals.push_back(t);
+  }
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(connections));
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> senders;
+  for (int c = 0; c < connections; ++c) {
+    senders.emplace_back([&, c] {
+      const int fd = DialOrDie(port);
+      for (size_t i = static_cast<size_t>(c); i < arrivals.size();
+           i += static_cast<size_t>(connections)) {
+        const Clock::time_point scheduled =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(arrivals[i]));
+        std::this_thread::sleep_until(scheduled);
+        CallOrDie(fd, frames[i % frames.size()]);
+        latencies[static_cast<size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      scheduled)
+                .count());
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& t2 : senders) t2.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LoadResult result;
+  result.offered_qps = offered_qps;
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  result.requests = arrivals.size();
+  result.achieved_qps =
+      elapsed > 0 ? static_cast<double>(result.requests) / elapsed : 0.0;
+  result.p50_ms = Percentile(all, 0.50);
+  result.p99_ms = Percentile(all, 0.99);
+  return result;
+}
+
+struct ShardRun {
+  int num_shards = 0;
+  LoadResult saturation;
+  std::vector<LoadResult> open_loop;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_server.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out path]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::Scale scale = bench::ScaleFromEnv();
+  if (smoke && std::getenv("TKLUS_BENCH_TWEETS") == nullptr) {
+    scale.tweets = 8000;
+    scale.users = 400;
+  }
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  const int workers = static_cast<int>(std::max(4u, hardware_threads));
+  const int connections = workers;
+  const double pass_seconds = smoke ? 1.0 : 4.0;
+
+  bench::Banner(
+      "Query server — open-loop load vs shard count",
+      "geohash-sharded scatter-gather parallelizes the per-shard fetch "
+      "work across cores; with >= 4 hardware threads the 4-shard server "
+      "saturates at >= 2x the single-shard QPS");
+  std::printf(
+      "corpus: %zu tweets, %zu users; workers/connections: %d; "
+      "hardware threads: %u\n\n",
+      scale.tweets, scale.users, workers, hardware_threads);
+
+  const datagen::GeneratedCorpus corpus = bench::MakeCorpus(scale);
+  const std::vector<std::string> frames =
+      EncodeWorkload(corpus, smoke ? 30 : 90);
+  if (frames.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  std::vector<ShardRun> runs;
+  for (const int num_shards : {1, 4}) {
+    ShardedEngine::Options options;
+    options.num_shards = num_shards;
+    options.shard.scoring.n_norm = bench::kBenchNNorm;
+    options.shard.buffer_pool_pages = 256;
+    auto engine = ShardedEngine::Build(corpus.dataset, options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "sharded build failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    server::RequestServer::Options server_options;
+    server_options.num_workers = workers;
+    auto srv = server::RequestServer::Start(engine->get(), server_options);
+    if (!srv.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   srv.status().ToString().c_str());
+      return 1;
+    }
+    const int port = (*srv)->port();
+
+    // Warm the caches so saturation measures steady state.
+    {
+      const int fd = DialOrDie(port);
+      for (size_t i = 0; i < std::min<size_t>(frames.size(), 20); ++i) {
+        CallOrDie(fd, frames[i]);
+      }
+      ::close(fd);
+    }
+
+    ShardRun run;
+    run.num_shards = num_shards;
+    run.saturation = RunClosedLoop(port, frames, connections, pass_seconds);
+    std::printf(
+        "shards=%d  saturation: %.0f qps  p50 %.2f ms  p99 %.2f ms  "
+        "(%llu requests)\n",
+        num_shards, run.saturation.achieved_qps, run.saturation.p50_ms,
+        run.saturation.p99_ms,
+        static_cast<unsigned long long>(run.saturation.requests));
+    for (const double fraction : {0.3, 0.6, 0.9}) {
+      const double offered =
+          std::max(1.0, fraction * run.saturation.achieved_qps);
+      const LoadResult r = RunOpenLoop(port, frames, connections, offered,
+                                       pass_seconds, /*seed=*/99);
+      std::printf(
+          "shards=%d  open-loop %.0f qps offered: %.0f achieved  "
+          "p50 %.2f ms  p99 %.2f ms\n",
+          num_shards, r.offered_qps, r.achieved_qps, r.p50_ms, r.p99_ms);
+      run.open_loop.push_back(r);
+    }
+    std::printf("\n");
+    (*srv)->Stop();
+    runs.push_back(std::move(run));
+  }
+
+  const double qps_1 = runs[0].saturation.achieved_qps;
+  const double qps_4 = runs[1].saturation.achieved_qps;
+  const double speedup = qps_1 > 0 ? qps_4 / qps_1 : 0.0;
+  std::printf("4-shard / 1-shard saturation QPS: %.2fx\n", speedup);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"tklus-bench-server-v1\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out,
+               "  \"corpus\": {\"tweets\": %zu, \"users\": %zu},\n",
+               scale.tweets, scale.users);
+  std::fprintf(out, "  \"hardware_threads\": %u,\n", hardware_threads);
+  std::fprintf(out, "  \"workers\": %d,\n", workers);
+  std::fprintf(out, "  \"connections\": %d,\n", connections);
+  std::fprintf(out, "  \"shards\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ShardRun& run = runs[i];
+    std::fprintf(out, "    {\n");
+    std::fprintf(out, "      \"num_shards\": %d,\n", run.num_shards);
+    std::fprintf(out,
+                 "      \"saturation\": {\"qps\": %.2f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"requests\": %llu},\n",
+                 run.saturation.achieved_qps, run.saturation.p50_ms,
+                 run.saturation.p99_ms,
+                 static_cast<unsigned long long>(run.saturation.requests));
+    std::fprintf(out, "      \"open_loop\": [\n");
+    for (size_t j = 0; j < run.open_loop.size(); ++j) {
+      const LoadResult& r = run.open_loop[j];
+      std::fprintf(out,
+                   "        {\"offered_qps\": %.2f, \"achieved_qps\": %.2f, "
+                   "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                   r.offered_qps, r.achieved_qps, r.p50_ms, r.p99_ms,
+                   j + 1 < run.open_loop.size() ? "," : "");
+    }
+    std::fprintf(out, "      ]\n");
+    std::fprintf(out, "    }%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"qps_speedup_4_vs_1\": %.3f\n", speedup);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

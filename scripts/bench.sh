@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Runs the machine-readable performance baselines and leaves
-# BENCH_query.json + BENCH_ingest.json in the repo root.
+# BENCH_query.json + BENCH_ingest.json + BENCH_server.json in the
+# repo root.
 #
 # Usage:
 #   scripts/bench.sh             full run (default 60k-tweet corpus)
@@ -20,15 +21,19 @@ find_bin() {
 
 query_bin=$(find_bin bench_query_throughput)
 ingest_bin=$(find_bin bench_ingest)
+server_bin=$(find_bin bench_server_loadgen)
 if [ -z "$query_bin" ] || [ ! -x "$query_bin" ] ||
-   [ -z "$ingest_bin" ] || [ ! -x "$ingest_bin" ]; then
+   [ -z "$ingest_bin" ] || [ ! -x "$ingest_bin" ] ||
+   [ -z "$server_bin" ] || [ ! -x "$server_bin" ]; then
   echo "bench: building benchmark binaries"
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build -j"$(nproc)" --target bench_query_throughput \
-    --target bench_ingest
+    --target bench_ingest --target bench_server_loadgen
   query_bin=build/bench/bench_query_throughput
   ingest_bin=build/bench/bench_ingest
+  server_bin=build/bench/bench_server_loadgen
 fi
 
 "$query_bin" --out BENCH_query.json "$@"
 "$ingest_bin" --out BENCH_ingest.json "$@"
+"$server_bin" --out BENCH_server.json "$@"

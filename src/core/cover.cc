@@ -1,0 +1,12 @@
+#include "core/cover.h"
+
+#include "geo/circle_cover.h"
+
+namespace tklus {
+
+std::vector<std::string> ComputeCover(const TkLusQuery& query,
+                                      int geohash_length) {
+  return GeohashCircleCover(query.location, query.radius_km, geohash_length);
+}
+
+}  // namespace tklus

@@ -1,0 +1,22 @@
+#ifndef TKLUS_CORE_COVER_H_
+#define TKLUS_CORE_COVER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+
+namespace tklus {
+
+// The one cover-computation path shared by the single-engine
+// QueryProcessor and the ShardedEngine's scatter-gather router
+// (Alg. 4/5 line 1): the sorted geohash cells of length `geohash_length`
+// covering the query circle. Both sides calling this exact function is
+// what keeps single and sharded covers from ever drifting — the shard
+// router partitions precisely the cells the processors will fetch.
+std::vector<std::string> ComputeCover(const TkLusQuery& query,
+                                      int geohash_length);
+
+}  // namespace tklus
+
+#endif  // TKLUS_CORE_COVER_H_

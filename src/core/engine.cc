@@ -12,6 +12,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tklus {
 
@@ -424,6 +425,10 @@ Status TkLusEngine::MergeNow() {
     MutexLock merge_lock(&merge_mu_);
     TKLUS_RETURN_IF_ERROR(FoldDeltaLocked());
   }
+  // Checkpoint coordination delegated upward (ShardedEngine::Save): a fold
+  // here must never truncate WAL records the router's plane checkpoint
+  // does not cover yet.
+  if (!options_.auto_checkpoint) return Status::Ok();
   if (!has_checkpoint_.load(std::memory_order_acquire)) return Status::Ok();
   MutexLock append_lock(&append_mu_);
   MutexLock merge_lock(&merge_mu_);
@@ -810,6 +815,19 @@ Result<TweetQueryResult> TkLusEngine::QueryTweets(const TkLusQuery& query) {
   }();
   if (result.ok()) RecordQueryObservability("qt", query, result->stats);
   return result;
+}
+
+Result<std::vector<ResolvedCandidate>> TkLusEngine::FetchCandidates(
+    const TkLusQuery& query, const std::vector<std::string>& terms,
+    const std::vector<std::string>& cells, bool count_postings_lists,
+    Tracer* tracer, QueryStats* stats) {
+  ReaderMutexLock lock(&mu_);
+  Tracer disabled(nullptr);
+  return processor_->FetchCandidates(query, terms, cells,
+                                     count_postings_lists,
+                                     /*account_io=*/true,
+                                     tracer != nullptr ? *tracer : disabled,
+                                     stats);
 }
 
 void TkLusEngine::RecordQueryObservability(const char* kind,

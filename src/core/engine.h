@@ -116,6 +116,12 @@ class TkLusEngine {
     // truncates when a checkpoint is established). 0 disables the
     // background merge: the delta grows until Save()/MergeNow() folds it.
     size_t delta_merge_posts = 4096;
+    // When false, folds never checkpoint or truncate the WAL on their own
+    // — only an explicit Save(dir) does. The ShardedEngine runs its shards
+    // this way: a shard checkpoint is only safe after the router has
+    // persisted its own plane watermark, so checkpoint timing must be
+    // coordinated above the shard.
+    bool auto_checkpoint = true;
   };
 
   // Builds every subsystem from `dataset`. The dataset is not retained.
@@ -179,6 +185,20 @@ class TkLusEngine {
   // retrieve tweets" alternative): ranks tweets, not users.
   Result<TweetQueryResult> QueryTweets(const TkLusQuery& query)
       TKLUS_EXCLUDES(mu_);
+
+  // The fetch half of a query against this engine's slice of the data:
+  // postings for `cells` ∩ `terms` (base ⊎ delta), combined, temporally
+  // filtered and resolved to metadata rows, under the engine's shared
+  // lock. The ShardedEngine's scatter phase — each shard is handed only
+  // the cover cells it owns and returns a tid-sorted candidate stream;
+  // ranking happens above, at the router's plane. I/O deltas for the call
+  // are accumulated into `stats`. `tracer` may be null;
+  // `count_postings_lists` keeps the user-query/tweet-query stats
+  // asymmetry (see QueryProcessor::FetchCandidates).
+  Result<std::vector<ResolvedCandidate>> FetchCandidates(
+      const TkLusQuery& query, const std::vector<std::string>& terms,
+      const std::vector<std::string>& cells, bool count_postings_lists,
+      Tracer* tracer, QueryStats* stats) TKLUS_EXCLUDES(mu_);
 
   // Component access for benchmarks, ablations and tests. These bypass
   // mu_ (hence the analysis opt-outs): callers must ensure no concurrent

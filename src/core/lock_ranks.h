@@ -9,14 +9,23 @@
 // This is the same DAG the static analyzer checks lexically — declared in
 // tools/analyze/lockorder.conf — so keep the two in sync:
 //
+//   order ingest_mu_ plane_mu_ ...     (4 -> 6, ShardedEngine)
 //   order append_mu_ merge_mu_ mu_     (10 -> 20 -> 30)
 //   order append_mu_ merge_wake_mu_    (10 -> 40)
+//
+// The ShardedEngine's locks rank *below* every per-shard engine lock: a
+// sharded append or save holds its router locks while calling into shard
+// engines (which then take append_mu_/merge_mu_/mu_), and a sharded query
+// holds plane_mu_ shared across the per-shard fetch fan-out (mu_ shared).
 //
 // Gaps between ranks leave room to slot a new lock into the middle of a
 // chain without renumbering.
 
 namespace tklus::lockrank {
 
+inline constexpr int kServerQueueMu = 2;    // RequestServer::queue_mu_
+inline constexpr int kShardedIngestMu = 4;  // ShardedEngine::ingest_mu_
+inline constexpr int kShardedPlaneMu = 6;   // ShardedEngine::plane_mu_
 inline constexpr int kAppendMu = 10;     // Engine::append_mu_
 inline constexpr int kMergeMu = 20;      // Engine::merge_mu_
 inline constexpr int kEngineMu = 30;     // Engine::mu_ (innermost)

@@ -25,6 +25,12 @@ inline constexpr char kPostingsFetch[] = "postings_fetch";
 inline constexpr char kSidResolve[] = "sid_resolve";
 inline constexpr char kThreadConstruction[] = "thread_construction";
 inline constexpr char kScoreTopk[] = "score_topk";
+// Sharded-query spans (ShardedEngine): one kShardFetch per shard the
+// cover touches (wrapping that shard's kPostingsFetch/kSidResolve), then
+// one kShardMerge for the tid-ordered candidate merge. The ranking stages
+// above follow under the same root span.
+inline constexpr char kShardFetch[] = "shard_fetch";
+inline constexpr char kShardMerge[] = "shard_merge";
 
 inline constexpr char kCounterDbPageReads[] = "db_page_reads";
 inline constexpr char kCounterDfsBlockReads[] = "dfs_block_reads";

@@ -1,10 +1,11 @@
 #include "core/query_processor.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <unordered_set>
 
-#include "geo/circle_cover.h"
+#include "core/cover.h"
 #include "geo/distance.h"
 #include "index/postings_ops.h"
 #include "obs/stopwatch.h"
@@ -97,12 +98,15 @@ struct IoBaselines {
     return b;
   }
 
+  // Accumulates (rather than assigns) so the sharded router can sum the
+  // per-shard FetchCandidates deltas into one QueryStats; the single-engine
+  // path starts from a Reset() so the behavior there is unchanged.
   void Finish(MetadataDb* db, const HybridIndex* index,
               QueryStats& stats) const {
-    stats.db_page_reads = db->disk().stats().page_reads - db_page_reads;
-    stats.dfs_block_reads = DfsBlockReads(index->dfs()) - dfs_block_reads;
-    stats.dfs_read_retries = index->fetch_retries() - fetch_retries;
-    stats.injected_faults = InjectedFaults(index->dfs()) - injected_faults;
+    stats.db_page_reads += db->disk().stats().page_reads - db_page_reads;
+    stats.dfs_block_reads += DfsBlockReads(index->dfs()) - dfs_block_reads;
+    stats.dfs_read_retries += index->fetch_retries() - fetch_retries;
+    stats.injected_faults += InjectedFaults(index->dfs()) - injected_faults;
   }
 };
 
@@ -110,14 +114,17 @@ struct IoBaselines {
 // Every stage records stage::kCounterDbPageReads/kCounterDfsBlockReads
 // (even when zero), and the stages tile the candidate-to-result path, so
 // summing a counter over stage spans reproduces the QueryStats total.
+// Tolerates null db/index (the ShardedEngine's ranking plane has neither;
+// its stages perform no direct I/O, so the counters record zero).
 class StageScope {
  public:
   StageScope(Tracer& tracer, std::string_view name, MetadataDb* db,
              const HybridIndex* index)
       : db_(db), index_(index), span_(tracer.StartSpan(name)) {
     if (span_.active()) {
-      db_reads_before_ = db_->disk().stats().page_reads;
-      dfs_reads_before_ = DfsBlockReads(index_->dfs());
+      db_reads_before_ =
+          db_ == nullptr ? 0 : db_->disk().stats().page_reads.load();
+      dfs_reads_before_ = index_ == nullptr ? 0 : DfsBlockReads(index_->dfs());
     }
   }
   StageScope(const StageScope&) = delete;
@@ -128,10 +135,13 @@ class StageScope {
 
   void End() {
     if (span_.active()) {
-      span_.AddCounter(stage::kCounterDbPageReads,
-                       db_->disk().stats().page_reads - db_reads_before_);
+      const uint64_t db_reads =
+          db_ == nullptr ? 0 : db_->disk().stats().page_reads.load();
+      const uint64_t dfs_reads =
+          index_ == nullptr ? 0 : DfsBlockReads(index_->dfs());
+      span_.AddCounter(stage::kCounterDbPageReads, db_reads - db_reads_before_);
       span_.AddCounter(stage::kCounterDfsBlockReads,
-                       DfsBlockReads(index_->dfs()) - dfs_reads_before_);
+                       dfs_reads - dfs_reads_before_);
     }
     span_.End();
   }
@@ -162,15 +172,43 @@ void FillMetasFromDelta(const DeltaIndex* delta,
   }
 }
 
-// Extends thread traversal with delta-resident replies.
-void AttachDeltaChildren(const DeltaIndex* delta, ThreadBuilder& builder) {
-  if (delta == nullptr || delta->empty()) return;
-  builder.set_extra_children([delta](TweetId sid, std::vector<TweetId>* out) {
-    delta->AppendChildren(sid, out);
-  });
+}  // namespace
+
+void QueryProcessor::AttachChildrenSources(ThreadBuilder& builder) const {
+  // Hook the builder only when a source can actually contribute: attaching
+  // one turns on per-level dedup, and the single-engine no-delta path must
+  // keep its historical (hook-free) traversal byte-for-byte.
+  const DeltaIndex* delta =
+      (delta_ != nullptr && !delta_->empty()) ? delta_ : nullptr;
+  const ThreadBuilder::ExtraChildrenFn* extra =
+      extra_children_ ? &extra_children_ : nullptr;
+  if (delta == nullptr && extra == nullptr) return;
+  builder.set_extra_children(
+      [delta, extra](TweetId sid, std::vector<TweetId>* out) {
+        if (delta != nullptr) delta->AppendChildren(sid, out);
+        if (extra != nullptr) (*extra)(sid, out);
+      });
 }
 
-}  // namespace
+Status QueryProcessor::ValidateQuery(const TkLusQuery& query,
+                                     bool tweet_query) {
+  if (query.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (query.radius_km <= 0) {
+    return Status::InvalidArgument("radius must be positive");
+  }
+  if (query.temporal.half_life.has_value()) {
+    if (!query.temporal.reference.has_value()) {
+      return Status::InvalidArgument(
+          "temporal.half_life requires temporal.reference");
+    }
+    if (!tweet_query && *query.temporal.half_life <= 0) {
+      return Status::InvalidArgument("temporal.half_life must be positive");
+    }
+  }
+  return Status::Ok();
+}
 
 std::vector<std::string> QueryProcessor::NormalizeKeywords(
     const std::vector<std::string>& keywords) const {
@@ -242,6 +280,75 @@ Result<std::vector<std::optional<TweetMeta>>> QueryProcessor::ResolveCandidates(
   return metas;
 }
 
+Result<std::vector<ResolvedCandidate>> QueryProcessor::FetchCandidates(
+    const TkLusQuery& query, const std::vector<std::string>& terms,
+    const std::vector<std::string>& cells, bool count_postings_lists,
+    bool account_io, Tracer& tracer, QueryStats* stats) {
+  std::optional<IoBaselines> io;
+  if (account_io) io = IoBaselines::Capture(db_, index_);
+
+  // Lines 4-7: fetch postings lists per (cell, term).
+  StageScope fetch_stage(tracer, stage::kPostingsFetch, db_, index_);
+  std::vector<std::vector<Posting>> term_lists;
+  term_lists.reserve(terms.size());
+  for (const std::string& term : terms) {
+    if (count_postings_lists) {
+      for (const std::string& cell : cells) {
+        if (index_->forward_index().Lookup(cell, term) != nullptr) {
+          ++stats->postings_lists_fetched;
+        }
+      }
+    }
+    Result<std::vector<Posting>> list = index_->FetchTermPostings(cells, term);
+    if (!list.ok()) return list.status();
+    if (delta_ != nullptr && !delta_->empty()) {
+      *list = MergeDeltaPostings(*list, delta_->FetchTermPostings(cells, term));
+    }
+    term_lists.push_back(std::move(*list));
+  }
+
+  // Lines 9-14: AND intersects, OR unions.
+  std::vector<Posting> candidates = query.semantics == Semantics::kAnd
+                                        ? IntersectPostings(term_lists)
+                                        : UnionPostings(term_lists);
+  stats->candidates += candidates.size();
+  term_lists.clear();
+
+  // Temporal window (§VIII extension): tweet ids are timestamps, so the
+  // period filter applies directly to the combined postings, before any
+  // metadata I/O is spent.
+  if (query.temporal.begin || query.temporal.end) {
+    std::erase_if(candidates, [&query](const Posting& p) {
+      return !query.temporal.InWindow(p.tid);
+    });
+  }
+  if (count_postings_lists) {
+    fetch_stage.span().AddCounter("postings_lists",
+                                  stats->postings_lists_fetched);
+  }
+  fetch_stage.span().AddCounter("candidates", candidates.size());
+  fetch_stage.End();
+
+  // Line 20 (Alg. 4) / line 22 (Alg. 5): resolve every candidate's user
+  // and location — O(1) through the SidStore, with the delta overlay and
+  // the B+-tree fallback behind it (see ResolveCandidates).
+  Result<std::vector<std::optional<TweetMeta>>> metas =
+      ResolveCandidates(candidates, tracer, stats);
+  if (!metas.ok()) return metas.status();
+
+  std::vector<ResolvedCandidate> resolved;
+  resolved.reserve(candidates.size());
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    if (!(*metas)[ci].has_value()) {
+      return Status::Corruption("indexed tweet missing from metadata DB: " +
+                                std::to_string(candidates[ci].tid));
+    }
+    resolved.push_back(ResolvedCandidate{candidates[ci], *(*metas)[ci]});
+  }
+  if (io.has_value()) io->Finish(db_, index_, *stats);
+  return resolved;
+}
+
 double QueryProcessor::UserDistanceScore(UserId uid,
                                          const TkLusQuery& query) const {
   const auto it = user_locations_->find(uid);
@@ -286,87 +393,12 @@ Result<double> QueryProcessor::Popularity(TweetId root_sid,
   return popularity;
 }
 
-Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
-  if (query.k <= 0) {
-    return Status::InvalidArgument("k must be positive");
-  }
-  if (query.radius_km <= 0) {
-    return Status::InvalidArgument("radius must be positive");
-  }
-  if (query.temporal.half_life.has_value()) {
-    if (!query.temporal.reference.has_value()) {
-      return Status::InvalidArgument(
-          "temporal.half_life requires temporal.reference");
-    }
-    if (*query.temporal.half_life <= 0) {
-      return Status::InvalidArgument("temporal.half_life must be positive");
-    }
-  }
-  Stopwatch timer;
-  QueryResult result;
-  QueryStats& stats = result.stats;
-  stats.Reset();
-  const IoBaselines io = IoBaselines::Capture(db_, index_);
-  std::shared_ptr<Trace> trace;
-  if (query.trace) trace = std::make_shared<Trace>();
-  Tracer tracer(trace.get());
-  Tracer::Span root = tracer.StartSpan(stage::kQuery);
-
-  // Line 1: the geohash cells covering the query circle.
-  StageScope cover_stage(tracer, stage::kCover, db_, index_);
-  const std::vector<std::string> cells = GeohashCircleCover(
-      query.location, query.radius_km, index_->geohash_length());
-  stats.cover_cells = cells.size();
-  cover_stage.span().AddCounter("cover_cells", cells.size());
-
-  const std::vector<std::string> terms = NormalizeKeywords(query.keywords);
-  cover_stage.End();
-  if (terms.empty()) {
-    root.End();
-    io.Finish(db_, index_, stats);
-    stats.elapsed_ms = timer.ElapsedMillis();
-    stats.trace = std::move(trace);
-    return result;
-  }
-
-  // Lines 4-7: fetch postings lists per (cell, term).
-  StageScope fetch_stage(tracer, stage::kPostingsFetch, db_, index_);
-  std::vector<std::vector<Posting>> term_lists;
-  term_lists.reserve(terms.size());
-  for (const std::string& term : terms) {
-    for (const std::string& cell : cells) {
-      if (index_->forward_index().Lookup(cell, term) != nullptr) {
-        ++stats.postings_lists_fetched;
-      }
-    }
-    Result<std::vector<Posting>> list = index_->FetchTermPostings(cells, term);
-    if (!list.ok()) return list.status();
-    if (delta_ != nullptr && !delta_->empty()) {
-      *list = MergeDeltaPostings(*list, delta_->FetchTermPostings(cells, term));
-    }
-    term_lists.push_back(std::move(*list));
-  }
-
-  // Lines 9-14: AND intersects, OR unions.
-  std::vector<Posting> candidates = query.semantics == Semantics::kAnd
-                                        ? IntersectPostings(term_lists)
-                                        : UnionPostings(term_lists);
-  stats.candidates = candidates.size();
-  term_lists.clear();
-
-  // Temporal window (§VIII extension): tweet ids are timestamps, so the
-  // period filter applies directly to the combined postings, before any
-  // metadata I/O is spent.
-  if (query.temporal.begin || query.temporal.end) {
-    std::erase_if(candidates, [&query](const Posting& p) {
-      return !query.temporal.InWindow(p.tid);
-    });
-  }
-  fetch_stage.span().AddCounter("postings_lists",
-                                stats.postings_lists_fetched);
-  fetch_stage.span().AddCounter("candidates", candidates.size());
-  fetch_stage.End();
-
+Status QueryProcessor::RankUsers(const TkLusQuery& query,
+                                 const std::vector<std::string>& terms,
+                                 const std::vector<ResolvedCandidate>& candidates,
+                                 Tracer& tracer,
+                                 std::vector<RankedUser>* out_users,
+                                 QueryStats* stats) {
   ThreadBuilder thread_builder(
       db_, ThreadBuilder::Options{options_.thread_depth,
                                   options_.scoring.epsilon});
@@ -378,28 +410,16 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
   std::unordered_map<UserId, UserState> users;
   TopKTracker tracker(query.k);
 
-  // Line 20 (Alg. 4) / line 22 (Alg. 5): resolve every candidate's user
-  // and location — O(1) through the SidStore, with the delta overlay and
-  // the B+-tree fallback behind it (see ResolveCandidates).
-  Result<std::vector<std::optional<TweetMeta>>> metas =
-      ResolveCandidates(candidates, tracer, &stats);
-  if (!metas.ok()) return metas.status();
-
-  AttachDeltaChildren(delta_, thread_builder);
+  AttachChildrenSources(thread_builder);
   StageScope thread_stage(tracer, stage::kThreadConstruction, db_, index_);
-  for (size_t ci = 0; ci < candidates.size(); ++ci) {
-    const Posting& posting = candidates[ci];
-    const std::optional<TweetMeta>& meta = (*metas)[ci];
-    if (!meta.has_value()) {
-      return Status::Corruption("indexed tweet missing from metadata DB: " +
-                                std::to_string(posting.tid));
-    }
-    const TweetMeta& row = meta.value();
+  for (const ResolvedCandidate& candidate : candidates) {
+    const Posting& posting = candidate.posting;
+    const TweetMeta& row = candidate.meta;
     // Lines 16-17: distance filter (cells overhang the circle).
     const double dist = EuclideanKm(GeoPoint{row.lat, row.lon},
                                     query.location);
     if (dist > query.radius_km) continue;
-    ++stats.within_radius;
+    ++stats->within_radius;
 
     const auto [user_it, inserted] = users.try_emplace(row.uid);
     UserState& state = user_it->second;
@@ -419,10 +439,10 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
       prune = upper < tracker.Peek();
     }
     if (prune) {
-      ++stats.threads_pruned;
+      ++stats->threads_pruned;
     } else {
       Result<double> popularity = Popularity(posting.tid, thread_builder,
-                                             stats);
+                                             *stats);
       if (!popularity.ok()) return popularity.status();
       double rho = KeywordRelevance(posting.tf, *popularity, options_.scoring);
       if (query.temporal.half_life.has_value()) {
@@ -440,13 +460,13 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
       tracker.Update(row.uid, FinalScore(state, query.ranking));
     }
   }
-  thread_stage.span().AddCounter("within_radius", stats.within_radius);
-  thread_stage.span().AddCounter("threads_built", stats.threads_built);
-  thread_stage.span().AddCounter("threads_pruned", stats.threads_pruned);
+  thread_stage.span().AddCounter("within_radius", stats->within_radius);
+  thread_stage.span().AddCounter("threads_built", stats->threads_built);
+  thread_stage.span().AddCounter("threads_pruned", stats->threads_pruned);
   thread_stage.span().AddCounter("popularity_cache_hits",
-                                 stats.popularity_cache_hits);
+                                 stats->popularity_cache_hits);
   thread_stage.span().AddCounter("popularity_cache_misses",
-                                 stats.popularity_cache_misses);
+                                 stats->popularity_cache_misses);
   thread_stage.End();
 
   // Lines 25-29: final user scores, sort, top k.
@@ -474,8 +494,46 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
     ranked.resize(query.k);
   }
   score_stage.span().AddCounter("users_ranked", users.size());
-  result.users = std::move(ranked);
+  *out_users = std::move(ranked);
   score_stage.End();
+  return Status::Ok();
+}
+
+Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
+  TKLUS_RETURN_IF_ERROR(ValidateQuery(query, /*tweet_query=*/false));
+  Stopwatch timer;
+  QueryResult result;
+  QueryStats& stats = result.stats;
+  stats.Reset();
+  const IoBaselines io = IoBaselines::Capture(db_, index_);
+  std::shared_ptr<Trace> trace;
+  if (query.trace) trace = std::make_shared<Trace>();
+  Tracer tracer(trace.get());
+  Tracer::Span root = tracer.StartSpan(stage::kQuery);
+
+  // Line 1: the geohash cells covering the query circle.
+  StageScope cover_stage(tracer, stage::kCover, db_, index_);
+  const std::vector<std::string> cells =
+      ComputeCover(query, index_->geohash_length());
+  stats.cover_cells = cells.size();
+  cover_stage.span().AddCounter("cover_cells", cells.size());
+
+  const std::vector<std::string> terms = NormalizeKeywords(query.keywords);
+  cover_stage.End();
+  if (terms.empty()) {
+    root.End();
+    io.Finish(db_, index_, stats);
+    stats.elapsed_ms = timer.ElapsedMillis();
+    stats.trace = std::move(trace);
+    return result;
+  }
+
+  Result<std::vector<ResolvedCandidate>> candidates = FetchCandidates(
+      query, terms, cells, /*count_postings_lists=*/true,
+      /*account_io=*/false, tracer, &stats);
+  if (!candidates.ok()) return candidates.status();
+  TKLUS_RETURN_IF_ERROR(
+      RankUsers(query, terms, *candidates, tracer, &result.users, &stats));
   root.End();
   io.Finish(db_, index_, stats);
   stats.elapsed_ms = timer.ElapsedMillis();
@@ -483,19 +541,59 @@ Result<QueryResult> QueryProcessor::Process(const TkLusQuery& query) {
   return result;
 }
 
+Status QueryProcessor::RankTweets(const TkLusQuery& query,
+                                  const std::vector<ResolvedCandidate>& candidates,
+                                  Tracer& tracer,
+                                  std::vector<RankedTweet>* out_tweets,
+                                  QueryStats* stats) {
+  ThreadBuilder thread_builder(
+      db_, ThreadBuilder::Options{options_.thread_depth,
+                                  options_.scoring.epsilon});
+  AttachChildrenSources(thread_builder);
+  StageScope thread_stage(tracer, stage::kThreadConstruction, db_, index_);
+  for (const ResolvedCandidate& candidate : candidates) {
+    const Posting& posting = candidate.posting;
+    const TweetMeta& row = candidate.meta;
+    const double dist =
+        EuclideanKm(GeoPoint{row.lat, row.lon}, query.location);
+    if (dist > query.radius_km) continue;
+    ++stats->within_radius;
+    Result<double> popularity = Popularity(posting.tid, thread_builder,
+                                           *stats);
+    if (!popularity.ok()) return popularity.status();
+    double rho = KeywordRelevance(posting.tf, *popularity, options_.scoring);
+    if (query.temporal.half_life.has_value()) {
+      rho *= RecencyWeight(posting.tid, *query.temporal.reference,
+                           *query.temporal.half_life);
+    }
+    const double score = UserScore(
+        rho, DistanceScore(dist, query.radius_km), options_.scoring);
+    out_tweets->push_back(RankedTweet{posting.tid, row.uid, score, dist});
+  }
+  thread_stage.span().AddCounter("within_radius", stats->within_radius);
+  thread_stage.span().AddCounter("threads_built", stats->threads_built);
+  thread_stage.span().AddCounter("popularity_cache_hits",
+                                 stats->popularity_cache_hits);
+  thread_stage.span().AddCounter("popularity_cache_misses",
+                                 stats->popularity_cache_misses);
+  thread_stage.End();
+
+  StageScope score_stage(tracer, stage::kScoreTopk, db_, index_);
+  std::sort(out_tweets->begin(), out_tweets->end(),
+            [](const RankedTweet& a, const RankedTweet& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.sid < b.sid;
+            });
+  if (static_cast<int>(out_tweets->size()) > query.k) {
+    out_tweets->resize(query.k);
+  }
+  score_stage.End();
+  return Status::Ok();
+}
+
 Result<TweetQueryResult> QueryProcessor::ProcessTweets(
     const TkLusQuery& query) {
-  if (query.k <= 0) {
-    return Status::InvalidArgument("k must be positive");
-  }
-  if (query.radius_km <= 0) {
-    return Status::InvalidArgument("radius must be positive");
-  }
-  if (query.temporal.half_life.has_value() &&
-      !query.temporal.reference.has_value()) {
-    return Status::InvalidArgument(
-        "temporal.half_life requires temporal.reference");
-  }
+  TKLUS_RETURN_IF_ERROR(ValidateQuery(query, /*tweet_query=*/true));
   Stopwatch timer;
   TweetQueryResult result;
   QueryStats& stats = result.stats;
@@ -507,8 +605,8 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
   Tracer::Span root = tracer.StartSpan(stage::kQuery);
 
   StageScope cover_stage(tracer, stage::kCover, db_, index_);
-  const std::vector<std::string> cells = GeohashCircleCover(
-      query.location, query.radius_km, index_->geohash_length());
+  const std::vector<std::string> cells =
+      ComputeCover(query, index_->geohash_length());
   stats.cover_cells = cells.size();
   cover_stage.span().AddCounter("cover_cells", cells.size());
   const std::vector<std::string> terms = NormalizeKeywords(query.keywords);
@@ -520,81 +618,13 @@ Result<TweetQueryResult> QueryProcessor::ProcessTweets(
     stats.trace = std::move(trace);
     return result;
   }
-  StageScope fetch_stage(tracer, stage::kPostingsFetch, db_, index_);
-  std::vector<std::vector<Posting>> term_lists;
-  term_lists.reserve(terms.size());
-  for (const std::string& term : terms) {
-    Result<std::vector<Posting>> list = index_->FetchTermPostings(cells, term);
-    if (!list.ok()) return list.status();
-    if (delta_ != nullptr && !delta_->empty()) {
-      *list = MergeDeltaPostings(*list, delta_->FetchTermPostings(cells, term));
-    }
-    term_lists.push_back(std::move(*list));
-  }
-  std::vector<Posting> candidates = query.semantics == Semantics::kAnd
-                                        ? IntersectPostings(term_lists)
-                                        : UnionPostings(term_lists);
-  stats.candidates = candidates.size();
-  if (query.temporal.begin || query.temporal.end) {
-    std::erase_if(candidates, [&query](const Posting& p) {
-      return !query.temporal.InWindow(p.tid);
-    });
-  }
-  fetch_stage.span().AddCounter("candidates", candidates.size());
-  fetch_stage.End();
 
-  ThreadBuilder thread_builder(
-      db_, ThreadBuilder::Options{options_.thread_depth,
-                                  options_.scoring.epsilon});
-  // Same shared sid resolution as Process: SidStore + delta overlay.
-  Result<std::vector<std::optional<TweetMeta>>> metas =
-      ResolveCandidates(candidates, tracer, &stats);
-  if (!metas.ok()) return metas.status();
-
-  AttachDeltaChildren(delta_, thread_builder);
-  StageScope thread_stage(tracer, stage::kThreadConstruction, db_, index_);
-  for (size_t ci = 0; ci < candidates.size(); ++ci) {
-    const Posting& posting = candidates[ci];
-    const std::optional<TweetMeta>& meta = (*metas)[ci];
-    if (!meta.has_value()) {
-      return Status::Corruption("indexed tweet missing from metadata DB: " +
-                                std::to_string(posting.tid));
-    }
-    const TweetMeta& row = meta.value();
-    const double dist =
-        EuclideanKm(GeoPoint{row.lat, row.lon}, query.location);
-    if (dist > query.radius_km) continue;
-    ++stats.within_radius;
-    Result<double> popularity = Popularity(posting.tid, thread_builder,
-                                           stats);
-    if (!popularity.ok()) return popularity.status();
-    double rho = KeywordRelevance(posting.tf, *popularity, options_.scoring);
-    if (query.temporal.half_life.has_value()) {
-      rho *= RecencyWeight(posting.tid, *query.temporal.reference,
-                           *query.temporal.half_life);
-    }
-    const double score = UserScore(
-        rho, DistanceScore(dist, query.radius_km), options_.scoring);
-    result.tweets.push_back(RankedTweet{posting.tid, row.uid, score, dist});
-  }
-  thread_stage.span().AddCounter("within_radius", stats.within_radius);
-  thread_stage.span().AddCounter("threads_built", stats.threads_built);
-  thread_stage.span().AddCounter("popularity_cache_hits",
-                                 stats.popularity_cache_hits);
-  thread_stage.span().AddCounter("popularity_cache_misses",
-                                 stats.popularity_cache_misses);
-  thread_stage.End();
-
-  StageScope score_stage(tracer, stage::kScoreTopk, db_, index_);
-  std::sort(result.tweets.begin(), result.tweets.end(),
-            [](const RankedTweet& a, const RankedTweet& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.sid < b.sid;
-            });
-  if (static_cast<int>(result.tweets.size()) > query.k) {
-    result.tweets.resize(query.k);
-  }
-  score_stage.End();
+  Result<std::vector<ResolvedCandidate>> candidates = FetchCandidates(
+      query, terms, cells, /*count_postings_lists=*/false,
+      /*account_io=*/false, tracer, &stats);
+  if (!candidates.ok()) return candidates.status();
+  TKLUS_RETURN_IF_ERROR(
+      RankTweets(query, *candidates, tracer, &result.tweets, &stats));
   root.End();
   io.Finish(db_, index_, stats);
   stats.elapsed_ms = timer.ElapsedMillis();

@@ -24,6 +24,15 @@ namespace tklus {
 
 class Tracer;  // obs/trace.h
 
+// One combined-postings candidate zipped with its resolved metadata row.
+// The fetch half of the pipeline (FetchCandidates) produces these sorted
+// by tid; the ranking half (RankUsers/RankTweets) consumes them — possibly
+// after a cross-shard merge of several disjoint streams.
+struct ResolvedCandidate {
+  Posting posting;
+  TweetMeta meta;
+};
+
 // Executes TkLUS queries against the hybrid index + metadata database:
 // Algorithm 4 (sum-score ranking) and Algorithm 5 (max-score ranking with
 // upper-bound pruning and optional hot-keyword bounds).
@@ -44,6 +53,10 @@ class QueryProcessor {
   // All pointers must outlive the processor. `user_locations` is the
   // offline per-user location profile backing the Def. 9 user distance
   // score (the average of delta(p, q) over *all* of u's posts).
+  // `index` and `db` may both be nullptr for a ranking-only processor
+  // (the ShardedEngine plane): Process/ProcessTweets/FetchCandidates are
+  // then off-limits, RankUsers/RankTweets fully functional with thread
+  // descents served by the extra-children hook.
   QueryProcessor(const HybridIndex* index, MetadataDb* db,
                  const UpperBoundRegistry* bounds,
                  const std::unordered_map<UserId, std::vector<GeoPoint>>*
@@ -64,6 +77,45 @@ class QueryProcessor {
   // `ranking` field of the query is ignored (there is no user
   // aggregation); semantics and temporal options apply.
   Result<TweetQueryResult> ProcessTweets(const TkLusQuery& query);
+
+  // Parameter validation shared by Process, ProcessTweets and the sharded
+  // router. `tweet_query` selects the (historically laxer) ProcessTweets
+  // checks, which accept a non-positive half_life.
+  static Status ValidateQuery(const TkLusQuery& query, bool tweet_query);
+
+  // The candidate-fetch half of Process/ProcessTweets (Alg. 4/5 lines
+  // 4-14 plus sid resolution): per-(cell, term) postings fetch with the
+  // delta overlay, AND/OR combination, temporal-window filter, and
+  // metadata resolution. Candidates come back sorted by tid. Requires a
+  // processor wired with an index and a DB. `count_postings_lists` keeps
+  // the Process/ProcessTweets asymmetry (only user queries count fetched
+  // postings lists). With `account_io` the engine-level I/O deltas for
+  // this call (db_page_reads/dfs_block_reads/retries/faults) are also
+  // added into `stats` — the sharded mode, where no outer Process wraps
+  // the call and accounts them.
+  Result<std::vector<ResolvedCandidate>> FetchCandidates(
+      const TkLusQuery& query, const std::vector<std::string>& terms,
+      const std::vector<std::string>& cells, bool count_postings_lists,
+      bool account_io, Tracer& tracer, QueryStats* stats);
+
+  // The user-ranking half (Alg. 4/5 lines 16-29): distance filter, thread
+  // popularity, per-user aggregation with Alg. 5 pruning, final sort and
+  // top-k cut. Touches only bounds_/user_locations_/popularity cache plus
+  // the thread-descent sources (DB/delta/extra hook), so a processor
+  // wired with a null index and DB — the ShardedEngine's ranking plane —
+  // can run it over candidates merged from many shards. Appends into
+  // `users` and accumulates into `stats`.
+  Status RankUsers(const TkLusQuery& query,
+                   const std::vector<std::string>& terms,
+                   const std::vector<ResolvedCandidate>& candidates,
+                   Tracer& tracer, std::vector<RankedUser>* users,
+                   QueryStats* stats);
+
+  // Tweet-flavor ranking half: per-tweet scores, sort, top-k cut.
+  Status RankTweets(const TkLusQuery& query,
+                    const std::vector<ResolvedCandidate>& candidates,
+                    Tracer& tracer, std::vector<RankedTweet>* tweets,
+                    QueryStats* stats);
 
   // Normalizes raw query keywords the same way indexed text is processed
   // (lowercase, stem, drop stop words); deduplicates.
@@ -93,6 +145,14 @@ class QueryProcessor {
   // page reads on the common path.
   void set_sid_store(const SidStore* store) { sid_store_ = store; }
   const SidStore* sid_store() const { return sid_store_; }
+
+  // Attaches an extra reply-children source consulted by thread
+  // construction in addition to the metadata DB and the delta index — the
+  // ShardedEngine plane's global children map. Composes with the delta
+  // hook; levels are deduplicated whenever any extra source is attached.
+  void set_extra_children_source(ThreadBuilder::ExtraChildrenFn fn) {
+    extra_children_ = std::move(fn);
+  }
 
  private:
   struct UserState {
@@ -124,6 +184,10 @@ class QueryProcessor {
   Result<double> Popularity(TweetId root_sid, ThreadBuilder& builder,
                             QueryStats& stats);
 
+  // Wires every attached reply-children source (delta index, extra hook)
+  // into `builder` for the ranking-half thread descents.
+  void AttachChildrenSources(ThreadBuilder& builder) const;
+
   const HybridIndex* index_;
   MetadataDb* db_;
   const UpperBoundRegistry* bounds_;
@@ -133,6 +197,7 @@ class QueryProcessor {
   PopularityCache* popularity_cache_ = nullptr;  // optional, engine-owned
   const DeltaIndex* delta_ = nullptr;            // optional, engine-owned
   const SidStore* sid_store_ = nullptr;          // optional, engine-owned
+  ThreadBuilder::ExtraChildrenFn extra_children_;  // optional, owner-provided
 };
 
 }  // namespace tklus

@@ -1,0 +1,55 @@
+#include "core/shard_router.h"
+
+#include <cstdint>
+
+#include "geo/geohash.h"
+
+namespace tklus {
+
+namespace {
+
+// FNV-1a 64-bit: stable across platforms and processes (unlike
+// std::hash), which matters because cell ownership is baked into every
+// shard's on-disk state.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+int ShardRouter::OwnerOfCell(const std::string& cell) const {
+  return static_cast<int>(Fnv1a(cell) % static_cast<uint64_t>(num_shards_));
+}
+
+int ShardRouter::OwnerOfPost(const Post& post, int geohash_length) const {
+  if (!post.HasLocation()) {
+    return static_cast<int>(static_cast<uint64_t>(post.sid) %
+                            static_cast<uint64_t>(num_shards_));
+  }
+  return OwnerOfCell(geohash::Encode(post.location, geohash_length));
+}
+
+std::vector<std::vector<std::string>> ShardRouter::PartitionCells(
+    const std::vector<std::string>& cells) const {
+  std::vector<std::vector<std::string>> parts(num_shards_);
+  for (const std::string& cell : cells) {
+    parts[OwnerOfCell(cell)].push_back(cell);
+  }
+  return parts;
+}
+
+std::vector<Dataset> ShardRouter::PartitionPosts(const Dataset& posts,
+                                                 int geohash_length) const {
+  std::vector<Dataset> parts(num_shards_);
+  for (const Post& post : posts.posts()) {
+    parts[OwnerOfPost(post, geohash_length)].Add(post);
+  }
+  return parts;
+}
+
+}  // namespace tklus

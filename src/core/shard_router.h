@@ -1,0 +1,55 @@
+#ifndef TKLUS_CORE_SHARD_ROUTER_H_
+#define TKLUS_CORE_SHARD_ROUTER_H_
+
+#include <string>
+#include <vector>
+
+#include "model/dataset.h"
+#include "model/post.h"
+
+namespace tklus {
+
+// Deterministic geohash-cell -> shard ownership for the ShardedEngine.
+// The shard key is the paper's spatial partition unit (§VI-B2): the
+// geohash cell a post is indexed under. Every cell is owned by exactly
+// one shard (FNV-1a over the cell string, mod N), so the per-shard
+// postings lists partition the global lists — the property the
+// scatter-gather exactness argument rests on (DESIGN.md §16).
+//
+// Stateless and trivially copyable; the same routing runs at build time
+// (partitioning the dataset), append time (routing sub-batches) and query
+// time (assigning cover cells to shards), which is what keeps data
+// placement and query fan-out from ever drifting apart.
+class ShardRouter {
+ public:
+  explicit ShardRouter(int num_shards) : num_shards_(num_shards) {}
+
+  int num_shards() const { return num_shards_; }
+
+  // Owning shard of one geohash cell.
+  int OwnerOfCell(const std::string& cell) const;
+
+  // Owning shard of one post: the cell of its location at
+  // `geohash_length`. Untagged posts never enter the spatial index, so
+  // any deterministic placement is correct for them; they route by sid to
+  // spread metadata/WAL volume.
+  int OwnerOfPost(const Post& post, int geohash_length) const;
+
+  // Splits a query cover into per-shard cell lists (index = shard).
+  // Within each shard the cells keep the cover's order, so every shard
+  // fetches a sorted sub-cover.
+  std::vector<std::vector<std::string>> PartitionCells(
+      const std::vector<std::string>& cells) const;
+
+  // Splits a batch into per-shard sub-batches, preserving sid order
+  // within each shard.
+  std::vector<Dataset> PartitionPosts(const Dataset& posts,
+                                      int geohash_length) const;
+
+ private:
+  int num_shards_;
+};
+
+}  // namespace tklus
+
+#endif  // TKLUS_CORE_SHARD_ROUTER_H_

@@ -1,0 +1,91 @@
+#ifndef TKLUS_SERVER_SERVER_H_
+#define TKLUS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "core/lock_ranks.h"
+#include "core/sharded_engine.h"
+#include "obs/metrics.h"
+
+namespace tklus::server {
+
+// Thread-pool request server over the sharded engine (DESIGN.md §16):
+// a loopback TCP listener speaking the length-prefixed protocol of
+// server/protocol.h. An acceptor thread hands connected sockets to a
+// fixed worker pool over a condvar queue; each worker owns one
+// connection at a time and serves its requests in order (so a client
+// may pipeline), then returns for the next connection.
+//
+// Concurrency model: workers hold NO server lock while querying — the
+// queue lock guards only the fd handoff — so request concurrency is
+// bounded by num_workers and the engine's own reader-writer discipline
+// (queries overlap; appends serialize against them at the plane).
+class RequestServer {
+ public:
+  struct Options {
+    // 0 binds an ephemeral loopback port; read it back via port().
+    int port = 0;
+    int num_workers = 4;
+    // Per-frame payload ceiling; oversized frames fail the connection.
+    uint64_t max_frame_bytes = 1 << 20;
+  };
+
+  // Starts listening and serving immediately. The engine must outlive
+  // the returned server.
+  static Result<std::unique_ptr<RequestServer>> Start(ShardedEngine* engine,
+                                                      Options options);
+  ~RequestServer();
+  RequestServer(const RequestServer&) = delete;
+  RequestServer& operator=(const RequestServer&) = delete;
+
+  // Stops accepting, sheds queued and in-flight connections (a worker
+  // blocked reading an idle connection is unblocked via shutdown) and
+  // joins every thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  int port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  RequestServer() = default;
+
+  void AcceptLoop();
+  void WorkerLoop();
+  // Serves one connection to EOF/error; closes the fd.
+  void ServeConnection(int fd);
+  // Decodes, runs and encodes one request payload.
+  std::string HandleRequest(const std::string& payload);
+
+  ShardedEngine* engine_ = nullptr;
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  Mutex queue_mu_{lockrank::kServerQueueMu, "queue_mu_"};
+  CondVar queue_cv_;
+  std::deque<int> pending_fds_ TKLUS_GUARDED_BY(queue_mu_);
+  // Connections currently owned by a worker. A worker removes its fd
+  // here (still under queue_mu_) before closing it, so every fd in the
+  // list is live and Stop() may shutdown() it to unblock a worker
+  // parked in recv() on an idle connection.
+  std::vector<int> active_fds_ TKLUS_GUARDED_BY(queue_mu_);
+  bool stopping_ TKLUS_GUARDED_BY(queue_mu_) = false;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> requests_served_{0};
+  Counter* requests_total_ = nullptr;
+};
+
+}  // namespace tklus::server
+
+#endif  // TKLUS_SERVER_SERVER_H_

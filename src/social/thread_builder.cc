@@ -20,11 +20,13 @@ Result<ThreadShape> ThreadBuilder::BuildShape(TweetId root_sid) {
   for (int depth = 1; depth < options_.max_depth; ++depth) {
     std::vector<TweetId> next;
     for (const TweetId sid : frontier) {
-      // Alg. 1 line 7: "select all where rsid equals to Id" — the I/O step.
-      Result<std::vector<TweetMeta>> replies = db_->SelectByRsid(sid);
-      if (!replies.ok()) return replies.status();
-      for (const TweetMeta& reply : *replies) {
-        next.push_back(reply.sid);
+      if (db_ != nullptr) {
+        // Alg. 1 line 7: "select all where rsid equals to Id" — the I/O step.
+        Result<std::vector<TweetMeta>> replies = db_->SelectByRsid(sid);
+        if (!replies.ok()) return replies.status();
+        for (const TweetMeta& reply : *replies) {
+          next.push_back(reply.sid);
+        }
       }
       if (extra_children_) extra_children_(sid, &next);
     }

@@ -47,6 +47,9 @@ class ThreadBuilder {
   // deduplicated by the builder.
   using ExtraChildrenFn = std::function<void(TweetId, std::vector<TweetId>*)>;
 
+  // `db` may be nullptr, in which case every reply edge must come from the
+  // extra-children hook (the ShardedEngine's ranking plane descends its
+  // global in-memory children map this way).
   ThreadBuilder(MetadataDb* db, Options options)
       : db_(db), options_(options) {}
   explicit ThreadBuilder(MetadataDb* db) : ThreadBuilder(db, Options{}) {}

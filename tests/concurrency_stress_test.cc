@@ -18,6 +18,7 @@
 #include "common/fault_injector.h"
 #include "common/logging.h"
 #include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "datagen/tweet_generator.h"
 #include "dfs/dfs.h"
 #include "mapreduce/counters.h"
@@ -366,6 +367,111 @@ TEST(ConcurrencyStressTest, ReadersStayPrefixConsistentDuringDeltaStreaming) {
 
   engine->reset();
   std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------ sharded engine
+
+// Cross-shard queries race an appender streaming batches through the
+// scatter-gather router. Appends hold the plane lock exclusively across
+// the whole shard fan-out while queries hold it shared, so every observed
+// ranking must equal one of the serial per-prefix oracles — a reader that
+// catches shard 0 with a batch and shard 1 without it would produce a
+// non-prefix ranking and fail here. TSan runs certify the ingest/plane/
+// shard lock discipline on top.
+TEST(ConcurrencyStressTest, ShardedQueriesStayPrefixConsistentUnderAppends) {
+  const GeneratedCorpus corpus = MakeCorpus(2400);
+  constexpr size_t kSeedSize = 1200;
+  constexpr size_t kBatchSize = 400;
+  auto [seed, rest] = Split(corpus.dataset, kSeedSize);
+  std::vector<Dataset> batches;
+  {
+    auto [b0, tail] = Split(rest, kBatchSize);
+    auto [b1, b2] = Split(tail, kBatchSize);
+    batches.push_back(std::move(b0));
+    batches.push_back(std::move(b1));
+    batches.push_back(std::move(b2));
+  }
+
+  TkLusQuery query;
+  query.location = corpus.city_centers[0];
+  query.radius_km = 25.0;
+  query.keywords = {"hotel", "restaurant"};
+  query.k = 10;
+
+  // Serial per-prefix oracles from single engines (ShardedEngine == one
+  // TkLusEngine is pinned by the differential oracle suite).
+  TkLusEngine::Options oracle_options;
+  oracle_options.mapreduce_workers = 2;
+  std::vector<QueryResult> oracles;
+  for (size_t prefix = 0; prefix <= batches.size(); ++prefix) {
+    auto [head, dropped] =
+        Split(corpus.dataset, kSeedSize + prefix * kBatchSize);
+    (void)dropped;
+    auto oracle = TkLusEngine::Build(head, oracle_options);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    auto result = (*oracle)->Query(query);
+    ASSERT_TRUE(result.ok());
+    oracles.push_back(std::move(*result));
+  }
+  const auto matches_prefix = [&](const std::vector<RankedUser>& got) {
+    for (const QueryResult& want : oracles) {
+      if (got.size() != want.users.size()) continue;
+      bool same = true;
+      for (size_t i = 0; i < want.users.size() && same; ++i) {
+        same = got[i].uid == want.users[i].uid &&
+               std::abs(got[i].score - want.users[i].score) < 1e-9;
+      }
+      if (same) return true;
+    }
+    return false;
+  };
+
+  ShardedEngine::Options options;
+  options.num_shards = 4;
+  options.shard.mapreduce_workers = 2;
+  auto engine = ShardedEngine::Build(seed, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> observations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      TkLusQuery q = query;
+      q.ranking = (t % 2 == 0) ? Ranking::kSum : Ranking::kMax;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto got = (*engine)->Query(q);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ASSERT_FALSE(got->degraded);
+        if (q.ranking == Ranking::kSum) {
+          ASSERT_TRUE(matches_prefix(got->users))
+              << "sharded reader observed a torn cross-shard state";
+        }
+        observations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread appender([&] {
+    for (const Dataset& batch : batches) {
+      const Status st = (*engine)->AppendBatch(batch);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  appender.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(observations.load(), 0u);
+
+  // Quiesce + fold: the final ranking equals the full-dataset oracle
+  // whether candidates serve from shard bases or shard deltas.
+  ASSERT_TRUE((*engine)->MergeAllNow().ok());
+  const auto final_result = (*engine)->Query(query);
+  ASSERT_TRUE(final_result.ok());
+  ASSERT_TRUE(matches_prefix(final_result->users));
+  ASSERT_EQ(final_result->users.size(), oracles.back().users.size());
+  for (size_t i = 0; i < final_result->users.size(); ++i) {
+    EXPECT_EQ(final_result->users[i].uid, oracles.back().users[i].uid);
+  }
 }
 
 // ------------------------------------------------------ buffer pool

@@ -28,6 +28,7 @@
 #include "baseline/naive_scan.h"
 #include "common/rng.h"
 #include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "datagen/text_model.h"
 #include "datagen/tweet_generator.h"
 
@@ -202,6 +203,78 @@ TEST(GoldenQueryTest, EngineMatchesOracleAndGoldens) {
                                      << line_no;
     }
     FAIL() << "golden text mismatch";  // unreachable if lines all matched
+  }
+}
+
+// The same corpus through the scatter-gather path: ShardedEngine(N=4)
+// must reproduce the checked-in goldens byte-for-byte. This pins the
+// strongest sharding claim — partition + fan-out + candidate merge +
+// plane ranking is not merely "close to" but *is* the single engine's
+// numeric behavior, down to tie order and the 17-digit score text.
+TEST(GoldenQueryTest, ShardedEngineMatchesGoldensByteForByte) {
+  const GeneratedCorpus& corpus = World();
+  ShardedEngine::Options options;
+  options.num_shards = 4;
+  auto engine = ShardedEngine::Build(corpus.dataset, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  (*engine)->plane_processor().mutable_options().enable_pruning = false;
+
+  const std::vector<TkLusQuery> queries = CorpusQueries(corpus.dataset);
+
+  std::vector<std::string> lines;
+  lines.push_back("# tklus golden top-k corpus v1");
+  lines.push_back("# world seed " + std::to_string(kWorldSeed) + ", " +
+                  std::to_string(kNumQueries) +
+                  " queries x {Sum,Max} x alpha grid");
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (const Ranking ranking : {Ranking::kSum, Ranking::kMax}) {
+      for (const double alpha : kAlphaGrid) {
+        TkLusQuery q = queries[qi];
+        q.ranking = ranking;
+        ScoringParams scoring;
+        scoring.alpha = alpha;
+        (*engine)->plane_processor().mutable_options().scoring = scoring;
+        auto got = (*engine)->Query(q);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ASSERT_FALSE(got->degraded);
+        QueryResult as_result;
+        as_result.users = got->users;
+        lines.push_back(
+            FormatLine(static_cast<int>(qi), ranking, alpha, as_result));
+      }
+    }
+  }
+
+  std::string expected_text;
+  for (const std::string& line : lines) {
+    expected_text += line;
+    expected_text += '\n';
+  }
+
+  if (g_regen) {
+    GTEST_SKIP() << "goldens are regenerated by the single-engine leg";
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << "missing golden file " << GoldenPath()
+      << "; run golden_query_test --regen and commit the result";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  const std::string golden_text = golden.str();
+  std::istringstream got_lines(expected_text);
+  std::istringstream want_lines(golden_text);
+  std::string got_line, want_line;
+  int line_no = 0;
+  while (true) {
+    const bool got_ok = static_cast<bool>(std::getline(got_lines, got_line));
+    const bool want_ok =
+        static_cast<bool>(std::getline(want_lines, want_line));
+    ++line_no;
+    if (!got_ok && !want_ok) break;
+    ASSERT_EQ(got_ok, want_ok) << "golden line count changed";
+    ASSERT_EQ(got_line, want_line)
+        << "sharded leg diverges at golden line " << line_no;
   }
 }
 

@@ -1,0 +1,525 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "datagen/text_model.h"
+#include "datagen/tweet_generator.h"
+#include "geo/geohash.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tklus {
+namespace {
+
+using datagen::GeneratedCorpus;
+using datagen::TweetGenerator;
+
+// ---------------------------------------------------------------------------
+// ShardRouter
+
+TEST(ShardRouterTest, CellOwnershipIsDeterministicAndInRange) {
+  const ShardRouter a(4), b(4);
+  const std::vector<std::string> cells = {"dpz8", "dpz9", "9q5c", "u4pr",
+                                          "gbsu", "s000"};
+  for (const std::string& cell : cells) {
+    const int owner = a.OwnerOfCell(cell);
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, 4);
+    // Two routers with the same shard count agree (ownership is baked
+    // into on-disk shard state, so it must be process-independent).
+    EXPECT_EQ(owner, b.OwnerOfCell(cell));
+  }
+}
+
+TEST(ShardRouterTest, PartitionCellsIsAPartition) {
+  const ShardRouter router(8);
+  std::vector<std::string> cells;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    std::string cell;
+    for (int j = 0; j < 4; ++j) {
+      cell.push_back("0123456789bcdefghjkmnpqrstuvwxyz"[rng.UniformInt(
+          uint64_t{32})]);
+    }
+    cells.push_back(cell);
+  }
+  const auto parts = router.PartitionCells(cells);
+  ASSERT_EQ(parts.size(), 8u);
+  size_t total = 0;
+  for (int s = 0; s < 8; ++s) {
+    total += parts[s].size();
+    for (const std::string& cell : parts[s]) {
+      EXPECT_EQ(router.OwnerOfCell(cell), s);
+    }
+  }
+  EXPECT_EQ(total, cells.size());
+}
+
+TEST(ShardRouterTest, PostsFollowTheirCellAndUntaggedSpreadBySid) {
+  TweetGenerator::Options gen;
+  gen.seed = 11;
+  gen.num_users = 50;
+  gen.num_tweets = 800;
+  gen.num_cities = 3;
+  gen.untagged_frac = 0.3;
+  const GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+  const ShardRouter router(4);
+  const auto parts = router.PartitionPosts(corpus.dataset, 4);
+  size_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    total += parts[s].size();
+    for (const Post& p : parts[s].posts()) {
+      if (p.HasLocation()) {
+        // A located post lives with its geohash cell's owner: the shard
+        // that answers for a cover cell holds every post in it.
+        EXPECT_EQ(router.OwnerOfCell(geohash::Encode(p.location, 4)), s);
+      } else {
+        EXPECT_EQ(static_cast<uint64_t>(p.sid) % 4, static_cast<uint64_t>(s));
+      }
+    }
+  }
+  EXPECT_EQ(total, corpus.dataset.size());
+}
+
+// ---------------------------------------------------------------------------
+// Differential oracle: ShardedEngine(N) must equal one TkLusEngine exactly —
+// same uids in the same order, bit-identical scores — for every N. The
+// sharded path reuses the single engine's own ranking loop over the merged
+// candidate stream, so any deviation means the scatter/merge lost, gained,
+// duplicated or reordered a candidate.
+
+void ExpectSameRanking(const ShardedQueryResult& got, const QueryResult& want,
+                       const std::string& label) {
+  EXPECT_FALSE(got.degraded) << label;
+  ASSERT_EQ(got.users.size(), want.users.size()) << label;
+  for (size_t i = 0; i < want.users.size(); ++i) {
+    EXPECT_EQ(got.users[i].uid, want.users[i].uid)
+        << label << " rank " << i;
+    // Bit-for-bit: both paths execute the identical FP op sequence.
+    EXPECT_EQ(got.users[i].score, want.users[i].score)
+        << label << " rank " << i;
+  }
+  EXPECT_EQ(got.stats.candidates, want.stats.candidates) << label;
+  EXPECT_EQ(got.stats.cover_cells, want.stats.cover_cells) << label;
+}
+
+TkLusQuery RandomQuery(Rng& rng, const Dataset& dataset) {
+  const auto& topics = datagen::TopicWords();
+  const auto& modifiers = datagen::ModifierWords();
+  TkLusQuery q;
+  const Post& anchor = dataset.posts()[rng.UniformInt(dataset.size())];
+  q.location = anchor.location;
+  q.radius_km = rng.Uniform(2.0, 60.0);
+  q.k = 1 + static_cast<int>(rng.UniformInt(uint64_t{15}));
+  const size_t num_keywords = 1 + rng.UniformInt(uint64_t{3});
+  for (size_t i = 0; i < num_keywords; ++i) {
+    if (rng.Bernoulli(0.8)) {
+      q.keywords.push_back(topics[rng.UniformInt(topics.size())]);
+    } else {
+      q.keywords.push_back(modifiers[rng.UniformInt(modifiers.size())]);
+    }
+  }
+  q.semantics = rng.Bernoulli(0.5) ? Semantics::kAnd : Semantics::kOr;
+  q.ranking = rng.Bernoulli(0.5) ? Ranking::kSum : Ranking::kMax;
+  const int64_t first_sid = dataset.posts().front().sid;
+  const int64_t last_sid = dataset.posts().back().sid;
+  if (rng.Bernoulli(0.3)) {
+    const int64_t a = rng.UniformInt(first_sid, last_sid);
+    const int64_t b = rng.UniformInt(first_sid, last_sid);
+    q.temporal.begin = std::min(a, b);
+    q.temporal.end = std::max(a, b);
+  }
+  if (rng.Bernoulli(0.3)) {
+    q.temporal.half_life = rng.Uniform(100.0, 5000.0);
+    q.temporal.reference = last_sid;
+  }
+  return q;
+}
+
+class ShardedDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardedDifferentialTest, MatchesSingleEngineAcrossShardCounts) {
+  TweetGenerator::Options gen;
+  gen.seed = GetParam();
+  gen.num_users = 150;
+  gen.num_tweets = 3000;
+  gen.num_cities = 4;
+  gen.untagged_frac = GetParam() % 2 == 0 ? 0.0 : 0.15;
+  const GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+
+  auto single = TkLusEngine::Build(corpus.dataset);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+
+  for (const int num_shards : {1, 2, 4, 8}) {
+    ShardedEngine::Options options;
+    options.num_shards = num_shards;
+    auto sharded = ShardedEngine::Build(corpus.dataset, options);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+    Rng rng(GetParam() * 7919 + 13);  // same stream for every N
+    for (int trial = 0; trial < 15; ++trial) {
+      const TkLusQuery q = RandomQuery(rng, corpus.dataset);
+      auto want = (*single)->Query(q);
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      auto got = (*sharded)->Query(q);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectSameRanking(*got, *want,
+                        "N=" + std::to_string(num_shards) + " trial " +
+                            std::to_string(trial));
+    }
+  }
+}
+
+TEST_P(ShardedDifferentialTest, MatchesSingleEngineThroughAppends) {
+  TweetGenerator::Options gen;
+  gen.seed = GetParam() + 500;
+  gen.num_users = 120;
+  gen.num_tweets = 2400;
+  gen.num_cities = 3;
+  gen.untagged_frac = 0.1;
+  const GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+
+  // Build both over the first 60%, then feed identical batches to each.
+  Dataset initial;
+  std::vector<Dataset> batches(4);
+  const size_t cut = corpus.dataset.size() * 6 / 10;
+  for (size_t i = 0; i < corpus.dataset.size(); ++i) {
+    const Post& p = corpus.dataset.posts()[i];
+    if (i < cut) {
+      initial.Add(p);
+    } else {
+      batches[(i - cut) * 4 / (corpus.dataset.size() - cut)].Add(p);
+    }
+  }
+
+  auto single = TkLusEngine::Build(initial);
+  ASSERT_TRUE(single.ok());
+  ShardedEngine::Options options;
+  options.num_shards = 4;
+  auto sharded = ShardedEngine::Build(initial, options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  Rng rng(GetParam() * 104729 + 7);
+  for (const Dataset& batch : batches) {
+    ASSERT_EQ((*single)->AppendBatch(batch).ok(), true);
+    ASSERT_EQ((*sharded)->AppendBatch(batch).ok(), true);
+    for (int trial = 0; trial < 5; ++trial) {
+      const TkLusQuery q = RandomQuery(rng, corpus.dataset);
+      auto want = (*single)->Query(q);
+      ASSERT_TRUE(want.ok());
+      auto got = (*sharded)->Query(q);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectSameRanking(*got, *want, "post-append trial");
+    }
+  }
+  // Fold every shard's delta and re-check: base-vs-delta serving must not
+  // change results either.
+  ASSERT_TRUE((*sharded)->MergeAllNow().ok());
+  for (int trial = 0; trial < 5; ++trial) {
+    const TkLusQuery q = RandomQuery(rng, corpus.dataset);
+    auto want = (*single)->Query(q);
+    ASSERT_TRUE(want.ok());
+    auto got = (*sharded)->Query(q);
+    ASSERT_TRUE(got.ok());
+    ExpectSameRanking(*got, *want, "post-merge trial");
+  }
+}
+
+TEST_P(ShardedDifferentialTest, TweetQueriesMatchSingleEngine) {
+  TweetGenerator::Options gen;
+  gen.seed = GetParam() + 900;
+  gen.num_users = 100;
+  gen.num_tweets = 2000;
+  gen.num_cities = 3;
+  const GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+  auto single = TkLusEngine::Build(corpus.dataset);
+  ASSERT_TRUE(single.ok());
+  ShardedEngine::Options options;
+  options.num_shards = 4;
+  auto sharded = ShardedEngine::Build(corpus.dataset, options);
+  ASSERT_TRUE(sharded.ok());
+
+  Rng rng(GetParam() * 31 + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TkLusQuery q = RandomQuery(rng, corpus.dataset);
+    auto want = (*single)->QueryTweets(q);
+    ASSERT_TRUE(want.ok());
+    auto got = (*sharded)->QueryTweets(q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->tweets.size(), want->tweets.size()) << "trial " << trial;
+    for (size_t i = 0; i < want->tweets.size(); ++i) {
+      EXPECT_EQ(got->tweets[i].sid, want->tweets[i].sid);
+      EXPECT_EQ(got->tweets[i].uid, want->tweets[i].uid);
+      EXPECT_EQ(got->tweets[i].score, want->tweets[i].score);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedDifferentialTest,
+                         ::testing::Values(1, 2, 3));
+
+// A query circle straddling many cell boundaries must gather candidates
+// from several shards and still match the single engine exactly.
+TEST(ShardedEngineTest, BoundaryStraddlingQueriesSpanShards) {
+  TweetGenerator::Options gen;
+  gen.seed = 21;
+  gen.num_users = 150;
+  gen.num_tweets = 3000;
+  gen.num_cities = 2;
+  const GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+  auto single = TkLusEngine::Build(corpus.dataset);
+  ASSERT_TRUE(single.ok());
+  ShardedEngine::Options options;
+  options.num_shards = 4;
+  auto sharded = ShardedEngine::Build(corpus.dataset, options);
+  ASSERT_TRUE(sharded.ok());
+
+  const auto& topics = datagen::TopicWords();
+  Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    TkLusQuery q;
+    const Post& anchor =
+        corpus.dataset.posts()[rng.UniformInt(corpus.dataset.size())];
+    q.location = anchor.location;
+    q.radius_km = 80.0;  // covers tens of length-4 cells around the city
+    q.k = 10;
+    q.keywords = {topics[rng.UniformInt(topics.size())]};
+    q.semantics = Semantics::kOr;
+    q.trace = true;
+    auto want = (*single)->Query(q);
+    ASSERT_TRUE(want.ok());
+    auto got = (*sharded)->Query(q);
+    ASSERT_TRUE(got.ok());
+    ExpectSameRanking(*got, *want, "straddle trial " + std::to_string(trial));
+    // The trace must show more than one shard fetch: the circle cannot fit
+    // inside one shard's cells at this radius.
+    ASSERT_NE(got->stats.trace, nullptr);
+    std::set<uint64_t> shards_touched;
+    for (const TraceSpan& span : got->stats.trace->spans) {
+      if (span.name == stage::kShardFetch) {
+        shards_touched.insert(span.Counter("shard"));
+      }
+    }
+    EXPECT_GT(shards_touched.size(), 1u) << "trial " << trial;
+  }
+}
+
+// More shards than occupied cells: the unowned shards stay empty and
+// harmless (every query still matches, including ones whose cover touches
+// only empty shards).
+TEST(ShardedEngineTest, EmptyShardsAreHarmless) {
+  TweetGenerator::Options gen;
+  gen.seed = 31;
+  gen.num_users = 40;
+  gen.num_tweets = 600;
+  gen.num_cities = 1;  // one city -> a handful of occupied cells
+  const GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+  auto single = TkLusEngine::Build(corpus.dataset);
+  ASSERT_TRUE(single.ok());
+  ShardedEngine::Options options;
+  options.num_shards = 8;
+  auto sharded = ShardedEngine::Build(corpus.dataset, options);
+  ASSERT_TRUE(sharded.ok());
+
+  size_t empty_shards = 0;
+  for (int s = 0; s < 8; ++s) {
+    if ((*sharded)->shard(s).vocabulary().size() == 0) ++empty_shards;
+  }
+  EXPECT_GT(empty_shards, 0u) << "corpus unexpectedly spread over 8+ cells";
+
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TkLusQuery q = RandomQuery(rng, corpus.dataset);
+    auto want = (*single)->Query(q);
+    ASSERT_TRUE(want.ok());
+    auto got = (*sharded)->Query(q);
+    ASSERT_TRUE(got.ok());
+    ExpectSameRanking(*got, *want, "empty-shard trial");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: Save/Open round-trips the whole federation — router plane +
+// every shard — including appends made after the last Save.
+
+TEST(ShardedEngineTest, SaveOpenRoundTripPreservesResults) {
+  TweetGenerator::Options gen;
+  gen.seed = 41;
+  gen.num_users = 100;
+  gen.num_tweets = 2000;
+  gen.num_cities = 3;
+  gen.untagged_frac = 0.1;
+  const GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+
+  Dataset initial, batch1, batch2;
+  for (size_t i = 0; i < corpus.dataset.size(); ++i) {
+    const Post& p = corpus.dataset.posts()[i];
+    if (i < corpus.dataset.size() / 2) {
+      initial.Add(p);
+    } else if (i < corpus.dataset.size() * 3 / 4) {
+      batch1.Add(p);
+    } else {
+      batch2.Add(p);
+    }
+  }
+
+  auto single = TkLusEngine::Build(initial);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE((*single)->AppendBatch(batch1).ok());
+  ASSERT_TRUE((*single)->AppendBatch(batch2).ok());
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "tklus_sharded_roundtrip")
+          .string();
+  std::filesystem::remove_all(dir);
+  ShardedEngine::Options options;
+  options.num_shards = 4;
+  options.working_dir = dir;
+  {
+    auto sharded = ShardedEngine::Build(initial, options);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    ASSERT_TRUE((*sharded)->AppendBatch(batch1).ok());
+    ASSERT_TRUE((*sharded)->Save().ok());
+    // batch2 lands after the Save: only the shard WALs carry it.
+    ASSERT_TRUE((*sharded)->AppendBatch(batch2).ok());
+  }
+
+  auto reopened = ShardedEngine::Open(dir, ShardedEngine::Options{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_shards(), 4);
+
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TkLusQuery q = RandomQuery(rng, corpus.dataset);
+    auto want = (*single)->Query(q);
+    ASSERT_TRUE(want.ok());
+    auto got = (*reopened)->Query(q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectSameRanking(*got, *want, "reopened trial " + std::to_string(trial));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded mode: one shard's DFS dies mid-flight. strict fails closed;
+// the default skips the shard, flags the result and counts the failure.
+
+TEST(ShardedEngineTest, ShardFailureDegradesOrFailsClosed) {
+  TweetGenerator::Options gen;
+  gen.seed = 51;
+  gen.num_users = 100;
+  gen.num_tweets = 2000;
+  gen.num_cities = 2;
+  const GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+
+  // Wire a dedicated injector into shard 1 only; it stays quiet through
+  // Build and is armed afterwards.
+  FaultInjector injector(7);
+  ShardedEngine::Options options;
+  options.num_shards = 4;
+  options.shard_options_hook = [&injector](int shard,
+                                           TkLusEngine::Options* shard_opts) {
+    if (shard == 1) {
+      shard_opts->fault_injector = &injector;
+      shard_opts->dfs_retry.max_attempts = 1;  // no transient absorption
+    }
+  };
+  auto sharded = ShardedEngine::Build(corpus.dataset, options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  // A broad query that touches every shard.
+  const auto& topics = datagen::TopicWords();
+  TkLusQuery q;
+  q.location = corpus.dataset.posts().front().location;
+  q.radius_km = 200.0;
+  q.k = 10;
+  q.keywords = {topics[0], topics[1]};
+  q.semantics = Semantics::kOr;
+
+  auto healthy = (*sharded)->Query(q);
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_FALSE(healthy->degraded);
+  ASSERT_FALSE(healthy->users.empty());
+
+  injector.SetFaultRate(faults::kDfsRead, FaultKind::kPermanent, 1.0);
+  Counter* failures = MetricsRegistry::Global().GetCounter(
+      "tklus_shard_failures_total", "");
+  const uint64_t failures_before = failures->Value();
+
+  auto degraded = (*sharded)->Query(q);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->degraded);
+  bool saw_shard_1_failure = false;
+  for (const ShardOutcome& outcome : degraded->outcomes) {
+    if (outcome.shard == 1) {
+      EXPECT_FALSE(outcome.status.ok());
+      saw_shard_1_failure = outcome.shard == 1 && !outcome.status.ok();
+    } else {
+      EXPECT_TRUE(outcome.status.ok()) << "shard " << outcome.shard;
+    }
+  }
+  EXPECT_TRUE(saw_shard_1_failure);
+  EXPECT_GT(failures->Value(), failures_before);
+  // Partial results: the surviving shards' candidates still rank. The
+  // downed shard may hide users, but nobody outside the radius appears.
+  EXPECT_LE(degraded->users.size(), static_cast<size_t>(q.k));
+
+  // strict: same failure fails the whole query closed.
+  ShardedEngine::Options strict_options = options;
+  strict_options.strict = true;
+  injector.Clear();
+  auto strict_engine = ShardedEngine::Build(corpus.dataset, strict_options);
+  ASSERT_TRUE(strict_engine.ok());
+  injector.SetFaultRate(faults::kDfsRead, FaultKind::kPermanent, 1.0);
+  auto refused = (*strict_engine)->Query(q);
+  EXPECT_FALSE(refused.ok());
+  injector.Clear();
+}
+
+// Every touched shard failing is an outage, not an empty answer.
+TEST(ShardedEngineTest, AllShardsFailingIsUnavailable) {
+  TweetGenerator::Options gen;
+  gen.seed = 61;
+  gen.num_users = 60;
+  gen.num_tweets = 1000;
+  gen.num_cities = 2;
+  const GeneratedCorpus corpus = TweetGenerator::Generate(gen);
+
+  // One shard so the failure deterministically downs *every* touched
+  // shard: a multi-shard cover can include shards whose cells hold no
+  // matching postings — those perform no DFS reads and survive, which is
+  // the degraded case covered above, not an outage.
+  FaultInjector injector(3);
+  ShardedEngine::Options options;
+  options.num_shards = 1;
+  options.shard_options_hook = [&injector](int, TkLusEngine::Options* o) {
+    o->fault_injector = &injector;
+    o->dfs_retry.max_attempts = 1;
+  };
+  auto sharded = ShardedEngine::Build(corpus.dataset, options);
+  ASSERT_TRUE(sharded.ok());
+
+  const auto& topics = datagen::TopicWords();
+  TkLusQuery q;
+  q.location = corpus.dataset.posts().front().location;
+  q.radius_km = 200.0;
+  q.k = 5;
+  q.keywords = {topics[0]};
+
+  injector.SetFaultRate(faults::kDfsRead, FaultKind::kPermanent, 1.0);
+  auto result = (*sharded)->Query(q);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  injector.Clear();
+}
+
+}  // namespace
+}  // namespace tklus

@@ -22,6 +22,7 @@
 
 #include "common/fault_injector.h"
 #include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "datagen/tweet_generator.h"
 #include "obs/metrics.h"
 #include "storage/wal.h"
@@ -605,6 +606,194 @@ TEST_F(EngineRecoveryTest, BitFlippedWalTailDropsOnlyTheTail) {
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ((*reopened)->delta_index().post_count(), 2u * 150);
   ExpectMatchesOracle(**reopened, first_two, corpus_.city_centers[0], "flip");
+  fs::remove_all(dir);
+  fs::remove_all(crash);
+}
+
+// --------------------------------------------- sharded engine recovery
+
+// Same query-visible oracle as ExpectMatchesOracle, against the sharded
+// scatter-gather path (pruning off at the router's plane).
+void ExpectShardedMatchesOracle(ShardedEngine& got, const Dataset& acked,
+                                const GeoPoint& center,
+                                const std::string& context) {
+  auto oracle = TkLusEngine::Build(acked);
+  ASSERT_TRUE(oracle.ok()) << context;
+  EXPECT_NEAR(got.bounds().global_bound(), (*oracle)->bounds().global_bound(),
+              1e-9)
+      << context;
+  got.plane_processor().mutable_options().enable_pruning = false;
+  (*oracle)->processor().mutable_options().enable_pruning = false;
+  for (const char* kw : {"hotel", "restaurant", "cafe"}) {
+    for (const Ranking ranking : {Ranking::kSum, Ranking::kMax}) {
+      TkLusQuery q;
+      q.location = center;
+      q.radius_km = 15.0;
+      q.keywords = {kw};
+      q.k = 10;
+      q.ranking = ranking;
+      auto want = (*oracle)->Query(q);
+      auto have = got.Query(q);
+      ASSERT_TRUE(want.ok()) << context;
+      ASSERT_TRUE(have.ok()) << context << ": " << have.status().ToString();
+      ASSERT_FALSE(have->degraded) << context;
+      ASSERT_EQ(have->users.size(), want->users.size())
+          << context << " kw=" << kw;
+      for (size_t i = 0; i < want->users.size(); ++i) {
+        EXPECT_EQ(have->users[i].uid, want->users[i].uid)
+            << context << " kw=" << kw << " rank " << i;
+        EXPECT_NEAR(have->users[i].score, want->users[i].score, 1e-9)
+            << context << " kw=" << kw << " rank " << i;
+      }
+    }
+  }
+}
+
+ShardedEngine::Options ShardedDurableOptions(const fs::path& dir) {
+  ShardedEngine::Options options;
+  options.num_shards = 4;
+  options.working_dir = dir.string();
+  options.shard.delta_merge_posts = 0;  // merges only where the test asks
+  return options;
+}
+
+// Kill after acked appends, before any checkpoint: every shard replays
+// its own WAL independently and Open re-absorbs the recovered deltas
+// into the plane past the router.bin watermark.
+TEST_F(EngineRecoveryTest, ShardedAckedBatchesSurviveKill) {
+  const fs::path dir = TempDir("shard");
+  const fs::path crash = TempDir("shard_crash");
+  Dataset acked = seed_;
+  {
+    auto engine = ShardedEngine::Build(seed_, ShardedDurableOptions(dir));
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    ASSERT_TRUE((*engine)->Save().ok());  // establish router.bin + shards
+    for (size_t b = 0; b < kBatches; ++b) {
+      ASSERT_TRUE((*engine)->AppendBatch(batches_[b]).ok());
+      acked = Concat(acked, batches_[b]);
+    }
+    CopyDir(dir, crash);  // kill: the batches live only in per-shard WALs
+  }
+  auto reopened = ShardedEngine::Open(crash.string(), ShardedEngine::Options{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_shards(), 4);
+  // No shard lost its slice: the deltas partition the appended batches.
+  size_t delta_posts = 0;
+  for (int s = 0; s < 4; ++s) {
+    delta_posts += (*reopened)->shard(s).delta_index().post_count();
+  }
+  EXPECT_EQ(delta_posts, kBatches * 150);
+  ExpectShardedMatchesOracle(**reopened, acked, corpus_.city_centers[0],
+                             "sharded kill");
+  ASSERT_TRUE((*reopened)->MergeAllNow().ok());
+  ExpectShardedMatchesOracle(**reopened, acked, corpus_.city_centers[0],
+                             "sharded kill+merge");
+  fs::remove_all(dir);
+  fs::remove_all(crash);
+}
+
+// Kill points inside ONE shard's WAL during a cross-shard append. The
+// batch as a whole is not acked; shards ordered before the victim keep
+// their durable sub-batches (the documented cross-shard non-atomicity),
+// the victim holds no phantom, and the healed tail acks later batches.
+// Recovery yields exactly the durable posts — nothing more, nothing less.
+TEST_F(EngineRecoveryTest, ShardedWalKillPointsRecoverDurableSubBatches) {
+  constexpr int kVictim = 1;
+  const KillPoint kill_points[] = {
+      {faults::kWalAppend, FaultKind::kPermanent, "wal_append"},
+      {faults::kWalAppend, FaultKind::kTornWrite, "wal_torn"},
+      {faults::kWalFsync, FaultKind::kPermanent, "wal_fsync"},
+  };
+  for (const KillPoint& kp : kill_points) {
+    FaultInjector faults(42);
+    const fs::path dir = TempDir(std::string("shardkp_") + kp.label);
+    const fs::path crash = TempDir(std::string("shardkp_crash_") + kp.label);
+    Dataset acked = seed_;
+    Dataset unacked_victim;
+    {
+      ShardedEngine::Options options = ShardedDurableOptions(dir);
+      options.shard_options_hook = [&faults](int shard,
+                                             TkLusEngine::Options* o) {
+        if (shard == kVictim) o->fault_injector = &faults;
+      };
+      auto engine = ShardedEngine::Build(seed_, options);
+      ASSERT_TRUE(engine.ok()) << kp.label;
+      ASSERT_TRUE((*engine)->Save().ok()) << kp.label;
+      ASSERT_TRUE((*engine)->AppendBatch(batches_[0]).ok()) << kp.label;
+      acked = Concat(acked, batches_[0]);
+
+      // The fan-out routes sub-batches to shards in shard order and fails
+      // fast: exactly the shards before the victim land theirs durably.
+      const std::vector<Dataset> parts = (*engine)->router().PartitionPosts(
+          batches_[1], (*engine)->options().shard.geohash_length);
+      ASSERT_FALSE(parts[kVictim].posts().empty()) << kp.label;
+
+      faults.FailNext(kp.site, kp.kind, 1);
+      ASSERT_FALSE((*engine)->AppendBatch(batches_[1]).ok()) << kp.label;
+      for (int s = 0; s < kVictim; ++s) acked = Concat(acked, parts[s]);
+      unacked_victim = parts[kVictim];
+
+      // The victim's WAL tail heals on the next append; the batch acks.
+      ASSERT_TRUE((*engine)->AppendBatch(batches_[2]).ok()) << kp.label;
+      acked = Concat(acked, batches_[2]);
+      CopyDir(dir, crash);
+    }
+    auto reopened =
+        ShardedEngine::Open(crash.string(), ShardedEngine::Options{});
+    ASSERT_TRUE(reopened.ok())
+        << kp.label << ": " << reopened.status().ToString();
+    ExpectShardedMatchesOracle(**reopened, acked, corpus_.city_centers[0],
+                               kp.label);
+    // The victim shard holds nothing from the sub-batch that died on it.
+    TkLusEngine& victim = (*reopened)->shard(kVictim);
+    for (const Post& p : unacked_victim.posts()) {
+      auto row = victim.metadata_db().SelectBySid(p.sid);
+      ASSERT_TRUE(row.ok()) << kp.label;
+      EXPECT_FALSE(row->has_value()) << kp.label << " phantom sid " << p.sid;
+      EXPECT_EQ(victim.delta_index().FindBySid(p.sid), nullptr)
+          << kp.label << " phantom delta sid " << p.sid;
+    }
+    fs::remove_all(dir);
+    fs::remove_all(crash);
+  }
+}
+
+// A checkpoint sweep dying on one shard splits the fleet: shards before
+// the victim truncated their WALs (their batches now live only in their
+// checkpoints) while the victim and later shards still carry theirs.
+// router.bin was written *first*, so its watermark covers everything the
+// early shards truncated, and Open stitches both halves back together.
+TEST_F(EngineRecoveryTest, ShardedSaveFailingMidSweepStillRecovers) {
+  constexpr int kVictim = 2;
+  FaultInjector faults(7);
+  const fs::path dir = TempDir("shardsave");
+  const fs::path crash = TempDir("shardsave_crash");
+  Dataset acked = seed_;
+  {
+    ShardedEngine::Options options = ShardedDurableOptions(dir);
+    options.shard_options_hook = [&faults](int shard, TkLusEngine::Options* o) {
+      if (shard == kVictim) o->fault_injector = &faults;
+    };
+    auto engine = ShardedEngine::Build(seed_, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    ASSERT_TRUE((*engine)->Save().ok());
+    for (size_t b = 0; b < 2; ++b) {
+      ASSERT_TRUE((*engine)->AppendBatch(batches_[b]).ok());
+      acked = Concat(acked, batches_[b]);
+    }
+    faults.FailNext(faults::kFileWrite, FaultKind::kPermanent, 1);
+    EXPECT_FALSE((*engine)->Save().ok());
+    // Shards before the victim are checkpointed + truncated.
+    for (int s = 0; s < kVictim; ++s) {
+      EXPECT_EQ((*engine)->shard(s).wal().record_count(), 0u) << "shard " << s;
+    }
+    EXPECT_GT((*engine)->shard(kVictim).wal().record_count(), 0u);
+    CopyDir(dir, crash);
+  }
+  auto reopened = ShardedEngine::Open(crash.string(), ShardedEngine::Options{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ExpectShardedMatchesOracle(**reopened, acked, corpus_.city_centers[0],
+                             "mid-sweep save");
   fs::remove_all(dir);
   fs::remove_all(crash);
 }
